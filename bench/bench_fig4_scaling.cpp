@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 4 analog: the parent application's strong scaling of the
+ * extension stage on local-intel (the paper's host), thread sweep 1..48.
+ * 4a reports execution times, 4b the speedups.  Single-thread cost is
+ * measured on this host and projected through the calibrated machine
+ * model (this container has one core; see DESIGN.md).  Expected shapes:
+ * the smallest input (A-human) plateaus early, the large inputs keep
+ * scaling to 48 threads.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_fig4_scaling", "0.5");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Figure 4 analog",
+                      "Parent strong scaling of the extension stage on "
+                      "local-intel (measured 1-thread cost + calibrated "
+                      "scaling model)");
+
+    mg::machine::MachineConfig host =
+        mg::machine::machineByName("local-intel");
+    std::vector<size_t> threads = {1, 2, 4, 8, 16, 24, 32, 48};
+
+    struct Series
+    {
+        std::string name;
+        std::vector<double> seconds;
+    };
+    std::vector<Series> series;
+
+    for (const auto& spec : mg::sim::standardInputSets()) {
+        auto world = mg::bench::buildWorld(spec.name, flags.real("scale"));
+        mg::giraffe::ParentEmulator parent = world->parent();
+        mg::io::SeedCapture capture =
+            parent.capturePreprocessing(world->set.reads);
+        mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                                  world->distance, capture);
+        mg::tune::CapacityProfile profile =
+            mg::bench::scaleProfileToPaper(
+                tuner.measureCapacity(
+                    mg::gbwt::CachedGbwt::kDefaultInitialCapacity),
+                spec.name);
+        mg::machine::CostProfile cost =
+            mg::tune::Autotuner::calibratedCost(host, profile);
+
+        mg::machine::WorkloadShape shape;
+        shape.numReads = profile.numReads;
+        shape.batchSize = 512;
+        shape.dramBytes = static_cast<double>(
+            profile.perMachine.at(host.name).llcMisses) * 64.0;
+        // Giraffe itself schedules through the VG dispatcher.
+        mg::machine::SchedulerCost sched =
+            mg::tune::schedulerCost(mg::sched::SchedulerKind::VgBatch);
+
+        Series s;
+        s.name = spec.name;
+        for (size_t t : threads) {
+            s.seconds.push_back(
+                mg::machine::predictedTime(host, cost, shape, sched, t));
+        }
+        series.push_back(std::move(s));
+    }
+
+    std::printf("(4a) extension time in seconds\n%-10s", "input");
+    for (size_t t : threads) {
+        std::printf(" %8zu", t);
+    }
+    std::printf("\n");
+    for (const Series& s : series) {
+        std::printf("%-10s", s.name.c_str());
+        for (double sec : s.seconds) {
+            std::printf(" %8.4f", sec);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(4b) speedup over 1 thread\n%-10s", "input");
+    for (size_t t : threads) {
+        std::printf(" %8zu", t);
+    }
+    std::printf("\n");
+    for (const Series& s : series) {
+        std::printf("%-10s", s.name.c_str());
+        for (double sec : s.seconds) {
+            std::printf(" %8.2f", s.seconds.front() / sec);
+        }
+        std::printf("\n");
+    }
+    std::printf("\npaper expectation: A-human plateaus earliest; larger "
+                "inputs keep gaining through 48 threads\n");
+
+    if (!flags.str("csv").empty()) {
+        mg::util::CsvWriter csv(flags.str("csv"),
+                                {"input", "threads", "seconds", "speedup"});
+        for (const Series& s : series) {
+            for (size_t i = 0; i < threads.size(); ++i) {
+                csv.row({s.name, std::to_string(threads[i]),
+                         mg::util::sci(s.seconds[i]),
+                         mg::util::fixed(s.seconds.front() / s.seconds[i],
+                                         3)});
+            }
+        }
+    }
+    return 0;
+}

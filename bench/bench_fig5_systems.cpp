@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 5 analog: the proxy's parallel scalability on all four Table II
+ * machines, all four input sets.  Single-thread cost is measured on this
+ * host (proxy runs with the memory tracer), then projected through the
+ * calibrated machine model (DESIGN.md).  Paper shapes to reproduce:
+ * local-amd near-linear up to its 64 physical cores; both Intel systems
+ * sublinear across sockets and hyperthreads; chi-arm near-linear for all
+ * but the smallest input; chi-arm and chi-intel lack the memory for
+ * D-HPRC.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_fig5_systems", "0.5");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Figure 5 analog",
+                      "Proxy scalability on the Table II fleet "
+                      "(measured 1-thread cost + calibrated model)");
+
+    std::unique_ptr<mg::util::CsvWriter> csv;
+    if (!flags.str("csv").empty()) {
+        csv = std::make_unique<mg::util::CsvWriter>(
+            flags.str("csv"),
+            std::vector<std::string>{"machine", "input", "threads",
+                                     "speedup"});
+    }
+
+    // Profile each input once (capacity at default).
+    struct InputProfile
+    {
+        std::string name;
+        mg::tune::CapacityProfile profile;
+    };
+    std::vector<InputProfile> profiles;
+    for (const auto& spec : mg::sim::standardInputSets()) {
+        auto world = mg::bench::buildWorld(spec.name, flags.real("scale"));
+        mg::giraffe::ParentEmulator parent = world->parent();
+        mg::io::SeedCapture capture =
+            parent.capturePreprocessing(world->set.reads);
+        mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                                  world->distance, capture);
+        profiles.push_back(
+            {spec.name,
+             mg::bench::scaleProfileToPaper(
+                 tuner.measureCapacity(
+                     mg::gbwt::CachedGbwt::kDefaultInitialCapacity),
+                 spec.name)});
+    }
+
+    for (const auto& machine : mg::machine::paperMachines()) {
+        std::vector<size_t> threads =
+            mg::bench::threadSweep(machine.threadContexts());
+        std::printf("--- %s (%zu contexts) ---\n%-10s",
+                    machine.name.c_str(), machine.threadContexts(),
+                    "input");
+        for (size_t t : threads) {
+            std::printf(" %7zu", t);
+        }
+        std::printf("\n");
+        for (const InputProfile& input : profiles) {
+            std::printf("%-10s", input.name.c_str());
+            if (!mg::bench::fitsInMemory(machine, input.name)) {
+                std::printf("  out of memory at paper scale (%.0f GB "
+                            "needed, %zu GB present)\n",
+                            mg::bench::paperMemoryRequirementGb(
+                                input.name),
+                            machine.dramGb);
+                continue;
+            }
+            mg::machine::CostProfile cost =
+                mg::tune::Autotuner::calibratedCost(machine,
+                                                    input.profile);
+            mg::machine::WorkloadShape shape;
+            shape.numReads = input.profile.numReads;
+            shape.batchSize = 512;
+            shape.dramBytes = static_cast<double>(
+                input.profile.perMachine.at(machine.name).llcMisses) *
+                64.0;
+            mg::machine::SchedulerCost sched = mg::tune::schedulerCost(
+                mg::sched::SchedulerKind::OmpDynamic);
+            std::vector<double> curve = mg::machine::speedupCurve(
+                machine, cost, shape, sched, threads);
+            for (size_t i = 0; i < threads.size(); ++i) {
+                std::printf(" %7.1f", curve[i]);
+                if (csv) {
+                    csv->row({machine.name, input.name,
+                              std::to_string(threads[i]),
+                              mg::util::fixed(curve[i], 3)});
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("paper expectation: local-amd the most linear; Intel "
+                "systems plateau at socket/SMT boundaries; D-HPRC OOM on "
+                "the 256 GB machines\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 6 analog: speedup against "no CachedGBWT at all" for different
+ * initial capacities, C-HPRC on local-intel, for both the OpenMP and the
+ * work-stealing scheduler.  Every capacity is actually executed on the
+ * host (rehash storms and table locality are emergent), then projected to
+ * local-intel's full thread count.  Paper shape: best speedups at
+ * capacities <= 4096, degradation for larger initial capacities.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_fig6_capacity", "0.25");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Figure 6 analog",
+                      "Speedup vs no-caching for initial CachedGBWT "
+                      "capacities (C-HPRC, local-intel model)");
+
+    auto world = mg::bench::buildWorld("C-HPRC", flags.real("scale"));
+    mg::giraffe::ParentEmulator parent = world->parent();
+    mg::io::SeedCapture capture =
+        parent.capturePreprocessing(world->set.reads);
+    mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                              world->distance, capture);
+
+    std::vector<size_t> capacities = {0,    256,   512,   1024, 2048,
+                                      4096, 8192,  16384, 65536, 262144};
+    std::vector<mg::tune::CapacityProfile> profiles;
+    for (size_t capacity : capacities) {
+        profiles.push_back(mg::bench::scaleProfileToPaper(
+            tuner.measureCapacity(capacity), "C-HPRC"));
+    }
+
+    mg::machine::MachineConfig host =
+        mg::machine::machineByName("local-intel");
+    std::vector<mg::sched::SchedulerKind> schedulers = {
+        mg::sched::SchedulerKind::OmpDynamic,
+        mg::sched::SchedulerKind::WorkStealing,
+    };
+
+    std::unique_ptr<mg::util::CsvWriter> csv;
+    if (!flags.str("csv").empty()) {
+        csv = std::make_unique<mg::util::CsvWriter>(
+            flags.str("csv"),
+            std::vector<std::string>{"scheduler", "capacity", "speedup",
+                                     "rehashes", "hit_rate"});
+    }
+
+    std::printf("%-10s", "capacity");
+    for (auto kind : schedulers) {
+        std::printf(" %12s", mg::sched::schedulerName(kind));
+    }
+    std::printf(" %10s %9s\n", "rehashes", "hit rate");
+
+    std::vector<double> baseline(schedulers.size(), 0.0);
+    for (size_t c = 0; c < capacities.size(); ++c) {
+        std::printf("%-10zu", capacities[c]);
+        for (size_t s = 0; s < schedulers.size(); ++s) {
+            mg::tune::TuneConfig config;
+            config.scheduler = schedulers[s];
+            config.batchSize = 512;
+            config.cacheCapacity = capacities[c];
+            double makespan = mg::tune::Autotuner::modelMakespan(
+                host, profiles[c], config, host.threadContexts());
+            if (capacities[c] == 0) {
+                baseline[s] = makespan;
+            }
+            double speedup = baseline[s] / makespan;
+            std::printf(" %12.3f", speedup);
+            if (csv) {
+                csv->row({mg::sched::schedulerName(schedulers[s]),
+                          std::to_string(capacities[c]),
+                          mg::util::fixed(speedup, 4),
+                          std::to_string(profiles[c].cacheStats.rehashes),
+                          mg::util::fixed(profiles[c].cacheStats.hitRate(),
+                                          4)});
+            }
+        }
+        std::printf(" %10llu %9.3f\n",
+                    static_cast<unsigned long long>(
+                        profiles[c].cacheStats.rehashes),
+                    profiles[c].cacheStats.hitRate());
+    }
+    std::printf("\npaper expectation: peak speedup at capacity <= 4096; "
+                "larger initial capacities degrade\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 7 analog: makespan of the best-tuned configuration vs Giraffe's
+ * defaults for every input set on every machine, using the paper's 10%
+ * subsample.  Paper headline: geometric-mean speedup 1.15x overall (per
+ * input: 1.36, 1.07, 1.10, 1.11), up to 3.32x, defaults rarely optimal.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "stats/descriptive.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_fig7_tuning", "0.5");
+    flags.define("subsample", "0.1",
+                 "fraction of each input set used (paper: first 10%)");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Figure 7 analog",
+                      "Best-tuned vs default makespan per input and "
+                      "machine (10% subsampled inputs)");
+
+    double scale = flags.real("scale") * flags.real("subsample");
+    mg::tune::SweepSpace space = mg::tune::paperSweepSpace();
+    auto machines = mg::machine::paperMachines();
+
+    std::unique_ptr<mg::util::CsvWriter> csv;
+    if (!flags.str("csv").empty()) {
+        csv = std::make_unique<mg::util::CsvWriter>(
+            flags.str("csv"),
+            std::vector<std::string>{"input", "machine", "default_s",
+                                     "best_s", "speedup", "best_config"});
+    }
+
+    std::printf("%-10s %-12s %12s %12s %9s  %s\n", "input", "machine",
+                "default(s)", "best(s)", "speedup", "best config");
+    std::vector<double> all_speedups;
+    for (const auto& spec : mg::sim::standardInputSets()) {
+        auto world = mg::bench::buildWorld(spec.name, scale);
+        mg::giraffe::ParentEmulator parent = world->parent();
+        mg::io::SeedCapture capture =
+            parent.capturePreprocessing(world->set.reads);
+        mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                                  world->distance, capture);
+        auto profiles = tuner.measureCapacities(space.capacities);
+        for (auto& profile : profiles) {
+            profile = mg::bench::scaleProfileToPaper(
+                profile, spec.name, flags.real("subsample"));
+        }
+
+        std::vector<double> input_speedups;
+        for (const auto& machine : machines) {
+            auto results = tuner.sweep(machine, space, profiles);
+            const auto& best = mg::tune::Autotuner::best(results);
+            const auto& fallback = mg::tune::Autotuner::find(
+                results, mg::tune::defaultConfig());
+            double speedup =
+                fallback.makespanSeconds / best.makespanSeconds;
+            input_speedups.push_back(speedup);
+            all_speedups.push_back(speedup);
+            std::printf("%-10s %-12s %12.5f %12.5f %8.2fx  %s\n",
+                        spec.name.c_str(), machine.name.c_str(),
+                        fallback.makespanSeconds, best.makespanSeconds,
+                        speedup, best.config.str().c_str());
+            if (csv) {
+                csv->row({spec.name, machine.name,
+                          mg::util::sci(fallback.makespanSeconds, 4),
+                          mg::util::sci(best.makespanSeconds, 4),
+                          mg::util::fixed(speedup, 3),
+                          best.config.str()});
+            }
+        }
+        std::printf("%-10s %-12s geometric mean speedup %.3fx\n",
+                    spec.name.c_str(), "(all)",
+                    mg::stats::geomean(input_speedups));
+    }
+    std::printf("\noverall geomean %.3fx, max %.2fx "
+                "(paper: 1.15x geomean, 3.32x max)\n",
+                mg::stats::geomean(all_speedups),
+                mg::stats::maxOf(all_speedups));
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 8 analog: makespan across the full parameter cross product for
+ * D-HPRC on chi-intel, printed as a heat-map matrix (rows = scheduler x
+ * batch size, columns = CachedGBWT capacity).  Paper headlines: a 1.76x
+ * spread between the best and worst configurations, and the default
+ * parameters among the slowest cells.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_fig8_heatmap", "0.5");
+    flags.define("subsample", "0.1", "fraction of the input set used");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Figure 8 analog",
+                      "Makespan (ms) heat map over all configurations, "
+                      "D-HPRC on chi-intel");
+
+    double scale = flags.real("scale") * flags.real("subsample");
+    auto world = mg::bench::buildWorld("D-HPRC", scale);
+    mg::giraffe::ParentEmulator parent = world->parent();
+    mg::io::SeedCapture capture =
+        parent.capturePreprocessing(world->set.reads);
+    mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                              world->distance, capture);
+    mg::tune::SweepSpace space = mg::tune::paperSweepSpace();
+    auto profiles = tuner.measureCapacities(space.capacities);
+    for (auto& profile : profiles) {
+        profile = mg::bench::scaleProfileToPaper(
+            profile, "D-HPRC", flags.real("subsample"));
+    }
+    mg::machine::MachineConfig machine =
+        mg::machine::machineByName("chi-intel");
+    auto results = tuner.sweep(machine, space, profiles);
+
+    std::unique_ptr<mg::util::CsvWriter> csv;
+    if (!flags.str("csv").empty()) {
+        csv = std::make_unique<mg::util::CsvWriter>(
+            flags.str("csv"),
+            std::vector<std::string>{"scheduler", "batch", "capacity",
+                                     "makespan_s"});
+    }
+
+    std::printf("%-16s", "sched/batch \\ CC");
+    for (size_t capacity : space.capacities) {
+        std::printf(" %9zu", capacity);
+    }
+    std::printf("\n");
+    double best = 1e300;
+    double worst = 0.0;
+    for (auto scheduler : space.schedulers) {
+        for (size_t batch : space.batchSizes) {
+            std::printf("%-16s",
+                        (std::string(mg::sched::schedulerName(scheduler)) +
+                         "/" + std::to_string(batch)).c_str());
+            for (size_t capacity : space.capacities) {
+                const auto& cell = mg::tune::Autotuner::find(
+                    results,
+                    mg::tune::TuneConfig{scheduler, batch, capacity});
+                double ms = cell.makespanSeconds * 1e3;
+                best = std::min(best, cell.makespanSeconds);
+                worst = std::max(worst, cell.makespanSeconds);
+                std::printf(" %9.3f", ms);
+                if (csv) {
+                    csv->row({mg::sched::schedulerName(scheduler),
+                              std::to_string(batch),
+                              std::to_string(capacity),
+                              mg::util::sci(cell.makespanSeconds, 4)});
+                }
+            }
+            std::printf("\n");
+        }
+    }
+
+    const auto& defaults = mg::tune::Autotuner::find(
+        results, mg::tune::defaultConfig());
+    std::printf("\nbest %.3f ms, worst %.3f ms -> worst/best %.2fx "
+                "(paper: 1.76x avoidable slowdown)\n", best * 1e3,
+                worst * 1e3, worst / best);
+    std::printf("default config (openmp/512/256): %.3f ms = %.2fx over "
+                "best (paper: among the slowest cells)\n",
+                defaults.makespanSeconds * 1e3,
+                defaults.makespanSeconds / best);
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Table V analog: hardware-counter validation of the proxy against the
+ * parent on A-human, single-threaded, via the trace-driven cache
+ * simulator on local-intel (the paper uses perf on its Xeon 8260 host).
+ * The parent runs its full pipeline (seeding interleaved with the
+ * critical functions); the proxy runs the critical functions alone from
+ * the captured seeds.  The paper's headline numbers: near-identical
+ * instruction counts and LLC misses, slightly more L1 misses on the
+ * parent (interleaved extra work), and a cosine similarity of 0.9996
+ * between the two counter vectors.
+ */
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "machine/cost_model.h"
+#include "machine/tracer.h"
+#include "stats/descriptive.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace {
+
+struct CounterRow
+{
+    double instructions;
+    double ipc;
+    double l1da;
+    double l1dm;
+    double llda;
+    double lldm;
+
+    std::vector<double>
+    asVector() const
+    {
+        return {instructions, ipc, l1da, l1dm, llda, lldm};
+    }
+};
+
+CounterRow
+makeRow(const mg::machine::TraceCounter& tracer,
+        const mg::machine::MachineConfig& host)
+{
+    const mg::machine::CacheCounters& c = tracer.countersFor(host.name);
+    mg::machine::CostProfile cost =
+        mg::machine::modelCost(host, tracer.work(), c);
+    CounterRow row;
+    row.instructions = static_cast<double>(tracer.work().instructions);
+    row.ipc = cost.ipc;
+    row.l1da = static_cast<double>(c.l1Accesses);
+    row.l1dm = static_cast<double>(c.l1Misses);
+    row.llda = static_cast<double>(c.llcAccesses);
+    row.lldm = static_cast<double>(c.llcMisses);
+    return row;
+}
+
+void
+printRow(const char* name, const CounterRow& row)
+{
+    std::printf("%-12s %12s %6.2f %12s %12s %12s %12s\n", name,
+                mg::util::sci(row.instructions).c_str(), row.ipc,
+                mg::util::sci(row.l1da).c_str(),
+                mg::util::sci(row.l1dm).c_str(),
+                mg::util::sci(row.llda).c_str(),
+                mg::util::sci(row.lldm).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_table5_counters", "0.5");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Table V analog",
+                      "Counter congruence, proxy vs parent, A-human, one "
+                      "thread (trace-driven cache model on local-intel)");
+
+    auto world = mg::bench::buildWorld("A-human", flags.real("scale"));
+    mg::machine::MachineConfig host =
+        mg::machine::machineByName("local-intel");
+
+    // Parent: the full pipeline, traced.
+    mg::giraffe::ParentEmulator parent = world->parent();
+    mg::machine::TraceCounter parent_tracer(mg::machine::paperMachines());
+    parent.run(world->set.reads, nullptr, &parent_tracer);
+    CounterRow parent_row = makeRow(parent_tracer, host);
+
+    // Proxy: critical functions only, from the captured seeds.
+    mg::io::SeedCapture capture =
+        parent.capturePreprocessing(world->set.reads);
+    mg::giraffe::ProxyRunner proxy = world->proxy();
+    mg::machine::TraceCounter proxy_tracer(mg::machine::paperMachines());
+    proxy.run(capture, nullptr, &proxy_tracer);
+    CounterRow proxy_row = makeRow(proxy_tracer, host);
+
+    std::printf("%-12s %12s %6s %12s %12s %12s %12s\n", "application",
+                "Inst.", "IPC", "L1DA", "L1DM", "LLDA", "LLDM");
+    printRow("miniGiraffe", proxy_row);
+    printRow("Giraffe", parent_row);
+
+    std::printf("\nL1D miss rate: proxy %.4f vs parent %.4f "
+                "(paper: 0.004 vs 0.011)\n",
+                proxy_row.l1dm / proxy_row.l1da,
+                parent_row.l1dm / parent_row.l1da);
+    std::printf("LLC miss rate: proxy %.3f vs parent %.3f "
+                "(paper: 0.73 vs 0.55)\n",
+                proxy_row.lldm / proxy_row.llda,
+                parent_row.lldm / parent_row.llda);
+
+    double cosine = mg::stats::cosineSimilarity(proxy_row.asVector(),
+                                                parent_row.asVector());
+    std::printf("cosine similarity of counter vectors: %.4f "
+                "(paper: 0.9996)\n", cosine);
+
+    if (!flags.str("csv").empty()) {
+        mg::util::CsvWriter csv(flags.str("csv"),
+                                {"application", "inst", "ipc", "l1da",
+                                 "l1dm", "llda", "lldm"});
+        auto emit = [&](const char* name, const CounterRow& row) {
+            csv.row({name, mg::util::sci(row.instructions),
+                     mg::util::fixed(row.ipc, 3), mg::util::sci(row.l1da),
+                     mg::util::sci(row.l1dm), mg::util::sci(row.llda),
+                     mg::util::sci(row.lldm)});
+        };
+        emit("miniGiraffe", proxy_row);
+        emit("Giraffe", parent_row);
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table VII analog: fastest execution time per input set across the four
+ * machines (minimum over the thread sweep), from the calibrated machine
+ * model.  Paper shapes: local-amd fastest everywhere (largest LLC),
+ * chi-arm slowest, chi-intel second fastest, and the D-HPRC cells of the
+ * 256 GB machines empty (out of memory).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_table7_fastest", "0.5");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Table VII analog",
+                      "Fastest proxy execution times (seconds) per input "
+                      "and machine (min over thread sweep)");
+
+    auto machines = mg::machine::paperMachines();
+    std::printf("%-10s", "input");
+    for (const auto& machine : machines) {
+        std::printf(" %12s", machine.name.c_str());
+    }
+    std::printf("\n");
+
+    std::unique_ptr<mg::util::CsvWriter> csv;
+    if (!flags.str("csv").empty()) {
+        csv = std::make_unique<mg::util::CsvWriter>(
+            flags.str("csv"),
+            std::vector<std::string>{"input", "machine", "seconds"});
+    }
+
+    for (const auto& spec : mg::sim::standardInputSets()) {
+        auto world = mg::bench::buildWorld(spec.name, flags.real("scale"));
+        mg::giraffe::ParentEmulator parent = world->parent();
+        mg::io::SeedCapture capture =
+            parent.capturePreprocessing(world->set.reads);
+        mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                                  world->distance, capture);
+        mg::tune::CapacityProfile profile =
+            mg::bench::scaleProfileToPaper(
+                tuner.measureCapacity(
+                    mg::gbwt::CachedGbwt::kDefaultInitialCapacity),
+                spec.name);
+
+        std::printf("%-10s", spec.name.c_str());
+        for (const auto& machine : machines) {
+            if (!mg::bench::fitsInMemory(machine, spec.name)) {
+                std::printf(" %12s", "-");
+                if (csv) {
+                    csv->row({spec.name, machine.name, "oom"});
+                }
+                continue;
+            }
+            mg::machine::CostProfile cost =
+                mg::tune::Autotuner::calibratedCost(machine, profile);
+            mg::machine::WorkloadShape shape;
+            shape.numReads = profile.numReads;
+            shape.batchSize = 512;
+            shape.dramBytes = static_cast<double>(
+                profile.perMachine.at(machine.name).llcMisses) * 64.0;
+            mg::machine::SchedulerCost sched = mg::tune::schedulerCost(
+                mg::sched::SchedulerKind::OmpDynamic);
+            double fastest = 1e300;
+            for (size_t t :
+                 mg::bench::threadSweep(machine.threadContexts())) {
+                fastest = std::min(fastest,
+                                   mg::machine::predictedTime(
+                                       machine, cost, shape, sched, t));
+            }
+            std::printf(" %12.4f", fastest);
+            if (csv) {
+                csv->row({spec.name, machine.name,
+                          mg::util::sci(fastest, 4)});
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("\npaper expectation: local-amd fastest on every input, "
+                "chi-arm slowest, '-' where D-HPRC exceeds memory\n");
+    return 0;
+}

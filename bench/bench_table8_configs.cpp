@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Table VIII analog: the best-performing configuration parameters (batch
+ * size, CachedGBWT capacity, scheduler) for every input set on every
+ * machine.  Paper headline: almost no two cells share a configuration and
+ * the defaults (openmp/512/256) almost never win; the work-stealing
+ * scheduler wins a minority of cells.  Our deterministic model collapses
+ * near-ties that measurement noise spreads out in the paper (see
+ * EXPERIMENTS.md), but the defaults-never-win property holds.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "tune/autotuner.h"
+#include "util/csv.h"
+
+int
+main(int argc, char** argv)
+{
+    mg::util::Flags flags =
+        mg::bench::benchFlags("bench_table8_configs", "0.5");
+    flags.define("subsample", "0.1", "fraction of each input set used");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    mg::bench::banner("Table VIII analog",
+                      "Best configuration per input and machine "
+                      "(BS = batch size, CC = cache capacity, * = "
+                      "work-stealing scheduler)");
+
+    double scale = flags.real("scale") * flags.real("subsample");
+    mg::tune::SweepSpace space = mg::tune::paperSweepSpace();
+    auto machines = mg::machine::paperMachines();
+
+    std::unique_ptr<mg::util::CsvWriter> csv;
+    if (!flags.str("csv").empty()) {
+        csv = std::make_unique<mg::util::CsvWriter>(
+            flags.str("csv"),
+            std::vector<std::string>{"input", "machine", "batch",
+                                     "capacity", "scheduler"});
+    }
+
+    std::printf("%-10s", "input");
+    for (size_t m = 0; m < machines.size(); ++m) {
+        std::printf(" | %6s %6s", "BS", "CC");
+    }
+    std::printf("\n%-10s", "");
+    for (const auto& machine : machines) {
+        std::printf(" | %13s", machine.name.c_str());
+    }
+    std::printf("\n");
+
+    size_t default_wins = 0;
+    size_t steal_wins = 0;
+    size_t cells = 0;
+    for (const auto& spec : mg::sim::standardInputSets()) {
+        auto world = mg::bench::buildWorld(spec.name, scale);
+        mg::giraffe::ParentEmulator parent = world->parent();
+        mg::io::SeedCapture capture =
+            parent.capturePreprocessing(world->set.reads);
+        mg::tune::Autotuner tuner(world->graph(), world->gbwt(),
+                                  world->distance, capture);
+        auto profiles = tuner.measureCapacities(space.capacities);
+        for (auto& profile : profiles) {
+            profile = mg::bench::scaleProfileToPaper(
+                profile, spec.name, flags.real("subsample"));
+        }
+
+        std::printf("%-10s", spec.name.c_str());
+        for (const auto& machine : machines) {
+            auto results = tuner.sweep(machine, space, profiles);
+            const auto& best = mg::tune::Autotuner::best(results);
+            bool steal = best.config.scheduler ==
+                         mg::sched::SchedulerKind::WorkStealing;
+            char capacity[16];
+            std::snprintf(capacity, sizeof(capacity), "%zu%s",
+                          best.config.cacheCapacity, steal ? "*" : "");
+            std::printf(" | %6zu %6s", best.config.batchSize, capacity);
+            ++cells;
+            steal_wins += steal ? 1 : 0;
+            mg::tune::TuneConfig defaults = mg::tune::defaultConfig();
+            if (best.config.scheduler == defaults.scheduler &&
+                best.config.batchSize == defaults.batchSize &&
+                best.config.cacheCapacity == defaults.cacheCapacity) {
+                ++default_wins;
+            }
+            if (csv) {
+                csv->row({spec.name, machine.name,
+                          std::to_string(best.config.batchSize),
+                          std::to_string(best.config.cacheCapacity),
+                          mg::sched::schedulerName(
+                              best.config.scheduler)});
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("\ndefault configuration wins %zu of %zu cells "
+                "(paper: 0 of 16); work-stealing wins %zu "
+                "(paper: 5 of 16)\n",
+                default_wins, cells, steal_wins);
+    return 0;
+}

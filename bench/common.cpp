@@ -1,0 +1,136 @@
+#include "common.h"
+
+#include <cstdio>
+
+namespace mg::bench {
+
+std::unique_ptr<World>
+buildWorld(const std::string& input_set, double scale)
+{
+    auto world = std::make_unique<World>();
+    world->set = sim::buildInputSet(sim::inputSetSpec(input_set), scale);
+    index::MinimizerParams mparams;
+    mparams.k = 15;
+    mparams.w = 8;
+    world->minimizers =
+        index::MinimizerIndex(world->set.pangenome.graph, mparams);
+    world->distance = index::DistanceIndex(world->set.pangenome.graph);
+    return world;
+}
+
+std::vector<std::unique_ptr<World>>
+buildAllWorlds(double scale)
+{
+    std::vector<std::unique_ptr<World>> worlds;
+    for (const sim::InputSetSpec& spec : sim::standardInputSets()) {
+        worlds.push_back(buildWorld(spec.name, scale));
+    }
+    return worlds;
+}
+
+util::Flags
+benchFlags(const std::string& program, const std::string& default_scale)
+{
+    util::Flags flags(program);
+    flags.define("scale", default_scale,
+                 "read-count multiplier for every input set")
+         .define("csv", "", "also write results to this CSV file");
+    return flags;
+}
+
+void
+banner(const std::string& experiment, const std::string& what)
+{
+    std::printf("== %s ==\n%s\n\n", experiment.c_str(), what.c_str());
+}
+
+std::vector<size_t>
+threadSweep(size_t max_threads)
+{
+    std::vector<size_t> counts;
+    for (size_t t = 1; t < max_threads; t *= 2) {
+        counts.push_back(t);
+    }
+    counts.push_back(max_threads);
+    return counts;
+}
+
+double
+paperMemoryRequirementGb(const std::string& input_set)
+{
+    if (input_set == "A-human") {
+        return 32.0;
+    }
+    if (input_set == "B-yeast") {
+        return 40.0;
+    }
+    if (input_set == "C-HPRC") {
+        return 120.0;
+    }
+    if (input_set == "D-HPRC") {
+        return 320.0; // exceeded the paper's 256 GB machines
+    }
+    throw util::Error("unknown input set: " + input_set);
+}
+
+bool
+fitsInMemory(const machine::MachineConfig& machine,
+             const std::string& input_set)
+{
+    return static_cast<double>(machine.dramGb) >=
+           paperMemoryRequirementGb(input_set);
+}
+
+uint64_t
+paperReadCount(const std::string& input_set)
+{
+    // Table III: reads in millions -- A 1.0, B 24.5, C 8.0, D 71.1.
+    if (input_set == "A-human") {
+        return 1000000ull;
+    }
+    if (input_set == "B-yeast") {
+        return 24500000ull;
+    }
+    if (input_set == "C-HPRC") {
+        return 8000000ull;
+    }
+    if (input_set == "D-HPRC") {
+        return 71100000ull;
+    }
+    throw util::Error("unknown input set: " + input_set);
+}
+
+tune::CapacityProfile
+scaleProfileToPaper(const tune::CapacityProfile& p,
+                    const std::string& input_set, double subsample)
+{
+    tune::CapacityProfile out = p;
+    double target =
+        static_cast<double>(paperReadCount(input_set)) * subsample;
+    double factor = target / static_cast<double>(p.numReads);
+    out.numReads = static_cast<uint64_t>(target);
+    out.hostSeconds *= factor;
+    out.anchorHostSeconds *= factor;
+    out.anchorModelSeconds *= factor;
+    out.work.instructions = static_cast<uint64_t>(
+        static_cast<double>(p.work.instructions) * factor);
+    out.work.memoryAccesses = static_cast<uint64_t>(
+        static_cast<double>(p.work.memoryAccesses) * factor);
+    out.work.bytesTouched = static_cast<uint64_t>(
+        static_cast<double>(p.work.bytesTouched) * factor);
+    for (auto& [name, c] : out.perMachine) {
+        (void)name;
+        auto scaled = [factor](uint64_t v) {
+            return static_cast<uint64_t>(static_cast<double>(v) * factor);
+        };
+        c.l1Accesses = scaled(c.l1Accesses);
+        c.l1Misses = scaled(c.l1Misses);
+        c.l2Accesses = scaled(c.l2Accesses);
+        c.l2Misses = scaled(c.l2Misses);
+        c.llcAccesses = scaled(c.llcAccesses);
+        c.llcMisses = scaled(c.llcMisses);
+    }
+    return out;
+}
+
+} // namespace mg::bench

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Autotuning demo (paper Section VII-B, condensed): sweep the full
+ * scheduler x batch-size x CachedGBWT-capacity cross product for one input
+ * set, report the best configuration and its speedup over Giraffe's
+ * defaults on each Table II machine, plus the per-factor ANOVA.
+ *
+ * Run:  ./examples/autotune_demo [--input-set C-HPRC] [--scale 0.02]
+ */
+#include <cstdio>
+
+#include "giraffe/parent.h"
+#include "index/distance.h"
+#include "index/minimizer.h"
+#include "sim/input_sets.h"
+#include "tune/autotuner.h"
+#include "util/flags.h"
+
+int
+main(int argc, char** argv)
+try {
+    mg::util::Flags flags("autotune_demo");
+    flags.define("input-set", "C-HPRC", "input set analog to tune")
+         .define("scale", "0.02",
+                 "read-count multiplier (the paper subsamples to 10%)");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+
+    std::string name = flags.str("input-set");
+    std::printf("building %s at scale %.3f...\n", name.c_str(),
+                flags.real("scale"));
+    mg::sim::InputSet set = mg::sim::buildInputSet(
+        mg::sim::inputSetSpec(name), flags.real("scale"));
+
+    mg::index::MinimizerParams mparams;
+    mparams.k = 15;
+    mparams.w = 8;
+    mg::index::MinimizerIndex minimizers(set.pangenome.graph, mparams);
+    mg::index::DistanceIndex distance(set.pangenome.graph);
+    mg::giraffe::ParentEmulator parent(set.pangenome.graph,
+                                       set.pangenome.gbwt, minimizers,
+                                       distance,
+                                       mg::giraffe::ParentParams());
+    mg::io::SeedCapture capture = parent.capturePreprocessing(set.reads);
+
+    mg::tune::Autotuner tuner(set.pangenome.graph, set.pangenome.gbwt,
+                              distance, capture);
+    mg::tune::SweepSpace space = mg::tune::paperSweepSpace();
+    std::printf("measuring %zu cache capacities (instrumented runs)...\n",
+                space.capacities.size());
+    auto profiles = tuner.measureCapacities(space.capacities);
+
+    std::printf("\n%-12s %-18s %-12s %-12s %-8s\n", "machine",
+                "best config", "best (s)", "default (s)", "speedup");
+    for (const auto& machine : mg::machine::paperMachines()) {
+        auto results = tuner.sweep(machine, space, profiles);
+        const auto& best = mg::tune::Autotuner::best(results);
+        const auto& fallback = mg::tune::Autotuner::find(
+            results, mg::tune::defaultConfig());
+        std::printf("%-12s %-18s %-12.4f %-12.4f %-8.2f\n",
+                    machine.name.c_str(), best.config.str().c_str(),
+                    best.makespanSeconds, fallback.makespanSeconds,
+                    fallback.makespanSeconds / best.makespanSeconds);
+    }
+
+    std::printf("\nANOVA on the chi-intel sweep (factor significance):\n");
+    auto chi_results = tuner.sweep(
+        mg::machine::machineByName("chi-intel"), space, profiles);
+    std::printf("%s", mg::stats::formatAnovaTable(
+                          mg::tune::Autotuner::anova(chi_results)).c_str());
+    return 0;
+} catch (const mg::util::Error& e) {
+    std::fprintf(stderr, "autotune_demo: %s\n", e.what());
+    return 1;
+}

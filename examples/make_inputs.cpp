@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Input-set builder: materializes one of the paper's four input-set
+ * analogs (Table III) as on-disk artifacts, mirroring the paper's
+ * "generate new input sets" workflow:
+ *
+ *   <name>.mgz           the pangenome (graph + GBWT)
+ *   <name>.seeds.bin     the preprocessing capture (reads + seeds),
+ *                        i.e. miniGiraffe's input
+ *   <name>.expected.ext  the parent's critical-function output, used by
+ *                        validate_proxy
+ *
+ * Run:  ./examples/make_inputs --input-set A-human --scale 0.1 --out-dir .
+ */
+#include <cstdio>
+
+#include "giraffe/parent.h"
+#include "index/distance.h"
+#include "index/minimizer.h"
+#include "io/extensions_io.h"
+#include "io/fastq.h"
+#include "io/mgz.h"
+#include "io/reads_bin.h"
+#include "sim/input_sets.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+int
+main(int argc, char** argv)
+try {
+    mg::util::Flags flags("make_inputs");
+    flags.define("input-set", "A-human",
+                 "A-human | B-yeast | C-HPRC | D-HPRC")
+         .define("scale", "0.1", "read-count multiplier")
+         .define("out-dir", ".", "output directory");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+
+    std::string name = flags.str("input-set");
+    mg::util::WallTimer timer;
+    mg::sim::InputSet set = mg::sim::buildInputSet(
+        mg::sim::inputSetSpec(name), flags.real("scale"));
+    std::printf("built %s: %zu nodes, %zu reads (%.2f s)\n", name.c_str(),
+                set.pangenome.graph.numNodes(), set.reads.size(),
+                timer.seconds());
+
+    std::string base = flags.str("out-dir") + "/" + name;
+    mg::io::saveMgz(base + ".mgz", set.pangenome.graph, set.pangenome.gbwt);
+    mg::io::saveFastq(base + ".fastq", set.reads);
+
+    mg::index::MinimizerParams mparams;
+    mparams.k = 15;
+    mparams.w = 8;
+    mg::index::MinimizerIndex minimizers(set.pangenome.graph, mparams);
+    mg::index::DistanceIndex distance(set.pangenome.graph);
+    mg::giraffe::ParentEmulator parent(set.pangenome.graph,
+                                       set.pangenome.gbwt, minimizers,
+                                       distance,
+                                       mg::giraffe::ParentParams());
+
+    timer.reset();
+    mg::io::SeedCapture capture = parent.capturePreprocessing(set.reads);
+    mg::io::saveSeedCapture(base + ".seeds.bin", capture);
+    std::printf("captured seeds for %zu reads (%.2f s)\n",
+                capture.entries.size(), timer.seconds());
+
+    timer.reset();
+    mg::giraffe::ParentOutputs outputs = parent.run(set.reads);
+    mg::io::saveExtensions(base + ".expected.ext", outputs.extensions);
+    std::printf("parent mapping done (%.2f s); wrote:\n  %s.mgz\n"
+                "  %s.fastq\n  %s.seeds.bin\n  %s.expected.ext\n",
+                timer.seconds(), base.c_str(), base.c_str(), base.c_str(),
+                base.c_str());
+    return 0;
+} catch (const mg::util::Error& e) {
+    std::fprintf(stderr, "make_inputs: %s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * GBWT construction.  Visit lists are finalized in topological order of the
+ * path-step relation, yielding the canonical GBWT ordering: path starts
+ * first, then incoming visits grouped by predecessor.  Because groups stay
+ * contiguous and preserve the predecessor's visit order, LF mapping with
+ * per-edge offsets is exact (tests verify extension against raw path
+ * replay).
+ */
+#include "gbwt/gbwt.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/common.h"
+
+namespace mg::gbwt {
+
+namespace {
+
+/** (path index, step index) pending visit. */
+struct PendingVisit
+{
+    uint32_t path;
+    uint32_t step;
+};
+
+} // namespace
+
+void
+GbwtBuilder::addPath(const std::vector<graph::Handle>& steps)
+{
+    MG_CHECK(!steps.empty(), "GBWT paths must be non-empty");
+    for (graph::Handle step : steps) {
+        MG_CHECK(step.valid(), "GBWT paths must use valid handles");
+        MG_CHECK(!step.isReverse(),
+                 "add forward walks only; the builder derives the reverse");
+    }
+    paths_.push_back(steps);
+    // Reverse-complement walk: flipped handles in reverse order.
+    std::vector<graph::Handle> reverse;
+    reverse.reserve(steps.size());
+    for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+        reverse.push_back(it->flip());
+    }
+    paths_.push_back(std::move(reverse));
+}
+
+Gbwt
+GbwtBuilder::build() &&
+{
+    Gbwt gbwt;
+    gbwt.numPaths_ = paths_.size();
+    if (paths_.empty()) {
+        gbwt.recordOffsets_.assign(1, 0);
+        gbwt.docOffsets_.assign(1, 0);
+        return gbwt;
+    }
+
+    // ---- Topological order of the observed path-step relation. ----
+    std::unordered_map<uint64_t, size_t> in_degree;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> succ_nodes;
+    uint64_t max_packed = 0;
+    for (const auto& path : paths_) {
+        for (size_t i = 0; i < path.size(); ++i) {
+            uint64_t v = path[i].packed();
+            max_packed = std::max(max_packed, v);
+            in_degree.try_emplace(v, 0);
+            if (i + 1 < path.size()) {
+                uint64_t w = path[i + 1].packed();
+                auto& succ = succ_nodes[v];
+                if (std::find(succ.begin(), succ.end(), w) == succ.end()) {
+                    succ.push_back(w);
+                    ++in_degree.try_emplace(w, 0).first->second;
+                }
+            }
+        }
+    }
+    std::vector<uint64_t> frontier;
+    for (const auto& [node, degree] : in_degree) {
+        if (degree == 0) {
+            frontier.push_back(node);
+        }
+    }
+    std::vector<uint64_t> topo;
+    topo.reserve(in_degree.size());
+    while (!frontier.empty()) {
+        uint64_t v = frontier.back();
+        frontier.pop_back();
+        topo.push_back(v);
+        auto it = succ_nodes.find(v);
+        if (it == succ_nodes.end()) {
+            continue;
+        }
+        for (uint64_t w : it->second) {
+            if (--in_degree[w] == 0) {
+                frontier.push_back(w);
+            }
+        }
+    }
+    MG_CHECK(topo.size() == in_degree.size(),
+             "GBWT construction requires acyclic haplotype walks");
+
+    // ---- Build visit lists in topological order. ----
+    // visits[slot] = ordered next-handle (packed; 0 = path end) per visit.
+    std::unordered_map<uint64_t, std::vector<uint64_t>> visits;
+    // docs[slot] = oriented-path id per visit (the document array that
+    // backs locate()).
+    std::unordered_map<uint64_t, std::vector<uint32_t>> docs;
+    // pending[w][v] = visits arriving at w from predecessor v, in v's order.
+    std::unordered_map<uint64_t, std::map<uint64_t,
+        std::vector<PendingVisit>>> pending;
+    // edge offset (v -> w) = group start of v's visits inside w's list.
+    std::unordered_map<uint64_t,
+        std::unordered_map<uint64_t, uint64_t>> edge_offset;
+    // starts[w] = paths beginning at w, in path order.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> starts;
+    for (uint32_t p = 0; p < paths_.size(); ++p) {
+        starts[paths_[p].front().packed()].push_back(p);
+    }
+
+    auto next_of = [&](uint32_t path, uint32_t step) -> uint64_t {
+        const auto& steps = paths_[path];
+        return step + 1 < steps.size() ? steps[step + 1].packed() : 0;
+    };
+
+    for (uint64_t w : topo) {
+        auto& list = visits[w];
+        auto& doc_list = docs[w];
+        auto emit = [&](uint32_t path, uint32_t step) {
+            uint64_t next = next_of(path, step);
+            list.push_back(next);
+            doc_list.push_back(path);
+            if (next != 0) {
+                pending[next][w].push_back(
+                    PendingVisit{path, static_cast<uint32_t>(step + 1)});
+            }
+        };
+        if (auto it = starts.find(w); it != starts.end()) {
+            for (uint32_t p : it->second) {
+                emit(p, 0);
+            }
+        }
+        if (auto it = pending.find(w); it != pending.end()) {
+            for (auto& [pred, group] : it->second) {
+                edge_offset[pred][w] = list.size();
+                for (const PendingVisit& visit : group) {
+                    emit(visit.path, visit.step);
+                }
+            }
+            pending.erase(it);
+        }
+        gbwt.totalVisits_ += list.size();
+    }
+
+    // ---- Encode records slot by slot. ----
+    size_t num_slots = max_packed + 1;
+    gbwt.recordOffsets_.assign(num_slots + 1, 0);
+    util::ByteWriter writer;
+    for (uint64_t slot = 0; slot < num_slots; ++slot) {
+        gbwt.recordOffsets_[slot] = writer.size();
+        auto vit = visits.find(slot);
+        if (vit == visits.end() || vit->second.empty()) {
+            continue;
+        }
+        const std::vector<uint64_t>& nexts = vit->second;
+
+        // Edge list: sorted distinct next handles (0 == end marker first).
+        std::vector<uint64_t> distinct(nexts);
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        std::vector<RecordEdge> edges;
+        edges.reserve(distinct.size());
+        std::unordered_map<uint64_t, uint32_t> rank_of;
+        for (uint64_t next : distinct) {
+            RecordEdge edge;
+            edge.successor = graph::Handle::fromPacked(next);
+            edge.offset = next == 0 ? 0 : edge_offset[slot][next];
+            rank_of[next] = static_cast<uint32_t>(edges.size());
+            edges.push_back(edge);
+        }
+
+        // RLE body over edge ranks.
+        std::vector<RecordRun> runs;
+        for (uint64_t next : nexts) {
+            uint32_t rank = rank_of[next];
+            if (!runs.empty() && runs.back().edgeRank == rank) {
+                ++runs.back().length;
+            } else {
+                runs.push_back(RecordRun{rank, 1});
+            }
+        }
+
+        DecodedRecord record(std::move(edges), std::move(runs),
+                             nexts.size());
+        record.encode(writer);
+    }
+    gbwt.recordOffsets_[num_slots] = writer.size();
+    gbwt.arena_ = writer.takeBytes();
+
+    // ---- Encode the document array, slot-parallel to the records. ----
+    gbwt.docOffsets_.assign(num_slots + 1, 0);
+    util::ByteWriter doc_writer;
+    for (uint64_t slot = 0; slot < num_slots; ++slot) {
+        gbwt.docOffsets_[slot] = doc_writer.size();
+        auto dit = docs.find(slot);
+        if (dit == docs.end()) {
+            continue;
+        }
+        for (uint32_t path : dit->second) {
+            doc_writer.putVarint(path);
+        }
+    }
+    gbwt.docOffsets_[num_slots] = doc_writer.size();
+    gbwt.docArena_ = doc_writer.takeBytes();
+    return gbwt;
+}
+
+} // namespace mg::gbwt

@@ -1,0 +1,165 @@
+#include "gbwt/cached_gbwt.h"
+
+#include <bit>
+
+#include "util/common.h"
+#include "util/dna.h"
+
+namespace mg::gbwt {
+
+namespace {
+
+/** Round up to a power of two, minimum 2. */
+size_t
+roundUpPow2(size_t n)
+{
+    if (n < 2) {
+        return 2;
+    }
+    return std::bit_ceil(n);
+}
+
+/** Max load factor before growth: 3/4. */
+bool
+overloaded(size_t size, size_t capacity)
+{
+    return 4 * (size + 1) > 3 * capacity;
+}
+
+} // namespace
+
+CachedGbwt::CachedGbwt(const Gbwt& gbwt, size_t initial_capacity,
+                       util::MemTracer* tracer)
+    : gbwt_(gbwt), tracer_(tracer), cachingEnabled_(initial_capacity > 0)
+{
+    if (cachingEnabled_) {
+        slots_.assign(roundUpPow2(initial_capacity), Slot{});
+        // Table initialization writes every slot; with the short per-read
+        // cache lifetime Giraffe uses, this is a real per-read cost that
+        // grows with the initial capacity.
+        util::traceAccess(tracer_, slots_.data(),
+                          static_cast<uint32_t>(std::min<size_t>(
+                              slots_.size() * sizeof(Slot), UINT32_MAX)),
+                          true);
+        util::traceWork(tracer_, slots_.size() / 4);
+    }
+}
+
+size_t
+CachedGbwt::probe(uint64_t key)
+{
+    size_t mask = slots_.size() - 1;
+    size_t index = util::hash64(key) & mask;
+    while (true) {
+        ++stats_.probes;
+        util::traceAccess(tracer_, &slots_[index], sizeof(Slot));
+        util::traceWork(tracer_, 4);
+        if (slots_[index].key == key || slots_[index].key == 0) {
+            return index;
+        }
+        index = (index + 1) & mask;
+    }
+}
+
+void
+CachedGbwt::rehash()
+{
+    ++stats_.rehashes;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+        if (slot.key == 0) {
+            continue;
+        }
+        // Reinsertion touches every old slot and a fresh table twice its
+        // size: this is the expensive growth the paper tunes away from.
+        size_t index = util::hash64(slot.key) & mask;
+        while (slots_[index].key != 0) {
+            util::traceAccess(tracer_, &slots_[index], sizeof(Slot));
+            index = (index + 1) & mask;
+        }
+        util::traceAccess(tracer_, &slots_[index], sizeof(Slot), true);
+        util::traceWork(tracer_, 8);
+        slots_[index] = slot;
+    }
+}
+
+const DecodedRecord&
+CachedGbwt::record(graph::Handle node)
+{
+    ++stats_.lookups;
+    if (!cachingEnabled_) {
+        ++stats_.decodes;
+        uncached_ = gbwt_.decodeRecord(node, tracer_);
+        return uncached_;
+    }
+    uint64_t key = node.packed() + 1;
+    size_t index = probe(key);
+    if (slots_[index].key == key) {
+        ++stats_.hits;
+        const DecodedRecord& rec = entries_[slots_[index].value];
+        // A hit still reads the decoded record's headers.
+        util::traceAccess(tracer_, &rec, sizeof(DecodedRecord));
+        return rec;
+    }
+    ++stats_.decodes;
+    if (overloaded(entries_.size(), slots_.size())) {
+        rehash();
+        index = probe(key);
+    }
+    entries_.push_back(gbwt_.decodeRecord(node, tracer_));
+    slots_[index].key = key;
+    slots_[index].value = static_cast<uint32_t>(entries_.size() - 1);
+    util::traceAccess(tracer_, &slots_[index], sizeof(Slot), true);
+    return entries_.back();
+}
+
+SearchState
+CachedGbwt::find(graph::Handle node)
+{
+    return SearchState(node, 0, record(node).numVisits());
+}
+
+SearchState
+CachedGbwt::extend(const SearchState& state, graph::Handle to)
+{
+    const DecodedRecord& rec = record(state.node);
+    util::traceWork(tracer_, rec.runs().size() + rec.edges().size());
+    return rec.extend(state, to);
+}
+
+std::vector<SearchState>
+CachedGbwt::successorStates(const SearchState& state)
+{
+    const DecodedRecord& rec = record(state.node);
+    util::traceWork(tracer_, rec.runs().size() + rec.edges().size());
+    return rec.successorStates(state);
+}
+
+uint64_t
+CachedGbwt::nodeCount(graph::Handle node)
+{
+    return record(node).numVisits();
+}
+
+size_t
+CachedGbwt::footprintBytes() const
+{
+    size_t bytes = slots_.size() * sizeof(Slot);
+    for (const DecodedRecord& rec : entries_) {
+        bytes += rec.footprintBytes();
+    }
+    return bytes;
+}
+
+void
+CachedGbwt::clear()
+{
+    entries_.clear();
+    for (Slot& slot : slots_) {
+        slot = Slot{};
+    }
+}
+
+} // namespace mg::gbwt

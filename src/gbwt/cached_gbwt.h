@@ -1,0 +1,118 @@
+/**
+ * @file
+ * CachedGBWT: the decode cache over the compressed GBWT (Section II-B).
+ * Visited node records are kept decompressed in an open-addressing hash
+ * table so repeated accesses to the same pangenome region skip the varint
+ * decode.  The table's *initial capacity* is the paper's headline tuning
+ * parameter (Figures 6-8, Table VIII): too small and the table pays
+ * repeated expensive rehash growth; too large and probes lose cache
+ * locality while the footprint crowds out the L1/L2.
+ *
+ * Each worker thread owns one CachedGbwt (as in Giraffe), so no locking is
+ * needed on the hot path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gbwt/gbwt.h"
+
+namespace mg::gbwt {
+
+/** Observability counters for tuning studies and tests. */
+struct CacheStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t decodes = 0;
+    uint64_t rehashes = 0;
+    uint64_t probes = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(lookups);
+    }
+};
+
+/**
+ * Per-thread decompression cache over an immutable Gbwt.
+ *
+ * An initial capacity of 0 disables caching entirely (every access decodes
+ * from the compressed arena), which is the "no caching structure" baseline
+ * of the paper's Figure 6.
+ */
+class CachedGbwt
+{
+  public:
+    /** Giraffe's default initial capacity (the paper's default of 256). */
+    static constexpr size_t kDefaultInitialCapacity = 256;
+
+    /**
+     * @param gbwt Backing compressed index (must outlive the cache).
+     * @param initial_capacity Initial hash-table slot count (rounded up to
+     *        a power of two); 0 disables caching.
+     * @param tracer Optional memory-access tracer for the machine model.
+     */
+    explicit CachedGbwt(const Gbwt& gbwt,
+                        size_t initial_capacity = kDefaultInitialCapacity,
+                        util::MemTracer* tracer = nullptr);
+
+    /** Record of an oriented node, decoding and caching on first touch. */
+    const DecodedRecord& record(graph::Handle node);
+
+    /** State covering all haplotype visits to a node. */
+    SearchState find(graph::Handle node);
+
+    /** One haplotype-consistent step. */
+    SearchState extend(const SearchState& state, graph::Handle to);
+
+    /** Haplotype-supported continuations of a state. */
+    std::vector<SearchState> successorStates(const SearchState& state);
+
+    /** Number of haplotypes through a node. */
+    uint64_t nodeCount(graph::Handle node);
+
+    const Gbwt& backing() const { return gbwt_; }
+    /** The attached memory tracer (null when not tracing). */
+    util::MemTracer* tracer() const { return tracer_; }
+    const CacheStats& stats() const { return stats_; }
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return slots_.size(); }
+    bool cachingEnabled() const { return cachingEnabled_; }
+
+    /** Approximate resident bytes (table plus decoded records). */
+    size_t footprintBytes() const;
+
+    /** Drop all cached records, keeping the current capacity. */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;     // handle.packed() + 1; 0 == empty
+        uint32_t value = 0;   // index into entries_
+    };
+
+    /** Find the slot holding key, or the empty slot where it belongs. */
+    size_t probe(uint64_t key);
+
+    /** Double the table and reinsert everything (the expensive growth). */
+    void rehash();
+
+    const Gbwt& gbwt_;
+    util::MemTracer* tracer_;
+    bool cachingEnabled_;
+    std::vector<Slot> slots_;
+    // Deque keeps record addresses stable across insertions and rehashes,
+    // so record() references stay valid while the cache grows.
+    std::deque<DecodedRecord> entries_;
+    DecodedRecord uncached_; // scratch when caching is disabled
+    CacheStats stats_;
+};
+
+} // namespace mg::gbwt

@@ -1,0 +1,171 @@
+#include "gbwt/gbwt.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace mg::gbwt {
+
+bool
+Gbwt::hasRecord(graph::Handle node) const
+{
+    auto [data, size] = recordSpan(node);
+    (void)data;
+    return size > 0;
+}
+
+std::pair<const uint8_t*, size_t>
+Gbwt::recordSpan(graph::Handle node) const
+{
+    uint64_t slot = node.packed();
+    if (slot + 1 >= recordOffsets_.size()) {
+        return {nullptr, 0};
+    }
+    uint64_t begin = recordOffsets_[slot];
+    uint64_t end = recordOffsets_[slot + 1];
+    return {arena_.data() + begin, end - begin};
+}
+
+DecodedRecord
+Gbwt::decodeRecord(graph::Handle node, util::MemTracer* tracer) const
+{
+    auto [data, size] = recordSpan(node);
+    if (size == 0) {
+        return DecodedRecord();
+    }
+    // The decode touches the compressed bytes sequentially; this is the
+    // access CachedGBWT exists to amortize.
+    util::traceAccess(tracer, data, static_cast<uint32_t>(size));
+    util::traceWork(tracer, size * 4);
+    util::ByteReader reader(data, size);
+    return DecodedRecord::decode(reader);
+}
+
+SearchState
+Gbwt::find(graph::Handle node, util::MemTracer* tracer) const
+{
+    DecodedRecord record = decodeRecord(node, tracer);
+    return SearchState(node, 0, record.numVisits());
+}
+
+SearchState
+Gbwt::extend(const SearchState& state, graph::Handle to,
+             util::MemTracer* tracer) const
+{
+    DecodedRecord record = decodeRecord(state.node, tracer);
+    return record.extend(state, to);
+}
+
+uint64_t
+Gbwt::nodeCount(graph::Handle node, util::MemTracer* tracer) const
+{
+    return decodeRecord(node, tracer).numVisits();
+}
+
+std::vector<uint32_t>
+Gbwt::locate(const SearchState& state) const
+{
+    std::vector<uint32_t> ids;
+    if (state.empty()) {
+        return ids;
+    }
+    uint64_t slot = state.node.packed();
+    util::require(slot + 1 < docOffsets_.size(),
+                  "locate: state references an unknown node");
+    util::ByteReader reader(docArena_.data() + docOffsets_[slot],
+                            docOffsets_[slot + 1] - docOffsets_[slot]);
+    // Visits are varint path ids in visit order; skip to the range.
+    for (uint64_t i = 0; i < state.start; ++i) {
+        reader.getVarint();
+    }
+    ids.reserve(state.size());
+    for (uint64_t i = state.start; i < state.end; ++i) {
+        ids.push_back(static_cast<uint32_t>(reader.getVarint()));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+std::vector<uint32_t>
+Gbwt::pathsThrough(const std::vector<graph::Handle>& walk) const
+{
+    if (walk.empty()) {
+        return {};
+    }
+    SearchState state = find(walk.front());
+    for (size_t i = 1; i < walk.size() && !state.empty(); ++i) {
+        state = extend(state, walk[i]);
+    }
+    return locate(state);
+}
+
+void
+Gbwt::save(util::ByteWriter& writer) const
+{
+    writer.putVarint(numPaths_);
+    writer.putVarint(totalVisits_);
+    writer.putVarint(recordOffsets_.size());
+    uint64_t prev = 0;
+    for (uint64_t offset : recordOffsets_) {
+        writer.putVarint(offset - prev);
+        prev = offset;
+    }
+    writer.putVarint(arena_.size());
+    writer.putBytes(arena_.data(), arena_.size());
+    writer.putVarint(docOffsets_.size());
+    prev = 0;
+    for (uint64_t offset : docOffsets_) {
+        writer.putVarint(offset - prev);
+        prev = offset;
+    }
+    writer.putVarint(docArena_.size());
+    writer.putBytes(docArena_.data(), docArena_.size());
+}
+
+Gbwt
+Gbwt::load(util::ByteReader& reader)
+{
+    Gbwt gbwt;
+    gbwt.numPaths_ = reader.getVarint();
+    gbwt.totalVisits_ = reader.getVarint();
+    uint64_t num_offsets = reader.getVarint();
+    util::require(num_offsets <= reader.remaining() + 1,
+                  "GBWT offset count exceeds remaining payload");
+    gbwt.recordOffsets_.reserve(num_offsets);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < num_offsets; ++i) {
+        prev += reader.getVarint();
+        gbwt.recordOffsets_.push_back(prev);
+    }
+    uint64_t arena_size = reader.getVarint();
+    util::require(arena_size <= reader.remaining(),
+                  "GBWT arena exceeds remaining payload");
+    util::require(!gbwt.recordOffsets_.empty() || arena_size == 0,
+                  "GBWT image with arena but no offsets");
+    util::require(gbwt.recordOffsets_.empty() ||
+                  gbwt.recordOffsets_.back() == arena_size,
+                  "GBWT offsets inconsistent with arena size");
+    gbwt.arena_.resize(arena_size);
+    reader.getBytes(gbwt.arena_.data(), arena_size);
+    uint64_t num_doc_offsets = reader.getVarint();
+    util::require(num_doc_offsets <= reader.remaining() + 1,
+                  "GBWT document offset count exceeds remaining payload");
+    gbwt.docOffsets_.reserve(num_doc_offsets);
+    prev = 0;
+    for (uint64_t i = 0; i < num_doc_offsets; ++i) {
+        prev += reader.getVarint();
+        gbwt.docOffsets_.push_back(prev);
+    }
+    uint64_t doc_size = reader.getVarint();
+    util::require(doc_size <= reader.remaining(),
+                  "GBWT document arena exceeds remaining payload");
+    util::require(gbwt.docOffsets_.empty() ||
+                  gbwt.docOffsets_.back() == doc_size,
+                  "GBWT document offsets inconsistent with arena size");
+    gbwt.docArena_.resize(doc_size);
+    reader.getBytes(gbwt.docArena_.data(), doc_size);
+    return gbwt;
+}
+
+} // namespace mg::gbwt

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The Graph Burrows-Wheeler Transform: a haplotype index over a variation
+ * graph (Section II-B of the paper).  Haplotype paths (both orientations)
+ * are stored as an FM-index-style structure: one record per oriented node,
+ * varint-compressed at rest in a single byte arena and decompressed on
+ * access.  "Compressed at rest, decode on demand" is the property the
+ * paper's CachedGBWT (gbwt/cached_gbwt.h) exploits and tunes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbwt/record.h"
+#include "gbwt/search_state.h"
+#include "graph/handle.h"
+#include "util/mem_tracer.h"
+#include "util/varint.h"
+
+namespace mg::gbwt {
+
+/**
+ * Immutable compressed haplotype index.  Build with GbwtBuilder.
+ *
+ * The query API mirrors the subset of the real GBWT that Giraffe's
+ * extension kernel uses: find() to open a state at a node, extend() to walk
+ * one edge haplotype-consistently, and successorStates() to enumerate the
+ * supported continuations.
+ */
+class Gbwt
+{
+  public:
+    Gbwt() = default;
+
+    /** Number of oriented-node slots (2 * numNodes + 2). */
+    size_t numSlots() const
+    {
+        return recordOffsets_.empty() ? 0 : recordOffsets_.size() - 1;
+    }
+
+    /** Number of indexed oriented paths (2x the haplotype count). */
+    uint64_t numPaths() const { return numPaths_; }
+
+    /** Total haplotype visits over all records. */
+    uint64_t totalVisits() const { return totalVisits_; }
+
+    /** Size of the compressed record arena in bytes. */
+    size_t compressedBytes() const { return arena_.size(); }
+
+    /** True iff the oriented node has at least one haplotype visit. */
+    bool hasRecord(graph::Handle node) const;
+
+    /**
+     * Decompress the record of an oriented node.  Returns an empty record
+     * for unvisited nodes.  `tracer`, when given, observes the compressed
+     * bytes read (this is the access pattern CachedGBWT exists to amortize).
+     */
+    DecodedRecord decodeRecord(graph::Handle node,
+                               util::MemTracer* tracer = nullptr) const;
+
+    /** State covering all haplotype visits to an oriented node. */
+    SearchState find(graph::Handle node,
+                     util::MemTracer* tracer = nullptr) const;
+
+    /** One haplotype-consistent step (decodes state.node's record). */
+    SearchState extend(const SearchState& state, graph::Handle to,
+                       util::MemTracer* tracer = nullptr) const;
+
+    /** Number of haplotypes through an oriented node. */
+    uint64_t nodeCount(graph::Handle node,
+                       util::MemTracer* tracer = nullptr) const;
+
+    /**
+     * locate(): the oriented-path identifiers of the visits a state
+     * covers, ascending and deduplicated.  Oriented path 2h is haplotype
+     * h forward, 2h+1 is its reverse complement (builder insertion
+     * order).  Backed by a per-node document array kept in a separate
+     * arena so the mapping hot path never touches it.
+     */
+    std::vector<uint32_t> locate(const SearchState& state) const;
+
+    /**
+     * Haplotypes (oriented-path ids) containing `walk` as a contiguous
+     * subpath: find() on the first handle, extend() along the rest,
+     * locate() the surviving range.  Empty if the walk is unsupported.
+     */
+    std::vector<uint32_t>
+    pathsThrough(const std::vector<graph::Handle>& walk) const;
+
+    /** Serialize the whole index. */
+    void save(util::ByteWriter& writer) const;
+
+    /** Deserialize; inverse of save(). */
+    static Gbwt load(util::ByteReader& reader);
+
+  private:
+    friend class GbwtBuilder;
+
+    /** Byte range of one record inside the arena. */
+    std::pair<const uint8_t*, size_t> recordSpan(graph::Handle node) const;
+
+    std::vector<uint8_t> arena_;           // concatenated compressed records
+    std::vector<uint64_t> recordOffsets_;  // slot -> arena offset (n+1 ents)
+    // Document array: per-visit oriented-path ids, varint-coded per slot,
+    // in a separate arena so locate() support costs the hot path nothing.
+    std::vector<uint8_t> docArena_;
+    std::vector<uint64_t> docOffsets_;
+    uint64_t numPaths_ = 0;
+    uint64_t totalVisits_ = 0;
+};
+
+/**
+ * Constructs a Gbwt from haplotype paths.  For every added forward path the
+ * builder also indexes its reverse complement, so haplotype-consistent
+ * search works in both walk directions (the extension kernel extends seeds
+ * leftward by walking flipped handles).
+ *
+ * Construction requires the forward graph to be a DAG (true for the bubble
+ * chain pangenomes produced by mg::sim): visit lists are finalized in
+ * topological order, giving the standard GBWT visit ordering — path starts
+ * first, then visits grouped by predecessor in handle order.
+ */
+class GbwtBuilder
+{
+  public:
+    /** Register one haplotype walk (forward handles). */
+    void addPath(const std::vector<graph::Handle>& steps);
+
+    /** Build the compressed index; the builder is consumed. */
+    Gbwt build() &&;
+
+  private:
+    std::vector<std::vector<graph::Handle>> paths_;
+};
+
+} // namespace mg::gbwt

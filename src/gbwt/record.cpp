@@ -1,0 +1,129 @@
+#include "gbwt/record.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace mg::gbwt {
+
+uint32_t
+DecodedRecord::edgeRank(graph::Handle successor) const
+{
+    // Edge lists are tiny (bubble graphs have out-degree ~2); linear scan
+    // beats binary search at this size and touches memory predictably.
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].successor == successor) {
+            return static_cast<uint32_t>(i);
+        }
+    }
+    return kNoEdge;
+}
+
+uint64_t
+DecodedRecord::countBefore(uint64_t pos, uint32_t rank) const
+{
+    uint64_t count = 0;
+    uint64_t covered = 0;
+    for (const RecordRun& run : runs_) {
+        if (covered >= pos) {
+            break;
+        }
+        uint64_t take = std::min<uint64_t>(run.length, pos - covered);
+        if (run.edgeRank == rank) {
+            count += take;
+        }
+        covered += run.length;
+    }
+    return count;
+}
+
+SearchState
+DecodedRecord::extend(const SearchState& state, graph::Handle successor) const
+{
+    MG_ASSERT(state.end <= numVisits_);
+    uint32_t rank = edgeRank(successor);
+    if (rank == kNoEdge || state.empty()) {
+        return SearchState(successor, 0, 0);
+    }
+    uint64_t base = edges_[rank].offset;
+    uint64_t lo = base + countBefore(state.start, rank);
+    uint64_t hi = base + countBefore(state.end, rank);
+    return SearchState(successor, lo, hi);
+}
+
+std::vector<SearchState>
+DecodedRecord::successorStates(const SearchState& state) const
+{
+    std::vector<SearchState> out;
+    if (state.empty()) {
+        return out;
+    }
+    for (const RecordEdge& edge : edges_) {
+        if (!edge.successor.valid()) {
+            continue; // path-end marker
+        }
+        SearchState next = extend(state, edge.successor);
+        if (!next.empty()) {
+            out.push_back(next);
+        }
+    }
+    return out;
+}
+
+size_t
+DecodedRecord::footprintBytes() const
+{
+    return sizeof(DecodedRecord) + edges_.size() * sizeof(RecordEdge) +
+           runs_.size() * sizeof(RecordRun);
+}
+
+void
+DecodedRecord::encode(util::ByteWriter& writer) const
+{
+    writer.putVarint(edges_.size());
+    uint64_t prev_packed = 0;
+    for (const RecordEdge& edge : edges_) {
+        uint64_t packed = edge.successor.packed();
+        // Edges are sorted by successor, so deltas are small non-negatives.
+        writer.putVarint(packed - prev_packed);
+        prev_packed = packed;
+        writer.putVarint(edge.offset);
+    }
+    writer.putVarint(runs_.size());
+    for (const RecordRun& run : runs_) {
+        writer.putVarint(run.edgeRank);
+        writer.putVarint(run.length);
+    }
+}
+
+DecodedRecord
+DecodedRecord::decode(util::ByteReader& reader)
+{
+    uint64_t num_edges = reader.getVarint();
+    std::vector<RecordEdge> edges;
+    edges.reserve(num_edges);
+    uint64_t packed = 0;
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        packed += reader.getVarint();
+        RecordEdge edge;
+        edge.successor = graph::Handle::fromPacked(packed);
+        edge.offset = reader.getVarint();
+        edges.push_back(edge);
+    }
+    uint64_t num_runs = reader.getVarint();
+    std::vector<RecordRun> runs;
+    runs.reserve(num_runs);
+    uint64_t visits = 0;
+    for (uint64_t i = 0; i < num_runs; ++i) {
+        RecordRun run;
+        run.edgeRank = static_cast<uint32_t>(reader.getVarint());
+        run.length = static_cast<uint32_t>(reader.getVarint());
+        util::require(run.edgeRank < num_edges || num_edges == 0,
+                      "record run references edge rank out of range");
+        visits += run.length;
+        runs.push_back(run);
+    }
+    return DecodedRecord(std::move(edges), std::move(runs), visits);
+}
+
+} // namespace mg::gbwt

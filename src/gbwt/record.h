@@ -1,0 +1,102 @@
+/**
+ * @file
+ * GBWT node records.  Each oriented node owns one record holding
+ *  (a) its outgoing edge list — successor handle plus the offset of this
+ *      node's visits inside the successor's visit list (the FM-index LF
+ *      mapping base), and
+ *  (b) a run-length encoded body: for every haplotype visit, the rank of
+ *      the outgoing edge that visit follows next.
+ *
+ * Records are stored varint-compressed in one flat byte arena (see
+ * gbwt/gbwt.h) and decompressed on access; DecodedRecord is the in-memory
+ * decoded form that CachedGBWT keeps warm (the paper's key software cache).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/handle.h"
+#include "gbwt/search_state.h"
+#include "util/varint.h"
+
+namespace mg::gbwt {
+
+/** Sentinel edge rank meaning "no such edge". */
+inline constexpr uint32_t kNoEdge = UINT32_MAX;
+
+/** One outgoing edge of a record. */
+struct RecordEdge
+{
+    /** Successor oriented node; invalid handle == path-end marker. */
+    graph::Handle successor;
+    /** Offset of this node's visits within the successor's visit list. */
+    uint64_t offset = 0;
+};
+
+/** One run of the RLE body: `length` consecutive visits taking `edgeRank`. */
+struct RecordRun
+{
+    uint32_t edgeRank = 0;
+    uint32_t length = 0;
+};
+
+/**
+ * Decoded (query-ready) form of a node record.
+ */
+class DecodedRecord
+{
+  public:
+    DecodedRecord() = default;
+    DecodedRecord(std::vector<RecordEdge> edges, std::vector<RecordRun> runs,
+                  uint64_t num_visits)
+        : edges_(std::move(edges)), runs_(std::move(runs)),
+          numVisits_(num_visits)
+    {}
+
+    bool empty() const { return numVisits_ == 0; }
+    uint64_t numVisits() const { return numVisits_; }
+    const std::vector<RecordEdge>& edges() const { return edges_; }
+    const std::vector<RecordRun>& runs() const { return runs_; }
+
+    /** Rank of the edge to `successor`, or kNoEdge. */
+    uint32_t edgeRank(graph::Handle successor) const;
+
+    /**
+     * Number of visits in body positions [0, pos) that follow edge `rank`
+     * (the FM-index rank query; linear scan over the runs, which are few
+     * for bubble-chain pangenomes).
+     */
+    uint64_t countBefore(uint64_t pos, uint32_t rank) const;
+
+    /**
+     * LF mapping: map a visit range at this node through the edge to
+     * `successor`.  Returns an empty state if the edge does not exist or no
+     * visit in the range follows it.
+     */
+    SearchState extend(const SearchState& state,
+                       graph::Handle successor) const;
+
+    /**
+     * All non-empty successor states of `state`, excluding the path-end
+     * marker — i.e. the haplotype-supported ways to keep walking.  This is
+     * the query the extension kernel issues at every graph step.
+     */
+    std::vector<SearchState> successorStates(const SearchState& state) const;
+
+    /** Approximate decoded footprint in bytes (for cache accounting). */
+    size_t footprintBytes() const;
+
+    /** Serialize into a compressed byte stream. */
+    void encode(util::ByteWriter& writer) const;
+
+    /** Inverse of encode(). */
+    static DecodedRecord decode(util::ByteReader& reader);
+
+  private:
+    std::vector<RecordEdge> edges_; // sorted by successor handle
+    std::vector<RecordRun> runs_;
+    uint64_t numVisits_ = 0;
+};
+
+} // namespace mg::gbwt

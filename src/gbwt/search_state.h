@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GBWT search states.  A state identifies a set of haplotype visits to one
+ * oriented node as a half-open range into that node's visit list, exactly
+ * like the BWT ranges of an FM index (Section II-B of the paper).  States
+ * are extended node-by-node during haplotype-consistent graph walks.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/handle.h"
+
+namespace mg::gbwt {
+
+/** A range of haplotype visits at one oriented node. */
+struct SearchState
+{
+    graph::Handle node;
+    uint64_t start = 0;
+    uint64_t end = 0;
+
+    SearchState() = default;
+    SearchState(graph::Handle n, uint64_t s, uint64_t e)
+        : node(n), start(s), end(e) {}
+
+    /** Number of haplotype visits covered. */
+    uint64_t size() const { return end > start ? end - start : 0; }
+
+    bool empty() const { return end <= start; }
+
+    friend bool operator==(const SearchState& a, const SearchState& b)
+    {
+        return a.node == b.node && a.start == b.start && a.end == b.end;
+    }
+
+    std::string
+    str() const
+    {
+        return node.str() + "[" + std::to_string(start) + "," +
+               std::to_string(end) + ")";
+    }
+};
+
+} // namespace mg::gbwt

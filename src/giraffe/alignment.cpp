@@ -1,0 +1,52 @@
+#include "giraffe/alignment.h"
+
+#include <algorithm>
+
+namespace mg::giraffe {
+
+Alignment
+postProcess(const std::string& read_name,
+            const std::vector<map::GaplessExtension>& extensions,
+            const PostProcessParams& params)
+{
+    Alignment alignment;
+    alignment.readName = read_name;
+    if (extensions.empty()) {
+        return alignment;
+    }
+
+    // Extensions arrive best-first from the mapper; keep the survivors.
+    std::vector<const map::GaplessExtension*> kept;
+    int32_t best_score = extensions.front().score;
+    double cutoff = static_cast<double>(best_score) * params.keepFraction;
+    for (const map::GaplessExtension& ext : extensions) {
+        if (static_cast<double>(ext.score) >= cutoff) {
+            kept.push_back(&ext);
+        }
+    }
+
+    const map::GaplessExtension& best = *kept.front();
+    alignment.mapped = true;
+    alignment.onReverseRead = best.onReverseRead;
+    alignment.path = best.path;
+    alignment.startOffset = best.startOffset;
+    alignment.readBegin = best.readBegin;
+    alignment.readEnd = best.readEnd;
+    alignment.mismatches =
+        static_cast<uint32_t>(best.mismatchOffsets.size());
+    alignment.score = best.score;
+
+    // MAPQ: score gap to the best competing placement, capped.  A single
+    // candidate gets the cap (unique placement).
+    int32_t runner_up = kept.size() > 1 ? kept[1]->score
+                                        : best.score - params.mapqCap;
+    int32_t gap = best.score - runner_up;
+    if (gap < 0) {
+        gap = 0;
+    }
+    alignment.mappingQuality = static_cast<uint8_t>(
+        std::min<int32_t>(gap, params.mapqCap));
+    return alignment;
+}
+
+} // namespace mg::giraffe

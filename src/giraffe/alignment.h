@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Post-processed alignments — the *parent application's* final output.
+ * Giraffe refines the raw extensions: low-scoring extensions are discarded,
+ * the best candidate becomes the alignment, and a mapping quality is
+ * assigned (Section IV-B's post-processing phase).  The proxy deliberately
+ * omits all of this (its output is the raw extensions), which is exactly
+ * the boundary the paper draws.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/handle.h"
+#include "map/extension.h"
+
+namespace mg::giraffe {
+
+/** One read's final alignment (or an unmapped marker). */
+struct Alignment
+{
+    std::string readName;
+    bool mapped = false;
+    bool onReverseRead = false;
+    /** Walk of the winning extension. */
+    std::vector<graph::Handle> path;
+    uint32_t startOffset = 0;
+    uint32_t readBegin = 0;
+    uint32_t readEnd = 0;
+    /** Mismatching bases within the aligned interval. */
+    uint32_t mismatches = 0;
+    int32_t score = 0;
+    /** Phred-scaled mapping quality in [0, 60]. */
+    uint8_t mappingQuality = 0;
+
+    uint32_t length() const { return readEnd - readBegin; }
+    uint32_t matches() const { return length() - mismatches; }
+};
+
+/** Post-processing knobs. */
+struct PostProcessParams
+{
+    /** Drop extensions scoring below best * this fraction. */
+    double keepFraction = 0.8;
+    /** MAPQ cap (Giraffe caps at 60). */
+    uint8_t mapqCap = 60;
+};
+
+/**
+ * Score, filter, and convert a read's extensions into its alignment.
+ * Deterministic: ties break on the extensions' canonical order.
+ */
+Alignment postProcess(const std::string& read_name,
+                      const std::vector<map::GaplessExtension>& extensions,
+                      const PostProcessParams& params);
+
+} // namespace mg::giraffe

@@ -1,0 +1,142 @@
+#include "giraffe/pairing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace mg::giraffe {
+
+namespace {
+
+/** Chain coordinate of an alignment's first aligned base. */
+int64_t
+alignmentCoordinate(const Alignment& alignment,
+                    const index::DistanceIndex& distance)
+{
+    MG_ASSERT(alignment.mapped && !alignment.path.empty());
+    graph::Position pos;
+    pos.handle = alignment.path.front();
+    pos.offset = alignment.startOffset;
+    return distance.chainCoordinate(pos);
+}
+
+/**
+ * Observed fragment length of a mapped pair, or -1 when the orientations
+ * are not opposite (the hallmark of one contiguous sequenced fragment).
+ */
+int64_t
+observedFragment(const Alignment& a, const Alignment& b,
+                 const index::DistanceIndex& distance)
+{
+    if (a.onReverseRead == b.onReverseRead) {
+        return -1;
+    }
+    const Alignment& forward = a.onReverseRead ? b : a;
+    const Alignment& reverse = a.onReverseRead ? a : b;
+    int64_t start = alignmentCoordinate(forward, distance);
+    int64_t end = alignmentCoordinate(reverse, distance) +
+                  static_cast<int64_t>(reverse.readEnd -
+                                       reverse.readBegin);
+    return end - start;
+}
+
+} // namespace
+
+FragmentModel
+estimateFragmentModel(const map::ReadSet& reads,
+                      const std::vector<Alignment>& alignments,
+                      const index::DistanceIndex& distance,
+                      const PairingParams& params)
+{
+    MG_CHECK(alignments.size() == reads.size(),
+             "alignments and reads disagree in length");
+    std::vector<double> fragments;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        size_t mate = reads.reads[i].mate;
+        if (mate == SIZE_MAX || mate < i) {
+            continue; // unpaired, or counted when visiting the mate
+        }
+        const Alignment& a = alignments[i];
+        const Alignment& b = alignments[mate];
+        if (!a.mapped || !b.mapped) {
+            continue;
+        }
+        int64_t fragment = observedFragment(a, b, distance);
+        // Sanity window: wildly long "fragments" are mismapped pairs and
+        // would poison the estimate.
+        if (fragment > 0 && fragment < 100000) {
+            fragments.push_back(static_cast<double>(fragment));
+        }
+    }
+
+    FragmentModel model;
+    model.samples = fragments.size();
+    if (fragments.size() < params.minModelPairs) {
+        model.mean = params.fallbackMean;
+        model.stdev = params.fallbackStdev;
+        return model;
+    }
+    // Robust estimation (median + scaled MAD): repeat-confused pairs
+    // contribute wild outliers that would poison a mean/stdev fit.
+    std::sort(fragments.begin(), fragments.end());
+    model.mean = fragments[fragments.size() / 2];
+    std::vector<double> deviations;
+    deviations.reserve(fragments.size());
+    for (double f : fragments) {
+        deviations.push_back(std::fabs(f - model.mean));
+    }
+    std::sort(deviations.begin(), deviations.end());
+    // 1.4826 * MAD estimates sigma for normally distributed inliers.
+    model.stdev = 1.4826 * deviations[deviations.size() / 2];
+    // Degenerate spread still needs a tolerance window.
+    model.stdev = std::max(model.stdev, 1.0);
+    return model;
+}
+
+std::vector<PairResult>
+pairAlignments(const map::ReadSet& reads,
+               std::vector<Alignment>& alignments,
+               const index::DistanceIndex& distance,
+               const PairingParams& params)
+{
+    FragmentModel model =
+        estimateFragmentModel(reads, alignments, distance, params);
+    double lo = model.mean - params.fragmentSigmas * model.stdev;
+    double hi = model.mean + params.fragmentSigmas * model.stdev;
+
+    std::vector<PairResult> results;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        size_t mate = reads.reads[i].mate;
+        if (mate == SIZE_MAX || mate < i) {
+            continue;
+        }
+        PairResult result;
+        result.firstRead = i;
+        result.secondRead = mate;
+        Alignment& a = alignments[i];
+        Alignment& b = alignments[mate];
+        result.bothMapped = a.mapped && b.mapped;
+        if (result.bothMapped) {
+            int64_t fragment = observedFragment(a, b, distance);
+            result.observedFragment = fragment;
+            result.properPair =
+                fragment > 0 && static_cast<double>(fragment) >= lo &&
+                static_cast<double>(fragment) <= hi;
+            if (result.properPair) {
+                auto boost = [&](Alignment& alignment) {
+                    int mapq = alignment.mappingQuality +
+                               params.properPairBonus;
+                    alignment.mappingQuality =
+                        static_cast<uint8_t>(std::min(mapq, 60));
+                };
+                boost(a);
+                boost(b);
+            }
+        }
+        results.push_back(result);
+    }
+    return results;
+}
+
+} // namespace mg::giraffe

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paired-end pairing stage.  Giraffe's paired workflow (input sets C and D
+ * of the paper) maps both mates and then checks that the two placements
+ * are consistent with one sequenced fragment: opposite strands, correct
+ * ordering, and a plausible fragment length.  Consistent pairs gain
+ * mapping confidence; inconsistent ones are flagged so downstream tools
+ * can rescue or discard them.
+ *
+ * The fragment-length model is estimated from the confidently mapped
+ * pairs themselves (as Giraffe does on the fly), using the distance
+ * index's chain coordinates for the graph distance between mates.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "giraffe/alignment.h"
+#include "index/distance.h"
+#include "map/read.h"
+
+namespace mg::giraffe {
+
+/** Pairing knobs. */
+struct PairingParams
+{
+    /** Accept fragment lengths within this many standard deviations. */
+    double fragmentSigmas = 4.0;
+    /** Minimum confident pairs needed to estimate the fragment model. */
+    size_t minModelPairs = 16;
+    /** Fallback fragment mean/stdev when estimation lacks data. */
+    double fallbackMean = 400.0;
+    double fallbackStdev = 80.0;
+    /** MAPQ bonus applied to properly paired alignments (capped at 60). */
+    int properPairBonus = 10;
+};
+
+/** Pairing verdict for one read pair. */
+struct PairResult
+{
+    size_t firstRead = 0;
+    size_t secondRead = 0;
+    bool bothMapped = false;
+    bool properPair = false;
+    /** Signed graph distance between the mates' start coordinates. */
+    int64_t observedFragment = 0;
+};
+
+/** Estimated fragment-length distribution. */
+struct FragmentModel
+{
+    double mean = 0.0;
+    double stdev = 0.0;
+    size_t samples = 0;
+};
+
+/**
+ * Estimate the fragment-length model from mapped pairs (strand-consistent
+ * placements only).  Falls back to the configured prior when fewer than
+ * minModelPairs samples are available.
+ */
+FragmentModel estimateFragmentModel(
+    const map::ReadSet& reads, const std::vector<Alignment>& alignments,
+    const index::DistanceIndex& distance, const PairingParams& params);
+
+/**
+ * Pair up mates: evaluates every (i, mate(i)) pair once, marks proper
+ * pairs, and applies the MAPQ bonus to both mates of proper pairs
+ * in `alignments`.
+ */
+std::vector<PairResult> pairAlignments(
+    const map::ReadSet& reads, std::vector<Alignment>& alignments,
+    const index::DistanceIndex& distance, const PairingParams& params);
+
+} // namespace mg::giraffe

@@ -1,0 +1,131 @@
+#include "giraffe/parent.h"
+
+#include <mutex>
+
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace mg::giraffe {
+
+ParentEmulator::ParentEmulator(const graph::VariationGraph& graph,
+                               const gbwt::Gbwt& gbwt,
+                               const index::MinimizerIndex& minimizers,
+                               const index::DistanceIndex& distance,
+                               ParentParams params)
+    : graph_(graph), gbwt_(gbwt), minimizers_(minimizers),
+      distance_(distance), params_(params),
+      mapper_(graph, gbwt, minimizers, distance, params.mapper)
+{}
+
+ParentOutputs
+ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
+                    util::MemTracer* tracer) const
+{
+    ParentOutputs outputs;
+    const size_t n = reads.size();
+    outputs.alignments.resize(n);
+    outputs.extensions.resize(n);
+
+    // Region ids (cheap to look up even when profiling is off).
+    perf::RegionId region_score = 0;
+    perf::RegionId region_align = 0;
+    map::Mapper mapper = mapper_; // local copy to bind the profiler
+    if (profiler) {
+        mapper.bindProfiler(*profiler);
+        region_score = profiler->regionId(perf::regions::kScoreExtensions);
+        region_align = profiler->regionId(perf::regions::kAlign);
+    }
+
+    MG_CHECK(tracer == nullptr || params_.numThreads == 1,
+             "memory tracing requires a single-threaded run");
+
+    // Lazily created per-thread state; the scheduler guarantees a dense
+    // thread index below numThreads.
+    std::vector<std::unique_ptr<map::MapperState>> states(
+        params_.numThreads);
+    std::mutex state_mutex;
+    auto thread_state = [&](size_t thread) -> map::MapperState& {
+        MG_ASSERT(thread < states.size());
+        if (!states[thread]) {
+            std::lock_guard<std::mutex> lock(state_mutex);
+            if (!states[thread]) {
+                auto state = mapper.makeState(tracer);
+                if (profiler) {
+                    state->log = profiler->registerThread(thread);
+                }
+                states[thread] = std::move(state);
+            }
+        }
+        return *states[thread];
+    };
+
+    util::WallTimer timer;
+    auto scheduler = sched::makeScheduler(params_.scheduler);
+    scheduler->run(n, params_.batchSize, params_.numThreads,
+                   [&](size_t thread, size_t begin, size_t end) {
+        map::MapperState& state = thread_state(thread);
+        for (size_t i = begin; i < end; ++i) {
+            const map::Read& read = reads.reads[i];
+            // Preprocessing + critical functions (instrumented inside).
+            map::MapResult result = mapper.mapRead(read, state);
+
+            // Post-processing: score/filter extensions, emit alignment.
+            {
+                perf::ScopedRegion region(state.log, region_score);
+                outputs.extensions[i].readName = read.name;
+                outputs.extensions[i].extensions = result.extensions;
+            }
+            {
+                perf::ScopedRegion region(state.log, region_align);
+                outputs.alignments[i] =
+                    postProcess(read.name, result.extensions, params_.post);
+            }
+        }
+    });
+
+    // Paired-end workflow: the pairing stage runs after both mates of
+    // every fragment are mapped (input sets C and D of the paper), and
+    // mate rescue re-places the weak mate of non-proper pairs.
+    if (reads.pairedEnd) {
+        outputs.pairs = pairAlignments(reads, outputs.alignments,
+                                       distance_, params_.pairing);
+        if (params_.mateRescue) {
+            outputs.rescue = rescuePairs(
+                mapper, minimizers_, distance_, reads, outputs.alignments,
+                outputs.pairs, thread_state(0), params_.pairing,
+                params_.post, params_.rescue);
+        }
+    }
+    outputs.wallSeconds = timer.seconds();
+
+    for (const auto& state : states) {
+        if (!state) {
+            continue;
+        }
+        const gbwt::CacheStats stats = state->totalStats();
+        outputs.cacheStats.lookups += stats.lookups;
+        outputs.cacheStats.hits += stats.hits;
+        outputs.cacheStats.decodes += stats.decodes;
+        outputs.cacheStats.rehashes += stats.rehashes;
+        outputs.cacheStats.probes += stats.probes;
+    }
+    return outputs;
+}
+
+io::SeedCapture
+ParentEmulator::capturePreprocessing(const map::ReadSet& reads) const
+{
+    io::SeedCapture capture;
+    capture.pairedEnd = reads.pairedEnd;
+    capture.entries.reserve(reads.size());
+    for (const map::Read& read : reads.reads) {
+        io::ReadWithSeeds entry;
+        entry.read = read;
+        entry.seeds =
+            map::findSeeds(minimizers_, read, params_.mapper.seeding);
+        capture.entries.push_back(std::move(entry));
+    }
+    return capture;
+}
+
+} // namespace mg::giraffe

@@ -1,0 +1,84 @@
+#include "giraffe/proxy.h"
+
+#include <mutex>
+
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace mg::giraffe {
+
+ProxyRunner::ProxyRunner(const graph::VariationGraph& graph,
+                         const gbwt::Gbwt& gbwt,
+                         const index::DistanceIndex& distance,
+                         ProxyParams params)
+    : graph_(graph), gbwt_(gbwt), distance_(distance), params_(params),
+      mapper_(graph, gbwt, emptyMinimizers_, distance, params.mapper)
+{}
+
+ProxyOutputs
+ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
+                 util::MemTracer* tracer) const
+{
+    ProxyOutputs outputs;
+    const size_t n = capture.entries.size();
+    outputs.extensions.resize(n);
+    outputs.readsMapped = n;
+
+    map::Mapper mapper = mapper_;
+    if (profiler) {
+        mapper.bindProfiler(*profiler);
+    }
+    MG_CHECK(tracer == nullptr || params_.numThreads == 1,
+             "memory tracing requires a single-threaded run");
+
+    std::vector<std::unique_ptr<map::MapperState>> states(
+        params_.numThreads);
+    std::mutex state_mutex;
+    auto thread_state = [&](size_t thread) -> map::MapperState& {
+        MG_ASSERT(thread < states.size());
+        if (!states[thread]) {
+            std::lock_guard<std::mutex> lock(state_mutex);
+            if (!states[thread]) {
+                auto state = mapper.makeState(tracer);
+                if (profiler) {
+                    state->log = profiler->registerThread(thread);
+                }
+                states[thread] = std::move(state);
+            }
+        }
+        return *states[thread];
+    };
+
+    // The mapping loop: nested iteration over reads and their seeds, the
+    // outer loop parallelized by the selected scheduler (Section V).
+    util::WallTimer timer;
+    auto scheduler = sched::makeScheduler(params_.scheduler);
+    scheduler->run(n, params_.batchSize, params_.numThreads,
+                   [&](size_t thread, size_t begin, size_t end) {
+        map::MapperState& state = thread_state(thread);
+        for (size_t i = begin; i < end; ++i) {
+            const io::ReadWithSeeds& entry = capture.entries[i];
+            map::MapResult result =
+                mapper.mapFromSeeds(entry.read, entry.seeds, state);
+            outputs.extensions[i].readName = entry.read.name;
+            outputs.extensions[i].extensions =
+                std::move(result.extensions);
+        }
+    });
+    outputs.wallSeconds = timer.seconds();
+
+    for (const auto& state : states) {
+        if (!state) {
+            continue;
+        }
+        const gbwt::CacheStats stats = state->totalStats();
+        outputs.cacheStats.lookups += stats.lookups;
+        outputs.cacheStats.hits += stats.hits;
+        outputs.cacheStats.decodes += stats.decodes;
+        outputs.cacheStats.rehashes += stats.rehashes;
+        outputs.cacheStats.probes += stats.probes;
+    }
+    return outputs;
+}
+
+} // namespace mg::giraffe

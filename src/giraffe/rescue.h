@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Mate rescue.  When one mate of a fragment maps confidently and the
+ * other is unmapped — or mapped somewhere fragment-inconsistent (a repeat
+ * placement, say) — Giraffe re-examines the weak mate *near its anchor*:
+ * seeds are restricted to the window a plausible fragment allows, and the
+ * restricted placement replaces the original when it completes a proper
+ * pair.  This recovers pairs that global best-score mapping loses to
+ * repeat ambiguity.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "giraffe/alignment.h"
+#include "giraffe/pairing.h"
+#include "index/minimizer.h"
+#include "map/mapper.h"
+
+namespace mg::giraffe {
+
+/** Rescue knobs. */
+struct RescueParams
+{
+    /** Seed-window half-width: fragment mean + this many stdevs. */
+    double windowSigmas = 6.0;
+    /** Give up if more seeds than this survive the window filter. */
+    size_t maxWindowSeeds = 256;
+};
+
+/** Outcome counters. */
+struct RescueStats
+{
+    size_t attempted = 0;
+    size_t rescued = 0;
+};
+
+/**
+ * Attempt rescue for every non-proper pair.  `alignments` and `pairs`
+ * are updated in place (rescued mates get their new placement, pairs are
+ * re-marked proper, and the proper-pair MAPQ bonus is applied).
+ */
+RescueStats rescuePairs(const map::Mapper& mapper,
+                        const index::MinimizerIndex& minimizers,
+                        const index::DistanceIndex& distance,
+                        const map::ReadSet& reads,
+                        std::vector<Alignment>& alignments,
+                        std::vector<PairResult>& pairs,
+                        map::MapperState& state,
+                        const PairingParams& pairing,
+                        const PostProcessParams& post,
+                        const RescueParams& params = RescueParams());
+
+} // namespace mg::giraffe

@@ -1,0 +1,19 @@
+#include "graph/handle.h"
+
+#include "util/common.h"
+
+namespace mg::graph {
+
+std::string
+Handle::str() const
+{
+    return std::to_string(id()) + (isReverse() ? "-" : "+");
+}
+
+std::string
+Position::str() const
+{
+    return handle.str() + ":" + std::to_string(offset);
+}
+
+} // namespace mg::graph

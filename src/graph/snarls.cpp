@@ -1,0 +1,198 @@
+#include "graph/snarls.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/common.h"
+
+namespace mg::graph {
+
+namespace {
+
+/** Saturating add/multiply for walk counting. */
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    constexpr uint64_t kCap = 1ull << 62;
+    uint64_t sum = a + b;
+    return sum > kCap || sum < a ? kCap : sum;
+}
+
+/**
+ * Try to grow the minimal superbubble starting at `source` using the
+ * advancing-frontier validator (Onodera et al.): push a node once all of
+ * its predecessors are inside; succeed when the frontier collapses to a
+ * single node with nothing else pending.
+ */
+bool
+detectFrom(const VariationGraph& graph, NodeId source, Snarl& out)
+{
+    constexpr size_t kMaxRegion = 100000;
+
+    std::unordered_set<NodeId> seen;     // discovered (incl. frontier)
+    std::unordered_set<NodeId> visited;  // fully processed
+    std::vector<NodeId> stack = {source};
+    seen.insert(source);
+
+    while (!stack.empty()) {
+        NodeId v = stack.back();
+        stack.pop_back();
+        visited.insert(v);
+        if (visited.size() > kMaxRegion) {
+            return false;
+        }
+
+        const auto& successors = graph.successors(Handle(v, false));
+        if (successors.empty()) {
+            return false; // walk can leave through a tip
+        }
+        for (Handle succ_handle : successors) {
+            NodeId u = succ_handle.id();
+            if (u == source) {
+                return false; // cycle back to the entrance
+            }
+            seen.insert(u);
+            // u becomes pushable once every predecessor is processed.
+            bool ready = true;
+            for (Handle pred : graph.predecessors(Handle(u, false))) {
+                if (!visited.count(pred.id())) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready && u != source) {
+                stack.push_back(u);
+            }
+        }
+
+        // Exit test: exactly one discovered-but-unprocessed node left and
+        // nothing pending on the stack beyond it.
+        if (stack.size() == 1 && seen.size() == visited.size() + 1 &&
+            stack.front() != source) {
+            NodeId sink = stack.front();
+            if (visited.size() < 2) {
+                return false; // no interior: a plain edge, not a snarl
+            }
+            out.source = source;
+            out.sink = sink;
+            out.interior.clear();
+            for (NodeId node : visited) {
+                if (node != source) {
+                    out.interior.push_back(node);
+                }
+            }
+            std::sort(out.interior.begin(), out.interior.end());
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Walk-count and walk-length DP over one snarl's interior. */
+void
+analyzeWalks(const VariationGraph& graph, Snarl& snarl,
+             const std::vector<size_t>& topo_rank)
+{
+    // Order source + interior topologically; DP forward to the sink.
+    std::vector<NodeId> order = snarl.interior;
+    order.push_back(snarl.source);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return topo_rank[a] < topo_rank[b];
+    });
+
+    std::unordered_map<NodeId, uint64_t> walks;
+    std::unordered_map<NodeId, uint64_t> min_bases;
+    std::unordered_map<NodeId, uint64_t> max_bases;
+    walks[snarl.source] = 1;
+    min_bases[snarl.source] = 0;
+    max_bases[snarl.source] = 0;
+
+    std::unordered_set<NodeId> inside(snarl.interior.begin(),
+                                      snarl.interior.end());
+
+    uint64_t sink_walks = 0;
+    uint64_t sink_min = UINT64_MAX;
+    uint64_t sink_max = 0;
+    for (NodeId v : order) {
+        uint64_t v_walks = walks[v];
+        if (v_walks == 0) {
+            continue;
+        }
+        uint64_t exit_min = min_bases[v];
+        uint64_t exit_max = max_bases[v];
+        if (v != snarl.source) {
+            exit_min += graph.length(v);
+            exit_max += graph.length(v);
+        }
+        for (Handle succ : graph.successors(Handle(v, false))) {
+            NodeId u = succ.id();
+            if (u == snarl.sink) {
+                sink_walks = satAdd(sink_walks, v_walks);
+                sink_min = std::min(sink_min, exit_min);
+                sink_max = std::max(sink_max, exit_max);
+            } else if (inside.count(u)) {
+                uint64_t& u_walks = walks[u];
+                u_walks = satAdd(u_walks, v_walks);
+                auto [mit, created] = min_bases.try_emplace(u, exit_min);
+                if (!created) {
+                    mit->second = std::min(mit->second, exit_min);
+                }
+                uint64_t& u_max = max_bases[u];
+                u_max = std::max(u_max, exit_max);
+            }
+        }
+    }
+    snarl.walkCount = sink_walks;
+    snarl.minWalkBases = sink_min == UINT64_MAX ? 0 : sink_min;
+    snarl.maxWalkBases = sink_max;
+}
+
+} // namespace
+
+std::vector<Snarl>
+decomposeSnarls(const VariationGraph& graph)
+{
+    std::vector<NodeId> topo = graph.topologicalOrder();
+    std::vector<size_t> topo_rank(graph.numNodes() + 1, 0);
+    for (size_t i = 0; i < topo.size(); ++i) {
+        topo_rank[topo[i]] = i;
+    }
+
+    std::vector<Snarl> snarls;
+    for (NodeId source : topo) {
+        if (graph.successors(Handle(source, false)).size() < 2) {
+            continue; // a snarl entrance must branch
+        }
+        Snarl snarl;
+        if (detectFrom(graph, source, snarl)) {
+            analyzeWalks(graph, snarl, topo_rank);
+            snarls.push_back(std::move(snarl));
+        }
+    }
+    return snarls;
+}
+
+SnarlStats
+summarizeSnarls(const std::vector<Snarl>& snarls)
+{
+    SnarlStats stats;
+    stats.snarls = snarls.size();
+    size_t interior_total = 0;
+    for (const Snarl& snarl : snarls) {
+        if (snarl.isSimpleBubble()) {
+            ++stats.simpleBubbles;
+        }
+        stats.maxInterior = std::max(stats.maxInterior,
+                                     snarl.interior.size());
+        stats.maxWalks = std::max(stats.maxWalks, snarl.walkCount);
+        interior_total += snarl.interior.size();
+    }
+    if (!snarls.empty()) {
+        stats.meanInterior = static_cast<double>(interior_total) /
+                             static_cast<double>(snarls.size());
+    }
+    return stats;
+}
+
+} // namespace mg::graph

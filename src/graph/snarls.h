@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Snarl (superbubble) decomposition of the variation graph.  A snarl is a
+ * minimal subgraph between a source and a sink node such that every walk
+ * entering at the source leaves at the sink — the graph-native notion of
+ * a variant site.  vg's distance index and Giraffe's clustering are built
+ * on the snarl tree; here the decomposition backs structural statistics
+ * (variant-site census, bubble depth) and validation of the generator's
+ * bubble-chain claims, using the classic superbubble algorithm for DAGs
+ * (candidate exit = the unique common descendant frontier collapse).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/variation_graph.h"
+
+namespace mg::graph {
+
+/** One snarl (superbubble) of the forward DAG. */
+struct Snarl
+{
+    NodeId source = kInvalidNodeId;
+    NodeId sink = kInvalidNodeId;
+    /** Interior nodes (source/sink excluded). */
+    std::vector<NodeId> interior;
+    /** Number of distinct source->sink walks through the snarl. */
+    uint64_t walkCount = 0;
+    /** Minimum and maximum interior walk length in bases. */
+    uint64_t minWalkBases = 0;
+    uint64_t maxWalkBases = 0;
+
+    /** Simple bubble: exactly two parallel branches (e.g. a SNP site). */
+    bool
+    isSimpleBubble() const
+    {
+        return walkCount == 2;
+    }
+};
+
+/**
+ * Find all minimal snarls of the forward DAG.  The graph must be acyclic
+ * in forward orientation (as every generated pangenome is); throws
+ * mg::util::Error otherwise.  Returned snarls are ordered by topological
+ * position of their source and do not overlap except by nesting.
+ */
+std::vector<Snarl> decomposeSnarls(const VariationGraph& graph);
+
+/** Aggregate statistics over a decomposition. */
+struct SnarlStats
+{
+    size_t snarls = 0;
+    size_t simpleBubbles = 0;
+    size_t maxInterior = 0;
+    uint64_t maxWalks = 0;
+    double meanInterior = 0.0;
+};
+
+SnarlStats summarizeSnarls(const std::vector<Snarl>& snarls);
+
+} // namespace mg::graph

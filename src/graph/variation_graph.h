@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The variation graph: a bidirected sequence graph whose nodes carry DNA
+ * sequences and whose paths record haplotypes (Section II-A of the paper).
+ * This is the reference data structure everything else is built on: the
+ * GBWT indexes its haplotype paths, the minimizer index is built from those
+ * paths, and the mapping kernel walks its edges.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/handle.h"
+#include "util/dna.h"
+
+namespace mg::graph {
+
+/** A named haplotype: a walk through the graph. */
+struct PathEntry
+{
+    std::string name;
+    std::vector<Handle> steps;
+};
+
+/**
+ * In-memory variation graph with dense 1-based node ids.
+ *
+ * Edges connect oriented handles; adding (a -> b) implicitly creates the
+ * reverse-strand edge (flip(b) -> flip(a)), so traversal is symmetric on
+ * both strands.  The generated pangenomes in this repository are acyclic in
+ * forward orientation (bubble chains), which topologicalOrder() exploits;
+ * the structure itself does not require acyclicity.
+ */
+class VariationGraph
+{
+  public:
+    /** Add a node with the given (non-empty, ACGT) sequence. */
+    NodeId addNode(std::string sequence);
+
+    /** Add an edge between oriented handles (idempotent). */
+    void addEdge(Handle from, Handle to);
+
+    /** Register a named haplotype path; steps must be adjacent via edges. */
+    void addPath(std::string name, std::vector<Handle> steps);
+
+    size_t numNodes() const { return sequences_.size(); }
+    size_t numEdges() const { return numEdges_; }
+    size_t numPaths() const { return paths_.size(); }
+
+    bool hasNode(NodeId id) const
+    {
+        return id >= 1 && id <= sequences_.size();
+    }
+
+    /** Length of a node's sequence. */
+    size_t length(NodeId id) const { return sequenceView(id).size(); }
+
+    /** Forward-strand sequence of a node. */
+    std::string_view sequenceView(NodeId id) const;
+
+    /** Sequence of an oriented handle (reverse complemented if needed). */
+    std::string sequence(Handle handle) const;
+
+    /**
+     * Single base of an oriented handle at the given offset, without
+     * materializing a reverse-complement string (extension hot path).
+     */
+    char
+    base(Handle handle, size_t offset) const
+    {
+        std::string_view seq = sequenceView(handle.id());
+        if (!handle.isReverse()) {
+            return seq[offset];
+        }
+        return util::complementBase(seq[seq.size() - 1 - offset]);
+    }
+
+    /** Outgoing neighbors of an oriented handle. */
+    const std::vector<Handle>& successors(Handle handle) const;
+
+    /** Incoming neighbors (== successors of the flipped handle, flipped). */
+    std::vector<Handle> predecessors(Handle handle) const;
+
+    /** True iff the edge (from -> to) exists. */
+    bool hasEdge(Handle from, Handle to) const;
+
+    const std::vector<PathEntry>& paths() const { return paths_; }
+    const PathEntry& path(size_t index) const { return paths_.at(index); }
+
+    /** Concatenated sequence spelled by a sequence of handles. */
+    std::string pathSequence(const std::vector<Handle>& steps) const;
+
+    /** Total bases across all nodes. */
+    size_t totalSequenceLength() const { return totalSequence_; }
+
+    /**
+     * Topological order of node ids considering forward-strand edges only.
+     * Throws mg::util::Error if the forward graph has a cycle.
+     */
+    std::vector<NodeId> topologicalOrder() const;
+
+    /**
+     * Structural validation: edges reference existing nodes, paths follow
+     * edges, sequences are non-empty DNA.  Throws on violation.
+     */
+    void validate() const;
+
+  private:
+    std::vector<std::string> sequences_;           // node id - 1 -> sequence
+    std::vector<std::vector<Handle>> adjacency_;   // handle.packed() -> succ
+    std::vector<PathEntry> paths_;
+    size_t numEdges_ = 0;
+    size_t totalSequence_ = 0;
+};
+
+} // namespace mg::graph

@@ -1,0 +1,103 @@
+#include "index/distance.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "util/common.h"
+
+namespace mg::index {
+
+DistanceIndex::DistanceIndex(const graph::VariationGraph& graph)
+{
+    const size_t n = graph.numNodes();
+    minFromSource_.assign(n, INT64_MAX);
+    maxFromSource_.assign(n, 0);
+    for (graph::NodeId id : graph.topologicalOrder()) {
+        graph::Handle handle(id, false);
+        if (minFromSource_[id - 1] == INT64_MAX) {
+            minFromSource_[id - 1] = 0; // source node
+        }
+        int64_t out_min = minFromSource_[id - 1] +
+                          static_cast<int64_t>(graph.length(id));
+        int64_t out_max = maxFromSource_[id - 1] +
+                          static_cast<int64_t>(graph.length(id));
+        for (graph::Handle succ : graph.successors(handle)) {
+            int64_t& succ_min = minFromSource_[succ.id() - 1];
+            succ_min = std::min(succ_min == INT64_MAX ? out_min : succ_min,
+                                out_min);
+            int64_t& succ_max = maxFromSource_[succ.id() - 1];
+            succ_max = std::max(succ_max, out_max);
+        }
+    }
+}
+
+int64_t
+DistanceIndex::chainCoordinate(const graph::Position& pos) const
+{
+    graph::NodeId id = pos.handle.id();
+    MG_ASSERT(id >= 1 && id <= minFromSource_.size());
+    MG_ASSERT(!pos.handle.isReverse());
+    return minFromSource_[id - 1] + static_cast<int64_t>(pos.offset);
+}
+
+int64_t
+DistanceIndex::estimatedDistance(const graph::Position& a,
+                                 const graph::Position& b) const
+{
+    return chainCoordinate(b) - chainCoordinate(a);
+}
+
+int64_t
+DistanceIndex::minDistance(const graph::VariationGraph& graph,
+                           const graph::Position& a, const graph::Position& b,
+                           int64_t cap) const
+{
+    MG_ASSERT(!a.handle.isReverse() && !b.handle.isReverse());
+    if (a.handle == b.handle && b.offset >= a.offset) {
+        return static_cast<int64_t>(b.offset) -
+               static_cast<int64_t>(a.offset);
+    }
+    // Dijkstra over nodes: dist[v] = bases between position a and the start
+    // of node v along the best walk.
+    int64_t from_a_to_node_end =
+        static_cast<int64_t>(graph.length(a.handle.id())) -
+        static_cast<int64_t>(a.offset);
+    using Item = std::pair<int64_t, uint64_t>; // (distance, handle packed)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    std::unordered_map<uint64_t, int64_t> dist;
+    for (graph::Handle succ : graph.successors(a.handle)) {
+        if (from_a_to_node_end <= cap) {
+            dist[succ.packed()] = from_a_to_node_end;
+            queue.emplace(from_a_to_node_end, succ.packed());
+        }
+    }
+    while (!queue.empty()) {
+        auto [d, packed] = queue.top();
+        queue.pop();
+        graph::Handle handle = graph::Handle::fromPacked(packed);
+        auto it = dist.find(packed);
+        if (it != dist.end() && it->second < d) {
+            continue; // stale entry
+        }
+        if (handle == b.handle) {
+            // d is the walk-index distance from base a to this node's first
+            // base; add b's offset within the node.
+            return d + static_cast<int64_t>(b.offset);
+        }
+        int64_t next = d + static_cast<int64_t>(graph.length(handle.id()));
+        if (next > cap) {
+            continue;
+        }
+        for (graph::Handle succ : graph.successors(handle)) {
+            auto [sit, inserted] = dist.try_emplace(succ.packed(), next);
+            if (inserted || next < sit->second) {
+                sit->second = next;
+                queue.emplace(next, succ.packed());
+            }
+        }
+    }
+    return kUnreachable;
+}
+
+} // namespace mg::index

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Distance index (Section II-B).  Giraffe's distance index answers
+ * minimum-graph-distance queries between seed positions so the clusterer
+ * can group seeds that plausibly come from the same placement of a read.
+ *
+ * Our pangenomes are acyclic in forward orientation (bubble chains), which
+ * permits a compact formulation:
+ *  - a *chain coordinate* per node (minimum base distance from any source),
+ *    computed by one topological DP, giving an O(1) distance estimate used
+ *    by the clusterer, and
+ *  - an exact bounded Dijkstra oracle used for verification and for
+ *    tie-breaking in tests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/handle.h"
+#include "graph/variation_graph.h"
+
+namespace mg::index {
+
+/** Returned when two positions are unreachable within the query cap. */
+inline constexpr int64_t kUnreachable = INT64_MAX;
+
+/**
+ * Precomputed distance information over the forward DAG of a variation
+ * graph.
+ */
+class DistanceIndex
+{
+  public:
+    DistanceIndex() = default;
+
+    /** Preprocess the graph (one topological sweep). */
+    explicit DistanceIndex(const graph::VariationGraph& graph);
+
+    /**
+     * Chain coordinate of a forward position: minimum distance in bases
+     * from any graph source to this exact base.  Two positions on the same
+     * placement of a read have coordinates that differ by approximately
+     * their read-offset difference, which is what the clusterer keys on.
+     */
+    int64_t chainCoordinate(const graph::Position& pos) const;
+
+    /**
+     * Estimated minimum distance from position a to position b (signed:
+     * negative if b's coordinate precedes a's).  Exact on a single chain;
+     * within one bubble's detour length otherwise.
+     */
+    int64_t estimatedDistance(const graph::Position& a,
+                              const graph::Position& b) const;
+
+    /**
+     * Exact minimum walk-index distance from a to b along forward edges:
+     * the number of bases stepped when walking from base a to base b
+     * (0 for a == b, 1 if b immediately follows a), or kUnreachable if no
+     * walk within the cap exists.  Consistent with chainCoordinate: on a
+     * common shortest walk, minDistance == coordinate(b) - coordinate(a).
+     */
+    int64_t minDistance(const graph::VariationGraph& graph,
+                        const graph::Position& a, const graph::Position& b,
+                        int64_t cap) const;
+
+    size_t numNodes() const { return minFromSource_.size(); }
+
+  private:
+    std::vector<int64_t> minFromSource_; // node id - 1 -> min prefix bases
+    std::vector<int64_t> maxFromSource_; // node id - 1 -> max prefix bases
+};
+
+} // namespace mg::index

@@ -1,0 +1,137 @@
+#include "index/minimizer.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/common.h"
+#include "util/dna.h"
+
+namespace mg::index {
+
+std::vector<Minimizer>
+minimizersOf(std::string_view sequence, const MinimizerParams& params)
+{
+    const int k = params.k;
+    const int w = params.w;
+    MG_ASSERT(k >= 1 && k <= 32);
+    MG_ASSERT(w >= 1);
+
+    std::vector<Minimizer> out;
+    if (static_cast<int>(sequence.size()) < k) {
+        return out;
+    }
+    // Rolling 2-bit packed k-mer and its hash per position.
+    const uint64_t mask =
+        k == 32 ? ~uint64_t{0} : ((uint64_t{1} << (2 * k)) - 1);
+    uint64_t packed = 0;
+    // Monotonic deque of (hash, offset) candidates; the front is the
+    // minimum of the current window of w consecutive k-mers.
+    std::deque<Minimizer> window;
+    uint32_t last_emitted = UINT32_MAX;
+
+    for (size_t i = 0; i < sequence.size(); ++i) {
+        uint8_t code = util::baseCode(sequence[i]);
+        MG_ASSERT(code != 0xff);
+        packed = ((packed << 2) | code) & mask;
+        if (i + 1 < static_cast<size_t>(k)) {
+            continue;
+        }
+        // The k-mer ending at i starts at this offset.
+        uint32_t offset = static_cast<uint32_t>(i + 1 - k);
+        uint64_t hash = util::hash64(packed);
+        while (!window.empty() && window.back().hash > hash) {
+            window.pop_back();
+        }
+        window.push_back(Minimizer{hash, offset});
+        // Evict candidates left of the window [offset - w + 1, offset].
+        while (offset >= static_cast<uint32_t>(w) &&
+               window.front().offset <= offset - w) {
+            window.pop_front();
+        }
+        // Once the first full window has formed, emit its minimum.
+        if (offset + 1 >= static_cast<uint32_t>(w)) {
+            const Minimizer& min = window.front();
+            if (min.offset != last_emitted) {
+                out.push_back(min);
+                last_emitted = min.offset;
+            }
+        }
+    }
+    return out;
+}
+
+MinimizerIndex::MinimizerIndex(const graph::VariationGraph& graph,
+                               const MinimizerParams& params)
+    : params_(params)
+{
+    // Collect (hash, position) pairs from every haplotype path.
+    std::vector<std::pair<uint64_t, graph::Position>> entries;
+    for (const graph::PathEntry& path : graph.paths()) {
+        std::string seq = graph.pathSequence(path.steps);
+        // Cumulative start offset of each step inside the path sequence.
+        std::vector<size_t> step_starts(path.steps.size() + 1, 0);
+        for (size_t s = 0; s < path.steps.size(); ++s) {
+            step_starts[s + 1] =
+                step_starts[s] + graph.length(path.steps[s].id());
+        }
+        for (const Minimizer& min : minimizersOf(seq, params_)) {
+            // Locate the step containing this offset.
+            auto it = std::upper_bound(step_starts.begin(), step_starts.end(),
+                                       static_cast<size_t>(min.offset));
+            size_t step = static_cast<size_t>(it - step_starts.begin()) - 1;
+            graph::Position pos;
+            pos.handle = path.steps[step];
+            pos.offset = static_cast<uint32_t>(min.offset -
+                                               step_starts[step]);
+            entries.emplace_back(min.hash, pos);
+        }
+    }
+
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first) {
+                      return a.first < b.first;
+                  }
+                  return a.second < b.second;
+              });
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const auto& a, const auto& b) {
+                                  return a.first == b.first &&
+                                         a.second == b.second;
+                              }),
+                  entries.end());
+
+    // Flatten, applying the repeat filter per key.
+    size_t i = 0;
+    while (i < entries.size()) {
+        size_t j = i;
+        while (j < entries.size() && entries[j].first == entries[i].first) {
+            ++j;
+        }
+        if (j - i <= params_.maxOccurrences) {
+            keys_.push_back(entries[i].first);
+            keyOffsets_.push_back(static_cast<uint32_t>(positions_.size()));
+            for (size_t e = i; e < j; ++e) {
+                positions_.push_back(entries[e].second);
+            }
+        }
+        i = j;
+    }
+    keyOffsets_.push_back(static_cast<uint32_t>(positions_.size()));
+}
+
+std::pair<const graph::Position*, size_t>
+MinimizerIndex::lookup(uint64_t hash) const
+{
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), hash);
+    if (it == keys_.end() || *it != hash) {
+        return {nullptr, 0};
+    }
+    size_t index = static_cast<size_t>(it - keys_.begin());
+    uint32_t begin = keyOffsets_[index];
+    uint32_t end = keyOffsets_[index + 1];
+    return {positions_.data() + begin, end - begin};
+}
+
+} // namespace mg::index

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * (k,w)-minimizer index over the pangenome's haplotype paths
+ * (Section II-B of the paper).  A minimizer is the k-mer with the smallest
+ * hash inside each window of w consecutive k-mers; indexing only minimizers
+ * shrinks the seed table while guaranteeing that any read sharing a
+ * sufficiently long exact stretch with an indexed haplotype produces at
+ * least one common minimizer.  A matching minimizer between a read and the
+ * index is a *seed*.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/handle.h"
+#include "graph/variation_graph.h"
+
+namespace mg::index {
+
+/** One minimizer occurrence inside a linear sequence. */
+struct Minimizer
+{
+    uint64_t hash = 0;   ///< Hashed packed k-mer (ordering key).
+    uint32_t offset = 0; ///< Start offset of the k-mer in the sequence.
+};
+
+/** Minimizer selection parameters. */
+struct MinimizerParams
+{
+    /** k-mer length (Giraffe's short-read default is 29; scaled here). */
+    int k = 15;
+    /** Window: number of consecutive k-mers considered per window. */
+    int w = 8;
+    /** Drop index entries occurring more often than this (repeat filter). */
+    size_t maxOccurrences = 512;
+};
+
+/**
+ * Compute the minimizers of a linear sequence with a monotonic-deque sweep.
+ * Duplicate selections of the same occurrence are emitted once.
+ */
+std::vector<Minimizer> minimizersOf(std::string_view sequence,
+                                    const MinimizerParams& params);
+
+/**
+ * Immutable minimizer-to-graph-position table.
+ *
+ * Built from every haplotype path of the graph; lookups return the graph
+ * positions whose k-mer hash matches a read minimizer.  Storage is a flat
+ * hash-sorted (key, positions) layout for compactness and cache-friendly
+ * binary search.
+ */
+class MinimizerIndex
+{
+  public:
+    MinimizerIndex() = default;
+
+    /** Index all haplotype paths of the graph. */
+    MinimizerIndex(const graph::VariationGraph& graph,
+                   const MinimizerParams& params);
+
+    const MinimizerParams& params() const { return params_; }
+
+    /** Number of distinct indexed minimizer keys. */
+    size_t numKeys() const { return keys_.size(); }
+
+    /** Total stored (key, position) entries. */
+    size_t numEntries() const { return positions_.size(); }
+
+    /**
+     * Graph positions of one minimizer hash (possibly empty).  The returned
+     * span is valid as long as the index lives.
+     */
+    std::pair<const graph::Position*, size_t> lookup(uint64_t hash) const;
+
+  private:
+    MinimizerParams params_;
+    std::vector<uint64_t> keys_;        // sorted distinct hashes
+    std::vector<uint32_t> keyOffsets_;  // keys_.size() + 1 entries
+    std::vector<graph::Position> positions_;
+};
+
+} // namespace mg::index

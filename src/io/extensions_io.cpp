@@ -1,0 +1,182 @@
+#include "io/extensions_io.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "io/file.h"
+#include "util/common.h"
+#include "util/varint.h"
+
+namespace mg::io {
+
+namespace {
+
+constexpr char kMagic[4] = { 'M', 'G', 'E', '1' };
+
+void
+encodeExtension(util::ByteWriter& writer, const map::GaplessExtension& ext)
+{
+    writer.putVarint(ext.path.size());
+    int64_t prev = 0;
+    for (graph::Handle step : ext.path) {
+        writer.putSignedVarint(static_cast<int64_t>(step.packed()) - prev);
+        prev = static_cast<int64_t>(step.packed());
+    }
+    writer.putVarint(ext.startOffset);
+    writer.putVarint(ext.readBegin);
+    writer.putVarint(ext.readEnd);
+    writer.putVarint(ext.mismatchOffsets.size());
+    uint32_t prev_mm = 0;
+    for (uint32_t mm : ext.mismatchOffsets) {
+        writer.putVarint(mm - prev_mm);
+        prev_mm = mm;
+    }
+    writer.putSignedVarint(ext.score);
+    writer.putByte(static_cast<uint8_t>((ext.onReverseRead ? 1 : 0) |
+                                        (ext.fullLength ? 2 : 0)));
+}
+
+map::GaplessExtension
+decodeExtension(util::ByteReader& reader)
+{
+    map::GaplessExtension ext;
+    uint64_t path_len = reader.getVarint();
+    util::require(path_len <= reader.remaining(),
+                  "extension path length exceeds remaining payload");
+    ext.path.reserve(path_len);
+    int64_t packed = 0;
+    for (uint64_t i = 0; i < path_len; ++i) {
+        packed += reader.getSignedVarint();
+        ext.path.push_back(
+            graph::Handle::fromPacked(static_cast<uint64_t>(packed)));
+    }
+    ext.startOffset = static_cast<uint32_t>(reader.getVarint());
+    ext.readBegin = static_cast<uint32_t>(reader.getVarint());
+    ext.readEnd = static_cast<uint32_t>(reader.getVarint());
+    uint64_t num_mm = reader.getVarint();
+    uint32_t mm = 0;
+    for (uint64_t i = 0; i < num_mm; ++i) {
+        mm += static_cast<uint32_t>(reader.getVarint());
+        ext.mismatchOffsets.push_back(mm);
+    }
+    ext.score = static_cast<int32_t>(reader.getSignedVarint());
+    uint8_t flags = reader.getByte();
+    ext.onReverseRead = flags & 1;
+    ext.fullLength = flags & 2;
+    return ext;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeExtensions(const std::vector<ReadExtensions>& all)
+{
+    util::ByteWriter writer;
+    writer.putBytes(kMagic, sizeof(kMagic));
+    writer.putVarint(all.size());
+    for (const ReadExtensions& entry : all) {
+        writer.putString(entry.readName);
+        writer.putVarint(entry.extensions.size());
+        for (const map::GaplessExtension& ext : entry.extensions) {
+            encodeExtension(writer, ext);
+        }
+    }
+    return writer.takeBytes();
+}
+
+std::vector<ReadExtensions>
+decodeExtensions(const std::vector<uint8_t>& bytes)
+{
+    util::ByteReader reader(bytes);
+    char magic[4];
+    reader.getBytes(magic, sizeof(magic));
+    util::require(std::equal(magic, magic + 4, kMagic),
+                  "not an extensions file (bad magic)");
+    std::vector<ReadExtensions> all;
+    uint64_t num_reads = reader.getVarint();
+    util::require(num_reads <= reader.remaining(),
+                  "read count exceeds remaining payload");
+    all.reserve(num_reads);
+    for (uint64_t i = 0; i < num_reads; ++i) {
+        ReadExtensions entry;
+        entry.readName = reader.getString();
+        uint64_t count = reader.getVarint();
+        entry.extensions.reserve(count);
+        for (uint64_t e = 0; e < count; ++e) {
+            entry.extensions.push_back(decodeExtension(reader));
+        }
+        all.push_back(std::move(entry));
+    }
+    util::require(reader.atEnd(), "trailing bytes after extensions");
+    return all;
+}
+
+void
+saveExtensions(const std::string& path,
+               const std::vector<ReadExtensions>& all)
+{
+    writeFileBytes(path, encodeExtensions(all));
+}
+
+std::vector<ReadExtensions>
+loadExtensions(const std::string& path)
+{
+    return decodeExtensions(readFileBytes(path));
+}
+
+ValidationReport
+validateExtensions(const std::vector<ReadExtensions>& expected,
+                   const std::vector<ReadExtensions>& candidate)
+{
+    // Multiplicity maps of canonical extension strings per read name.
+    using Bucket = std::map<std::string, size_t>;
+    auto index = [](const std::vector<ReadExtensions>& all) {
+        std::map<std::string, Bucket> by_read;
+        for (const ReadExtensions& entry : all) {
+            Bucket& bucket = by_read[entry.readName];
+            for (const map::GaplessExtension& ext : entry.extensions) {
+                ++bucket[ext.str()];
+            }
+        }
+        return by_read;
+    };
+    auto exp = index(expected);
+    auto cand = index(candidate);
+
+    ValidationReport report;
+    std::set<std::string> read_names;
+    for (const auto& [name, bucket] : exp) {
+        read_names.insert(name);
+        for (const auto& [ext, count] : bucket) {
+            (void)ext;
+            report.extensionsExpected += count;
+        }
+    }
+    for (const auto& [name, bucket] : cand) {
+        read_names.insert(name);
+        for (const auto& [ext, count] : bucket) {
+            (void)ext;
+            report.extensionsFound += count;
+        }
+    }
+    report.readsCompared = read_names.size();
+
+    for (const std::string& name : read_names) {
+        const Bucket& e = exp[name];
+        const Bucket& c = cand[name];
+        for (const auto& [ext, e_count] : e) {
+            auto it = c.find(ext);
+            size_t c_count = it == c.end() ? 0 : it->second;
+            report.missing += e_count > c_count ? e_count - c_count : 0;
+        }
+        for (const auto& [ext, c_count] : c) {
+            auto it = e.find(ext);
+            size_t e_count = it == e.end() ? 0 : it->second;
+            report.unexpected += c_count > e_count ? c_count - e_count : 0;
+        }
+    }
+    return report;
+}
+
+} // namespace mg::io

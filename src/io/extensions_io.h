@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Extension output files.  miniGiraffe's output is "the raw mapping
+ * results, i.e., the offsets and scores of each match"; the paper's
+ * functional validation (Section VI-a) exports the extensions from both
+ * proxy and parent and checks (1) every expected extension is present and
+ * (2) no extra extensions appear.  This module provides the dump format
+ * and that exact two-way comparison.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "map/extension.h"
+
+namespace mg::io {
+
+/** All extensions of one read, keyed by the read's name. */
+struct ReadExtensions
+{
+    std::string readName;
+    std::vector<map::GaplessExtension> extensions;
+};
+
+/** Serialize per-read extensions. */
+std::vector<uint8_t> encodeExtensions(
+    const std::vector<ReadExtensions>& all);
+
+/** Parse extension bytes; throws mg::util::Error on malformed input. */
+std::vector<ReadExtensions> decodeExtensions(
+    const std::vector<uint8_t>& bytes);
+
+/** Convenience file wrappers. */
+void saveExtensions(const std::string& path,
+                    const std::vector<ReadExtensions>& all);
+std::vector<ReadExtensions> loadExtensions(const std::string& path);
+
+/** Result of the two-way functional validation. */
+struct ValidationReport
+{
+    size_t readsCompared = 0;
+    size_t extensionsExpected = 0;
+    size_t extensionsFound = 0;
+    /** Expected extensions missing from the candidate output. */
+    size_t missing = 0;
+    /** Candidate extensions not present in the expected output. */
+    size_t unexpected = 0;
+
+    bool perfectMatch() const { return missing == 0 && unexpected == 0; }
+};
+
+/**
+ * Compare candidate output against expected output, both keyed by read
+ * name (order-insensitive within a read).
+ */
+ValidationReport validateExtensions(
+    const std::vector<ReadExtensions>& expected,
+    const std::vector<ReadExtensions>& candidate);
+
+} // namespace mg::io

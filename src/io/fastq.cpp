@@ -1,0 +1,67 @@
+#include "io/fastq.h"
+
+#include "io/file.h"
+#include "util/common.h"
+#include "util/dna.h"
+#include "util/str.h"
+
+namespace mg::io {
+
+map::ReadSet
+parseFastq(const std::string& text)
+{
+    map::ReadSet set;
+    std::vector<std::string> lines = util::split(text, '\n');
+    // Drop a trailing empty line from the final newline.
+    while (!lines.empty() && util::trim(lines.back()).empty()) {
+        lines.pop_back();
+    }
+    util::require(lines.size() % 4 == 0,
+                  "FASTQ record count not a multiple of 4 lines");
+    for (size_t i = 0; i < lines.size(); i += 4) {
+        util::require(!lines[i].empty() && lines[i][0] == '@',
+                      "FASTQ header must start with '@' at line ", i + 1);
+        util::require(!lines[i + 2].empty() && lines[i + 2][0] == '+',
+                      "FASTQ separator must start with '+' at line ", i + 3);
+        map::Read read;
+        read.name = std::string(util::trim(lines[i].substr(1)));
+        read.sequence = std::string(util::trim(lines[i + 1]));
+        util::require(util::isDna(read.sequence),
+                      "FASTQ sequence with non-ACGT characters at line ",
+                      i + 2);
+        util::require(lines[i + 3].size() >= read.sequence.size(),
+                      "FASTQ quality shorter than sequence at line ", i + 4);
+        set.reads.push_back(std::move(read));
+    }
+    return set;
+}
+
+std::string
+formatFastq(const map::ReadSet& reads)
+{
+    std::string out;
+    for (const map::Read& read : reads.reads) {
+        out += '@';
+        out += read.name;
+        out += '\n';
+        out += read.sequence;
+        out += "\n+\n";
+        out += std::string(read.sequence.size(), 'I');
+        out += '\n';
+    }
+    return out;
+}
+
+map::ReadSet
+loadFastq(const std::string& path)
+{
+    return parseFastq(readFileText(path));
+}
+
+void
+saveFastq(const std::string& path, const map::ReadSet& reads)
+{
+    writeFileText(path, formatFastq(reads));
+}
+
+} // namespace mg::io

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Minimal FASTQ reader/writer for the example applications: short reads in
+ * the four-line "@name / sequence / + / quality" layout.  Quality strings
+ * are carried but unused by the mapper (Giraffe's critical functions do not
+ * consume them either).
+ */
+#pragma once
+
+#include <string>
+
+#include "map/read.h"
+
+namespace mg::io {
+
+/** Parse FASTQ text into reads; throws mg::util::Error on malformed data. */
+map::ReadSet parseFastq(const std::string& text);
+
+/** Render reads as FASTQ text (qualities synthesized as 'I'). */
+std::string formatFastq(const map::ReadSet& reads);
+
+/** Convenience file wrappers. */
+map::ReadSet loadFastq(const std::string& path);
+void saveFastq(const std::string& path, const map::ReadSet& reads);
+
+} // namespace mg::io

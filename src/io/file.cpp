@@ -1,0 +1,48 @@
+#include "io/file.h"
+
+#include <fstream>
+
+#include "util/common.h"
+
+namespace mg::io {
+
+std::vector<uint8_t>
+readFileBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    util::require(in.good(), "cannot open file for reading: ", path);
+    std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    util::require(in.good() || size == 0, "short read from file: ", path);
+    return bytes;
+}
+
+void
+writeFileBytes(const std::string& path, const std::vector<uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    util::require(out.good(), "cannot open file for writing: ", path);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    util::require(out.good(), "short write to file: ", path);
+}
+
+std::string
+readFileText(const std::string& path)
+{
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    return std::string(bytes.begin(), bytes.end());
+}
+
+void
+writeFileText(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    util::require(out.good(), "cannot open file for writing: ", path);
+    out << text;
+    util::require(out.good(), "short write to file: ", path);
+}
+
+} // namespace mg::io

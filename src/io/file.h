@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Whole-file byte helpers shared by the binary container formats.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::io {
+
+/** Read an entire file into memory; throws mg::util::Error on failure. */
+std::vector<uint8_t> readFileBytes(const std::string& path);
+
+/** Write bytes to a file, replacing it; throws on failure. */
+void writeFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes);
+
+/** Read an entire text file. */
+std::string readFileText(const std::string& path);
+
+/** Write a text file, replacing it. */
+void writeFileText(const std::string& path, const std::string& text);
+
+} // namespace mg::io

@@ -1,0 +1,71 @@
+#include "io/gaf.h"
+
+#include "io/file.h"
+#include "util/common.h"
+
+namespace mg::io {
+
+std::string
+formatGafLine(const giraffe::Alignment& alignment, const map::Read& read,
+              const graph::VariationGraph& graph)
+{
+    MG_CHECK(alignment.readName == read.name,
+             "alignment/read mismatch: ", alignment.readName, " vs ",
+             read.name);
+    std::string out = read.name;
+    out += '\t';
+    out += std::to_string(read.sequence.size());
+    if (!alignment.mapped) {
+        // Unmapped convention: star path, zeroed interval, MAPQ 255.
+        out += "\t0\t0\t+\t*\t0\t0\t0\t0\t0\t255";
+        return out;
+    }
+
+    out += '\t' + std::to_string(alignment.readBegin);
+    out += '\t' + std::to_string(alignment.readEnd);
+    // The GAF strand column is relative to the path as written below; we
+    // write the walk in read order, so the strand is '+' and reverse-read
+    // placements are expressed by the per-step orientations.
+    out += "\t+\t";
+    size_t path_length = 0;
+    for (graph::Handle step : alignment.path) {
+        out += step.isReverse() ? '<' : '>';
+        out += std::to_string(step.id());
+        path_length += graph.length(step.id());
+    }
+    size_t span = alignment.readEnd - alignment.readBegin;
+    size_t path_end = alignment.startOffset + span;
+    out += '\t' + std::to_string(path_length);
+    out += '\t' + std::to_string(alignment.startOffset);
+    out += '\t' + std::to_string(path_end);
+    // Matches: alignment length minus mismatches (gapless alignment).
+    out += '\t' + std::to_string(alignment.matches());
+    out += '\t' + std::to_string(span);
+    out += '\t' + std::to_string(static_cast<int>(alignment.mappingQuality));
+    out += "\tAS:i:" + std::to_string(alignment.score);
+    return out;
+}
+
+std::string
+formatGaf(const std::vector<giraffe::Alignment>& alignments,
+          const map::ReadSet& reads, const graph::VariationGraph& graph)
+{
+    MG_CHECK(alignments.size() == reads.size(),
+             "alignments and reads disagree in length");
+    std::string out;
+    for (size_t i = 0; i < alignments.size(); ++i) {
+        out += formatGafLine(alignments[i], reads.reads[i], graph);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+saveGaf(const std::string& path,
+        const std::vector<giraffe::Alignment>& alignments,
+        const map::ReadSet& reads, const graph::VariationGraph& graph)
+{
+    writeFileText(path, formatGaf(alignments, reads, graph));
+}
+
+} // namespace mg::io

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * GAF (Graph Alignment Format) output — the alignment interchange format
+ * of the vg ecosystem (rGFA/GAF spec), produced by `vg giraffe -o gaf`.
+ * One line per alignment with the standard 12 mandatory columns:
+ *
+ *   name  qlen  qstart  qend  strand  path  plen  pstart  pend
+ *   matches  alignlen  mapq
+ *
+ * The path column uses the >id/<id orientation syntax.  Typed tags carry
+ * the alignment score (AS:i) and proper-pair flag (pp:A) when present.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "giraffe/alignment.h"
+#include "graph/variation_graph.h"
+#include "map/read.h"
+
+namespace mg::io {
+
+/** Render one alignment as a GAF line (no trailing newline). */
+std::string formatGafLine(const giraffe::Alignment& alignment,
+                          const map::Read& read,
+                          const graph::VariationGraph& graph);
+
+/** Render a whole run: one line per mapped read (unmapped reads get a
+ *  placeholder line with '*' path, per convention). */
+std::string formatGaf(const std::vector<giraffe::Alignment>& alignments,
+                      const map::ReadSet& reads,
+                      const graph::VariationGraph& graph);
+
+/** Convenience file wrapper. */
+void saveGaf(const std::string& path,
+             const std::vector<giraffe::Alignment>& alignments,
+             const map::ReadSet& reads,
+             const graph::VariationGraph& graph);
+
+} // namespace mg::io

@@ -1,0 +1,186 @@
+#include "io/gfa.h"
+
+#include <algorithm>
+#include <map>
+
+#include "io/file.h"
+#include "util/common.h"
+#include "util/str.h"
+
+namespace mg::io {
+
+namespace {
+
+char
+orientationChar(graph::Handle handle)
+{
+    return handle.isReverse() ? '-' : '+';
+}
+
+/** Parse "12+" / "12-" path steps. */
+graph::Handle
+parseStep(std::string_view token,
+          const std::map<uint64_t, graph::NodeId>& id_map)
+{
+    util::require(token.size() >= 2, "bad GFA path step: ", token);
+    char orient = token.back();
+    util::require(orient == '+' || orient == '-',
+                  "bad GFA step orientation: ", token);
+    uint64_t name = 0;
+    for (char c : token.substr(0, token.size() - 1)) {
+        util::require(c >= '0' && c <= '9', "non-numeric GFA segment: ",
+                      token);
+        name = name * 10 + static_cast<uint64_t>(c - '0');
+    }
+    auto it = id_map.find(name);
+    util::require(it != id_map.end(), "GFA path references unknown "
+                  "segment: ", token);
+    return graph::Handle(it->second, orient == '-');
+}
+
+} // namespace
+
+std::string
+formatGfa(const graph::VariationGraph& graph)
+{
+    std::string out = "H\tVN:Z:1.0\n";
+    for (graph::NodeId id = 1; id <= graph.numNodes(); ++id) {
+        out += "S\t" + std::to_string(id) + "\t";
+        out += graph.sequenceView(id);
+        out += '\n';
+    }
+    // Each bidirected edge once, via its canonical representative.
+    for (graph::NodeId id = 1; id <= graph.numNodes(); ++id) {
+        for (bool reverse : {false, true}) {
+            graph::Handle from(id, reverse);
+            for (graph::Handle to : graph.successors(from)) {
+                auto key = std::make_pair(from.packed(), to.packed());
+                auto twin = std::make_pair(to.flip().packed(),
+                                           from.flip().packed());
+                if (key > twin) {
+                    continue;
+                }
+                out += "L\t" + std::to_string(from.id()) + "\t";
+                out += orientationChar(from);
+                out += "\t" + std::to_string(to.id()) + "\t";
+                out += orientationChar(to);
+                out += "\t0M\n";
+            }
+        }
+    }
+    for (const graph::PathEntry& path : graph.paths()) {
+        out += "P\t" + path.name + "\t";
+        for (size_t i = 0; i < path.steps.size(); ++i) {
+            if (i > 0) {
+                out += ',';
+            }
+            out += std::to_string(path.steps[i].id());
+            out += orientationChar(path.steps[i]);
+        }
+        out += "\t*\n";
+    }
+    return out;
+}
+
+graph::VariationGraph
+parseGfa(const std::string& text)
+{
+    // First pass: collect segments so ids can be compacted in numeric
+    // order before edges/paths reference them.
+    struct Link
+    {
+        uint64_t fromName;
+        bool fromReverse;
+        uint64_t toName;
+        bool toReverse;
+    };
+    std::map<uint64_t, std::string> segments;
+    std::vector<Link> links;
+    std::vector<std::pair<std::string, std::string>> path_lines;
+
+    for (std::string_view line_view : util::split(text, '\n')) {
+        std::string line(util::trim(line_view));
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::vector<std::string> fields = util::split(line, '\t');
+        switch (line[0]) {
+          case 'H':
+            break; // header: nothing to validate strictly
+          case 'S': {
+            util::require(fields.size() >= 3, "short GFA S line: ", line);
+            uint64_t name = 0;
+            for (char c : fields[1]) {
+                util::require(c >= '0' && c <= '9',
+                              "non-numeric GFA segment name: ", fields[1]);
+                name = name * 10 + static_cast<uint64_t>(c - '0');
+            }
+            util::require(!segments.count(name),
+                          "duplicate GFA segment: ", fields[1]);
+            segments[name] = fields[2];
+            break;
+          }
+          case 'L': {
+            util::require(fields.size() >= 6, "short GFA L line: ", line);
+            util::require(fields[5] == "0M" || fields[5] == "*",
+                          "only 0M/'*' overlaps supported, got: ",
+                          fields[5]);
+            Link link;
+            link.fromName = std::stoull(fields[1]);
+            link.fromReverse = fields[2] == "-";
+            link.toName = std::stoull(fields[3]);
+            link.toReverse = fields[4] == "-";
+            util::require(fields[2] == "+" || fields[2] == "-",
+                          "bad L orientation: ", line);
+            util::require(fields[4] == "+" || fields[4] == "-",
+                          "bad L orientation: ", line);
+            links.push_back(link);
+            break;
+          }
+          case 'P': {
+            util::require(fields.size() >= 3, "short GFA P line: ", line);
+            path_lines.emplace_back(fields[1], fields[2]);
+            break;
+          }
+          default:
+            // Unknown record types are ignored (GFA tooling convention).
+            break;
+        }
+    }
+
+    graph::VariationGraph graph;
+    std::map<uint64_t, graph::NodeId> id_map;
+    for (const auto& [name, sequence] : segments) {
+        id_map[name] = graph.addNode(sequence);
+    }
+    for (const Link& link : links) {
+        auto from = id_map.find(link.fromName);
+        auto to = id_map.find(link.toName);
+        util::require(from != id_map.end() && to != id_map.end(),
+                      "GFA link references unknown segment");
+        graph.addEdge(graph::Handle(from->second, link.fromReverse),
+                      graph::Handle(to->second, link.toReverse));
+    }
+    for (const auto& [name, steps_text] : path_lines) {
+        std::vector<graph::Handle> steps;
+        for (const std::string& token : util::split(steps_text, ',')) {
+            steps.push_back(parseStep(token, id_map));
+        }
+        graph.addPath(name, std::move(steps));
+    }
+    return graph;
+}
+
+void
+saveGfa(const std::string& path, const graph::VariationGraph& graph)
+{
+    writeFileText(path, formatGfa(graph));
+}
+
+graph::VariationGraph
+loadGfa(const std::string& path)
+{
+    return parseGfa(readFileText(path));
+}
+
+} // namespace mg::io

@@ -1,0 +1,169 @@
+#include "io/mgz.h"
+
+#include <algorithm>
+
+#include "io/file.h"
+#include "util/common.h"
+#include "util/dna.h"
+#include "util/varint.h"
+
+namespace mg::io {
+
+namespace {
+
+constexpr char kMagic[4] = { 'M', 'G', 'Z', '1' };
+
+void
+encodeSequence(util::ByteWriter& writer, std::string_view seq)
+{
+    writer.putVarint(seq.size());
+    uint8_t byte = 0;
+    int filled = 0;
+    for (char c : seq) {
+        byte |= static_cast<uint8_t>(util::baseCode(c) << (2 * filled));
+        if (++filled == 4) {
+            writer.putByte(byte);
+            byte = 0;
+            filled = 0;
+        }
+    }
+    if (filled > 0) {
+        writer.putByte(byte);
+    }
+}
+
+std::string
+decodeSequence(util::ByteReader& reader)
+{
+    uint64_t length = reader.getVarint();
+    util::require(length <= reader.remaining() * 4,
+                  "sequence length exceeds remaining payload");
+    std::string seq(length, 'A');
+    uint8_t byte = 0;
+    for (uint64_t i = 0; i < length; ++i) {
+        if (i % 4 == 0) {
+            byte = reader.getByte();
+        }
+        seq[i] = util::codeBase((byte >> (2 * (i % 4))) & 3);
+    }
+    return seq;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeMgz(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt)
+{
+    util::ByteWriter writer;
+    writer.putBytes(kMagic, sizeof(kMagic));
+
+    // --- Nodes ---
+    writer.putVarint(graph.numNodes());
+    for (graph::NodeId id = 1; id <= graph.numNodes(); ++id) {
+        encodeSequence(writer, graph.sequenceView(id));
+    }
+
+    // --- Edges (forward handles only; twins are implicit) ---
+    // Collected as (from.packed, to.packed), delta coded on `from`.
+    std::vector<std::pair<uint64_t, uint64_t>> edges;
+    for (graph::NodeId id = 1; id <= graph.numNodes(); ++id) {
+        for (bool reverse : {false, true}) {
+            graph::Handle from(id, reverse);
+            for (graph::Handle to : graph.successors(from)) {
+                // Each bidirected edge is stored once via the
+                // lexicographically smaller of (edge, twin).
+                auto key = std::make_pair(from.packed(), to.packed());
+                auto twin = std::make_pair(to.flip().packed(),
+                                           from.flip().packed());
+                if (key <= twin) {
+                    edges.emplace_back(key);
+                }
+            }
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    writer.putVarint(edges.size());
+    uint64_t prev_from = 0;
+    for (const auto& [from, to] : edges) {
+        writer.putVarint(from - prev_from);
+        writer.putVarint(to);
+        prev_from = from;
+    }
+
+    // --- Paths ---
+    writer.putVarint(graph.numPaths());
+    for (const graph::PathEntry& path : graph.paths()) {
+        writer.putString(path.name);
+        writer.putVarint(path.steps.size());
+        int64_t prev = 0;
+        for (graph::Handle step : path.steps) {
+            // Consecutive path nodes have nearby ids; zigzag the delta.
+            writer.putSignedVarint(static_cast<int64_t>(step.packed()) -
+                                   prev);
+            prev = static_cast<int64_t>(step.packed());
+        }
+    }
+
+    // --- GBWT ---
+    gbwt.save(writer);
+    return writer.takeBytes();
+}
+
+Pangenome
+decodeMgz(const std::vector<uint8_t>& bytes)
+{
+    util::ByteReader reader(bytes);
+    char magic[4];
+    reader.getBytes(magic, sizeof(magic));
+    util::require(std::equal(magic, magic + 4, kMagic),
+                  "not an MGZ file (bad magic)");
+
+    Pangenome out;
+    uint64_t num_nodes = reader.getVarint();
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+        out.graph.addNode(decodeSequence(reader));
+    }
+    uint64_t num_edges = reader.getVarint();
+    uint64_t prev_from = 0;
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        prev_from += reader.getVarint();
+        uint64_t to = reader.getVarint();
+        out.graph.addEdge(graph::Handle::fromPacked(prev_from),
+                          graph::Handle::fromPacked(to));
+    }
+    uint64_t num_paths = reader.getVarint();
+    for (uint64_t i = 0; i < num_paths; ++i) {
+        std::string name = reader.getString();
+        uint64_t num_steps = reader.getVarint();
+        util::require(num_steps <= reader.remaining(),
+                      "path step count exceeds remaining payload");
+        std::vector<graph::Handle> steps;
+        steps.reserve(num_steps);
+        int64_t packed = 0;
+        for (uint64_t s = 0; s < num_steps; ++s) {
+            packed += reader.getSignedVarint();
+            steps.push_back(
+                graph::Handle::fromPacked(static_cast<uint64_t>(packed)));
+        }
+        out.graph.addPath(std::move(name), std::move(steps));
+    }
+    out.gbwt = gbwt::Gbwt::load(reader);
+    util::require(reader.atEnd(), "trailing bytes after MGZ payload");
+    return out;
+}
+
+void
+saveMgz(const std::string& path, const graph::VariationGraph& graph,
+        const gbwt::Gbwt& gbwt)
+{
+    writeFileBytes(path, encodeMgz(graph, gbwt));
+}
+
+Pangenome
+loadMgz(const std::string& path)
+{
+    return decodeMgz(readFileBytes(path));
+}
+
+} // namespace mg::io

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MGZ: this repository's compressed pangenome container, standing in for
+ * the GBZ format the paper's pipeline consumes (substitution documented in
+ * DESIGN.md).  One file holds the variation graph (2-bit packed node
+ * sequences, delta-coded edges, haplotype paths) and the compressed GBWT.
+ * Like GBZ, the graph is compressed at rest and node records are
+ * decompressed on access at query time through the GBWT arena.
+ */
+#pragma once
+
+#include <string>
+
+#include "gbwt/gbwt.h"
+#include "graph/variation_graph.h"
+
+namespace mg::io {
+
+/** A loaded pangenome: graph plus haplotype index. */
+struct Pangenome
+{
+    graph::VariationGraph graph;
+    gbwt::Gbwt gbwt;
+};
+
+/** Serialize a pangenome into MGZ bytes. */
+std::vector<uint8_t> encodeMgz(const graph::VariationGraph& graph,
+                               const gbwt::Gbwt& gbwt);
+
+/** Parse MGZ bytes; throws mg::util::Error on malformed input. */
+Pangenome decodeMgz(const std::vector<uint8_t>& bytes);
+
+/** Convenience: write an .mgz file. */
+void saveMgz(const std::string& path, const graph::VariationGraph& graph,
+             const gbwt::Gbwt& gbwt);
+
+/** Convenience: read an .mgz file. */
+Pangenome loadMgz(const std::string& path);
+
+} // namespace mg::io

@@ -1,0 +1,108 @@
+#include "io/reads_bin.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/file.h"
+#include "util/common.h"
+#include "util/varint.h"
+
+namespace mg::io {
+
+namespace {
+
+constexpr char kMagic[4] = { 'M', 'G', 'S', '1' };
+
+} // namespace
+
+std::vector<uint8_t>
+encodeSeedCapture(const SeedCapture& capture)
+{
+    util::ByteWriter writer;
+    writer.putBytes(kMagic, sizeof(kMagic));
+    writer.putByte(capture.pairedEnd ? 1 : 0);
+    writer.putVarint(capture.entries.size());
+    for (const ReadWithSeeds& entry : capture.entries) {
+        writer.putString(entry.read.name);
+        writer.putString(entry.read.sequence);
+        writer.putVarint(entry.read.mate == SIZE_MAX
+                             ? 0
+                             : entry.read.mate + 1);
+        writer.putVarint(entry.seeds.size());
+        uint64_t prev_packed = 0;
+        for (const map::Seed& seed : entry.seeds) {
+            writer.putSignedVarint(
+                static_cast<int64_t>(seed.position.handle.packed()) -
+                static_cast<int64_t>(prev_packed));
+            prev_packed = seed.position.handle.packed();
+            writer.putVarint(seed.position.offset);
+            writer.putVarint(seed.readOffset);
+            writer.putByte(seed.onReverseRead ? 1 : 0);
+            // Exact float bits: the functional validation requires seeds
+            // loaded from a capture to behave identically to inline ones.
+            uint32_t score_bits;
+            std::memcpy(&score_bits, &seed.score, sizeof(score_bits));
+            writer.putVarint(score_bits);
+        }
+    }
+    return writer.takeBytes();
+}
+
+SeedCapture
+decodeSeedCapture(const std::vector<uint8_t>& bytes)
+{
+    util::ByteReader reader(bytes);
+    char magic[4];
+    reader.getBytes(magic, sizeof(magic));
+    util::require(std::equal(magic, magic + 4, kMagic),
+                  "not a reads+seeds capture (bad magic)");
+    SeedCapture capture;
+    capture.pairedEnd = reader.getByte() != 0;
+    uint64_t num_entries = reader.getVarint();
+    util::require(num_entries <= reader.remaining(),
+                  "capture entry count exceeds remaining payload");
+    capture.entries.reserve(num_entries);
+    for (uint64_t i = 0; i < num_entries; ++i) {
+        ReadWithSeeds entry;
+        entry.read.name = reader.getString();
+        entry.read.sequence = reader.getString();
+        uint64_t mate = reader.getVarint();
+        entry.read.mate = mate == 0 ? SIZE_MAX : mate - 1;
+        uint64_t num_seeds = reader.getVarint();
+        util::require(num_seeds <= reader.remaining(),
+                      "seed count exceeds remaining payload");
+        entry.seeds.reserve(num_seeds);
+        int64_t packed = 0;
+        for (uint64_t s = 0; s < num_seeds; ++s) {
+            packed += reader.getSignedVarint();
+            map::Seed seed;
+            seed.position.handle =
+                graph::Handle::fromPacked(static_cast<uint64_t>(packed));
+            seed.position.offset =
+                static_cast<uint32_t>(reader.getVarint());
+            seed.readOffset = static_cast<uint32_t>(reader.getVarint());
+            seed.onReverseRead = reader.getByte() != 0;
+            uint32_t score_bits =
+                static_cast<uint32_t>(reader.getVarint());
+            std::memcpy(&seed.score, &score_bits, sizeof(seed.score));
+            entry.seeds.push_back(seed);
+        }
+        capture.entries.push_back(std::move(entry));
+    }
+    util::require(reader.atEnd(), "trailing bytes after seed capture");
+    return capture;
+}
+
+void
+saveSeedCapture(const std::string& path, const SeedCapture& capture)
+{
+    writeFileBytes(path, encodeSeedCapture(capture));
+}
+
+SeedCapture
+loadSeedCapture(const std::string& path)
+{
+    return decodeSeedCapture(readFileBytes(path));
+}
+
+} // namespace mg::io

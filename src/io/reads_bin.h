@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The reads+seeds binary format — miniGiraffe's primary input.  The paper's
+ * proxy consumes a "sequence-seeds.bin" file holding the short reads and
+ * the seeds Giraffe's preprocessing found for them, captured right before
+ * the seed-and-extend region.  Our parent emulator produces the same
+ * capture; the proxy loads it and runs only the critical functions.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "map/read.h"
+#include "map/seed.h"
+
+namespace mg::io {
+
+/** One read plus its precomputed seeds. */
+struct ReadWithSeeds
+{
+    map::Read read;
+    map::SeedVector seeds;
+};
+
+/** The proxy's input: the captured preprocessing output. */
+struct SeedCapture
+{
+    std::vector<ReadWithSeeds> entries;
+    bool pairedEnd = false;
+};
+
+/** Serialize a capture to bytes. */
+std::vector<uint8_t> encodeSeedCapture(const SeedCapture& capture);
+
+/** Parse capture bytes; throws mg::util::Error on malformed input. */
+SeedCapture decodeSeedCapture(const std::vector<uint8_t>& bytes);
+
+/** Convenience file wrappers. */
+void saveSeedCapture(const std::string& path, const SeedCapture& capture);
+SeedCapture loadSeedCapture(const std::string& path);
+
+} // namespace mg::io

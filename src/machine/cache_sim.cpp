@@ -1,0 +1,112 @@
+#include "machine/cache_sim.h"
+
+#include <bit>
+
+#include "util/common.h"
+
+namespace mg::machine {
+
+namespace {
+
+size_t
+pow2Floor(size_t n)
+{
+    return n < 1 ? 1 : std::bit_floor(n);
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config)
+{
+    MG_CHECK(config.sizeBytes >= config.lineBytes,
+             "cache smaller than one line");
+    ways_ = std::max<size_t>(1, config.associativity);
+    size_t lines = config.sizeBytes / config.lineBytes;
+    sets_ = pow2Floor(std::max<size_t>(1, lines / ways_));
+    tags_.assign(sets_ * ways_, 0);
+    ages_.assign(sets_ * ways_, 0);
+}
+
+bool
+CacheLevel::access(uint64_t line_addr)
+{
+    // Tag 0 marks empty ways; keep real tags non-zero.
+    uint64_t tag = line_addr | (uint64_t{1} << 63);
+    size_t set = static_cast<size_t>(line_addr) & (sets_ - 1);
+    uint64_t* tags = &tags_[set * ways_];
+    uint32_t* ages = &ages_[set * ways_];
+    ++clock_;
+
+    size_t victim = 0;
+    uint32_t oldest = UINT32_MAX;
+    for (size_t way = 0; way < ways_; ++way) {
+        if (tags[way] == tag) {
+            ages[way] = clock_;
+            return true;
+        }
+        // Empty ways (age 0 and tag 0) are preferred victims.
+        uint32_t age = tags[way] == 0 ? 0 : ages[way];
+        if (age < oldest) {
+            oldest = age;
+            victim = way;
+        }
+    }
+    tags[victim] = tag;
+    ages[victim] = clock_;
+    return false;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineConfig& config)
+    : config_(config), l1_(config.l1d), l2_(config.l2),
+      l3_(config.l3PerSocket), lineBytes_(config.l1d.lineBytes)
+{}
+
+void
+CacheHierarchy::access(uint64_t addr, uint32_t bytes)
+{
+    if (bytes == 0) {
+        bytes = 1;
+    }
+    uint64_t first_line = addr / lineBytes_;
+    uint64_t last_line = (addr + bytes - 1) / lineBytes_;
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+        ++counters_.l1Accesses;
+        if (l1_.access(line)) {
+            continue;
+        }
+        ++counters_.l1Misses;
+        // Next-line prefetch: a demand miss silently pulls line+1 into
+        // every level (no demand counters, just the prefetch tally).
+        if (config_.nextLinePrefetcher && line + 1 > last_line) {
+            ++counters_.prefetches;
+            l1_.access(line + 1);
+            l2_.access(line + 1);
+            l3_.access(line + 1);
+        }
+        ++counters_.l2Accesses;
+        if (l2_.access(line)) {
+            continue;
+        }
+        ++counters_.l2Misses;
+        ++counters_.llcAccesses;
+        if (!l3_.access(line)) {
+            ++counters_.llcMisses;
+        }
+    }
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1_ = CacheLevel(config_.l1d);
+    l2_ = CacheLevel(config_.l2);
+    l3_ = CacheLevel(config_.l3PerSocket);
+}
+
+void
+CacheHierarchy::resetCounters()
+{
+    counters_ = CacheCounters();
+}
+
+} // namespace mg::machine

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trace-driven cache-hierarchy simulator.  A set-associative LRU model of
+ * L1D -> L2 -> shared L3 fed with the memory accesses the instrumented
+ * data-structure hot paths report (util/mem_tracer.h).  Its counters stand
+ * in for the perf/VTune measurements of the paper's Tables IV and V:
+ * because proxy and parent are traced through identical hooks, the
+ * *comparison* between them (the paper's actual claim) is preserved even
+ * though the absolute numbers model a simulated hierarchy.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.h"
+
+namespace mg::machine {
+
+/** Counter block matching the paper's Table V columns. */
+struct CacheCounters
+{
+    uint64_t l1Accesses = 0;   // L1DA
+    uint64_t l1Misses = 0;     // L1DM
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t llcAccesses = 0;  // LLDA
+    uint64_t llcMisses = 0;
+    /** Lines installed by the next-line prefetcher (not demand misses). */
+    uint64_t prefetches = 0;
+
+    double
+    l1MissRate() const
+    {
+        return l1Accesses == 0
+                   ? 0.0
+                   : static_cast<double>(l1Misses) /
+                         static_cast<double>(l1Accesses);
+    }
+
+    double
+    llcMissRate() const
+    {
+        return llcAccesses == 0
+                   ? 0.0
+                   : static_cast<double>(llcMisses) /
+                         static_cast<double>(llcAccesses);
+    }
+};
+
+/** One set-associative LRU cache level. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheLevelConfig& config);
+
+    /** Probe a line address; true on hit.  A miss installs the line. */
+    bool access(uint64_t line_addr);
+
+    size_t numSets() const { return sets_; }
+    size_t associativity() const { return ways_; }
+
+  private:
+    size_t sets_;
+    size_t ways_;
+    // tags_[set * ways_ + way]; 0 means empty.  lru_ holds per-way ages.
+    std::vector<uint64_t> tags_;
+    std::vector<uint32_t> ages_;
+    uint32_t clock_ = 0;
+};
+
+/** L1D -> L2 -> L3 hierarchy of one machine (single-threaded view). */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const MachineConfig& config);
+
+    /** Simulate one logical access, splitting across cache lines. */
+    void access(uint64_t addr, uint32_t bytes);
+
+    const CacheCounters& counters() const { return counters_; }
+    const MachineConfig& config() const { return config_; }
+
+    /** Forget all cached lines but keep counters. */
+    void flush();
+
+    /** Zero the counters but keep cache contents (warm-up support). */
+    void resetCounters();
+
+  private:
+    MachineConfig config_;
+    CacheLevel l1_;
+    CacheLevel l2_;
+    CacheLevel l3_;
+    size_t lineBytes_;
+    CacheCounters counters_;
+};
+
+} // namespace mg::machine

@@ -1,0 +1,131 @@
+#include "machine/config.h"
+
+#include "util/common.h"
+
+namespace mg::machine {
+
+std::vector<MachineConfig>
+paperMachines()
+{
+    std::vector<MachineConfig> machines;
+
+    // local-intel: 2-socket Xeon 8260, 24 cores/socket, 2.4 GHz,
+    // 35.75 MB L3/socket, 1 MB L2, 32K/32K L1, SMT2, 768 GB.
+    {
+        MachineConfig m;
+        m.name = "local-intel";
+        m.vendor = "Intel";
+        m.processor = "Xeon 8260";
+        m.sockets = 2;
+        m.coresPerSocket = 24;
+        m.threadsPerCore = 2;
+        m.frequencyGhz = 2.4;
+        m.l1d = {32 * 1024, 64, 8, 5};
+        m.l2 = {1024 * 1024, 64, 16, 14};
+        m.l3PerSocket = {35750ull * 1024, 64, 11, 50};
+        m.dramGb = 768;
+        m.dramLatencyCycles = 230;
+        m.memBandwidthGBs = 110.0;
+        m.baseCpi = 0.33;
+        m.smtEfficiency = 0.22;
+        m.crossSocketEfficiency = 0.75;
+        m.memoryLevelParallelism = 7.0;
+        m.frontEndStallFraction = 0.38;
+        m.badSpeculationFraction = 0.165;
+        machines.push_back(m);
+    }
+
+    // local-amd: 1-socket EPYC 9554, 64 cores, 3.1 GHz, 256 MB L3,
+    // 1 MB L2, SMT2, 768 GB.  The paper's fastest machine.
+    {
+        MachineConfig m;
+        m.name = "local-amd";
+        m.vendor = "AMD";
+        m.processor = "EPYC 9554";
+        m.sockets = 1;
+        m.coresPerSocket = 64;
+        m.threadsPerCore = 2;
+        m.frequencyGhz = 3.1;
+        m.l1d = {32 * 1024, 64, 8, 4};
+        m.l2 = {1024 * 1024, 64, 8, 13};
+        m.l3PerSocket = {256ull * 1024 * 1024, 64, 16, 46};
+        m.dramGb = 768;
+        m.dramLatencyCycles = 210;
+        m.memBandwidthGBs = 380.0;
+        m.baseCpi = 0.45;
+        m.smtEfficiency = 0.35;
+        m.crossSocketEfficiency = 1.0; // single socket
+        m.frontEndStallFraction = 0.18;
+        m.badSpeculationFraction = 0.09;
+        machines.push_back(m);
+    }
+
+    // chi-arm: 2-socket Cavium ThunderX2 99xx, 32 cores/socket, 2.5 GHz,
+    // 64 MB L3/socket (shared), small 256 KB L2, no SMT in the paper's
+    // configuration (1 thread/core), 256 GB.  Slowest absolute times but
+    // near-linear scaling.
+    {
+        MachineConfig m;
+        m.name = "chi-arm";
+        m.vendor = "Cavium";
+        m.processor = "ThunderX2 99xx";
+        m.sockets = 2;
+        m.coresPerSocket = 32;
+        m.threadsPerCore = 1;
+        m.frequencyGhz = 2.5;
+        m.l1d = {32 * 1024, 64, 8, 5};
+        m.l2 = {256 * 1024, 64, 8, 12};
+        m.l3PerSocket = {64ull * 1024 * 1024, 64, 16, 60};
+        m.dramGb = 256;
+        m.dramLatencyCycles = 260;
+        m.memBandwidthGBs = 120.0;
+        // In-order-ish issue behaviour on this workload: the paper sees
+        // >4x slower absolute times than local-amd.
+        m.baseCpi = 1.45;
+        m.smtEfficiency = 0.0;
+        m.crossSocketEfficiency = 0.92;
+        m.memoryLevelParallelism = 2.5;
+        m.frontEndStallFraction = 0.27;
+        m.badSpeculationFraction = 0.08;
+        machines.push_back(m);
+    }
+
+    // chi-intel: 2-socket Xeon 8380, 40 cores/socket, 2.3 GHz,
+    // 60 MB L3/socket, 1.25 MB L2, 48 KB L1D, SMT2, 256 GB.
+    {
+        MachineConfig m;
+        m.name = "chi-intel";
+        m.vendor = "Intel";
+        m.processor = "Xeon 8380";
+        m.sockets = 2;
+        m.coresPerSocket = 40;
+        m.threadsPerCore = 2;
+        m.frequencyGhz = 2.3;
+        m.l1d = {48 * 1024, 64, 12, 5};
+        m.l2 = {1280 * 1024, 64, 20, 14};
+        m.l3PerSocket = {60ull * 1024 * 1024, 64, 12, 52};
+        m.dramGb = 256;
+        m.dramLatencyCycles = 225;
+        m.memBandwidthGBs = 180.0;
+        m.baseCpi = 0.50;
+        m.smtEfficiency = 0.22;
+        m.crossSocketEfficiency = 0.78;
+        m.frontEndStallFraction = 0.22;
+        m.badSpeculationFraction = 0.10;
+        machines.push_back(m);
+    }
+    return machines;
+}
+
+MachineConfig
+machineByName(const std::string& name)
+{
+    for (const MachineConfig& machine : paperMachines()) {
+        if (machine.name == name) {
+            return machine;
+        }
+    }
+    throw util::Error("unknown machine: " + name);
+}
+
+} // namespace mg::machine

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Machine descriptions for the four evaluation servers of the paper's
+ * Table II.  This container has a single core, so the cross-machine
+ * experiments (Figures 5, 7, 8; Tables VII, VIII) run on a machine-model
+ * substrate: memory traces recorded from the *real* mapping kernel drive a
+ * per-machine cache-hierarchy simulator, and an analytic strong-scaling
+ * model supplies the socket/SMT behaviour.  DESIGN.md documents the
+ * substitution.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::machine {
+
+/** One cache level's geometry and access latency. */
+struct CacheLevelConfig
+{
+    size_t sizeBytes = 0;
+    size_t lineBytes = 64;
+    size_t associativity = 8;
+    /** Load-to-use latency in core cycles when satisfied at this level. */
+    uint32_t latencyCycles = 4;
+};
+
+/** A full machine description (Table II plus model parameters). */
+struct MachineConfig
+{
+    std::string name;
+    std::string vendor;
+    std::string processor;
+
+    size_t sockets = 1;
+    size_t coresPerSocket = 1;
+    size_t threadsPerCore = 1;
+    double frequencyGhz = 2.0;
+
+    CacheLevelConfig l1d;
+    CacheLevelConfig l2;
+    /** LLC is per socket (the paper reports L3/socket). */
+    CacheLevelConfig l3PerSocket;
+
+    size_t dramGb = 64;
+    uint32_t dramLatencyCycles = 220;
+    /** Sustained DRAM bandwidth per socket, GB/s. */
+    double memBandwidthGBs = 80.0;
+
+    // --- Analytic scaling-model parameters ---
+    /** Base cycles per instruction with all loads hitting L1. */
+    double baseCpi = 0.55;
+    /** Marginal throughput of the second SMT context on a busy core. */
+    double smtEfficiency = 0.25;
+    /** Relative throughput of cores on a remote socket (NUMA penalty). */
+    double crossSocketEfficiency = 0.80;
+    /** Memory-level parallelism: overlapped outstanding misses. */
+    double memoryLevelParallelism = 4.0;
+    /** Front-end stall fraction of cycles (top-down modelling). */
+    double frontEndStallFraction = 0.20;
+    /** Bad-speculation fraction of cycles (top-down modelling). */
+    double badSpeculationFraction = 0.10;
+    /**
+     * Install line N+1 on an L1 miss (next-line hardware prefetcher).
+     * Off by default so counter experiments stay directly comparable;
+     * the ablation bench can toggle it per hierarchy.
+     */
+    bool nextLinePrefetcher = false;
+
+    size_t physicalCores() const { return sockets * coresPerSocket; }
+    size_t threadContexts() const { return physicalCores() * threadsPerCore; }
+};
+
+/**
+ * The four Table II machines: local-intel (2S Xeon 8260), local-amd
+ * (1S EPYC 9554), chi-arm (2S ThunderX2), chi-intel (2S Xeon 8380).
+ */
+std::vector<MachineConfig> paperMachines();
+
+/** Find a machine by name; throws mg::util::Error if unknown. */
+MachineConfig machineByName(const std::string& name);
+
+} // namespace mg::machine

@@ -1,0 +1,75 @@
+#include "machine/cost_model.h"
+
+#include "util/common.h"
+
+namespace mg::machine {
+
+CostProfile
+modelCost(const MachineConfig& machine, const WorkCounters& work,
+          const CacheCounters& counters)
+{
+    CostProfile profile;
+    profile.instructions = work.instructions;
+
+    // Misses satisfied at each level.
+    uint64_t l2_hits = counters.l1Misses - counters.l2Misses;
+    uint64_t l3_hits = counters.l2Misses - counters.llcMisses;
+    uint64_t dram = counters.llcMisses;
+
+    double mlp = machine.memoryLevelParallelism;
+    MG_ASSERT(mlp >= 1.0);
+    profile.l2StallCycles = static_cast<double>(l2_hits) *
+                            machine.l2.latencyCycles / mlp;
+    profile.l3StallCycles = static_cast<double>(l3_hits) *
+                            machine.l3PerSocket.latencyCycles / mlp;
+    profile.dramStallCycles = static_cast<double>(dram) *
+                              machine.dramLatencyCycles / mlp;
+
+    double busy = static_cast<double>(work.instructions) * machine.baseCpi;
+    double memory_stall = profile.l2StallCycles + profile.l3StallCycles +
+                          profile.dramStallCycles;
+    // Front-end and speculation stalls scale the busy portion.
+    double overhead = busy * (machine.frontEndStallFraction +
+                              machine.badSpeculationFraction);
+    profile.cycles = busy + memory_stall + overhead;
+    profile.ipc = profile.cycles > 0.0
+                      ? static_cast<double>(work.instructions) /
+                            profile.cycles
+                      : 0.0;
+    profile.seconds = profile.cycles / (machine.frequencyGhz * 1e9);
+    return profile;
+}
+
+TopDownProfile
+modelTopDown(const MachineConfig& machine, const CostProfile& cost)
+{
+    TopDownProfile td;
+    if (cost.cycles <= 0.0) {
+        return td;
+    }
+    double busy = static_cast<double>(cost.instructions) * machine.baseCpi;
+    double memory = cost.l2StallCycles + cost.l3StallCycles +
+                    cost.dramStallCycles;
+    double front = busy * machine.frontEndStallFraction;
+    double bad = busy * machine.badSpeculationFraction;
+    // Back-end = memory stalls plus the non-retiring share of busy cycles
+    // attributable to core-bound dependencies (folded into baseCpi above
+    // the ideal 0.25 CPI of a 4-wide machine).
+    double ideal = static_cast<double>(cost.instructions) * 0.25;
+    double core_bound = busy > ideal ? busy - ideal : 0.0;
+    double retiring = cost.cycles - memory - front - bad - core_bound;
+    if (retiring < 0.0) {
+        retiring = 0.0;
+    }
+    double total = retiring + memory + core_bound + front + bad;
+    td.retiringPct = 100.0 * retiring / total;
+    td.frontEndPct = 100.0 * front / total;
+    td.backEndPct = 100.0 * (memory + core_bound) / total;
+    td.badSpeculationPct = 100.0 * bad / total;
+    td.memoryBoundPct = 100.0 * memory / total;
+    td.frontEndLatencyPct = td.frontEndPct * 0.46; // latency share (paper
+                                                   // reports 10.9 of 23.5)
+    return td;
+}
+
+} // namespace mg::machine

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cycle-cost and top-down models.  Converts TraceCounter measurements into
+ * modelled cycles, IPC, and the four top-down buckets of the paper's
+ * Table IV (Retiring / Front-End / Back-End / Bad Speculation), using the
+ * classic miss-latency accounting with a memory-level-parallelism overlap
+ * factor.
+ */
+#pragma once
+
+#include "machine/cache_sim.h"
+#include "machine/tracer.h"
+
+namespace mg::machine {
+
+/** Modelled execution profile of a traced kernel on one machine. */
+struct CostProfile
+{
+    uint64_t instructions = 0;
+    double cycles = 0.0;
+    double ipc = 0.0;
+    double seconds = 0.0;
+    /** Cycles lost to each cache level / DRAM (post-overlap). */
+    double l2StallCycles = 0.0;
+    double l3StallCycles = 0.0;
+    double dramStallCycles = 0.0;
+};
+
+/** Top-down level-1 buckets, as percentages of pipeline slots. */
+struct TopDownProfile
+{
+    double retiringPct = 0.0;
+    double frontEndPct = 0.0;
+    double backEndPct = 0.0;
+    double badSpeculationPct = 0.0;
+    /** Second-level detail: memory-bound share of back-end. */
+    double memoryBoundPct = 0.0;
+    /** Second-level detail: latency share of front-end. */
+    double frontEndLatencyPct = 0.0;
+};
+
+/** Model cycles/IPC/time of a traced kernel on `machine`. */
+CostProfile modelCost(const MachineConfig& machine,
+                      const WorkCounters& work,
+                      const CacheCounters& counters);
+
+/** Derive Table IV style top-down buckets from a cost profile. */
+TopDownProfile modelTopDown(const MachineConfig& machine,
+                            const CostProfile& cost);
+
+} // namespace mg::machine

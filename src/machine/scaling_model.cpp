@@ -1,0 +1,99 @@
+#include "machine/scaling_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::machine {
+
+double
+effectiveParallelism(const MachineConfig& machine, size_t threads)
+{
+    MG_CHECK(threads >= 1, "need at least one thread");
+    threads = std::min(threads, machine.threadContexts());
+
+    // Threads fill physical cores first: the local socket, then remote
+    // sockets at crossSocketEfficiency; leftover threads land on SMT
+    // siblings at smtEfficiency.
+    size_t cores = machine.physicalCores();
+    size_t on_cores = std::min(threads, cores);
+    size_t local = std::min(on_cores, machine.coresPerSocket);
+    size_t remote = on_cores - local;
+    double p = static_cast<double>(local) +
+               machine.crossSocketEfficiency * static_cast<double>(remote);
+
+    size_t smt = threads > cores ? threads - cores : 0;
+    p += machine.smtEfficiency * static_cast<double>(smt);
+    return std::max(p, 1.0);
+}
+
+double
+predictedTime(const MachineConfig& machine, const CostProfile& cost,
+              const WorkloadShape& shape, const SchedulerCost& sched,
+              size_t threads)
+{
+    MG_CHECK(shape.batchSize >= 1, "batch size must be positive");
+    double parallel =
+        cost.seconds / effectiveParallelism(machine, threads);
+
+    // Shared bandwidth ceiling: all sockets' memory controllers serve the
+    // combined DRAM traffic; the run can never finish faster than the
+    // traffic drains.
+    double bandwidth =
+        machine.memBandwidthGBs * 1e9 * static_cast<double>(machine.sockets);
+    double memory_floor = shape.dramBytes / bandwidth;
+
+    // Scheduler overhead: per-batch dispatch, amortized over threads for
+    // distributed policies, serialized for a VG-style main dispatcher.
+    double batches = shape.numReads == 0
+        ? 0.0
+        : std::ceil(static_cast<double>(shape.numReads) /
+                    static_cast<double>(shape.batchSize));
+    double per_batch_micros =
+        sched.dispatchMicros +
+        sched.contentionMicrosPerThread * static_cast<double>(threads);
+    double dispatch_seconds = batches * per_batch_micros * 1e-6;
+    if (!sched.serialDispatch) {
+        dispatch_seconds /= static_cast<double>(std::max<size_t>(threads, 1));
+    }
+    double setup_seconds =
+        static_cast<double>(threads) * sched.threadSetupMicros * 1e-6;
+
+    // Tail imbalance: the last wave of batches leaves up to one batch per
+    // thread idle-waiting; expected cost is half a batch's work.
+    double per_read_seconds =
+        shape.numReads == 0 ? 0.0
+                            : cost.seconds /
+                                  static_cast<double>(shape.numReads);
+    double imbalance = 0.0;
+    if (threads > 1 && shape.numReads > 0) {
+        double tail_reads =
+            sched.imbalanceFactor * static_cast<double>(shape.batchSize) *
+            (1.0 - 1.0 / static_cast<double>(threads));
+        tail_reads = std::min(tail_reads,
+                              static_cast<double>(shape.numReads));
+        imbalance = tail_reads * per_read_seconds;
+    }
+
+    return std::max(parallel, memory_floor) + dispatch_seconds +
+           setup_seconds + imbalance;
+}
+
+std::vector<double>
+speedupCurve(const MachineConfig& machine, const CostProfile& cost,
+             const WorkloadShape& shape, const SchedulerCost& sched,
+             const std::vector<size_t>& thread_counts)
+{
+    double base = predictedTime(machine, cost, shape, sched, 1);
+    std::vector<double> speedups;
+    speedups.reserve(thread_counts.size());
+    for (size_t threads : thread_counts) {
+        speedups.push_back(
+            base / predictedTime(machine, cost, shape, sched, threads));
+    }
+    return speedups;
+}
+
+} // namespace mg::machine

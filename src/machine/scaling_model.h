@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic strong-scaling and makespan model.  Given a single-thread cost
+ * profile of the mapping kernel (from the cost model over a real trace),
+ * predicts the wall-clock time at T threads on a Table II machine,
+ * accounting for:
+ *   - physical core / SMT / cross-socket throughput (Figure 5's plateaus),
+ *   - a shared DRAM bandwidth ceiling fed by the traced LLC miss volume,
+ *   - per-batch scheduler dispatch overhead (policy dependent), and
+ *   - tail imbalance from the batch granularity.
+ * This supplies the cross-machine behaviour this single-core container
+ * cannot measure directly; the substitution is documented in DESIGN.md.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "machine/cost_model.h"
+
+namespace mg::machine {
+
+/** Scheduler-dependent overhead knobs for the makespan model. */
+struct SchedulerCost
+{
+    /** Per-batch dispatch cost in microseconds on the scheduling path. */
+    double dispatchMicros = 0.0;
+    /** Per-thread one-time setup cost in microseconds. */
+    double threadSetupMicros = 0.0;
+    /**
+     * Extra per-batch cost in microseconds *per participating thread*,
+     * modelling contention on the shared dispatch state (the cache-line
+     * ping-pong of a dynamic-schedule counter).  This is what makes small
+     * batches expensive at high thread counts and moves the optimal batch
+     * size around between machines, as in the paper's Table VIII.
+     */
+    double contentionMicrosPerThread = 0.0;
+    /** Whether the dispatch cost serializes on one thread (VG style). */
+    bool serialDispatch = false;
+    /**
+     * Fraction of one batch's work expected to sit in the end-of-run tail
+     * per thread.  Dynamic dealing leaves ~half a batch (0.5); stealing
+     * redistributes the tail and leaves much less.
+     */
+    double imbalanceFactor = 0.5;
+};
+
+/** One workload's inputs to the makespan model. */
+struct WorkloadShape
+{
+    /** Number of reads (work items). */
+    uint64_t numReads = 0;
+    /** Batch size used by the scheduler. */
+    uint64_t batchSize = 512;
+    /** Bytes of DRAM traffic (llcMisses * line). */
+    double dramBytes = 0.0;
+};
+
+/**
+ * Effective parallelism of T software threads on the machine: physical
+ * cores first (remote sockets discounted), then SMT contexts at marginal
+ * efficiency.  More threads than contexts just oversubscribe (capped).
+ */
+double effectiveParallelism(const MachineConfig& machine, size_t threads);
+
+/**
+ * Predicted wall-clock seconds of a kernel whose single-thread modelled
+ * time is `cost.seconds`, run with `threads` threads.
+ */
+double predictedTime(const MachineConfig& machine, const CostProfile& cost,
+                     const WorkloadShape& shape, const SchedulerCost& sched,
+                     size_t threads);
+
+/** Speedup curve over a list of thread counts (relative to 1 thread). */
+std::vector<double> speedupCurve(const MachineConfig& machine,
+                                 const CostProfile& cost,
+                                 const WorkloadShape& shape,
+                                 const SchedulerCost& sched,
+                                 const std::vector<size_t>& thread_counts);
+
+} // namespace mg::machine

@@ -1,0 +1,57 @@
+#include "machine/tracer.h"
+
+#include "util/common.h"
+
+namespace mg::machine {
+
+TraceCounter::TraceCounter(const std::vector<MachineConfig>& machines)
+{
+    MG_CHECK(!machines.empty(), "TraceCounter needs at least one machine");
+    hierarchies_.reserve(machines.size());
+    for (const MachineConfig& machine : machines) {
+        hierarchies_.push_back(std::make_unique<CacheHierarchy>(machine));
+    }
+}
+
+void
+TraceCounter::onAccess(const void* addr, uint32_t bytes, bool write)
+{
+    (void)write; // the model does not distinguish read/write latency
+    // One memory instruction per line touched (approximated as one per
+    // access plus per-line accounting inside the hierarchy).
+    ++work_.memoryAccesses;
+    ++work_.instructions;
+    work_.bytesTouched += bytes;
+    uint64_t address = reinterpret_cast<uint64_t>(addr);
+    for (auto& hierarchy : hierarchies_) {
+        hierarchy->access(address, bytes);
+    }
+}
+
+void
+TraceCounter::onWork(uint64_t ops)
+{
+    work_.instructions += ops;
+}
+
+const CacheCounters&
+TraceCounter::countersFor(const std::string& name) const
+{
+    for (const auto& hierarchy : hierarchies_) {
+        if (hierarchy->config().name == name) {
+            return hierarchy->counters();
+        }
+    }
+    throw util::Error("machine not traced: " + name);
+}
+
+void
+TraceCounter::resetCounters()
+{
+    work_ = WorkCounters();
+    for (auto& hierarchy : hierarchies_) {
+        hierarchy->resetCounters();
+    }
+}
+
+} // namespace mg::machine

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TraceCounter: the MemTracer implementation that turns instrumented data
+ * structure accesses into hardware-counter style measurements.  One access
+ * stream can drive several machines' cache hierarchies simultaneously, so
+ * a single (expensive) instrumented run yields per-machine counters for
+ * the whole Table II fleet.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "machine/cache_sim.h"
+#include "util/mem_tracer.h"
+
+namespace mg::machine {
+
+/** Instruction/access totals accumulated alongside the cache counters. */
+struct WorkCounters
+{
+    uint64_t instructions = 0;
+    uint64_t memoryAccesses = 0;
+    uint64_t bytesTouched = 0;
+};
+
+/**
+ * MemTracer feeding one cache hierarchy per registered machine.
+ * Not thread-safe: attach one TraceCounter per worker thread.
+ */
+class TraceCounter : public util::MemTracer
+{
+  public:
+    /** Trace against every machine in `machines`. */
+    explicit TraceCounter(const std::vector<MachineConfig>& machines);
+
+    void onAccess(const void* addr, uint32_t bytes, bool write) override;
+    void onWork(uint64_t ops) override;
+
+    const WorkCounters& work() const { return work_; }
+
+    size_t numMachines() const { return hierarchies_.size(); }
+    const CacheHierarchy& hierarchy(size_t index) const
+    {
+        return *hierarchies_.at(index);
+    }
+    const CacheCounters& counters(size_t index) const
+    {
+        return hierarchies_.at(index)->counters();
+    }
+
+    /** Counters of a machine by name; throws if not registered. */
+    const CacheCounters& countersFor(const std::string& name) const;
+
+    /** Zero all counters (cache contents stay warm). */
+    void resetCounters();
+
+  private:
+    std::vector<std::unique_ptr<CacheHierarchy>> hierarchies_;
+    WorkCounters work_;
+};
+
+} // namespace mg::machine

@@ -1,0 +1,175 @@
+#include "map/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mg::map {
+
+namespace {
+
+struct Keyed
+{
+    int64_t key;       // chain coordinate adjusted by read offset
+    int64_t coord;     // raw chain coordinate of the seed position
+    uint32_t seed;     // index into the seed vector
+    uint32_t readOff;  // read offset (for coverage/score dedup)
+    float score;
+};
+
+/** Score one finished cluster and append it to the output. */
+void
+emitCluster(const std::vector<Keyed>& members, bool on_reverse,
+            std::vector<Cluster>& out)
+{
+    Cluster cluster;
+    cluster.onReverseRead = on_reverse;
+    // Score counts each distinct read offset once: many graph placements
+    // of one minimizer are one piece of evidence.  Gather in read-offset
+    // order for the dedup.
+    std::vector<Keyed> by_offset = members;
+    std::sort(by_offset.begin(), by_offset.end(),
+              [](const Keyed& a, const Keyed& b) {
+                  if (a.readOff != b.readOff) {
+                      return a.readOff < b.readOff;
+                  }
+                  return a.seed < b.seed;
+              });
+    uint32_t last_offset = UINT32_MAX;
+    for (const Keyed& member : by_offset) {
+        cluster.seedIndices.push_back(member.seed);
+        if (member.readOff != last_offset) {
+            cluster.score += member.score;
+            ++cluster.coverage;
+            last_offset = member.readOff;
+        }
+    }
+    out.push_back(std::move(cluster));
+}
+
+/**
+ * Stage 2: split a key-proximate group wherever adjacent seeds are not
+ * actually co-reachable in the graph at (approximately) the distance
+ * their coordinates imply.  These bounded Dijkstra queries are the
+ * distance-index traversals that make cluster_seeds expensive in the
+ * parent application.
+ */
+void
+refineAndEmit(const graph::VariationGraph& graph,
+              const index::DistanceIndex& distance,
+              const SeedVector& seeds,
+              const std::vector<Keyed>& group, bool on_reverse,
+              const ClusterParams& params, std::vector<Cluster>& out,
+              util::MemTracer* tracer)
+{
+    if (!params.exactRefinement || group.size() < 2) {
+        emitCluster(group, on_reverse, out);
+        return;
+    }
+    // Verify adjacency in raw-coordinate order.
+    std::vector<Keyed> ordered = group;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Keyed& a, const Keyed& b) {
+                  if (a.coord != b.coord) {
+                      return a.coord < b.coord;
+                  }
+                  return a.seed < b.seed;
+              });
+    std::vector<Keyed> segment = {ordered.front()};
+    for (size_t i = 1; i < ordered.size(); ++i) {
+        const Keyed& prev = ordered[i - 1];
+        const Keyed& next = ordered[i];
+        const graph::Position& from = seeds[prev.seed].position;
+        const graph::Position& to = seeds[next.seed].position;
+        int64_t expected = next.coord - prev.coord;
+        bool consistent = true;
+        if (!(from == to)) {
+            util::traceWork(tracer, 64);
+            int64_t exact = distance.minDistance(
+                graph, from, to, expected + params.exactDistanceCap);
+            consistent = exact != index::kUnreachable &&
+                         std::llabs(exact - expected) <=
+                             params.distanceLimit;
+        }
+        if (!consistent) {
+            emitCluster(segment, on_reverse, out);
+            segment.clear();
+        }
+        segment.push_back(next);
+    }
+    emitCluster(segment, on_reverse, out);
+}
+
+void
+sweepOrientation(const graph::VariationGraph& graph,
+                 const index::DistanceIndex& distance,
+                 const SeedVector& seeds, std::vector<Keyed>& keyed,
+                 bool on_reverse, const ClusterParams& params,
+                 std::vector<Cluster>& out, util::MemTracer* tracer)
+{
+    if (keyed.empty()) {
+        return;
+    }
+    std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+        if (a.key != b.key) {
+            return a.key < b.key;
+        }
+        return a.seed < b.seed;
+    });
+    util::traceAccess(tracer, keyed.data(),
+                      static_cast<uint32_t>(keyed.size() * sizeof(Keyed)));
+    util::traceWork(tracer, keyed.size() * 8);
+
+    size_t begin = 0;
+    for (size_t i = 1; i <= keyed.size(); ++i) {
+        bool split = i == keyed.size() ||
+                     keyed[i].key - keyed[i - 1].key > params.distanceLimit;
+        if (!split) {
+            continue;
+        }
+        std::vector<Keyed> group(keyed.begin() + begin, keyed.begin() + i);
+        refineAndEmit(graph, distance, seeds, group, on_reverse, params,
+                      out, tracer);
+        begin = i;
+    }
+}
+
+} // namespace
+
+std::vector<Cluster>
+clusterSeeds(const graph::VariationGraph& graph,
+             const index::DistanceIndex& distance, const SeedVector& seeds,
+             const ClusterParams& params, util::MemTracer* tracer)
+{
+    std::vector<Keyed> forward;
+    std::vector<Keyed> reverse;
+    for (uint32_t i = 0; i < seeds.size(); ++i) {
+        const Seed& seed = seeds[i];
+        util::traceAccess(tracer, &seed, sizeof(Seed));
+        Keyed keyed;
+        keyed.coord = distance.chainCoordinate(seed.position);
+        keyed.key = keyed.coord - static_cast<int64_t>(seed.readOffset);
+        keyed.seed = i;
+        keyed.readOff = seed.readOffset;
+        keyed.score = seed.score;
+        (seed.onReverseRead ? reverse : forward).push_back(keyed);
+    }
+
+    std::vector<Cluster> clusters;
+    sweepOrientation(graph, distance, seeds, forward, false, params,
+                     clusters, tracer);
+    sweepOrientation(graph, distance, seeds, reverse, true, params,
+                     clusters, tracer);
+    std::sort(clusters.begin(), clusters.end(),
+              [](const Cluster& a, const Cluster& b) {
+                  if (a.score != b.score) {
+                      return a.score > b.score;
+                  }
+                  if (a.onReverseRead != b.onReverseRead) {
+                      return !a.onReverseRead;
+                  }
+                  return a.seedIndices < b.seedIndices;
+              });
+    return clusters;
+}
+
+} // namespace mg::map

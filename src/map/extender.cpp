@@ -1,0 +1,250 @@
+#include "map/extender.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/mem_tracer.h"
+#include "util/dna.h"
+
+namespace mg::map {
+
+namespace {
+
+/** One in-flight walk state of the DFS over haplotype-supported branches. */
+struct WalkState
+{
+    gbwt::SearchState state;       // haplotype range at the current node
+    uint32_t nodeOffset = 0;       // next base to compare within the node
+    uint32_t queryPos = 0;         // next query character to compare
+    int mismatches = 0;
+    int32_t score = 0;
+    std::vector<graph::Handle> path;
+    std::vector<uint32_t> mismatchOffsets;
+    // Snapshot at the maximum-score prefix end (always a matching base),
+    // used to trim the walk to its best local alignment when it stops.
+    uint32_t bestQueryPos = 0;
+    uint32_t bestEndOffset = 0;
+    int32_t bestScore = 0;
+    size_t bestMismatches = 0;
+    size_t bestPathLen = 0;
+};
+
+/** Walk result plus its end offset inside the final node. */
+struct WalkCandidate
+{
+    DirectionalWalk walk;
+    bool valid = false;
+};
+
+/** Deterministic "is a better than b" for finished walk prefixes. */
+bool
+betterCandidate(const DirectionalWalk& a, const DirectionalWalk& b)
+{
+    if (a.score != b.score) {
+        return a.score > b.score;
+    }
+    if (a.consumed != b.consumed) {
+        return a.consumed > b.consumed;
+    }
+    if (a.path != b.path) {
+        return a.path < b.path;
+    }
+    return a.mismatchOffsets < b.mismatchOffsets;
+}
+
+} // namespace
+
+DirectionalWalk
+Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
+               gbwt::CachedGbwt& cache) const
+{
+    DirectionalWalk best; // empty walk: consumed 0, score 0
+    if (query.empty()) {
+        return best;
+    }
+    gbwt::SearchState root = cache.find(start);
+    if (root.empty()) {
+        return best; // no haplotype visits this node in this orientation
+    }
+
+    std::vector<WalkState> stack;
+    {
+        WalkState init;
+        init.state = root;
+        init.nodeOffset = offset;
+        stack.push_back(std::move(init));
+    }
+    size_t explored = 0;
+
+    auto finish = [&](const WalkState& s) {
+        // Trim to the maximum-score prefix (it always ends on a match).
+        DirectionalWalk candidate;
+        candidate.consumed = s.bestQueryPos;
+        candidate.score = s.bestScore;
+        candidate.endOffset = s.bestEndOffset;
+        candidate.mismatchOffsets.assign(
+            s.mismatchOffsets.begin(),
+            s.mismatchOffsets.begin() +
+                static_cast<long>(s.bestMismatches));
+        candidate.path.assign(s.path.begin(),
+                              s.path.begin() +
+                                  static_cast<long>(s.bestPathLen));
+        if (candidate.consumed > 0 && betterCandidate(candidate, best)) {
+            best = std::move(candidate);
+        }
+    };
+
+    util::MemTracer* tracer = cache.tracer();
+    while (!stack.empty()) {
+        WalkState s = std::move(stack.back());
+        stack.pop_back();
+        if (++explored > params_.maxWalkStates) {
+            finish(s);
+            break;
+        }
+        graph::Handle handle = s.state.node;
+        uint32_t len = static_cast<uint32_t>(graph_.length(handle.id()));
+        bool dead = false;
+
+        // Consume bases within the current node.
+        if (s.nodeOffset < len && s.queryPos < query.size()) {
+            s.path.push_back(handle);
+            // The walk-and-compare inner loop: report the graph bases and
+            // query bytes about to be read, and the compare/branch work.
+            uint32_t span = std::min<uint32_t>(
+                len - s.nodeOffset,
+                static_cast<uint32_t>(query.size()) - s.queryPos);
+            std::string_view node_seq = graph_.sequenceView(handle.id());
+            util::traceAccess(tracer, node_seq.data() + s.nodeOffset, span);
+            util::traceAccess(tracer, query.data() + s.queryPos, span);
+            util::traceWork(tracer, span * 6);
+        }
+        while (s.nodeOffset < len && s.queryPos < query.size()) {
+            char graph_base = graph_.base(handle, s.nodeOffset);
+            if (graph_base == query[s.queryPos]) {
+                s.score += params_.matchScore;
+                ++s.nodeOffset;
+                ++s.queryPos;
+                if (s.score >= s.bestScore) {
+                    s.bestQueryPos = s.queryPos;
+                    s.bestEndOffset = s.nodeOffset;
+                    s.bestScore = s.score;
+                    s.bestMismatches = s.mismatchOffsets.size();
+                    s.bestPathLen = s.path.size();
+                }
+            } else {
+                if (s.mismatches + 1 > params_.maxMismatches) {
+                    dead = true;
+                    break;
+                }
+                ++s.mismatches;
+                s.score -= params_.mismatchPenalty;
+                s.mismatchOffsets.push_back(s.queryPos);
+                ++s.nodeOffset;
+                ++s.queryPos;
+            }
+        }
+
+        if (dead || s.queryPos >= query.size()) {
+            finish(s);
+            continue;
+        }
+
+        // Node exhausted with query left: branch on haplotype-supported
+        // successors.  Push in descending handle order so the DFS visits
+        // smaller handles first (determinism).
+        std::vector<gbwt::SearchState> successors;
+        if (params_.haplotypeConsistent) {
+            successors = cache.successorStates(s.state);
+        } else {
+            // Ablation mode: walk every graph edge with dummy states.
+            for (graph::Handle succ : graph_.successors(handle)) {
+                successors.emplace_back(succ, 0, 1);
+            }
+        }
+        if (successors.empty()) {
+            finish(s);
+            continue;
+        }
+        std::sort(successors.begin(), successors.end(),
+                  [](const gbwt::SearchState& a, const gbwt::SearchState& b) {
+                      return b.node < a.node;
+                  });
+        for (gbwt::SearchState& succ : successors) {
+            WalkState next = s;      // copy: branches are rare in bubbles
+            next.state = succ;
+            next.nodeOffset = 0;
+            stack.push_back(std::move(next));
+        }
+    }
+    return best;
+}
+
+GaplessExtension
+Extender::extendSeed(const Seed& seed, std::string_view sequence,
+                     gbwt::CachedGbwt& cache) const
+{
+    const graph::Position& pos = seed.position;
+    const uint32_t read_offset = seed.readOffset;
+    MG_ASSERT(read_offset < sequence.size());
+    const uint32_t node_len =
+        static_cast<uint32_t>(graph_.length(pos.handle.id()));
+    MG_ASSERT(pos.offset < node_len);
+
+    // Rightward: match the read suffix starting at the seed base itself.
+    DirectionalWalk right =
+        walk(pos.handle, pos.offset, sequence.substr(read_offset), cache);
+
+    // Leftward: match the reverse complement of the read prefix by walking
+    // the flipped start node from the mirrored offset.
+    std::string left_query = util::reverseComplement(
+        sequence.substr(0, read_offset));
+    DirectionalWalk left =
+        walk(pos.handle.flip(), node_len - pos.offset, left_query, cache);
+
+    GaplessExtension ext;
+    ext.onReverseRead = seed.onReverseRead;
+    ext.readBegin = read_offset - left.consumed;
+    ext.readEnd = read_offset + right.consumed;
+    ext.score = left.score + right.score;
+
+    // Mismatch offsets: left walk position j maps to read_offset - 1 - j.
+    for (auto it = left.mismatchOffsets.rbegin();
+         it != left.mismatchOffsets.rend(); ++it) {
+        ext.mismatchOffsets.push_back(read_offset - 1 - *it);
+    }
+    for (uint32_t off : right.mismatchOffsets) {
+        ext.mismatchOffsets.push_back(read_offset + off);
+    }
+
+    // Path: flipped left walk reversed, then the right walk; the seed node
+    // appears in both when each consumed bases there.
+    for (auto it = left.path.rbegin(); it != left.path.rend(); ++it) {
+        ext.path.push_back(it->flip());
+    }
+    if (!ext.path.empty() && !right.path.empty() &&
+        ext.path.back() == right.path.front()) {
+        ext.path.pop_back();
+    }
+    ext.path.insert(ext.path.end(), right.path.begin(), right.path.end());
+
+    // Start offset within the first path node (forward coordinates).
+    if (left.consumed > 0) {
+        graph::Handle first = ext.path.front();
+        uint32_t first_len =
+            static_cast<uint32_t>(graph_.length(first.id()));
+        // The left walk's final node is first.flip(); the walk consumed up
+        // to flipped offset left.endOffset; mirror it to forward strand.
+        ext.startOffset = first_len - left.endOffset;
+    } else {
+        ext.startOffset = pos.offset;
+    }
+
+    if (ext.readBegin == 0 && ext.readEnd == sequence.size()) {
+        ext.fullLength = true;
+        ext.score += params_.fullLengthBonus;
+    }
+    return ext;
+}
+
+} // namespace mg::map

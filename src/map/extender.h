@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Haplotype-consistent gapless extension — Giraffe's single most expensive
+ * kernel ("the function that extends the search from the seeds",
+ * Section V).  From each seed the extender walks the variation graph in
+ * both directions, comparing graph bases against read bases, following only
+ * successors supported by at least one haplotype in the (cached) GBWT, and
+ * allowing a small budget of mismatches.  The per-node GBWT record lookups
+ * this walk performs are exactly the accesses the CachedGBWT exists to
+ * serve.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gbwt/cached_gbwt.h"
+#include "graph/variation_graph.h"
+#include "map/extension.h"
+#include "map/seed.h"
+
+namespace mg::map {
+
+/** Extension knobs (paper-scale defaults). */
+struct ExtendParams
+{
+    /** Mismatch budget per direction (Giraffe's default is 4 overall). */
+    int maxMismatches = 4;
+    /** Scoring: +match, -mismatch, plus a bonus for full-length mappings. */
+    int matchScore = 1;
+    int mismatchPenalty = 4;
+    int fullLengthBonus = 5;
+    /** Cap on simultaneously explored walk states per seed (safety). */
+    size_t maxWalkStates = 64;
+    /**
+     * Follow only haplotype-supported successors (the GBWT-guided search
+     * that defines Giraffe).  Disabling falls back to walking every graph
+     * edge — the ablation showing why the haplotype constraint matters
+     * (more states, more work, spurious recombinant alignments).
+     */
+    bool haplotypeConsistent = true;
+};
+
+/** Result of extending in one direction. */
+struct DirectionalWalk
+{
+    /** Query characters consumed (after trailing-mismatch trimming). */
+    uint32_t consumed = 0;
+    /** Query offsets of mismatches within the consumed prefix. */
+    std::vector<uint32_t> mismatchOffsets;
+    /** Oriented nodes entered, in walk order (may be empty). */
+    std::vector<graph::Handle> path;
+    /** Accumulated score of the consumed prefix. */
+    int32_t score = 0;
+    /** Offset just past the last consumed base within path.back(). */
+    uint32_t endOffset = 0;
+};
+
+/**
+ * Stateless extension routines; all mutable state (the GBWT cache) is
+ * owned by the caller, one per worker thread.
+ */
+class Extender
+{
+  public:
+    Extender(const graph::VariationGraph& graph, ExtendParams params)
+        : graph_(graph), params_(params)
+    {}
+
+    const ExtendParams& params() const { return params_; }
+
+    /**
+     * Extend one seed against the (oriented) read sequence.  `sequence`
+     * must already be the reverse complement when seed.onReverseRead is
+     * set; seeding produced the seed against exactly that string.
+     */
+    GaplessExtension extendSeed(const Seed& seed, std::string_view sequence,
+                                gbwt::CachedGbwt& cache) const;
+
+    /**
+     * Core walk: match `query` (left to right) against graph bases starting
+     * at `offset` within oriented node `start`, following only
+     * haplotype-supported edges.  Exposed for unit testing.
+     */
+    DirectionalWalk walk(graph::Handle start, uint32_t offset,
+                         std::string_view query,
+                         gbwt::CachedGbwt& cache) const;
+
+  private:
+    const graph::VariationGraph& graph_;
+    ExtendParams params_;
+};
+
+} // namespace mg::map

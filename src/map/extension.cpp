@@ -1,0 +1,56 @@
+#include "map/extension.h"
+
+namespace mg::map {
+
+bool
+operator<(const GaplessExtension& a, const GaplessExtension& b)
+{
+    if (a.score != b.score) {
+        return a.score > b.score; // best first
+    }
+    if (a.onReverseRead != b.onReverseRead) {
+        return !a.onReverseRead && b.onReverseRead;
+    }
+    if (a.readBegin != b.readBegin) {
+        return a.readBegin < b.readBegin;
+    }
+    if (a.readEnd != b.readEnd) {
+        return a.readEnd < b.readEnd;
+    }
+    if (a.startOffset != b.startOffset) {
+        return a.startOffset < b.startOffset;
+    }
+    if (a.path != b.path) {
+        return a.path < b.path;
+    }
+    return a.mismatchOffsets < b.mismatchOffsets;
+}
+
+std::string
+GaplessExtension::str() const
+{
+    std::string out;
+    out += onReverseRead ? '-' : '+';
+    out += ' ';
+    out += std::to_string(readBegin) + ".." + std::to_string(readEnd);
+    out += " @";
+    for (graph::Handle step : path) {
+        out += ' ';
+        out += step.str();
+    }
+    out += ":" + std::to_string(startOffset);
+    out += " mm[";
+    for (size_t i = 0; i < mismatchOffsets.size(); ++i) {
+        if (i > 0) {
+            out += ',';
+        }
+        out += std::to_string(mismatchOffsets[i]);
+    }
+    out += "] score=" + std::to_string(score);
+    if (fullLength) {
+        out += " full";
+    }
+    return out;
+}
+
+} // namespace mg::map

@@ -1,0 +1,142 @@
+#include "map/mapper.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/dna.h"
+
+namespace mg::map {
+
+Mapper::Mapper(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+               const index::MinimizerIndex& minimizers,
+               const index::DistanceIndex& distance, MapperParams params)
+    : graph_(graph), gbwt_(gbwt), minimizers_(minimizers),
+      distance_(distance), params_(params), extender_(graph, params.extend)
+{}
+
+void
+Mapper::bindProfiler(perf::Profiler& profiler)
+{
+    regionFindSeeds_ = profiler.regionId(perf::regions::kFindSeeds);
+    regionCluster_ = profiler.regionId(perf::regions::kClusterSeeds);
+    regionProcess_ =
+        profiler.regionId(perf::regions::kProcessUntilThresholdC);
+    regionExtend_ = profiler.regionId(perf::regions::kExtend);
+    profilerBound_ = true;
+}
+
+MapResult
+Mapper::mapRead(const Read& read, MapperState& state) const
+{
+    SeedVector seeds;
+    {
+        perf::ScopedRegion region(state.log, regionFindSeeds_);
+        seeds = findSeeds(minimizers_, read, params_.seeding, state.tracer);
+    }
+    return mapFromSeeds(read, seeds, state);
+}
+
+MapResult
+Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
+                     MapperState& state) const
+{
+    MapResult result;
+    // Fresh per-read CachedGBWT, as Giraffe's extender constructs one per
+    // mapping task; its initialization is part of the read's cost.
+    state.freshCache();
+    std::vector<Cluster> clusters;
+    {
+        perf::ScopedRegion region(state.log, regionCluster_);
+        clusters = clusterSeeds(graph_, distance_, seeds,
+                                params_.cluster, state.tracer);
+    }
+    result.clustersFormed = static_cast<uint32_t>(clusters.size());
+    {
+        perf::ScopedRegion region(state.log, regionProcess_);
+        processUntilThresholdC(read, seeds, clusters, state, result);
+    }
+    return result;
+}
+
+void
+Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
+                               const std::vector<Cluster>& clusters,
+                               MapperState& state, MapResult& result) const
+{
+    if (clusters.empty()) {
+        return;
+    }
+    const double best_score = clusters.front().score;
+    const double cutoff = best_score * params_.clusterScoreFraction;
+    // The reverse complement is computed once per read; both orientations'
+    // extensions compare against their own oriented sequence.
+    std::string reverse_seq;
+    bool reverse_ready = false;
+
+    for (size_t c = 0; c < clusters.size(); ++c) {
+        const Cluster& cluster = clusters[c];
+        // process_until_threshold_c: floor of minClusters, ceiling of
+        // maxClusters, and a relative score cutoff in between.
+        if (c >= params_.maxClusters) {
+            break;
+        }
+        if (c >= params_.minClusters && cluster.score < cutoff) {
+            break;
+        }
+        ++result.clustersProcessed;
+
+        std::string_view oriented = read.sequence;
+        if (cluster.onReverseRead) {
+            if (!reverse_ready) {
+                reverse_seq = util::reverseComplement(read.sequence);
+                reverse_ready = true;
+            }
+            oriented = reverse_seq;
+        }
+
+        // Pick the strongest seeds of the cluster, one per read offset.
+        std::vector<uint32_t> chosen;
+        {
+            std::vector<uint32_t> sorted = cluster.seedIndices;
+            std::sort(sorted.begin(), sorted.end(),
+                      [&](uint32_t a, uint32_t b) {
+                          if (seeds[a].score != seeds[b].score) {
+                              return seeds[a].score > seeds[b].score;
+                          }
+                          return a < b;
+                      });
+            uint32_t last_offset = UINT32_MAX;
+            for (uint32_t idx : sorted) {
+                if (seeds[idx].readOffset == last_offset) {
+                    continue;
+                }
+                chosen.push_back(idx);
+                last_offset = seeds[idx].readOffset;
+                if (chosen.size() >= params_.maxSeedsPerCluster) {
+                    break;
+                }
+            }
+        }
+
+        perf::ScopedRegion region(state.log, regionExtend_);
+        for (uint32_t idx : chosen) {
+            GaplessExtension ext =
+                extender_.extendSeed(seeds[idx], oriented, state.cache());
+            if (ext.readEnd > ext.readBegin) {
+                result.extensions.push_back(std::move(ext));
+            }
+        }
+    }
+
+    // Deduplicate identical extensions found from different seeds, keep
+    // the best-scoring ones, deterministic order.
+    std::sort(result.extensions.begin(), result.extensions.end());
+    result.extensions.erase(
+        std::unique(result.extensions.begin(), result.extensions.end()),
+        result.extensions.end());
+    if (result.extensions.size() > params_.maxExtensions) {
+        result.extensions.resize(params_.maxExtensions);
+    }
+}
+
+} // namespace mg::map

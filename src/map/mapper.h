@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The mapping pipeline core shared by miniGiraffe (the proxy) and the
+ * parent emulator.  Per read: seeds -> cluster_seeds ->
+ * process_until_threshold_c (score-thresholded cluster processing calling
+ * the gapless extender) -> raw extensions (the proxy's output).
+ *
+ * process_until_threshold_c follows the semantics the paper describes for
+ * Giraffe's helper of the same name: candidate clusters are visited in
+ * descending score order and processed while their score stays within a
+ * fraction of the best cluster's score, with floor and ceiling counts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "gbwt/cached_gbwt.h"
+#include "graph/variation_graph.h"
+#include "index/distance.h"
+#include "index/minimizer.h"
+#include "map/cluster.h"
+#include "map/extender.h"
+#include "map/read.h"
+#include "map/seeding.h"
+#include "perf/profiler.h"
+
+namespace mg::map {
+
+/** End-to-end mapping parameters (defaults mirror the paper's defaults). */
+struct MapperParams
+{
+    SeedingParams seeding;
+    ClusterParams cluster;
+    ExtendParams extend;
+    /** Process clusters scoring at least this fraction of the best
+     *  (Giraffe's absolute cluster-score threshold admits many clusters;
+     *  a low fraction mirrors that permissiveness). */
+    double clusterScoreFraction = 0.02;
+    /** Always process at least this many clusters (if available). */
+    size_t minClusters = 2;
+    /** Never process more than this many clusters per read. */
+    size_t maxClusters = 48;
+    /** Distinct seeds extended per processed cluster. */
+    size_t maxSeedsPerCluster = 4;
+    /** Extensions kept per read (best first). */
+    size_t maxExtensions = 16;
+    /** Initial CachedGBWT capacity (0 disables caching). */
+    size_t gbwtCacheCapacity = gbwt::CachedGbwt::kDefaultInitialCapacity;
+};
+
+/**
+ * Per-worker-thread mutable state plus optional instrumentation handles.
+ *
+ * The CachedGBWT is recreated for every read (freshCache()), mirroring
+ * Giraffe's extender, which constructs a CachedGBWT per mapping task.
+ * This short lifetime is what makes the *initial capacity* a meaningful
+ * tuning parameter (Section VII-B): a table far larger than one read's
+ * working set pays initialization and locality costs on every read, while
+ * a tiny one rehashes repeatedly.
+ */
+class MapperState
+{
+  public:
+    MapperState(const gbwt::Gbwt& gbwt, size_t cache_capacity,
+                util::MemTracer* tracer = nullptr)
+        : tracer(tracer), gbwt_(gbwt), capacity_(cache_capacity)
+    {
+        cache_ = std::make_unique<gbwt::CachedGbwt>(gbwt_, capacity_,
+                                                    tracer);
+    }
+
+    /** The current read's decode cache. */
+    gbwt::CachedGbwt& cache() { return *cache_; }
+
+    /** Start a new read: accumulate stats, rebuild the cache. */
+    void
+    freshCache()
+    {
+        const gbwt::CacheStats& stats = cache_->stats();
+        accumulated_.lookups += stats.lookups;
+        accumulated_.hits += stats.hits;
+        accumulated_.decodes += stats.decodes;
+        accumulated_.rehashes += stats.rehashes;
+        accumulated_.probes += stats.probes;
+        cache_ = std::make_unique<gbwt::CachedGbwt>(gbwt_, capacity_,
+                                                    tracer);
+    }
+
+    /** Cache statistics accumulated across all reads so far. */
+    gbwt::CacheStats
+    totalStats() const
+    {
+        gbwt::CacheStats total = accumulated_;
+        const gbwt::CacheStats& stats = cache_->stats();
+        total.lookups += stats.lookups;
+        total.hits += stats.hits;
+        total.decodes += stats.decodes;
+        total.rehashes += stats.rehashes;
+        total.probes += stats.probes;
+        return total;
+    }
+
+    util::MemTracer* tracer = nullptr;
+    /** Region instrumentation (null when profiling is off). */
+    perf::Profiler::ThreadLog* log = nullptr;
+
+  private:
+    const gbwt::Gbwt& gbwt_;
+    size_t capacity_;
+    std::unique_ptr<gbwt::CachedGbwt> cache_;
+    gbwt::CacheStats accumulated_;
+};
+
+/**
+ * Immutable mapping engine over one graph + indexes.  Thread-safe: all
+ * mutation lives in MapperState.
+ */
+class Mapper
+{
+  public:
+    Mapper(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+           const index::MinimizerIndex& minimizers,
+           const index::DistanceIndex& distance, MapperParams params);
+
+    const MapperParams& params() const { return params_; }
+    const graph::VariationGraph& graph() const { return graph_; }
+    const gbwt::Gbwt& gbwt() const { return gbwt_; }
+
+    /** Fresh per-thread state bound to this mapper's GBWT. */
+    std::unique_ptr<MapperState>
+    makeState(util::MemTracer* tracer = nullptr) const
+    {
+        return std::make_unique<MapperState>(gbwt_,
+                                             params_.gbwtCacheCapacity,
+                                             tracer);
+    }
+
+    /** Full pipeline: seed, cluster, extend.  (Parent emulator path.) */
+    MapResult mapRead(const Read& read, MapperState& state) const;
+
+    /**
+     * Critical-functions-only pipeline from precomputed seeds (the proxy
+     * path: miniGiraffe's inputs are reads plus their seeds).
+     */
+    MapResult mapFromSeeds(const Read& read, const SeedVector& seeds,
+                           MapperState& state) const;
+
+    /** Register the region ids used for instrumentation. */
+    void bindProfiler(perf::Profiler& profiler);
+
+  private:
+    /** The paper's process_until_threshold_c over scored clusters. */
+    void processUntilThresholdC(const Read& read, const SeedVector& seeds,
+                                const std::vector<Cluster>& clusters,
+                                MapperState& state, MapResult& result) const;
+
+    const graph::VariationGraph& graph_;
+    const gbwt::Gbwt& gbwt_;
+    const index::MinimizerIndex& minimizers_;
+    const index::DistanceIndex& distance_;
+    MapperParams params_;
+    Extender extender_;
+
+    // Region ids (registered once; zero-cost when no log is attached).
+    perf::RegionId regionFindSeeds_ = 0;
+    perf::RegionId regionCluster_ = 0;
+    perf::RegionId regionProcess_ = 0;
+    perf::RegionId regionExtend_ = 0;
+    bool profilerBound_ = false;
+};
+
+} // namespace mg::map

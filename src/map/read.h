@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Short reads: the sequencing fragments mapped against the pangenome.
+ * Reads are 50-300 bases (Giraffe's short-read regime) and arrive either
+ * single-ended or as read pairs sequenced from both ends of one fragment
+ * (Section II-B of the paper).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::map {
+
+/** One short read. */
+struct Read
+{
+    std::string name;
+    std::string sequence;
+    /** Index of the mate read for paired-end data; SIZE_MAX if single. */
+    size_t mate = SIZE_MAX;
+
+    bool paired() const { return mate != SIZE_MAX; }
+};
+
+/** A batch of reads plus workflow metadata. */
+struct ReadSet
+{
+    std::vector<Read> reads;
+    bool pairedEnd = false;
+
+    size_t size() const { return reads.size(); }
+};
+
+} // namespace mg::map

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Seeds: matches between a read minimizer and the pangenome (Section IV-B).
+ * "A seed is a pair containing the pangenome graph node and a score
+ * indicating the probability of a match when starting the mapping walk from
+ * that node."  Seeds are where the walk-and-compare extension starts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/handle.h"
+
+namespace mg::map {
+
+/** One seed for one read orientation. */
+struct Seed
+{
+    /** Where the matching minimizer's k-mer starts in the graph. */
+    graph::Position position;
+    /** Offset of the minimizer k-mer in the (oriented) read. */
+    uint32_t readOffset = 0;
+    /**
+     * True if this seed was found on the reverse complement of the read;
+     * extension then runs on the reverse-complemented sequence.
+     */
+    bool onReverseRead = false;
+    /**
+     * Rarity score: rare minimizers make trustworthy seeds.  Computed from
+     * the index occurrence count at seeding time.
+     */
+    float score = 0.0f;
+
+    friend bool
+    operator==(const Seed& a, const Seed& b)
+    {
+        return a.position == b.position && a.readOffset == b.readOffset &&
+               a.onReverseRead == b.onReverseRead;
+    }
+};
+
+/** All seeds of one read (both orientations). */
+using SeedVector = std::vector<Seed>;
+
+} // namespace mg::map

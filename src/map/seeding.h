@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Seed generation: "the first operation finds the minimizers and the
+ * distance index information for the short read being processed.  Once
+ * found, the application creates a vector of seeds" (Section IV-B).  In the
+ * full application this is part of the preprocessing that Giraffe performs
+ * before the critical functions; the parent emulator runs it inline and the
+ * proxy typically loads the precomputed result from the reads+seeds .bin
+ * file, exactly as the paper's miniGiraffe does.
+ */
+#pragma once
+
+#include <string_view>
+
+#include "index/minimizer.h"
+#include "map/read.h"
+#include "map/seed.h"
+#include "util/mem_tracer.h"
+
+namespace mg::map {
+
+/** Seed-generation knobs. */
+struct SeedingParams
+{
+    /** Ignore minimizers with more matches than this (repeat guard). */
+    size_t maxSeedsPerMinimizer = 64;
+};
+
+/**
+ * Find all seeds of one read against the minimizer index, for the forward
+ * read and its reverse complement.  Seed scores reflect minimizer rarity
+ * (rarer match == stronger evidence).
+ */
+SeedVector findSeeds(const index::MinimizerIndex& index, const Read& read,
+                     const SeedingParams& params = SeedingParams(),
+                     util::MemTracer* tracer = nullptr);
+
+/** Seeds of one linear sequence in one orientation (helper). */
+void appendSeeds(const index::MinimizerIndex& index, std::string_view seq,
+                 bool on_reverse_read, const SeedingParams& params,
+                 SeedVector& out, util::MemTracer* tracer = nullptr);
+
+} // namespace mg::map

@@ -1,0 +1,117 @@
+#include "perf/profiler.h"
+
+#include <fstream>
+
+#include "util/common.h"
+
+namespace mg::perf {
+
+RegionId
+Profiler::regionId(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = regionIds_.find(name);
+    if (it != regionIds_.end()) {
+        return it->second;
+    }
+    RegionId id = static_cast<RegionId>(regionNames_.size());
+    regionIds_[name] = id;
+    regionNames_.push_back(name);
+    return id;
+}
+
+const std::string&
+Profiler::regionName(RegionId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MG_ASSERT(id < regionNames_.size());
+    return regionNames_[id];
+}
+
+Profiler::ThreadLog*
+Profiler::registerThread(size_t thread_index)
+{
+    if (!enabled_) {
+        return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (thread_index >= logs_.size()) {
+        logs_.resize(thread_index + 1);
+    }
+    if (!logs_[thread_index]) {
+        logs_[thread_index] = std::make_unique<ThreadLog>(thread_index);
+    }
+    return logs_[thread_index].get();
+}
+
+size_t
+Profiler::numThreads() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return logs_.size();
+}
+
+std::vector<RegionTotal>
+Profiler::aggregate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RegionTotal> totals;
+    for (const auto& log : logs_) {
+        if (!log) {
+            continue;
+        }
+        // Dense (region -> slot) map local to this thread.
+        std::vector<size_t> slot(regionNames_.size(), SIZE_MAX);
+        for (const RegionRecord& rec : log->records()) {
+            MG_ASSERT(rec.region < regionNames_.size());
+            if (slot[rec.region] == SIZE_MAX) {
+                slot[rec.region] = totals.size();
+                totals.push_back(RegionTotal{regionNames_[rec.region],
+                                             log->index(), 0, 0});
+            }
+            RegionTotal& total = totals[slot[rec.region]];
+            total.totalNanos += rec.endNanos - rec.startNanos;
+            ++total.invocations;
+        }
+    }
+    return totals;
+}
+
+double
+Profiler::regionSeconds(const std::string& name) const
+{
+    double seconds = 0.0;
+    for (const RegionTotal& total : aggregate()) {
+        if (total.region == name) {
+            seconds += static_cast<double>(total.totalNanos) * 1e-9;
+        }
+    }
+    return seconds;
+}
+
+void
+Profiler::dumpCsv(const std::string& path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ofstream out(path);
+    util::require(out.good(), "cannot open profile dump file: ", path);
+    out << "thread,region,start_ns,end_ns\n";
+    for (const auto& log : logs_) {
+        if (!log) {
+            continue;
+        }
+        for (const RegionRecord& rec : log->records()) {
+            out << log->index() << ',' << regionNames_[rec.region] << ','
+                << rec.startNanos << ',' << rec.endNanos << '\n';
+        }
+    }
+}
+
+void
+Profiler::clearRecords()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    logs_.clear();
+}
+
+} // namespace mg::perf

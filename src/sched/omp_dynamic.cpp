@@ -1,0 +1,29 @@
+#include "sched/omp_dynamic.h"
+
+#include <omp.h>
+
+#include "util/common.h"
+
+namespace mg::sched {
+
+void
+OmpDynamicScheduler::run(size_t total, size_t batch_size, size_t num_threads,
+                         const BatchFn& fn)
+{
+    MG_CHECK(batch_size > 0, "batch size must be positive");
+    MG_CHECK(num_threads > 0, "thread count must be positive");
+    if (total == 0) {
+        return;
+    }
+    const int64_t num_batches =
+        static_cast<int64_t>((total + batch_size - 1) / batch_size);
+#pragma omp parallel for schedule(dynamic, 1) \
+    num_threads(static_cast<int>(num_threads))
+    for (int64_t batch = 0; batch < num_batches; ++batch) {
+        size_t begin = static_cast<size_t>(batch) * batch_size;
+        size_t end = std::min(total, begin + batch_size);
+        fn(static_cast<size_t>(omp_get_thread_num()), begin, end);
+    }
+}
+
+} // namespace mg::sched

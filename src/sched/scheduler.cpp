@@ -1,0 +1,61 @@
+#include "sched/scheduler.h"
+
+#include "sched/omp_dynamic.h"
+#include "sched/vg_batch.h"
+#include "sched/static_sched.h"
+#include "sched/work_stealing.h"
+#include "util/common.h"
+
+namespace mg::sched {
+
+const char*
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::OmpDynamic:
+        return "openmp";
+      case SchedulerKind::VgBatch:
+        return "vg";
+      case SchedulerKind::WorkStealing:
+        return "steal";
+      case SchedulerKind::Static:
+        return "static";
+    }
+    return "unknown";
+}
+
+SchedulerKind
+schedulerFromName(const std::string& name)
+{
+    if (name == "openmp") {
+        return SchedulerKind::OmpDynamic;
+    }
+    if (name == "vg") {
+        return SchedulerKind::VgBatch;
+    }
+    if (name == "steal") {
+        return SchedulerKind::WorkStealing;
+    }
+    if (name == "static") {
+        return SchedulerKind::Static;
+    }
+    throw util::Error("unknown scheduler name: " + name);
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::OmpDynamic:
+        return std::make_unique<OmpDynamicScheduler>();
+      case SchedulerKind::VgBatch:
+        return std::make_unique<VgBatchScheduler>();
+      case SchedulerKind::WorkStealing:
+        return std::make_unique<WorkStealingScheduler>();
+      case SchedulerKind::Static:
+        return std::make_unique<StaticScheduler>();
+    }
+    throw util::Error("unknown scheduler kind");
+}
+
+} // namespace mg::sched

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parallel batch schedulers.  Giraffe maps reads by handing *batches* of
+ * short reads to threads (Section IV-A); the proxy exposes the scheduling
+ * policy as a first-class tuning parameter (Section VII-B).  Three policies
+ * are provided:
+ *
+ *  - OmpDynamicScheduler:  OpenMP dynamic scheduling of batches, the
+ *    proxy's default (matches the paper's miniGiraffe).
+ *  - VgBatchScheduler:     emulation of VG's in-house dispatcher - the main
+ *    thread creates batches, tracks busy workers, and processes queued
+ *    batches itself when all workers are occupied.
+ *  - WorkStealingScheduler: the paper's lightweight C++-threads scheduler -
+ *    the range is split evenly, each thread works in batch-size chunks, and
+ *    idle threads steal batches round-robin with an atomic
+ *    read-modify-write.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace mg::sched {
+
+/**
+ * Processes one batch of work items.
+ * @param thread  Dense worker index in [0, numThreads); stable per worker so
+ *                callers can keep per-thread state (e.g. a CachedGbwt).
+ * @param begin   First item of the batch.
+ * @param end     One past the last item of the batch.
+ */
+using BatchFn = std::function<void(size_t thread, size_t begin, size_t end)>;
+
+/** Scheduling policies exposed to the autotuner. */
+enum class SchedulerKind
+{
+    OmpDynamic,
+    VgBatch,
+    WorkStealing,
+    /** Static block split; ablation baseline, not part of the paper's
+     *  tuning space. */
+    Static,
+};
+
+/** Short stable name used in result tables ("openmp", "vg", "steal"). */
+const char* schedulerName(SchedulerKind kind);
+
+/** Parse a scheduler name; throws mg::util::Error on unknown names. */
+SchedulerKind schedulerFromName(const std::string& name);
+
+/** Abstract batch scheduler. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Run fn over items [0, total) split into batches of batch_size using
+     * num_threads worker contexts.  Every item is processed exactly once;
+     * the call returns only when all batches completed.
+     */
+    virtual void run(size_t total, size_t batch_size, size_t num_threads,
+                     const BatchFn& fn) = 0;
+
+    virtual SchedulerKind kind() const = 0;
+    const char* name() const { return schedulerName(kind()); }
+};
+
+/** Factory for the policy enum. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+} // namespace mg::sched

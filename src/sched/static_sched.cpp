@@ -1,0 +1,47 @@
+#include "sched/static_sched.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::sched {
+
+void
+StaticScheduler::run(size_t total, size_t batch_size, size_t num_threads,
+                     const BatchFn& fn)
+{
+    MG_CHECK(batch_size > 0, "batch size must be positive");
+    MG_CHECK(num_threads > 0, "thread count must be positive");
+    if (total == 0) {
+        return;
+    }
+
+    // One contiguous block per thread, still delivered in batch-size
+    // chunks so callers see the same granularity as other policies.
+    auto worker = [&](size_t self) {
+        size_t base = total / num_threads;
+        size_t extra = total % num_threads;
+        size_t begin = self * base + std::min(self, extra);
+        size_t end = begin + base + (self < extra ? 1 : 0);
+        for (size_t chunk = begin; chunk < end; chunk += batch_size) {
+            fn(self, chunk, std::min(end, chunk + batch_size));
+        }
+    };
+
+    if (num_threads == 1) {
+        worker(0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+        threads.emplace_back(worker, i);
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+}
+
+} // namespace mg::sched

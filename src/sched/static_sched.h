@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Static block scheduler: the ablation baseline with zero dispatch
+ * machinery — the range is split into one contiguous block per thread up
+ * front and nobody rebalances.  Fast when work is uniform, pathological
+ * under skew; comparing against it quantifies what dynamic dealing and
+ * stealing actually buy.
+ */
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace mg::sched {
+
+class StaticScheduler : public Scheduler
+{
+  public:
+    void run(size_t total, size_t batch_size, size_t num_threads,
+             const BatchFn& fn) override;
+
+    SchedulerKind kind() const override { return SchedulerKind::Static; }
+};
+
+} // namespace mg::sched

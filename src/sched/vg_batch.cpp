@@ -1,0 +1,109 @@
+#include "sched/vg_batch.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::sched {
+
+namespace {
+
+/** Bounded batch queue shared between the dispatcher and the workers. */
+struct BatchQueue
+{
+    std::mutex mutex;
+    std::condition_variable notEmpty;
+    std::condition_variable notFull;
+    std::deque<std::pair<size_t, size_t>> batches;
+    size_t capacity = 0;
+    bool done = false;
+
+    /** Dispatcher side: true if the batch was enqueued, false if full. */
+    bool
+    tryPush(size_t begin, size_t end)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (batches.size() >= capacity) {
+            return false;
+        }
+        batches.emplace_back(begin, end);
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /** Worker side: blocks until a batch or shutdown; false on shutdown. */
+    bool
+    pop(std::pair<size_t, size_t>& batch)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        notEmpty.wait(lock, [&] { return done || !batches.empty(); });
+        if (batches.empty()) {
+            return false;
+        }
+        batch = batches.front();
+        batches.pop_front();
+        notFull.notify_one();
+        return true;
+    }
+
+    void
+    shutdown()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done = true;
+        notEmpty.notify_all();
+    }
+};
+
+} // namespace
+
+void
+VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
+                      const BatchFn& fn)
+{
+    MG_CHECK(batch_size > 0, "batch size must be positive");
+    MG_CHECK(num_threads > 0, "thread count must be positive");
+    if (total == 0) {
+        return;
+    }
+    if (num_threads == 1) {
+        // Degenerate case: the main thread maps everything itself.
+        for (size_t begin = 0; begin < total; begin += batch_size) {
+            fn(0, begin, std::min(total, begin + batch_size));
+        }
+        return;
+    }
+
+    // Main thread occupies context 0; workers use contexts 1..n-1.
+    BatchQueue queue;
+    queue.capacity = num_threads; // one in-flight batch per context
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads - 1);
+    for (size_t worker = 1; worker < num_threads; ++worker) {
+        workers.emplace_back([&queue, &fn, worker] {
+            std::pair<size_t, size_t> batch;
+            while (queue.pop(batch)) {
+                fn(worker, batch.first, batch.second);
+            }
+        });
+    }
+
+    for (size_t begin = 0; begin < total; begin += batch_size) {
+        size_t end = std::min(total, begin + batch_size);
+        if (!queue.tryPush(begin, end)) {
+            // All workers busy and the queue full: the scheduler thread
+            // processes the batch itself, as VG's dispatcher does.
+            fn(0, begin, end);
+        }
+    }
+    queue.shutdown();
+    for (std::thread& worker : workers) {
+        worker.join();
+    }
+}
+
+} // namespace mg::sched

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Emulation of VG's in-house batch dispatcher (Section IV-A of the paper):
+ * the main thread slices the read stream into batches, hands them to worker
+ * threads through a bounded queue, "keeps track of how many threads are
+ * busy, and if no more processing resources are available, it processes any
+ * queued batches of reads left" itself.
+ */
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace mg::sched {
+
+class VgBatchScheduler : public Scheduler
+{
+  public:
+    void run(size_t total, size_t batch_size, size_t num_threads,
+             const BatchFn& fn) override;
+
+    SchedulerKind kind() const override { return SchedulerKind::VgBatch; }
+};
+
+} // namespace mg::sched

@@ -1,0 +1,85 @@
+#include "sched/work_stealing.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::sched {
+
+namespace {
+
+/** One thread's share of the range, consumed via an atomic cursor. */
+struct alignas(64) Share
+{
+    std::atomic<size_t> cursor{0};
+    size_t end = 0;
+};
+
+} // namespace
+
+void
+WorkStealingScheduler::run(size_t total, size_t batch_size,
+                           size_t num_threads, const BatchFn& fn)
+{
+    MG_CHECK(batch_size > 0, "batch size must be positive");
+    MG_CHECK(num_threads > 0, "thread count must be positive");
+    if (total == 0) {
+        return;
+    }
+
+    // Even contiguous split; the first (total % n) shares get one extra.
+    std::vector<Share> shares(num_threads);
+    size_t base = total / num_threads;
+    size_t extra = total % num_threads;
+    size_t begin = 0;
+    for (size_t i = 0; i < num_threads; ++i) {
+        size_t size = base + (i < extra ? 1 : 0);
+        shares[i].cursor.store(begin, std::memory_order_relaxed);
+        shares[i].end = begin + size;
+        begin += size;
+    }
+    MG_ASSERT(begin == total);
+
+    auto worker = [&](size_t self) {
+        // Drain one share in batch-size chunks; the atomic fetch_add hands
+        // out disjoint chunks even under concurrent stealing.
+        auto drain = [&](size_t victim) {
+            Share& share = shares[victim];
+            bool did_work = false;
+            while (true) {
+                size_t chunk =
+                    share.cursor.fetch_add(batch_size,
+                                           std::memory_order_relaxed);
+                if (chunk >= share.end) {
+                    break;
+                }
+                fn(self, chunk, std::min(share.end, chunk + batch_size));
+                did_work = true;
+            }
+            return did_work;
+        };
+        drain(self);
+        // Round-robin stealing, starting from the right neighbor.
+        for (size_t hop = 1; hop < num_threads; ++hop) {
+            drain((self + hop) % num_threads);
+        }
+    };
+
+    if (num_threads == 1) {
+        worker(0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+        threads.emplace_back(worker, i);
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+}
+
+} // namespace mg::sched

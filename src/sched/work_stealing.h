@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The paper's lightweight work-stealing scheduler (Section VII-B): the
+ * total workload is split evenly across threads, each thread consumes its
+ * share in batch-size chunks, and a thread that runs dry steals batch-size
+ * chunks from other threads round-robin using an atomic read-modify-write
+ * on the victim's cursor.  Intended to shed the overhead and locality loss
+ * of OpenMP's dynamic schedule.
+ */
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace mg::sched {
+
+class WorkStealingScheduler : public Scheduler
+{
+  public:
+    void run(size_t total, size_t batch_size, size_t num_threads,
+             const BatchFn& fn) override;
+
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::WorkStealing;
+    }
+};
+
+} // namespace mg::sched

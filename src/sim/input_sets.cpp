@@ -1,0 +1,105 @@
+#include "sim/input_sets.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace mg::sim {
+
+std::vector<InputSetSpec>
+standardInputSets()
+{
+    std::vector<InputSetSpec> specs;
+
+    // A-human analog: largest reference relative to its read count; the
+    // paper's A spends much of its time outside the critical functions.
+    {
+        InputSetSpec spec;
+        spec.name = "A-human";
+        spec.pangenome.seed = 1001;
+        spec.pangenome.backboneLength = 400000;
+        spec.pangenome.haplotypes = 16;
+        spec.reads.seed = 2001;
+        spec.reads.count = 1500;
+        spec.reads.readLength = 150;
+        spec.reads.errorRate = 0.002;
+        spec.reads.paired = false;
+        specs.push_back(spec);
+    }
+
+    // B-yeast analog: small reference, many single-end reads.
+    {
+        InputSetSpec spec;
+        spec.name = "B-yeast";
+        spec.pangenome.seed = 1002;
+        spec.pangenome.backboneLength = 50000;
+        spec.pangenome.haplotypes = 8;
+        spec.reads.seed = 2002;
+        spec.reads.count = 20000;
+        spec.reads.readLength = 100;
+        spec.reads.errorRate = 0.003;
+        spec.reads.paired = false;
+        specs.push_back(spec);
+    }
+
+    // C-HPRC analog: paired-end workflow, medium read count.
+    {
+        InputSetSpec spec;
+        spec.name = "C-HPRC";
+        spec.pangenome.seed = 1003;
+        spec.pangenome.backboneLength = 250000;
+        spec.pangenome.haplotypes = 12;
+        spec.reads.seed = 2003;
+        spec.reads.count = 7000;
+        spec.reads.readLength = 150;
+        spec.reads.errorRate = 0.002;
+        spec.reads.paired = true;
+        spec.reads.fragmentLength = 420;
+        specs.push_back(spec);
+    }
+
+    // D-HPRC analog: the heavyweight - paired-end with the most reads.
+    {
+        InputSetSpec spec;
+        spec.name = "D-HPRC";
+        spec.pangenome.seed = 1004;
+        spec.pangenome.backboneLength = 300000;
+        spec.pangenome.haplotypes = 16;
+        spec.reads.seed = 2004;
+        spec.reads.count = 24000;
+        spec.reads.readLength = 150;
+        spec.reads.errorRate = 0.002;
+        spec.reads.paired = true;
+        spec.reads.fragmentLength = 450;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+InputSetSpec
+inputSetSpec(const std::string& name)
+{
+    for (const InputSetSpec& spec : standardInputSets()) {
+        if (spec.name == name) {
+            return spec;
+        }
+    }
+    throw util::Error("unknown input set: " + name +
+                      " (expected A-human, B-yeast, C-HPRC, or D-HPRC)");
+}
+
+InputSet
+buildInputSet(const InputSetSpec& spec, double scale)
+{
+    MG_CHECK(scale > 0.0, "scale must be positive");
+    InputSet set;
+    set.name = spec.name;
+    set.pangenome = generatePangenome(spec.pangenome);
+    ReadSimParams reads = spec.reads;
+    reads.count = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(reads.count) * scale));
+    set.reads = simulateReads(set.pangenome, reads);
+    return set;
+}
+
+} // namespace mg::sim

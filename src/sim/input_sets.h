@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The four input-set analogs of the paper's Table III, scaled to laptop
+ * size (see DESIGN.md for the substitution rationale).  Relative shapes
+ * follow the paper:
+ *
+ *   A-human: big reference, few reads, single-end  (pre/post dominated);
+ *   B-yeast: small reference, many reads, single-end;
+ *   C-HPRC:  big reference, moderate reads, paired-end;
+ *   D-HPRC:  big reference, the most reads, paired-end (the largest run).
+ *
+ * Every harness takes a --scale multiplier on the read counts so the same
+ * code runs as a smoke test or a long experiment.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "map/read.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+
+namespace mg::sim {
+
+/** Declarative description of one input set. */
+struct InputSetSpec
+{
+    std::string name;
+    PangenomeParams pangenome;
+    ReadSimParams reads;
+};
+
+/** A fully materialized input set. */
+struct InputSet
+{
+    std::string name;
+    GeneratedPangenome pangenome;
+    map::ReadSet reads;
+};
+
+/** The catalog: A-human, B-yeast, C-HPRC, D-HPRC analogs, in order. */
+std::vector<InputSetSpec> standardInputSets();
+
+/** Find a spec by name; throws mg::util::Error if unknown. */
+InputSetSpec inputSetSpec(const std::string& name);
+
+/**
+ * Materialize a spec with the read count (and only the read count) scaled
+ * by `scale`; the reference stays fixed so scaling sweeps keep the same
+ * graph.
+ */
+InputSet buildInputSet(const InputSetSpec& spec, double scale = 1.0);
+
+} // namespace mg::sim

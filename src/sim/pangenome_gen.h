@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic pangenome generation — the stand-in for the paper's real
+ * pangenomes (1000GPlons, yeast, HPRC; see DESIGN.md).  A population model
+ * produces a bubble-chain variation graph: shared anchor segments
+ * alternate with variant sites (SNPs, indels, structural variants), and
+ * each haplotype walks the chain choosing one branch per site according to
+ * a per-site allele frequency.  The walks become the GBWT's haplotype
+ * paths, so seed density, extension branch factors, and CachedGBWT reuse
+ * mirror the real workload's drivers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbwt/gbwt.h"
+#include "graph/variation_graph.h"
+
+namespace mg::sim {
+
+/** Population-model parameters. */
+struct PangenomeParams
+{
+    uint64_t seed = 42;
+    /** Total backbone (reference) length in bases. */
+    size_t backboneLength = 100000;
+    /** Number of haplotypes in the population. */
+    size_t haplotypes = 8;
+    /** Mean anchor segment length between variant sites. */
+    size_t meanAnchorLength = 48;
+    /** Relative frequencies of variant-site kinds at each site. */
+    double snpWeight = 0.75;
+    double insertionWeight = 0.10;
+    double deletionWeight = 0.10;
+    double svWeight = 0.05;
+    /** Small indel length range (bases). */
+    size_t minIndelLength = 1;
+    size_t maxIndelLength = 8;
+    /** Structural-variant alternative length range (bases). */
+    size_t minSvLength = 30;
+    size_t maxSvLength = 120;
+    /**
+     * Fraction of anchor segments drawn from a small repeat-motif library
+     * instead of fresh random sequence.  Real genomes are repeat-rich;
+     * repeats make minimizers multi-map, scattering seeds across the
+     * graph — the load that makes Giraffe's clustering and CachedGBWT
+     * behaviour interesting.
+     */
+    double repeatFraction = 0.30;
+    /** Number of distinct repeat motifs in the library. */
+    size_t repeatLibrarySize = 48;
+    /** Per-base mutation rate applied to each planted repeat copy. */
+    double repeatDivergence = 0.01;
+};
+
+/** A generated pangenome: graph, haplotype index, and the raw walks. */
+struct GeneratedPangenome
+{
+    graph::VariationGraph graph;
+    gbwt::Gbwt gbwt;
+    /** Haplotype walks (forward handles), one per haplotype. */
+    std::vector<std::vector<graph::Handle>> walks;
+    /** Spelled-out haplotype sequences (read-simulation substrate). */
+    std::vector<std::string> sequences;
+};
+
+/** Generate a pangenome from the population model (deterministic in seed). */
+GeneratedPangenome generatePangenome(const PangenomeParams& params);
+
+} // namespace mg::sim

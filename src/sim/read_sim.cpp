@@ -1,0 +1,98 @@
+#include "sim/read_sim.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/dna.h"
+#include "util/rng.h"
+
+namespace mg::sim {
+
+namespace {
+
+/** Apply substitution errors in place. */
+void
+applyErrors(std::string& seq, double error_rate, util::Rng& rng)
+{
+    for (char& c : seq) {
+        if (rng.chance(error_rate)) {
+            c = rng.differentBase(c);
+        }
+    }
+}
+
+} // namespace
+
+map::ReadSet
+simulateReads(const GeneratedPangenome& pangenome,
+              const ReadSimParams& params)
+{
+    MG_CHECK(!pangenome.sequences.empty(),
+             "pangenome has no haplotype sequences to sample from");
+    MG_CHECK(params.readLength >= 20, "reads must be at least 20 bases");
+    for (const std::string& hap : pangenome.sequences) {
+        MG_CHECK(hap.size() >= params.readLength,
+                 "haplotypes shorter than the read length");
+    }
+
+    util::Rng rng(params.seed);
+    map::ReadSet set;
+    set.pairedEnd = params.paired;
+
+    if (!params.paired) {
+        set.reads.reserve(params.count);
+        for (size_t i = 0; i < params.count; ++i) {
+            const std::string& hap =
+                pangenome.sequences[rng.uniform(pangenome.sequences.size())];
+            size_t start =
+                rng.uniform(hap.size() - params.readLength + 1);
+            std::string seq = hap.substr(start, params.readLength);
+            if (rng.chance(0.5)) {
+                seq = util::reverseComplement(seq);
+            }
+            applyErrors(seq, params.errorRate, rng);
+            map::Read read;
+            read.name = "read" + std::to_string(i);
+            read.sequence = std::move(seq);
+            set.reads.push_back(std::move(read));
+        }
+        return set;
+    }
+
+    // Paired-end: sample outer fragments; mate 1 reads the fragment start
+    // forward, mate 2 reads the fragment end reverse-complemented.
+    size_t num_pairs = params.count / 2;
+    set.reads.reserve(num_pairs * 2);
+    for (size_t p = 0; p < num_pairs; ++p) {
+        const std::string& hap =
+            pangenome.sequences[rng.uniform(pangenome.sequences.size())];
+        // Fragment length jitters +-25% around the mean, floored to hold
+        // both mates.
+        size_t jitter = params.fragmentLength / 4;
+        size_t fragment = params.fragmentLength - jitter +
+                          rng.uniform(2 * jitter + 1);
+        fragment = std::max(fragment, params.readLength);
+        fragment = std::min(fragment, hap.size());
+        size_t start = rng.uniform(hap.size() - fragment + 1);
+
+        std::string left = hap.substr(start, params.readLength);
+        std::string right = util::reverseComplement(hap.substr(
+            start + fragment - params.readLength, params.readLength));
+        applyErrors(left, params.errorRate, rng);
+        applyErrors(right, params.errorRate, rng);
+
+        map::Read mate1;
+        mate1.name = "pair" + std::to_string(p) + "/1";
+        mate1.sequence = std::move(left);
+        mate1.mate = set.reads.size() + 1;
+        map::Read mate2;
+        mate2.name = "pair" + std::to_string(p) + "/2";
+        mate2.sequence = std::move(right);
+        mate2.mate = set.reads.size();
+        set.reads.push_back(std::move(mate1));
+        set.reads.push_back(std::move(mate2));
+    }
+    return set;
+}
+
+} // namespace mg::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Short-read simulation — the stand-in for the paper's real sequencing
+ * data (NovaSeq/Illumina runs of NA19239 and NA24385's son; see DESIGN.md).
+ * Reads are sampled from the generated haplotype sequences on a random
+ * strand with a per-base substitution error rate, single-ended or as
+ * paired-end fragments, matching the two Giraffe workflows the paper
+ * characterizes.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "map/read.h"
+#include "sim/pangenome_gen.h"
+
+namespace mg::sim {
+
+/** Read-simulation parameters. */
+struct ReadSimParams
+{
+    uint64_t seed = 7;
+    /** Number of reads (paired-end counts both mates). */
+    size_t count = 1000;
+    /** Read length in bases (short-read regime: 50-300). */
+    size_t readLength = 150;
+    /** Per-base substitution error probability. */
+    double errorRate = 0.002;
+    /** Paired-end workflow? */
+    bool paired = false;
+    /** Mean outer fragment length for paired-end data. */
+    size_t fragmentLength = 400;
+};
+
+/**
+ * Sample reads from a pangenome's haplotypes.  Deterministic in the seed.
+ * For paired-end data, count is rounded down to an even number and mates
+ * are adjacent with read.mate linking them.
+ */
+map::ReadSet simulateReads(const GeneratedPangenome& pangenome,
+                           const ReadSimParams& params);
+
+} // namespace mg::sim

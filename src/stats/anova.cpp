@@ -1,0 +1,110 @@
+#include "stats/anova.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+#include "util/common.h"
+#include "util/str.h"
+
+namespace mg::stats {
+
+AnovaResult
+anova(const std::vector<Factor>& factors, const std::vector<double>& response)
+{
+    const size_t n = response.size();
+    MG_ASSERT(n >= 3);
+    MG_ASSERT(!factors.empty());
+
+    double grand_mean = mean(response);
+    AnovaResult result;
+    for (double y : response) {
+        result.totalSumSquares += (y - grand_mean) * (y - grand_mean);
+    }
+
+    size_t effect_df_total = 0;
+    double effect_ss_total = 0.0;
+    for (const Factor& factor : factors) {
+        MG_ASSERT(factor.levels.size() == n);
+        MG_ASSERT(factor.numLevels >= 2);
+
+        // Between-level sum of squares for this factor.
+        std::vector<double> level_sum(factor.numLevels, 0.0);
+        std::vector<size_t> level_count(factor.numLevels, 0);
+        for (size_t i = 0; i < n; ++i) {
+            size_t level = factor.levels[i];
+            MG_ASSERT(level < factor.numLevels);
+            level_sum[level] += response[i];
+            ++level_count[level];
+        }
+
+        AnovaEffect effect;
+        effect.name = factor.name;
+        for (size_t level = 0; level < factor.numLevels; ++level) {
+            MG_ASSERT(level_count[level] > 0);
+            double level_mean =
+                level_sum[level] / static_cast<double>(level_count[level]);
+            effect.sumSquares += static_cast<double>(level_count[level]) *
+                                 (level_mean - grand_mean) *
+                                 (level_mean - grand_mean);
+        }
+        effect.degreesOfFreedom = factor.numLevels - 1;
+        effect_df_total += effect.degreesOfFreedom;
+        effect_ss_total += effect.sumSquares;
+        result.effects.push_back(effect);
+    }
+
+    MG_ASSERT(n >= effect_df_total + 2);
+    result.residualDegreesOfFreedom = n - 1 - effect_df_total;
+    result.residualSumSquares = result.totalSumSquares - effect_ss_total;
+    // Numerical cancellation can drive a near-perfect fit slightly negative.
+    if (result.residualSumSquares < 0.0) {
+        result.residualSumSquares = 0.0;
+    }
+    double residual_ms =
+        result.residualSumSquares /
+        static_cast<double>(result.residualDegreesOfFreedom);
+
+    for (AnovaEffect& effect : result.effects) {
+        effect.meanSquare = effect.sumSquares /
+                            static_cast<double>(effect.degreesOfFreedom);
+        if (residual_ms <= 0.0) {
+            effect.fStatistic = std::numeric_limits<double>::infinity();
+            effect.pValue = 0.0;
+        } else {
+            effect.fStatistic = effect.meanSquare / residual_ms;
+            effect.pValue = fDistributionSf(
+                effect.fStatistic,
+                static_cast<double>(effect.degreesOfFreedom),
+                static_cast<double>(result.residualDegreesOfFreedom));
+        }
+    }
+    return result;
+}
+
+std::string
+formatAnovaTable(const AnovaResult& result)
+{
+    using util::fixed;
+    using util::padLeft;
+    using util::padRight;
+
+    std::string out;
+    out += padRight("factor", 16) + padLeft("df", 6) + padLeft("sum_sq", 14) +
+           padLeft("mean_sq", 14) + padLeft("F", 10) + padLeft("p", 10) + "\n";
+    for (const AnovaEffect& e : result.effects) {
+        out += padRight(e.name, 16) +
+               padLeft(std::to_string(e.degreesOfFreedom), 6) +
+               padLeft(fixed(e.sumSquares, 4), 14) +
+               padLeft(fixed(e.meanSquare, 4), 14) +
+               padLeft(fixed(e.fStatistic, 3), 10) +
+               padLeft(fixed(e.pValue, 4), 10) + "\n";
+    }
+    out += padRight("residual", 16) +
+           padLeft(std::to_string(result.residualDegreesOfFreedom), 6) +
+           padLeft(fixed(result.residualSumSquares, 4), 14) + "\n";
+    return out;
+}
+
+} // namespace mg::stats

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-effects main-effect ANOVA over a (typically full-factorial)
+ * experiment design.  Section VII-B of the paper runs exactly this analysis
+ * on the autotuning sweep: three factors (CachedGBWT capacity, batch size,
+ * scheduler) against makespan, reporting a per-factor p-value.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mg::stats {
+
+/** One categorical factor: a name plus the level index of each observation. */
+struct Factor
+{
+    std::string name;
+    /** Level index per observation, in [0, numLevels). */
+    std::vector<size_t> levels;
+    /** Number of distinct levels. */
+    size_t numLevels = 0;
+};
+
+/** Per-factor ANOVA line. */
+struct AnovaEffect
+{
+    std::string name;
+    double sumSquares = 0.0;
+    size_t degreesOfFreedom = 0;
+    double meanSquare = 0.0;
+    double fStatistic = 0.0;
+    double pValue = 1.0;
+};
+
+/** Full ANOVA table: one line per factor plus the residual. */
+struct AnovaResult
+{
+    std::vector<AnovaEffect> effects;
+    double residualSumSquares = 0.0;
+    size_t residualDegreesOfFreedom = 0;
+    double totalSumSquares = 0.0;
+};
+
+/**
+ * Main-effects ANOVA: decompose the response's variance into one component
+ * per factor (between-level sum of squares) with interactions pooled into
+ * the residual.  All factors must have the same number of observations as
+ * the response, every factor needs at least two levels, and there must be
+ * enough residual degrees of freedom to form an F statistic.
+ */
+AnovaResult anova(const std::vector<Factor>& factors,
+                  const std::vector<double>& response);
+
+/** Render an ANOVA table as fixed-width text for harness output. */
+std::string formatAnovaTable(const AnovaResult& result);
+
+} // namespace mg::stats

@@ -1,0 +1,85 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace mg::stats {
+
+namespace {
+
+std::vector<double>
+resample(const std::vector<double>& sample, util::Rng& rng)
+{
+    std::vector<double> out;
+    out.reserve(sample.size());
+    for (size_t i = 0; i < sample.size(); ++i) {
+        out.push_back(sample[rng.uniform(sample.size())]);
+    }
+    return out;
+}
+
+ConfidenceInterval
+percentiles(std::vector<double>& estimates, double confidence,
+            double point)
+{
+    std::sort(estimates.begin(), estimates.end());
+    double alpha = (1.0 - confidence) / 2.0;
+    auto at = [&](double q) {
+        size_t index = static_cast<size_t>(
+            q * static_cast<double>(estimates.size() - 1) + 0.5);
+        return estimates[std::min(index, estimates.size() - 1)];
+    };
+    ConfidenceInterval ci;
+    ci.lower = at(alpha);
+    ci.upper = at(1.0 - alpha);
+    ci.pointEstimate = point;
+    return ci;
+}
+
+} // namespace
+
+ConfidenceInterval
+bootstrapCi(const std::vector<double>& sample,
+            const std::function<double(const std::vector<double>&)>&
+                statistic,
+            double confidence, size_t resamples, uint64_t seed)
+{
+    MG_CHECK(sample.size() >= 2, "bootstrap needs at least two samples");
+    MG_CHECK(confidence > 0.0 && confidence < 1.0,
+             "confidence must be in (0, 1)");
+    MG_CHECK(resamples >= 100, "use at least 100 resamples");
+
+    util::Rng rng(seed);
+    std::vector<double> estimates;
+    estimates.reserve(resamples);
+    for (size_t i = 0; i < resamples; ++i) {
+        std::vector<double> draw = resample(sample, rng);
+        estimates.push_back(statistic(draw));
+    }
+    return percentiles(estimates, confidence, statistic(sample));
+}
+
+ConfidenceInterval
+bootstrapRelativeDifference(const std::vector<double>& a,
+                            const std::vector<double>& b,
+                            double confidence, size_t resamples,
+                            uint64_t seed)
+{
+    MG_CHECK(a.size() >= 2 && b.size() >= 2,
+             "bootstrap needs at least two samples per group");
+    util::Rng rng(seed);
+    std::vector<double> estimates;
+    estimates.reserve(resamples);
+    for (size_t i = 0; i < resamples; ++i) {
+        double mean_a = mean(resample(a, rng));
+        double mean_b = mean(resample(b, rng));
+        MG_CHECK(mean_b != 0.0, "degenerate bootstrap denominator");
+        estimates.push_back(mean_a / mean_b - 1.0);
+    }
+    return percentiles(estimates, confidence, mean(a) / mean(b) - 1.0);
+}
+
+} // namespace mg::stats

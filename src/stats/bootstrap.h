@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bootstrap resampling.  The validation harnesses compare small samples of
+ * noisy wall-clock measurements (Table VI runs proxy and parent three
+ * times each); percentile-bootstrap confidence intervals state how much
+ * of an observed difference is signal.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mg::stats {
+
+/** A two-sided confidence interval for a statistic. */
+struct ConfidenceInterval
+{
+    double lower = 0.0;
+    double upper = 0.0;
+    double pointEstimate = 0.0;
+
+    bool
+    contains(double value) const
+    {
+        return value >= lower && value <= upper;
+    }
+};
+
+/**
+ * Percentile bootstrap CI of an arbitrary statistic of one sample.
+ * @param sample     Observed values (>= 2).
+ * @param statistic  Function of a resampled vector (e.g. the mean).
+ * @param confidence Two-sided level in (0, 1), e.g. 0.95.
+ * @param resamples  Bootstrap iterations (deterministic in `seed`).
+ */
+ConfidenceInterval bootstrapCi(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double confidence = 0.95, size_t resamples = 2000, uint64_t seed = 1);
+
+/**
+ * Bootstrap CI of the relative difference mean(a)/mean(b) - 1 between two
+ * independent samples (the Table VI "% diff over Giraffe" statistic).
+ */
+ConfidenceInterval bootstrapRelativeDifference(
+    const std::vector<double>& a, const std::vector<double>& b,
+    double confidence = 0.95, size_t resamples = 2000, uint64_t seed = 1);
+
+} // namespace mg::stats

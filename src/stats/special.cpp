@@ -1,0 +1,114 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace mg::stats {
+
+namespace {
+
+/**
+ * Continued fraction for the incomplete beta function, evaluated with the
+ * modified Lentz algorithm (Numerical Recipes-style formulation).
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int kMaxIterations = 300;
+    constexpr double kEps = 1e-15;
+    constexpr double kTiny = 1e-300;
+
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny) {
+        d = kTiny;
+    }
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIterations; ++m) {
+        int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) {
+            d = kTiny;
+        }
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) {
+            c = kTiny;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) {
+            d = kTiny;
+        }
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) {
+            c = kTiny;
+        }
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEps) {
+            break;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+double
+regularizedIncompleteBeta(double a, double b, double x)
+{
+    MG_ASSERT(a > 0.0 && b > 0.0);
+    MG_ASSERT(x >= 0.0 && x <= 1.0);
+    if (x == 0.0) {
+        return 0.0;
+    }
+    if (x == 1.0) {
+        return 1.0;
+    }
+    double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log1p(-x);
+    double front = std::exp(log_front);
+    // The continued fraction converges rapidly for x < (a+1)/(a+b+2);
+    // otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return front * betaContinuedFraction(a, b, x) / a;
+    }
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+fDistributionCdf(double f, double d1, double d2)
+{
+    MG_ASSERT(d1 > 0.0 && d2 > 0.0);
+    if (f <= 0.0) {
+        return 0.0;
+    }
+    double x = d1 * f / (d1 * f + d2);
+    return regularizedIncompleteBeta(d1 / 2.0, d2 / 2.0, x);
+}
+
+double
+fDistributionSf(double f, double d1, double d2)
+{
+    return 1.0 - fDistributionCdf(f, d1, d2);
+}
+
+double
+tDistributionCdf(double t, double nu)
+{
+    MG_ASSERT(nu > 0.0);
+    double x = nu / (nu + t * t);
+    double tail = 0.5 * regularizedIncompleteBeta(nu / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+} // namespace mg::stats

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Special functions needed to turn ANOVA F statistics into p-values.
+ * Implemented from scratch (regularised incomplete beta via Lentz's
+ * continued fraction) because the reproduction avoids external numeric
+ * libraries.
+ */
+#pragma once
+
+namespace mg::stats {
+
+/**
+ * Regularised incomplete beta function I_x(a, b) for a, b > 0 and
+ * x in [0, 1].  Accuracy ~1e-12, sufficient for reporting p-values.
+ */
+double regularizedIncompleteBeta(double a, double b, double x);
+
+/** CDF of the F distribution with (d1, d2) degrees of freedom at f >= 0. */
+double fDistributionCdf(double f, double d1, double d2);
+
+/** Upper tail p-value for an F statistic: P(F_{d1,d2} > f). */
+double fDistributionSf(double f, double d1, double d2);
+
+/** CDF of Student's t distribution with nu degrees of freedom. */
+double tDistributionCdf(double t, double nu);
+
+} // namespace mg::stats

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The autotuning harness of Section VII-B.  The tuning space is the
+ * paper's: scheduler policy x batch size (powers of two, 128..2048) x
+ * initial CachedGBWT capacity (256..4096, plus 0 = caching off for the
+ * Figure 6 baseline).
+ *
+ * Measurement strategy on this single-core container (DESIGN.md):
+ * for each cache capacity the proxy is *actually run* single-threaded with
+ * the memory tracer attached, so capacity effects (rehash storms, table
+ * locality, decode savings) are emergent from real execution; per-machine
+ * cache counters then feed the cost model, and the scaling model adds the
+ * thread/socket/SMT and scheduler/batch terms to produce the machine's
+ * full-thread makespan for every configuration.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gbwt/cached_gbwt.h"
+#include "giraffe/proxy.h"
+#include "machine/scaling_model.h"
+#include "stats/anova.h"
+
+namespace mg::tune {
+
+/** One point of the tuning space. */
+struct TuneConfig
+{
+    sched::SchedulerKind scheduler = sched::SchedulerKind::OmpDynamic;
+    size_t batchSize = 512;
+    size_t cacheCapacity = gbwt::CachedGbwt::kDefaultInitialCapacity;
+
+    /** "openmp/512/256" — stable key for tables. */
+    std::string str() const;
+};
+
+/** Giraffe's defaults (the paper's baseline configuration). */
+TuneConfig defaultConfig();
+
+/** The sweep dimensions. */
+struct SweepSpace
+{
+    std::vector<sched::SchedulerKind> schedulers;
+    std::vector<size_t> batchSizes;
+    std::vector<size_t> capacities;
+
+    size_t
+    size() const
+    {
+        return schedulers.size() * batchSizes.size() * capacities.size();
+    }
+};
+
+/** The paper's cross product (Section VII-B). */
+SweepSpace paperSweepSpace();
+
+/** Measured profile of the proxy at one cache capacity (single thread). */
+struct CapacityProfile
+{
+    size_t capacity = 0;
+    /** Host wall-clock seconds of a clean (untraced) run. */
+    double hostSeconds = 0.0;
+    /** Host wall-clock seconds of the traced run (tracer overhead incl.). */
+    double tracedSeconds = 0.0;
+    /**
+     * Calibration anchor shared by a sweep: the clean host seconds and the
+     * modelled local-intel seconds of the *default-capacity* profile.
+     * Deterministic traced cycle counts then carry capacity differences,
+     * keeping host timing noise out of the capacity dimension.
+     */
+    double anchorHostSeconds = 0.0;
+    double anchorModelSeconds = 0.0;
+    uint64_t numReads = 0;
+    machine::WorkCounters work;
+    /** Cache counters per Table II machine name. */
+    std::map<std::string, machine::CacheCounters> perMachine;
+    gbwt::CacheStats cacheStats;
+};
+
+/** Makespan of one configuration on one machine. */
+struct ConfigResult
+{
+    TuneConfig config;
+    double makespanSeconds = 0.0;
+};
+
+/** Scheduler-dependent model constants (dispatch/setup costs). */
+machine::SchedulerCost schedulerCost(sched::SchedulerKind kind);
+
+/** The autotuner: measures capacities, models the full cross product. */
+class Autotuner
+{
+  public:
+    Autotuner(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+              const index::DistanceIndex& distance,
+              const io::SeedCapture& capture,
+              map::MapperParams mapper_params = map::MapperParams());
+
+    /**
+     * Run the proxy once, single-threaded, at the given capacity with the
+     * tracer attached; returns the measured profile.
+     */
+    CapacityProfile measureCapacity(size_t capacity) const;
+
+    /** Measure every capacity of the space (memoizing duplicates). */
+    std::vector<CapacityProfile>
+    measureCapacities(const std::vector<size_t>& capacities) const;
+
+    /**
+     * Single-thread cost of the profiled kernel on `machine`, calibrated
+     * so that the absolute scale comes from the clean host measurement and
+     * the cross-machine ratios come from the trace-driven cost model.
+     * local-intel acts as the calibration twin (the paper's host machine).
+     */
+    static machine::CostProfile
+    calibratedCost(const machine::MachineConfig& machine,
+                   const CapacityProfile& profile);
+
+    /**
+     * Model the makespan of one configuration on one machine at the given
+     * thread count (the paper uses all available contexts).
+     */
+    static double modelMakespan(const machine::MachineConfig& machine,
+                                const CapacityProfile& profile,
+                                const TuneConfig& config, size_t threads);
+
+    /** Full cross-product sweep for one machine at full thread count. */
+    std::vector<ConfigResult>
+    sweep(const machine::MachineConfig& machine, const SweepSpace& space,
+          const std::vector<CapacityProfile>& profiles) const;
+
+    /** Best (minimum-makespan) entry of a sweep. */
+    static const ConfigResult& best(const std::vector<ConfigResult>& sweep);
+
+    /** Find a specific configuration's result in a sweep. */
+    static const ConfigResult& find(const std::vector<ConfigResult>& sweep,
+                                    const TuneConfig& config);
+
+    /** ANOVA over a sweep: factor significance on makespan (§VII-B). */
+    static stats::AnovaResult anova(const std::vector<ConfigResult>& sweep);
+
+  private:
+    const graph::VariationGraph& graph_;
+    const gbwt::Gbwt& gbwt_;
+    const index::DistanceIndex& distance_;
+    const io::SeedCapture& capture_;
+    map::MapperParams mapperParams_;
+};
+
+} // namespace mg::tune

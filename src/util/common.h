@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Project-wide error handling and small helpers.
+ *
+ * Two failure channels, following the simulator convention:
+ *  - MG_CHECK / mg::util::require  -> user-facing errors (bad input, bad
+ *    configuration); throws mg::util::Error.
+ *  - MG_ASSERT                     -> internal invariant violations (a bug in
+ *    this library); aborts in all build types.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mg::util {
+
+/** Exception thrown for user-facing errors (bad input files, bad flags). */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Build a string from streamable parts: cat("x=", 3, " y=", 4.5). */
+template <typename... Args>
+std::string
+cat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/** Throw mg::util::Error unless cond holds. */
+template <typename... Args>
+void
+require(bool cond, Args&&... args)
+{
+    if (!cond) {
+        throw Error(cat(std::forward<Args>(args)...));
+    }
+}
+
+[[noreturn]] inline void
+assertFail(const char* expr, const char* file, int line)
+{
+    std::fprintf(stderr, "MG_ASSERT failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+
+} // namespace mg::util
+
+/** Internal invariant check; active in all build types. */
+#define MG_ASSERT(expr)                                                      \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::mg::util::assertFail(#expr, __FILE__, __LINE__);               \
+        }                                                                    \
+    } while (0)
+
+/** User-facing precondition check; throws mg::util::Error with a message. */
+#define MG_CHECK(expr, ...)                                                  \
+    ::mg::util::require(static_cast<bool>(expr), "check failed: ", #expr,    \
+                        " -- ", ::mg::util::cat(__VA_ARGS__))

@@ -1,0 +1,51 @@
+#include "util/csv.h"
+
+#include "util/str.h"
+
+namespace mg::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size())
+{
+    require(out_.good(), "cannot open CSV file for writing: ", path);
+    row(header);
+}
+
+void
+CsvWriter::row(const std::vector<std::string>& fields)
+{
+    MG_ASSERT(fields.size() == width_);
+    std::vector<std::string> escaped;
+    escaped.reserve(fields.size());
+    for (const auto& f : fields) {
+        escaped.push_back(escape(f));
+    }
+    out_ << join(escaped, ",") << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    out_.close();
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+        return field;
+    }
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace mg::util

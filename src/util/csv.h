@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV emission.  The paper's artifact stores every experiment result as a
+ * .csv consumed by R scripts; our benchmark harnesses keep that convention
+ * (stdout tables for humans, optional CSV files for scripting).
+ */
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::util {
+
+/** Streaming CSV writer with header enforcement. */
+class CsvWriter
+{
+  public:
+    /** Open path for writing; throws on failure. */
+    CsvWriter(const std::string& path,
+              const std::vector<std::string>& header);
+
+    /** Append a row; must match the header width. */
+    void row(const std::vector<std::string>& fields);
+
+    /** Flush and close; implicit in the destructor. */
+    void close();
+
+  private:
+    static std::string escape(const std::string& field);
+
+    std::ofstream out_;
+    size_t width_;
+};
+
+} // namespace mg::util

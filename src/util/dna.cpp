@@ -1,0 +1,121 @@
+#include "util/dna.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace mg::util {
+
+namespace {
+
+constexpr char kBases[kDnaAlphabetSize] = { 'A', 'C', 'G', 'T' };
+
+constexpr uint8_t kBadCode = 0xff;
+
+struct CodeTable
+{
+    uint8_t table[256];
+    constexpr CodeTable() : table()
+    {
+        for (int i = 0; i < 256; ++i) {
+            table[i] = kBadCode;
+        }
+        table['A'] = 0;
+        table['C'] = 1;
+        table['G'] = 2;
+        table['T'] = 3;
+    }
+};
+
+constexpr CodeTable kCodeTable;
+
+} // namespace
+
+uint8_t
+baseCode(char base)
+{
+    return kCodeTable.table[static_cast<uint8_t>(base)];
+}
+
+char
+codeBase(uint8_t code)
+{
+    MG_ASSERT(code < kDnaAlphabetSize);
+    return kBases[code];
+}
+
+char
+complementBase(char base)
+{
+    uint8_t code = baseCode(base);
+    MG_ASSERT(code != kBadCode);
+    return kBases[3 - code];
+}
+
+bool
+isDna(std::string_view seq)
+{
+    return std::all_of(seq.begin(), seq.end(), [](char c) {
+        return baseCode(c) != kBadCode;
+    });
+}
+
+std::string
+reverseComplement(std::string_view seq)
+{
+    std::string out;
+    out.reserve(seq.size());
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+        out.push_back(complementBase(*it));
+    }
+    return out;
+}
+
+uint64_t
+hash64(uint64_t key)
+{
+    // SplitMix64 finalizer: bijective, well mixed, cheap.
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return key ^ (key >> 31);
+}
+
+uint64_t
+packKmer(std::string_view seq, int k)
+{
+    MG_ASSERT(k >= 1 && k <= 32);
+    MG_ASSERT(static_cast<int>(seq.size()) >= k);
+    uint64_t packed = 0;
+    for (int i = 0; i < k; ++i) {
+        uint8_t code = baseCode(seq[i]);
+        MG_ASSERT(code != kBadCode);
+        packed = (packed << 2) | code;
+    }
+    return packed;
+}
+
+std::string
+unpackKmer(uint64_t kmer, int k)
+{
+    MG_ASSERT(k >= 1 && k <= 32);
+    std::string out(k, 'A');
+    for (int i = k - 1; i >= 0; --i) {
+        out[i] = kBases[kmer & 3];
+        kmer >>= 2;
+    }
+    return out;
+}
+
+uint64_t
+reverseComplementKmer(uint64_t kmer, int k)
+{
+    uint64_t out = 0;
+    for (int i = 0; i < k; ++i) {
+        out = (out << 2) | (3 - (kmer & 3));
+        kmer >>= 2;
+    }
+    return out;
+}
+
+} // namespace mg::util

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DNA alphabet utilities shared by the graph, indexing, and simulation
+ * layers: 2-bit base codes, complementation, reverse complements, and
+ * validation.  Bases are the four nucleotides ACGT; the packed code order
+ * (A=0, C=1, G=2, T=3) makes complement a simple "3 - code".
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mg::util {
+
+/** Number of distinct DNA bases. */
+inline constexpr int kDnaAlphabetSize = 4;
+
+/** Map a base character (upper case ACGT) to its 2-bit code; 0xff if bad. */
+uint8_t baseCode(char base);
+
+/** Map a 2-bit code back to its base character. */
+char codeBase(uint8_t code);
+
+/** Complement of a single base character (A<->T, C<->G). */
+char complementBase(char base);
+
+/** True iff every character of seq is one of ACGT (upper case). */
+bool isDna(std::string_view seq);
+
+/** Reverse complement of a DNA string. */
+std::string reverseComplement(std::string_view seq);
+
+/**
+ * Invertible hash over 64-bit keys (Thomas Wang / murmur-style finalizer).
+ * Used to order k-mers for minimizer selection so that the lexicographically
+ * boring poly-A k-mers do not dominate the index, mirroring the hashed
+ * ordering used by real minimizer indexes.
+ */
+uint64_t hash64(uint64_t key);
+
+/**
+ * Pack the k leading bases of seq into a 2-bit integer (k <= 32).
+ * Precondition: seq has at least k valid DNA characters.
+ */
+uint64_t packKmer(std::string_view seq, int k);
+
+/** Unpack a 2-bit packed k-mer back into a string. */
+std::string unpackKmer(uint64_t kmer, int k);
+
+/** Reverse complement of a packed k-mer. */
+uint64_t reverseComplementKmer(uint64_t kmer, int k);
+
+} // namespace mg::util

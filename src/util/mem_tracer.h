@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory-access tracing interface.  Data-structure hot paths (CachedGBWT
+ * probes, record decodes, seed buffers, extension scratch) optionally report
+ * the addresses they touch through this interface; the machine-model
+ * substrate implements it with a cache-hierarchy simulator to produce the
+ * hardware-counter style metrics the paper collects with perf/VTune
+ * (Tables IV and V).  A null tracer pointer costs one predictable branch.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mg::util {
+
+/** Receiver of memory-access events from instrumented hot paths. */
+class MemTracer
+{
+  public:
+    virtual ~MemTracer() = default;
+
+    /**
+     * One logical access of `bytes` bytes starting at `addr`.
+     * Implementations split it into cache-line accesses as needed.
+     */
+    virtual void onAccess(const void* addr, uint32_t bytes, bool write) = 0;
+
+    /** One unit of non-memory work (ALU/branch), for instruction counts. */
+    virtual void onWork(uint64_t ops) = 0;
+};
+
+/** Convenience guard: trace only when a tracer is attached. */
+inline void
+traceAccess(MemTracer* tracer, const void* addr, uint32_t bytes,
+            bool write = false)
+{
+    if (tracer) {
+        tracer->onAccess(addr, bytes, write);
+    }
+}
+
+inline void
+traceWork(MemTracer* tracer, uint64_t ops)
+{
+    if (tracer) {
+        tracer->onWork(ops);
+    }
+}
+
+} // namespace mg::util

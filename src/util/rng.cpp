@@ -1,0 +1,144 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/dna.h"
+
+namespace mg::util {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = splitMix64(sm);
+    }
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniform(uint64_t bound)
+{
+    MG_ASSERT(bound > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+        uint64_t threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            m = static_cast<__uint128_t>(next()) * bound;
+            low = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    MG_ASSERT(lo <= hi);
+    return lo + static_cast<int64_t>(
+        uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::geometric(double p)
+{
+    MG_ASSERT(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) {
+        return 0;
+    }
+    double u = uniformReal();
+    // Guard against log(0); uniformReal() < 1 so 1-u > 0.
+    return static_cast<uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+char
+Rng::randomBase()
+{
+    return codeBase(static_cast<uint8_t>(uniform(kDnaAlphabetSize)));
+}
+
+char
+Rng::differentBase(char base)
+{
+    uint8_t code = baseCode(base);
+    MG_ASSERT(code < kDnaAlphabetSize);
+    uint8_t other = static_cast<uint8_t>(uniform(kDnaAlphabetSize - 1));
+    if (other >= code) {
+        ++other;
+    }
+    return codeBase(other);
+}
+
+std::string
+Rng::randomDna(size_t length)
+{
+    std::string seq(length, 'A');
+    for (auto& c : seq) {
+        c = randomBase();
+    }
+    return seq;
+}
+
+size_t
+Rng::weightedIndex(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        MG_ASSERT(w >= 0.0);
+        total += w;
+    }
+    MG_ASSERT(total > 0.0);
+    double target = uniformReal() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc) {
+            return i;
+        }
+    }
+    return weights.size() - 1;
+}
+
+} // namespace mg::util

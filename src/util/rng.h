@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.  All stochastic components
+ * (pangenome generation, read simulation, property tests) draw from this
+ * generator so that every experiment in the repository is reproducible from
+ * a seed.  The engine is xoshiro256**, seeded through SplitMix64.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::util {
+
+/** xoshiro256** engine with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed) { reseed(seed); }
+
+    /** Re-initialize the state from a seed via SplitMix64 expansion. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound) using Lemire's multiply-shift rejection. */
+    uint64_t uniform(uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p) { return uniformReal() < p; }
+
+    /** Geometric-ish draw: number of failures before a success with prob p. */
+    uint64_t geometric(double p);
+
+    /** One of the four DNA bases, uniformly. */
+    char randomBase();
+
+    /** A DNA base different from the given one (for substitution errors). */
+    char differentBase(char base);
+
+    /** Random DNA string of the given length. */
+    std::string randomDna(size_t length);
+
+    /** Pick an index according to non-negative weights (sum must be > 0). */
+    size_t weightedIndex(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            std::swap(items[i - 1], items[uniform(i)]);
+        }
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace mg::util

@@ -1,0 +1,96 @@
+#include "util/str.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mg::util {
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            parts.emplace_back(s.substr(start));
+            return parts;
+        }
+        parts.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) {
+            out += sep;
+        }
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return s.substr(begin, end - begin);
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+padRight(std::string_view s, size_t width)
+{
+    std::string out(s);
+    if (out.size() < width) {
+        out.append(width - out.size(), ' ');
+    }
+    return out;
+}
+
+std::string
+padLeft(std::string_view s, size_t width)
+{
+    std::string out;
+    if (s.size() < width) {
+        out.append(width - s.size(), ' ');
+    }
+    out += s;
+    return out;
+}
+
+std::string
+sci(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", decimals, value);
+    return buf;
+}
+
+} // namespace mg::util

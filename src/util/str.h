@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string helpers used by the CLI flag parser, the CSV writer, and the
+ * benchmark harness table printers.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg::util {
+
+/** Split s on the given delimiter; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Join parts with the given separator. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/** True iff s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Format a double with the given number of decimal places. */
+std::string fixed(double value, int decimals);
+
+/** Right-pad or left-pad a string to a column width. */
+std::string padRight(std::string_view s, size_t width);
+std::string padLeft(std::string_view s, size_t width);
+
+/** Human-readable count, e.g. 1.2e6 -> "1.20e+06" style scientific. */
+std::string sci(double value, int decimals = 2);
+
+} // namespace mg::util

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LEB128-style variable-length integer coding plus a byte-stream reader and
+ * writer.  This is the primitive the MGZ container and the compressed GBWT
+ * record store are built on: small values (edge ranks, run lengths, delta
+ * gaps) dominate those streams, so a byte-oriented varint gives most of the
+ * compression the GBZ format gets from its sdsl bit vectors at a fraction of
+ * the complexity.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::util {
+
+/** Append v to out as an unsigned LEB128 varint (1..10 bytes). */
+void putVarint(std::vector<uint8_t>& out, uint64_t v);
+
+/** ZigZag-encode a signed value so small magnitudes stay small. */
+inline uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+inline int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/**
+ * Sequential reader over a byte span.  Bounds-checked: reading past the end
+ * throws mg::util::Error (corrupt input is a user-facing error).
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+    explicit ByteReader(const std::vector<uint8_t>& bytes)
+        : ByteReader(bytes.data(), bytes.size()) {}
+
+    /** Decode one unsigned varint and advance. */
+    uint64_t getVarint();
+    /** Decode one zigzag-coded signed varint and advance. */
+    int64_t getSignedVarint() { return zigzagDecode(getVarint()); }
+    /** Read one raw byte and advance. */
+    uint8_t getByte();
+    /** Read n raw bytes into dst and advance. */
+    void getBytes(void* dst, size_t n);
+    /** Read a varint-length-prefixed string. */
+    std::string getString();
+
+    size_t pos() const { return pos_; }
+    size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+    void seek(size_t pos);
+
+  private:
+    const uint8_t* data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+/** Sequential writer producing a byte vector. */
+class ByteWriter
+{
+  public:
+    void putVarint(uint64_t v) { mg::util::putVarint(bytes_, v); }
+    void putSignedVarint(int64_t v) { putVarint(zigzagEncode(v)); }
+    void putByte(uint8_t b) { bytes_.push_back(b); }
+    void putBytes(const void* src, size_t n);
+    /** Write a varint length prefix followed by the raw characters. */
+    void putString(const std::string& s);
+
+    const std::vector<uint8_t>& bytes() const { return bytes_; }
+    std::vector<uint8_t> takeBytes() { return std::move(bytes_); }
+    size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace mg::util

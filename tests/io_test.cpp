@@ -1,0 +1,263 @@
+/** Serialization round-trip and validation tests for the io module. */
+#include <gtest/gtest.h>
+
+#include "io/extensions_io.h"
+#include "io/fastq.h"
+#include "io/file.h"
+#include "io/mgz.h"
+#include "io/reads_bin.h"
+#include "sim/pangenome_gen.h"
+#include "util/common.h"
+
+namespace mg::io {
+namespace {
+
+sim::GeneratedPangenome
+makePangenome(uint64_t seed = 90)
+{
+    sim::PangenomeParams params;
+    params.seed = seed;
+    params.backboneLength = 4000;
+    params.haplotypes = 5;
+    return sim::generatePangenome(params);
+}
+
+TEST(FileTest, BytesRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/mg_file_test.bin";
+    std::vector<uint8_t> bytes = {0, 1, 2, 255, 128, 7};
+    writeFileBytes(path, bytes);
+    EXPECT_EQ(readFileBytes(path), bytes);
+}
+
+TEST(FileTest, MissingFileThrows)
+{
+    EXPECT_THROW(readFileBytes("/nonexistent/definitely/nope"),
+                 util::Error);
+}
+
+TEST(MgzTest, RoundTripPreservesEverything)
+{
+    sim::GeneratedPangenome pg = makePangenome();
+    std::vector<uint8_t> bytes = encodeMgz(pg.graph, pg.gbwt);
+    Pangenome loaded = decodeMgz(bytes);
+
+    EXPECT_EQ(loaded.graph.numNodes(), pg.graph.numNodes());
+    EXPECT_EQ(loaded.graph.numEdges(), pg.graph.numEdges());
+    EXPECT_EQ(loaded.graph.numPaths(), pg.graph.numPaths());
+    for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
+        ASSERT_EQ(loaded.graph.sequenceView(id), pg.graph.sequenceView(id));
+    }
+    for (size_t p = 0; p < pg.graph.numPaths(); ++p) {
+        EXPECT_EQ(loaded.graph.path(p).name, pg.graph.path(p).name);
+        ASSERT_EQ(loaded.graph.path(p).steps, pg.graph.path(p).steps);
+    }
+    // Edge sets match exactly.
+    for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
+        for (bool reverse : {false, true}) {
+            graph::Handle h(id, reverse);
+            auto a = pg.graph.successors(h);
+            for (graph::Handle succ : a) {
+                EXPECT_TRUE(loaded.graph.hasEdge(h, succ))
+                    << h.str() << "->" << succ.str();
+            }
+            EXPECT_EQ(loaded.graph.successors(h).size(), a.size());
+        }
+    }
+    // GBWT queries agree.
+    EXPECT_EQ(loaded.gbwt.numPaths(), pg.gbwt.numPaths());
+    for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
+        graph::Handle h(id, false);
+        EXPECT_EQ(loaded.gbwt.nodeCount(h), pg.gbwt.nodeCount(h));
+    }
+    loaded.graph.validate();
+}
+
+TEST(MgzTest, FileRoundTrip)
+{
+    sim::GeneratedPangenome pg = makePangenome(91);
+    std::string path = ::testing::TempDir() + "/mg_test.mgz";
+    saveMgz(path, pg.graph, pg.gbwt);
+    Pangenome loaded = loadMgz(path);
+    EXPECT_EQ(loaded.graph.numNodes(), pg.graph.numNodes());
+}
+
+TEST(MgzTest, CompressionBeatsNaiveEncoding)
+{
+    sim::PangenomeParams params;
+    params.seed = 92;
+    params.backboneLength = 20000;
+    params.haplotypes = 8;
+    sim::GeneratedPangenome pg = sim::generatePangenome(params);
+    std::vector<uint8_t> bytes = encodeMgz(pg.graph, pg.gbwt);
+    // Naive cost: 1 byte/base plus 8 bytes per path step plus 8 bytes per
+    // GBWT visit.  MGZ's 2-bit packing + varints must beat it handily.
+    size_t path_steps = 0;
+    for (const graph::PathEntry& path : pg.graph.paths()) {
+        path_steps += path.steps.size();
+    }
+    size_t naive = pg.graph.totalSequenceLength() + 8 * path_steps +
+                   8 * pg.gbwt.totalVisits();
+    EXPECT_LT(bytes.size(), naive / 2);
+}
+
+TEST(MgzTest, BadMagicThrows)
+{
+    std::vector<uint8_t> bytes = {'N', 'O', 'P', 'E', 0, 0};
+    EXPECT_THROW(decodeMgz(bytes), util::Error);
+}
+
+TEST(MgzTest, TruncatedPayloadThrows)
+{
+    sim::GeneratedPangenome pg = makePangenome(93);
+    std::vector<uint8_t> bytes = encodeMgz(pg.graph, pg.gbwt);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(decodeMgz(bytes), util::Error);
+}
+
+TEST(SeedCaptureTest, RoundTrip)
+{
+    SeedCapture capture;
+    capture.pairedEnd = true;
+    for (int r = 0; r < 3; ++r) {
+        ReadWithSeeds entry;
+        entry.read.name = "read" + std::to_string(r);
+        entry.read.sequence = "ACGTACGTAC";
+        entry.read.mate = r == 0 ? 1 : SIZE_MAX;
+        for (int s = 0; s < 4; ++s) {
+            map::Seed seed;
+            seed.position.handle = graph::Handle(10 + s, s % 2 == 1);
+            seed.position.offset = static_cast<uint32_t>(s * 3);
+            seed.readOffset = static_cast<uint32_t>(s);
+            seed.onReverseRead = s % 2 == 0;
+            seed.score = 0.125f * static_cast<float>(s + 1);
+            entry.seeds.push_back(seed);
+        }
+        capture.entries.push_back(entry);
+    }
+    std::vector<uint8_t> bytes = encodeSeedCapture(capture);
+    SeedCapture loaded = decodeSeedCapture(bytes);
+    EXPECT_EQ(loaded.pairedEnd, capture.pairedEnd);
+    ASSERT_EQ(loaded.entries.size(), capture.entries.size());
+    for (size_t r = 0; r < capture.entries.size(); ++r) {
+        EXPECT_EQ(loaded.entries[r].read.name,
+                  capture.entries[r].read.name);
+        EXPECT_EQ(loaded.entries[r].read.sequence,
+                  capture.entries[r].read.sequence);
+        EXPECT_EQ(loaded.entries[r].read.mate,
+                  capture.entries[r].read.mate);
+        ASSERT_EQ(loaded.entries[r].seeds.size(),
+                  capture.entries[r].seeds.size());
+        for (size_t s = 0; s < capture.entries[r].seeds.size(); ++s) {
+            const map::Seed& a = loaded.entries[r].seeds[s];
+            const map::Seed& b = capture.entries[r].seeds[s];
+            EXPECT_TRUE(a == b);
+            EXPECT_EQ(a.score, b.score); // exact float round-trip
+        }
+    }
+}
+
+TEST(ExtensionsIoTest, RoundTrip)
+{
+    std::vector<ReadExtensions> all;
+    ReadExtensions entry;
+    entry.readName = "readX";
+    map::GaplessExtension ext;
+    ext.path = {graph::Handle(3, false), graph::Handle(4, true)};
+    ext.startOffset = 2;
+    ext.readBegin = 5;
+    ext.readEnd = 45;
+    ext.mismatchOffsets = {7, 20};
+    ext.score = 40 - 8;
+    ext.onReverseRead = true;
+    ext.fullLength = false;
+    entry.extensions.push_back(ext);
+    all.push_back(entry);
+
+    auto loaded = decodeExtensions(encodeExtensions(all));
+    ASSERT_EQ(loaded.size(), 1u);
+    ASSERT_EQ(loaded[0].extensions.size(), 1u);
+    EXPECT_TRUE(loaded[0].extensions[0] == ext);
+    EXPECT_EQ(loaded[0].extensions[0].score, ext.score);
+    EXPECT_EQ(loaded[0].extensions[0].fullLength, ext.fullLength);
+}
+
+TEST(ExtensionsIoTest, ValidationDetectsPerfectMatch)
+{
+    std::vector<ReadExtensions> a;
+    ReadExtensions entry;
+    entry.readName = "r";
+    map::GaplessExtension ext;
+    ext.path = {graph::Handle(1, false)};
+    ext.readEnd = 10;
+    ext.score = 10;
+    entry.extensions.push_back(ext);
+    a.push_back(entry);
+
+    ValidationReport report = validateExtensions(a, a);
+    EXPECT_TRUE(report.perfectMatch());
+    EXPECT_EQ(report.readsCompared, 1u);
+    EXPECT_EQ(report.extensionsExpected, 1u);
+    EXPECT_EQ(report.extensionsFound, 1u);
+}
+
+TEST(ExtensionsIoTest, ValidationDetectsMissingAndUnexpected)
+{
+    map::GaplessExtension e1;
+    e1.path = {graph::Handle(1, false)};
+    e1.readEnd = 10;
+    map::GaplessExtension e2 = e1;
+    e2.readEnd = 20;
+
+    std::vector<ReadExtensions> expected = {{"r", {e1, e2}}};
+    std::vector<ReadExtensions> candidate = {{"r", {e2}}};
+    ValidationReport report = validateExtensions(expected, candidate);
+    EXPECT_FALSE(report.perfectMatch());
+    EXPECT_EQ(report.missing, 1u);
+    EXPECT_EQ(report.unexpected, 0u);
+
+    // Swap roles: now there is an unexpected extension.
+    report = validateExtensions(candidate, expected);
+    EXPECT_EQ(report.missing, 0u);
+    EXPECT_EQ(report.unexpected, 1u);
+}
+
+TEST(ExtensionsIoTest, ValidationCountsDuplicates)
+{
+    map::GaplessExtension e;
+    e.path = {graph::Handle(1, false)};
+    e.readEnd = 10;
+    std::vector<ReadExtensions> two = {{"r", {e, e}}};
+    std::vector<ReadExtensions> one = {{"r", {e}}};
+    ValidationReport report = validateExtensions(two, one);
+    EXPECT_EQ(report.missing, 1u);
+}
+
+TEST(FastqTest, RoundTrip)
+{
+    map::ReadSet reads;
+    for (int i = 0; i < 3; ++i) {
+        map::Read read;
+        read.name = "seq" + std::to_string(i);
+        read.sequence = "ACGTACGTA";
+        reads.reads.push_back(read);
+    }
+    map::ReadSet loaded = parseFastq(formatFastq(reads));
+    ASSERT_EQ(loaded.reads.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(loaded.reads[i].name, reads.reads[i].name);
+        EXPECT_EQ(loaded.reads[i].sequence, reads.reads[i].sequence);
+    }
+}
+
+TEST(FastqTest, MalformedInputThrows)
+{
+    EXPECT_THROW(parseFastq("@x\nACGT\n"), util::Error);           // 2 lines
+    EXPECT_THROW(parseFastq("x\nACGT\n+\nIIII\n"), util::Error);   // no @
+    EXPECT_THROW(parseFastq("@x\nACGN\n+\nIIII\n"), util::Error);  // non-DNA
+    EXPECT_THROW(parseFastq("@x\nACGT\n-\nIIII\n"), util::Error);  // no +
+    EXPECT_THROW(parseFastq("@x\nACGT\n+\nII\n"), util::Error);    // short Q
+}
+
+} // namespace
+} // namespace mg::io

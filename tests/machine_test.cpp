@@ -1,0 +1,339 @@
+/** Tests for the machine-model substrate. */
+#include <gtest/gtest.h>
+
+#include "machine/config.h"
+#include "machine/cost_model.h"
+#include "machine/scaling_model.h"
+#include "machine/tracer.h"
+#include "util/common.h"
+#include "util/dna.h"
+#include "util/rng.h"
+
+namespace mg::machine {
+namespace {
+
+TEST(ConfigTest, TableIIFleetIsPresent)
+{
+    auto machines = paperMachines();
+    ASSERT_EQ(machines.size(), 4u);
+    MachineConfig li = machineByName("local-intel");
+    EXPECT_EQ(li.sockets, 2u);
+    EXPECT_EQ(li.coresPerSocket, 24u);
+    EXPECT_EQ(li.threadContexts(), 96u);
+    MachineConfig la = machineByName("local-amd");
+    EXPECT_EQ(la.threadContexts(), 128u);
+    EXPECT_EQ(la.sockets, 1u);
+    MachineConfig ca = machineByName("chi-arm");
+    EXPECT_EQ(ca.threadContexts(), 64u);
+    EXPECT_EQ(ca.threadsPerCore, 1u);
+    MachineConfig ci = machineByName("chi-intel");
+    EXPECT_EQ(ci.threadContexts(), 160u);
+    EXPECT_THROW(machineByName("laptop"), util::Error);
+}
+
+TEST(ConfigTest, LlcOrderingMatchesPaper)
+{
+    // local-amd has the largest LLC, local-intel the smallest (Table II).
+    EXPECT_GT(machineByName("local-amd").l3PerSocket.sizeBytes,
+              machineByName("chi-arm").l3PerSocket.sizeBytes);
+    EXPECT_GT(machineByName("chi-arm").l3PerSocket.sizeBytes,
+              machineByName("chi-intel").l3PerSocket.sizeBytes);
+    EXPECT_GT(machineByName("chi-intel").l3PerSocket.sizeBytes,
+              machineByName("local-intel").l3PerSocket.sizeBytes);
+}
+
+// --------------------------------------------------------------- caches
+
+CacheLevelConfig
+tinyCache(size_t size_bytes, size_t ways)
+{
+    CacheLevelConfig config;
+    config.sizeBytes = size_bytes;
+    config.lineBytes = 64;
+    config.associativity = ways;
+    return config;
+}
+
+TEST(CacheLevelTest, HitsAfterInstall)
+{
+    CacheLevel cache(tinyCache(1024, 2));
+    EXPECT_FALSE(cache.access(5));
+    EXPECT_TRUE(cache.access(5));
+    EXPECT_TRUE(cache.access(5));
+}
+
+TEST(CacheLevelTest, LruEvictionWithinSet)
+{
+    // 2-way, 8 sets: lines 0, 8, 16 map to set 0.
+    CacheLevel cache(tinyCache(1024, 2));
+    ASSERT_EQ(cache.numSets(), 8u);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(8));
+    EXPECT_TRUE(cache.access(0));   // refresh 0; LRU is now 8
+    EXPECT_FALSE(cache.access(16)); // evicts 8
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(8));  // 8 was evicted
+}
+
+TEST(CacheLevelTest, CapacityBoundedWorkingSetAlwaysHits)
+{
+    CacheLevel cache(tinyCache(64 * 1024, 8)); // 1024 lines
+    // Touch 512 distinct lines twice: second pass must fully hit.
+    for (uint64_t line = 0; line < 512; ++line) {
+        cache.access(line);
+    }
+    for (uint64_t line = 0; line < 512; ++line) {
+        EXPECT_TRUE(cache.access(line)) << line;
+    }
+}
+
+TEST(CacheHierarchyTest, MissesFlowDownTheHierarchy)
+{
+    MachineConfig m = machineByName("local-intel");
+    CacheHierarchy hierarchy(m);
+    hierarchy.access(0x1000, 4);
+    const CacheCounters& counters = hierarchy.counters();
+    EXPECT_EQ(counters.l1Accesses, 1u);
+    EXPECT_EQ(counters.l1Misses, 1u);
+    EXPECT_EQ(counters.l2Accesses, 1u);
+    EXPECT_EQ(counters.l2Misses, 1u);
+    EXPECT_EQ(counters.llcAccesses, 1u);
+    EXPECT_EQ(counters.llcMisses, 1u);
+    // Second touch hits L1; deeper levels see nothing.
+    hierarchy.access(0x1000, 4);
+    EXPECT_EQ(counters.l1Accesses, 2u);
+    EXPECT_EQ(counters.l1Misses, 1u);
+    EXPECT_EQ(counters.l2Accesses, 1u);
+}
+
+TEST(CacheHierarchyTest, WideAccessSplitsAcrossLines)
+{
+    CacheHierarchy hierarchy(machineByName("local-intel"));
+    hierarchy.access(0x1000, 256); // 4 lines
+    EXPECT_EQ(hierarchy.counters().l1Accesses, 4u);
+    // Unaligned spill adds one more line.
+    hierarchy.access(0x2030, 64);
+    EXPECT_EQ(hierarchy.counters().l1Accesses, 6u);
+}
+
+TEST(CacheHierarchyTest, LargerLlcMissesLess)
+{
+    // Stream over a working set that fits AMD's 256 MB L3 but thrashes
+    // local-intel's 35.75 MB.
+    MachineConfig intel = machineByName("local-intel");
+    MachineConfig amd = machineByName("local-amd");
+    CacheHierarchy h_intel(intel);
+    CacheHierarchy h_amd(amd);
+    util::Rng rng(7);
+    const uint64_t span = 128ull * 1024 * 1024; // 128 MB working set
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t i = 0; i < 200000; ++i) {
+            // Hash the index so both passes touch the same pseudo-random
+            // lines (reuse!) while dodging trivial streaming prefetch.
+            uint64_t addr = util::hash64(i % 100000) % span;
+            h_intel.access(addr, 8);
+            h_amd.access(addr, 8);
+        }
+    }
+    EXPECT_LT(h_amd.counters().llcMisses, h_intel.counters().llcMisses);
+}
+
+TEST(CacheHierarchyTest, NextLinePrefetcherTurnsStreamsIntoHits)
+{
+    MachineConfig base = machineByName("local-intel");
+    MachineConfig pf = base;
+    pf.nextLinePrefetcher = true;
+    CacheHierarchy plain(base);
+    CacheHierarchy prefetching(pf);
+    // Sequential stream: every line is new; the prefetcher should turn
+    // roughly every other demand access into a hit.
+    for (uint64_t addr = 0; addr < 64 * 4096; addr += 64) {
+        plain.access(addr, 8);
+        prefetching.access(addr, 8);
+    }
+    EXPECT_LT(prefetching.counters().l1Misses,
+              plain.counters().l1Misses / 2 + 16);
+    EXPECT_GT(prefetching.counters().prefetches, 0u);
+    EXPECT_EQ(plain.counters().prefetches, 0u);
+}
+
+TEST(CacheHierarchyTest, FlushDropsContentsKeepsCounters)
+{
+    CacheHierarchy hierarchy(machineByName("local-intel"));
+    hierarchy.access(0x40, 4);
+    hierarchy.flush();
+    uint64_t misses_before = hierarchy.counters().l1Misses;
+    hierarchy.access(0x40, 4); // misses again after flush
+    EXPECT_EQ(hierarchy.counters().l1Misses, misses_before + 1);
+}
+
+// --------------------------------------------------------------- tracer
+
+TEST(TraceCounterTest, DrivesAllMachinesAtOnce)
+{
+    TraceCounter tracer(paperMachines());
+    ASSERT_EQ(tracer.numMachines(), 4u);
+    int dummy[64] = {};
+    tracer.onAccess(dummy, sizeof(dummy), false);
+    tracer.onWork(10);
+    EXPECT_EQ(tracer.work().memoryAccesses, 1u);
+    EXPECT_EQ(tracer.work().instructions, 11u);
+    for (size_t m = 0; m < tracer.numMachines(); ++m) {
+        EXPECT_GE(tracer.counters(m).l1Accesses, 1u);
+    }
+    EXPECT_NO_THROW(tracer.countersFor("chi-arm"));
+    EXPECT_THROW(tracer.countersFor("nope"), util::Error);
+}
+
+// ------------------------------------------------------------ cost model
+
+WorkCounters
+syntheticWork()
+{
+    WorkCounters work;
+    work.instructions = 1000000;
+    work.memoryAccesses = 300000;
+    return work;
+}
+
+CacheCounters
+syntheticCounters(uint64_t llc_misses)
+{
+    CacheCounters counters;
+    counters.l1Accesses = 300000;
+    counters.l1Misses = 30000;
+    counters.l2Accesses = 30000;
+    counters.l2Misses = 10000;
+    counters.llcAccesses = 10000;
+    counters.llcMisses = llc_misses;
+    return counters;
+}
+
+TEST(CostModelTest, MoreMissesMeanMoreCycles)
+{
+    MachineConfig m = machineByName("local-intel");
+    CostProfile cheap = modelCost(m, syntheticWork(), syntheticCounters(100));
+    CostProfile expensive =
+        modelCost(m, syntheticWork(), syntheticCounters(9000));
+    EXPECT_GT(expensive.cycles, cheap.cycles);
+    EXPECT_LT(expensive.ipc, cheap.ipc);
+    EXPECT_GT(expensive.seconds, cheap.seconds);
+}
+
+TEST(CostModelTest, IpcIsPlausible)
+{
+    MachineConfig m = machineByName("local-amd");
+    CostProfile profile =
+        modelCost(m, syntheticWork(), syntheticCounters(1000));
+    EXPECT_GT(profile.ipc, 0.3);
+    EXPECT_LT(profile.ipc, 4.0);
+}
+
+TEST(TopDownTest, BucketsSumToHundred)
+{
+    MachineConfig m = machineByName("local-intel");
+    CostProfile cost = modelCost(m, syntheticWork(), syntheticCounters(5000));
+    TopDownProfile td = modelTopDown(m, cost);
+    double sum = td.retiringPct + td.frontEndPct + td.backEndPct +
+                 td.badSpeculationPct;
+    EXPECT_NEAR(sum, 100.0, 1e-6);
+    EXPECT_GT(td.retiringPct, 0.0);
+    EXPECT_LE(td.memoryBoundPct, td.backEndPct);
+    EXPECT_LE(td.frontEndLatencyPct, td.frontEndPct);
+}
+
+// --------------------------------------------------------- scaling model
+
+TEST(ScalingModelTest, ParallelismSaturatesAtContexts)
+{
+    MachineConfig m = machineByName("local-intel"); // 48 cores, 96 contexts
+    double p48 = effectiveParallelism(m, 48);
+    double p96 = effectiveParallelism(m, 96);
+    double p200 = effectiveParallelism(m, 200);
+    EXPECT_GT(p96, p48);          // hyperthreads help a little
+    EXPECT_LT(p96 - p48, p48);    // ...much less than real cores
+    EXPECT_DOUBLE_EQ(p96, p200);  // beyond contexts: no gain
+}
+
+TEST(ScalingModelTest, SingleSocketScalesBetterPerCore)
+{
+    // local-amd (1 socket) keeps near-linear speedups; local-intel's
+    // second socket is discounted.
+    MachineConfig amd = machineByName("local-amd");
+    MachineConfig intel = machineByName("local-intel");
+    EXPECT_NEAR(effectiveParallelism(amd, 48), 48.0, 1e-9);
+    EXPECT_LT(effectiveParallelism(intel, 48), 44.0);
+}
+
+TEST(ScalingModelTest, PredictedTimeDecreasesThenPlateaus)
+{
+    MachineConfig m = machineByName("chi-intel");
+    CostProfile cost;
+    cost.instructions = 1u << 30;
+    cost.seconds = 100.0;
+    cost.cycles = cost.seconds * m.frequencyGhz * 1e9;
+    WorkloadShape shape;
+    shape.numReads = 100000;
+    shape.batchSize = 512;
+    shape.dramBytes = 1e9;
+    SchedulerCost sched;
+    double prev = 1e30;
+    for (size_t threads : {1, 2, 4, 8, 16, 32, 64, 80}) {
+        double t = predictedTime(m, cost, shape, sched, threads);
+        EXPECT_LT(t, prev) << threads;
+        prev = t;
+    }
+    // Hyperthread region: still no slower.
+    double t160 = predictedTime(m, cost, shape, sched, 160);
+    EXPECT_LE(t160, prev);
+}
+
+TEST(ScalingModelTest, BandwidthFloorBindsMemoryHeavyRuns)
+{
+    MachineConfig m = machineByName("local-intel");
+    CostProfile cost;
+    cost.seconds = 10.0;
+    WorkloadShape shape;
+    shape.numReads = 10000;
+    shape.batchSize = 512;
+    shape.dramBytes = 1e13; // 10 TB of traffic: clearly bandwidth bound
+    SchedulerCost sched;
+    double t = predictedTime(m, cost, shape, sched, 96);
+    double floor = shape.dramBytes / (m.memBandwidthGBs * 1e9 * m.sockets);
+    EXPECT_GE(t, floor);
+}
+
+TEST(ScalingModelTest, SerialDispatchHurtsAtScale)
+{
+    MachineConfig m = machineByName("chi-intel");
+    CostProfile cost;
+    cost.seconds = 10.0;
+    WorkloadShape shape;
+    shape.numReads = 1000000;
+    shape.batchSize = 128; // many batches
+    shape.dramBytes = 0.0;
+    SchedulerCost distributed;
+    distributed.dispatchMicros = 1.0;
+    SchedulerCost serial = distributed;
+    serial.serialDispatch = true;
+    EXPECT_GT(predictedTime(m, cost, shape, serial, 160),
+              predictedTime(m, cost, shape, distributed, 160));
+}
+
+TEST(ScalingModelTest, SpeedupCurveStartsAtOne)
+{
+    MachineConfig m = machineByName("chi-arm");
+    CostProfile cost;
+    cost.seconds = 50.0;
+    WorkloadShape shape;
+    shape.numReads = 50000;
+    shape.batchSize = 512;
+    SchedulerCost sched;
+    auto curve = speedupCurve(m, cost, shape, sched, {1, 2, 4, 8});
+    ASSERT_EQ(curve.size(), 4u);
+    EXPECT_NEAR(curve[0], 1.0, 1e-9);
+    EXPECT_GT(curve[3], curve[1]);
+}
+
+} // namespace
+} // namespace mg::machine

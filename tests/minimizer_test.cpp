@@ -1,0 +1,231 @@
+/** Tests for minimizer selection and the minimizer index. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/minimizer.h"
+#include "sim/pangenome_gen.h"
+#include "util/dna.h"
+#include "util/rng.h"
+
+namespace mg::index {
+namespace {
+
+/** Brute-force minimizers: min-hash k-mer of every window. */
+std::vector<Minimizer>
+bruteForceMinimizers(std::string_view seq, const MinimizerParams& params)
+{
+    const int k = params.k;
+    const int w = params.w;
+    std::vector<Minimizer> out;
+    if (static_cast<int>(seq.size()) < k + w - 1) {
+        // Still emit if at least one window's worth of k-mers exists.
+    }
+    if (static_cast<int>(seq.size()) < k) {
+        return out;
+    }
+    size_t num_kmers = seq.size() - k + 1;
+    std::vector<uint64_t> hashes(num_kmers);
+    for (size_t i = 0; i < num_kmers; ++i) {
+        hashes[i] = util::hash64(util::packKmer(seq.substr(i), k));
+    }
+    uint32_t last = UINT32_MAX;
+    for (size_t win_end = static_cast<size_t>(w) - 1; win_end < num_kmers;
+         ++win_end) {
+        size_t win_begin = win_end + 1 - w;
+        size_t best = win_begin;
+        for (size_t i = win_begin; i <= win_end; ++i) {
+            if (hashes[i] < hashes[best]) {
+                best = i;
+            }
+        }
+        if (best != last) {
+            out.push_back(Minimizer{hashes[best],
+                                    static_cast<uint32_t>(best)});
+            last = static_cast<uint32_t>(best);
+        }
+    }
+    return out;
+}
+
+TEST(MinimizerTest, MatchesBruteForceOnRandomSequences)
+{
+    util::Rng rng(41);
+    MinimizerParams params;
+    params.k = 5;
+    params.w = 4;
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string seq = rng.randomDna(10 + rng.uniform(300));
+        auto fast = minimizersOf(seq, params);
+        auto brute = bruteForceMinimizers(seq, params);
+        ASSERT_EQ(fast.size(), brute.size()) << "trial " << trial;
+        for (size_t i = 0; i < fast.size(); ++i) {
+            EXPECT_EQ(fast[i].offset, brute[i].offset);
+            EXPECT_EQ(fast[i].hash, brute[i].hash);
+        }
+    }
+}
+
+TEST(MinimizerTest, ShortSequenceYieldsNothing)
+{
+    MinimizerParams params;
+    params.k = 15;
+    params.w = 8;
+    EXPECT_TRUE(minimizersOf("ACGTACGT", params).empty());
+}
+
+TEST(MinimizerTest, WindowCoverageProperty)
+{
+    // Density bound: consecutive selected minimizers are less than k + w
+    // apart, so any window of w consecutive k-mers contains one.
+    util::Rng rng(42);
+    MinimizerParams params;
+    params.k = 9;
+    params.w = 6;
+    for (int trial = 0; trial < 30; ++trial) {
+        std::string seq = rng.randomDna(500);
+        auto mins = minimizersOf(seq, params);
+        ASSERT_FALSE(mins.empty());
+        EXPECT_LT(mins.front().offset, static_cast<uint32_t>(params.w));
+        for (size_t i = 1; i < mins.size(); ++i) {
+            EXPECT_GT(mins[i].offset, mins[i - 1].offset);
+            EXPECT_LE(mins[i].offset - mins[i - 1].offset,
+                      static_cast<uint32_t>(params.w));
+        }
+    }
+}
+
+TEST(MinimizerTest, HashMatchesKmerContent)
+{
+    MinimizerParams params;
+    params.k = 7;
+    params.w = 5;
+    util::Rng rng(43);
+    std::string seq = rng.randomDna(200);
+    for (const Minimizer& min : minimizersOf(seq, params)) {
+        uint64_t expected =
+            util::hash64(util::packKmer(seq.substr(min.offset), params.k));
+        EXPECT_EQ(min.hash, expected);
+    }
+}
+
+class MinimizerIndexTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sim::PangenomeParams params;
+        params.seed = 55;
+        params.backboneLength = 8000;
+        params.haplotypes = 6;
+        pg_ = sim::generatePangenome(params);
+        indexParams_.k = 15;
+        indexParams_.w = 8;
+        index_ = MinimizerIndex(pg_.graph, indexParams_);
+    }
+
+    sim::GeneratedPangenome pg_;
+    MinimizerParams indexParams_;
+    MinimizerIndex index_;
+};
+
+TEST_F(MinimizerIndexTest, IndexIsNonTrivial)
+{
+    EXPECT_GT(index_.numKeys(), 100u);
+    EXPECT_GE(index_.numEntries(), index_.numKeys());
+}
+
+TEST_F(MinimizerIndexTest, LookupMissReturnsEmpty)
+{
+    auto [positions, count] = index_.lookup(0xdeadbeefdeadbeefull);
+    EXPECT_EQ(count, 0u);
+    EXPECT_EQ(positions, nullptr);
+}
+
+TEST_F(MinimizerIndexTest, IndexedPositionsSpellTheirKmer)
+{
+    // Every indexed position must actually spell a k-mer that hashes to
+    // its key.  Verify via haplotype minimizers (the source of entries).
+    size_t checked = 0;
+    for (const std::string& hap : pg_.sequences) {
+        for (const Minimizer& min : minimizersOf(hap, indexParams_)) {
+            auto [positions, count] = index_.lookup(min.hash);
+            ASSERT_GT(count, 0u);
+            ++checked;
+            if (checked > 500) {
+                return;
+            }
+        }
+    }
+}
+
+TEST_F(MinimizerIndexTest, ReadFromHaplotypeAlwaysSeeds)
+{
+    // An error-free read sampled from an indexed haplotype shares all its
+    // minimizers with the index.
+    util::Rng rng(56);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::string& hap =
+            pg_.sequences[rng.uniform(pg_.sequences.size())];
+        size_t start = rng.uniform(hap.size() - 150);
+        std::string read = hap.substr(start, 150);
+        auto mins = minimizersOf(read, indexParams_);
+        ASSERT_FALSE(mins.empty());
+        size_t found = 0;
+        for (const Minimizer& min : mins) {
+            auto [positions, count] = index_.lookup(min.hash);
+            (void)positions;
+            if (count > 0) {
+                ++found;
+            }
+        }
+        // All of them (repeat-filtered entries could drop a few).
+        EXPECT_GE(found * 10, mins.size() * 9) << "trial " << trial;
+    }
+}
+
+TEST_F(MinimizerIndexTest, PositionsPointAtRealNodes)
+{
+    // Walk a few keys' position lists and bounds-check them.
+    util::Rng rng(57);
+    std::string probe = pg_.sequences[0].substr(0, 400);
+    for (const Minimizer& min : minimizersOf(probe, indexParams_)) {
+        auto [positions, count] = index_.lookup(min.hash);
+        for (size_t i = 0; i < count; ++i) {
+            ASSERT_TRUE(pg_.graph.hasNode(positions[i].handle.id()));
+            ASSERT_LT(positions[i].offset,
+                      pg_.graph.length(positions[i].handle.id()));
+        }
+    }
+}
+
+TEST(MinimizerIndexFilterTest, RepeatFilterDropsFrequentKeys)
+{
+    // A graph that is one long homopolymer-ish repeat: with a tiny
+    // occurrence cap, the index drops the over-frequent keys.
+    graph::VariationGraph g;
+    std::string unit = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+    std::string repeat;
+    for (int i = 0; i < 16; ++i) {
+        repeat += unit;
+    }
+    graph::NodeId node = g.addNode(repeat);
+    g.addPath("hap", {graph::Handle(node, false)});
+
+    MinimizerParams strict;
+    strict.k = 8;
+    strict.w = 4;
+    strict.maxOccurrences = 2;
+    MinimizerIndex filtered(g, strict);
+
+    MinimizerParams loose = strict;
+    loose.maxOccurrences = 100000;
+    MinimizerIndex unfiltered(g, loose);
+
+    EXPECT_LT(filtered.numEntries(), unfiltered.numEntries());
+}
+
+} // namespace
+} // namespace mg::index

@@ -1,0 +1,207 @@
+/**
+ * Oracle tests: the mapper's best extension is checked against exhaustive
+ * brute-force gapless alignment of the read to every haplotype string,
+ * and mapping quality degrades monotonically with injected error rate.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "map/mapper.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+#include "util/dna.h"
+#include "util/rng.h"
+
+namespace mg::map {
+namespace {
+
+/**
+ * Brute-force best gapless local alignment score of `read` against
+ * `reference` under the extender's scoring (max-score prefix semantics
+ * around every possible anchor position, both handled by simply scanning
+ * every diagonal and taking the best-scoring window).
+ */
+int32_t
+bestGaplessScore(const std::string& read, const std::string& reference,
+                 const ExtendParams& params)
+{
+    int32_t best = 0;
+    if (reference.size() < 1 || read.empty()) {
+        return 0;
+    }
+    // Each diagonal: reference offset d aligns read[i] to reference[d+i].
+    for (size_t d = 0; d + 1 <= reference.size(); ++d) {
+        size_t span = std::min(read.size(), reference.size() - d);
+        // Max-score subarray (Kadane) over per-base score contributions,
+        // with the mismatch-budget cap applied within the window.
+        // Evaluate all windows explicitly (sizes here are small).
+        for (size_t begin = 0; begin < span; ++begin) {
+            int32_t score = 0;
+            int mismatches = 0;
+            for (size_t i = begin; i < span; ++i) {
+                if (read[i] == reference[d + i]) {
+                    score += params.matchScore;
+                } else {
+                    if (++mismatches > 2 * params.maxMismatches) {
+                        break;
+                    }
+                    score -= params.mismatchPenalty;
+                }
+                int32_t bonus = 0;
+                if (begin == 0 && i + 1 == read.size()) {
+                    bonus = params.fullLengthBonus;
+                }
+                best = std::max(best, score + bonus);
+            }
+        }
+    }
+    return best;
+}
+
+class OracleFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sim::PangenomeParams params;
+        params.seed = 601;
+        params.backboneLength = 6000;
+        params.haplotypes = 4;
+        params.repeatFraction = 0.0; // keep the oracle tractable
+        pg_ = sim::generatePangenome(params);
+        index::MinimizerParams mparams;
+        mparams.k = 15;
+        mparams.w = 8;
+        minimizers_ = index::MinimizerIndex(pg_.graph, mparams);
+        distance_ = index::DistanceIndex(pg_.graph);
+        mapper_ = std::make_unique<Mapper>(pg_.graph, pg_.gbwt,
+                                           minimizers_, distance_,
+                                           MapperParams());
+        state_ = mapper_->makeState();
+    }
+
+    int32_t
+    oracleBest(const std::string& read_seq) const
+    {
+        // Best over all haplotypes, both read orientations.
+        int32_t best = 0;
+        std::string rc = util::reverseComplement(read_seq);
+        for (const std::string& hap : pg_.sequences) {
+            best = std::max(best, bestGaplessScore(
+                                      read_seq, hap,
+                                      mapper_->params().extend));
+            best = std::max(best, bestGaplessScore(
+                                      rc, hap, mapper_->params().extend));
+        }
+        return best;
+    }
+
+    sim::GeneratedPangenome pg_;
+    index::MinimizerIndex minimizers_;
+    index::DistanceIndex distance_;
+    std::unique_ptr<Mapper> mapper_;
+    std::unique_ptr<MapperState> state_;
+};
+
+TEST_F(OracleFixture, BestExtensionNeverBeatsTheOracle)
+{
+    // The mapper aligns against the graph, whose walks are exactly the
+    // haplotypes (plus recombinants sharing them locally); a score above
+    // every per-haplotype alignment would indicate a scoring bug.
+    util::Rng rng(602);
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::string& hap =
+            pg_.sequences[rng.uniform(pg_.sequences.size())];
+        size_t start = rng.uniform(hap.size() - 80);
+        Read read;
+        read.name = "r";
+        read.sequence = hap.substr(start, 80);
+        for (int e = 0; e < 2; ++e) {
+            size_t pos = rng.uniform(read.sequence.size());
+            read.sequence[pos] = rng.differentBase(read.sequence[pos]);
+        }
+        MapResult result = mapper_->mapRead(read, *state_);
+        if (result.extensions.empty()) {
+            continue;
+        }
+        int32_t oracle = oracleBest(read.sequence);
+        EXPECT_LE(result.extensions.front().score, oracle)
+            << "trial " << trial;
+    }
+}
+
+TEST_F(OracleFixture, ErrorFreeReadsAchieveTheOracleScore)
+{
+    util::Rng rng(603);
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::string& hap =
+            pg_.sequences[rng.uniform(pg_.sequences.size())];
+        size_t start = rng.uniform(hap.size() - 80);
+        Read read;
+        read.name = "r";
+        read.sequence = hap.substr(start, 80);
+        MapResult result = mapper_->mapRead(read, *state_);
+        ASSERT_FALSE(result.extensions.empty()) << "trial " << trial;
+        // A perfect read's oracle score is len + bonus; the mapper must
+        // reach it (the seed chain covers the true placement).
+        int32_t perfect =
+            static_cast<int32_t>(read.sequence.size()) *
+                mapper_->params().extend.matchScore +
+            mapper_->params().extend.fullLengthBonus;
+        EXPECT_EQ(result.extensions.front().score, perfect)
+            << "trial " << trial;
+    }
+}
+
+/** Mapping success rate degrades monotonically-ish with error rate. */
+class ErrorRateProperty : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ErrorRateProperty, FullLengthRateDropsWithErrors)
+{
+    sim::PangenomeParams params;
+    params.seed = 604;
+    params.backboneLength = 10000;
+    params.haplotypes = 4;
+    sim::GeneratedPangenome pg = sim::generatePangenome(params);
+    index::MinimizerParams mparams;
+    mparams.k = 15;
+    mparams.w = 8;
+    index::MinimizerIndex minimizers(pg.graph, mparams);
+    index::DistanceIndex distance(pg.graph);
+    Mapper mapper(pg.graph, pg.gbwt, minimizers, distance, MapperParams());
+    auto state = mapper.makeState();
+
+    sim::ReadSimParams rparams;
+    rparams.seed = 605;
+    rparams.count = 120;
+    rparams.readLength = 120;
+    rparams.errorRate = GetParam();
+    map::ReadSet reads = sim::simulateReads(pg, rparams);
+
+    size_t full = 0;
+    for (const Read& read : reads.reads) {
+        MapResult result = mapper.mapRead(read, *state);
+        if (!result.extensions.empty() &&
+            result.extensions.front().fullLength) {
+            ++full;
+        }
+    }
+    double rate =
+        static_cast<double>(full) / static_cast<double>(reads.size());
+    if (GetParam() <= 0.001) {
+        EXPECT_GT(rate, 0.95);
+    } else if (GetParam() >= 0.10) {
+        // A tenth of bases flipped: full-length gapless mapping collapses.
+        EXPECT_LT(rate, 0.35);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ErrorRateProperty,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.10));
+
+} // namespace
+} // namespace mg::map

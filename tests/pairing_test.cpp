@@ -1,0 +1,189 @@
+/** Tests for the paired-end pairing stage. */
+#include <gtest/gtest.h>
+
+#include "giraffe/pairing.h"
+#include "giraffe/parent.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+
+namespace mg::giraffe {
+namespace {
+
+class PairingFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sim::PangenomeParams pparams;
+        pparams.seed = 401;
+        pparams.backboneLength = 15000;
+        pparams.haplotypes = 6;
+        pg_ = sim::generatePangenome(pparams);
+
+        index::MinimizerParams mparams;
+        mparams.k = 15;
+        mparams.w = 8;
+        minimizers_ = index::MinimizerIndex(pg_.graph, mparams);
+        distance_ = index::DistanceIndex(pg_.graph);
+
+        sim::ReadSimParams rparams;
+        rparams.seed = 402;
+        rparams.count = 200;
+        rparams.paired = true;
+        rparams.readLength = 100;
+        rparams.fragmentLength = 350;
+        rparams.errorRate = 0.002;
+        reads_ = sim::simulateReads(pg_, rparams);
+    }
+
+    ParentOutputs
+    mapAll()
+    {
+        ParentEmulator parent(pg_.graph, pg_.gbwt, minimizers_, distance_,
+                              ParentParams());
+        return parent.run(reads_);
+    }
+
+    sim::GeneratedPangenome pg_;
+    index::MinimizerIndex minimizers_;
+    index::DistanceIndex distance_;
+    map::ReadSet reads_;
+};
+
+TEST_F(PairingFixture, ParentRunProducesPairVerdicts)
+{
+    ParentOutputs outputs = mapAll();
+    EXPECT_EQ(outputs.pairs.size(), reads_.size() / 2);
+}
+
+TEST_F(PairingFixture, MostSimulatedPairsAreProper)
+{
+    ParentOutputs outputs = mapAll();
+    size_t proper = 0;
+    for (const PairResult& pair : outputs.pairs) {
+        if (pair.properPair) {
+            ++proper;
+        }
+    }
+    // The reads were simulated as genuine fragments: the vast majority
+    // must be recognized as proper pairs.
+    EXPECT_GT(proper * 10, outputs.pairs.size() * 7);
+}
+
+TEST_F(PairingFixture, FragmentModelRecoversSimulatedLength)
+{
+    ParentOutputs outputs = mapAll();
+    PairingParams params;
+    FragmentModel model = estimateFragmentModel(reads_, outputs.alignments,
+                                                distance_, params);
+    ASSERT_GE(model.samples, params.minModelPairs);
+    // The simulator drew fragments around 350 +- 25%.
+    EXPECT_GT(model.mean, 250.0);
+    EXPECT_LT(model.mean, 450.0);
+    EXPECT_GT(model.stdev, 1.0);
+}
+
+TEST_F(PairingFixture, ProperPairsObserveFragmentsNearTheMean)
+{
+    ParentOutputs outputs = mapAll();
+    for (const PairResult& pair : outputs.pairs) {
+        if (pair.properPair) {
+            EXPECT_GT(pair.observedFragment, 100);
+            EXPECT_LT(pair.observedFragment, 700);
+        }
+    }
+}
+
+TEST_F(PairingFixture, ProperPairBonusRaisesMapq)
+{
+    // Map once without pairing (single-end view) and once with; proper
+    // pairs must not lose MAPQ.
+    ParentEmulator parent(pg_.graph, pg_.gbwt, minimizers_, distance_,
+                          ParentParams());
+    map::ReadSet unpaired = reads_;
+    unpaired.pairedEnd = false;
+    ParentOutputs without = parent.run(unpaired);
+    ParentOutputs with = parent.run(reads_);
+    ASSERT_EQ(without.alignments.size(), with.alignments.size());
+    for (const PairResult& pair : with.pairs) {
+        if (!pair.properPair) {
+            continue;
+        }
+        EXPECT_GE(with.alignments[pair.firstRead].mappingQuality,
+                  without.alignments[pair.firstRead].mappingQuality);
+        EXPECT_GE(with.alignments[pair.secondRead].mappingQuality,
+                  without.alignments[pair.secondRead].mappingQuality);
+    }
+}
+
+TEST(PairingModelTest, FallsBackWithoutEnoughSamples)
+{
+    // Two reads, unmapped: the model must use the configured prior.
+    map::ReadSet reads;
+    map::Read r1;
+    r1.name = "a/1";
+    r1.sequence = "ACGT";
+    r1.mate = 1;
+    map::Read r2;
+    r2.name = "a/2";
+    r2.sequence = "ACGT";
+    r2.mate = 0;
+    reads.reads = {r1, r2};
+    reads.pairedEnd = true;
+    std::vector<Alignment> alignments(2); // both unmapped
+
+    graph::VariationGraph g;
+    g.addNode("ACGTACGT");
+    index::DistanceIndex distance(g);
+    PairingParams params;
+    params.fallbackMean = 321.0;
+    FragmentModel model =
+        estimateFragmentModel(reads, alignments, distance, params);
+    EXPECT_EQ(model.samples, 0u);
+    EXPECT_DOUBLE_EQ(model.mean, 321.0);
+
+    auto results = pairAlignments(reads, alignments, distance, params);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].bothMapped);
+    EXPECT_FALSE(results[0].properPair);
+}
+
+TEST(PairingModelTest, SameStrandPairsAreNotProper)
+{
+    // Hand-built alignments on the same strand: never a proper pair.
+    graph::VariationGraph g;
+    graph::NodeId a = g.addNode(std::string(500, 'A'));
+    (void)a;
+    index::DistanceIndex distance(g);
+
+    map::ReadSet reads;
+    map::Read r1;
+    r1.name = "p/1";
+    r1.sequence = std::string(100, 'A');
+    r1.mate = 1;
+    map::Read r2 = r1;
+    r2.name = "p/2";
+    r2.mate = 0;
+    reads.reads = {r1, r2};
+    reads.pairedEnd = true;
+
+    Alignment m1;
+    m1.mapped = true;
+    m1.onReverseRead = false;
+    m1.path = {graph::Handle(1, false)};
+    m1.startOffset = 0;
+    m1.readEnd = 100;
+    Alignment m2 = m1;
+    m2.startOffset = 300; // same strand, downstream
+    std::vector<Alignment> alignments = {m1, m2};
+
+    PairingParams params;
+    auto results = pairAlignments(reads, alignments, distance, params);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].bothMapped);
+    EXPECT_FALSE(results[0].properPair);
+}
+
+} // namespace
+} // namespace mg::giraffe

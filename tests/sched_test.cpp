@@ -1,0 +1,128 @@
+/**
+ * Scheduler correctness tests: every policy must process every item exactly
+ * once, for any (total, batch, threads) combination, under concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/common.h"
+
+namespace mg::sched {
+namespace {
+
+std::vector<SchedulerKind> allKinds()
+{
+    return {SchedulerKind::OmpDynamic, SchedulerKind::VgBatch,
+            SchedulerKind::WorkStealing, SchedulerKind::Static};
+}
+
+TEST(SchedulerNamesTest, RoundTrip)
+{
+    for (SchedulerKind kind : allKinds()) {
+        EXPECT_EQ(schedulerFromName(schedulerName(kind)), kind);
+    }
+    EXPECT_THROW(schedulerFromName("bogus"), util::Error);
+}
+
+TEST(SchedulerFactoryTest, MakesMatchingKind)
+{
+    for (SchedulerKind kind : allKinds()) {
+        auto scheduler = makeScheduler(kind);
+        ASSERT_NE(scheduler, nullptr);
+        EXPECT_EQ(scheduler->kind(), kind);
+    }
+}
+
+/** (kind, total, batch, threads) sweep. */
+class SchedulerProperty
+    : public ::testing::TestWithParam<
+          std::tuple<SchedulerKind, size_t, size_t, size_t>>
+{};
+
+TEST_P(SchedulerProperty, ProcessesEveryItemExactlyOnce)
+{
+    auto [kind, total, batch, threads] = GetParam();
+    auto scheduler = makeScheduler(kind);
+
+    std::vector<std::atomic<uint32_t>> touched(total);
+    std::atomic<size_t> max_thread{0};
+    scheduler->run(total, batch, threads,
+                   [&](size_t thread, size_t begin, size_t end) {
+                       ASSERT_LE(begin, end);
+                       ASSERT_LE(end, total);
+                       size_t prev = max_thread.load();
+                       while (thread > prev &&
+                              !max_thread.compare_exchange_weak(prev,
+                                                                thread)) {
+                       }
+                       for (size_t i = begin; i < end; ++i) {
+                           touched[i].fetch_add(1);
+                       }
+                   });
+    for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(touched[i].load(), 1u) << "item " << i;
+    }
+    EXPECT_LT(max_thread.load(), threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperty,
+    ::testing::Combine(
+        ::testing::Values(SchedulerKind::OmpDynamic, SchedulerKind::VgBatch,
+                          SchedulerKind::WorkStealing,
+                          SchedulerKind::Static),
+        ::testing::Values(0, 1, 7, 100, 1000, 4097),
+        ::testing::Values(1, 3, 64, 512),
+        ::testing::Values(1, 2, 4, 8)));
+
+TEST(SchedulerTest, BatchSizesAreRespected)
+{
+    for (SchedulerKind kind : allKinds()) {
+        auto scheduler = makeScheduler(kind);
+        std::atomic<size_t> oversized{0};
+        scheduler->run(1000, 64, 4,
+                       [&](size_t, size_t begin, size_t end) {
+                           if (end - begin > 64) {
+                               oversized.fetch_add(1);
+                           }
+                       });
+        EXPECT_EQ(oversized.load(), 0u) << schedulerName(kind);
+    }
+}
+
+TEST(SchedulerTest, InvalidArgumentsThrow)
+{
+    for (SchedulerKind kind : allKinds()) {
+        auto scheduler = makeScheduler(kind);
+        EXPECT_THROW(scheduler->run(10, 0, 2, [](size_t, size_t, size_t) {}),
+                     util::Error);
+        EXPECT_THROW(scheduler->run(10, 4, 0, [](size_t, size_t, size_t) {}),
+                     util::Error);
+    }
+}
+
+TEST(SchedulerTest, WorkStealingBalancesSkewedWork)
+{
+    // One giant chunk of slow items: stealing must spread batches across
+    // more than one thread context.
+    auto scheduler = makeScheduler(SchedulerKind::WorkStealing);
+    std::vector<std::atomic<uint32_t>> per_thread(8);
+    for (auto& counter : per_thread) {
+        counter.store(0);
+    }
+    scheduler->run(800, 16, 8, [&](size_t thread, size_t begin, size_t end) {
+        per_thread[thread].fetch_add(static_cast<uint32_t>(end - begin));
+    });
+    uint32_t total = 0;
+    for (auto& counter : per_thread) {
+        total += counter.load();
+    }
+    EXPECT_EQ(total, 800u);
+}
+
+} // namespace
+} // namespace mg::sched

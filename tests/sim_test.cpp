@@ -1,0 +1,253 @@
+/** Tests for the synthetic pangenome and read simulators. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/input_sets.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+#include "util/common.h"
+#include "util/dna.h"
+
+namespace mg::sim {
+namespace {
+
+TEST(PangenomeGenTest, DeterministicForSameSeed)
+{
+    PangenomeParams params;
+    params.seed = 5;
+    params.backboneLength = 2000;
+    params.haplotypes = 4;
+    GeneratedPangenome a = generatePangenome(params);
+    GeneratedPangenome b = generatePangenome(params);
+    ASSERT_EQ(a.graph.numNodes(), b.graph.numNodes());
+    for (graph::NodeId id = 1; id <= a.graph.numNodes(); ++id) {
+        ASSERT_EQ(a.graph.sequenceView(id), b.graph.sequenceView(id));
+    }
+    ASSERT_EQ(a.walks, b.walks);
+}
+
+TEST(PangenomeGenTest, DifferentSeedsDiffer)
+{
+    PangenomeParams params;
+    params.backboneLength = 2000;
+    params.haplotypes = 4;
+    params.seed = 1;
+    GeneratedPangenome a = generatePangenome(params);
+    params.seed = 2;
+    GeneratedPangenome b = generatePangenome(params);
+    EXPECT_NE(a.sequences[0], b.sequences[0]);
+}
+
+TEST(PangenomeGenTest, BackboneLengthRoughlyHonored)
+{
+    PangenomeParams params;
+    params.seed = 6;
+    params.backboneLength = 10000;
+    params.haplotypes = 2;
+    GeneratedPangenome pg = generatePangenome(params);
+    for (const std::string& hap : pg.sequences) {
+        EXPECT_GT(hap.size(), params.backboneLength * 8 / 10);
+        EXPECT_LT(hap.size(), params.backboneLength * 13 / 10);
+    }
+}
+
+TEST(PangenomeGenTest, HaplotypesDiverge)
+{
+    PangenomeParams params;
+    params.seed = 7;
+    params.backboneLength = 5000;
+    params.haplotypes = 6;
+    GeneratedPangenome pg = generatePangenome(params);
+    std::set<std::string> distinct(pg.sequences.begin(),
+                                   pg.sequences.end());
+    EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(PangenomeGenTest, GraphSmallerThanHaplotypeSum)
+{
+    // The whole point of a pangenome graph: shared anchors stored once.
+    PangenomeParams params;
+    params.seed = 8;
+    params.backboneLength = 8000;
+    params.haplotypes = 12;
+    GeneratedPangenome pg = generatePangenome(params);
+    size_t haplotype_total = 0;
+    for (const std::string& hap : pg.sequences) {
+        haplotype_total += hap.size();
+    }
+    EXPECT_LT(pg.graph.totalSequenceLength(), haplotype_total / 4);
+}
+
+TEST(PangenomeGenTest, GbwtIndexesAllWalks)
+{
+    PangenomeParams params;
+    params.seed = 9;
+    params.backboneLength = 3000;
+    params.haplotypes = 5;
+    GeneratedPangenome pg = generatePangenome(params);
+    EXPECT_EQ(pg.gbwt.numPaths(), 2 * params.haplotypes);
+    // First node of every walk has at least one visit.
+    for (const auto& walk : pg.walks) {
+        EXPECT_GE(pg.gbwt.nodeCount(walk.front()), 1u);
+    }
+}
+
+TEST(PangenomeGenTest, RejectsBadParameters)
+{
+    PangenomeParams params;
+    params.backboneLength = 10;
+    params.meanAnchorLength = 48;
+    EXPECT_THROW(generatePangenome(params), util::Error);
+    params = PangenomeParams();
+    params.haplotypes = 0;
+    EXPECT_THROW(generatePangenome(params), util::Error);
+}
+
+// ------------------------------------------------------------- read sim
+
+class ReadSimTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PangenomeParams params;
+        params.seed = 10;
+        params.backboneLength = 5000;
+        params.haplotypes = 4;
+        pg_ = generatePangenome(params);
+    }
+
+    GeneratedPangenome pg_;
+};
+
+TEST_F(ReadSimTest, SingleEndCountsAndLengths)
+{
+    ReadSimParams params;
+    params.count = 100;
+    params.readLength = 120;
+    map::ReadSet set = simulateReads(pg_, params);
+    EXPECT_FALSE(set.pairedEnd);
+    ASSERT_EQ(set.reads.size(), 100u);
+    for (const map::Read& read : set.reads) {
+        EXPECT_EQ(read.sequence.size(), 120u);
+        EXPECT_TRUE(util::isDna(read.sequence));
+        EXPECT_FALSE(read.paired());
+    }
+}
+
+TEST_F(ReadSimTest, PairedEndMatesLinkBothWays)
+{
+    ReadSimParams params;
+    params.count = 50;
+    params.paired = true;
+    params.readLength = 100;
+    params.fragmentLength = 300;
+    map::ReadSet set = simulateReads(pg_, params);
+    EXPECT_TRUE(set.pairedEnd);
+    ASSERT_EQ(set.reads.size(), 50u);
+    for (size_t i = 0; i < set.reads.size(); i += 2) {
+        EXPECT_EQ(set.reads[i].mate, i + 1);
+        EXPECT_EQ(set.reads[i + 1].mate, i);
+        EXPECT_TRUE(set.reads[i].paired());
+    }
+}
+
+TEST_F(ReadSimTest, ErrorFreeReadsOccurInHaplotypes)
+{
+    ReadSimParams params;
+    params.count = 30;
+    params.errorRate = 0.0;
+    params.readLength = 80;
+    map::ReadSet set = simulateReads(pg_, params);
+    for (const map::Read& read : set.reads) {
+        bool found = false;
+        std::string rc = util::reverseComplement(read.sequence);
+        for (const std::string& hap : pg_.sequences) {
+            if (hap.find(read.sequence) != std::string::npos ||
+                hap.find(rc) != std::string::npos) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << read.name;
+    }
+}
+
+TEST_F(ReadSimTest, ErrorRateChangesReads)
+{
+    ReadSimParams clean;
+    clean.count = 50;
+    clean.errorRate = 0.0;
+    ReadSimParams noisy = clean;
+    noisy.errorRate = 0.05;
+    map::ReadSet a = simulateReads(pg_, clean);
+    map::ReadSet b = simulateReads(pg_, noisy);
+    size_t differing = 0;
+    for (size_t i = 0; i < a.reads.size(); ++i) {
+        if (a.reads[i].sequence != b.reads[i].sequence) {
+            ++differing;
+        }
+    }
+    EXPECT_GT(differing, 25u);
+}
+
+TEST_F(ReadSimTest, DeterministicForSameSeed)
+{
+    ReadSimParams params;
+    params.count = 40;
+    map::ReadSet a = simulateReads(pg_, params);
+    map::ReadSet b = simulateReads(pg_, params);
+    ASSERT_EQ(a.reads.size(), b.reads.size());
+    for (size_t i = 0; i < a.reads.size(); ++i) {
+        EXPECT_EQ(a.reads[i].sequence, b.reads[i].sequence);
+    }
+}
+
+// ----------------------------------------------------------- input sets
+
+TEST(InputSetsTest, CatalogHasTheFourPaperSets)
+{
+    auto specs = standardInputSets();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].name, "A-human");
+    EXPECT_EQ(specs[1].name, "B-yeast");
+    EXPECT_EQ(specs[2].name, "C-HPRC");
+    EXPECT_EQ(specs[3].name, "D-HPRC");
+    // Workflow split matches Table III: A,B single; C,D paired.
+    EXPECT_FALSE(specs[0].reads.paired);
+    EXPECT_FALSE(specs[1].reads.paired);
+    EXPECT_TRUE(specs[2].reads.paired);
+    EXPECT_TRUE(specs[3].reads.paired);
+    // D has the most reads (the paper's heavyweight input).
+    EXPECT_GT(specs[3].reads.count, specs[0].reads.count);
+    EXPECT_GT(specs[3].reads.count, specs[2].reads.count);
+}
+
+TEST(InputSetsTest, LookupByNameAndUnknown)
+{
+    EXPECT_EQ(inputSetSpec("B-yeast").name, "B-yeast");
+    EXPECT_THROW(inputSetSpec("Z-nope"), util::Error);
+}
+
+TEST(InputSetsTest, ScaleAdjustsReadCountOnly)
+{
+    InputSetSpec spec = inputSetSpec("B-yeast");
+    spec.pangenome.backboneLength = 4000; // keep the test fast
+    spec.reads.count = 1000;
+    InputSet full = buildInputSet(spec, 1.0);
+    InputSet tenth = buildInputSet(spec, 0.1);
+    EXPECT_EQ(full.reads.size(), 1000u);
+    EXPECT_EQ(tenth.reads.size(), 100u);
+    EXPECT_EQ(full.pangenome.graph.numNodes(),
+              tenth.pangenome.graph.numNodes());
+}
+
+TEST(InputSetsTest, InvalidScaleThrows)
+{
+    EXPECT_THROW(buildInputSet(inputSetSpec("B-yeast"), 0.0), util::Error);
+}
+
+} // namespace
+} // namespace mg::sim

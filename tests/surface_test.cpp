@@ -1,0 +1,121 @@
+/**
+ * Cross-cutting API-surface tests: counter resets, flag usage text,
+ * read-simulator fragment geometry, and distance-estimate signs — small
+ * contracts no other suite pins down.
+ */
+#include <gtest/gtest.h>
+
+#include "index/distance.h"
+#include "machine/tracer.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+#include "util/dna.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace mg {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime)
+{
+    util::WallTimer timer;
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 2000000; ++i) {
+        x += i;
+    }
+    double first = timer.seconds();
+    EXPECT_GT(first, 0.0);
+    EXPECT_GT(timer.nanos(), 0u);
+    timer.reset();
+    EXPECT_LT(timer.seconds(), first + 1.0);
+}
+
+TEST(FlagsUsageTest, ListsEveryFlagWithDefaults)
+{
+    util::Flags flags("tool");
+    flags.define("alpha", "1", "first knob")
+         .define("beta", "x", "second knob");
+    std::string usage = flags.usage();
+    EXPECT_NE(usage.find("tool"), std::string::npos);
+    EXPECT_NE(usage.find("--alpha"), std::string::npos);
+    EXPECT_NE(usage.find("default: 1"), std::string::npos);
+    EXPECT_NE(usage.find("second knob"), std::string::npos);
+}
+
+TEST(TraceCounterTest, ResetCountersZeroesEverything)
+{
+    machine::TraceCounter tracer(machine::paperMachines());
+    int buffer[32] = {};
+    tracer.onAccess(buffer, sizeof(buffer), true);
+    tracer.onWork(5);
+    tracer.resetCounters();
+    EXPECT_EQ(tracer.work().instructions, 0u);
+    EXPECT_EQ(tracer.work().memoryAccesses, 0u);
+    for (size_t m = 0; m < tracer.numMachines(); ++m) {
+        EXPECT_EQ(tracer.counters(m).l1Accesses, 0u);
+    }
+    // Cache contents stay warm: the same line now hits.
+    tracer.onAccess(buffer, 8, false);
+    EXPECT_EQ(tracer.counters(0).l1Misses, 0u);
+}
+
+TEST(ReadSimGeometryTest, PairedMatesComeFromOneFragment)
+{
+    // With zero errors, mate 1 is a prefix of some haplotype window and
+    // mate 2 is the reverse complement of the window's suffix, both
+    // within the configured fragment length of each other.
+    sim::PangenomeParams pparams;
+    pparams.seed = 801;
+    pparams.backboneLength = 8000;
+    pparams.haplotypes = 3;
+    sim::GeneratedPangenome pg = sim::generatePangenome(pparams);
+    sim::ReadSimParams rparams;
+    rparams.seed = 802;
+    rparams.count = 60;
+    rparams.paired = true;
+    rparams.readLength = 80;
+    rparams.fragmentLength = 300;
+    rparams.errorRate = 0.0;
+    map::ReadSet reads = sim::simulateReads(pg, rparams);
+
+    for (size_t p = 0; p < reads.size(); p += 2) {
+        const std::string& left = reads.reads[p].sequence;
+        std::string right =
+            util::reverseComplement(reads.reads[p + 1].sequence);
+        bool found = false;
+        for (const std::string& hap : pg.sequences) {
+            size_t lpos = hap.find(left);
+            while (lpos != std::string::npos && !found) {
+                size_t rpos = hap.find(right, lpos);
+                if (rpos != std::string::npos &&
+                    rpos + right.size() <= lpos + 300 * 13 / 10 + 1) {
+                    found = true;
+                }
+                lpos = hap.find(left, lpos + 1);
+            }
+            if (found) {
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "pair " << p / 2;
+    }
+}
+
+TEST(DistanceSignTest, EstimateIsAntisymmetric)
+{
+    sim::PangenomeParams params;
+    params.seed = 803;
+    params.backboneLength = 3000;
+    params.haplotypes = 2;
+    sim::GeneratedPangenome pg = sim::generatePangenome(params);
+    index::DistanceIndex index(pg.graph);
+    const auto& walk = pg.walks[0];
+    graph::Position a{walk[1], 0};
+    graph::Position b{walk[std::min<size_t>(8, walk.size() - 1)], 0};
+    EXPECT_EQ(index.estimatedDistance(a, b),
+              -index.estimatedDistance(b, a));
+    EXPECT_GE(index.estimatedDistance(a, b), 0);
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,202 @@
+/** Tests for the autotuning harness. */
+#include <gtest/gtest.h>
+
+#include "giraffe/parent.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+#include "tune/autotuner.h"
+
+namespace mg::tune {
+namespace {
+
+/** A small world + capture reused across tuning tests (built once). */
+class TuneFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        sim::PangenomeParams pparams;
+        pparams.seed = 301;
+        pparams.backboneLength = 8000;
+        pparams.haplotypes = 4;
+        pg_ = new sim::GeneratedPangenome(sim::generatePangenome(pparams));
+
+        index::MinimizerParams mparams;
+        mparams.k = 15;
+        mparams.w = 8;
+        minimizers_ =
+            new index::MinimizerIndex(pg_->graph, mparams);
+        distance_ = new index::DistanceIndex(pg_->graph);
+
+        sim::ReadSimParams rparams;
+        rparams.seed = 302;
+        rparams.count = 60;
+        rparams.readLength = 100;
+        map::ReadSet reads = sim::simulateReads(*pg_, rparams);
+
+        giraffe::ParentEmulator parent(pg_->graph, pg_->gbwt, *minimizers_,
+                                       *distance_,
+                                       giraffe::ParentParams());
+        capture_ = new io::SeedCapture(parent.capturePreprocessing(reads));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete capture_;
+        delete distance_;
+        delete minimizers_;
+        delete pg_;
+    }
+
+    Autotuner
+    makeTuner() const
+    {
+        return Autotuner(pg_->graph, pg_->gbwt, *distance_, *capture_);
+    }
+
+    static sim::GeneratedPangenome* pg_;
+    static index::MinimizerIndex* minimizers_;
+    static index::DistanceIndex* distance_;
+    static io::SeedCapture* capture_;
+};
+
+sim::GeneratedPangenome* TuneFixture::pg_ = nullptr;
+index::MinimizerIndex* TuneFixture::minimizers_ = nullptr;
+index::DistanceIndex* TuneFixture::distance_ = nullptr;
+io::SeedCapture* TuneFixture::capture_ = nullptr;
+
+TEST(TuneConfigTest, StringKeyAndDefaults)
+{
+    TuneConfig config = defaultConfig();
+    EXPECT_EQ(config.str(), "openmp/512/256");
+    EXPECT_EQ(config.batchSize, 512u);
+    EXPECT_EQ(config.cacheCapacity, 256u);
+}
+
+TEST(SweepSpaceTest, PaperCrossProduct)
+{
+    SweepSpace space = paperSweepSpace();
+    // 2 schedulers x 5 batch sizes x 5 capacities.
+    EXPECT_EQ(space.size(), 50u);
+    // Batch sizes are the paper's powers of two from 128 to 2048.
+    EXPECT_EQ(space.batchSizes.front(), 128u);
+    EXPECT_EQ(space.batchSizes.back(), 2048u);
+    EXPECT_EQ(space.capacities.back(), 4096u);
+}
+
+TEST(SchedulerCostTest, StealHasCheapestDispatch)
+{
+    auto omp = schedulerCost(sched::SchedulerKind::OmpDynamic);
+    auto vg = schedulerCost(sched::SchedulerKind::VgBatch);
+    auto steal = schedulerCost(sched::SchedulerKind::WorkStealing);
+    EXPECT_LT(steal.dispatchMicros, omp.dispatchMicros);
+    EXPECT_LT(omp.dispatchMicros, vg.dispatchMicros);
+    EXPECT_TRUE(vg.serialDispatch);
+    EXPECT_FALSE(omp.serialDispatch);
+}
+
+TEST_F(TuneFixture, MeasureCapacityProducesFullProfile)
+{
+    Autotuner tuner = makeTuner();
+    CapacityProfile profile = tuner.measureCapacity(256);
+    EXPECT_EQ(profile.capacity, 256u);
+    EXPECT_GT(profile.hostSeconds, 0.0);
+    EXPECT_EQ(profile.numReads, capture_->entries.size());
+    EXPECT_GT(profile.work.instructions, 0u);
+    EXPECT_EQ(profile.perMachine.size(), 4u);
+    for (const auto& [name, counters] : profile.perMachine) {
+        EXPECT_GT(counters.l1Accesses, 0u) << name;
+    }
+    EXPECT_GT(profile.cacheStats.lookups, 0u);
+}
+
+TEST_F(TuneFixture, NoCacheDecodesEveryLookup)
+{
+    Autotuner tuner = makeTuner();
+    CapacityProfile off = tuner.measureCapacity(0);
+    CapacityProfile on = tuner.measureCapacity(1024);
+    EXPECT_EQ(off.cacheStats.decodes, off.cacheStats.lookups);
+    EXPECT_LT(on.cacheStats.decodes, on.cacheStats.lookups);
+    // Caching saves modelled instructions (decode work disappears).
+    EXPECT_LT(on.work.instructions, off.work.instructions);
+}
+
+TEST_F(TuneFixture, TinyCapacityRehashesLargeDoesNot)
+{
+    Autotuner tuner = makeTuner();
+    CapacityProfile tiny = tuner.measureCapacity(2);
+    CapacityProfile large = tuner.measureCapacity(65536);
+    EXPECT_GT(tiny.cacheStats.rehashes, 0u);
+    EXPECT_EQ(large.cacheStats.rehashes, 0u);
+}
+
+TEST_F(TuneFixture, SweepCoversTheWholeSpace)
+{
+    Autotuner tuner = makeTuner();
+    SweepSpace space;
+    space.schedulers = {sched::SchedulerKind::OmpDynamic,
+                        sched::SchedulerKind::WorkStealing};
+    space.batchSizes = {128, 512};
+    space.capacities = {256, 4096};
+    auto profiles = tuner.measureCapacities(space.capacities);
+    auto results =
+        tuner.sweep(machine::machineByName("local-intel"), space, profiles);
+    EXPECT_EQ(results.size(), space.size());
+    for (const ConfigResult& result : results) {
+        EXPECT_GT(result.makespanSeconds, 0.0) << result.config.str();
+    }
+    const ConfigResult& winner = Autotuner::best(results);
+    EXPECT_LE(winner.makespanSeconds, results.front().makespanSeconds);
+    // find() locates an exact configuration.
+    TuneConfig probe{sched::SchedulerKind::WorkStealing, 512, 4096};
+    EXPECT_EQ(Autotuner::find(results, probe).config.str(), probe.str());
+    TuneConfig missing{sched::SchedulerKind::VgBatch, 512, 4096};
+    EXPECT_THROW(Autotuner::find(results, missing), util::Error);
+}
+
+TEST_F(TuneFixture, ModelMakespanRespondsToThreads)
+{
+    Autotuner tuner = makeTuner();
+    // Inflate the measured micro-profile to a realistic run size so the
+    // parallel term dominates the fixed thread-setup overhead (with only
+    // 60 reads the model correctly refuses to reward 64 threads).
+    CapacityProfile profile = tuner.measureCapacity(256);
+    const uint64_t scale = 10000;
+    profile.numReads *= scale;
+    profile.hostSeconds *= static_cast<double>(scale);
+    profile.work.instructions *= scale;
+    for (auto& [name, counters] : profile.perMachine) {
+        (void)name;
+        counters.l1Accesses *= scale;
+        counters.l1Misses *= scale;
+        counters.l2Accesses *= scale;
+        counters.l2Misses *= scale;
+        counters.llcAccesses *= scale;
+        counters.llcMisses *= scale;
+    }
+    machine::MachineConfig m = machine::machineByName("local-amd");
+    TuneConfig config = defaultConfig();
+    double t1 = Autotuner::modelMakespan(m, profile, config, 1);
+    double t64 = Autotuner::modelMakespan(m, profile, config, 64);
+    EXPECT_GT(t1, 10.0 * t64); // near-linear on the single-socket EPYC
+}
+
+TEST_F(TuneFixture, AnovaRunsOnSweepResults)
+{
+    Autotuner tuner = makeTuner();
+    SweepSpace space = paperSweepSpace();
+    auto profiles = tuner.measureCapacities(space.capacities);
+    auto results =
+        tuner.sweep(machine::machineByName("chi-intel"), space, profiles);
+    stats::AnovaResult anova = Autotuner::anova(results);
+    ASSERT_EQ(anova.effects.size(), 3u);
+    for (const auto& effect : anova.effects) {
+        EXPECT_GE(effect.pValue, 0.0);
+        EXPECT_LE(effect.pValue, 1.0);
+    }
+}
+
+} // namespace
+} // namespace mg::tune
