@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_anova"
+  "../bench/bench_anova.pdb"
+  "CMakeFiles/bench_anova.dir/bench_anova.cpp.o"
+  "CMakeFiles/bench_anova.dir/bench_anova.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_regions"
+  "../bench/bench_fig3_regions.pdb"
+  "CMakeFiles/bench_fig3_regions.dir/bench_fig3_regions.cpp.o"
+  "CMakeFiles/bench_fig3_regions.dir/bench_fig3_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

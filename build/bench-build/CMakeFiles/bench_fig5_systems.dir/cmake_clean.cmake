@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_systems"
+  "../bench/bench_fig5_systems.pdb"
+  "CMakeFiles/bench_fig5_systems.dir/bench_fig5_systems.cpp.o"
+  "CMakeFiles/bench_fig5_systems.dir/bench_fig5_systems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

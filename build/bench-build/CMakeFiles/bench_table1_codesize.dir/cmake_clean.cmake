@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_codesize"
+  "../bench/bench_table1_codesize.pdb"
+  "CMakeFiles/bench_table1_codesize.dir/bench_table1_codesize.cpp.o"
+  "CMakeFiles/bench_table1_codesize.dir/bench_table1_codesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_topdown"
+  "../bench/bench_table4_topdown.pdb"
+  "CMakeFiles/bench_table4_topdown.dir/bench_table4_topdown.cpp.o"
+  "CMakeFiles/bench_table4_topdown.dir/bench_table4_topdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_counters"
+  "../bench/bench_table5_counters.pdb"
+  "CMakeFiles/bench_table5_counters.dir/bench_table5_counters.cpp.o"
+  "CMakeFiles/bench_table5_counters.dir/bench_table5_counters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

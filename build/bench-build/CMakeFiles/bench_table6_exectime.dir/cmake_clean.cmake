@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_exectime"
+  "../bench/bench_table6_exectime.pdb"
+  "CMakeFiles/bench_table6_exectime.dir/bench_table6_exectime.cpp.o"
+  "CMakeFiles/bench_table6_exectime.dir/bench_table6_exectime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_fastest"
+  "../bench/bench_table7_fastest.pdb"
+  "CMakeFiles/bench_table7_fastest.dir/bench_table7_fastest.cpp.o"
+  "CMakeFiles/bench_table7_fastest.dir/bench_table7_fastest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_fastest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_configs"
+  "../bench/bench_table8_configs.pdb"
+  "CMakeFiles/bench_table8_configs.dir/bench_table8_configs.cpp.o"
+  "CMakeFiles/bench_table8_configs.dir/bench_table8_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

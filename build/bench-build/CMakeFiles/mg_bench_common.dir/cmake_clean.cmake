@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mg_bench_common.dir/common.cpp.o.d"
+  "libmg_bench_common.a"
+  "libmg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giraffe_app.dir/giraffe_app.cpp.o"
+  "CMakeFiles/giraffe_app.dir/giraffe_app.cpp.o.d"
+  "giraffe_app"
+  "giraffe_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giraffe_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haplotype_support.dir/haplotype_support.cpp.o"
+  "CMakeFiles/haplotype_support.dir/haplotype_support.cpp.o.d"
+  "haplotype_support"
+  "haplotype_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haplotype_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

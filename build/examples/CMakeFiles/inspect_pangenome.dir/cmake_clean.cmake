@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_pangenome.dir/inspect_pangenome.cpp.o"
+  "CMakeFiles/inspect_pangenome.dir/inspect_pangenome.cpp.o.d"
+  "inspect_pangenome"
+  "inspect_pangenome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_pangenome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

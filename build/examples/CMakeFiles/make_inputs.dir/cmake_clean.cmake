@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_inputs.dir/make_inputs.cpp.o"
+  "CMakeFiles/make_inputs.dir/make_inputs.cpp.o.d"
+  "make_inputs"
+  "make_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minigiraffe_app.dir/minigiraffe_app.cpp.o"
+  "CMakeFiles/minigiraffe_app.dir/minigiraffe_app.cpp.o.d"
+  "minigiraffe_app"
+  "minigiraffe_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minigiraffe_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

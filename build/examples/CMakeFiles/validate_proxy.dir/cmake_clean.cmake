@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_proxy.dir/validate_proxy.cpp.o"
+  "CMakeFiles/validate_proxy.dir/validate_proxy.cpp.o.d"
+  "validate_proxy"
+  "validate_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for validate_proxy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbwt/builder.cpp" "src/gbwt/CMakeFiles/mg_gbwt.dir/builder.cpp.o" "gcc" "src/gbwt/CMakeFiles/mg_gbwt.dir/builder.cpp.o.d"
+  "/root/repo/src/gbwt/cached_gbwt.cpp" "src/gbwt/CMakeFiles/mg_gbwt.dir/cached_gbwt.cpp.o" "gcc" "src/gbwt/CMakeFiles/mg_gbwt.dir/cached_gbwt.cpp.o.d"
+  "/root/repo/src/gbwt/gbwt.cpp" "src/gbwt/CMakeFiles/mg_gbwt.dir/gbwt.cpp.o" "gcc" "src/gbwt/CMakeFiles/mg_gbwt.dir/gbwt.cpp.o.d"
+  "/root/repo/src/gbwt/record.cpp" "src/gbwt/CMakeFiles/mg_gbwt.dir/record.cpp.o" "gcc" "src/gbwt/CMakeFiles/mg_gbwt.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

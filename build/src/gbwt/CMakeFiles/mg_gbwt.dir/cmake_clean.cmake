@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_gbwt.dir/builder.cpp.o"
+  "CMakeFiles/mg_gbwt.dir/builder.cpp.o.d"
+  "CMakeFiles/mg_gbwt.dir/cached_gbwt.cpp.o"
+  "CMakeFiles/mg_gbwt.dir/cached_gbwt.cpp.o.d"
+  "CMakeFiles/mg_gbwt.dir/gbwt.cpp.o"
+  "CMakeFiles/mg_gbwt.dir/gbwt.cpp.o.d"
+  "CMakeFiles/mg_gbwt.dir/record.cpp.o"
+  "CMakeFiles/mg_gbwt.dir/record.cpp.o.d"
+  "libmg_gbwt.a"
+  "libmg_gbwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_gbwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

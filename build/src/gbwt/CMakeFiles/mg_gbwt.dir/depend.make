@@ -1,0 +1,2 @@
+# Empty dependencies file for mg_gbwt.
+# This may be replaced when dependencies are built.

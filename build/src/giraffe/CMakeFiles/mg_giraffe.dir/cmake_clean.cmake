@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_giraffe.dir/alignment.cpp.o"
+  "CMakeFiles/mg_giraffe.dir/alignment.cpp.o.d"
+  "CMakeFiles/mg_giraffe.dir/pairing.cpp.o"
+  "CMakeFiles/mg_giraffe.dir/pairing.cpp.o.d"
+  "CMakeFiles/mg_giraffe.dir/parent.cpp.o"
+  "CMakeFiles/mg_giraffe.dir/parent.cpp.o.d"
+  "CMakeFiles/mg_giraffe.dir/proxy.cpp.o"
+  "CMakeFiles/mg_giraffe.dir/proxy.cpp.o.d"
+  "CMakeFiles/mg_giraffe.dir/rescue.cpp.o"
+  "CMakeFiles/mg_giraffe.dir/rescue.cpp.o.d"
+  "libmg_giraffe.a"
+  "libmg_giraffe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_giraffe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

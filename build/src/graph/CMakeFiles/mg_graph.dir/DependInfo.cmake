@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/handle.cpp" "src/graph/CMakeFiles/mg_graph.dir/handle.cpp.o" "gcc" "src/graph/CMakeFiles/mg_graph.dir/handle.cpp.o.d"
+  "/root/repo/src/graph/snarls.cpp" "src/graph/CMakeFiles/mg_graph.dir/snarls.cpp.o" "gcc" "src/graph/CMakeFiles/mg_graph.dir/snarls.cpp.o.d"
+  "/root/repo/src/graph/variation_graph.cpp" "src/graph/CMakeFiles/mg_graph.dir/variation_graph.cpp.o" "gcc" "src/graph/CMakeFiles/mg_graph.dir/variation_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_graph.dir/handle.cpp.o"
+  "CMakeFiles/mg_graph.dir/handle.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/snarls.cpp.o"
+  "CMakeFiles/mg_graph.dir/snarls.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/variation_graph.cpp.o"
+  "CMakeFiles/mg_graph.dir/variation_graph.cpp.o.d"
+  "libmg_graph.a"
+  "libmg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

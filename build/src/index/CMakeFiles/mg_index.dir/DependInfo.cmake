@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/distance.cpp" "src/index/CMakeFiles/mg_index.dir/distance.cpp.o" "gcc" "src/index/CMakeFiles/mg_index.dir/distance.cpp.o.d"
+  "/root/repo/src/index/minimizer.cpp" "src/index/CMakeFiles/mg_index.dir/minimizer.cpp.o" "gcc" "src/index/CMakeFiles/mg_index.dir/minimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

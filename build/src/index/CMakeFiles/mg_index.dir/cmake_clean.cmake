@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_index.dir/distance.cpp.o"
+  "CMakeFiles/mg_index.dir/distance.cpp.o.d"
+  "CMakeFiles/mg_index.dir/minimizer.cpp.o"
+  "CMakeFiles/mg_index.dir/minimizer.cpp.o.d"
+  "libmg_index.a"
+  "libmg_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

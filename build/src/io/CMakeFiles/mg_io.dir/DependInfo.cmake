@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/extensions_io.cpp" "src/io/CMakeFiles/mg_io.dir/extensions_io.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/extensions_io.cpp.o.d"
+  "/root/repo/src/io/fastq.cpp" "src/io/CMakeFiles/mg_io.dir/fastq.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/fastq.cpp.o.d"
+  "/root/repo/src/io/file.cpp" "src/io/CMakeFiles/mg_io.dir/file.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/file.cpp.o.d"
+  "/root/repo/src/io/gaf.cpp" "src/io/CMakeFiles/mg_io.dir/gaf.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/gaf.cpp.o.d"
+  "/root/repo/src/io/gfa.cpp" "src/io/CMakeFiles/mg_io.dir/gfa.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/gfa.cpp.o.d"
+  "/root/repo/src/io/mgz.cpp" "src/io/CMakeFiles/mg_io.dir/mgz.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/mgz.cpp.o.d"
+  "/root/repo/src/io/reads_bin.cpp" "src/io/CMakeFiles/mg_io.dir/reads_bin.cpp.o" "gcc" "src/io/CMakeFiles/mg_io.dir/reads_bin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gbwt/CMakeFiles/mg_gbwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/mg_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mg_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

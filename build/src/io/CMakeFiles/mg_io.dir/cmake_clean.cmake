@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_io.dir/extensions_io.cpp.o"
+  "CMakeFiles/mg_io.dir/extensions_io.cpp.o.d"
+  "CMakeFiles/mg_io.dir/fastq.cpp.o"
+  "CMakeFiles/mg_io.dir/fastq.cpp.o.d"
+  "CMakeFiles/mg_io.dir/file.cpp.o"
+  "CMakeFiles/mg_io.dir/file.cpp.o.d"
+  "CMakeFiles/mg_io.dir/gaf.cpp.o"
+  "CMakeFiles/mg_io.dir/gaf.cpp.o.d"
+  "CMakeFiles/mg_io.dir/gfa.cpp.o"
+  "CMakeFiles/mg_io.dir/gfa.cpp.o.d"
+  "CMakeFiles/mg_io.dir/mgz.cpp.o"
+  "CMakeFiles/mg_io.dir/mgz.cpp.o.d"
+  "CMakeFiles/mg_io.dir/reads_bin.cpp.o"
+  "CMakeFiles/mg_io.dir/reads_bin.cpp.o.d"
+  "libmg_io.a"
+  "libmg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

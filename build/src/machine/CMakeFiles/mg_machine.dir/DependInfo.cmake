@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache_sim.cpp" "src/machine/CMakeFiles/mg_machine.dir/cache_sim.cpp.o" "gcc" "src/machine/CMakeFiles/mg_machine.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/machine/config.cpp" "src/machine/CMakeFiles/mg_machine.dir/config.cpp.o" "gcc" "src/machine/CMakeFiles/mg_machine.dir/config.cpp.o.d"
+  "/root/repo/src/machine/cost_model.cpp" "src/machine/CMakeFiles/mg_machine.dir/cost_model.cpp.o" "gcc" "src/machine/CMakeFiles/mg_machine.dir/cost_model.cpp.o.d"
+  "/root/repo/src/machine/scaling_model.cpp" "src/machine/CMakeFiles/mg_machine.dir/scaling_model.cpp.o" "gcc" "src/machine/CMakeFiles/mg_machine.dir/scaling_model.cpp.o.d"
+  "/root/repo/src/machine/tracer.cpp" "src/machine/CMakeFiles/mg_machine.dir/tracer.cpp.o" "gcc" "src/machine/CMakeFiles/mg_machine.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

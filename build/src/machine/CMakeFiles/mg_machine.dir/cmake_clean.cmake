@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_machine.dir/cache_sim.cpp.o"
+  "CMakeFiles/mg_machine.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/mg_machine.dir/config.cpp.o"
+  "CMakeFiles/mg_machine.dir/config.cpp.o.d"
+  "CMakeFiles/mg_machine.dir/cost_model.cpp.o"
+  "CMakeFiles/mg_machine.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mg_machine.dir/scaling_model.cpp.o"
+  "CMakeFiles/mg_machine.dir/scaling_model.cpp.o.d"
+  "CMakeFiles/mg_machine.dir/tracer.cpp.o"
+  "CMakeFiles/mg_machine.dir/tracer.cpp.o.d"
+  "libmg_machine.a"
+  "libmg_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

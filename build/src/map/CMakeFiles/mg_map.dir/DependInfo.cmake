@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/cluster.cpp" "src/map/CMakeFiles/mg_map.dir/cluster.cpp.o" "gcc" "src/map/CMakeFiles/mg_map.dir/cluster.cpp.o.d"
+  "/root/repo/src/map/extender.cpp" "src/map/CMakeFiles/mg_map.dir/extender.cpp.o" "gcc" "src/map/CMakeFiles/mg_map.dir/extender.cpp.o.d"
+  "/root/repo/src/map/extension.cpp" "src/map/CMakeFiles/mg_map.dir/extension.cpp.o" "gcc" "src/map/CMakeFiles/mg_map.dir/extension.cpp.o.d"
+  "/root/repo/src/map/mapper.cpp" "src/map/CMakeFiles/mg_map.dir/mapper.cpp.o" "gcc" "src/map/CMakeFiles/mg_map.dir/mapper.cpp.o.d"
+  "/root/repo/src/map/seeding.cpp" "src/map/CMakeFiles/mg_map.dir/seeding.cpp.o" "gcc" "src/map/CMakeFiles/mg_map.dir/seeding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gbwt/CMakeFiles/mg_gbwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mg_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_map.dir/cluster.cpp.o"
+  "CMakeFiles/mg_map.dir/cluster.cpp.o.d"
+  "CMakeFiles/mg_map.dir/extender.cpp.o"
+  "CMakeFiles/mg_map.dir/extender.cpp.o.d"
+  "CMakeFiles/mg_map.dir/extension.cpp.o"
+  "CMakeFiles/mg_map.dir/extension.cpp.o.d"
+  "CMakeFiles/mg_map.dir/mapper.cpp.o"
+  "CMakeFiles/mg_map.dir/mapper.cpp.o.d"
+  "CMakeFiles/mg_map.dir/seeding.cpp.o"
+  "CMakeFiles/mg_map.dir/seeding.cpp.o.d"
+  "libmg_map.a"
+  "libmg_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_perf.dir/profiler.cpp.o"
+  "CMakeFiles/mg_perf.dir/profiler.cpp.o.d"
+  "libmg_perf.a"
+  "libmg_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

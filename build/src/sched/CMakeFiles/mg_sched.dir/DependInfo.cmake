@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/omp_dynamic.cpp" "src/sched/CMakeFiles/mg_sched.dir/omp_dynamic.cpp.o" "gcc" "src/sched/CMakeFiles/mg_sched.dir/omp_dynamic.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/mg_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mg_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/static_sched.cpp" "src/sched/CMakeFiles/mg_sched.dir/static_sched.cpp.o" "gcc" "src/sched/CMakeFiles/mg_sched.dir/static_sched.cpp.o.d"
+  "/root/repo/src/sched/vg_batch.cpp" "src/sched/CMakeFiles/mg_sched.dir/vg_batch.cpp.o" "gcc" "src/sched/CMakeFiles/mg_sched.dir/vg_batch.cpp.o.d"
+  "/root/repo/src/sched/work_stealing.cpp" "src/sched/CMakeFiles/mg_sched.dir/work_stealing.cpp.o" "gcc" "src/sched/CMakeFiles/mg_sched.dir/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_sched.dir/omp_dynamic.cpp.o"
+  "CMakeFiles/mg_sched.dir/omp_dynamic.cpp.o.d"
+  "CMakeFiles/mg_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mg_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mg_sched.dir/static_sched.cpp.o"
+  "CMakeFiles/mg_sched.dir/static_sched.cpp.o.d"
+  "CMakeFiles/mg_sched.dir/vg_batch.cpp.o"
+  "CMakeFiles/mg_sched.dir/vg_batch.cpp.o.d"
+  "CMakeFiles/mg_sched.dir/work_stealing.cpp.o"
+  "CMakeFiles/mg_sched.dir/work_stealing.cpp.o.d"
+  "libmg_sched.a"
+  "libmg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_sim.dir/input_sets.cpp.o"
+  "CMakeFiles/mg_sim.dir/input_sets.cpp.o.d"
+  "CMakeFiles/mg_sim.dir/pangenome_gen.cpp.o"
+  "CMakeFiles/mg_sim.dir/pangenome_gen.cpp.o.d"
+  "CMakeFiles/mg_sim.dir/read_sim.cpp.o"
+  "CMakeFiles/mg_sim.dir/read_sim.cpp.o.d"
+  "libmg_sim.a"
+  "libmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

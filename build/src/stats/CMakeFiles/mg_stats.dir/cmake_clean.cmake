@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_stats.dir/anova.cpp.o"
+  "CMakeFiles/mg_stats.dir/anova.cpp.o.d"
+  "CMakeFiles/mg_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/mg_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/mg_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/mg_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/mg_stats.dir/special.cpp.o"
+  "CMakeFiles/mg_stats.dir/special.cpp.o.d"
+  "libmg_stats.a"
+  "libmg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

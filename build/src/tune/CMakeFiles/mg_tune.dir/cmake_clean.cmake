@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_tune.dir/autotuner.cpp.o"
+  "CMakeFiles/mg_tune.dir/autotuner.cpp.o.d"
+  "libmg_tune.a"
+  "libmg_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_util.dir/csv.cpp.o"
+  "CMakeFiles/mg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mg_util.dir/dna.cpp.o"
+  "CMakeFiles/mg_util.dir/dna.cpp.o.d"
+  "CMakeFiles/mg_util.dir/flags.cpp.o"
+  "CMakeFiles/mg_util.dir/flags.cpp.o.d"
+  "CMakeFiles/mg_util.dir/rng.cpp.o"
+  "CMakeFiles/mg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mg_util.dir/str.cpp.o"
+  "CMakeFiles/mg_util.dir/str.cpp.o.d"
+  "CMakeFiles/mg_util.dir/varint.cpp.o"
+  "CMakeFiles/mg_util.dir/varint.cpp.o.d"
+  "libmg_util.a"
+  "libmg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

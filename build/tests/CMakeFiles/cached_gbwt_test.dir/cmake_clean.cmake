@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_gbwt_test.dir/cached_gbwt_test.cpp.o"
+  "CMakeFiles/cached_gbwt_test.dir/cached_gbwt_test.cpp.o.d"
+  "cached_gbwt_test"
+  "cached_gbwt_test.pdb"
+  "cached_gbwt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_gbwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaf_test.dir/gaf_test.cpp.o"
+  "CMakeFiles/gaf_test.dir/gaf_test.cpp.o.d"
+  "gaf_test"
+  "gaf_test.pdb"
+  "gaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

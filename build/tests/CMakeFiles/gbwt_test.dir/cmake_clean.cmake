@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbwt_test.dir/gbwt_test.cpp.o"
+  "CMakeFiles/gbwt_test.dir/gbwt_test.cpp.o.d"
+  "gbwt_test"
+  "gbwt_test.pdb"
+  "gbwt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giraffe_test.dir/giraffe_test.cpp.o"
+  "CMakeFiles/giraffe_test.dir/giraffe_test.cpp.o.d"
+  "giraffe_test"
+  "giraffe_test.pdb"
+  "giraffe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giraffe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

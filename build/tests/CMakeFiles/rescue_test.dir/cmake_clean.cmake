@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescue_test.dir/rescue_test.cpp.o"
+  "CMakeFiles/rescue_test.dir/rescue_test.cpp.o.d"
+  "rescue_test"
+  "rescue_test.pdb"
+  "rescue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

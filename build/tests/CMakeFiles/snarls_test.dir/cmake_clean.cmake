@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snarls_test.dir/snarls_test.cpp.o"
+  "CMakeFiles/snarls_test.dir/snarls_test.cpp.o.d"
+  "snarls_test"
+  "snarls_test.pdb"
+  "snarls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snarls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

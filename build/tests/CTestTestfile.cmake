@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gbwt_test[1]_include.cmake")
+include("/root/repo/build/tests/cached_gbwt_test[1]_include.cmake")
+include("/root/repo/build/tests/minimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/distance_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/map_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/giraffe_test[1]_include.cmake")
+include("/root/repo/build/tests/tune_test[1]_include.cmake")
+include("/root/repo/build/tests/pairing_test[1]_include.cmake")
+include("/root/repo/build/tests/gfa_test[1]_include.cmake")
+include("/root/repo/build/tests/snarls_test[1]_include.cmake")
+include("/root/repo/build/tests/gaf_test[1]_include.cmake")
+include("/root/repo/build/tests/rescue_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/surface_test[1]_include.cmake")
