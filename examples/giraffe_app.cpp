@@ -10,6 +10,7 @@
  */
 #include <cstdio>
 
+#include "fault/fault.h"
 #include "giraffe/parent.h"
 #include "index/distance.h"
 #include "index/minimizer.h"
@@ -29,7 +30,9 @@ try {
                  "treat consecutive reads as mate pairs")
          .define("gaf", "", "write GAF alignments to this file")
          .define("k", "15", "minimizer k-mer length")
-         .define("w", "8", "minimizer window size");
+         .define("w", "8", "minimizer window size")
+         .define("fault", "",
+                 "arm fault injection, e.g. 'sched.worker=throw,limit=2'");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -38,6 +41,10 @@ try {
                      "usage: giraffe_app <graph.mgz> <reads.fastq> "
                      "[flags]\n");
         return 1;
+    }
+
+    if (!flags.str("fault").empty()) {
+        mg::fault::armFromText(flags.str("fault"));
     }
 
     mg::util::WallTimer timer;
@@ -81,6 +88,20 @@ try {
                 "(GBWT cache hit rate %.3f)\n",
                 mapped, reads.size(), outputs.wallSeconds,
                 outputs.cacheStats.hitRate());
+    if (!outputs.failures.ok()) {
+        std::printf("failures: %s\n", outputs.failures.summary().c_str());
+        for (const mg::sched::ItemFailure& item :
+             outputs.failures.poisoned) {
+            std::printf("  quarantined read %zu (%s): %s\n", item.index,
+                        reads.reads[item.index].name.c_str(),
+                        item.what.c_str());
+        }
+    }
+    for (const auto& [site, stats] : mg::fault::allStats()) {
+        std::printf("fault site %s: %llu hits, %llu fires\n", site.c_str(),
+                    static_cast<unsigned long long>(stats.hits),
+                    static_cast<unsigned long long>(stats.fires));
+    }
     if (reads.pairedEnd) {
         size_t proper = 0;
         for (const mg::giraffe::PairResult& pair : outputs.pairs) {

@@ -14,6 +14,7 @@
  */
 #include <cstdio>
 
+#include "fault/fault.h"
 #include "giraffe/proxy.h"
 #include "index/distance.h"
 #include "io/extensions_io.h"
@@ -31,7 +32,9 @@ try {
                  "initial CachedGBWT capacity (0 = no caching)")
          .define("scheduler", "openmp", "openmp | vg | steal")
          .define("output", "", "write raw extensions to this file")
-         .define("profile", "", "dump per-region timing records (CSV)");
+         .define("profile", "", "dump per-region timing records (CSV)")
+         .define("fault", "",
+                 "arm fault injection, e.g. 'sched.worker=throw,limit=2'");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -39,6 +42,10 @@ try {
         std::fprintf(stderr,
                      "usage: minigiraffe <graph.mgz> <seeds.bin> [flags]\n");
         return 1;
+    }
+
+    if (!flags.str("fault").empty()) {
+        mg::fault::armFromText(flags.str("fault"));
     }
 
     mg::io::Pangenome pangenome =
@@ -78,6 +85,20 @@ try {
                 static_cast<unsigned long long>(outputs.cacheStats.decodes),
                 static_cast<unsigned long long>(
                     outputs.cacheStats.rehashes));
+    if (!outputs.failures.ok()) {
+        std::printf("failures: %s\n", outputs.failures.summary().c_str());
+        for (const mg::sched::ItemFailure& item :
+             outputs.failures.poisoned) {
+            std::printf("  quarantined read %zu (%s): %s\n", item.index,
+                        capture.entries[item.index].read.name.c_str(),
+                        item.what.c_str());
+        }
+    }
+    for (const auto& [site, stats] : mg::fault::allStats()) {
+        std::printf("fault site %s: %llu hits, %llu fires\n", site.c_str(),
+                    static_cast<unsigned long long>(stats.hits),
+                    static_cast<unsigned long long>(stats.fires));
+    }
 
     if (!flags.str("output").empty()) {
         mg::io::saveExtensions(flags.str("output"), outputs.extensions);

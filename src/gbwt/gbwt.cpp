@@ -37,8 +37,9 @@ Gbwt::decodeRecord(graph::Handle node, util::MemTracer* tracer) const
     // access CachedGBWT exists to amortize.
     util::traceAccess(tracer, data, static_cast<uint32_t>(size));
     util::traceWork(tracer, size * 4);
-    util::ByteReader reader(data, size);
-    return DecodedRecord::decode(reader);
+    util::ByteCursor cursor(data, size);
+    cursor.enterSection("gbwt-record");
+    return DecodedRecord::decode(cursor);
 }
 
 SearchState
@@ -124,47 +125,60 @@ Gbwt::save(util::ByteWriter& writer) const
 }
 
 Gbwt
-Gbwt::load(util::ByteReader& reader)
+Gbwt::load(util::ByteCursor& cursor)
 {
     Gbwt gbwt;
-    gbwt.numPaths_ = reader.getVarint();
-    gbwt.totalVisits_ = reader.getVarint();
-    uint64_t num_offsets = reader.getVarint();
-    util::require(num_offsets <= reader.remaining() + 1,
-                  "GBWT offset count exceeds remaining payload");
+    gbwt.numPaths_ = cursor.getVarint();
+    gbwt.totalVisits_ = cursor.getVarint();
+    uint64_t num_offsets = cursor.getVarint();
+    cursor.check(num_offsets <= cursor.remaining() + 1,
+                 util::StatusCode::Corrupt,
+                 "GBWT offset count exceeds remaining payload");
     gbwt.recordOffsets_.reserve(num_offsets);
     uint64_t prev = 0;
     for (uint64_t i = 0; i < num_offsets; ++i) {
-        prev += reader.getVarint();
+        uint64_t delta = cursor.getVarint();
+        cursor.check(delta <= UINT64_MAX - prev, util::StatusCode::Corrupt,
+                     "GBWT offset overflows");
+        prev += delta;
         gbwt.recordOffsets_.push_back(prev);
     }
-    uint64_t arena_size = reader.getVarint();
-    util::require(arena_size <= reader.remaining(),
-                  "GBWT arena exceeds remaining payload");
-    util::require(!gbwt.recordOffsets_.empty() || arena_size == 0,
-                  "GBWT image with arena but no offsets");
-    util::require(gbwt.recordOffsets_.empty() ||
-                  gbwt.recordOffsets_.back() == arena_size,
-                  "GBWT offsets inconsistent with arena size");
+    uint64_t arena_size = cursor.getVarint();
+    cursor.check(arena_size <= cursor.remaining(),
+                 util::StatusCode::Truncated,
+                 "GBWT arena exceeds remaining payload");
+    cursor.check(!gbwt.recordOffsets_.empty() || arena_size == 0,
+                 util::StatusCode::Corrupt,
+                 "GBWT image with arena but no offsets");
+    cursor.check(gbwt.recordOffsets_.empty() ||
+                 gbwt.recordOffsets_.back() == arena_size,
+                 util::StatusCode::Corrupt,
+                 "GBWT offsets inconsistent with arena size");
     gbwt.arena_.resize(arena_size);
-    reader.getBytes(gbwt.arena_.data(), arena_size);
-    uint64_t num_doc_offsets = reader.getVarint();
-    util::require(num_doc_offsets <= reader.remaining() + 1,
-                  "GBWT document offset count exceeds remaining payload");
+    cursor.getBytes(gbwt.arena_.data(), arena_size);
+    uint64_t num_doc_offsets = cursor.getVarint();
+    cursor.check(num_doc_offsets <= cursor.remaining() + 1,
+                 util::StatusCode::Corrupt,
+                 "GBWT document offset count exceeds remaining payload");
     gbwt.docOffsets_.reserve(num_doc_offsets);
     prev = 0;
     for (uint64_t i = 0; i < num_doc_offsets; ++i) {
-        prev += reader.getVarint();
+        uint64_t delta = cursor.getVarint();
+        cursor.check(delta <= UINT64_MAX - prev, util::StatusCode::Corrupt,
+                     "GBWT document offset overflows");
+        prev += delta;
         gbwt.docOffsets_.push_back(prev);
     }
-    uint64_t doc_size = reader.getVarint();
-    util::require(doc_size <= reader.remaining(),
-                  "GBWT document arena exceeds remaining payload");
-    util::require(gbwt.docOffsets_.empty() ||
-                  gbwt.docOffsets_.back() == doc_size,
-                  "GBWT document offsets inconsistent with arena size");
+    uint64_t doc_size = cursor.getVarint();
+    cursor.check(doc_size <= cursor.remaining(),
+                 util::StatusCode::Truncated,
+                 "GBWT document arena exceeds remaining payload");
+    cursor.check(gbwt.docOffsets_.empty() ||
+                 gbwt.docOffsets_.back() == doc_size,
+                 util::StatusCode::Corrupt,
+                 "GBWT document offsets inconsistent with arena size");
     gbwt.docArena_.resize(doc_size);
-    reader.getBytes(gbwt.docArena_.data(), doc_size);
+    cursor.getBytes(gbwt.docArena_.data(), doc_size);
     return gbwt;
 }
 

@@ -15,6 +15,7 @@
 #include "gbwt/record.h"
 #include "gbwt/search_state.h"
 #include "graph/handle.h"
+#include "util/cursor.h"
 #include "util/mem_tracer.h"
 #include "util/varint.h"
 
@@ -91,8 +92,9 @@ class Gbwt
     /** Serialize the whole index. */
     void save(util::ByteWriter& writer) const;
 
-    /** Deserialize; inverse of save(). */
-    static Gbwt load(util::ByteReader& reader);
+    /** Deserialize; inverse of save().  Malformed images throw
+     *  StatusError carrying the cursor's provenance. */
+    static Gbwt load(util::ByteCursor& cursor);
 
   private:
     friend class GbwtBuilder;

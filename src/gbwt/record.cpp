@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "util/common.h"
 
 namespace mg::gbwt {
@@ -97,29 +98,44 @@ DecodedRecord::encode(util::ByteWriter& writer) const
 }
 
 DecodedRecord
-DecodedRecord::decode(util::ByteReader& reader)
+DecodedRecord::decode(util::ByteCursor& cursor)
 {
-    uint64_t num_edges = reader.getVarint();
+    // Fault point: a bit-flipped record surviving the container checksum,
+    // or an allocation failure while decompressing under memory pressure.
+    fault::inject("gbwt.record.decode");
+
+    uint64_t num_edges = cursor.getVarint();
+    // Every edge takes at least two bytes; bounding the count before the
+    // reserve keeps a corrupted varint from requesting terabytes.
+    cursor.check(num_edges <= cursor.remaining(), util::StatusCode::Corrupt,
+                 "record edge count exceeds remaining payload");
     std::vector<RecordEdge> edges;
     edges.reserve(num_edges);
     uint64_t packed = 0;
     for (uint64_t i = 0; i < num_edges; ++i) {
-        packed += reader.getVarint();
+        packed += cursor.getVarint();
         RecordEdge edge;
         edge.successor = graph::Handle::fromPacked(packed);
-        edge.offset = reader.getVarint();
+        edge.offset = cursor.getVarint();
         edges.push_back(edge);
     }
-    uint64_t num_runs = reader.getVarint();
+    uint64_t num_runs = cursor.getVarint();
+    cursor.check(num_runs <= cursor.remaining(), util::StatusCode::Corrupt,
+                 "record run count exceeds remaining payload");
     std::vector<RecordRun> runs;
     runs.reserve(num_runs);
     uint64_t visits = 0;
     for (uint64_t i = 0; i < num_runs; ++i) {
+        uint64_t rank = cursor.getVarint();
+        uint64_t length = cursor.getVarint();
+        cursor.check(rank < num_edges || num_edges == 0,
+                     util::StatusCode::Corrupt,
+                     "record run references edge rank out of range");
+        cursor.check(length <= UINT32_MAX, util::StatusCode::Corrupt,
+                     "record run length overflows");
         RecordRun run;
-        run.edgeRank = static_cast<uint32_t>(reader.getVarint());
-        run.length = static_cast<uint32_t>(reader.getVarint());
-        util::require(run.edgeRank < num_edges || num_edges == 0,
-                      "record run references edge rank out of range");
+        run.edgeRank = static_cast<uint32_t>(rank);
+        run.length = static_cast<uint32_t>(length);
         visits += run.length;
         runs.push_back(run);
     }

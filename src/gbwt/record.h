@@ -18,6 +18,7 @@
 
 #include "graph/handle.h"
 #include "gbwt/search_state.h"
+#include "util/cursor.h"
 #include "util/varint.h"
 
 namespace mg::gbwt {
@@ -90,8 +91,9 @@ class DecodedRecord
     /** Serialize into a compressed byte stream. */
     void encode(util::ByteWriter& writer) const;
 
-    /** Inverse of encode(). */
-    static DecodedRecord decode(util::ByteReader& reader);
+    /** Inverse of encode().  Bounds- and consistency-checked: malformed
+     *  records throw StatusError with the cursor's provenance. */
+    static DecodedRecord decode(util::ByteCursor& cursor);
 
   private:
     std::vector<RecordEdge> edges_; // sorted by successor handle

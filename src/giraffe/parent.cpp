@@ -61,8 +61,9 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
 
     util::WallTimer timer;
     auto scheduler = sched::makeScheduler(params_.scheduler);
-    scheduler->run(n, params_.batchSize, params_.numThreads,
-                   [&](size_t thread, size_t begin, size_t end) {
+    outputs.failures = sched::runGuarded(
+        *scheduler, n, params_.batchSize, params_.numThreads,
+        [&](size_t thread, size_t begin, size_t end) {
         map::MapperState& state = thread_state(thread);
         for (size_t i = begin; i < end; ++i) {
             const map::Read& read = reads.reads[i];
@@ -82,6 +83,17 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
             }
         }
     });
+
+    // Quarantined reads stay in the output as named unmapped records (the
+    // GAF writer renders them with '*' placeholders) so one poisoned read
+    // cannot abort — or silently vanish from — a whole mapping run.
+    for (const sched::ItemFailure& item : outputs.failures.poisoned) {
+        const map::Read& read = reads.reads[item.index];
+        outputs.alignments[item.index] = Alignment{};
+        outputs.alignments[item.index].readName = read.name;
+        outputs.extensions[item.index] = {};
+        outputs.extensions[item.index].readName = read.name;
+    }
 
     // Paired-end workflow: the pairing stage runs after both mates of
     // every fragment are mapped (input sets C and D of the paper), and

@@ -23,6 +23,7 @@
 #include "io/reads_bin.h"
 #include "map/mapper.h"
 #include "perf/profiler.h"
+#include "sched/failure.h"
 #include "sched/scheduler.h"
 #include "util/mem_tracer.h"
 
@@ -57,6 +58,10 @@ struct ParentOutputs
     std::vector<io::ReadExtensions> extensions;
     /** Aggregated CachedGBWT statistics over all worker threads. */
     gbwt::CacheStats cacheStats;
+    /** Batch failures, recoveries, and quarantined reads of the run.
+     *  Quarantined reads appear unmapped in `alignments` (and in any GAF
+     *  rendered from them) instead of aborting the whole run. */
+    sched::FailureReport failures;
     /** Wall-clock seconds of the whole mapping run. */
     double wallSeconds = 0.0;
 };

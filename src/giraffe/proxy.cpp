@@ -53,8 +53,9 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     // outer loop parallelized by the selected scheduler (Section V).
     util::WallTimer timer;
     auto scheduler = sched::makeScheduler(params_.scheduler);
-    scheduler->run(n, params_.batchSize, params_.numThreads,
-                   [&](size_t thread, size_t begin, size_t end) {
+    outputs.failures = sched::runGuarded(
+        *scheduler, n, params_.batchSize, params_.numThreads,
+        [&](size_t thread, size_t begin, size_t end) {
         map::MapperState& state = thread_state(thread);
         for (size_t i = begin; i < end; ++i) {
             const io::ReadWithSeeds& entry = capture.entries[i];
@@ -65,6 +66,15 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
                 std::move(result.extensions);
         }
     });
+
+    // Quarantined reads keep their name in the dump (with no extensions)
+    // so the functional validation sees them as missing, not absent.
+    for (const sched::ItemFailure& item : outputs.failures.poisoned) {
+        outputs.extensions[item.index] = {};
+        outputs.extensions[item.index].readName =
+            capture.entries[item.index].read.name;
+        --outputs.readsMapped;
+    }
     outputs.wallSeconds = timer.seconds();
 
     for (const auto& state : states) {

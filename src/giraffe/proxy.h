@@ -17,6 +17,7 @@
 #include "io/reads_bin.h"
 #include "map/mapper.h"
 #include "perf/profiler.h"
+#include "sched/failure.h"
 #include "sched/scheduler.h"
 #include "util/mem_tracer.h"
 
@@ -38,8 +39,12 @@ struct ProxyOutputs
     /** Raw mapping results: offsets and scores of each match. */
     std::vector<io::ReadExtensions> extensions;
     gbwt::CacheStats cacheStats;
+    /** Batch failures, recoveries, and quarantined reads of the run.
+     *  Quarantined reads keep their name but carry no extensions. */
+    sched::FailureReport failures;
     /** Makespan (wall-clock seconds of the mapping loop). */
     double wallSeconds = 0.0;
+    /** Reads that produced a mapping attempt (quarantined reads excluded). */
     uint64_t readsMapped = 0;
 };
 

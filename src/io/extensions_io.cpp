@@ -4,8 +4,10 @@
 #include <map>
 #include <set>
 
+#include "fault/fault.h"
 #include "io/file.h"
 #include "util/common.h"
+#include "util/cursor.h"
 #include "util/varint.h"
 
 namespace mg::io {
@@ -38,30 +40,32 @@ encodeExtension(util::ByteWriter& writer, const map::GaplessExtension& ext)
 }
 
 map::GaplessExtension
-decodeExtension(util::ByteReader& reader)
+decodeExtension(util::ByteCursor& cursor)
 {
     map::GaplessExtension ext;
-    uint64_t path_len = reader.getVarint();
-    util::require(path_len <= reader.remaining(),
-                  "extension path length exceeds remaining payload");
+    uint64_t path_len = cursor.getVarint();
+    cursor.check(path_len <= cursor.remaining(), util::StatusCode::Corrupt,
+                 "extension path length exceeds remaining payload");
     ext.path.reserve(path_len);
     int64_t packed = 0;
     for (uint64_t i = 0; i < path_len; ++i) {
-        packed += reader.getSignedVarint();
+        packed += cursor.getSignedVarint();
         ext.path.push_back(
             graph::Handle::fromPacked(static_cast<uint64_t>(packed)));
     }
-    ext.startOffset = static_cast<uint32_t>(reader.getVarint());
-    ext.readBegin = static_cast<uint32_t>(reader.getVarint());
-    ext.readEnd = static_cast<uint32_t>(reader.getVarint());
-    uint64_t num_mm = reader.getVarint();
+    ext.startOffset = static_cast<uint32_t>(cursor.getVarint());
+    ext.readBegin = static_cast<uint32_t>(cursor.getVarint());
+    ext.readEnd = static_cast<uint32_t>(cursor.getVarint());
+    uint64_t num_mm = cursor.getVarint();
+    cursor.check(num_mm <= cursor.remaining(), util::StatusCode::Corrupt,
+                 "mismatch count exceeds remaining payload");
     uint32_t mm = 0;
     for (uint64_t i = 0; i < num_mm; ++i) {
-        mm += static_cast<uint32_t>(reader.getVarint());
+        mm += static_cast<uint32_t>(cursor.getVarint());
         ext.mismatchOffsets.push_back(mm);
     }
-    ext.score = static_cast<int32_t>(reader.getSignedVarint());
-    uint8_t flags = reader.getByte();
+    ext.score = static_cast<int32_t>(cursor.getSignedVarint());
+    uint8_t flags = cursor.getByte();
     ext.onReverseRead = flags & 1;
     ext.fullLength = flags & 2;
     return ext;
@@ -86,29 +90,42 @@ encodeExtensions(const std::vector<ReadExtensions>& all)
 }
 
 std::vector<ReadExtensions>
-decodeExtensions(const std::vector<uint8_t>& bytes)
+decodeExtensions(const std::vector<uint8_t>& bytes, std::string_view file)
 {
-    util::ByteReader reader(bytes);
+    // Fault point: damaged extension dump reaching the decoder.
+    std::optional<std::vector<uint8_t>> injected =
+        fault::corrupted("io.ext.decode", bytes);
+    const std::vector<uint8_t>& input = injected ? *injected : bytes;
+
+    util::ByteCursor cursor(input, file);
+    cursor.enterSection("magic");
     char magic[4];
-    reader.getBytes(magic, sizeof(magic));
-    util::require(std::equal(magic, magic + 4, kMagic),
-                  "not an extensions file (bad magic)");
+    cursor.getBytes(magic, sizeof(magic));
+    cursor.check(std::equal(magic, magic + 4, kMagic),
+                 util::StatusCode::Corrupt,
+                 "not an extensions file (bad magic)");
+    cursor.enterSection("reads");
     std::vector<ReadExtensions> all;
-    uint64_t num_reads = reader.getVarint();
-    util::require(num_reads <= reader.remaining(),
-                  "read count exceeds remaining payload");
+    uint64_t num_reads = cursor.getVarint();
+    cursor.check(num_reads <= cursor.remaining(),
+                 util::StatusCode::Corrupt,
+                 "read count exceeds remaining payload");
     all.reserve(num_reads);
     for (uint64_t i = 0; i < num_reads; ++i) {
         ReadExtensions entry;
-        entry.readName = reader.getString();
-        uint64_t count = reader.getVarint();
+        entry.readName = cursor.getString();
+        uint64_t count = cursor.getVarint();
+        cursor.check(count <= cursor.remaining(),
+                     util::StatusCode::Corrupt,
+                     "extension count exceeds remaining payload");
         entry.extensions.reserve(count);
         for (uint64_t e = 0; e < count; ++e) {
-            entry.extensions.push_back(decodeExtension(reader));
+            entry.extensions.push_back(decodeExtension(cursor));
         }
         all.push_back(std::move(entry));
     }
-    util::require(reader.atEnd(), "trailing bytes after extensions");
+    cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                 "trailing bytes after extensions");
     return all;
 }
 
@@ -122,7 +139,7 @@ saveExtensions(const std::string& path,
 std::vector<ReadExtensions>
 loadExtensions(const std::string& path)
 {
-    return decodeExtensions(readFileBytes(path));
+    return decodeExtensions(readFileBytes(path), path);
 }
 
 ValidationReport

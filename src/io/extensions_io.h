@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "map/extension.h"
@@ -27,9 +28,10 @@ struct ReadExtensions
 std::vector<uint8_t> encodeExtensions(
     const std::vector<ReadExtensions>& all);
 
-/** Parse extension bytes; throws mg::util::Error on malformed input. */
+/** Parse extension bytes; throws mg::util::StatusError on malformed
+ *  input (with `file`, when given, as provenance). */
 std::vector<ReadExtensions> decodeExtensions(
-    const std::vector<uint8_t>& bytes);
+    const std::vector<uint8_t>& bytes, std::string_view file = {});
 
 /** Convenience file wrappers. */
 void saveExtensions(const std::string& path,

@@ -1,36 +1,64 @@
 #include "io/fastq.h"
 
+#include "fault/fault.h"
 #include "io/file.h"
 #include "util/common.h"
 #include "util/dna.h"
+#include "util/status.h"
 #include "util/str.h"
 
 namespace mg::io {
 
-map::ReadSet
-parseFastq(const std::string& text)
+namespace {
+
+/** Throw a Corrupt status pointing at a 1-based FASTQ line. */
+[[noreturn]] void
+fastqFail(std::string_view file, uint64_t line, std::string message)
 {
+    util::Status status;
+    status.code = util::StatusCode::Corrupt;
+    status.message = std::move(message);
+    status.file = std::string(file);
+    status.section = "fastq";
+    status.offset = line;
+    util::throwStatus(std::move(status));
+}
+
+} // namespace
+
+map::ReadSet
+parseFastq(const std::string& text, std::string_view file)
+{
+    // Fault point: malformed read file reaching the parser.
+    fault::inject("io.fastq.parse");
+
     map::ReadSet set;
     std::vector<std::string> lines = util::split(text, '\n');
     // Drop a trailing empty line from the final newline.
     while (!lines.empty() && util::trim(lines.back()).empty()) {
         lines.pop_back();
     }
-    util::require(lines.size() % 4 == 0,
+    if (lines.size() % 4 != 0) {
+        fastqFail(file, lines.size(),
                   "FASTQ record count not a multiple of 4 lines");
+    }
     for (size_t i = 0; i < lines.size(); i += 4) {
-        util::require(!lines[i].empty() && lines[i][0] == '@',
-                      "FASTQ header must start with '@' at line ", i + 1);
-        util::require(!lines[i + 2].empty() && lines[i + 2][0] == '+',
-                      "FASTQ separator must start with '+' at line ", i + 3);
+        if (lines[i].empty() || lines[i][0] != '@') {
+            fastqFail(file, i + 1, "FASTQ header must start with '@'");
+        }
+        if (lines[i + 2].empty() || lines[i + 2][0] != '+') {
+            fastqFail(file, i + 3, "FASTQ separator must start with '+'");
+        }
         map::Read read;
         read.name = std::string(util::trim(lines[i].substr(1)));
         read.sequence = std::string(util::trim(lines[i + 1]));
-        util::require(util::isDna(read.sequence),
-                      "FASTQ sequence with non-ACGT characters at line ",
-                      i + 2);
-        util::require(lines[i + 3].size() >= read.sequence.size(),
-                      "FASTQ quality shorter than sequence at line ", i + 4);
+        if (!util::isDna(read.sequence)) {
+            fastqFail(file, i + 2,
+                      "FASTQ sequence with non-ACGT characters");
+        }
+        if (lines[i + 3].size() < read.sequence.size()) {
+            fastqFail(file, i + 4, "FASTQ quality shorter than sequence");
+        }
         set.reads.push_back(std::move(read));
     }
     return set;
@@ -55,7 +83,7 @@ formatFastq(const map::ReadSet& reads)
 map::ReadSet
 loadFastq(const std::string& path)
 {
-    return parseFastq(readFileText(path));
+    return parseFastq(readFileText(path), path);
 }
 
 void

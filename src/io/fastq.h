@@ -8,13 +8,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "map/read.h"
 
 namespace mg::io {
 
-/** Parse FASTQ text into reads; throws mg::util::Error on malformed data. */
-map::ReadSet parseFastq(const std::string& text);
+/** Parse FASTQ text into reads; throws mg::util::StatusError on malformed
+ *  data (with `file`, when given, as provenance and the 1-based line
+ *  number as the offset). */
+map::ReadSet parseFastq(const std::string& text, std::string_view file = {});
 
 /** Render reads as FASTQ text (qualities synthesized as 'I'). */
 std::string formatFastq(const map::ReadSet& reads);

@@ -2,31 +2,63 @@
 
 #include <fstream>
 
+#include "fault/fault.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace mg::io {
+
+namespace {
+
+/** Throw an IoError status naming the offending file. */
+[[noreturn]] void
+ioFail(const std::string& path, std::string message)
+{
+    util::Status status;
+    status.code = util::StatusCode::IoError;
+    status.message = std::move(message);
+    status.file = path;
+    util::throwStatus(std::move(status));
+}
+
+} // namespace
 
 std::vector<uint8_t>
 readFileBytes(const std::string& path)
 {
+    // Fault point: the operating system failing a read.
+    fault::inject("io.file.read");
+
     std::ifstream in(path, std::ios::binary | std::ios::ate);
-    util::require(in.good(), "cannot open file for reading: ", path);
+    if (!in.good()) {
+        ioFail(path, "cannot open file for reading");
+    }
     std::streamsize size = in.tellg();
     in.seekg(0);
     std::vector<uint8_t> bytes(static_cast<size_t>(size));
     in.read(reinterpret_cast<char*>(bytes.data()), size);
-    util::require(in.good() || size == 0, "short read from file: ", path);
+    if (!in.good() && size != 0) {
+        ioFail(path, "short read from file");
+    }
     return bytes;
 }
 
 void
 writeFileBytes(const std::string& path, const std::vector<uint8_t>& bytes)
 {
+    // Fault point: the operating system failing a write.
+    fault::inject("io.file.write");
+
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    util::require(out.good(), "cannot open file for writing: ", path);
+    if (!out.good()) {
+        ioFail(path, "cannot open file for writing");
+    }
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
-    util::require(out.good(), "short write to file: ", path);
+    out.flush();
+    if (!out.good()) {
+        ioFail(path, "short write to file");
+    }
 }
 
 std::string
@@ -39,10 +71,18 @@ readFileText(const std::string& path)
 void
 writeFileText(const std::string& path, const std::string& text)
 {
+    // Fault point shared with the binary writer.
+    fault::inject("io.file.write");
+
     std::ofstream out(path, std::ios::trunc);
-    util::require(out.good(), "cannot open file for writing: ", path);
+    if (!out.good()) {
+        ioFail(path, "cannot open file for writing");
+    }
     out << text;
-    util::require(out.good(), "short write to file: ", path);
+    out.flush();
+    if (!out.good()) {
+        ioFail(path, "short write to file");
+    }
 }
 
 } // namespace mg::io

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 
+#include "fault/fault.h"
 #include "io/file.h"
 #include "util/common.h"
+#include "util/status.h"
 #include "util/str.h"
 
 namespace mg::io {
@@ -17,24 +19,65 @@ orientationChar(graph::Handle handle)
     return handle.isReverse() ? '-' : '+';
 }
 
+/** Throw a Corrupt status pointing at a 1-based GFA line. */
+[[noreturn]] void
+gfaFail(std::string_view file, uint64_t line, std::string message)
+{
+    util::Status status;
+    status.code = util::StatusCode::Corrupt;
+    status.message = std::move(message);
+    status.file = std::string(file);
+    status.section = "gfa";
+    status.offset = line;
+    util::throwStatus(std::move(status));
+}
+
+/** Parse a decimal segment name; fails instead of throwing std::stoull's
+ *  unstructured exceptions. */
+uint64_t
+parseSegmentName(std::string_view token, std::string_view file,
+                 uint64_t line)
+{
+    if (token.empty()) {
+        gfaFail(file, line, "empty GFA segment name");
+    }
+    uint64_t name = 0;
+    for (char c : token) {
+        if (c < '0' || c > '9') {
+            gfaFail(file, line,
+                    util::cat("non-numeric GFA segment name: ", token));
+        }
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (name > (UINT64_MAX - digit) / 10) {
+            gfaFail(file, line,
+                    util::cat("GFA segment name overflows: ", token));
+        }
+        name = name * 10 + digit;
+    }
+    return name;
+}
+
 /** Parse "12+" / "12-" path steps. */
 graph::Handle
 parseStep(std::string_view token,
-          const std::map<uint64_t, graph::NodeId>& id_map)
+          const std::map<uint64_t, graph::NodeId>& id_map,
+          std::string_view file, uint64_t line)
 {
-    util::require(token.size() >= 2, "bad GFA path step: ", token);
-    char orient = token.back();
-    util::require(orient == '+' || orient == '-',
-                  "bad GFA step orientation: ", token);
-    uint64_t name = 0;
-    for (char c : token.substr(0, token.size() - 1)) {
-        util::require(c >= '0' && c <= '9', "non-numeric GFA segment: ",
-                      token);
-        name = name * 10 + static_cast<uint64_t>(c - '0');
+    if (token.size() < 2) {
+        gfaFail(file, line, util::cat("bad GFA path step: ", token));
     }
+    char orient = token.back();
+    if (orient != '+' && orient != '-') {
+        gfaFail(file, line,
+                util::cat("bad GFA step orientation: ", token));
+    }
+    uint64_t name =
+        parseSegmentName(token.substr(0, token.size() - 1), file, line);
     auto it = id_map.find(name);
-    util::require(it != id_map.end(), "GFA path references unknown "
-                  "segment: ", token);
+    if (it == id_map.end()) {
+        gfaFail(file, line,
+                util::cat("GFA path references unknown segment: ", token));
+    }
     return graph::Handle(it->second, orient == '-');
 }
 
@@ -83,8 +126,11 @@ formatGfa(const graph::VariationGraph& graph)
 }
 
 graph::VariationGraph
-parseGfa(const std::string& text)
+parseGfa(const std::string& text, std::string_view file)
 {
+    // Fault point: malformed graph text reaching the parser.
+    fault::inject("io.gfa.parse");
+
     // First pass: collect segments so ids can be compacted in numeric
     // order before edges/paths reference them.
     struct Link
@@ -93,12 +139,21 @@ parseGfa(const std::string& text)
         bool fromReverse;
         uint64_t toName;
         bool toReverse;
+        uint64_t line;
+    };
+    struct PathLine
+    {
+        std::string name;
+        std::string steps;
+        uint64_t line;
     };
     std::map<uint64_t, std::string> segments;
     std::vector<Link> links;
-    std::vector<std::pair<std::string, std::string>> path_lines;
+    std::vector<PathLine> path_lines;
 
+    uint64_t line_no = 0;
     for (std::string_view line_view : util::split(text, '\n')) {
+        ++line_no;
         std::string line(util::trim(line_view));
         if (line.empty() || line[0] == '#') {
             continue;
@@ -108,38 +163,45 @@ parseGfa(const std::string& text)
           case 'H':
             break; // header: nothing to validate strictly
           case 'S': {
-            util::require(fields.size() >= 3, "short GFA S line: ", line);
-            uint64_t name = 0;
-            for (char c : fields[1]) {
-                util::require(c >= '0' && c <= '9',
-                              "non-numeric GFA segment name: ", fields[1]);
-                name = name * 10 + static_cast<uint64_t>(c - '0');
+            if (fields.size() < 3) {
+                gfaFail(file, line_no, util::cat("short GFA S line: ", line));
             }
-            util::require(!segments.count(name),
-                          "duplicate GFA segment: ", fields[1]);
+            uint64_t name = parseSegmentName(fields[1], file, line_no);
+            if (segments.count(name)) {
+                gfaFail(file, line_no,
+                        util::cat("duplicate GFA segment: ", fields[1]));
+            }
             segments[name] = fields[2];
             break;
           }
           case 'L': {
-            util::require(fields.size() >= 6, "short GFA L line: ", line);
-            util::require(fields[5] == "0M" || fields[5] == "*",
-                          "only 0M/'*' overlaps supported, got: ",
-                          fields[5]);
+            if (fields.size() < 6) {
+                gfaFail(file, line_no, util::cat("short GFA L line: ", line));
+            }
+            if (fields[5] != "0M" && fields[5] != "*") {
+                gfaFail(file, line_no,
+                        util::cat("only 0M/'*' overlaps supported, got: ",
+                                  fields[5]));
+            }
+            if ((fields[2] != "+" && fields[2] != "-") ||
+                (fields[4] != "+" && fields[4] != "-")) {
+                gfaFail(file, line_no,
+                        util::cat("bad L orientation: ", line));
+            }
             Link link;
-            link.fromName = std::stoull(fields[1]);
+            link.fromName = parseSegmentName(fields[1], file, line_no);
             link.fromReverse = fields[2] == "-";
-            link.toName = std::stoull(fields[3]);
+            link.toName = parseSegmentName(fields[3], file, line_no);
             link.toReverse = fields[4] == "-";
-            util::require(fields[2] == "+" || fields[2] == "-",
-                          "bad L orientation: ", line);
-            util::require(fields[4] == "+" || fields[4] == "-",
-                          "bad L orientation: ", line);
+            link.line = line_no;
             links.push_back(link);
             break;
           }
           case 'P': {
-            util::require(fields.size() >= 3, "short GFA P line: ", line);
-            path_lines.emplace_back(fields[1], fields[2]);
+            if (fields.size() < 3) {
+                gfaFail(file, line_no, util::cat("short GFA P line: ", line));
+            }
+            path_lines.push_back({ fields[1], fields[2], line_no });
             break;
           }
           default:
@@ -156,17 +218,19 @@ parseGfa(const std::string& text)
     for (const Link& link : links) {
         auto from = id_map.find(link.fromName);
         auto to = id_map.find(link.toName);
-        util::require(from != id_map.end() && to != id_map.end(),
-                      "GFA link references unknown segment");
+        if (from == id_map.end() || to == id_map.end()) {
+            gfaFail(file, link.line,
+                    "GFA link references unknown segment");
+        }
         graph.addEdge(graph::Handle(from->second, link.fromReverse),
                       graph::Handle(to->second, link.toReverse));
     }
-    for (const auto& [name, steps_text] : path_lines) {
+    for (const PathLine& path : path_lines) {
         std::vector<graph::Handle> steps;
-        for (const std::string& token : util::split(steps_text, ',')) {
-            steps.push_back(parseStep(token, id_map));
+        for (const std::string& token : util::split(path.steps, ',')) {
+            steps.push_back(parseStep(token, id_map, file, path.line));
         }
-        graph.addPath(name, std::move(steps));
+        graph.addPath(path.name, std::move(steps));
     }
     return graph;
 }
@@ -180,7 +244,7 @@ saveGfa(const std::string& path, const graph::VariationGraph& graph)
 graph::VariationGraph
 loadGfa(const std::string& path)
 {
-    return parseGfa(readFileText(path));
+    return parseGfa(readFileText(path), path);
 }
 
 } // namespace mg::io

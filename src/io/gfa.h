@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "graph/variation_graph.h"
 
@@ -22,10 +23,12 @@ std::string formatGfa(const graph::VariationGraph& graph);
 /**
  * Parse GFA 1.0 text into a variation graph.  Segment names must be
  * positive integers (vg convention); ids are compacted to dense 1-based
- * ids preserving numeric order.  Throws mg::util::Error on malformed
- * input or unsupported features.
+ * ids preserving numeric order.  Throws mg::util::StatusError on
+ * malformed input or unsupported features (with `file`, when given, as
+ * provenance and the 1-based line number as the offset).
  */
-graph::VariationGraph parseGfa(const std::string& text);
+graph::VariationGraph parseGfa(const std::string& text,
+                               std::string_view file = {});
 
 /** Convenience file wrappers. */
 void saveGfa(const std::string& path, const graph::VariationGraph& graph);

@@ -6,10 +6,26 @@
  * sequences, delta-coded edges, haplotype paths) and the compressed GBWT.
  * Like GBZ, the graph is compressed at rest and node records are
  * decompressed on access at query time through the GBWT arena.
+ *
+ * Container layout (version 2, magic "MGZ2"):
+ *
+ *     "MGZ2"
+ *     4 x section:            nodes, edges, paths, gbwt — in this order
+ *       varint payload size
+ *       payload bytes
+ *       uint32 LE CRC32 of the payload
+ *
+ * Version 1 ("MGZ1") is the same four payloads concatenated with no sizes
+ * or checksums; decodeMgz still reads it (write support is kept so the
+ * compatibility path stays tested).  New files are always written as V2:
+ * the per-section CRC turns a bit flip anywhere in a multi-gigabyte index
+ * into a structured checksum-mismatch error naming the damaged section
+ * instead of an arbitrary downstream decode failure.
  */
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "gbwt/gbwt.h"
 #include "graph/variation_graph.h"
@@ -23,12 +39,59 @@ struct Pangenome
     gbwt::Gbwt gbwt;
 };
 
+/** Container format revisions. */
+enum class MgzVersion : uint8_t
+{
+    /** Unversioned seed format: bare concatenated payloads. */
+    V1 = 1,
+    /** Sized sections with per-section CRC32 (current). */
+    V2 = 2,
+};
+
+/** One section as seen by inspectMgz. */
+struct MgzSectionInfo
+{
+    const char* name;
+    /** Offset of the payload within the file. */
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crcStored = 0;
+    uint32_t crcComputed = 0;
+    bool crcOk = false;
+};
+
+/** Container-level structure report (see inspectMgz). */
+struct MgzInfo
+{
+    MgzVersion version = MgzVersion::V2;
+    uint64_t fileBytes = 0;
+    /** Empty for V1 files (no section table to walk). */
+    std::vector<MgzSectionInfo> sections;
+
+    /** All present sections passed their checksum (vacuous for V1). */
+    bool allChecksumsOk() const;
+};
+
 /** Serialize a pangenome into MGZ bytes. */
 std::vector<uint8_t> encodeMgz(const graph::VariationGraph& graph,
-                               const gbwt::Gbwt& gbwt);
+                               const gbwt::Gbwt& gbwt,
+                               MgzVersion version = MgzVersion::V2);
 
-/** Parse MGZ bytes; throws mg::util::Error on malformed input. */
-Pangenome decodeMgz(const std::vector<uint8_t>& bytes);
+/**
+ * Parse MGZ bytes; throws mg::util::StatusError on malformed input with
+ * the failing section and offset (and `file`, when given, as provenance).
+ */
+Pangenome decodeMgz(const std::vector<uint8_t>& bytes,
+                    std::string_view file = {});
+
+/**
+ * Verify container structure and section checksums without decoding the
+ * payloads.  Structural damage (bad magic, truncated section table)
+ * throws StatusError; checksum mismatches are *reported* per section so
+ * a verifier can list every damaged section in one pass.
+ */
+MgzInfo inspectMgz(const std::vector<uint8_t>& bytes,
+                   std::string_view file = {});
 
 /** Convenience: write an .mgz file. */
 void saveMgz(const std::string& path, const graph::VariationGraph& graph,

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault.h"
 #include "io/file.h"
 #include "util/common.h"
+#include "util/cursor.h"
 #include "util/varint.h"
 
 namespace mg::io {
@@ -49,47 +51,58 @@ encodeSeedCapture(const SeedCapture& capture)
 }
 
 SeedCapture
-decodeSeedCapture(const std::vector<uint8_t>& bytes)
+decodeSeedCapture(const std::vector<uint8_t>& bytes, std::string_view file)
 {
-    util::ByteReader reader(bytes);
+    // Fault point: damaged capture reaching the decoder.
+    std::optional<std::vector<uint8_t>> injected =
+        fault::corrupted("io.reads_bin.decode", bytes);
+    const std::vector<uint8_t>& input = injected ? *injected : bytes;
+
+    util::ByteCursor cursor(input, file);
+    cursor.enterSection("magic");
     char magic[4];
-    reader.getBytes(magic, sizeof(magic));
-    util::require(std::equal(magic, magic + 4, kMagic),
-                  "not a reads+seeds capture (bad magic)");
+    cursor.getBytes(magic, sizeof(magic));
+    cursor.check(std::equal(magic, magic + 4, kMagic),
+                 util::StatusCode::Corrupt,
+                 "not a reads+seeds capture (bad magic)");
+    cursor.enterSection("entries");
     SeedCapture capture;
-    capture.pairedEnd = reader.getByte() != 0;
-    uint64_t num_entries = reader.getVarint();
-    util::require(num_entries <= reader.remaining(),
-                  "capture entry count exceeds remaining payload");
+    capture.pairedEnd = cursor.getByte() != 0;
+    uint64_t num_entries = cursor.getVarint();
+    cursor.check(num_entries <= cursor.remaining(),
+                 util::StatusCode::Corrupt,
+                 "capture entry count exceeds remaining payload");
     capture.entries.reserve(num_entries);
     for (uint64_t i = 0; i < num_entries; ++i) {
         ReadWithSeeds entry;
-        entry.read.name = reader.getString();
-        entry.read.sequence = reader.getString();
-        uint64_t mate = reader.getVarint();
+        entry.read.name = cursor.getString();
+        entry.read.sequence = cursor.getString();
+        uint64_t mate = cursor.getVarint();
         entry.read.mate = mate == 0 ? SIZE_MAX : mate - 1;
-        uint64_t num_seeds = reader.getVarint();
-        util::require(num_seeds <= reader.remaining(),
-                      "seed count exceeds remaining payload");
+        uint64_t num_seeds = cursor.getVarint();
+        cursor.check(num_seeds <= cursor.remaining(),
+                     util::StatusCode::Corrupt,
+                     "seed count exceeds remaining payload");
         entry.seeds.reserve(num_seeds);
         int64_t packed = 0;
         for (uint64_t s = 0; s < num_seeds; ++s) {
-            packed += reader.getSignedVarint();
+            packed += cursor.getSignedVarint();
             map::Seed seed;
             seed.position.handle =
                 graph::Handle::fromPacked(static_cast<uint64_t>(packed));
             seed.position.offset =
-                static_cast<uint32_t>(reader.getVarint());
-            seed.readOffset = static_cast<uint32_t>(reader.getVarint());
-            seed.onReverseRead = reader.getByte() != 0;
+                static_cast<uint32_t>(cursor.getVarint());
+            seed.readOffset = static_cast<uint32_t>(cursor.getVarint());
+            seed.onReverseRead = cursor.getByte() != 0;
             uint32_t score_bits =
-                static_cast<uint32_t>(reader.getVarint());
+                static_cast<uint32_t>(cursor.getVarint());
             std::memcpy(&seed.score, &score_bits, sizeof(seed.score));
             entry.seeds.push_back(seed);
         }
         capture.entries.push_back(std::move(entry));
     }
-    util::require(reader.atEnd(), "trailing bytes after seed capture");
+    cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                 "trailing bytes after seed capture");
     return capture;
 }
 
@@ -102,7 +115,7 @@ saveSeedCapture(const std::string& path, const SeedCapture& capture)
 SeedCapture
 loadSeedCapture(const std::string& path)
 {
-    return decodeSeedCapture(readFileBytes(path));
+    return decodeSeedCapture(readFileBytes(path), path);
 }
 
 } // namespace mg::io

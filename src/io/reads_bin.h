@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "map/read.h"
@@ -33,8 +34,10 @@ struct SeedCapture
 /** Serialize a capture to bytes. */
 std::vector<uint8_t> encodeSeedCapture(const SeedCapture& capture);
 
-/** Parse capture bytes; throws mg::util::Error on malformed input. */
-SeedCapture decodeSeedCapture(const std::vector<uint8_t>& bytes);
+/** Parse capture bytes; throws mg::util::StatusError on malformed input
+ *  (with `file`, when given, as provenance). */
+SeedCapture decodeSeedCapture(const std::vector<uint8_t>& bytes,
+                              std::string_view file = {});
 
 /** Convenience file wrappers. */
 void saveSeedCapture(const std::string& path, const SeedCapture& capture);

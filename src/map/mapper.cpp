@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "util/common.h"
 #include "util/dna.h"
 
@@ -40,6 +41,9 @@ MapResult
 Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
                      MapperState& state) const
 {
+    // Fault point: a single read poisoning its mapping task.
+    fault::inject("map.read");
+
     MapResult result;
     // Fresh per-read CachedGBWT, as Giraffe's extender constructs one per
     // mapping task; its initialization is part of the read's cost.

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * First-exception capture for the scheduler worker loops.  An exception
+ * escaping a std::thread body (or an OpenMP region) calls std::terminate;
+ * every scheduler therefore guards its BatchFn invocations with a trap,
+ * keeps processing the remaining batches, and rethrows the first captured
+ * exception once all workers have joined.
+ */
+#pragma once
+
+#include <exception>
+#include <mutex>
+
+namespace mg::sched {
+
+/** Thread-safe holder of the first exception thrown by any batch. */
+class ExceptionTrap
+{
+  public:
+    /** Invoke f; on throw, keep the first exception and return false. */
+    template <typename Fn>
+    bool
+    guard(Fn&& f) noexcept
+    {
+        try {
+            f();
+            return true;
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_) {
+                first_ = std::current_exception();
+            }
+            return false;
+        }
+    }
+
+    /** Rethrow the first captured exception, if any. */
+    void
+    rethrowIfSet()
+    {
+        std::exception_ptr first;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            first = first_;
+        }
+        if (first) {
+            std::rethrow_exception(first);
+        }
+    }
+
+  private:
+    std::mutex mutex_;
+    std::exception_ptr first_;
+};
+
+} // namespace mg::sched

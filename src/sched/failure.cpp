@@ -1,0 +1,98 @@
+#include "sched/failure.h"
+
+#include <mutex>
+
+#include "fault/fault.h"
+#include "util/common.h"
+
+namespace mg::sched {
+
+namespace {
+
+/** The range [begin, end) just failed as a whole: isolate the poisoned
+ *  items by bisection, re-running each half on the calling thread. */
+void
+quarantine(size_t begin, size_t end, const BatchFn& fn,
+           FailureReport& report, const std::string& what)
+{
+    if (end - begin <= 1) {
+        report.poisoned.push_back({ begin, what });
+        return;
+    }
+    size_t mid = begin + (end - begin) / 2;
+    const std::pair<size_t, size_t> halves[2] = { { begin, mid },
+                                                  { mid, end } };
+    for (const auto& [b, e] : halves) {
+        ++report.retries;
+        try {
+            fn(0, b, e);
+        } catch (const std::exception& err) {
+            quarantine(b, e, fn, report, err.what());
+        } catch (...) {
+            quarantine(b, e, fn, report, "unknown exception");
+        }
+    }
+}
+
+} // namespace
+
+std::string
+FailureReport::summary() const
+{
+    if (ok()) {
+        return "no failures";
+    }
+    size_t recovered = 0;
+    for (const BatchFailure& failure : batches) {
+        recovered += failure.recovered ? 1 : 0;
+    }
+    return util::cat(batches.size(),
+                     batches.size() == 1 ? " batch failure ("
+                                         : " batch failures (",
+                     recovered, " recovered), ", poisoned.size(),
+                     " poisoned item", poisoned.size() == 1 ? "" : "s",
+                     ", ", retries, retries == 1 ? " retry" : " retries");
+}
+
+FailureReport
+runGuarded(Scheduler& scheduler, size_t total, size_t batch_size,
+           size_t num_threads, const BatchFn& fn)
+{
+    FailureReport report;
+    std::mutex mutex;
+    scheduler.run(total, batch_size, num_threads,
+                  [&](size_t thread, size_t begin, size_t end) {
+        try {
+            // Fault point: a worker dying mid-batch.
+            fault::inject("sched.worker");
+            fn(thread, begin, end);
+        } catch (const std::exception& err) {
+            std::lock_guard<std::mutex> lock(mutex);
+            report.batches.push_back({ begin, end, err.what(), false });
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            report.batches.push_back(
+                { begin, end, "unknown exception", false });
+        }
+    });
+
+    // Recovery pass, on the calling thread so it needs no scheduler: a
+    // failed batch is retried whole first (transient faults — an injected
+    // fault with a hit limit, a stall that resolved — clear themselves),
+    // then bisected so one poisoned read cannot take its batchmates down.
+    for (BatchFailure& failure : report.batches) {
+        ++report.retries;
+        try {
+            fn(0, failure.begin, failure.end);
+            failure.recovered = true;
+        } catch (const std::exception& err) {
+            quarantine(failure.begin, failure.end, fn, report, err.what());
+        } catch (...) {
+            quarantine(failure.begin, failure.end, fn, report,
+                       "unknown exception");
+        }
+    }
+    return report;
+}
+
+} // namespace mg::sched

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Guarded scheduling with failure quarantine.  runGuarded wraps a batch
+ * function so that a throwing batch does not abort the whole mapping run:
+ * the failed range is recorded, every other batch still completes, and a
+ * recovery pass afterwards retries each failed batch sequentially — once
+ * as a whole, then by bisection — until the poisoned items are isolated.
+ * Healthy items of a failed batch are therefore always processed; only
+ * items that fail in isolation are reported as poisoned and left for the
+ * caller to mark (e.g. as unmapped reads in the GAF output).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace mg::sched {
+
+/** One batch whose BatchFn invocation threw during the parallel run. */
+struct BatchFailure
+{
+    size_t begin = 0;
+    size_t end = 0;
+    /** what() of the exception that killed the batch. */
+    std::string what;
+    /** True when the sequential retry of the whole batch succeeded. */
+    bool recovered = false;
+};
+
+/** One item that still failed when retried in isolation. */
+struct ItemFailure
+{
+    size_t index = 0;
+    std::string what;
+};
+
+/** Post-run account of everything that went wrong (and was recovered). */
+struct FailureReport
+{
+    /** Batches that threw during the parallel run. */
+    std::vector<BatchFailure> batches;
+    /** Items that failed even in isolation (quarantined). */
+    std::vector<ItemFailure> poisoned;
+    /** Sequential re-executions performed during recovery. */
+    size_t retries = 0;
+
+    bool ok() const { return batches.empty() && poisoned.empty(); }
+
+    /** Human-readable one-liner ("2 batch failures (1 recovered), ..."). */
+    std::string summary() const;
+};
+
+/**
+ * Run fn over [0, total) through the scheduler, capturing per-batch
+ * exceptions instead of propagating them.  Fires the "sched.worker" fault
+ * point before each batch.  After the parallel run, failed batches are
+ * retried on the calling thread (thread context 0) and bisected down to
+ * the poisoned items.  fn must be idempotent per item: recovered items
+ * are re-executed.
+ */
+FailureReport runGuarded(Scheduler& scheduler, size_t total,
+                         size_t batch_size, size_t num_threads,
+                         const BatchFn& fn);
+
+} // namespace mg::sched

@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include "sched/exception_trap.h"
 #include "util/common.h"
 
 namespace mg::sched {
@@ -17,13 +18,19 @@ OmpDynamicScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     }
     const int64_t num_batches =
         static_cast<int64_t>((total + batch_size - 1) / batch_size);
+    // An exception escaping an OpenMP region is std::terminate; trap the
+    // first one, finish the remaining batches, rethrow after the region.
+    ExceptionTrap trap;
 #pragma omp parallel for schedule(dynamic, 1) \
     num_threads(static_cast<int>(num_threads))
     for (int64_t batch = 0; batch < num_batches; ++batch) {
         size_t begin = static_cast<size_t>(batch) * batch_size;
         size_t end = std::min(total, begin + batch_size);
-        fn(static_cast<size_t>(omp_get_thread_num()), begin, end);
+        trap.guard([&] {
+            fn(static_cast<size_t>(omp_get_thread_num()), begin, end);
+        });
     }
+    trap.rethrowIfSet();
 }
 
 } // namespace mg::sched

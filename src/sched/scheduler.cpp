@@ -39,7 +39,8 @@ schedulerFromName(const std::string& name)
     if (name == "static") {
         return SchedulerKind::Static;
     }
-    throw util::Error("unknown scheduler name: " + name);
+    throw util::Error("unknown scheduler name: " + name +
+                      " (valid: openmp, vg, steal, static)");
 }
 
 std::unique_ptr<Scheduler>

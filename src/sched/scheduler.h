@@ -60,6 +60,13 @@ class Scheduler
      * Run fn over items [0, total) split into batches of batch_size using
      * num_threads worker contexts.  Every item is processed exactly once;
      * the call returns only when all batches completed.
+     *
+     * If fn throws, the scheduler captures the *first* exception, keeps
+     * processing the remaining batches, and rethrows it after all workers
+     * joined — an exception never escapes a worker thread (which would be
+     * std::terminate).  Callers wanting per-batch failure accounting and
+     * quarantine instead of one rethrown exception should use
+     * sched::runGuarded (sched/failure.h).
      */
     virtual void run(size_t total, size_t batch_size, size_t num_threads,
                      const BatchFn& fn) = 0;

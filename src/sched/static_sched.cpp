@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "sched/exception_trap.h"
 #include "util/common.h"
 
 namespace mg::sched {
@@ -18,6 +19,9 @@ StaticScheduler::run(size_t total, size_t batch_size, size_t num_threads,
         return;
     }
 
+    // Trap per-batch exceptions: a throwing chunk must not terminate the
+    // worker thread carrying the rest of its block.
+    ExceptionTrap trap;
     // One contiguous block per thread, still delivered in batch-size
     // chunks so callers see the same granularity as other policies.
     auto worker = [&](size_t self) {
@@ -26,12 +30,14 @@ StaticScheduler::run(size_t total, size_t batch_size, size_t num_threads,
         size_t begin = self * base + std::min(self, extra);
         size_t end = begin + base + (self < extra ? 1 : 0);
         for (size_t chunk = begin; chunk < end; chunk += batch_size) {
-            fn(self, chunk, std::min(end, chunk + batch_size));
+            size_t chunk_end = std::min(end, chunk + batch_size);
+            trap.guard([&] { fn(self, chunk, chunk_end); });
         }
     };
 
     if (num_threads == 1) {
         worker(0);
+        trap.rethrowIfSet();
         return;
     }
     std::vector<std::thread> threads;
@@ -42,6 +48,7 @@ StaticScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     for (std::thread& thread : threads) {
         thread.join();
     }
+    trap.rethrowIfSet();
 }
 
 } // namespace mg::sched

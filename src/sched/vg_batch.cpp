@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "sched/exception_trap.h"
 #include "util/common.h"
 
 namespace mg::sched {
@@ -70,11 +71,18 @@ VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     if (total == 0) {
         return;
     }
+    // A throwing batch must not kill a worker thread (std::terminate) or
+    // let the dispatcher skip shutdown (deadlocked join): trap the first
+    // exception, keep draining, rethrow once every thread has joined.
+    ExceptionTrap trap;
+
     if (num_threads == 1) {
         // Degenerate case: the main thread maps everything itself.
         for (size_t begin = 0; begin < total; begin += batch_size) {
-            fn(0, begin, std::min(total, begin + batch_size));
+            size_t end = std::min(total, begin + batch_size);
+            trap.guard([&] { fn(0, begin, end); });
         }
+        trap.rethrowIfSet();
         return;
     }
 
@@ -84,10 +92,10 @@ VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     std::vector<std::thread> workers;
     workers.reserve(num_threads - 1);
     for (size_t worker = 1; worker < num_threads; ++worker) {
-        workers.emplace_back([&queue, &fn, worker] {
+        workers.emplace_back([&queue, &fn, &trap, worker] {
             std::pair<size_t, size_t> batch;
             while (queue.pop(batch)) {
-                fn(worker, batch.first, batch.second);
+                trap.guard([&] { fn(worker, batch.first, batch.second); });
             }
         });
     }
@@ -97,13 +105,14 @@ VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
         if (!queue.tryPush(begin, end)) {
             // All workers busy and the queue full: the scheduler thread
             // processes the batch itself, as VG's dispatcher does.
-            fn(0, begin, end);
+            trap.guard([&] { fn(0, begin, end); });
         }
     }
     queue.shutdown();
     for (std::thread& worker : workers) {
         worker.join();
     }
+    trap.rethrowIfSet();
 }
 
 } // namespace mg::sched

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "sched/exception_trap.h"
 #include "util/common.h"
 
 namespace mg::sched {
@@ -43,6 +44,9 @@ WorkStealingScheduler::run(size_t total, size_t batch_size,
     }
     MG_ASSERT(begin == total);
 
+    // Trap per-batch exceptions so a poisoned chunk neither terminates a
+    // worker thread nor stops the cursor from handing out later chunks.
+    ExceptionTrap trap;
     auto worker = [&](size_t self) {
         // Drain one share in batch-size chunks; the atomic fetch_add hands
         // out disjoint chunks even under concurrent stealing.
@@ -56,7 +60,8 @@ WorkStealingScheduler::run(size_t total, size_t batch_size,
                 if (chunk >= share.end) {
                     break;
                 }
-                fn(self, chunk, std::min(share.end, chunk + batch_size));
+                size_t end = std::min(share.end, chunk + batch_size);
+                trap.guard([&] { fn(self, chunk, end); });
                 did_work = true;
             }
             return did_work;
@@ -70,6 +75,7 @@ WorkStealingScheduler::run(size_t total, size_t batch_size,
 
     if (num_threads == 1) {
         worker(0);
+        trap.rethrowIfSet();
         return;
     }
     std::vector<std::thread> threads;
@@ -80,6 +86,7 @@ WorkStealingScheduler::run(size_t total, size_t batch_size,
     for (std::thread& thread : threads) {
         thread.join();
     }
+    trap.rethrowIfSet();
 }
 
 } // namespace mg::sched

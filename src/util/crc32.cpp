@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace mg::util {
+
+namespace {
+
+constexpr std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = makeCrcTable();
+
+} // namespace
+
+void
+Crc32::update(const void* data, size_t size)
+{
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    uint32_t c = state_;
+    for (size_t i = 0; i < size; ++i) {
+        c = kCrcTable[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    }
+    state_ = c;
+}
+
+uint32_t
+crc32(const void* data, size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace mg::util

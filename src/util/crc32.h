@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/gzip checksum) used
+ * to protect the MGZ container's sections against bit flips and
+ * truncation.  Table-driven, one byte per step — fast enough that
+ * checksumming a section is noise next to decompressing it.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mg::util {
+
+/** Incremental CRC32 over a stream of chunks. */
+class Crc32
+{
+  public:
+    /** Feed size bytes; may be called repeatedly. */
+    void update(const void* data, size_t size);
+
+    /** Checksum of everything fed so far (empty input -> 0). */
+    uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+    /** Start over. */
+    void reset() { state_ = 0xffffffffu; }
+
+  private:
+    uint32_t state_ = 0xffffffffu;
+};
+
+/** One-shot CRC32 of a buffer. */
+uint32_t crc32(const void* data, size_t size);
+
+} // namespace mg::util

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ByteCursor: the hardened reader used at the decode trust boundary (MGZ
+ * container, seed captures, extension files, GBWT records).  It is a
+ * ByteReader whose construction takes the provenance of the bytes — the
+ * file they came from — and whose walk is annotated with the container
+ * section being decoded, so every bounds violation or structural check
+ * surfaces as a StatusError reporting file/section/offset.
+ */
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/varint.h"
+
+namespace mg::util {
+
+/** Bounds-checked, provenance-carrying byte reader. */
+class ByteCursor : public ByteReader
+{
+  public:
+    ByteCursor(const uint8_t* data, size_t size, std::string_view file = {})
+        : ByteReader(data, size)
+    {
+        setContext(file);
+    }
+
+    explicit ByteCursor(const std::vector<uint8_t>& bytes,
+                        std::string_view file = {})
+        : ByteCursor(bytes.data(), bytes.size(), file)
+    {}
+
+    /** Enter a named container section (string literal). */
+    void enterSection(const char* section) { setSection(section); }
+
+    /** Throw a StatusError at the current position. */
+    [[noreturn]] void
+    raise(StatusCode code, std::string what) const
+    {
+        fail(code, std::move(what));
+    }
+
+    /** Contextual precondition: throws a StatusError unless cond holds. */
+    template <typename... Args>
+    void
+    check(bool cond, StatusCode code, Args&&... args) const
+    {
+        if (!cond) {
+            fail(code, cat(std::forward<Args>(args)...));
+        }
+    }
+};
+
+} // namespace mg::util

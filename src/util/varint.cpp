@@ -14,15 +14,33 @@ putVarint(std::vector<uint8_t>& out, uint64_t v)
     out.push_back(static_cast<uint8_t>(v));
 }
 
+void
+ByteReader::fail(StatusCode code, std::string what) const
+{
+    Status status;
+    status.code = code;
+    status.message = std::move(what);
+    status.file = std::string(ctxFile_);
+    status.section = ctxSection_ ? ctxSection_ : "";
+    status.offset = pos_;
+    throwStatus(std::move(status));
+}
+
 uint64_t
 ByteReader::getVarint()
 {
     uint64_t value = 0;
     int shift = 0;
     while (true) {
-        require(pos_ < size_, "varint truncated at offset ", pos_);
+        if (pos_ >= size_) {
+            fail(StatusCode::Truncated,
+                 cat("varint truncated at offset ", pos_));
+        }
         uint8_t byte = data_[pos_++];
-        require(shift < 64, "varint too long at offset ", pos_);
+        if (shift >= 64) {
+            fail(StatusCode::Corrupt,
+                 cat("varint too long at offset ", pos_));
+        }
         value |= static_cast<uint64_t>(byte & 0x7f) << shift;
         if (!(byte & 0x80)) {
             break;
@@ -35,15 +53,20 @@ ByteReader::getVarint()
 uint8_t
 ByteReader::getByte()
 {
-    require(pos_ < size_, "byte read past end at offset ", pos_);
+    if (pos_ >= size_) {
+        fail(StatusCode::Truncated,
+             cat("byte read past end at offset ", pos_));
+    }
     return data_[pos_++];
 }
 
 void
 ByteReader::getBytes(void* dst, size_t n)
 {
-    require(pos_ + n <= size_, "raw read of ", n, " bytes past end at offset ",
-            pos_);
+    if (n > size_ - pos_) {
+        fail(StatusCode::Truncated,
+             cat("raw read of ", n, " bytes past end at offset ", pos_));
+    }
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
 }
@@ -52,8 +75,10 @@ std::string
 ByteReader::getString()
 {
     uint64_t len = getVarint();
-    require(pos_ + len <= size_, "string of length ", len,
-            " truncated at offset ", pos_);
+    if (len > size_ - pos_) {
+        fail(StatusCode::Truncated,
+             cat("string of length ", len, " truncated at offset ", pos_));
+    }
     std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return s;
@@ -62,7 +87,10 @@ ByteReader::getString()
 void
 ByteReader::seek(size_t pos)
 {
-    require(pos <= size_, "seek past end: ", pos, " > ", size_);
+    if (pos > size_) {
+        fail(StatusCode::InvalidArgument,
+             cat("seek past end: ", pos, " > ", size_));
+    }
     pos_ = pos;
 }
 

@@ -12,9 +12,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/common.h"
+#include "util/status.h"
 
 namespace mg::util {
 
@@ -37,7 +39,9 @@ zigzagDecode(uint64_t v)
 
 /**
  * Sequential reader over a byte span.  Bounds-checked: reading past the end
- * throws mg::util::Error (corrupt input is a user-facing error).
+ * throws mg::util::StatusError (corrupt input is a user-facing error) whose
+ * Status carries the reader's provenance context (see setContext) plus the
+ * byte offset of the violation.
  */
 class ByteReader
 {
@@ -45,6 +49,21 @@ class ByteReader
     ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
     explicit ByteReader(const std::vector<uint8_t>& bytes)
         : ByteReader(bytes.data(), bytes.size()) {}
+
+    /**
+     * Attach provenance for error reporting.  The file name is kept by
+     * reference and must outlive the reader; the section must be a string
+     * with static storage (a literal).
+     */
+    void
+    setContext(std::string_view file, const char* section = nullptr)
+    {
+        ctxFile_ = file;
+        ctxSection_ = section;
+    }
+
+    /** Update only the section component of the context. */
+    void setSection(const char* section) { ctxSection_ = section; }
 
     /** Decode one unsigned varint and advance. */
     uint64_t getVarint();
@@ -61,11 +80,20 @@ class ByteReader
     size_t remaining() const { return size_ - pos_; }
     bool atEnd() const { return pos_ == size_; }
     void seek(size_t pos);
+    const uint8_t* data() const { return data_; }
+    size_t size() const { return size_; }
+
+  protected:
+    /** Throw a StatusError at the current position with this reader's
+     *  provenance context. */
+    [[noreturn]] void fail(StatusCode code, std::string what) const;
 
   private:
     const uint8_t* data_;
     size_t size_;
     size_t pos_ = 0;
+    std::string_view ctxFile_{};
+    const char* ctxSection_ = nullptr;
 };
 
 /** Sequential writer producing a byte vector. */

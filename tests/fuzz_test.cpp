@@ -12,6 +12,7 @@
 #include "sim/read_sim.h"
 #include "util/common.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace mg::io {
 namespace {
@@ -147,6 +148,79 @@ TEST(FuzzTest, ExtensionsFileFuzz)
         try {
             decodeExtensions(bad);
         } catch (const util::Error&) {
+        }
+    }
+}
+
+/**
+ * The structured-error corruption fuzzer: 1000 seeded mutations of a
+ * valid V2 container.  Flips avoid the 4-byte magic (which would turn
+ * the file into a pseudo-V1 image and exercise the legacy path tested
+ * separately below); every failed decode must surface as a StatusError
+ * carrying the provenance we passed in — any other exception type
+ * escapes the catch and fails the test.
+ */
+TEST(FuzzTest, MgzV2CorruptionFuzzerReportsStructuredErrors)
+{
+    std::vector<uint8_t> bytes = validMgz();
+    ASSERT_GT(bytes.size(), 8u);
+    size_t decoded_ok = 0;
+    size_t structured = 0;
+    for (uint64_t seed = 0; seed < 1000; ++seed) {
+        util::Rng rng(80000 + seed);
+        std::vector<uint8_t> bad = bytes;
+        if (rng.chance(0.3)) {
+            bad.resize(4 + rng.uniform(bad.size() - 4)); // keep the magic
+        } else {
+            int flips = 1 + static_cast<int>(rng.uniform(4));
+            for (int f = 0; f < flips; ++f) {
+                bad[4 + rng.uniform(bad.size() - 4)] ^=
+                    static_cast<uint8_t>(1 + rng.uniform(255));
+            }
+        }
+        bool decoded = false;
+        try {
+            Pangenome pg = decodeMgz(bad, "fuzz.mgz");
+            decoded = true;
+        } catch (const util::StatusError& e) {
+            ++structured;
+            EXPECT_NE(e.status().code, util::StatusCode::Ok);
+            EXPECT_EQ(e.status().file, "fuzz.mgz");
+        }
+        decoded_ok += decoded ? 1 : 0;
+    }
+    // Per-section CRCs catch essentially every mutation.
+    EXPECT_EQ(decoded_ok + structured, 1000u);
+    EXPECT_GT(structured, 990u);
+}
+
+/** Same mutations against the legacy unversioned format: no checksums,
+ *  so corrupt payloads reach the section decoders — they may throw any
+ *  mg::util::Error but must never crash. */
+TEST(FuzzTest, MgzV1CorruptionFuzzerNeverCrashes)
+{
+    sim::PangenomeParams params;
+    params.seed = 704;
+    params.backboneLength = 2000;
+    params.haplotypes = 3;
+    sim::GeneratedPangenome pg = sim::generatePangenome(params);
+    std::vector<uint8_t> bytes =
+        encodeMgz(pg.graph, pg.gbwt, MgzVersion::V1);
+
+    for (uint64_t seed = 0; seed < 300; ++seed) {
+        util::Rng rng(81000 + seed);
+        std::vector<uint8_t> bad = bytes;
+        if (rng.chance(0.3)) {
+            bad.resize(rng.uniform(bad.size()));
+        } else {
+            bad[rng.uniform(bad.size())] ^=
+                static_cast<uint8_t>(1 + rng.uniform(255));
+        }
+        try {
+            Pangenome out = decodeMgz(bad);
+            out.graph.validate();
+        } catch (const util::Error&) {
+            // any structured or legacy error is acceptable on V1
         }
     }
 }

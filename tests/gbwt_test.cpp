@@ -13,6 +13,7 @@
 #include "graph/handle.h"
 #include "sim/pangenome_gen.h"
 #include "util/rng.h"
+#include "util/cursor.h"
 #include "util/varint.h"
 
 namespace mg::gbwt {
@@ -217,7 +218,7 @@ TEST(GbwtTest, SerializationRoundTrip)
 
     util::ByteWriter writer;
     pg.gbwt.save(writer);
-    util::ByteReader reader(writer.bytes());
+    util::ByteCursor reader(writer.bytes());
     Gbwt loaded = Gbwt::load(reader);
 
     EXPECT_EQ(loaded.numPaths(), pg.gbwt.numPaths());
@@ -309,7 +310,7 @@ TEST(GbwtTest, LocateSurvivesSerialization)
     sim::GeneratedPangenome pg = sim::generatePangenome(params);
     util::ByteWriter writer;
     pg.gbwt.save(writer);
-    util::ByteReader reader(writer.bytes());
+    util::ByteCursor reader(writer.bytes());
     Gbwt loaded = Gbwt::load(reader);
     for (const auto& walk : pg.walks) {
         std::vector<Handle> prefix(walk.begin(),
@@ -341,7 +342,7 @@ TEST(RecordTest, EncodeDecodeRoundTrip)
 
     util::ByteWriter writer;
     rec.encode(writer);
-    util::ByteReader reader(writer.bytes());
+    util::ByteCursor reader(writer.bytes());
     DecodedRecord back = DecodedRecord::decode(reader);
 
     EXPECT_EQ(back.numVisits(), 8u);

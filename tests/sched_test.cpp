@@ -28,6 +28,51 @@ TEST(SchedulerNamesTest, RoundTrip)
     EXPECT_THROW(schedulerFromName("bogus"), util::Error);
 }
 
+TEST(SchedulerExceptionTest, WorkerThrowIsRethrownAfterAllBatchesRun)
+{
+    for (SchedulerKind kind : allKinds()) {
+        auto scheduler = makeScheduler(kind);
+        const size_t total = 400;
+        std::vector<std::atomic<int>> seen(total);
+        try {
+            scheduler->run(total, 16, 4,
+                           [&](size_t, size_t begin, size_t end) {
+                               for (size_t i = begin; i < end; ++i) {
+                                   seen[i].fetch_add(1);
+                               }
+                               if (begin == 96) {
+                                   throw util::Error("poisoned batch");
+                               }
+                           });
+            FAIL() << "expected rethrow from " << schedulerName(kind);
+        } catch (const util::Error& e) {
+            EXPECT_NE(std::string(e.what()).find("poisoned batch"),
+                      std::string::npos)
+                << schedulerName(kind);
+        }
+        // The failing batch must not abort the rest of the run: every
+        // item was still processed exactly once.
+        for (size_t i = 0; i < total; ++i) {
+            EXPECT_EQ(seen[i].load(), 1)
+                << schedulerName(kind) << " item " << i;
+        }
+    }
+}
+
+TEST(SchedulerNamesTest, UnknownNameErrorListsValidNames)
+{
+    try {
+        schedulerFromName("bogus");
+        FAIL() << "expected throw";
+    } catch (const util::Error& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("bogus"), std::string::npos);
+        for (const char* name : {"openmp", "vg", "steal", "static"}) {
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+        }
+    }
+}
+
 TEST(SchedulerFactoryTest, MakesMatchingKind)
 {
     for (SchedulerKind kind : allKinds()) {

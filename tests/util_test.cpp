@@ -6,7 +6,9 @@
 #include <set>
 
 #include "util/common.h"
+#include "util/crc32.h"
 #include "util/csv.h"
+#include "util/cursor.h"
 #include "util/dna.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -363,6 +365,130 @@ TEST(CommonTest, RequireThrowsWithMessage)
     } catch (const Error& e) {
         EXPECT_NE(std::string(e.what()).find("bad thing 42"),
                   std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32Test, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+    Crc32 crc;
+    EXPECT_EQ(crc.value(), 0x00000000u);
+}
+
+TEST(Crc32Test, KnownVectors)
+{
+    // The classic CRC32 check value, plus a couple of cross-checked
+    // references (python zlib.crc32).
+    const char check[] = "123456789";
+    EXPECT_EQ(crc32(check, 9), 0xCBF43926u);
+    const char a[] = "a";
+    EXPECT_EQ(crc32(a, 1), 0xE8B7BE43u);
+    const char abc[] = "abc";
+    EXPECT_EQ(crc32(abc, 3), 0x352441C2u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot)
+{
+    std::vector<uint8_t> bytes(300);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        bytes[i] = static_cast<uint8_t>(i * 7 + 3);
+    }
+    uint32_t whole = crc32(bytes.data(), bytes.size());
+    // Feed in uneven chunks, including an empty one.
+    Crc32 crc;
+    crc.update(bytes.data(), 1);
+    crc.update(bytes.data() + 1, 0);
+    crc.update(bytes.data() + 1, 128);
+    crc.update(bytes.data() + 129, bytes.size() - 129);
+    EXPECT_EQ(crc.value(), whole);
+    // reset() starts a fresh stream.
+    crc.reset();
+    crc.update(bytes.data(), bytes.size());
+    EXPECT_EQ(crc.value(), whole);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum)
+{
+    std::vector<uint8_t> bytes(64, 0xAB);
+    uint32_t clean = crc32(bytes.data(), bytes.size());
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        bytes[i] ^= 0x01;
+        EXPECT_NE(crc32(bytes.data(), bytes.size()), clean) << i;
+        bytes[i] ^= 0x01;
+    }
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(StatusTest, ToStringCarriesProvenance)
+{
+    Status status;
+    status.code = StatusCode::Truncated;
+    status.message = "need 8 bytes";
+    status.file = "graph.mgz";
+    status.section = "nodes";
+    status.offset = 517;
+    std::string text = status.toString();
+    EXPECT_NE(text.find("truncated"), std::string::npos);
+    EXPECT_NE(text.find("need 8 bytes"), std::string::npos);
+    EXPECT_NE(text.find("graph.mgz"), std::string::npos);
+    EXPECT_NE(text.find("nodes"), std::string::npos);
+    EXPECT_NE(text.find("517"), std::string::npos);
+}
+
+TEST(StatusTest, StatusErrorIsAnError)
+{
+    Status status;
+    status.code = StatusCode::Corrupt;
+    status.message = "bad magic";
+    try {
+        throwStatus(status);
+        FAIL() << "expected throw";
+    } catch (const Error& e) { // legacy catch sites keep working
+        EXPECT_NE(std::string(e.what()).find("bad magic"),
+                  std::string::npos);
+        const auto* structured = dynamic_cast<const StatusError*>(&e);
+        ASSERT_NE(structured, nullptr);
+        EXPECT_EQ(structured->status().code, StatusCode::Corrupt);
+    }
+}
+
+// ---------------------------------------------------------------- cursor
+
+TEST(ByteCursorTest, BoundsViolationReportsFileSectionOffset)
+{
+    std::vector<uint8_t> bytes = {1, 2, 3, 4};
+    ByteCursor cursor(bytes, "cap.bin");
+    cursor.enterSection("reads");
+    cursor.getByte();
+    cursor.getByte();
+    try {
+        uint8_t sink[4];
+        cursor.getBytes(sink, sizeof(sink));
+        FAIL() << "expected throw";
+    } catch (const StatusError& e) {
+        EXPECT_EQ(e.status().code, StatusCode::Truncated);
+        EXPECT_EQ(e.status().file, "cap.bin");
+        EXPECT_EQ(e.status().section, "reads");
+        EXPECT_EQ(e.status().offset, 2u);
+    }
+}
+
+TEST(ByteCursorTest, CheckRaisesWithFormattedMessage)
+{
+    std::vector<uint8_t> bytes = {9};
+    ByteCursor cursor(bytes, "f.bin");
+    cursor.check(true, StatusCode::Corrupt, "never thrown");
+    try {
+        cursor.check(false, StatusCode::Corrupt, "count ", 12, " too big");
+        FAIL() << "expected throw";
+    } catch (const StatusError& e) {
+        EXPECT_EQ(e.status().code, StatusCode::Corrupt);
+        EXPECT_NE(e.status().message.find("count 12 too big"),
+                  std::string::npos);
+        EXPECT_EQ(e.status().file, "f.bin");
     }
 }
 
