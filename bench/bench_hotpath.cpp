@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Hot-path benchmark harness (perf trajectory anchor).  Measures the
+ * seed-and-extend kernel the paper identifies as memory-bound: single-thread
+ * mapping throughput (reads/sec), heap bytes allocated per read and per
+ * steady-state extension (via a global operator-new counter), and the
+ * CachedGBWT hit rate, on input-set analogs A and B.  Emits
+ * `BENCH_hotpath.json` so every future PR can compare against a recorded
+ * baseline.
+ *
+ * Modes:
+ *   bench_hotpath [--scale=S] [--out=PATH] [gbench flags]   full run + JSON
+ *   bench_hotpath --smoke [--scale=S]                       quick CTest run
+ *
+ * The smoke mode (CTest label `perf-smoke`) enforces machine-independent
+ * invariants of the optimized kernel — zero heap allocations in the
+ * steady-state extend loop and a sane cache hit rate — and runs one quick
+ * throughput repetition so gross (>20%) kernel regressions surface in CI
+ * timing logs.
+ */
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/timer.h"
+
+// ------------------------------------------------------------------------
+// Global allocation counter: every operator new/delete in the process is
+// counted, so a delta around a measured region gives exact heap traffic.
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_alloc_calls{0};
+
+struct AllocSnapshot
+{
+    uint64_t bytes = 0;
+    uint64_t calls = 0;
+};
+
+AllocSnapshot
+allocNow()
+{
+    return {g_alloc_bytes.load(std::memory_order_relaxed),
+            g_alloc_calls.load(std::memory_order_relaxed)};
+}
+
+AllocSnapshot
+allocDelta(const AllocSnapshot& since)
+{
+    AllocSnapshot now = allocNow();
+    return {now.bytes - since.bytes, now.calls - since.calls};
+}
+
+void*
+countedAlloc(std::size_t size)
+{
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void*
+operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+void*
+operator new[](std::size_t size, const std::nothrow_t&) noexcept
+{
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+// ------------------------------------------------------------------------
+
+namespace mg::bench {
+namespace {
+
+double g_scale = 0.1;
+
+/** One prepared workload: world + seed capture, built once per input set. */
+struct Workload
+{
+    std::unique_ptr<World> world;
+    io::SeedCapture capture;
+};
+
+const Workload&
+workload(const std::string& input_set)
+{
+    static std::vector<std::pair<std::string, Workload>> cache;
+    for (const auto& [name, wl] : cache) {
+        if (name == input_set) {
+            return wl;
+        }
+    }
+    Workload wl;
+    wl.world = buildWorld(input_set, g_scale);
+    wl.capture =
+        wl.world->parent().capturePreprocessing(wl.world->set.reads);
+    cache.emplace_back(input_set, std::move(wl));
+    return cache.back().second;
+}
+
+/** Result of one measured mapping pass over a whole capture. */
+struct PassResult
+{
+    double readsPerSec = 0.0;
+    double bytesPerRead = 0.0;
+    double allocsPerRead = 0.0;
+    double hitRate = 0.0;
+};
+
+/**
+ * Map every read in the capture `reps` times with one reused MapperState
+ * (warm-up pass excluded from both the clock and the allocation counter).
+ */
+PassResult
+measureMapping(const Workload& wl, int reps)
+{
+    map::Mapper mapper(wl.world->graph(), wl.world->gbwt(),
+                       wl.world->minimizers, wl.world->distance,
+                       map::MapperParams());
+    auto state = mapper.makeState();
+    const auto& entries = wl.capture.entries;
+    // Warm-up: touches every read once so caches/scratch reach capacity.
+    for (const auto& entry : entries) {
+        mapper.mapFromSeeds(entry.read, entry.seeds, *state);
+    }
+    const gbwt::CacheStats warm = state->totalStats();
+    AllocSnapshot before = allocNow();
+    util::WallTimer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+        for (const auto& entry : entries) {
+            benchmark::DoNotOptimize(
+                mapper.mapFromSeeds(entry.read, entry.seeds, *state));
+        }
+    }
+    double seconds = timer.seconds();
+    AllocSnapshot delta = allocDelta(before);
+    const gbwt::CacheStats total = state->totalStats();
+
+    PassResult out;
+    double reads =
+        static_cast<double>(entries.size()) * static_cast<double>(reps);
+    out.readsPerSec = reads / seconds;
+    out.bytesPerRead = static_cast<double>(delta.bytes) / reads;
+    out.allocsPerRead = static_cast<double>(delta.calls) / reads;
+    uint64_t lookups = total.lookups - warm.lookups;
+    uint64_t hits = total.hits - warm.hits;
+    out.hitRate = lookups == 0
+        ? 0.0
+        : static_cast<double>(hits) / static_cast<double>(lookups);
+    return out;
+}
+
+/**
+ * The steady-state extend loop in isolation: repeatedly extend a fixed
+ * sample of seeds with a warm cache.  The optimized kernel must allocate
+ * nothing here (the acceptance criterion of the hot-path overhaul).
+ */
+struct ExtendSample
+{
+    const io::ReadWithSeeds* entry = nullptr;
+    size_t seedIndex = 0;
+    std::string oriented; // the orientation the seed was found on
+};
+
+std::vector<ExtendSample>
+pickExtendSamples(const Workload& wl, size_t max_samples)
+{
+    std::vector<ExtendSample> samples;
+    for (const auto& entry : wl.capture.entries) {
+        if (samples.size() >= max_samples) {
+            break;
+        }
+        for (size_t s = 0; s < entry.seeds.size(); ++s) {
+            if (samples.size() >= max_samples) {
+                break;
+            }
+            ExtendSample sample;
+            sample.entry = &entry;
+            sample.seedIndex = s;
+            sample.oriented = entry.seeds[s].onReverseRead
+                ? util::reverseComplement(entry.read.sequence)
+                : entry.read.sequence;
+            samples.push_back(std::move(sample));
+        }
+    }
+    return samples;
+}
+
+struct ExtendResult
+{
+    double extendsPerSec = 0.0;
+    double bytesPerExtend = 0.0;
+    double allocsPerExtend = 0.0;
+};
+
+ExtendResult
+measureExtend(const Workload& wl, int reps)
+{
+    map::Extender extender(wl.world->graph(),
+                           map::MapperParams().extend);
+    gbwt::CachedGbwt cache(wl.world->gbwt());
+    std::vector<ExtendSample> samples = pickExtendSamples(wl, 256);
+    MG_ASSERT(!samples.empty());
+    // Warm-up: every sample extended once (cache fills, scratch spills).
+    for (const ExtendSample& sample : samples) {
+        extender.extendSeed(sample.entry->seeds[sample.seedIndex],
+                            sample.oriented, cache);
+    }
+    AllocSnapshot before = allocNow();
+    util::WallTimer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+        for (const ExtendSample& sample : samples) {
+            benchmark::DoNotOptimize(extender.extendSeed(
+                sample.entry->seeds[sample.seedIndex], sample.oriented,
+                cache));
+        }
+    }
+    double seconds = timer.seconds();
+    AllocSnapshot delta = allocDelta(before);
+    double extends =
+        static_cast<double>(samples.size()) * static_cast<double>(reps);
+    ExtendResult out;
+    out.extendsPerSec = extends / seconds;
+    out.bytesPerExtend = static_cast<double>(delta.bytes) / extends;
+    out.allocsPerExtend = static_cast<double>(delta.calls) / extends;
+    return out;
+}
+
+// ------------------------------------------------------------------ gbench
+
+void
+BM_MapFromSeeds(benchmark::State& state, const char* input_set)
+{
+    const Workload& wl = workload(input_set);
+    map::Mapper mapper(wl.world->graph(), wl.world->gbwt(),
+                       wl.world->minimizers, wl.world->distance,
+                       map::MapperParams());
+    auto mapper_state = mapper.makeState();
+    const auto& entries = wl.capture.entries;
+    size_t i = 0;
+    for (const auto& entry : entries) { // warm-up
+        mapper.mapFromSeeds(entry.read, entry.seeds, *mapper_state);
+    }
+    AllocSnapshot before = allocNow();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.mapFromSeeds(
+            entries[i].read, entries[i].seeds, *mapper_state));
+        i = (i + 1) % entries.size();
+    }
+    AllocSnapshot delta = allocDelta(before);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["bytes_per_read"] = benchmark::Counter(
+        static_cast<double>(delta.bytes) /
+        static_cast<double>(state.iterations()));
+    state.counters["hit_rate"] =
+        benchmark::Counter(mapper_state->totalStats().hitRate());
+}
+
+void
+BM_ExtendSteady(benchmark::State& state, const char* input_set)
+{
+    const Workload& wl = workload(input_set);
+    map::Extender extender(wl.world->graph(),
+                           map::MapperParams().extend);
+    gbwt::CachedGbwt cache(wl.world->gbwt());
+    std::vector<ExtendSample> samples = pickExtendSamples(wl, 256);
+    for (const ExtendSample& sample : samples) { // warm-up
+        extender.extendSeed(sample.entry->seeds[sample.seedIndex],
+                            sample.oriented, cache);
+    }
+    size_t i = 0;
+    AllocSnapshot before = allocNow();
+    for (auto _ : state) {
+        const ExtendSample& sample = samples[i];
+        benchmark::DoNotOptimize(extender.extendSeed(
+            sample.entry->seeds[sample.seedIndex], sample.oriented,
+            cache));
+        i = (i + 1) % samples.size();
+    }
+    AllocSnapshot delta = allocDelta(before);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["bytes_per_extend"] = benchmark::Counter(
+        static_cast<double>(delta.bytes) /
+        static_cast<double>(state.iterations()));
+}
+
+// --------------------------------------------------------------- reporting
+
+void
+writeJson(const std::string& path, const PassResult& map_a,
+          const ExtendResult& ext_a, const PassResult& map_b,
+          const ExtendResult& ext_b)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_hotpath: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    auto emit = [&](const char* name, const PassResult& m,
+                    const ExtendResult& e, const char* tail) {
+        std::fprintf(f,
+                     "    \"%s\": {\n"
+                     "      \"reads_per_sec\": %.1f,\n"
+                     "      \"bytes_per_read\": %.1f,\n"
+                     "      \"allocs_per_read\": %.2f,\n"
+                     "      \"cache_hit_rate\": %.4f,\n"
+                     "      \"extends_per_sec\": %.1f,\n"
+                     "      \"bytes_per_extend\": %.1f,\n"
+                     "      \"allocs_per_extend\": %.2f\n"
+                     "    }%s\n",
+                     name, m.readsPerSec, m.bytesPerRead, m.allocsPerRead,
+                     m.hitRate, e.extendsPerSec, e.bytesPerExtend,
+                     e.allocsPerExtend, tail);
+    };
+    std::fprintf(f, "{\n  \"benchmark\": \"bench_hotpath\",\n"
+                    "  \"scale\": %.3f,\n  \"results\": {\n",
+                 g_scale);
+    emit("A-human", map_a, ext_a, ",");
+    emit("B-yeast", map_b, ext_b, "");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+int
+smokeRun()
+{
+    // One quick repetition on the A analog: fast enough for CTest, long
+    // enough that a >20% kernel regression is visible in the logged
+    // reads/sec, with hard failures only on machine-independent invariants.
+    const Workload& wl = workload("A-human");
+    PassResult map_a = measureMapping(wl, 1);
+    ExtendResult ext_a = measureExtend(wl, 4);
+    std::printf("perf-smoke A-human: %.0f reads/s, %.1f B/read, "
+                "hit %.3f, extend %.0f/s, %.1f B/extend\n",
+                map_a.readsPerSec, map_a.bytesPerRead, map_a.hitRate,
+                ext_a.extendsPerSec, ext_a.bytesPerExtend);
+    int failures = 0;
+    if (ext_a.bytesPerExtend != 0.0 || ext_a.allocsPerExtend != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: steady-state extend loop allocates "
+                     "(%.1f bytes, %.2f allocs per extend); the kernel "
+                     "must be allocation-free\n",
+                     ext_a.bytesPerExtend, ext_a.allocsPerExtend);
+        ++failures;
+    }
+    if (map_a.hitRate < 0.5) {
+        std::fprintf(stderr,
+                     "FAIL: CachedGBWT hit rate %.3f < 0.5; the per-read "
+                     "cache reset is losing its entries\n",
+                     map_a.hitRate);
+        ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace mg::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace mg::bench;
+    bool smoke = false;
+    std::string out_path = "BENCH_hotpath.json";
+    std::vector<char*> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+            g_scale = std::atof(argv[i] + 8);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (smoke) {
+        if (g_scale > 0.05) {
+            g_scale = 0.05; // keep CTest fast regardless of the default
+        }
+        return smokeRun();
+    }
+
+    banner("hotpath", "Hot-path kernel throughput, allocation, and cache "
+                      "behaviour (single thread)");
+
+    // Deterministic measurement passes for the JSON record.
+    const Workload& wl_a = workload("A-human");
+    PassResult map_a = measureMapping(wl_a, 3);
+    ExtendResult ext_a = measureExtend(wl_a, 20);
+    const Workload& wl_b = workload("B-yeast");
+    PassResult map_b = measureMapping(wl_b, 3);
+    ExtendResult ext_b = measureExtend(wl_b, 20);
+    std::printf("A-human: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
+                "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend\n",
+                map_a.readsPerSec, map_a.bytesPerRead, map_a.allocsPerRead,
+                map_a.hitRate, ext_a.extendsPerSec, ext_a.bytesPerExtend);
+    std::printf("B-yeast: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
+                "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend\n",
+                map_b.readsPerSec, map_b.bytesPerRead, map_b.allocsPerRead,
+                map_b.hitRate, ext_b.extendsPerSec, ext_b.bytesPerExtend);
+    writeJson(out_path, map_a, ext_a, map_b, ext_b);
+
+    // Google-benchmark pass (iteration-level timing, same kernels).
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::RegisterBenchmark("BM_MapFromSeeds/A", BM_MapFromSeeds,
+                                 "A-human");
+    benchmark::RegisterBenchmark("BM_MapFromSeeds/B", BM_MapFromSeeds,
+                                 "B-yeast");
+    benchmark::RegisterBenchmark("BM_ExtendSteady/A", BM_ExtendSteady,
+                                 "A-human");
+    benchmark::RegisterBenchmark("BM_ExtendSteady/B", BM_ExtendSteady,
+                                 "B-yeast");
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "util/common.h"
 #include "util/dna.h"
+#include "util/prefetch.h"
 
 namespace mg::gbwt {
 
@@ -33,10 +34,11 @@ CachedGbwt::CachedGbwt(const Gbwt& gbwt, size_t initial_capacity,
     : gbwt_(gbwt), tracer_(tracer), cachingEnabled_(initial_capacity > 0)
 {
     if (cachingEnabled_) {
-        slots_.assign(roundUpPow2(initial_capacity), Slot{});
-        // Table initialization writes every slot; with the short per-read
-        // cache lifetime Giraffe uses, this is a real per-read cost that
-        // grows with the initial capacity.
+        initialSlots_ = roundUpPow2(initial_capacity);
+        slots_.assign(initialSlots_, Slot{});
+        // Table initialization writes every slot.  With epoch-stamped
+        // clear() this is a one-time cost per cache, not per read: reuse
+        // via clear() only bumps the generation counter.
         util::traceAccess(tracer_, slots_.data(),
                           static_cast<uint32_t>(std::min<size_t>(
                               slots_.size() * sizeof(Slot), UINT32_MAX)),
@@ -54,7 +56,11 @@ CachedGbwt::probe(uint64_t key)
         ++stats_.probes;
         util::traceAccess(tracer_, &slots_[index], sizeof(Slot));
         util::traceWork(tracer_, 4);
-        if (slots_[index].key == key || slots_[index].key == 0) {
+        const Slot& slot = slots_[index];
+        // A never-written slot or one from an older generation terminates
+        // the chain: both are reusable.  Within one epoch no slot ever
+        // transitions live -> reusable, so chains stay consistent.
+        if (slot.key == key || slot.key == 0 || slot.epoch != epoch_) {
             return index;
         }
         index = (index + 1) & mask;
@@ -69,8 +75,8 @@ CachedGbwt::rehash()
     slots_.assign(old.size() * 2, Slot{});
     size_t mask = slots_.size() - 1;
     for (const Slot& slot : old) {
-        if (slot.key == 0) {
-            continue;
+        if (!live(slot)) {
+            continue; // stale generations are not carried forward
         }
         // Reinsertion touches every old slot and a fresh table twice its
         // size: this is the expensive growth the paper tunes away from.
@@ -91,12 +97,12 @@ CachedGbwt::record(graph::Handle node)
     ++stats_.lookups;
     if (!cachingEnabled_) {
         ++stats_.decodes;
-        uncached_ = gbwt_.decodeRecord(node, tracer_);
+        gbwt_.decodeRecordInto(node, uncached_, tracer_);
         return uncached_;
     }
     uint64_t key = node.packed() + 1;
     size_t index = probe(key);
-    if (slots_[index].key == key) {
+    if (live(slots_[index]) && slots_[index].key == key) {
         ++stats_.hits;
         const DecodedRecord& rec = entries_[slots_[index].value];
         // A hit still reads the decoded record's headers.
@@ -104,15 +110,24 @@ CachedGbwt::record(graph::Handle node)
         return rec;
     }
     ++stats_.decodes;
-    if (overloaded(entries_.size(), slots_.size())) {
+    if (overloaded(entriesUsed_, slots_.size())) {
         rehash();
         index = probe(key);
     }
-    entries_.push_back(gbwt_.decodeRecord(node, tracer_));
-    slots_[index].key = key;
-    slots_[index].value = static_cast<uint32_t>(entries_.size() - 1);
-    util::traceAccess(tracer_, &slots_[index], sizeof(Slot), true);
-    return entries_.back();
+    // Recycle a retained entry from an earlier generation when one exists;
+    // decodeInto then reuses its vector capacity.
+    if (entriesUsed_ == entries_.size()) {
+        entries_.emplace_back();
+    }
+    DecodedRecord& rec = entries_[entriesUsed_];
+    gbwt_.decodeRecordInto(node, rec, tracer_);
+    Slot& slot = slots_[index];
+    slot.key = key;
+    slot.value = static_cast<uint32_t>(entriesUsed_);
+    slot.epoch = epoch_;
+    ++entriesUsed_;
+    util::traceAccess(tracer_, &slot, sizeof(Slot), true);
+    return rec;
 }
 
 SearchState
@@ -137,10 +152,33 @@ CachedGbwt::successorStates(const SearchState& state)
     return rec.successorStates(state);
 }
 
+void
+CachedGbwt::successorStatesInto(const SearchState& state,
+                                std::vector<SearchState>& out)
+{
+    const DecodedRecord& rec = record(state.node);
+    util::traceWork(tracer_, rec.runs().size() + rec.edges().size());
+    rec.successorStatesInto(state, out);
+}
+
 uint64_t
 CachedGbwt::nodeCount(graph::Handle node)
 {
     return record(node).numVisits();
+}
+
+void
+CachedGbwt::prefetch(graph::Handle node) const
+{
+    if (cachingEnabled_) {
+        size_t mask = slots_.size() - 1;
+        size_t index = util::hash64(node.packed() + 1) & mask;
+        util::prefetchRead(&slots_[index]);
+    }
+    // Also warm the compressed bytes; on a hit this is wasted bandwidth,
+    // but inspecting the slot here would stall on the very load the hint
+    // is trying to hide.
+    gbwt_.prefetchRecord(node);
 }
 
 size_t
@@ -156,9 +194,24 @@ CachedGbwt::footprintBytes() const
 void
 CachedGbwt::clear()
 {
-    entries_.clear();
-    for (Slot& slot : slots_) {
-        slot = Slot{};
+    stats_ = CacheStats{};
+    entriesUsed_ = 0;
+    if (!cachingEnabled_) {
+        return;
+    }
+    if (slots_.size() != initialSlots_) {
+        // Growth past the initial capacity does not survive a reset: a
+        // fresh mapping task starts at the tuned capacity, as a newly
+        // constructed cache would.
+        slots_.assign(initialSlots_, Slot{});
+    }
+    ++epoch_;
+    if (epoch_ == 0) {
+        // Generation counter wrapped: stamps are ambiguous, wipe once.
+        for (Slot& slot : slots_) {
+            slot = Slot{};
+        }
+        epoch_ = 1;
     }
 }
 

@@ -8,6 +8,15 @@
  * repeated expensive rehash growth; too large and probes lose cache
  * locality while the footprint crowds out the L1/L2.
  *
+ * Hot-path memory overhaul: the cache is epoch-stamped.  Each slot carries
+ * the epoch it was written in, and clear() just bumps the generation
+ * counter — O(1) — leaving the slot array and the decoded-record storage
+ * in place.  A fresh-per-read cache therefore costs no allocation and no
+ * table wipe, while stale-generation slots still read as empty, preserving
+ * the paper's "fresh cache per mapping task" semantics exactly.  Decoded
+ * records are recycled via DecodedRecord::decodeInto, so a warm cache's
+ * miss path reuses vector capacity instead of reallocating.
+ *
  * Each worker thread owns one CachedGbwt (as in Giraffe), so no locking is
  * needed on the hot path.
  */
@@ -36,6 +45,17 @@ struct CacheStats
         return lookups == 0 ? 0.0
                             : static_cast<double>(hits) /
                                   static_cast<double>(lookups);
+    }
+
+    /** Accumulate another interval's counters (per-thread roll-ups). */
+    void
+    accumulate(const CacheStats& other)
+    {
+        lookups += other.lookups;
+        hits += other.hits;
+        decodes += other.decodes;
+        rehashes += other.rehashes;
+        probes += other.probes;
     }
 };
 
@@ -74,43 +94,79 @@ class CachedGbwt
     /** Haplotype-supported continuations of a state. */
     std::vector<SearchState> successorStates(const SearchState& state);
 
+    /**
+     * successorStates() appended into a caller-owned buffer — the
+     * extension kernel's allocation-free query path.
+     */
+    void successorStatesInto(const SearchState& state,
+                             std::vector<SearchState>& out);
+
     /** Number of haplotypes through a node. */
     uint64_t nodeCount(graph::Handle node);
+
+    /**
+     * Software-prefetch the probed slot for `node` and, if the slot does
+     * not currently hold it, the node's compressed record bytes — the two
+     * memory targets the next record() for this node will touch.  A hint
+     * only: no decode, no stats, no tracing.
+     */
+    void prefetch(graph::Handle node) const;
 
     const Gbwt& backing() const { return gbwt_; }
     /** The attached memory tracer (null when not tracing). */
     util::MemTracer* tracer() const { return tracer_; }
     const CacheStats& stats() const { return stats_; }
-    size_t size() const { return entries_.size(); }
+    /** Entries cached in the current epoch. */
+    size_t size() const { return entriesUsed_; }
     size_t capacity() const { return slots_.size(); }
     bool cachingEnabled() const { return cachingEnabled_; }
+    /** Generation counter; bumped by every clear() (tests/diagnostics). */
+    uint64_t epoch() const { return epoch_; }
 
-    /** Approximate resident bytes (table plus decoded records). */
+    /** Approximate resident bytes (table plus decoded-record storage). */
     size_t footprintBytes() const;
 
-    /** Drop all cached records, keeping the current capacity. */
+    /**
+     * Start a new generation: O(1).  All cached entries become stale (the
+     * next lookup of any node decodes again, as a freshly constructed
+     * cache would), statistics reset, and a table grown past the initial
+     * capacity snaps back to it — but the slot array and decoded-record
+     * storage are retained, so no memory is freed or zeroed.
+     */
     void clear();
 
   private:
     struct Slot
     {
-        uint64_t key = 0;     // handle.packed() + 1; 0 == empty
+        uint64_t key = 0;     // handle.packed() + 1; 0 == never written
         uint32_t value = 0;   // index into entries_
+        uint32_t epoch = 0;   // generation the slot was written in
     };
 
-    /** Find the slot holding key, or the empty slot where it belongs. */
+    bool
+    live(const Slot& slot) const
+    {
+        return slot.key != 0 && slot.epoch == epoch_;
+    }
+
+    /** Find the slot holding key, or the reusable slot where it belongs. */
     size_t probe(uint64_t key);
 
-    /** Double the table and reinsert everything (the expensive growth). */
+    /** Double the table and reinsert the live epoch (expensive growth). */
     void rehash();
 
     const Gbwt& gbwt_;
     util::MemTracer* tracer_;
     bool cachingEnabled_;
+    size_t initialSlots_ = 0; // power-of-two slot count clear() restores
+    uint32_t epoch_ = 1;      // 0 marks never-written slots
     std::vector<Slot> slots_;
     // Deque keeps record addresses stable across insertions and rehashes,
-    // so record() references stay valid while the cache grows.
+    // so record() references stay valid while the cache grows.  Entries
+    // outlive clear(): [0, entriesUsed_) belong to the current epoch, the
+    // rest are retained storage recycled by the next misses.
     std::deque<DecodedRecord> entries_;
+    size_t entriesUsed_ = 0;
     DecodedRecord uncached_; // scratch when caching is disabled
     CacheStats stats_;
 };

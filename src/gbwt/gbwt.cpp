@@ -29,9 +29,19 @@ Gbwt::recordSpan(graph::Handle node) const
 DecodedRecord
 Gbwt::decodeRecord(graph::Handle node, util::MemTracer* tracer) const
 {
+    DecodedRecord record;
+    decodeRecordInto(node, record, tracer);
+    return record;
+}
+
+void
+Gbwt::decodeRecordInto(graph::Handle node, DecodedRecord& out,
+                       util::MemTracer* tracer) const
+{
     auto [data, size] = recordSpan(node);
     if (size == 0) {
-        return DecodedRecord();
+        out = DecodedRecord();
+        return;
     }
     // The decode touches the compressed bytes sequentially; this is the
     // access CachedGBWT exists to amortize.
@@ -39,7 +49,7 @@ Gbwt::decodeRecord(graph::Handle node, util::MemTracer* tracer) const
     util::traceWork(tracer, size * 4);
     util::ByteCursor cursor(data, size);
     cursor.enterSection("gbwt-record");
-    return DecodedRecord::decode(cursor);
+    DecodedRecord::decodeInto(cursor, out);
 }
 
 SearchState

@@ -17,6 +17,7 @@
 #include "graph/handle.h"
 #include "util/cursor.h"
 #include "util/mem_tracer.h"
+#include "util/prefetch.h"
 #include "util/varint.h"
 
 namespace mg::gbwt {
@@ -59,6 +60,29 @@ class Gbwt
      */
     DecodedRecord decodeRecord(graph::Handle node,
                                util::MemTracer* tracer = nullptr) const;
+
+    /**
+     * decodeRecord() into an existing record, reusing its vector capacity
+     * (the CachedGBWT's warm-entry path; see DecodedRecord::decodeInto).
+     */
+    void decodeRecordInto(graph::Handle node, DecodedRecord& out,
+                          util::MemTracer* tracer = nullptr) const;
+
+    /**
+     * Software-prefetch the compressed bytes of a node's record (the next
+     * memory the probe/extend loop will decode on a cache miss).  Purely a
+     * hint: no decoding, no tracing, safe for any handle.
+     */
+    void
+    prefetchRecord(graph::Handle node) const
+    {
+        uint64_t slot = node.packed();
+        if (slot + 1 >= recordOffsets_.size()) {
+            return;
+        }
+        util::prefetchSpan(arena_.data() + recordOffsets_[slot],
+                           recordOffsets_[slot + 1] - recordOffsets_[slot]);
+    }
 
     /** State covering all haplotype visits to an oriented node. */
     SearchState find(graph::Handle node,

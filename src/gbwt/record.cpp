@@ -56,8 +56,16 @@ std::vector<SearchState>
 DecodedRecord::successorStates(const SearchState& state) const
 {
     std::vector<SearchState> out;
+    successorStatesInto(state, out);
+    return out;
+}
+
+void
+DecodedRecord::successorStatesInto(const SearchState& state,
+                                   std::vector<SearchState>& out) const
+{
     if (state.empty()) {
-        return out;
+        return;
     }
     for (const RecordEdge& edge : edges_) {
         if (!edge.successor.valid()) {
@@ -68,7 +76,6 @@ DecodedRecord::successorStates(const SearchState& state) const
             out.push_back(next);
         }
     }
-    return out;
 }
 
 size_t
@@ -100,30 +107,40 @@ DecodedRecord::encode(util::ByteWriter& writer) const
 DecodedRecord
 DecodedRecord::decode(util::ByteCursor& cursor)
 {
+    DecodedRecord record;
+    decodeInto(cursor, record);
+    return record;
+}
+
+void
+DecodedRecord::decodeInto(util::ByteCursor& cursor, DecodedRecord& out)
+{
     // Fault point: a bit-flipped record surviving the container checksum,
     // or an allocation failure while decompressing under memory pressure.
     fault::inject("gbwt.record.decode");
+
+    out.edges_.clear();
+    out.runs_.clear();
+    out.numVisits_ = 0;
 
     uint64_t num_edges = cursor.getVarint();
     // Every edge takes at least two bytes; bounding the count before the
     // reserve keeps a corrupted varint from requesting terabytes.
     cursor.check(num_edges <= cursor.remaining(), util::StatusCode::Corrupt,
                  "record edge count exceeds remaining payload");
-    std::vector<RecordEdge> edges;
-    edges.reserve(num_edges);
+    out.edges_.reserve(num_edges);
     uint64_t packed = 0;
     for (uint64_t i = 0; i < num_edges; ++i) {
         packed += cursor.getVarint();
         RecordEdge edge;
         edge.successor = graph::Handle::fromPacked(packed);
         edge.offset = cursor.getVarint();
-        edges.push_back(edge);
+        out.edges_.push_back(edge);
     }
     uint64_t num_runs = cursor.getVarint();
     cursor.check(num_runs <= cursor.remaining(), util::StatusCode::Corrupt,
                  "record run count exceeds remaining payload");
-    std::vector<RecordRun> runs;
-    runs.reserve(num_runs);
+    out.runs_.reserve(num_runs);
     uint64_t visits = 0;
     for (uint64_t i = 0; i < num_runs; ++i) {
         uint64_t rank = cursor.getVarint();
@@ -137,9 +154,9 @@ DecodedRecord::decode(util::ByteCursor& cursor)
         run.edgeRank = static_cast<uint32_t>(rank);
         run.length = static_cast<uint32_t>(length);
         visits += run.length;
-        runs.push_back(run);
+        out.runs_.push_back(run);
     }
-    return DecodedRecord(std::move(edges), std::move(runs), visits);
+    out.numVisits_ = visits;
 }
 
 } // namespace mg::gbwt

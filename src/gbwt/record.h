@@ -85,6 +85,14 @@ class DecodedRecord
      */
     std::vector<SearchState> successorStates(const SearchState& state) const;
 
+    /**
+     * successorStates() appended into a caller-owned buffer (not cleared).
+     * The extension kernel reuses one buffer across all steps of a mapping
+     * run, so the steady-state query allocates nothing.
+     */
+    void successorStatesInto(const SearchState& state,
+                             std::vector<SearchState>& out) const;
+
     /** Approximate decoded footprint in bytes (for cache accounting). */
     size_t footprintBytes() const;
 
@@ -94,6 +102,14 @@ class DecodedRecord
     /** Inverse of encode().  Bounds- and consistency-checked: malformed
      *  records throw StatusError with the cursor's provenance. */
     static DecodedRecord decode(util::ByteCursor& cursor);
+
+    /**
+     * decode() into an existing record, reusing its edge/run vector
+     * capacity — the CachedGBWT's epoch reset keeps decoded-record storage
+     * alive across reads precisely so this path stops allocating once the
+     * per-thread cache is warm.
+     */
+    static void decodeInto(util::ByteCursor& cursor, DecodedRecord& out);
 
   private:
     std::vector<RecordEdge> edges_; // sorted by successor handle

@@ -28,7 +28,7 @@ postProcess(const std::string& read_name,
     const map::GaplessExtension& best = *kept.front();
     alignment.mapped = true;
     alignment.onReverseRead = best.onReverseRead;
-    alignment.path = best.path;
+    alignment.path.assign(best.path.begin(), best.path.end());
     alignment.startOffset = best.startOffset;
     alignment.readBegin = best.readBegin;
     alignment.readEnd = best.readEnd;

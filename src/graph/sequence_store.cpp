@@ -1,0 +1,22 @@
+#include "graph/sequence_store.h"
+
+#include "util/dna.h"
+
+namespace mg::graph {
+
+void
+SequenceStore::addNode(std::string_view forward_sequence)
+{
+    if (offsets_.empty()) {
+        offsets_.push_back(0);
+    }
+    arena_.append(forward_sequence);
+    offsets_.push_back(arena_.size());
+    for (size_t i = forward_sequence.size(); i-- > 0;) {
+        arena_.push_back(util::complementBase(forward_sequence[i]));
+    }
+    offsets_.push_back(arena_.size());
+    ++numNodes_;
+}
+
+} // namespace mg::graph

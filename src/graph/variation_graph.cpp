@@ -19,8 +19,8 @@ VariationGraph::addNode(std::string sequence)
     MG_CHECK(!sequence.empty(), "node sequences must be non-empty");
     MG_CHECK(util::isDna(sequence), "node sequences must be ACGT");
     totalSequence_ += sequence.size();
-    sequences_.push_back(std::move(sequence));
-    return static_cast<NodeId>(sequences_.size());
+    store_.addNode(sequence);
+    return static_cast<NodeId>(store_.numNodes());
 }
 
 void
@@ -68,17 +68,15 @@ std::string_view
 VariationGraph::sequenceView(NodeId id) const
 {
     MG_ASSERT(hasNode(id));
-    return sequences_[id - 1];
+    return store_.forwardView(id);
 }
 
 std::string
 VariationGraph::sequence(Handle handle) const
 {
-    std::string_view fwd = sequenceView(handle.id());
-    if (!handle.isReverse()) {
-        return std::string(fwd);
-    }
-    return util::reverseComplement(fwd);
+    MG_ASSERT(hasNode(handle.id()));
+    // Both orientations live in the arena; no reverse complement needed.
+    return std::string(store_.view(handle));
 }
 
 const std::vector<Handle>&
@@ -158,8 +156,8 @@ void
 VariationGraph::validate() const
 {
     for (NodeId id = 1; id <= numNodes(); ++id) {
-        MG_CHECK(!sequences_[id - 1].empty(), "empty sequence at node ", id);
-        MG_CHECK(util::isDna(sequences_[id - 1]),
+        MG_CHECK(!sequenceView(id).empty(), "empty sequence at node ", id);
+        MG_CHECK(util::isDna(sequenceView(id)),
                  "non-DNA sequence at node ", id);
         for (bool reverse : {false, true}) {
             Handle handle(id, reverse);

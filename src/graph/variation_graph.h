@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/handle.h"
+#include "graph/sequence_store.h"
 #include "util/dna.h"
 
 namespace mg::graph {
@@ -46,17 +47,17 @@ class VariationGraph
     /** Register a named haplotype path; steps must be adjacent via edges. */
     void addPath(std::string name, std::vector<Handle> steps);
 
-    size_t numNodes() const { return sequences_.size(); }
+    size_t numNodes() const { return store_.numNodes(); }
     size_t numEdges() const { return numEdges_; }
     size_t numPaths() const { return paths_.size(); }
 
     bool hasNode(NodeId id) const
     {
-        return id >= 1 && id <= sequences_.size();
+        return id >= 1 && id <= store_.numNodes();
     }
 
     /** Length of a node's sequence. */
-    size_t length(NodeId id) const { return sequenceView(id).size(); }
+    size_t length(NodeId id) const { return store_.length(id); }
 
     /** Forward-strand sequence of a node. */
     std::string_view sequenceView(NodeId id) const;
@@ -65,18 +66,29 @@ class VariationGraph
     std::string sequence(Handle handle) const;
 
     /**
-     * Single base of an oriented handle at the given offset, without
-     * materializing a reverse-complement string (extension hot path).
+     * Sequence of an oriented handle as a view into the flattened
+     * both-orientation arena (extension hot path): the reverse strand is
+     * pre-materialized, so no per-base complement is ever computed.  The
+     * view stays valid until the next addNode().
      */
+    std::string_view
+    orientedView(Handle handle) const
+    {
+        return store_.view(handle);
+    }
+
+    /** Single base of an oriented handle at the given offset. */
     char
     base(Handle handle, size_t offset) const
     {
-        std::string_view seq = sequenceView(handle.id());
-        if (!handle.isReverse()) {
-            return seq[offset];
-        }
-        return util::complementBase(seq[seq.size() - 1 - offset]);
+        return store_.base(handle, offset);
     }
+
+    /** The flattened sequence arena (footprint reporting, tests). */
+    const SequenceStore& sequenceStore() const { return store_; }
+
+    /** Pre-size the sequence arena for an expected base total. */
+    void reserveSequence(size_t bases) { store_.reserveBases(bases); }
 
     /** Outgoing neighbors of an oriented handle. */
     const std::vector<Handle>& successors(Handle handle) const;
@@ -109,7 +121,7 @@ class VariationGraph
     void validate() const;
 
   private:
-    std::vector<std::string> sequences_;           // node id - 1 -> sequence
+    SequenceStore store_;                          // flattened fwd+rc arena
     std::vector<std::vector<Handle>> adjacency_;   // handle.packed() -> succ
     std::vector<PathEntry> paths_;
     size_t numEdges_ = 0;

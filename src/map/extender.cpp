@@ -10,31 +10,7 @@ namespace mg::map {
 
 namespace {
 
-/** One in-flight walk state of the DFS over haplotype-supported branches. */
-struct WalkState
-{
-    gbwt::SearchState state;       // haplotype range at the current node
-    uint32_t nodeOffset = 0;       // next base to compare within the node
-    uint32_t queryPos = 0;         // next query character to compare
-    int mismatches = 0;
-    int32_t score = 0;
-    std::vector<graph::Handle> path;
-    std::vector<uint32_t> mismatchOffsets;
-    // Snapshot at the maximum-score prefix end (always a matching base),
-    // used to trim the walk to its best local alignment when it stops.
-    uint32_t bestQueryPos = 0;
-    uint32_t bestEndOffset = 0;
-    int32_t bestScore = 0;
-    size_t bestMismatches = 0;
-    size_t bestPathLen = 0;
-};
-
-/** Walk result plus its end offset inside the final node. */
-struct WalkCandidate
-{
-    DirectionalWalk walk;
-    bool valid = false;
-};
+using detail::WalkState;
 
 /** Deterministic "is a better than b" for finished walk prefixes. */
 bool
@@ -52,11 +28,19 @@ betterCandidate(const DirectionalWalk& a, const DirectionalWalk& b)
     return a.mismatchOffsets < b.mismatchOffsets;
 }
 
+/** Per-thread scratch backing the convenience overloads. */
+ExtendScratch&
+threadScratch()
+{
+    static thread_local ExtendScratch scratch;
+    return scratch;
+}
+
 } // namespace
 
 DirectionalWalk
 Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
-               gbwt::CachedGbwt& cache) const
+               gbwt::CachedGbwt& cache, ExtendScratch& scratch) const
 {
     DirectionalWalk best; // empty walk: consumed 0, score 0
     if (query.empty()) {
@@ -67,7 +51,8 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
         return best; // no haplotype visits this node in this orientation
     }
 
-    std::vector<WalkState> stack;
+    std::vector<WalkState>& stack = scratch.stack;
+    stack.clear();
     {
         WalkState init;
         init.state = root;
@@ -75,6 +60,7 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
         stack.push_back(std::move(init));
     }
     size_t explored = 0;
+    const uint32_t query_size = static_cast<uint32_t>(query.size());
 
     auto finish = [&](const WalkState& s) {
         // Trim to the maximum-score prefix (it always ends on a match).
@@ -103,28 +89,41 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
             break;
         }
         graph::Handle handle = s.state.node;
-        uint32_t len = static_cast<uint32_t>(graph_.length(handle.id()));
+        // One contiguous span of the flattened both-orientation arena:
+        // reverse-strand bases are pre-materialized, so the compare loop
+        // below never calls a per-base complement.
+        std::string_view node_seq = graph_.orientedView(handle);
+        const uint32_t len = static_cast<uint32_t>(node_seq.size());
         bool dead = false;
 
-        // Consume bases within the current node.
-        if (s.nodeOffset < len && s.queryPos < query.size()) {
+        if (s.nodeOffset < len && s.queryPos < query_size) {
             s.path.push_back(handle);
             // The walk-and-compare inner loop: report the graph bases and
             // query bytes about to be read, and the compare/branch work.
-            uint32_t span = std::min<uint32_t>(
-                len - s.nodeOffset,
-                static_cast<uint32_t>(query.size()) - s.queryPos);
-            std::string_view node_seq = graph_.sequenceView(handle.id());
+            uint32_t span =
+                std::min<uint32_t>(len - s.nodeOffset,
+                                   query_size - s.queryPos);
             util::traceAccess(tracer, node_seq.data() + s.nodeOffset, span);
             util::traceAccess(tracer, query.data() + s.queryPos, span);
             util::traceWork(tracer, span * 6);
         }
-        while (s.nodeOffset < len && s.queryPos < query.size()) {
-            char graph_base = graph_.base(handle, s.nodeOffset);
-            if (graph_base == query[s.queryPos]) {
-                s.score += params_.matchScore;
-                ++s.nodeOffset;
-                ++s.queryPos;
+        // Consume bases within the current node, a match-run at a time.
+        // Within a run the score rises by matchScore per base, so taking
+        // the best-prefix snapshot once at the run's end is exactly
+        // equivalent to the per-base update.
+        while (s.nodeOffset < len && s.queryPos < query_size) {
+            const uint32_t span = std::min<uint32_t>(
+                len - s.nodeOffset, query_size - s.queryPos);
+            const char* graph_bases = node_seq.data() + s.nodeOffset;
+            const char* query_bases = query.data() + s.queryPos;
+            uint32_t run = 0;
+            while (run < span && graph_bases[run] == query_bases[run]) {
+                ++run;
+            }
+            if (run > 0) {
+                s.score += static_cast<int32_t>(run) * params_.matchScore;
+                s.nodeOffset += run;
+                s.queryPos += run;
                 if (s.score >= s.bestScore) {
                     s.bestQueryPos = s.queryPos;
                     s.bestEndOffset = s.nodeOffset;
@@ -132,20 +131,22 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
                     s.bestMismatches = s.mismatchOffsets.size();
                     s.bestPathLen = s.path.size();
                 }
-            } else {
-                if (s.mismatches + 1 > params_.maxMismatches) {
-                    dead = true;
-                    break;
-                }
-                ++s.mismatches;
-                s.score -= params_.mismatchPenalty;
-                s.mismatchOffsets.push_back(s.queryPos);
-                ++s.nodeOffset;
-                ++s.queryPos;
             }
+            if (run == span) {
+                continue; // node or query exhausted; loop condition exits
+            }
+            if (s.mismatches + 1 > params_.maxMismatches) {
+                dead = true;
+                break;
+            }
+            ++s.mismatches;
+            s.score -= params_.mismatchPenalty;
+            s.mismatchOffsets.push_back(s.queryPos);
+            ++s.nodeOffset;
+            ++s.queryPos;
         }
 
-        if (dead || s.queryPos >= query.size()) {
+        if (dead || s.queryPos >= query_size) {
             finish(s);
             continue;
         }
@@ -153,9 +154,10 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
         // Node exhausted with query left: branch on haplotype-supported
         // successors.  Push in descending handle order so the DFS visits
         // smaller handles first (determinism).
-        std::vector<gbwt::SearchState> successors;
+        std::vector<gbwt::SearchState>& successors = scratch.successors;
+        successors.clear();
         if (params_.haplotypeConsistent) {
-            successors = cache.successorStates(s.state);
+            cache.successorStatesInto(s.state, successors);
         } else {
             // Ablation mode: walk every graph edge with dummy states.
             for (graph::Handle succ : graph_.successors(handle)) {
@@ -170,19 +172,37 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
                   [](const gbwt::SearchState& a, const gbwt::SearchState& b) {
                       return b.node < a.node;
                   });
-        for (gbwt::SearchState& succ : successors) {
-            WalkState next = s;      // copy: branches are rare in bubbles
-            next.state = succ;
+        // Warm the cache slots and compressed records the branches are
+        // about to probe; pure hint, no decode, no stats.
+        for (const gbwt::SearchState& succ : successors) {
+            cache.prefetch(succ.node);
+        }
+        // All but the last branch copy the state (memcpy-cheap with inline
+        // storage); the last one moves it — the common single-successor
+        // step of a bubble chain copies nothing.
+        for (size_t i = 0; i + 1 < successors.size(); ++i) {
+            WalkState next = s;
+            next.state = successors[i];
             next.nodeOffset = 0;
             stack.push_back(std::move(next));
         }
+        s.state = successors.back();
+        s.nodeOffset = 0;
+        stack.push_back(std::move(s));
     }
     return best;
 }
 
+DirectionalWalk
+Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
+               gbwt::CachedGbwt& cache) const
+{
+    return walk(start, offset, query, cache, threadScratch());
+}
+
 GaplessExtension
 Extender::extendSeed(const Seed& seed, std::string_view sequence,
-                     gbwt::CachedGbwt& cache) const
+                     gbwt::CachedGbwt& cache, ExtendScratch& scratch) const
 {
     const graph::Position& pos = seed.position;
     const uint32_t read_offset = seed.readOffset;
@@ -192,15 +212,17 @@ Extender::extendSeed(const Seed& seed, std::string_view sequence,
     MG_ASSERT(pos.offset < node_len);
 
     // Rightward: match the read suffix starting at the seed base itself.
-    DirectionalWalk right =
-        walk(pos.handle, pos.offset, sequence.substr(read_offset), cache);
+    DirectionalWalk right = walk(pos.handle, pos.offset,
+                                 sequence.substr(read_offset), cache,
+                                 scratch);
 
     // Leftward: match the reverse complement of the read prefix by walking
-    // the flipped start node from the mirrored offset.
-    std::string left_query = util::reverseComplement(
-        sequence.substr(0, read_offset));
-    DirectionalWalk left =
-        walk(pos.handle.flip(), node_len - pos.offset, left_query, cache);
+    // the flipped start node from the mirrored offset.  The scratch string
+    // keeps its capacity across seeds.
+    util::reverseComplementInto(sequence.substr(0, read_offset),
+                                scratch.leftQuery);
+    DirectionalWalk left = walk(pos.handle.flip(), node_len - pos.offset,
+                                scratch.leftQuery, cache, scratch);
 
     GaplessExtension ext;
     ext.onReverseRead = seed.onReverseRead;
@@ -209,9 +231,9 @@ Extender::extendSeed(const Seed& seed, std::string_view sequence,
     ext.score = left.score + right.score;
 
     // Mismatch offsets: left walk position j maps to read_offset - 1 - j.
-    for (auto it = left.mismatchOffsets.rbegin();
-         it != left.mismatchOffsets.rend(); ++it) {
-        ext.mismatchOffsets.push_back(read_offset - 1 - *it);
+    for (size_t i = left.mismatchOffsets.size(); i > 0; --i) {
+        ext.mismatchOffsets.push_back(read_offset - 1 -
+                                      left.mismatchOffsets[i - 1]);
     }
     for (uint32_t off : right.mismatchOffsets) {
         ext.mismatchOffsets.push_back(read_offset + off);
@@ -219,8 +241,8 @@ Extender::extendSeed(const Seed& seed, std::string_view sequence,
 
     // Path: flipped left walk reversed, then the right walk; the seed node
     // appears in both when each consumed bases there.
-    for (auto it = left.path.rbegin(); it != left.path.rend(); ++it) {
-        ext.path.push_back(it->flip());
+    for (size_t i = left.path.size(); i > 0; --i) {
+        ext.path.push_back(left.path[i - 1].flip());
     }
     if (!ext.path.empty() && !right.path.empty() &&
         ext.path.back() == right.path.front()) {
@@ -245,6 +267,13 @@ Extender::extendSeed(const Seed& seed, std::string_view sequence,
         ext.score += params_.fullLengthBonus;
     }
     return ext;
+}
+
+GaplessExtension
+Extender::extendSeed(const Seed& seed, std::string_view sequence,
+                     gbwt::CachedGbwt& cache) const
+{
+    return extendSeed(seed, sequence, cache, threadScratch());
 }
 
 } // namespace mg::map

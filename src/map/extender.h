@@ -8,10 +8,19 @@
  * allowing a small budget of mismatches.  The per-node GBWT record lookups
  * this walk performs are exactly the accesses the CachedGBWT exists to
  * serve.
+ *
+ * Hot-path memory overhaul: walk states keep their paths and mismatch
+ * lists in SmallVector inline storage, the base-compare loop runs over the
+ * graph's flattened both-orientation sequence arena
+ * (graph::SequenceStore) as a contiguous span, and all growable buffers
+ * (DFS stack, successor list, left-query string) live in a caller-owned
+ * ExtendScratch reused across seeds — the steady-state extend loop
+ * performs zero heap allocations.
  */
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -19,6 +28,7 @@
 #include "graph/variation_graph.h"
 #include "map/extension.h"
 #include "map/seed.h"
+#include "util/small_vector.h"
 
 namespace mg::map {
 
@@ -48,18 +58,55 @@ struct DirectionalWalk
     /** Query characters consumed (after trailing-mismatch trimming). */
     uint32_t consumed = 0;
     /** Query offsets of mismatches within the consumed prefix. */
-    std::vector<uint32_t> mismatchOffsets;
+    MismatchOffsets mismatchOffsets;
     /** Oriented nodes entered, in walk order (may be empty). */
-    std::vector<graph::Handle> path;
+    ExtensionPath path;
     /** Accumulated score of the consumed prefix. */
     int32_t score = 0;
     /** Offset just past the last consumed base within path.back(). */
     uint32_t endOffset = 0;
 };
 
+namespace detail {
+
+/** One in-flight walk state of the DFS over haplotype-supported branches.
+ *  Inline-storage members make branch copies plain memcpys. */
+struct WalkState
+{
+    gbwt::SearchState state;       // haplotype range at the current node
+    uint32_t nodeOffset = 0;       // next base to compare within the node
+    uint32_t queryPos = 0;         // next query character to compare
+    int mismatches = 0;
+    int32_t score = 0;
+    ExtensionPath path;
+    MismatchOffsets mismatchOffsets;
+    // Snapshot at the maximum-score prefix end (always a matching base),
+    // used to trim the walk to its best local alignment when it stops.
+    uint32_t bestQueryPos = 0;
+    uint32_t bestEndOffset = 0;
+    int32_t bestScore = 0;
+    size_t bestMismatches = 0;
+    size_t bestPathLen = 0;
+};
+
+} // namespace detail
+
 /**
- * Stateless extension routines; all mutable state (the GBWT cache) is
- * owned by the caller, one per worker thread.
+ * Reusable buffers for the extension kernel, owned by the caller (one per
+ * worker thread, typically inside MapperState).  After the first few seeds
+ * every capacity has reached its high-water mark and extension allocates
+ * nothing.
+ */
+struct ExtendScratch
+{
+    std::vector<detail::WalkState> stack;      // DFS worklist
+    std::vector<gbwt::SearchState> successors; // per-node branch buffer
+    std::string leftQuery;                     // reverse-complement prefix
+};
+
+/**
+ * Stateless extension routines; all mutable state (the GBWT cache, the
+ * scratch buffers) is owned by the caller, one per worker thread.
  */
 class Extender
 {
@@ -76,6 +123,11 @@ class Extender
      * set; seeding produced the seed against exactly that string.
      */
     GaplessExtension extendSeed(const Seed& seed, std::string_view sequence,
+                                gbwt::CachedGbwt& cache,
+                                ExtendScratch& scratch) const;
+
+    /** Convenience overload using a per-thread scratch (tests, tools). */
+    GaplessExtension extendSeed(const Seed& seed, std::string_view sequence,
                                 gbwt::CachedGbwt& cache) const;
 
     /**
@@ -83,6 +135,11 @@ class Extender
      * at `offset` within oriented node `start`, following only
      * haplotype-supported edges.  Exposed for unit testing.
      */
+    DirectionalWalk walk(graph::Handle start, uint32_t offset,
+                         std::string_view query, gbwt::CachedGbwt& cache,
+                         ExtendScratch& scratch) const;
+
+    /** Convenience overload using a per-thread scratch (tests, tools). */
     DirectionalWalk walk(graph::Handle start, uint32_t offset,
                          std::string_view query,
                          gbwt::CachedGbwt& cache) const;

@@ -14,21 +14,28 @@
 #include <vector>
 
 #include "graph/handle.h"
+#include "util/small_vector.h"
 
 namespace mg::map {
+
+/** Inline path capacity: a 150 bp read over bubble-chain nodes of 1-32 bp
+ *  crosses a dozen-odd nodes; 16 keeps nearly every extension heap-free. */
+using ExtensionPath = util::SmallVector<graph::Handle, 16>;
+/** Mismatch budget is 4 per direction, so 8 covers every extension. */
+using MismatchOffsets = util::SmallVector<uint32_t, 8>;
 
 /** One gapless extension of one seed. */
 struct GaplessExtension
 {
     /** Oriented nodes walked, in read order. */
-    std::vector<graph::Handle> path;
+    ExtensionPath path;
     /** Offset in path.front() where the alignment starts. */
     uint32_t startOffset = 0;
     /** Read interval [readBegin, readEnd) covered by the alignment. */
     uint32_t readBegin = 0;
     uint32_t readEnd = 0;
     /** Read offsets of mismatching bases, ascending. */
-    std::vector<uint32_t> mismatchOffsets;
+    MismatchOffsets mismatchOffsets;
     /** Alignment score (matches * match - mismatches * penalty + bonus). */
     int32_t score = 0;
     /** True if the extension was computed on the reverse-complement read. */

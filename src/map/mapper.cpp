@@ -72,9 +72,9 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
     }
     const double best_score = clusters.front().score;
     const double cutoff = best_score * params_.clusterScoreFraction;
-    // The reverse complement is computed once per read; both orientations'
-    // extensions compare against their own oriented sequence.
-    std::string reverse_seq;
+    // The reverse complement is computed once per read into the state's
+    // reusable buffer; both orientations' extensions compare against their
+    // own oriented sequence.
     bool reverse_ready = false;
 
     for (size_t c = 0; c < clusters.size(); ++c) {
@@ -92,16 +92,22 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
         std::string_view oriented = read.sequence;
         if (cluster.onReverseRead) {
             if (!reverse_ready) {
-                reverse_seq = util::reverseComplement(read.sequence);
+                util::reverseComplementInto(read.sequence,
+                                            state.reverseSeq);
                 reverse_ready = true;
             }
-            oriented = reverse_seq;
+            oriented = state.reverseSeq;
         }
 
         // Pick the strongest seeds of the cluster, one per read offset.
-        std::vector<uint32_t> chosen;
+        // Both index buffers live in MapperState and keep their capacity
+        // across clusters and reads.
+        std::vector<uint32_t>& chosen = state.chosenSeeds;
+        chosen.clear();
         {
-            std::vector<uint32_t> sorted = cluster.seedIndices;
+            std::vector<uint32_t>& sorted = state.sortedSeeds;
+            sorted.assign(cluster.seedIndices.begin(),
+                          cluster.seedIndices.end());
             std::sort(sorted.begin(), sorted.end(),
                       [&](uint32_t a, uint32_t b) {
                           if (seeds[a].score != seeds[b].score) {
@@ -125,7 +131,8 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
         perf::ScopedRegion region(state.log, regionExtend_);
         for (uint32_t idx : chosen) {
             GaplessExtension ext =
-                extender_.extendSeed(seeds[idx], oriented, state.cache());
+                extender_.extendSeed(seeds[idx], oriented, state.cache(),
+                                     state.extendScratch);
             if (ext.readEnd > ext.readBegin) {
                 result.extensions.push_back(std::move(ext));
             }

@@ -53,39 +53,32 @@ struct MapperParams
 /**
  * Per-worker-thread mutable state plus optional instrumentation handles.
  *
- * The CachedGBWT is recreated for every read (freshCache()), mirroring
+ * The CachedGBWT starts fresh for every read (freshCache()), mirroring
  * Giraffe's extender, which constructs a CachedGBWT per mapping task.
  * This short lifetime is what makes the *initial capacity* a meaningful
  * tuning parameter (Section VII-B): a table far larger than one read's
- * working set pays initialization and locality costs on every read, while
- * a tiny one rehashes repeatedly.
+ * working set pays locality costs on every read, while a tiny one rehashes
+ * repeatedly.  With the epoch-stamped cache, "fresh" is an O(1) generation
+ * bump — the slot array, decoded-record storage, and every scratch buffer
+ * below are reused, so steady-state mapping allocates nothing per read.
  */
 class MapperState
 {
   public:
     MapperState(const gbwt::Gbwt& gbwt, size_t cache_capacity,
                 util::MemTracer* tracer = nullptr)
-        : tracer(tracer), gbwt_(gbwt), capacity_(cache_capacity)
-    {
-        cache_ = std::make_unique<gbwt::CachedGbwt>(gbwt_, capacity_,
-                                                    tracer);
-    }
+        : tracer(tracer), cache_(gbwt, cache_capacity, tracer)
+    {}
 
     /** The current read's decode cache. */
-    gbwt::CachedGbwt& cache() { return *cache_; }
+    gbwt::CachedGbwt& cache() { return cache_; }
 
-    /** Start a new read: accumulate stats, rebuild the cache. */
+    /** Start a new read: accumulate stats, reset the cache (O(1)). */
     void
     freshCache()
     {
-        const gbwt::CacheStats& stats = cache_->stats();
-        accumulated_.lookups += stats.lookups;
-        accumulated_.hits += stats.hits;
-        accumulated_.decodes += stats.decodes;
-        accumulated_.rehashes += stats.rehashes;
-        accumulated_.probes += stats.probes;
-        cache_ = std::make_unique<gbwt::CachedGbwt>(gbwt_, capacity_,
-                                                    tracer);
+        accumulated_.accumulate(cache_.stats());
+        cache_.clear();
     }
 
     /** Cache statistics accumulated across all reads so far. */
@@ -93,12 +86,7 @@ class MapperState
     totalStats() const
     {
         gbwt::CacheStats total = accumulated_;
-        const gbwt::CacheStats& stats = cache_->stats();
-        total.lookups += stats.lookups;
-        total.hits += stats.hits;
-        total.decodes += stats.decodes;
-        total.rehashes += stats.rehashes;
-        total.probes += stats.probes;
+        total.accumulate(cache_.stats());
         return total;
     }
 
@@ -106,10 +94,15 @@ class MapperState
     /** Region instrumentation (null when profiling is off). */
     perf::Profiler::ThreadLog* log = nullptr;
 
+    /** Extension-kernel buffers reused across seeds and reads. */
+    ExtendScratch extendScratch;
+    /** Cluster-processing buffers reused across clusters and reads. */
+    std::vector<uint32_t> sortedSeeds;
+    std::vector<uint32_t> chosenSeeds;
+    std::string reverseSeq;
+
   private:
-    const gbwt::Gbwt& gbwt_;
-    size_t capacity_;
-    std::unique_ptr<gbwt::CachedGbwt> cache_;
+    gbwt::CachedGbwt cache_;
     gbwt::CacheStats accumulated_;
 };
 

@@ -64,11 +64,17 @@ std::string
 reverseComplement(std::string_view seq)
 {
     std::string out;
-    out.reserve(seq.size());
-    for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
-        out.push_back(complementBase(*it));
-    }
+    reverseComplementInto(seq, out);
     return out;
+}
+
+void
+reverseComplementInto(std::string_view seq, std::string& out)
+{
+    out.resize(seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        out[i] = complementBase(seq[seq.size() - 1 - i]);
+    }
 }
 
 uint64_t

@@ -32,6 +32,14 @@ bool isDna(std::string_view seq);
 std::string reverseComplement(std::string_view seq);
 
 /**
+ * Reverse complement written into a caller-owned buffer (replacing its
+ * contents).  The mapping hot path reuses one buffer per thread so the
+ * per-read reverse complement costs no allocation once capacity is warm.
+ * `seq` must not alias `out`.
+ */
+void reverseComplementInto(std::string_view seq, std::string& out);
+
+/**
  * Invertible hash over 64-bit keys (Thomas Wang / murmur-style finalizer).
  * Used to order k-mers for minimizer selection so that the lexicographically
  * boring poly-A k-mers do not dominate the index, mirroring the hashed

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * SmallVector<T, N>: a vector with N elements of inline storage that spills
+ * to the heap only when it grows past N.  Built for the extension kernel's
+ * per-walk state (paths, mismatch offsets), where typical sizes are a
+ * handful of elements and the paper shows heap traffic dominating the hot
+ * loop: with inline storage the DFS branch copies become plain memcpys and
+ * the steady-state extend loop performs zero allocations.
+ *
+ * Restricted to trivially copyable element types — exactly what the mapping
+ * kernel stores (Handle, uint32_t) — which keeps copies/moves memcpy-fast
+ * and the implementation small enough to audit.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mg::util {
+
+template <typename T, size_t N>
+class SmallVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector is restricted to trivially copyable types");
+    static_assert(N > 0, "inline capacity must be non-zero");
+
+  public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    SmallVector() = default;
+
+    SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+    SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+    SmallVector(SmallVector&& other) noexcept { moveFrom(std::move(other)); }
+
+    SmallVector&
+    operator=(const SmallVector& other)
+    {
+        if (this != &other) {
+            assign(other.begin(), other.end());
+        }
+        return *this;
+    }
+
+    SmallVector&
+    operator=(SmallVector&& other) noexcept
+    {
+        if (this != &other) {
+            releaseHeap();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    SmallVector&
+    operator=(std::initializer_list<T> init)
+    {
+        assign(init.begin(), init.end());
+        return *this;
+    }
+
+    ~SmallVector() { releaseHeap(); }
+
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+    bool empty() const { return size_ == 0; }
+    /** True while elements live in the inline buffer (diagnostics/tests). */
+    bool inlined() const { return data_ == inlineData(); }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T& operator[](size_t i) { return data_[i]; }
+    const T& operator[](size_t i) const { return data_[i]; }
+    T& front() { return data_[0]; }
+    const T& front() const { return data_[0]; }
+    T& back() { return data_[size_ - 1]; }
+    const T& back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(const T& value)
+    {
+        if (size_ == capacity_) {
+            grow(capacity_ * 2);
+        }
+        data_[size_++] = value;
+    }
+
+    void pop_back() { --size_; }
+
+    /** Drop all elements; keeps the current (possibly heap) capacity. */
+    void clear() { size_ = 0; }
+
+    void
+    reserve(size_t capacity)
+    {
+        if (capacity > capacity_) {
+            grow(capacity);
+        }
+    }
+
+    /** Shrink (no-op past size); never default-constructs garbage reads. */
+    void
+    resize(size_t size)
+    {
+        if (size > size_) {
+            reserve(size);
+            std::memset(static_cast<void*>(data_ + size_), 0,
+                        (size - size_) * sizeof(T));
+        }
+        size_ = size;
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        size_ = 0;
+        append(first, last);
+    }
+
+    template <typename It>
+    void
+    append(It first, It last)
+    {
+        size_t count = static_cast<size_t>(std::distance(first, last));
+        reserve(size_ + count);
+        for (; first != last; ++first) {
+            data_[size_++] = *first;
+        }
+    }
+
+    /** vector-style insert, supported at the end only (the kernel's use). */
+    template <typename It>
+    void
+    insert(const_iterator pos, It first, It last)
+    {
+        MG_ASSERT(pos == end());
+        append(first, last);
+    }
+
+    friend bool
+    operator==(const SmallVector& a, const SmallVector& b)
+    {
+        return a.size_ == b.size_ &&
+               std::equal(a.begin(), a.end(), b.begin());
+    }
+
+    friend bool
+    operator!=(const SmallVector& a, const SmallVector& b)
+    {
+        return !(a == b);
+    }
+
+    friend bool
+    operator<(const SmallVector& a, const SmallVector& b)
+    {
+        return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                            b.end());
+    }
+
+  private:
+    T* inlineData() { return reinterpret_cast<T*>(inline_); }
+    const T* inlineData() const
+    {
+        return reinterpret_cast<const T*>(inline_);
+    }
+
+    void
+    releaseHeap()
+    {
+        if (data_ != inlineData()) {
+            delete[] reinterpret_cast<std::byte*>(data_);
+            data_ = inlineData();
+            capacity_ = N;
+        }
+    }
+
+    void
+    moveFrom(SmallVector&& other) noexcept
+    {
+        if (other.data_ != other.inlineData()) {
+            // Steal the heap buffer: O(1), iterators into it stay valid.
+            data_ = other.data_;
+            capacity_ = other.capacity_;
+            size_ = other.size_;
+            other.data_ = other.inlineData();
+            other.capacity_ = N;
+            other.size_ = 0;
+        } else {
+            data_ = inlineData();
+            capacity_ = N;
+            size_ = other.size_;
+            std::memcpy(static_cast<void*>(data_), other.data_,
+                        size_ * sizeof(T));
+            other.size_ = 0;
+        }
+    }
+
+    void
+    grow(size_t capacity)
+    {
+        capacity = std::max(capacity, size_ + 1);
+        T* fresh = reinterpret_cast<T*>(new std::byte[capacity * sizeof(T)]);
+        std::memcpy(static_cast<void*>(fresh), data_, size_ * sizeof(T));
+        releaseHeap();
+        data_ = fresh;
+        capacity_ = capacity;
+    }
+
+    alignas(T) std::byte inline_[N * sizeof(T)];
+    T* data_ = inlineData();
+    size_t size_ = 0;
+    size_t capacity_ = N;
+};
+
+/** Mixed comparisons with std::vector (tests and call sites interoperate). */
+template <typename T, size_t N>
+bool
+operator==(const SmallVector<T, N>& a, const std::vector<T>& b)
+{
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+template <typename T, size_t N>
+bool
+operator==(const std::vector<T>& a, const SmallVector<T, N>& b)
+{
+    return b == a;
+}
+
+} // namespace mg::util

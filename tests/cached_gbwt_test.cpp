@@ -136,6 +136,87 @@ TEST(CachedGbwtTest, ClearKeepsCapacityDropsEntries)
               pg.gbwt.nodeCount(Handle(1, false)));
 }
 
+TEST(CachedGbwtTest, ClearResetsStatsAndBumpsEpoch)
+{
+    sim::GeneratedPangenome pg = makePangenome(110, 1000, 2);
+    CachedGbwt cache(pg.gbwt, 64);
+    for (graph::NodeId id = 1; id <= 10; ++id) {
+        cache.record(Handle(id, false));
+    }
+    EXPECT_GT(cache.stats().lookups, 0u);
+    uint64_t epoch_before = cache.epoch();
+    cache.clear();
+    EXPECT_EQ(cache.epoch(), epoch_before + 1);
+    // Statistics reset with the generation (freshCache() accumulates the
+    // previous interval before clearing).
+    EXPECT_EQ(cache.stats().lookups, 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().decodes, 0u);
+    EXPECT_EQ(cache.stats().probes, 0u);
+    EXPECT_EQ(cache.stats().rehashes, 0u);
+}
+
+TEST(CachedGbwtTest, StaleGenerationEntriesMissAfterClear)
+{
+    sim::GeneratedPangenome pg = makePangenome(111, 1000, 2);
+    CachedGbwt cache(pg.gbwt, 64);
+    Handle h(3, false);
+    cache.record(h);
+    cache.record(h);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    cache.clear();
+    // The slot still physically holds the key, but its generation stamp is
+    // stale: the next access must decode again, exactly as a freshly
+    // constructed cache would.
+    cache.record(h);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().decodes, 1u);
+    // ... and from then on it hits again.
+    cache.record(h);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CachedGbwtTest, ClearedCacheMatchesFreshCacheOnEveryQuery)
+{
+    sim::GeneratedPangenome pg = makePangenome(112, 2000, 4);
+    CachedGbwt recycled(pg.gbwt, 64);
+    // Several generations of varied traffic, then compare a full sweep
+    // against a never-cleared fresh cache.
+    util::Rng rng(7);
+    for (int gen = 0; gen < 5; ++gen) {
+        for (int i = 0; i < 200; ++i) {
+            graph::NodeId id = 1 + rng.uniform(pg.graph.numNodes());
+            recycled.record(Handle(id, rng.chance(0.5)));
+        }
+        recycled.clear();
+    }
+    CachedGbwt fresh(pg.gbwt, 64);
+    for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
+        for (bool reverse : {false, true}) {
+            Handle h(id, reverse);
+            ASSERT_EQ(recycled.find(h), fresh.find(h));
+            ASSERT_EQ(recycled.nodeCount(h), fresh.nodeCount(h));
+        }
+    }
+    EXPECT_EQ(recycled.size(), fresh.size());
+}
+
+TEST(CachedGbwtTest, ClearShrinksGrownTableBackToInitialCapacity)
+{
+    sim::GeneratedPangenome pg = makePangenome(113, 4000, 4);
+    CachedGbwt cache(pg.gbwt, 8);
+    for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
+        cache.record(Handle(id, false));
+    }
+    EXPECT_GT(cache.capacity(), 8u); // rehash growth happened
+    cache.clear();
+    // A fresh mapping task starts at the tuned initial capacity again.
+    EXPECT_EQ(cache.capacity(), 8u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.nodeCount(Handle(1, false)),
+              pg.gbwt.nodeCount(Handle(1, false)));
+}
+
 TEST(CachedGbwtTest, FootprintGrowsWithEntries)
 {
     sim::GeneratedPangenome pg = makePangenome(107, 2000, 4);

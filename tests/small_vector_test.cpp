@@ -1,0 +1,205 @@
+/** Tests for util::SmallVector (inline-storage vector of the extension
+ *  kernel): spill to heap, move semantics, and iterator stability. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/handle.h"
+#include "util/small_vector.h"
+
+namespace mg::util {
+namespace {
+
+using Vec = SmallVector<uint32_t, 4>;
+
+TEST(SmallVectorTest, StartsInlineAndEmpty)
+{
+    Vec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.inlined());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVectorTest, PushBackWithinInlineCapacityStaysInline)
+{
+    Vec v;
+    for (uint32_t i = 0; i < 4; ++i) {
+        v.push_back(i * 10);
+    }
+    EXPECT_TRUE(v.inlined());
+    EXPECT_EQ(v.size(), 4u);
+    for (uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(v[i], i * 10);
+    }
+}
+
+TEST(SmallVectorTest, SpillsToHeapPastInlineCapacityKeepingContents)
+{
+    Vec v;
+    for (uint32_t i = 0; i < 100; ++i) {
+        v.push_back(i);
+    }
+    EXPECT_FALSE(v.inlined());
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_GE(v.capacity(), 100u);
+    for (uint32_t i = 0; i < 100; ++i) {
+        ASSERT_EQ(v[i], i);
+    }
+}
+
+TEST(SmallVectorTest, ClearKeepsSpilledCapacity)
+{
+    Vec v;
+    for (uint32_t i = 0; i < 64; ++i) {
+        v.push_back(i);
+    }
+    size_t capacity = v.capacity();
+    v.clear();
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), capacity);
+    EXPECT_FALSE(v.inlined()); // storage retained for reuse
+}
+
+TEST(SmallVectorTest, CopyIsIndependent)
+{
+    Vec a = {1, 2, 3};
+    Vec b = a;
+    b.push_back(4);
+    b[0] = 99;
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[0], 1u);
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 99u);
+}
+
+TEST(SmallVectorTest, MoveOfInlineVectorCopiesElements)
+{
+    Vec a = {7, 8};
+    Vec b = std::move(a);
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[0], 7u);
+    EXPECT_EQ(b[1], 8u);
+    EXPECT_TRUE(b.inlined());
+    EXPECT_EQ(a.size(), 0u); // moved-from is empty and reusable
+    a.push_back(1);
+    EXPECT_EQ(a[0], 1u);
+}
+
+TEST(SmallVectorTest, MoveOfSpilledVectorStealsBufferAndKeepsIterators)
+{
+    Vec a;
+    for (uint32_t i = 0; i < 32; ++i) {
+        a.push_back(i);
+    }
+    ASSERT_FALSE(a.inlined());
+    const uint32_t* data_before = a.data();
+    Vec b = std::move(a);
+    // O(1) steal: the heap buffer (and thus every iterator into it)
+    // survives the move unchanged.
+    EXPECT_EQ(b.data(), data_before);
+    EXPECT_EQ(b.size(), 32u);
+    for (uint32_t i = 0; i < 32; ++i) {
+        ASSERT_EQ(b[i], i);
+    }
+    EXPECT_TRUE(a.inlined()); // donor reset to its inline buffer
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(SmallVectorTest, MoveAssignReleasesOldHeapBuffer)
+{
+    Vec a;
+    for (uint32_t i = 0; i < 32; ++i) {
+        a.push_back(i);
+    }
+    Vec b;
+    for (uint32_t i = 0; i < 16; ++i) {
+        b.push_back(100 + i);
+    }
+    b = std::move(a);
+    EXPECT_EQ(b.size(), 32u);
+    EXPECT_EQ(b[31], 31u);
+}
+
+TEST(SmallVectorTest, ReserveDoesNotChangeSizeOrContents)
+{
+    Vec v = {1, 2, 3};
+    v.reserve(1000);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_GE(v.capacity(), 1000u);
+    EXPECT_EQ(v[2], 3u);
+}
+
+TEST(SmallVectorTest, ResizeGrowsZeroFilledAndShrinksInPlace)
+{
+    Vec v = {5};
+    v.resize(8);
+    EXPECT_EQ(v.size(), 8u);
+    EXPECT_EQ(v[0], 5u);
+    for (size_t i = 1; i < 8; ++i) {
+        EXPECT_EQ(v[i], 0u);
+    }
+    v.resize(2);
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 5u);
+}
+
+TEST(SmallVectorTest, AssignAndInsertAtEnd)
+{
+    std::vector<uint32_t> src(20);
+    std::iota(src.begin(), src.end(), 0);
+    Vec v;
+    v.assign(src.begin(), src.begin() + 10);
+    EXPECT_EQ(v.size(), 10u);
+    v.insert(v.end(), src.begin() + 10, src.end());
+    EXPECT_EQ(v.size(), 20u);
+    for (uint32_t i = 0; i < 20; ++i) {
+        ASSERT_EQ(v[i], i);
+    }
+}
+
+TEST(SmallVectorTest, ComparisonOperators)
+{
+    Vec a = {1, 2, 3};
+    Vec b = {1, 2, 3};
+    Vec c = {1, 2, 4};
+    Vec d = {1, 2};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_LT(a, c);
+    EXPECT_LT(d, a);
+    // Mixed comparison with std::vector (both directions).
+    std::vector<uint32_t> sv = {1, 2, 3};
+    EXPECT_TRUE(a == sv);
+    EXPECT_TRUE(sv == a);
+}
+
+TEST(SmallVectorTest, WorksWithHandleElements)
+{
+    SmallVector<graph::Handle, 2> path;
+    path.push_back(graph::Handle(1, false));
+    path.push_back(graph::Handle(2, true));
+    path.push_back(graph::Handle(3, false)); // spills
+    EXPECT_FALSE(path.inlined());
+    EXPECT_EQ(path[1], graph::Handle(2, true));
+    EXPECT_EQ(path.back(), graph::Handle(3, false));
+    path.pop_back();
+    EXPECT_EQ(path.back(), graph::Handle(2, true));
+}
+
+TEST(SmallVectorTest, RangeForAndFrontBack)
+{
+    Vec v = {3, 1, 4, 1, 5, 9};
+    uint32_t sum = 0;
+    for (uint32_t x : v) {
+        sum += x;
+    }
+    EXPECT_EQ(sum, 23u);
+    EXPECT_EQ(v.front(), 3u);
+    EXPECT_EQ(v.back(), 9u);
+}
+
+} // namespace
+} // namespace mg::util
