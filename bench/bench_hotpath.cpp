@@ -11,15 +11,22 @@
  * Modes:
  *   bench_hotpath [--scale=S] [--out=PATH] [gbench flags]   full run + JSON
  *   bench_hotpath --smoke [--scale=S]                       quick CTest run
+ *   bench_hotpath --guard=PATH                              perf-guard run
  *
  * The smoke mode (CTest label `perf-smoke`) enforces machine-independent
  * invariants of the optimized kernel — zero heap allocations in the
  * steady-state extend loop and a sane cache hit rate — and runs one quick
  * throughput repetition so gross (>20%) kernel regressions surface in CI
  * timing logs.
+ *
+ * The guard mode (also perf-smoke) protects the SWAR speedup itself: it
+ * re-measures the SWAR-vs-scalar throughput ratio (both kernels timed in
+ * the same process, so machine speed cancels out) and fails if the ratio
+ * fell more than 15% below the value committed in the given BENCH JSON.
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "common.h"
+#include "io/file.h"
 #include "util/timer.h"
 
 // ------------------------------------------------------------------------
@@ -150,11 +158,12 @@ struct PassResult
  * (warm-up pass excluded from both the clock and the allocation counter).
  */
 PassResult
-measureMapping(const Workload& wl, int reps)
+measureMapping(const Workload& wl, int reps, bool use_swar = true)
 {
+    map::MapperParams params;
+    params.extend.useSwar = use_swar;
     map::Mapper mapper(wl.world->graph(), wl.world->gbwt(),
-                       wl.world->minimizers, wl.world->distance,
-                       map::MapperParams());
+                       wl.world->minimizers, wl.world->distance, params);
     auto state = mapper.makeState();
     const auto& entries = wl.capture.entries;
     // Warm-up: touches every read once so caches/scratch reach capacity.
@@ -229,28 +238,33 @@ struct ExtendResult
     double extendsPerSec = 0.0;
     double bytesPerExtend = 0.0;
     double allocsPerExtend = 0.0;
+    /** 32-base SWAR chunks XORed per extension (0 in scalar mode). */
+    double wordsPerExtend = 0.0;
 };
 
 ExtendResult
-measureExtend(const Workload& wl, int reps)
+measureExtend(const Workload& wl, int reps, bool use_swar = true)
 {
-    map::Extender extender(wl.world->graph(),
-                           map::MapperParams().extend);
+    map::ExtendParams params = map::MapperParams().extend;
+    params.useSwar = use_swar;
+    map::Extender extender(wl.world->graph(), params);
     gbwt::CachedGbwt cache(wl.world->gbwt());
+    map::ExtendScratch scratch;
     std::vector<ExtendSample> samples = pickExtendSamples(wl, 256);
     MG_ASSERT(!samples.empty());
     // Warm-up: every sample extended once (cache fills, scratch spills).
     for (const ExtendSample& sample : samples) {
         extender.extendSeed(sample.entry->seeds[sample.seedIndex],
-                            sample.oriented, cache);
+                            sample.oriented, cache, scratch);
     }
+    scratch.wordsCompared = 0;
     AllocSnapshot before = allocNow();
     util::WallTimer timer;
     for (int rep = 0; rep < reps; ++rep) {
         for (const ExtendSample& sample : samples) {
             benchmark::DoNotOptimize(extender.extendSeed(
                 sample.entry->seeds[sample.seedIndex], sample.oriented,
-                cache));
+                cache, scratch));
         }
     }
     double seconds = timer.seconds();
@@ -261,6 +275,7 @@ measureExtend(const Workload& wl, int reps)
     out.extendsPerSec = extends / seconds;
     out.bytesPerExtend = static_cast<double>(delta.bytes) / extends;
     out.allocsPerExtend = static_cast<double>(delta.calls) / extends;
+    out.wordsPerExtend = static_cast<double>(scratch.wordsCompared) / extends;
     return out;
 }
 
@@ -324,10 +339,64 @@ BM_ExtendSteady(benchmark::State& state, const char* input_set)
 
 // --------------------------------------------------------------- reporting
 
+/** Everything measured on one input set (SWAR and scalar passes). */
+struct InputRecord
+{
+    PassResult map;
+    ExtendResult ext;
+    PassResult mapScalar;
+    ExtendResult extScalar;
+
+    double
+    mapSpeedup() const
+    {
+        return mapScalar.readsPerSec > 0.0
+                   ? map.readsPerSec / mapScalar.readsPerSec
+                   : 0.0;
+    }
+    double
+    extendSpeedup() const
+    {
+        return extScalar.extendsPerSec > 0.0
+                   ? ext.extendsPerSec / extScalar.extendsPerSec
+                   : 0.0;
+    }
+};
+
+/** Packed-arena footprint of one world's graph. */
 void
-writeJson(const std::string& path, const PassResult& map_a,
-          const ExtendResult& ext_a, const PassResult& map_b,
-          const ExtendResult& ext_b)
+emitArenaJson(std::FILE* f, const graph::VariationGraph& g,
+              const char* name, const char* tail)
+{
+    const graph::SequenceStore& store = g.sequenceStore();
+    size_t stored = 2 * store.totalBases();
+    // The pre-packing layout held both strands as one byte per base.
+    double reduction =
+        store.arenaBytes()
+            ? static_cast<double>(stored) /
+                  static_cast<double>(store.arenaBytes())
+            : 0.0;
+    std::fprintf(f,
+                 "    \"%s\": {\n"
+                 "      \"resident_bytes\": %zu,\n"
+                 "      \"arena_bytes\": %zu,\n"
+                 "      \"offset_table_bytes\": %zu,\n"
+                 "      \"reserved_bytes\": %zu,\n"
+                 "      \"bits_per_stored_base\": %.3f,\n"
+                 "      \"byte_arena_reduction\": %.2f,\n"
+                 "      \"sanitized_bases\": %zu\n"
+                 "    }%s\n",
+                 name, store.footprintBytes(), store.arenaBytes(),
+                 store.offsetTableBytes(), store.reservedBytes(),
+                 stored ? 8.0 * static_cast<double>(store.arenaBytes()) /
+                              static_cast<double>(stored)
+                        : 0.0,
+                 reduction, store.sanitizedBases(), tail);
+}
+
+void
+writeJson(const std::string& path, const InputRecord& a,
+          const InputRecord& b)
 {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -335,8 +404,8 @@ writeJson(const std::string& path, const PassResult& map_a,
                      path.c_str());
         return;
     }
-    auto emit = [&](const char* name, const PassResult& m,
-                    const ExtendResult& e, const char* tail) {
+    auto emit = [&](const char* name, const InputRecord& r,
+                    const char* tail) {
         std::fprintf(f,
                      "    \"%s\": {\n"
                      "      \"reads_per_sec\": %.1f,\n"
@@ -345,20 +414,103 @@ writeJson(const std::string& path, const PassResult& map_a,
                      "      \"cache_hit_rate\": %.4f,\n"
                      "      \"extends_per_sec\": %.1f,\n"
                      "      \"bytes_per_extend\": %.1f,\n"
-                     "      \"allocs_per_extend\": %.2f\n"
+                     "      \"allocs_per_extend\": %.2f,\n"
+                     "      \"words_per_extend\": %.2f,\n"
+                     "      \"scalar_reads_per_sec\": %.1f,\n"
+                     "      \"scalar_extends_per_sec\": %.1f\n"
                      "    }%s\n",
-                     name, m.readsPerSec, m.bytesPerRead, m.allocsPerRead,
-                     m.hitRate, e.extendsPerSec, e.bytesPerExtend,
-                     e.allocsPerExtend, tail);
+                     name, r.map.readsPerSec, r.map.bytesPerRead,
+                     r.map.allocsPerRead, r.map.hitRate,
+                     r.ext.extendsPerSec, r.ext.bytesPerExtend,
+                     r.ext.allocsPerExtend, r.ext.wordsPerExtend,
+                     r.mapScalar.readsPerSec, r.extScalar.extendsPerSec,
+                     tail);
     };
     std::fprintf(f, "{\n  \"benchmark\": \"bench_hotpath\",\n"
                     "  \"scale\": %.3f,\n  \"results\": {\n",
                  g_scale);
-    emit("A-human", map_a, ext_a, ",");
-    emit("B-yeast", map_b, ext_b, "");
-    std::fprintf(f, "  }\n}\n");
+    emit("A-human", a, ",");
+    emit("B-yeast", b, "");
+    std::fprintf(f, "  },\n  \"packed_arena\": {\n");
+    emitArenaJson(f, workload("A-human").world->graph(), "A-human", ",");
+    emitArenaJson(f, workload("B-yeast").world->graph(), "B-yeast", "");
+    // The guard section: in-process SWAR/scalar ratios, the quantities the
+    // perf_guard ctest re-measures (machine speed cancels in the ratio).
+    std::fprintf(f,
+                 "  },\n  \"guard\": {\n"
+                 "    \"swar_map_speedup_A\": %.3f,\n"
+                 "    \"swar_extend_speedup_A\": %.3f,\n"
+                 "    \"swar_map_speedup_B\": %.3f,\n"
+                 "    \"swar_extend_speedup_B\": %.3f\n"
+                 "  }\n}\n",
+                 a.mapSpeedup(), a.extendSpeedup(), b.mapSpeedup(),
+                 b.extendSpeedup());
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
+}
+
+// ------------------------------------------------------------------- guard
+
+/** Minimal scan for `"key": <number>` in a JSON text; < 0 if absent. */
+double
+jsonNumber(const std::string& text, const std::string& key)
+{
+    size_t at = text.find("\"" + key + "\"");
+    if (at == std::string::npos) {
+        return -1.0;
+    }
+    at = text.find(':', at);
+    if (at == std::string::npos) {
+        return -1.0;
+    }
+    return std::atof(text.c_str() + at + 1);
+}
+
+/**
+ * Perf guard: re-measure the SWAR-vs-scalar extend speedup on the A analog
+ * (best of three in-process A/B passes, so machine speed and load cancel)
+ * and fail if it dropped more than 15% below the committed ratio.
+ */
+int
+guardRun(const std::string& committed_path)
+{
+    std::string text;
+    try {
+        text = io::readFileText(committed_path);
+    } catch (const util::Error& e) {
+        std::fprintf(stderr, "FAIL: cannot read committed record %s: %s\n",
+                     committed_path.c_str(), e.what());
+        return 1;
+    }
+    double committed = jsonNumber(text, "swar_extend_speedup_A");
+    if (committed <= 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s has no swar_extend_speedup_A entry\n",
+                     committed_path.c_str());
+        return 1;
+    }
+    const Workload& wl = workload("A-human");
+    double best = 0.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        ExtendResult swar = measureExtend(wl, 4, true);
+        ExtendResult scalar = measureExtend(wl, 4, false);
+        if (scalar.extendsPerSec > 0.0) {
+            best = std::max(best, swar.extendsPerSec /
+                                      scalar.extendsPerSec);
+        }
+    }
+    const double threshold = 0.85 * committed;
+    std::printf("perf-guard A-human: swar/scalar extend speedup %.3f "
+                "(committed %.3f, floor %.3f)\n",
+                best, committed, threshold);
+    if (best < threshold) {
+        std::fprintf(stderr,
+                     "FAIL: SWAR extend speedup regressed >15%% below the "
+                     "committed record (%.3f < %.3f)\n",
+                     best, threshold);
+        return 1;
+    }
+    return 0;
 }
 
 int
@@ -402,11 +554,14 @@ main(int argc, char** argv)
     using namespace mg::bench;
     bool smoke = false;
     std::string out_path = "BENCH_hotpath.json";
+    std::string guard_path;
     std::vector<char*> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strncmp(argv[i], "--guard=", 8) == 0) {
+            guard_path = argv[i] + 8;
         } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
             g_scale = std::atof(argv[i] + 8);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -415,9 +570,12 @@ main(int argc, char** argv)
             passthrough.push_back(argv[i]);
         }
     }
-    if (smoke) {
+    if (smoke || !guard_path.empty()) {
         if (g_scale > 0.05) {
             g_scale = 0.05; // keep CTest fast regardless of the default
+        }
+        if (!guard_path.empty()) {
+            return guardRun(guard_path);
         }
         return smokeRun();
     }
@@ -425,22 +583,32 @@ main(int argc, char** argv)
     banner("hotpath", "Hot-path kernel throughput, allocation, and cache "
                       "behaviour (single thread)");
 
-    // Deterministic measurement passes for the JSON record.
-    const Workload& wl_a = workload("A-human");
-    PassResult map_a = measureMapping(wl_a, 3);
-    ExtendResult ext_a = measureExtend(wl_a, 20);
-    const Workload& wl_b = workload("B-yeast");
-    PassResult map_b = measureMapping(wl_b, 3);
-    ExtendResult ext_b = measureExtend(wl_b, 20);
-    std::printf("A-human: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
-                "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend\n",
-                map_a.readsPerSec, map_a.bytesPerRead, map_a.allocsPerRead,
-                map_a.hitRate, ext_a.extendsPerSec, ext_a.bytesPerExtend);
-    std::printf("B-yeast: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
-                "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend\n",
-                map_b.readsPerSec, map_b.bytesPerRead, map_b.allocsPerRead,
-                map_b.hitRate, ext_b.extendsPerSec, ext_b.bytesPerExtend);
-    writeJson(out_path, map_a, ext_a, map_b, ext_b);
+    // Deterministic measurement passes for the JSON record: SWAR and
+    // scalar kernels back to back, same workload, same process.
+    auto record = [](const Workload& wl) {
+        InputRecord r;
+        r.map = measureMapping(wl, 3, true);
+        r.mapScalar = measureMapping(wl, 3, false);
+        r.ext = measureExtend(wl, 20, true);
+        r.extScalar = measureExtend(wl, 20, false);
+        return r;
+    };
+    auto report = [](const char* name, const InputRecord& r) {
+        std::printf(
+            "%s: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
+            "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend  "
+            "%6.2f words/ext\n         swar/scalar: map %.2fx, "
+            "extend %.2fx\n",
+            name, r.map.readsPerSec, r.map.bytesPerRead,
+            r.map.allocsPerRead, r.map.hitRate, r.ext.extendsPerSec,
+            r.ext.bytesPerExtend, r.ext.wordsPerExtend, r.mapSpeedup(),
+            r.extendSpeedup());
+    };
+    InputRecord rec_a = record(workload("A-human"));
+    InputRecord rec_b = record(workload("B-yeast"));
+    report("A-human", rec_a);
+    report("B-yeast", rec_b);
+    writeJson(out_path, rec_a, rec_b);
 
     // Google-benchmark pass (iteration-level timing, same kernels).
     int bench_argc = static_cast<int>(passthrough.size());

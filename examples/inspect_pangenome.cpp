@@ -72,6 +72,19 @@ try {
                                        static_cast<double>(graph.numPaths())
                                  : 0.0);
 
+    // --- Packed sequence arena. ---
+    const mg::graph::SequenceStore& store = graph.sequenceStore();
+    size_t stored = 2 * store.totalBases(); // both strands live packed
+    std::printf("sequence arena: %zu resident bytes (%zu arena + %zu "
+                "offsets), %zu reserved; %.2f bits/stored base, "
+                "%zu bases sanitized at ingest\n",
+                store.footprintBytes(), store.arenaBytes(),
+                store.offsetTableBytes(), store.reservedBytes(),
+                stored ? 8.0 * static_cast<double>(store.arenaBytes()) /
+                             static_cast<double>(stored)
+                       : 0.0,
+                store.sanitizedBases());
+
     // --- GBWT. ---
     const mg::gbwt::Gbwt& gbwt = pangenome.gbwt;
     std::printf("gbwt: %llu oriented paths, %llu visits, %zu compressed "

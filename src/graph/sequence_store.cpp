@@ -1,6 +1,6 @@
 #include "graph/sequence_store.h"
 
-#include "util/dna.h"
+#include "util/common.h"
 
 namespace mg::graph {
 
@@ -10,12 +10,32 @@ SequenceStore::addNode(std::string_view forward_sequence)
     if (offsets_.empty()) {
         offsets_.push_back(0);
     }
-    arena_.append(forward_sequence);
-    offsets_.push_back(arena_.size());
-    for (size_t i = forward_sequence.size(); i-- > 0;) {
-        arena_.push_back(util::complementBase(forward_sequence[i]));
-    }
-    offsets_.push_back(arena_.size());
+    // Canonicalize once into scratch: ambiguity letters -> 'A' (counted),
+    // non-letters rejected.  Everything downstream assumes pure ACGT.
+    sanitizeScratch_.assign(forward_sequence);
+    util::SanitizeCounts counts = util::sanitizeDna(sanitizeScratch_);
+    MG_CHECK(counts.invalid == 0,
+             "node sequence contains non-IUPAC characters (", counts.invalid,
+             " invalid bytes)");
+    sanitizedBases_ += counts.ambiguous;
+
+    const uint64_t len = sanitizeScratch_.size();
+    const uint64_t node_words = util::packedDataWords(len);
+    packScratch_.assign(node_words, 0);
+    rcScratch_.assign(node_words, 0);
+    util::packAsciiInto(sanitizeScratch_, packScratch_.data(), 0);
+    util::reverseComplementPacked(packScratch_.data(), len,
+                                  rcScratch_.data());
+
+    const uint64_t begin = offsets_.back();
+    const uint64_t total = begin + 2 * len;
+    // Data words plus the pad word chunk32 needs; new words arrive zeroed,
+    // and the old pad word simply becomes a data word to OR into.
+    words_.resize(util::packedBufferWords(total), 0);
+    util::copyPackedInto(words_.data(), begin, packScratch_.data(), len);
+    offsets_.push_back(begin + len);
+    util::copyPackedInto(words_.data(), begin + len, rcScratch_.data(), len);
+    offsets_.push_back(total);
     ++numNodes_;
 }
 

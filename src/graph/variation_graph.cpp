@@ -17,7 +17,8 @@ NodeId
 VariationGraph::addNode(std::string sequence)
 {
     MG_CHECK(!sequence.empty(), "node sequences must be non-empty");
-    MG_CHECK(util::isDna(sequence), "node sequences must be ACGT");
+    // Canonicalization (ambiguity letters -> 'A', counted) and rejection
+    // of non-letter characters happen inside the packed store.
     totalSequence_ += sequence.size();
     store_.addNode(sequence);
     return static_cast<NodeId>(store_.numNodes());
@@ -64,19 +65,20 @@ VariationGraph::addPath(std::string name, std::vector<Handle> steps)
     paths_.push_back(PathEntry{std::move(name), std::move(steps)});
 }
 
-std::string_view
-VariationGraph::sequenceView(NodeId id) const
+std::string
+VariationGraph::forwardSequence(NodeId id) const
 {
     MG_ASSERT(hasNode(id));
-    return store_.forwardView(id);
+    return store_.forwardSequence(id);
 }
 
 std::string
 VariationGraph::sequence(Handle handle) const
 {
     MG_ASSERT(hasNode(handle.id()));
-    // Both orientations live in the arena; no reverse complement needed.
-    return std::string(store_.view(handle));
+    // Both orientations live in the packed arena; no reverse complement
+    // is computed here, only a decode.
+    return store_.sequence(handle);
 }
 
 const std::vector<Handle>&
@@ -156,9 +158,9 @@ void
 VariationGraph::validate() const
 {
     for (NodeId id = 1; id <= numNodes(); ++id) {
-        MG_CHECK(!sequenceView(id).empty(), "empty sequence at node ", id);
-        MG_CHECK(util::isDna(sequenceView(id)),
-                 "non-DNA sequence at node ", id);
+        std::string seq = forwardSequence(id);
+        MG_CHECK(!seq.empty(), "empty sequence at node ", id);
+        MG_CHECK(util::isDna(seq), "non-DNA sequence at node ", id);
         for (bool reverse : {false, true}) {
             Handle handle(id, reverse);
             for (Handle succ : successors(handle)) {

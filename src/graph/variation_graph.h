@@ -38,7 +38,11 @@ struct PathEntry
 class VariationGraph
 {
   public:
-    /** Add a node with the given (non-empty, ACGT) sequence. */
+    /**
+     * Add a node with the given non-empty sequence.  Ambiguity letters
+     * (N, IUPAC codes) are canonicalized to 'A' and counted in
+     * sanitizedBases(); non-letter characters throw.
+     */
     NodeId addNode(std::string sequence);
 
     /** Add an edge between oriented handles (idempotent). */
@@ -59,22 +63,22 @@ class VariationGraph
     /** Length of a node's sequence. */
     size_t length(NodeId id) const { return store_.length(id); }
 
-    /** Forward-strand sequence of a node. */
-    std::string_view sequenceView(NodeId id) const;
+    /** Forward-strand sequence of a node, decoded from the packed arena. */
+    std::string forwardSequence(NodeId id) const;
 
     /** Sequence of an oriented handle (reverse complemented if needed). */
     std::string sequence(Handle handle) const;
 
     /**
-     * Sequence of an oriented handle as a view into the flattened
-     * both-orientation arena (extension hot path): the reverse strand is
-     * pre-materialized, so no per-base complement is ever computed.  The
-     * view stays valid until the next addNode().
+     * Packed 2-bit view of an oriented handle's sequence (extension hot
+     * path): the reverse strand is pre-materialized in the packed arena,
+     * so either orientation is one word-aligned span ready for SWAR
+     * chunk compares.  The view stays valid until the next addNode().
      */
-    std::string_view
-    orientedView(Handle handle) const
+    util::PackedSpan
+    packedView(Handle handle) const
     {
-        return store_.view(handle);
+        return store_.packedView(handle);
     }
 
     /** Single base of an oriented handle at the given offset. */
@@ -84,8 +88,11 @@ class VariationGraph
         return store_.base(handle, offset);
     }
 
-    /** The flattened sequence arena (footprint reporting, tests). */
+    /** The packed sequence arena (footprint reporting, tests). */
     const SequenceStore& sequenceStore() const { return store_; }
+
+    /** Bases canonicalized from ambiguity letters to 'A' at ingest. */
+    size_t sanitizedBases() const { return store_.sanitizedBases(); }
 
     /** Pre-size the sequence arena for an expected base total. */
     void reserveSequence(size_t bases) { store_.reserveBases(bases); }
@@ -121,7 +128,7 @@ class VariationGraph
     void validate() const;
 
   private:
-    SequenceStore store_;                          // flattened fwd+rc arena
+    SequenceStore store_;                          // packed fwd+rc arena
     std::vector<std::vector<Handle>> adjacency_;   // handle.packed() -> succ
     std::vector<PathEntry> paths_;
     size_t numEdges_ = 0;

@@ -2,60 +2,142 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_map>
+#include <thread>
 
+#include "sched/scheduler.h"
 #include "util/common.h"
 #include "util/dna.h"
 
 namespace mg::index {
 
+namespace {
+
+/**
+ * The monotonic-deque minimizer sweep, fed one 2-bit code at a time so the
+ * same machinery serves decoded strings and the packed arena.  Semantics
+ * match the historical string sweep exactly: the front of the deque is the
+ * minimum of the current window of w consecutive k-mers, each selected
+ * occurrence is emitted once.
+ */
+class Sweep
+{
+  public:
+    Sweep(const MinimizerParams& params, std::vector<Minimizer>& out)
+        : k_(static_cast<uint32_t>(params.k)),
+          w_(static_cast<uint32_t>(params.w)),
+          mask_(params.k == 32 ? ~uint64_t{0}
+                               : ((uint64_t{1} << (2 * params.k)) - 1)),
+          out_(out)
+    {
+        MG_ASSERT(params.k >= 1 && params.k <= 32);
+        MG_ASSERT(params.w >= 1);
+    }
+
+    void
+    push(uint8_t code)
+    {
+        packed_ = ((packed_ << 2) | code) & mask_;
+        if (++pos_ < k_) {
+            return;
+        }
+        // The k-mer ending at pos_ - 1 starts at this offset.
+        uint32_t offset = pos_ - k_;
+        uint64_t hash = util::hash64(packed_);
+        while (!window_.empty() && window_.back().hash > hash) {
+            window_.pop_back();
+        }
+        window_.push_back(Minimizer{hash, offset});
+        // Evict candidates left of the window [offset - w + 1, offset].
+        while (offset >= w_ && window_.front().offset <= offset - w_) {
+            window_.pop_front();
+        }
+        // Once the first full window has formed, emit its minimum.
+        if (offset + 1 >= w_) {
+            const Minimizer& min = window_.front();
+            if (min.offset != lastEmitted_) {
+                out_.push_back(min);
+                lastEmitted_ = min.offset;
+            }
+        }
+    }
+
+  private:
+    const uint32_t k_;
+    const uint32_t w_;
+    const uint64_t mask_;
+    uint64_t packed_ = 0;
+    uint32_t pos_ = 0;
+    std::deque<Minimizer> window_;
+    uint32_t lastEmitted_ = UINT32_MAX;
+    std::vector<Minimizer>& out_;
+};
+
+/** (hash, position) pairs of one path, for the index merge. */
+using Entry = std::pair<uint64_t, graph::Position>;
+
+/** Collect one path's index entries (any thread; touches only `entries`). */
+void
+collectPathEntries(const graph::VariationGraph& graph,
+                   const graph::PathEntry& path,
+                   const MinimizerParams& params,
+                   std::vector<Entry>& entries)
+{
+    // Cumulative start offset of each step inside the path sequence.
+    std::vector<size_t> step_starts(path.steps.size() + 1, 0);
+    for (size_t s = 0; s < path.steps.size(); ++s) {
+        step_starts[s + 1] = step_starts[s] + graph.length(path.steps[s].id());
+    }
+    for (const Minimizer& min : minimizersOfPath(graph, path.steps, params)) {
+        // Locate the step containing this offset.
+        auto it = std::upper_bound(step_starts.begin(), step_starts.end(),
+                                   static_cast<size_t>(min.offset));
+        size_t step = static_cast<size_t>(it - step_starts.begin()) - 1;
+        graph::Position pos;
+        pos.handle = path.steps[step];
+        pos.offset = static_cast<uint32_t>(min.offset - step_starts[step]);
+        entries.emplace_back(min.hash, pos);
+    }
+}
+
+} // namespace
+
 std::vector<Minimizer>
 minimizersOf(std::string_view sequence, const MinimizerParams& params)
 {
-    const int k = params.k;
-    const int w = params.w;
-    MG_ASSERT(k >= 1 && k <= 32);
-    MG_ASSERT(w >= 1);
-
     std::vector<Minimizer> out;
-    if (static_cast<int>(sequence.size()) < k) {
+    Sweep sweep(params, out);
+    if (static_cast<int>(sequence.size()) < params.k) {
         return out;
     }
-    // Rolling 2-bit packed k-mer and its hash per position.
-    const uint64_t mask =
-        k == 32 ? ~uint64_t{0} : ((uint64_t{1} << (2 * k)) - 1);
-    uint64_t packed = 0;
-    // Monotonic deque of (hash, offset) candidates; the front is the
-    // minimum of the current window of w consecutive k-mers.
-    std::deque<Minimizer> window;
-    uint32_t last_emitted = UINT32_MAX;
+    for (char base : sequence) {
+        // Post-ingest sequences are pure ACGT; ad-hoc callers get the
+        // canonicalization policy (ambiguity letters roll in as 'A').
+        sweep.push(util::canonicalCode(base));
+    }
+    return out;
+}
 
-    for (size_t i = 0; i < sequence.size(); ++i) {
-        uint8_t code = util::baseCode(sequence[i]);
-        MG_ASSERT(code != 0xff);
-        packed = ((packed << 2) | code) & mask;
-        if (i + 1 < static_cast<size_t>(k)) {
-            continue;
-        }
-        // The k-mer ending at i starts at this offset.
-        uint32_t offset = static_cast<uint32_t>(i + 1 - k);
-        uint64_t hash = util::hash64(packed);
-        while (!window.empty() && window.back().hash > hash) {
-            window.pop_back();
-        }
-        window.push_back(Minimizer{hash, offset});
-        // Evict candidates left of the window [offset - w + 1, offset].
-        while (offset >= static_cast<uint32_t>(w) &&
-               window.front().offset <= offset - w) {
-            window.pop_front();
-        }
-        // Once the first full window has formed, emit its minimum.
-        if (offset + 1 >= static_cast<uint32_t>(w)) {
-            const Minimizer& min = window.front();
-            if (min.offset != last_emitted) {
-                out.push_back(min);
-                last_emitted = min.offset;
+std::vector<Minimizer>
+minimizersOfPath(const graph::VariationGraph& graph,
+                 const std::vector<graph::Handle>& steps,
+                 const MinimizerParams& params)
+{
+    std::vector<Minimizer> out;
+    Sweep sweep(params, out);
+    for (graph::Handle step : steps) {
+        // Roll codes straight out of the packed arena: one word fetch per
+        // 32 bases, two ALU ops per base, no decoded string.
+        util::PackedSpan view = graph.packedView(step);
+        uint32_t i = 0;
+        while (i < view.size) {
+            uint64_t chunk = util::chunk32(view.words, view.first + i);
+            uint32_t n = std::min<uint32_t>(view.size - i,
+                                            util::kBasesPerWord);
+            for (uint32_t b = 0; b < n; ++b) {
+                sweep.push(static_cast<uint8_t>(chunk & 3u));
+                chunk >>= 2;
             }
+            i += n;
         }
     }
     return out;
@@ -65,27 +147,40 @@ MinimizerIndex::MinimizerIndex(const graph::VariationGraph& graph,
                                const MinimizerParams& params)
     : params_(params)
 {
-    // Collect (hash, position) pairs from every haplotype path.
-    std::vector<std::pair<uint64_t, graph::Position>> entries;
-    for (const graph::PathEntry& path : graph.paths()) {
-        std::string seq = graph.pathSequence(path.steps);
-        // Cumulative start offset of each step inside the path sequence.
-        std::vector<size_t> step_starts(path.steps.size() + 1, 0);
-        for (size_t s = 0; s < path.steps.size(); ++s) {
-            step_starts[s + 1] =
-                step_starts[s] + graph.length(path.steps[s].id());
+    // Collect (hash, position) pairs from every haplotype path, fanning
+    // paths out over the work-stealing scheduler (the paper's lightweight
+    // policy).  Each worker writes only its own per-path slot, and the
+    // slots are merged in path order, so the entry sequence — and hence
+    // the built index — is identical to a serial build.
+    const std::vector<graph::PathEntry>& paths = graph.paths();
+    std::vector<std::vector<Entry>> per_path(paths.size());
+    unsigned threads = params_.buildThreads != 0
+                           ? params_.buildThreads
+                           : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(std::max<size_t>(paths.size(), 1)));
+    if (threads > 1) {
+        auto scheduler = sched::makeScheduler(sched::SchedulerKind::WorkStealing);
+        scheduler->run(paths.size(), 1, threads,
+                       [&](size_t, size_t begin, size_t end) {
+                           for (size_t p = begin; p < end; ++p) {
+                               collectPathEntries(graph, paths[p], params_,
+                                                  per_path[p]);
+                           }
+                       });
+    } else {
+        for (size_t p = 0; p < paths.size(); ++p) {
+            collectPathEntries(graph, paths[p], params_, per_path[p]);
         }
-        for (const Minimizer& min : minimizersOf(seq, params_)) {
-            // Locate the step containing this offset.
-            auto it = std::upper_bound(step_starts.begin(), step_starts.end(),
-                                       static_cast<size_t>(min.offset));
-            size_t step = static_cast<size_t>(it - step_starts.begin()) - 1;
-            graph::Position pos;
-            pos.handle = path.steps[step];
-            pos.offset = static_cast<uint32_t>(min.offset -
-                                               step_starts[step]);
-            entries.emplace_back(min.hash, pos);
-        }
+    }
+    std::vector<Entry> entries;
+    size_t total = 0;
+    for (const std::vector<Entry>& part : per_path) {
+        total += part.size();
+    }
+    entries.reserve(total);
+    for (std::vector<Entry>& part : per_path) {
+        entries.insert(entries.end(), part.begin(), part.end());
     }
 
     std::sort(entries.begin(), entries.end(),

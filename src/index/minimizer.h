@@ -35,6 +35,12 @@ struct MinimizerParams
     int w = 8;
     /** Drop index entries occurring more often than this (repeat filter). */
     size_t maxOccurrences = 512;
+    /**
+     * Worker threads for index construction (paths fanned out over the
+     * work-stealing scheduler).  0 picks hardware concurrency; 1 builds
+     * serially.  The resulting index is identical regardless.
+     */
+    unsigned buildThreads = 0;
 };
 
 /**
@@ -43,6 +49,16 @@ struct MinimizerParams
  */
 std::vector<Minimizer> minimizersOf(std::string_view sequence,
                                     const MinimizerParams& params);
+
+/**
+ * Minimizers of the sequence spelled by a haplotype path, rolled directly
+ * from the graph's 2-bit packed arena (32 codes per word fetch) — no
+ * decoded path string is materialized.  Offsets are into the concatenated
+ * path sequence; the result equals minimizersOf(pathSequence(steps)).
+ */
+std::vector<Minimizer> minimizersOfPath(const graph::VariationGraph& graph,
+                                        const std::vector<graph::Handle>& steps,
+                                        const MinimizerParams& params);
 
 /**
  * Immutable minimizer-to-graph-position table.
@@ -74,6 +90,15 @@ class MinimizerIndex
      * span is valid as long as the index lives.
      */
     std::pair<const graph::Position*, size_t> lookup(uint64_t hash) const;
+
+    /** Sorted distinct keys (equivalence tests across build modes). */
+    const std::vector<uint64_t>& keys() const { return keys_; }
+
+    /** Flat position table, key-major (equivalence tests). */
+    const std::vector<graph::Position>& positions() const
+    {
+        return positions_;
+    }
 
   private:
     MinimizerParams params_;

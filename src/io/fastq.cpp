@@ -52,10 +52,14 @@ parseFastq(const std::string& text, std::string_view file)
         map::Read read;
         read.name = std::string(util::trim(lines[i].substr(1)));
         read.sequence = std::string(util::trim(lines[i + 1]));
-        if (!util::isDna(read.sequence)) {
+        // Canonicalization policy (util/dna.h): ambiguity letters become
+        // 'A' and are counted; non-letter garbage stays a hard error.
+        util::SanitizeCounts counts = util::sanitizeDna(read.sequence);
+        if (counts.invalid > 0) {
             fastqFail(file, i + 2,
-                      "FASTQ sequence with non-ACGT characters");
+                      "FASTQ sequence with non-IUPAC characters");
         }
+        set.sanitizedBases += counts.ambiguous;
         if (lines[i + 3].size() < read.sequence.size()) {
             fastqFail(file, i + 4, "FASTQ quality shorter than sequence");
         }

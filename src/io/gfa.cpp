@@ -89,7 +89,7 @@ formatGfa(const graph::VariationGraph& graph)
     std::string out = "H\tVN:Z:1.0\n";
     for (graph::NodeId id = 1; id <= graph.numNodes(); ++id) {
         out += "S\t" + std::to_string(id) + "\t";
-        out += graph.sequenceView(id);
+        out += graph.forwardSequence(id);
         out += '\n';
     }
     // Each bidirected edge once, via its canonical representative.

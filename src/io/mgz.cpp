@@ -66,7 +66,7 @@ encodeNodesSection(util::ByteWriter& writer,
 {
     writer.putVarint(graph.numNodes());
     for (graph::NodeId id = 1; id <= graph.numNodes(); ++id) {
-        encodeSequence(writer, graph.sequenceView(id));
+        encodeSequence(writer, graph.forwardSequence(id));
     }
 }
 

@@ -16,9 +16,30 @@ struct Keyed
     float score;
 };
 
+/**
+ * Per-thread reusable buffers.  clusterSeeds runs once per read on the
+ * mapping hot path; group membership is always a contiguous range of a
+ * sorted array, so the stages below pass (pointer, count) spans and the
+ * only per-call heap traffic left is growth of the output vector itself.
+ */
+struct ClusterScratch
+{
+    std::vector<Keyed> forward;
+    std::vector<Keyed> reverse;
+    std::vector<Keyed> ordered;
+    std::vector<Keyed> byOffset;
+};
+
+ClusterScratch&
+scratch()
+{
+    static thread_local ClusterScratch s;
+    return s;
+}
+
 /** Score one finished cluster and append it to the output. */
 void
-emitCluster(const std::vector<Keyed>& members, bool on_reverse,
+emitCluster(const Keyed* members, size_t count, bool on_reverse,
             std::vector<Cluster>& out)
 {
     Cluster cluster;
@@ -26,7 +47,8 @@ emitCluster(const std::vector<Keyed>& members, bool on_reverse,
     // Score counts each distinct read offset once: many graph placements
     // of one minimizer are one piece of evidence.  Gather in read-offset
     // order for the dedup.
-    std::vector<Keyed> by_offset = members;
+    std::vector<Keyed>& by_offset = scratch().byOffset;
+    by_offset.assign(members, members + count);
     std::sort(by_offset.begin(), by_offset.end(),
               [](const Keyed& a, const Keyed& b) {
                   if (a.readOff != b.readOff) {
@@ -56,17 +78,19 @@ emitCluster(const std::vector<Keyed>& members, bool on_reverse,
 void
 refineAndEmit(const graph::VariationGraph& graph,
               const index::DistanceIndex& distance,
-              const SeedVector& seeds,
-              const std::vector<Keyed>& group, bool on_reverse,
-              const ClusterParams& params, std::vector<Cluster>& out,
-              util::MemTracer* tracer)
+              const SeedVector& seeds, const Keyed* group, size_t count,
+              bool on_reverse, const ClusterParams& params,
+              std::vector<Cluster>& out, util::MemTracer* tracer)
 {
-    if (!params.exactRefinement || group.size() < 2) {
-        emitCluster(group, on_reverse, out);
+    if (!params.exactRefinement || count < 2) {
+        emitCluster(group, count, on_reverse, out);
         return;
     }
-    // Verify adjacency in raw-coordinate order.
-    std::vector<Keyed> ordered = group;
+    // Verify adjacency in raw-coordinate order.  Segments of consistent
+    // neighbours are contiguous ranges of the sorted scratch array, so
+    // each split emits a (pointer, count) slice directly.
+    std::vector<Keyed>& ordered = scratch().ordered;
+    ordered.assign(group, group + count);
     std::sort(ordered.begin(), ordered.end(),
               [](const Keyed& a, const Keyed& b) {
                   if (a.coord != b.coord) {
@@ -74,7 +98,7 @@ refineAndEmit(const graph::VariationGraph& graph,
                   }
                   return a.seed < b.seed;
               });
-    std::vector<Keyed> segment = {ordered.front()};
+    size_t segment_begin = 0;
     for (size_t i = 1; i < ordered.size(); ++i) {
         const Keyed& prev = ordered[i - 1];
         const Keyed& next = ordered[i];
@@ -91,12 +115,13 @@ refineAndEmit(const graph::VariationGraph& graph,
                              params.distanceLimit;
         }
         if (!consistent) {
-            emitCluster(segment, on_reverse, out);
-            segment.clear();
+            emitCluster(ordered.data() + segment_begin, i - segment_begin,
+                        on_reverse, out);
+            segment_begin = i;
         }
-        segment.push_back(next);
     }
-    emitCluster(segment, on_reverse, out);
+    emitCluster(ordered.data() + segment_begin,
+                ordered.size() - segment_begin, on_reverse, out);
 }
 
 void
@@ -126,22 +151,25 @@ sweepOrientation(const graph::VariationGraph& graph,
         if (!split) {
             continue;
         }
-        std::vector<Keyed> group(keyed.begin() + begin, keyed.begin() + i);
-        refineAndEmit(graph, distance, seeds, group, on_reverse, params,
-                      out, tracer);
+        refineAndEmit(graph, distance, seeds, keyed.data() + begin,
+                      i - begin, on_reverse, params, out, tracer);
         begin = i;
     }
 }
 
 } // namespace
 
-std::vector<Cluster>
-clusterSeeds(const graph::VariationGraph& graph,
-             const index::DistanceIndex& distance, const SeedVector& seeds,
-             const ClusterParams& params, util::MemTracer* tracer)
+void
+clusterSeedsInto(const graph::VariationGraph& graph,
+                 const index::DistanceIndex& distance,
+                 const SeedVector& seeds, const ClusterParams& params,
+                 std::vector<Cluster>& out, util::MemTracer* tracer)
 {
-    std::vector<Keyed> forward;
-    std::vector<Keyed> reverse;
+    out.clear();
+    std::vector<Keyed>& forward = scratch().forward;
+    std::vector<Keyed>& reverse = scratch().reverse;
+    forward.clear();
+    reverse.clear();
     for (uint32_t i = 0; i < seeds.size(); ++i) {
         const Seed& seed = seeds[i];
         util::traceAccess(tracer, &seed, sizeof(Seed));
@@ -154,12 +182,11 @@ clusterSeeds(const graph::VariationGraph& graph,
         (seed.onReverseRead ? reverse : forward).push_back(keyed);
     }
 
-    std::vector<Cluster> clusters;
-    sweepOrientation(graph, distance, seeds, forward, false, params,
-                     clusters, tracer);
-    sweepOrientation(graph, distance, seeds, reverse, true, params,
-                     clusters, tracer);
-    std::sort(clusters.begin(), clusters.end(),
+    sweepOrientation(graph, distance, seeds, forward, false, params, out,
+                     tracer);
+    sweepOrientation(graph, distance, seeds, reverse, true, params, out,
+                     tracer);
+    std::sort(out.begin(), out.end(),
               [](const Cluster& a, const Cluster& b) {
                   if (a.score != b.score) {
                       return a.score > b.score;
@@ -169,6 +196,15 @@ clusterSeeds(const graph::VariationGraph& graph,
                   }
                   return a.seedIndices < b.seedIndices;
               });
+}
+
+std::vector<Cluster>
+clusterSeeds(const graph::VariationGraph& graph,
+             const index::DistanceIndex& distance, const SeedVector& seeds,
+             const ClusterParams& params, util::MemTracer* tracer)
+{
+    std::vector<Cluster> clusters;
+    clusterSeedsInto(graph, distance, seeds, params, clusters, tracer);
     return clusters;
 }
 

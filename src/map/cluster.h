@@ -26,6 +26,7 @@
 #include "index/distance.h"
 #include "map/seed.h"
 #include "util/mem_tracer.h"
+#include "util/small_vector.h"
 
 namespace mg::map {
 
@@ -50,8 +51,12 @@ struct ClusterParams
 /** One cluster of seeds for one read orientation. */
 struct Cluster
 {
-    /** Indices into the read's seed vector. */
-    std::vector<uint32_t> seedIndices;
+    /**
+     * Indices into the read's seed vector.  Inline storage sized for the
+     * common case so that forming a cluster performs no heap allocation;
+     * only unusually seed-dense clusters spill.
+     */
+    util::SmallVector<uint32_t, 16> seedIndices;
     /** Sum of distinct-read-offset seed scores (Giraffe-style quality). */
     float score = 0.0f;
     /** Distinct read minimizer offsets covered (evidence breadth). */
@@ -69,5 +74,16 @@ std::vector<Cluster> clusterSeeds(const graph::VariationGraph& graph,
                                   const SeedVector& seeds,
                                   const ClusterParams& params,
                                   util::MemTracer* tracer = nullptr);
+
+/**
+ * Allocation-lean variant for the hot loop: clears and refills `out`,
+ * reusing its capacity (and per-thread internal scratch) across reads.
+ * Identical output to clusterSeeds.
+ */
+void clusterSeedsInto(const graph::VariationGraph& graph,
+                      const index::DistanceIndex& distance,
+                      const SeedVector& seeds, const ClusterParams& params,
+                      std::vector<Cluster>& out,
+                      util::MemTracer* tracer = nullptr);
 
 } // namespace mg::map

@@ -38,12 +38,27 @@ threadScratch()
 
 } // namespace
 
+void
+PackedQuery::pack(std::string_view oriented)
+{
+    size = static_cast<uint32_t>(oriented.size());
+    const uint64_t words = util::packedBufferWords(size);
+    // assign() reuses capacity: zero allocations once warm.
+    fwd.assign(words, 0);
+    rc.assign(words, 0);
+    util::packAsciiInto(oriented, fwd.data(), 0);
+    util::reverseComplementPacked(fwd.data(), size, rc.data());
+    keyData_ = oriented.data();
+    keyLen_ = oriented.size();
+}
+
 DirectionalWalk
-Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
-               gbwt::CachedGbwt& cache, ExtendScratch& scratch) const
+Extender::walkPacked(graph::Handle start, uint32_t offset,
+                     util::PackedSpan query, gbwt::CachedGbwt& cache,
+                     ExtendScratch& scratch) const
 {
     DirectionalWalk best; // empty walk: consumed 0, score 0
-    if (query.empty()) {
+    if (query.size == 0) {
         return best;
     }
     gbwt::SearchState root = cache.find(start);
@@ -60,9 +75,21 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
         stack.push_back(std::move(init));
     }
     size_t explored = 0;
-    const uint32_t query_size = static_cast<uint32_t>(query.size());
+    const uint32_t query_size = query.size;
 
     auto finish = [&](const WalkState& s) {
+        if (s.bestQueryPos == 0) {
+            return; // nothing consumed; can never beat even an empty best
+        }
+        // Cheap reject on the (score, consumed) prefix of the candidate
+        // order before paying for the path/mismatch copies; the full
+        // comparison below breaks exact ties deterministically.
+        if (best.consumed > 0 &&
+            (s.bestScore < best.score ||
+             (s.bestScore == best.score &&
+              s.bestQueryPos < best.consumed))) {
+            return;
+        }
         // Trim to the maximum-score prefix (it always ends on a match).
         DirectionalWalk candidate;
         candidate.consumed = s.bestQueryPos;
@@ -75,122 +102,159 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
         candidate.path.assign(s.path.begin(),
                               s.path.begin() +
                                   static_cast<long>(s.bestPathLen));
-        if (candidate.consumed > 0 && betterCandidate(candidate, best)) {
+        if (betterCandidate(candidate, best)) {
             best = std::move(candidate);
         }
     };
 
     util::MemTracer* tracer = cache.tracer();
-    while (!stack.empty()) {
+    bool capped = false;
+    while (!stack.empty() && !capped) {
         WalkState s = std::move(stack.back());
         stack.pop_back();
-        if (++explored > params_.maxWalkStates) {
-            finish(s);
-            break;
-        }
-        graph::Handle handle = s.state.node;
-        // One contiguous span of the flattened both-orientation arena:
-        // reverse-strand bases are pre-materialized, so the compare loop
-        // below never calls a per-base complement.
-        std::string_view node_seq = graph_.orientedView(handle);
-        const uint32_t len = static_cast<uint32_t>(node_seq.size());
-        bool dead = false;
-
-        if (s.nodeOffset < len && s.queryPos < query_size) {
-            s.path.push_back(handle);
-            // The walk-and-compare inner loop: report the graph bases and
-            // query bytes about to be read, and the compare/branch work.
-            uint32_t span =
-                std::min<uint32_t>(len - s.nodeOffset,
-                                   query_size - s.queryPos);
-            util::traceAccess(tracer, node_seq.data() + s.nodeOffset, span);
-            util::traceAccess(tracer, query.data() + s.queryPos, span);
-            util::traceWork(tracer, span * 6);
-        }
-        // Consume bases within the current node, a match-run at a time.
-        // Within a run the score rises by matchScore per base, so taking
-        // the best-prefix snapshot once at the run's end is exactly
-        // equivalent to the per-base update.
-        while (s.nodeOffset < len && s.queryPos < query_size) {
-            const uint32_t span = std::min<uint32_t>(
-                len - s.nodeOffset, query_size - s.queryPos);
-            const char* graph_bases = node_seq.data() + s.nodeOffset;
-            const char* query_bases = query.data() + s.queryPos;
-            uint32_t run = 0;
-            while (run < span && graph_bases[run] == query_bases[run]) {
-                ++run;
-            }
-            if (run > 0) {
-                s.score += static_cast<int32_t>(run) * params_.matchScore;
-                s.nodeOffset += run;
-                s.queryPos += run;
-                if (s.score >= s.bestScore) {
-                    s.bestQueryPos = s.queryPos;
-                    s.bestEndOffset = s.nodeOffset;
-                    s.bestScore = s.score;
-                    s.bestMismatches = s.mismatchOffsets.size();
-                    s.bestPathLen = s.path.size();
-                }
-            }
-            if (run == span) {
-                continue; // node or query exhausted; loop condition exits
-            }
-            if (s.mismatches + 1 > params_.maxMismatches) {
-                dead = true;
+        // In-place continuation: instead of pushing the deepest branch and
+        // immediately popping it back (two ~250-byte WalkState moves per
+        // node step), the inner loop keeps walking it in `s`.  Traversal
+        // order and the explored count are exactly those of the
+        // push-then-pop formulation, just without the stack round-trip.
+        for (;;) {
+            if (++explored > params_.maxWalkStates) {
+                finish(s);
+                capped = true;
                 break;
             }
-            ++s.mismatches;
-            s.score -= params_.mismatchPenalty;
-            s.mismatchOffsets.push_back(s.queryPos);
-            ++s.nodeOffset;
-            ++s.queryPos;
-        }
+            graph::Handle handle = s.state.node;
+            // One contiguous packed span of the both-orientation arena:
+            // reverse-strand bases are pre-materialized, so the compare loop
+            // below never calls a per-base complement.
+            util::PackedSpan node_seq = graph_.packedView(handle);
+            const uint32_t len = node_seq.size;
+            bool dead = false;
 
-        if (dead || s.queryPos >= query_size) {
-            finish(s);
-            continue;
-        }
-
-        // Node exhausted with query left: branch on haplotype-supported
-        // successors.  Push in descending handle order so the DFS visits
-        // smaller handles first (determinism).
-        std::vector<gbwt::SearchState>& successors = scratch.successors;
-        successors.clear();
-        if (params_.haplotypeConsistent) {
-            cache.successorStatesInto(s.state, successors);
-        } else {
-            // Ablation mode: walk every graph edge with dummy states.
-            for (graph::Handle succ : graph_.successors(handle)) {
-                successors.emplace_back(succ, 0, 1);
+            if (s.nodeOffset < len && s.queryPos < query_size) {
+                s.path.push_back(handle);
+                // The walk-and-compare inner loop: report the packed words the
+                // SWAR compare is about to stream (a quarter of the byte-layout
+                // traffic) and the chunk XOR/scan work.
+                uint32_t span =
+                    std::min<uint32_t>(len - s.nodeOffset,
+                                       query_size - s.queryPos);
+                uint64_t chunk_words = (span >> 5) + 1;
+                util::traceAccess(
+                    tracer,
+                    node_seq.words + ((node_seq.first + s.nodeOffset) >> 5),
+                    chunk_words * sizeof(uint64_t));
+                util::traceAccess(
+                    tracer, query.words + ((query.first + s.queryPos) >> 5),
+                    chunk_words * sizeof(uint64_t));
+                util::traceWork(tracer, chunk_words * 8);
             }
+            // Consume bases within the current node, a match-run at a time.
+            // Within a run the score rises by matchScore per base, so taking
+            // the best-prefix snapshot once at the run's end is exactly
+            // equivalent to the per-base update.
+            while (s.nodeOffset < len && s.queryPos < query_size) {
+                const uint32_t span = std::min<uint32_t>(
+                    len - s.nodeOffset, query_size - s.queryPos);
+                const uint64_t gbase = node_seq.first + s.nodeOffset;
+                const uint64_t qbase = query.first + s.queryPos;
+                uint32_t run =
+                    params_.useSwar
+                        ? util::matchRunPacked(node_seq.words, gbase,
+                                               query.words, qbase, span,
+                                               scratch.wordsCompared)
+                        : util::matchRunScalar(node_seq.words, gbase,
+                                               query.words, qbase, span);
+                if (run > 0) {
+                    s.score += static_cast<int32_t>(run) * params_.matchScore;
+                    s.nodeOffset += run;
+                    s.queryPos += run;
+                    if (s.score >= s.bestScore) {
+                        s.bestQueryPos = s.queryPos;
+                        s.bestEndOffset = s.nodeOffset;
+                        s.bestScore = s.score;
+                        s.bestMismatches = s.mismatchOffsets.size();
+                        s.bestPathLen = s.path.size();
+                    }
+                }
+                if (run == span) {
+                    continue; // node or query exhausted; loop condition exits
+                }
+                if (s.mismatches + 1 > params_.maxMismatches) {
+                    dead = true;
+                    break;
+                }
+                ++s.mismatches;
+                s.score -= params_.mismatchPenalty;
+                s.mismatchOffsets.push_back(s.queryPos);
+                ++s.nodeOffset;
+                ++s.queryPos;
+            }
+
+            if (dead || s.queryPos >= query_size) {
+                finish(s);
+                break;
+            }
+
+            // Node exhausted with query left: branch on haplotype-supported
+            // successors.  Push in descending handle order so the DFS visits
+            // smaller handles first (determinism).
+            std::vector<gbwt::SearchState>& successors = scratch.successors;
+            successors.clear();
+            if (params_.haplotypeConsistent) {
+                cache.successorStatesInto(s.state, successors);
+            } else {
+                // Ablation mode: walk every graph edge with dummy states.
+                for (graph::Handle succ : graph_.successors(handle)) {
+                    successors.emplace_back(succ, 0, 1);
+                }
+            }
+            if (successors.empty()) {
+                finish(s);
+                break;
+            }
+            if (successors.size() > 1) {
+                std::sort(successors.begin(), successors.end(),
+                          [](const gbwt::SearchState& a,
+                             const gbwt::SearchState& b) {
+                              return b.node < a.node;
+                          });
+            }
+            // Warm the cache slots and compressed records the branches are
+            // about to probe; pure hint, no decode, no stats.
+            for (const gbwt::SearchState& succ : successors) {
+                cache.prefetch(succ.node);
+            }
+            // All but the last branch copy the state (memcpy-cheap with inline
+            // storage); the last one — the smallest handle, exactly the state
+            // the pop would deliver next — continues in `s` without touching
+            // the stack.  The common single-successor step of a bubble chain
+            // copies nothing.
+            for (size_t i = 0; i + 1 < successors.size(); ++i) {
+                WalkState next = s;
+                next.state = successors[i];
+                next.nodeOffset = 0;
+                stack.push_back(std::move(next));
+            }
+            s.state = successors.back();
+            s.nodeOffset = 0;
         }
-        if (successors.empty()) {
-            finish(s);
-            continue;
-        }
-        std::sort(successors.begin(), successors.end(),
-                  [](const gbwt::SearchState& a, const gbwt::SearchState& b) {
-                      return b.node < a.node;
-                  });
-        // Warm the cache slots and compressed records the branches are
-        // about to probe; pure hint, no decode, no stats.
-        for (const gbwt::SearchState& succ : successors) {
-            cache.prefetch(succ.node);
-        }
-        // All but the last branch copy the state (memcpy-cheap with inline
-        // storage); the last one moves it — the common single-successor
-        // step of a bubble chain copies nothing.
-        for (size_t i = 0; i + 1 < successors.size(); ++i) {
-            WalkState next = s;
-            next.state = successors[i];
-            next.nodeOffset = 0;
-            stack.push_back(std::move(next));
-        }
-        s.state = successors.back();
-        s.nodeOffset = 0;
-        stack.push_back(std::move(s));
     }
     return best;
+}
+
+DirectionalWalk
+Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
+               gbwt::CachedGbwt& cache, ExtendScratch& scratch) const
+{
+    // Pack the ad-hoc query (tests, reference harnesses) into scratch and
+    // run the packed walk — one kernel, no byte-path twin to keep in sync.
+    const uint32_t len = static_cast<uint32_t>(query.size());
+    scratch.walkQuery.assign(util::packedBufferWords(len), 0);
+    util::packAsciiInto(query, scratch.walkQuery.data(), 0);
+    return walkPacked(start, offset,
+                      util::PackedSpan{scratch.walkQuery.data(), 0, len},
+                      cache, scratch);
 }
 
 DirectionalWalk
@@ -211,18 +275,22 @@ Extender::extendSeed(const Seed& seed, std::string_view sequence,
         static_cast<uint32_t>(graph_.length(pos.handle.id()));
     MG_ASSERT(pos.offset < node_len);
 
+    // Pack the oriented read once (both strands); consecutive seeds of the
+    // same read hit the (pointer, length) key and repack nothing.
+    scratch.query.ensure(sequence);
+
     // Rightward: match the read suffix starting at the seed base itself.
-    DirectionalWalk right = walk(pos.handle, pos.offset,
-                                 sequence.substr(read_offset), cache,
-                                 scratch);
+    DirectionalWalk right =
+        walkPacked(pos.handle, pos.offset, scratch.query.suffix(read_offset),
+                   cache, scratch);
 
     // Leftward: match the reverse complement of the read prefix by walking
-    // the flipped start node from the mirrored offset.  The scratch string
-    // keeps its capacity across seeds.
-    util::reverseComplementInto(sequence.substr(0, read_offset),
-                                scratch.leftQuery);
-    DirectionalWalk left = walk(pos.handle.flip(), node_len - pos.offset,
-                                scratch.leftQuery, cache, scratch);
+    // the flipped start node from the mirrored offset.  RC(prefix[0, r)) is
+    // the suffix of RC(read) starting at len - r, so the packed RC words
+    // computed at pack() time serve every seed with zero materialization.
+    DirectionalWalk left =
+        walkPacked(pos.handle.flip(), node_len - pos.offset,
+                   scratch.query.rcPrefix(read_offset), cache, scratch);
 
     GaplessExtension ext;
     ext.onReverseRead = seed.onReverseRead;

@@ -10,12 +10,21 @@
  * serve.
  *
  * Hot-path memory overhaul: walk states keep their paths and mismatch
- * lists in SmallVector inline storage, the base-compare loop runs over the
- * graph's flattened both-orientation sequence arena
- * (graph::SequenceStore) as a contiguous span, and all growable buffers
- * (DFS stack, successor list, left-query string) live in a caller-owned
+ * lists in SmallVector inline storage, and all growable buffers (DFS
+ * stack, successor list, packed-query words) live in a caller-owned
  * ExtendScratch reused across seeds — the steady-state extend loop
  * performs zero heap allocations.
+ *
+ * Packed SWAR kernel: graph bases come from the 2-bit packed arena
+ * (graph::SequenceStore::packedView) and the query is packed once per
+ * read into ExtendScratch (forward + reverse complement, the latter via
+ * word-wise bit tricks).  The inner match loop XORs 32-base words and
+ * locates the first mismatch with countr_zero — identical mismatch
+ * offsets, scores, and trimming as the byte loop (golden_kernel_test is
+ * the oracle), at a quarter of the memory traffic and a fraction of the
+ * compare instructions.  The left walk reads its reverse-complemented
+ * prefix directly out of the packed RC words (the RC of a prefix is a
+ * suffix of the RC), so no per-seed reverse complement is materialized.
  */
 #pragma once
 
@@ -50,6 +59,13 @@ struct ExtendParams
      * (more states, more work, spurious recombinant alignments).
      */
     bool haplotypeConsistent = true;
+    /**
+     * Use the SWAR (32 bases per XOR) match loop.  Disabling selects the
+     * bit-identical scalar reference loop over the same packed words —
+     * the A/B baseline for the SWAR speedup metric and the property-test
+     * oracle, not a production mode.
+     */
+    bool useSwar = true;
 };
 
 /** Result of extending in one direction. */
@@ -92,6 +108,58 @@ struct WalkState
 } // namespace detail
 
 /**
+ * The query of one read, packed 2 bits/base in both orientations.  The
+ * right walk reads the forward words from the seed offset; the left walk
+ * reads the reverse-complemented prefix as a suffix of the RC words.
+ * pack() canonicalizes ambiguous letters to 'A' (util/dna.h policy).
+ *
+ * ensure() keys on (data pointer, length) so consecutive seeds of the
+ * same oriented read repack nothing; callers that rewrite a reused buffer
+ * in place must call invalidate() (MapperState does, per read).
+ */
+struct PackedQuery
+{
+    std::vector<uint64_t> fwd; // packed oriented read + pad word
+    std::vector<uint64_t> rc;  // packed reverse complement + pad word
+    uint32_t size = 0;
+
+    void pack(std::string_view oriented);
+
+    void
+    ensure(std::string_view oriented)
+    {
+        if (oriented.data() != keyData_ || oriented.size() != keyLen_) {
+            pack(oriented);
+        }
+    }
+
+    void
+    invalidate()
+    {
+        keyData_ = nullptr;
+        keyLen_ = 0;
+    }
+
+    /** Query suffix [from, size) — the right walk's view. */
+    util::PackedSpan
+    suffix(uint32_t from) const
+    {
+        return util::PackedSpan{fwd.data(), from, size - from};
+    }
+
+    /** RC of the prefix [0, len) — the left walk's view. */
+    util::PackedSpan
+    rcPrefix(uint32_t len) const
+    {
+        return util::PackedSpan{rc.data(), size - len, len};
+    }
+
+  private:
+    const char* keyData_ = nullptr;
+    size_t keyLen_ = 0;
+};
+
+/**
  * Reusable buffers for the extension kernel, owned by the caller (one per
  * worker thread, typically inside MapperState).  After the first few seeds
  * every capacity has reached its high-water mark and extension allocates
@@ -101,7 +169,10 @@ struct ExtendScratch
 {
     std::vector<detail::WalkState> stack;      // DFS worklist
     std::vector<gbwt::SearchState> successors; // per-node branch buffer
-    std::string leftQuery;                     // reverse-complement prefix
+    PackedQuery query;                         // per-read packed query
+    std::vector<uint64_t> walkQuery;           // string walk() overload
+    /** 32-base SWAR chunks XORed (bench: words compared per extension). */
+    uint64_t wordsCompared = 0;
 };
 
 /**
@@ -133,11 +204,21 @@ class Extender
     /**
      * Core walk: match `query` (left to right) against graph bases starting
      * at `offset` within oriented node `start`, following only
-     * haplotype-supported edges.  Exposed for unit testing.
+     * haplotype-supported edges.  Packs the query into scratch first;
+     * exposed for unit testing.
      */
     DirectionalWalk walk(graph::Handle start, uint32_t offset,
                          std::string_view query, gbwt::CachedGbwt& cache,
                          ExtendScratch& scratch) const;
+
+    /**
+     * The packed walk the mapping loop runs: `query` is a span of already
+     * packed 2-bit codes (a view into ExtendScratch::query).
+     */
+    DirectionalWalk walkPacked(graph::Handle start, uint32_t offset,
+                               util::PackedSpan query,
+                               gbwt::CachedGbwt& cache,
+                               ExtendScratch& scratch) const;
 
     /** Convenience overload using a per-thread scratch (tests, tools). */
     DirectionalWalk walk(graph::Handle start, uint32_t offset,

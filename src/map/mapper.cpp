@@ -48,11 +48,15 @@ Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
     // Fresh per-read CachedGBWT, as Giraffe's extender constructs one per
     // mapping task; its initialization is part of the read's cost.
     state.freshCache();
-    std::vector<Cluster> clusters;
+    // The packed-query cache keys on (pointer, length); reverseSeq is a
+    // reused buffer, so a new read can alias the previous read's key with
+    // different contents.  Force a repack on first use.
+    state.extendScratch.query.invalidate();
+    std::vector<Cluster>& clusters = state.clusters;
     {
         perf::ScopedRegion region(state.log, regionCluster_);
-        clusters = clusterSeeds(graph_, distance_, seeds,
-                                params_.cluster, state.tracer);
+        clusterSeedsInto(graph_, distance_, seeds, params_.cluster,
+                         clusters, state.tracer);
     }
     result.clustersFormed = static_cast<uint32_t>(clusters.size());
     {
@@ -72,6 +76,8 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
     }
     const double best_score = clusters.front().score;
     const double cutoff = best_score * params_.clusterScoreFraction;
+    std::vector<GaplessExtension>& candidates = state.extensionBuffer;
+    candidates.clear();
     // The reverse complement is computed once per read into the state's
     // reusable buffer; both orientations' extensions compare against their
     // own oriented sequence.
@@ -134,19 +140,23 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
                 extender_.extendSeed(seeds[idx], oriented, state.cache(),
                                      state.extendScratch);
             if (ext.readEnd > ext.readBegin) {
-                result.extensions.push_back(std::move(ext));
+                candidates.push_back(std::move(ext));
             }
         }
     }
 
     // Deduplicate identical extensions found from different seeds, keep
-    // the best-scoring ones, deterministic order.
-    std::sort(result.extensions.begin(), result.extensions.end());
-    result.extensions.erase(
-        std::unique(result.extensions.begin(), result.extensions.end()),
-        result.extensions.end());
-    if (result.extensions.size() > params_.maxExtensions) {
-        result.extensions.resize(params_.maxExtensions);
+    // the best-scoring ones, deterministic order; only the survivors are
+    // copied into the returned result.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (candidates.size() > params_.maxExtensions) {
+        candidates.resize(params_.maxExtensions);
+    }
+    result.extensions.reserve(candidates.size());
+    for (GaplessExtension& ext : candidates) {
+        result.extensions.push_back(std::move(ext));
     }
 }
 

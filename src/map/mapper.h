@@ -97,9 +97,17 @@ class MapperState
     /** Extension-kernel buffers reused across seeds and reads. */
     ExtendScratch extendScratch;
     /** Cluster-processing buffers reused across clusters and reads. */
+    std::vector<Cluster> clusters;
     std::vector<uint32_t> sortedSeeds;
     std::vector<uint32_t> chosenSeeds;
     std::string reverseSeq;
+    /**
+     * Candidate extensions before dedup/trim.  A read can produce an order
+     * of magnitude more candidates than the maxExtensions it returns;
+     * accumulating them here keeps that churn in warm capacity and the
+     * returned MapResult allocates only for its final trimmed set.
+     */
+    std::vector<GaplessExtension> extensionBuffer;
 
   private:
     gbwt::CachedGbwt cache_;

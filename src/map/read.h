@@ -29,6 +29,9 @@ struct ReadSet
 {
     std::vector<Read> reads;
     bool pairedEnd = false;
+    /** Bases canonicalized from ambiguity letters to 'A' at ingest
+     *  (util/dna.h policy); downstream may assume pure ACGT. */
+    size_t sanitizedBases = 0;
 
     size_t size() const { return reads.size(); }
 };

@@ -1,6 +1,7 @@
 #include "util/dna.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "util/common.h"
 
@@ -28,6 +29,32 @@ struct CodeTable
 };
 
 constexpr CodeTable kCodeTable;
+
+/** acgtACGT -> code, everything else -> 0 ('A'): the canonicalization. */
+struct CanonCodeTable
+{
+    uint8_t table[256];
+    constexpr CanonCodeTable() : table()
+    {
+        for (int i = 0; i < 256; ++i) {
+            table[i] = 0;
+        }
+        table['A'] = table['a'] = 0;
+        table['C'] = table['c'] = 1;
+        table['G'] = table['g'] = 2;
+        table['T'] = table['t'] = 3;
+    }
+};
+
+constexpr CanonCodeTable kCanonCodeTable;
+
+/** True iff the character packs losslessly (case-insensitive ACGT). */
+constexpr bool
+isStrictBase(char c)
+{
+    return c == 'A' || c == 'C' || c == 'G' || c == 'T' || c == 'a' ||
+           c == 'c' || c == 'g' || c == 't';
+}
 
 } // namespace
 
@@ -75,6 +102,109 @@ reverseComplementInto(std::string_view seq, std::string& out)
     for (size_t i = 0; i < seq.size(); ++i) {
         out[i] = complementBase(seq[seq.size() - 1 - i]);
     }
+}
+
+uint8_t
+canonicalCode(char base)
+{
+    return kCanonCodeTable.table[static_cast<uint8_t>(base)];
+}
+
+SanitizeCounts
+sanitizeDna(std::string& seq)
+{
+    SanitizeCounts counts;
+    for (char& c : seq) {
+        if (isStrictBase(c)) {
+            c = kBases[kCanonCodeTable.table[static_cast<uint8_t>(c)]];
+        } else if (std::isalpha(static_cast<unsigned char>(c))) {
+            c = 'A';
+            ++counts.ambiguous;
+        } else {
+            c = 'A';
+            ++counts.invalid;
+        }
+    }
+    return counts;
+}
+
+size_t
+packAsciiInto(std::string_view seq, uint64_t* dst, uint64_t p)
+{
+    size_t sanitized = 0;
+    uint64_t chunk = 0;
+    uint32_t filled = 0;
+    uint64_t at = p;
+    for (char c : seq) {
+        if (!isStrictBase(c)) {
+            ++sanitized;
+        }
+        chunk |= static_cast<uint64_t>(
+                     kCanonCodeTable.table[static_cast<uint8_t>(c)])
+                 << (2 * filled);
+        if (++filled == kBasesPerWord) {
+            writeChunk(dst, at, chunk, kBasesPerWord);
+            at += kBasesPerWord;
+            chunk = 0;
+            filled = 0;
+        }
+    }
+    if (filled > 0) {
+        writeChunk(dst, at, chunk, filled);
+    }
+    return sanitized;
+}
+
+void
+reverseComplementPacked(const uint64_t* src, uint64_t len, uint64_t* dst)
+{
+    if (len == 0) {
+        return;
+    }
+    const uint64_t W = packedDataWords(len);
+    // The reversed stream starts with the complement of the tail word's
+    // zero padding ('T' runs); dropping exactly that phase aligns base 0.
+    const uint32_t sh =
+        2 * ((kBasesPerWord - (static_cast<uint32_t>(len) & 31u)) & 31u);
+    auto reversed = [&](uint64_t i) {
+        return i < W ? rcWord(src[W - 1 - i]) : uint64_t{0};
+    };
+    for (uint64_t j = 0; j < W; ++j) {
+        uint64_t w = reversed(j) >> sh;
+        if (sh != 0) {
+            w |= reversed(j + 1) << (64 - sh);
+        }
+        dst[j] = w;
+    }
+}
+
+void
+copyPackedInto(uint64_t* dst, uint64_t dstBase, const uint64_t* src,
+               uint64_t len)
+{
+    for (uint64_t done = 0; done < len; done += kBasesPerWord) {
+        uint32_t n = static_cast<uint32_t>(
+            std::min<uint64_t>(kBasesPerWord, len - done));
+        writeChunk(dst, dstBase + done, src[done >> 5], n);
+    }
+}
+
+std::string
+unpackPacked(const uint64_t* words, uint64_t p, uint64_t len)
+{
+    std::string out;
+    out.resize(len);
+    uint64_t i = 0;
+    while (i < len) {
+        uint64_t chunk = chunk32(words, p + i);
+        uint64_t n = std::min<uint64_t>(kBasesPerWord, len - i);
+        for (uint64_t j = 0; j < n; ++j) {
+            out[i + j] = kBases[chunk & 3];
+            chunk >>= 2;
+        }
+        i += n;
+    }
+    return out;
 }
 
 uint64_t

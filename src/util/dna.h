@@ -1,12 +1,30 @@
 /**
  * @file
  * DNA alphabet utilities shared by the graph, indexing, and simulation
- * layers: 2-bit base codes, complementation, reverse complements, and
- * validation.  Bases are the four nucleotides ACGT; the packed code order
+ * layers: 2-bit base codes, complementation, reverse complements,
+ * validation, and the packed-word substrate used by the hot kernels.
+ * Bases are the four nucleotides ACGT; the packed code order
  * (A=0, C=1, G=2, T=3) makes complement a simple "3 - code".
+ *
+ * Packed-word layout (the sequence substrate of the mapping kernel):
+ * 32 bases per 64-bit word, LSB-first — base i of a word occupies bits
+ * [2i, 2i+2).  Unused tail bits of the last word of a sequence are zero
+ * ('A' codes); every packed buffer carries one extra zero *padding word*
+ * past its data so `chunk32` can read a shift-carry pair at any offset
+ * without bounds checks.
+ *
+ * Non-ACGT canonicalization policy (applied at every ingest boundary —
+ * SequenceStore::addNode, FASTQ parsing, minimizer construction, query
+ * packing): case-insensitive A/C/G/T map to their upper-case base; every
+ * other *letter* (IUPAC ambiguity codes such as N, R, Y, plus U) maps to
+ * 'A', and ingest records how many bases were canonicalized this way;
+ * non-letter characters are invalid and rejected by ingest.  Hot paths may
+ * assume post-ingest sequences are pure ACGT, so a 2-bit code can never
+ * silently alias an ambiguous base.
  */
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -15,6 +33,9 @@ namespace mg::util {
 
 /** Number of distinct DNA bases. */
 inline constexpr int kDnaAlphabetSize = 4;
+
+/** Bases stored per 64-bit packed word. */
+inline constexpr uint32_t kBasesPerWord = 32;
 
 /** Map a base character (upper case ACGT) to its 2-bit code; 0xff if bad. */
 uint8_t baseCode(char base);
@@ -38,6 +59,217 @@ std::string reverseComplement(std::string_view seq);
  * `seq` must not alias `out`.
  */
 void reverseComplementInto(std::string_view seq, std::string& out);
+
+// ---------------------------------------------------------------------
+// Canonicalization (the non-ACGT policy; see the file comment).
+
+/**
+ * Canonical 2-bit code of any character under the sanitization policy:
+ * acgtACGT map to their code, everything else (ambiguity letters AND
+ * invalid bytes) maps to 0 ('A').  Branch-free table lookup for hot loops
+ * that run after ingest validated/counted the input.
+ */
+uint8_t canonicalCode(char base);
+
+/** Counts reported by sanitizeDna. */
+struct SanitizeCounts
+{
+    /** Letters outside acgtACGT replaced by 'A' (N, IUPAC codes, U...). */
+    size_t ambiguous = 0;
+    /** Non-letter characters replaced by 'A' (ingest should reject). */
+    size_t invalid = 0;
+};
+
+/**
+ * Canonicalize a sequence in place: lower-case acgt upper-cased (not
+ * counted), ambiguous letters replaced by 'A' (counted), non-letters
+ * replaced by 'A' (counted separately so callers can reject).
+ */
+SanitizeCounts sanitizeDna(std::string& seq);
+
+// ---------------------------------------------------------------------
+// Packed-word primitives.
+
+/** Data words needed for `bases` packed bases (excludes the pad word). */
+inline uint64_t
+packedDataWords(uint64_t bases)
+{
+    return (bases + kBasesPerWord - 1) / kBasesPerWord;
+}
+
+/** Words a self-contained packed buffer needs: data plus one pad word. */
+inline uint64_t
+packedBufferWords(uint64_t bases)
+{
+    return packedDataWords(bases) + 1;
+}
+
+/** 2-bit code stored at base offset `p` of a packed word array. */
+inline uint8_t
+packedCode(const uint64_t* words, uint64_t p)
+{
+    return static_cast<uint8_t>(
+        (words[p >> 5] >> ((static_cast<uint32_t>(p) & 31u) << 1)) & 3u);
+}
+
+/**
+ * 32 consecutive bases starting at base offset `p`, LSB-first.  Reads the
+ * shift-carry word at index (p>>5)+1, so the array must extend one word
+ * past the last data word (the pad-word invariant).
+ */
+inline uint64_t
+chunk32(const uint64_t* words, uint64_t p)
+{
+    uint64_t wi = p >> 5;
+    uint32_t sh = (static_cast<uint32_t>(p) & 31u) << 1;
+    // Branchless shift-carry: (hi << 1) << (63 - sh) equals hi << (64 - sh)
+    // for sh > 0 and vanishes for sh == 0 (a 64-bit total shift), avoiding
+    // both the undefined 64-bit shift and a poorly predicted branch in the
+    // innermost kernel.
+    return (words[wi] >> sh) | ((words[wi + 1] << 1) << (63 - sh));
+}
+
+/** Mask covering the low 2*n bits (n <= 32 bases). */
+inline uint64_t
+basesMask(uint32_t n)
+{
+    return n >= kBasesPerWord ? ~uint64_t{0}
+                              : (uint64_t{1} << (2 * n)) - 1;
+}
+
+/**
+ * Write n <= 32 bases (LSB-first in `chunk`) at base offset `p`.  The
+ * destination range must be zero (freshly grown buffer); bits are OR-ed
+ * in across the word boundary.
+ */
+inline void
+writeChunk(uint64_t* words, uint64_t p, uint64_t chunk, uint32_t n)
+{
+    chunk &= basesMask(n);
+    uint64_t wi = p >> 5;
+    uint32_t sh = (static_cast<uint32_t>(p) & 31u) << 1;
+    words[wi] |= chunk << sh;
+    if (sh != 0) {
+        words[wi + 1] |= chunk >> (64 - sh);
+    }
+}
+
+/**
+ * Reverse complement of one full 32-base word: word-wise complement (the
+ * 2-bit complement is 3 - code == ~code & 3, so one NOT complements all 32
+ * bases) followed by a 2-bit-group reversal (pair swaps + byte swap).
+ */
+inline uint64_t
+rcWord(uint64_t w)
+{
+    w = ~w;
+    w = ((w >> 2) & 0x3333333333333333ull) |
+        ((w & 0x3333333333333333ull) << 2);
+    w = ((w >> 4) & 0x0f0f0f0f0f0f0f0full) |
+        ((w & 0x0f0f0f0f0f0f0f0full) << 4);
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(w);
+#else
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+        out = (out << 8) | ((w >> (8 * i)) & 0xffu);
+    }
+    return out;
+#endif
+}
+
+/**
+ * Pack an ASCII sequence into `dst` starting at base offset `p`,
+ * canonicalizing as it goes (see the policy above).  The destination
+ * range must be zero.  Returns the number of non-acgtACGT characters
+ * canonicalized to 'A'.
+ */
+size_t packAsciiInto(std::string_view seq, uint64_t* dst, uint64_t p);
+
+/**
+ * Reverse complement `len` packed bases (starting at base 0 of src) into
+ * dst, which must hold packedDataWords(len) words.  src's tail bits
+ * beyond len must be zero; dst's will be.  Entirely word-wise: rcWord per
+ * word, reversed word order, one shift-carry pass for the tail phase.
+ * src and dst must not alias.
+ */
+void reverseComplementPacked(const uint64_t* src, uint64_t len,
+                             uint64_t* dst);
+
+/**
+ * Blit `len` packed bases from src (starting at its base 0) into dst at
+ * base offset dstBase.  The destination range must be zero.
+ */
+void copyPackedInto(uint64_t* dst, uint64_t dstBase, const uint64_t* src,
+                    uint64_t len);
+
+/** Decode `len` packed bases starting at base offset `p` into a string. */
+std::string unpackPacked(const uint64_t* words, uint64_t p, uint64_t len);
+
+/**
+ * A borrowed range of packed bases: word array + base offset of element 0
+ * + length.  The backing array must satisfy the pad-word invariant.
+ */
+struct PackedSpan
+{
+    const uint64_t* words = nullptr;
+    uint64_t first = 0;
+    uint32_t size = 0;
+
+    uint8_t code(uint32_t i) const { return packedCode(words, first + i); }
+    char at(uint32_t i) const { return codeBase(code(i)); }
+    std::string str() const { return unpackPacked(words, first, size); }
+};
+
+/**
+ * SWAR match run: length of the common prefix (up to `span` bases) of the
+ * packed ranges starting at a[abase] and b[bbase].  XORs 32-base chunks;
+ * equal bases give a zero 2-bit group, so the first mismatching base is
+ * countr_zero of the XOR divided by 2.  `words_compared` counts chunk
+ * comparisons (bench instrumentation; one add per 32 bases).
+ */
+inline uint32_t
+matchRunPacked(const uint64_t* a, uint64_t abase, const uint64_t* b,
+               uint64_t bbase, uint32_t span, uint64_t& words_compared)
+{
+    uint32_t done = 0;
+    while (done < span) {
+        uint64_t x = chunk32(a, abase + done) ^ chunk32(b, bbase + done);
+        ++words_compared;
+        uint32_t lim = span - done;
+        if (lim > kBasesPerWord) {
+            lim = kBasesPerWord;
+        }
+        uint32_t diff =
+            x != 0 ? static_cast<uint32_t>(std::countr_zero(x)) >> 1
+                   : kBasesPerWord;
+        if (diff < lim) {
+            return done + diff;
+        }
+        done += lim;
+    }
+    return span;
+}
+
+/**
+ * Reference scalar match run over the same packed ranges: one code compare
+ * per base.  Bit-identical to matchRunPacked by construction; kept as the
+ * property-test oracle and the A/B baseline for the SWAR speedup metric.
+ */
+inline uint32_t
+matchRunScalar(const uint64_t* a, uint64_t abase, const uint64_t* b,
+               uint64_t bbase, uint32_t span)
+{
+    uint32_t i = 0;
+    while (i < span &&
+           packedCode(a, abase + i) == packedCode(b, bbase + i)) {
+        ++i;
+    }
+    return i;
+}
+
+// ---------------------------------------------------------------------
+// k-mer packing (MSB-first; independent of the arena layout above).
 
 /**
  * Invertible hash over 64-bit keys (Thomas Wang / murmur-style finalizer).

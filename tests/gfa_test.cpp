@@ -37,7 +37,7 @@ TEST(GfaTest, RoundTripPreservesGeneratedPangenome)
     ASSERT_EQ(back.numEdges(), pg.graph.numEdges());
     ASSERT_EQ(back.numPaths(), pg.graph.numPaths());
     for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
-        ASSERT_EQ(back.sequenceView(id), pg.graph.sequenceView(id));
+        ASSERT_EQ(back.forwardSequence(id), pg.graph.forwardSequence(id));
     }
     for (size_t p = 0; p < pg.graph.numPaths(); ++p) {
         EXPECT_EQ(back.path(p).name, pg.graph.path(p).name);
@@ -68,8 +68,8 @@ TEST(GfaTest, CompactsSparseNumericIds)
         "P\tp\t10+,20+\t*\n";
     graph::VariationGraph g = parseGfa(gfa);
     ASSERT_EQ(g.numNodes(), 2u);
-    EXPECT_EQ(g.sequenceView(1), "AA");
-    EXPECT_EQ(g.sequenceView(2), "CC");
+    EXPECT_EQ(g.forwardSequence(1), "AA");
+    EXPECT_EQ(g.forwardSequence(2), "CC");
     ASSERT_EQ(g.numPaths(), 1u);
     EXPECT_EQ(g.path(0).steps[0], graph::Handle(1, false));
 }

@@ -271,7 +271,10 @@ refMapFromSeeds(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
         }
         std::vector<uint32_t> chosen;
         {
-            std::vector<uint32_t> sorted = cluster.seedIndices;
+            std::vector<uint32_t> sorted;
+            for (uint32_t idx : cluster.seedIndices) {
+                sorted.push_back(idx);
+            }
             std::sort(sorted.begin(), sorted.end(),
                       [&](uint32_t a, uint32_t b) {
                           if (seeds[a].score != seeds[b].score) {

@@ -67,8 +67,23 @@ TEST(VariationGraphTest, RejectsBadSequences)
 {
     VariationGraph g;
     EXPECT_THROW(g.addNode(""), util::Error);
-    EXPECT_THROW(g.addNode("ACGN"), util::Error);
-    EXPECT_THROW(g.addNode("acgt"), util::Error);
+    // Non-letter characters are invalid under the canonicalization policy.
+    EXPECT_THROW(g.addNode("AC-T"), util::Error);
+    EXPECT_THROW(g.addNode("ACG*"), util::Error);
+}
+
+TEST(VariationGraphTest, CanonicalizesAmbiguityLetters)
+{
+    // Policy (util/dna.h): ambiguity letters -> 'A' with a count; lower
+    // case upper-cased without counting.  Both strands reflect the
+    // canonical bases.
+    VariationGraph g;
+    NodeId a = g.addNode("ACGN");
+    NodeId b = g.addNode("acgt");
+    EXPECT_EQ(g.forwardSequence(a), "ACGA");
+    EXPECT_EQ(g.forwardSequence(b), "ACGT");
+    EXPECT_EQ(g.sequence(Handle(a, true)), "TCGT");
+    EXPECT_EQ(g.sanitizedBases(), 1u);
 }
 
 TEST(VariationGraphTest, EdgeCreatesReverseTwin)

@@ -47,7 +47,7 @@ TEST(MgzTest, RoundTripPreservesEverything)
     EXPECT_EQ(loaded.graph.numEdges(), pg.graph.numEdges());
     EXPECT_EQ(loaded.graph.numPaths(), pg.graph.numPaths());
     for (graph::NodeId id = 1; id <= pg.graph.numNodes(); ++id) {
-        ASSERT_EQ(loaded.graph.sequenceView(id), pg.graph.sequenceView(id));
+        ASSERT_EQ(loaded.graph.forwardSequence(id), pg.graph.forwardSequence(id));
     }
     for (size_t p = 0; p < pg.graph.numPaths(); ++p) {
         EXPECT_EQ(loaded.graph.path(p).name, pg.graph.path(p).name);
@@ -323,9 +323,20 @@ TEST(FastqTest, MalformedInputThrows)
 {
     EXPECT_THROW(parseFastq("@x\nACGT\n"), util::Error);           // 2 lines
     EXPECT_THROW(parseFastq("x\nACGT\n+\nIIII\n"), util::Error);   // no @
-    EXPECT_THROW(parseFastq("@x\nACGN\n+\nIIII\n"), util::Error);  // non-DNA
+    EXPECT_THROW(parseFastq("@x\nAC-T\n+\nIIII\n"), util::Error);  // garbage
     EXPECT_THROW(parseFastq("@x\nACGT\n-\nIIII\n"), util::Error);  // no +
     EXPECT_THROW(parseFastq("@x\nACGT\n+\nII\n"), util::Error);    // short Q
+}
+
+TEST(FastqTest, AmbiguityLettersCanonicalized)
+{
+    // Policy (util/dna.h): ambiguity letters -> 'A', counted; lower-case
+    // acgt upper-cased without counting; non-letters reject (test above).
+    map::ReadSet set = parseFastq("@x\nACGN\n+\nIIII\n@y\nacgt\n+\nIIII\n");
+    ASSERT_EQ(set.reads.size(), 2u);
+    EXPECT_EQ(set.reads[0].sequence, "ACGA");
+    EXPECT_EQ(set.reads[1].sequence, "ACGT");
+    EXPECT_EQ(set.sanitizedBases, 1u);
 }
 
 } // namespace

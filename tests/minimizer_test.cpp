@@ -201,6 +201,42 @@ TEST_F(MinimizerIndexTest, PositionsPointAtRealNodes)
     }
 }
 
+TEST_F(MinimizerIndexTest, PackedPathMatchesStringSweep)
+{
+    // The packed-arena sweep (minimizersOfPath rolling codes out of
+    // chunk32 fetches) must produce exactly the minimizers of the decoded
+    // path string — same offsets, same hashes, same order.
+    for (const graph::PathEntry& path : pg_.graph.paths()) {
+        auto packed = minimizersOfPath(pg_.graph, path.steps, indexParams_);
+        auto decoded = minimizersOf(pg_.graph.pathSequence(path.steps),
+                                    indexParams_);
+        ASSERT_EQ(packed.size(), decoded.size());
+        for (size_t i = 0; i < packed.size(); ++i) {
+            ASSERT_EQ(packed[i].offset, decoded[i].offset);
+            ASSERT_EQ(packed[i].hash, decoded[i].hash);
+        }
+    }
+}
+
+TEST_F(MinimizerIndexTest, ParallelBuildIsIdenticalToSerial)
+{
+    // Fan-out over the work-stealing scheduler must not change the index:
+    // per-path results merge in path order before the global sort.
+    MinimizerParams serial = indexParams_;
+    serial.buildThreads = 1;
+    MinimizerParams parallel = indexParams_;
+    parallel.buildThreads = 4;
+    MinimizerIndex a(pg_.graph, serial);
+    MinimizerIndex b(pg_.graph, parallel);
+    ASSERT_EQ(a.numKeys(), b.numKeys());
+    ASSERT_EQ(a.numEntries(), b.numEntries());
+    EXPECT_EQ(a.keys(), b.keys());
+    ASSERT_EQ(a.positions().size(), b.positions().size());
+    for (size_t i = 0; i < a.positions().size(); ++i) {
+        ASSERT_EQ(a.positions()[i], b.positions()[i]);
+    }
+}
+
 TEST(MinimizerIndexFilterTest, RepeatFilterDropsFrequentKeys)
 {
     // A graph that is one long homopolymer-ish repeat: with a tiny

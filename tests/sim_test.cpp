@@ -22,7 +22,7 @@ TEST(PangenomeGenTest, DeterministicForSameSeed)
     GeneratedPangenome b = generatePangenome(params);
     ASSERT_EQ(a.graph.numNodes(), b.graph.numNodes());
     for (graph::NodeId id = 1; id <= a.graph.numNodes(); ++id) {
-        ASSERT_EQ(a.graph.sequenceView(id), b.graph.sequenceView(id));
+        ASSERT_EQ(a.graph.forwardSequence(id), b.graph.forwardSequence(id));
     }
     ASSERT_EQ(a.walks, b.walks);
 }
