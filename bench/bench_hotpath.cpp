@@ -38,6 +38,7 @@
 
 #include "common.h"
 #include "io/file.h"
+#include "stats/latency.h"
 #include "util/timer.h"
 
 // ------------------------------------------------------------------------
@@ -151,6 +152,10 @@ struct PassResult
     double bytesPerRead = 0.0;
     double allocsPerRead = 0.0;
     double hitRate = 0.0;
+    /** Per-read latency tail (nanoseconds), from the mapper's histogram. */
+    double p50Nanos = 0.0;
+    double p99Nanos = 0.0;
+    double p999Nanos = 0.0;
 };
 
 /**
@@ -171,6 +176,7 @@ measureMapping(const Workload& wl, int reps, bool use_swar = true)
         mapper.mapFromSeeds(entry.read, entry.seeds, *state);
     }
     const gbwt::CacheStats warm = state->totalStats();
+    state->resilience.latency.clear(); // drop warm-up samples
     AllocSnapshot before = allocNow();
     util::WallTimer timer;
     for (int rep = 0; rep < reps; ++rep) {
@@ -194,6 +200,10 @@ measureMapping(const Workload& wl, int reps, bool use_swar = true)
     out.hitRate = lookups == 0
         ? 0.0
         : static_cast<double>(hits) / static_cast<double>(lookups);
+    const stats::LatencyHistogram& latency = state->resilience.latency;
+    out.p50Nanos = latency.p50();
+    out.p99Nanos = latency.p99();
+    out.p999Nanos = latency.p999();
     return out;
 }
 
@@ -416,6 +426,9 @@ writeJson(const std::string& path, const InputRecord& a,
                      "      \"bytes_per_extend\": %.1f,\n"
                      "      \"allocs_per_extend\": %.2f,\n"
                      "      \"words_per_extend\": %.2f,\n"
+                     "      \"read_latency_p50_ns\": %.0f,\n"
+                     "      \"read_latency_p99_ns\": %.0f,\n"
+                     "      \"read_latency_p999_ns\": %.0f,\n"
                      "      \"scalar_reads_per_sec\": %.1f,\n"
                      "      \"scalar_extends_per_sec\": %.1f\n"
                      "    }%s\n",
@@ -423,6 +436,7 @@ writeJson(const std::string& path, const InputRecord& a,
                      r.map.allocsPerRead, r.map.hitRate,
                      r.ext.extendsPerSec, r.ext.bytesPerExtend,
                      r.ext.allocsPerExtend, r.ext.wordsPerExtend,
+                     r.map.p50Nanos, r.map.p99Nanos, r.map.p999Nanos,
                      r.mapScalar.readsPerSec, r.extScalar.extendsPerSec,
                      tail);
     };
@@ -526,6 +540,10 @@ smokeRun()
                 "hit %.3f, extend %.0f/s, %.1f B/extend\n",
                 map_a.readsPerSec, map_a.bytesPerRead, map_a.hitRate,
                 ext_a.extendsPerSec, ext_a.bytesPerExtend);
+    std::printf("perf-smoke A-human latency: p50 %s, p99 %s, p999 %s\n",
+                stats::formatNanos(map_a.p50Nanos).c_str(),
+                stats::formatNanos(map_a.p99Nanos).c_str(),
+                stats::formatNanos(map_a.p999Nanos).c_str());
     int failures = 0;
     if (ext_a.bytesPerExtend != 0.0 || ext_a.allocsPerExtend != 0.0) {
         std::fprintf(stderr,
@@ -597,12 +615,16 @@ main(int argc, char** argv)
         std::printf(
             "%s: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
             "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend  "
-            "%6.2f words/ext\n         swar/scalar: map %.2fx, "
+            "%6.2f words/ext\n         read latency: p50 %s, p99 %s, "
+            "p999 %s\n         swar/scalar: map %.2fx, "
             "extend %.2fx\n",
             name, r.map.readsPerSec, r.map.bytesPerRead,
             r.map.allocsPerRead, r.map.hitRate, r.ext.extendsPerSec,
-            r.ext.bytesPerExtend, r.ext.wordsPerExtend, r.mapSpeedup(),
-            r.extendSpeedup());
+            r.ext.bytesPerExtend, r.ext.wordsPerExtend,
+            mg::stats::formatNanos(r.map.p50Nanos).c_str(),
+            mg::stats::formatNanos(r.map.p99Nanos).c_str(),
+            mg::stats::formatNanos(r.map.p999Nanos).c_str(),
+            r.mapSpeedup(), r.extendSpeedup());
     };
     InputRecord rec_a = record(workload("A-human"));
     InputRecord rec_b = record(workload("B-yeast"));

@@ -11,10 +11,12 @@
 #include <cstdio>
 
 #include "fault/fault.h"
+#include "giraffe/checkpoint_run.h"
 #include "giraffe/parent.h"
 #include "index/distance.h"
 #include "index/minimizer.h"
 #include "io/fastq.h"
+#include "io/file.h"
 #include "io/gaf.h"
 #include "io/mgz.h"
 #include "util/flags.h"
@@ -32,7 +34,25 @@ try {
          .define("k", "15", "minimizer k-mer length")
          .define("w", "8", "minimizer window size")
          .define("fault", "",
-                 "arm fault injection, e.g. 'sched.worker=throw,limit=2'");
+                 "arm fault injection, e.g. 'sched.worker=throw,limit=2'")
+         .define("deadline", "0",
+                 "wall-clock budget in seconds (0 = unlimited); reads "
+                 "past the deadline degrade to best-so-far")
+         .define("max-extend-steps", "0",
+                 "per-read cap on extension walk states (0 = unlimited)")
+         .define("max-gbwt-lookups", "0",
+                 "per-read cap on GBWT lookups (0 = unlimited)")
+         .define("watchdog", "false",
+                 "supervise workers; stalled batches are cancelled "
+                 "cooperatively")
+         .define("watchdog-stall", "5.0",
+                 "seconds without a heartbeat before a worker counts "
+                 "as stalled")
+         .define("checkpoint", "",
+                 "checkpoint directory: flush durable GAF shards and "
+                 "resume from them (unpaired reads only)")
+         .define("checkpoint-shard", "2048",
+                 "reads per checkpoint shard");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -74,8 +94,46 @@ try {
     mg::giraffe::ParentParams params;
     params.numThreads = static_cast<size_t>(flags.integer("threads"));
     params.batchSize = static_cast<size_t>(flags.integer("batch-size"));
+    params.budget.wallSeconds = flags.real("deadline");
+    params.budget.maxExtendSteps =
+        static_cast<uint64_t>(flags.integer("max-extend-steps"));
+    params.budget.maxGbwtLookups =
+        static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
+    params.watchdog = flags.boolean("watchdog");
+    params.watchdogParams.stallSeconds = flags.real("watchdog-stall");
     mg::giraffe::ParentEmulator giraffe(pangenome.graph, pangenome.gbwt,
                                         minimizers, distance, params);
+
+    if (!flags.str("checkpoint").empty()) {
+        // Checkpointed mode: the parent emulator drives shard-at-a-time
+        // mapping with durable flushes, resuming from whatever the
+        // directory already holds; the stitched GAF is byte-identical to
+        // an uninterrupted run.
+        mg::giraffe::CheckpointRunParams cp;
+        cp.dir = flags.str("checkpoint");
+        cp.shardReads =
+            static_cast<uint64_t>(flags.integer("checkpoint-shard"));
+        mg::giraffe::CheckpointRunResult result =
+            mg::giraffe::runCheckpointed(giraffe, reads, cp);
+        std::printf("checkpointed run: %llu resumed + %llu mapped reads "
+                    "in %.3f s (%llu dropped shards)\n",
+                    static_cast<unsigned long long>(result.resumedReads),
+                    static_cast<unsigned long long>(result.mappedReads),
+                    result.wallSeconds,
+                    static_cast<unsigned long long>(result.droppedShards));
+        std::printf("resilience: %s\n",
+                    result.resilience.summary().c_str());
+        if (!result.failures.ok()) {
+            std::printf("failures: %s\n",
+                        result.failures.summary().c_str());
+        }
+        if (!flags.str("gaf").empty()) {
+            mg::io::writeFileText(flags.str("gaf"), result.gaf);
+            std::printf("wrote %s\n", flags.str("gaf").c_str());
+        }
+        return 0;
+    }
+
     mg::giraffe::ParentOutputs outputs = giraffe.run(reads);
 
     size_t mapped = 0;
@@ -88,6 +146,7 @@ try {
                 "(GBWT cache hit rate %.3f)\n",
                 mapped, reads.size(), outputs.wallSeconds,
                 outputs.cacheStats.hitRate());
+    std::printf("resilience: %s\n", outputs.resilience.summary().c_str());
     if (!outputs.failures.ok()) {
         std::printf("failures: %s\n", outputs.failures.summary().c_str());
         for (const mg::sched::ItemFailure& item :

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "io/checkpoint.h"
 #include "io/extensions_io.h"
 #include "io/fastq.h"
 #include "io/file.h"
@@ -91,6 +92,75 @@ verifyFile(const std::string& path, bool deep)
         std::printf("%s: FASTQ, %zu reads\n", path.c_str(), reads.size());
         return true;
     }
+    if (endsWith(path, ".mgc")) {
+        // Checkpoint manifest: CRC, structure, and shard-range coverage,
+        // then every referenced shard file (CRC + range cross-check).
+        mg::io::Manifest manifest;
+        mg::util::Status status =
+            mg::io::decodeManifest(bytes, path, manifest);
+        if (!status.ok()) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         status.toString().c_str());
+            return false;
+        }
+        size_t slash = path.find_last_of('/');
+        std::string dir =
+            slash == std::string::npos ? "." : path.substr(0, slash);
+        uint64_t covered = 0;
+        bool shards_ok = true;
+        for (const mg::io::ManifestEntry& entry : manifest.shards) {
+            covered += entry.end - entry.begin;
+            const std::string shard_path = dir + "/" + entry.file;
+            mg::io::Shard shard;
+            bool ok = false;
+            std::string why;
+            try {
+                std::vector<uint8_t> shard_bytes =
+                    mg::io::readFileBytes(shard_path);
+                mg::util::Status shard_status =
+                    mg::io::decodeShard(shard_bytes, shard_path, shard);
+                if (!shard_status.ok()) {
+                    why = shard_status.toString();
+                } else if (shard.begin != entry.begin ||
+                           shard.end != entry.end) {
+                    why = "shard range disagrees with manifest";
+                } else {
+                    ok = true;
+                }
+            } catch (const mg::util::Error& e) {
+                why = e.what();
+            }
+            std::printf("  shard [%llu, %llu) %s %s\n",
+                        static_cast<unsigned long long>(entry.begin),
+                        static_cast<unsigned long long>(entry.end),
+                        entry.file.c_str(),
+                        ok ? "ok" : why.c_str());
+            shards_ok = shards_ok && ok;
+        }
+        std::printf("%s: checkpoint manifest, %zu shards covering "
+                    "%llu / %llu reads%s\n",
+                    path.c_str(), manifest.shards.size(),
+                    static_cast<unsigned long long>(covered),
+                    static_cast<unsigned long long>(manifest.totalReads),
+                    covered == manifest.totalReads ? " (complete)"
+                                                   : " (partial)");
+        return shards_ok;
+    }
+    if (endsWith(path, ".mgs")) {
+        mg::io::Shard shard;
+        mg::util::Status status = mg::io::decodeShard(bytes, path, shard);
+        if (!status.ok()) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         status.toString().c_str());
+            return false;
+        }
+        std::printf("%s: checkpoint shard [%llu, %llu), %zu GAF bytes\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(shard.begin),
+                    static_cast<unsigned long long>(shard.end),
+                    shard.gaf.size());
+        return true;
+    }
     if (endsWith(path, ".gfa")) {
         mg::graph::VariationGraph graph = mg::io::parseGfa(
             std::string(bytes.begin(), bytes.end()), path);
@@ -100,7 +170,7 @@ verifyFile(const std::string& path, bool deep)
     }
     std::fprintf(stderr,
                  "%s: unknown extension (expected .mgz, .bin, .ext, "
-                 ".fastq, or .gfa)\n",
+                 ".fastq, .gfa, .mgc, or .mgs)\n",
                  path.c_str());
     return false;
 }

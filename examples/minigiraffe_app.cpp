@@ -34,7 +34,18 @@ try {
          .define("output", "", "write raw extensions to this file")
          .define("profile", "", "dump per-region timing records (CSV)")
          .define("fault", "",
-                 "arm fault injection, e.g. 'sched.worker=throw,limit=2'");
+                 "arm fault injection, e.g. 'sched.worker=throw,limit=2'")
+         .define("deadline", "0",
+                 "wall-clock budget in seconds (0 = unlimited)")
+         .define("max-extend-steps", "0",
+                 "per-read cap on extension walk states (0 = unlimited)")
+         .define("max-gbwt-lookups", "0",
+                 "per-read cap on GBWT lookups (0 = unlimited)")
+         .define("watchdog", "false",
+                 "supervise workers; stalled batches are cancelled")
+         .define("watchdog-stall", "5.0",
+                 "seconds without a heartbeat before a worker counts "
+                 "as stalled");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -60,6 +71,13 @@ try {
     params.mapper.gbwtCacheCapacity =
         static_cast<size_t>(flags.integer("cache-capacity"));
     params.scheduler = mg::sched::schedulerFromName(flags.str("scheduler"));
+    params.budget.wallSeconds = flags.real("deadline");
+    params.budget.maxExtendSteps =
+        static_cast<uint64_t>(flags.integer("max-extend-steps"));
+    params.budget.maxGbwtLookups =
+        static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
+    params.watchdog = flags.boolean("watchdog");
+    params.watchdogParams.stallSeconds = flags.real("watchdog-stall");
 
     mg::giraffe::ProxyRunner proxy(pangenome.graph, pangenome.gbwt,
                                    distance, params);
@@ -85,6 +103,7 @@ try {
                 static_cast<unsigned long long>(outputs.cacheStats.decodes),
                 static_cast<unsigned long long>(
                     outputs.cacheStats.rehashes));
+    std::printf("resilience: %s\n", outputs.resilience.summary().c_str());
     if (!outputs.failures.ok()) {
         std::printf("failures: %s\n", outputs.failures.summary().c_str());
         for (const mg::sched::ItemFailure& item :

@@ -1,6 +1,7 @@
 #include "fault/fault.h"
 
 #include <chrono>
+#include <csignal>
 #include <map>
 #include <mutex>
 #include <new>
@@ -26,6 +27,10 @@ kindName(Kind kind)
         return "alloc-fail";
       case Kind::Stall:
         return "stall";
+      case Kind::Crash:
+        return "crash";
+      case Kind::TornWrite:
+        return "torn-write";
     }
     return "unknown";
 }
@@ -123,9 +128,18 @@ act(std::string_view site, Kind kind, const Spec& spec)
         std::this_thread::sleep_for(
             std::chrono::milliseconds(spec.stallMillis));
         return;
+      case Kind::Crash:
+        // SIGKILL, not abort(): no atexit handlers, no stack unwinding,
+        // no buffered-stream flush — the closest in-process stand-in for
+        // power loss the crash-matrix tests can arrange.
+        std::raise(SIGKILL);
+        return; // unreachable
       case Kind::Throw:
       case Kind::Truncate:
       case Kind::Corrupt:
+      case Kind::TornWrite:
+        // TornWrite at a non-buffer site degrades to a thrown fault; the
+        // durable-write path intercepts it via fire() before this.
         throwInjected(site, kind);
     }
 }
@@ -159,7 +173,10 @@ corruptedSlow(std::string_view site, const std::vector<uint8_t>& bytes)
     // Mutation offsets are a pure function of (seed, fire index, size).
     uint64_t nonce = mix(spec.seed ^ fires);
     switch (*kind) {
-      case Kind::Truncate: {
+      case Kind::Truncate:
+      case Kind::TornWrite: {
+        // TornWrite at a buffer site: the caller persists only this
+        // deterministic prefix (a torn write at power loss).
         std::vector<uint8_t> cut(bytes);
         cut.resize(bytes.empty() ? 0 : nonce % bytes.size());
         return cut;
@@ -270,10 +287,15 @@ armFromText(const std::string& text)
             spec.kind = Kind::AllocFail;
         } else if (parts[0] == "stall") {
             spec.kind = Kind::Stall;
+        } else if (parts[0] == "crash") {
+            spec.kind = Kind::Crash;
+        } else if (parts[0] == "torn-write") {
+            spec.kind = Kind::TornWrite;
         } else {
             throw util::Error(util::cat(
                 "unknown fault kind '", parts[0],
-                "' (valid: throw, truncate, corrupt, alloc-fail, stall)"));
+                "' (valid: throw, truncate, corrupt, alloc-fail, stall, ",
+                "crash, torn-write)"));
         }
         for (size_t i = 1; i < parts.size(); ++i) {
             size_t keq = parts[i].find('=');

@@ -45,6 +45,17 @@ enum class Kind : uint8_t
     AllocFail,
     /** Sleep stallMillis — a stalled worker or slow device. */
     Stall,
+    /** Kill the process with SIGKILL — a crash at exactly this point.
+     *  Used by the crash-matrix tests: a forked child runs with a Crash
+     *  armed, the parent resumes from the last durable checkpoint. */
+    Crash,
+    /**
+     * Write sites: persist only a prefix of the buffer (a torn write at
+     * power loss).  The durable-write path uses this to exercise its
+     * detection story — a torn shard fails its CRC on load and is simply
+     * re-mapped.
+     */
+    TornWrite,
 };
 
 /** Short stable name ("throw", "truncate", ...). */

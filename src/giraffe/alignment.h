@@ -15,6 +15,7 @@
 
 #include "graph/handle.h"
 #include "map/extension.h"
+#include "resilience/budget.h"
 
 namespace mg::giraffe {
 
@@ -34,6 +35,13 @@ struct Alignment
     int32_t score = 0;
     /** Phred-scaled mapping quality in [0, 60]. */
     uint8_t mappingQuality = 0;
+    /**
+     * Why the mapping was cut short (None when it ran to completion).
+     * A degraded alignment is best-so-far, not best-possible; the GAF
+     * writer tags it dg:Z:<reason>.  Unmapped degraded reads carry the
+     * reason on the unmapped record (unmapped-with-reason fallback).
+     */
+    resilience::CancelReason degraded = resilience::CancelReason::None;
 
     uint32_t length() const { return readEnd - readBegin; }
     uint32_t matches() const { return length() - mismatches; }

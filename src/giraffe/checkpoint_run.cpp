@@ -1,0 +1,158 @@
+#include "giraffe/checkpoint_run.h"
+
+#include <algorithm>
+
+#include "io/gaf.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace mg::giraffe {
+
+namespace {
+
+/** Stats delta of one freshly mapped shard. */
+io::ShardStatsDelta
+deltaOf(const ParentOutputs& outputs)
+{
+    io::ShardStatsDelta delta;
+    delta.deadlineHits = outputs.resilience.deadlineHits;
+    delta.stepCapHits = outputs.resilience.stepCapHits;
+    delta.lookupCapHits = outputs.resilience.lookupCapHits;
+    delta.watchdogCancels = outputs.resilience.watchdogCancels;
+    delta.cacheLookups = outputs.cacheStats.lookups;
+    delta.cacheHits = outputs.cacheStats.hits;
+    delta.cacheDecodes = outputs.cacheStats.decodes;
+    delta.cacheRehashes = outputs.cacheStats.rehashes;
+    delta.cacheProbes = outputs.cacheStats.probes;
+    return delta;
+}
+
+void
+accumulateDelta(CheckpointRunResult& result, const io::ShardStatsDelta& d)
+{
+    result.resilience.deadlineHits += d.deadlineHits;
+    result.resilience.stepCapHits += d.stepCapHits;
+    result.resilience.lookupCapHits += d.lookupCapHits;
+    result.resilience.watchdogCancels += d.watchdogCancels;
+    result.cacheStats.lookups += d.cacheLookups;
+    result.cacheStats.hits += d.cacheHits;
+    result.cacheStats.decodes += d.cacheDecodes;
+    result.cacheStats.rehashes += d.cacheRehashes;
+    result.cacheStats.probes += d.cacheProbes;
+}
+
+} // namespace
+
+CheckpointRunResult
+runCheckpointed(const ParentEmulator& parent, const map::ReadSet& reads,
+                const CheckpointRunParams& params)
+{
+    MG_CHECK(!reads.pairedEnd,
+             "checkpointed runs support unpaired read sets only (pairing "
+             "needs every mate mapped before it runs)");
+    MG_CHECK(params.shardReads > 0, "shardReads must be positive");
+    const uint64_t n = reads.size();
+
+    util::WallTimer timer;
+    CheckpointRunResult result;
+
+    io::CheckpointState state;
+    util::Status status = io::loadCheckpoint(params.dir, state);
+    if (!status.ok()) {
+        util::throwStatus(std::move(status)); // corrupt manifest: fatal
+    }
+    if (!state.manifest.shards.empty() || state.droppedShards > 0) {
+        MG_CHECK(state.manifest.totalReads == n,
+                 "checkpoint in ", params.dir, " is for ",
+                 state.manifest.totalReads, " reads, input has ", n);
+    }
+    result.droppedShards = state.droppedShards;
+
+    io::CheckpointWriter writer(params.dir, n);
+    // A fresh directory loads as an empty manifest pinned to 0 reads;
+    // claim it for this run before adopting.
+    state.manifest.totalReads = n;
+    writer.adopt(state.manifest);
+
+    // Durable GAF spans in read order (the manifest keeps them sorted and
+    // non-overlapping); the gaps between them are what this run maps.
+    struct Span
+    {
+        uint64_t begin;
+        uint64_t end;
+        std::string gaf;
+    };
+    std::vector<Span> spans;
+    spans.reserve(state.shards.size());
+    for (io::Shard& shard : state.shards) {
+        result.resumedReads += shard.end - shard.begin;
+        accumulateDelta(result, shard.stats);
+        spans.push_back(
+            Span{ shard.begin, shard.end, std::move(shard.gaf) });
+    }
+
+    // Map every gap, one shard-sized chunk at a time, flushing each chunk
+    // durably before starting the next — the work at risk at any instant
+    // is bounded by one shard.
+    auto map_chunk = [&](uint64_t begin, uint64_t end) {
+        map::ReadSet chunk;
+        chunk.reads.assign(reads.reads.begin() + static_cast<long>(begin),
+                           reads.reads.begin() + static_cast<long>(end));
+        ParentOutputs outputs = parent.run(chunk);
+        io::Shard shard;
+        shard.begin = begin;
+        shard.end = end;
+        shard.gaf = io::formatGaf(outputs.alignments, chunk,
+                                  parent.mapper().graph());
+        shard.stats = deltaOf(outputs);
+        writer.append(shard);
+
+        result.mappedReads += end - begin;
+        result.resilience.latency.merge(outputs.resilience.latency);
+        accumulateDelta(result, shard.stats);
+        // Rebase failure indices to the full read set.
+        for (sched::BatchFailure failure : outputs.failures.batches) {
+            failure.begin += begin;
+            failure.end += begin;
+            result.failures.batches.push_back(std::move(failure));
+        }
+        for (sched::ItemFailure item : outputs.failures.poisoned) {
+            item.index += begin;
+            result.failures.poisoned.push_back(std::move(item));
+        }
+        result.failures.retries += outputs.failures.retries;
+        result.failures.watchdogCancels +=
+            outputs.failures.watchdogCancels;
+        spans.push_back(Span{ begin, end, std::move(shard.gaf) });
+    };
+
+    uint64_t cursor = 0;
+    for (const io::ManifestEntry& entry : state.manifest.shards) {
+        for (uint64_t b = cursor; b < entry.begin; b += params.shardReads) {
+            map_chunk(b, std::min(b + params.shardReads, entry.begin));
+        }
+        cursor = entry.end;
+    }
+    for (uint64_t b = cursor; b < n; b += params.shardReads) {
+        map_chunk(b, std::min(b + params.shardReads, n));
+    }
+
+    // Stitch: spans now tile [0, n) exactly once; concatenating them in
+    // range order is the uninterrupted run's GAF, byte for byte.
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.begin < b.begin; });
+    uint64_t covered = 0;
+    for (const Span& span : spans) {
+        MG_CHECK(span.begin == covered,
+                 "GAF span coverage gap at read ", covered);
+        covered = span.end;
+        result.gaf += span.gaf;
+    }
+    MG_CHECK(covered == n, "GAF spans cover ", covered, " of ", n,
+             " reads");
+
+    result.wallSeconds = timer.seconds();
+    return result;
+}
+
+} // namespace mg::giraffe

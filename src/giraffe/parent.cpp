@@ -40,7 +40,14 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
              "memory tracing requires a single-threaded run");
 
     // Lazily created per-thread state; the scheduler guarantees a dense
-    // thread index below numThreads.
+    // thread index below numThreads.  The run's deadline is absolute, so
+    // late-created states inherit the same cutoff.
+    const uint64_t deadline_nanos =
+        params_.budget.wallSeconds > 0.0
+            ? util::nowNanos() +
+                  static_cast<uint64_t>(params_.budget.wallSeconds * 1e9)
+            : 0;
+    sched::HeartbeatBoard board(params_.numThreads);
     std::vector<std::unique_ptr<map::MapperState>> states(
         params_.numThreads);
     std::mutex state_mutex;
@@ -53,6 +60,9 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
                 if (profiler) {
                     state->log = profiler->registerThread(thread);
                 }
+                state->budget.configure(
+                    params_.budget, deadline_nanos,
+                    params_.watchdog ? &board.slot(thread).token : nullptr);
                 states[thread] = std::move(state);
             }
         }
@@ -60,29 +70,51 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
     };
 
     util::WallTimer timer;
+    sched::Watchdog watchdog(board, params_.watchdogParams);
+    if (params_.watchdog) {
+        watchdog.start();
+    }
     auto scheduler = sched::makeScheduler(params_.scheduler);
     outputs.failures = sched::runGuarded(
         *scheduler, n, params_.batchSize, params_.numThreads,
         [&](size_t thread, size_t begin, size_t end) {
         map::MapperState& state = thread_state(thread);
-        for (size_t i = begin; i < end; ++i) {
-            const map::Read& read = reads.reads[i];
-            // Preprocessing + critical functions (instrumented inside).
-            map::MapResult result = mapper.mapRead(read, state);
+        board.beginBatch(thread, begin, end);
+        // Snapshot so a failed attempt contributes nothing to the final
+        // counters: runGuarded retries/bisects a throwing batch, and
+        // without the restore the partial work before the throw would be
+        // double-counted by the retry.
+        const map::MapperState::StatsSnapshot snapshot =
+            state.statsSnapshot();
+        try {
+            for (size_t i = begin; i < end; ++i) {
+                board.beat(thread);
+                const map::Read& read = reads.reads[i];
+                // Preprocessing + critical functions (instrumented inside).
+                map::MapResult result = mapper.mapRead(read, state);
 
-            // Post-processing: score/filter extensions, emit alignment.
-            {
-                perf::ScopedRegion region(state.log, region_score);
-                outputs.extensions[i].readName = read.name;
-                outputs.extensions[i].extensions = result.extensions;
+                // Post-processing: score/filter extensions, emit alignment.
+                {
+                    perf::ScopedRegion region(state.log, region_score);
+                    outputs.extensions[i].readName = read.name;
+                    outputs.extensions[i].extensions = result.extensions;
+                }
+                {
+                    perf::ScopedRegion region(state.log, region_align);
+                    outputs.alignments[i] = postProcess(
+                        read.name, result.extensions, params_.post);
+                    outputs.alignments[i].degraded = result.degraded;
+                }
             }
-            {
-                perf::ScopedRegion region(state.log, region_align);
-                outputs.alignments[i] =
-                    postProcess(read.name, result.extensions, params_.post);
-            }
+        } catch (...) {
+            state.restoreStats(snapshot);
+            board.endBatch(thread);
+            throw;
         }
+        board.endBatch(thread);
     });
+    watchdog.stop();
+    outputs.failures.watchdogCancels = watchdog.events().size();
 
     // Quarantined reads stay in the output as named unmapped records (the
     // GAF writer renders them with '*' placeholders) so one poisoned read
@@ -120,6 +152,7 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
         outputs.cacheStats.decodes += stats.decodes;
         outputs.cacheStats.rehashes += stats.rehashes;
         outputs.cacheStats.probes += stats.probes;
+        outputs.resilience.accumulate(state->resilience);
     }
     return outputs;
 }

@@ -23,8 +23,10 @@
 #include "io/reads_bin.h"
 #include "map/mapper.h"
 #include "perf/profiler.h"
+#include "resilience/budget.h"
 #include "sched/failure.h"
 #include "sched/scheduler.h"
+#include "sched/watchdog.h"
 #include "util/mem_tracer.h"
 
 namespace mg::giraffe {
@@ -43,6 +45,11 @@ struct ParentParams
     /** Giraffe's default batch size (Section VII-B). */
     size_t batchSize = 512;
     size_t numThreads = 1;
+    /** Work limits (deadline + per-read caps); default is unlimited. */
+    resilience::WorkBudget budget;
+    /** Supervise workers with a watchdog thread. */
+    bool watchdog = false;
+    sched::WatchdogParams watchdogParams;
 };
 
 /** Everything a parent run produces. */
@@ -62,6 +69,8 @@ struct ParentOutputs
      *  Quarantined reads appear unmapped in `alignments` (and in any GAF
      *  rendered from them) instead of aborting the whole run. */
     sched::FailureReport failures;
+    /** Degradation counters + per-read latency over all worker threads. */
+    resilience::ResilienceStats resilience;
     /** Wall-clock seconds of the whole mapping run. */
     double wallSeconds = 0.0;
 };

@@ -31,6 +31,12 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     MG_CHECK(tracer == nullptr || params_.numThreads == 1,
              "memory tracing requires a single-threaded run");
 
+    const uint64_t deadline_nanos =
+        params_.budget.wallSeconds > 0.0
+            ? util::nowNanos() +
+                  static_cast<uint64_t>(params_.budget.wallSeconds * 1e9)
+            : 0;
+    sched::HeartbeatBoard board(params_.numThreads);
     std::vector<std::unique_ptr<map::MapperState>> states(
         params_.numThreads);
     std::mutex state_mutex;
@@ -43,6 +49,9 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
                 if (profiler) {
                     state->log = profiler->registerThread(thread);
                 }
+                state->budget.configure(
+                    params_.budget, deadline_nanos,
+                    params_.watchdog ? &board.slot(thread).token : nullptr);
                 states[thread] = std::move(state);
             }
         }
@@ -52,20 +61,40 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     // The mapping loop: nested iteration over reads and their seeds, the
     // outer loop parallelized by the selected scheduler (Section V).
     util::WallTimer timer;
+    sched::Watchdog watchdog(board, params_.watchdogParams);
+    if (params_.watchdog) {
+        watchdog.start();
+    }
     auto scheduler = sched::makeScheduler(params_.scheduler);
     outputs.failures = sched::runGuarded(
         *scheduler, n, params_.batchSize, params_.numThreads,
         [&](size_t thread, size_t begin, size_t end) {
         map::MapperState& state = thread_state(thread);
-        for (size_t i = begin; i < end; ++i) {
-            const io::ReadWithSeeds& entry = capture.entries[i];
-            map::MapResult result =
-                mapper.mapFromSeeds(entry.read, entry.seeds, state);
-            outputs.extensions[i].readName = entry.read.name;
-            outputs.extensions[i].extensions =
-                std::move(result.extensions);
+        board.beginBatch(thread, begin, end);
+        // Snapshot/restore so a failed attempt contributes nothing: the
+        // scheduler retries or bisects a throwing batch, and the retry
+        // would double-count the partial work done before the throw.
+        const map::MapperState::StatsSnapshot snapshot =
+            state.statsSnapshot();
+        try {
+            for (size_t i = begin; i < end; ++i) {
+                board.beat(thread);
+                const io::ReadWithSeeds& entry = capture.entries[i];
+                map::MapResult result =
+                    mapper.mapFromSeeds(entry.read, entry.seeds, state);
+                outputs.extensions[i].readName = entry.read.name;
+                outputs.extensions[i].extensions =
+                    std::move(result.extensions);
+            }
+        } catch (...) {
+            state.restoreStats(snapshot);
+            board.endBatch(thread);
+            throw;
         }
+        board.endBatch(thread);
     });
+    watchdog.stop();
+    outputs.failures.watchdogCancels = watchdog.events().size();
 
     // Quarantined reads keep their name in the dump (with no extensions)
     // so the functional validation sees them as missing, not absent.
@@ -87,6 +116,7 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
         outputs.cacheStats.decodes += stats.decodes;
         outputs.cacheStats.rehashes += stats.rehashes;
         outputs.cacheStats.probes += stats.probes;
+        outputs.resilience.accumulate(state->resilience);
     }
     return outputs;
 }

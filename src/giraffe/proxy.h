@@ -17,8 +17,10 @@
 #include "io/reads_bin.h"
 #include "map/mapper.h"
 #include "perf/profiler.h"
+#include "resilience/budget.h"
 #include "sched/failure.h"
 #include "sched/scheduler.h"
+#include "sched/watchdog.h"
 #include "util/mem_tracer.h"
 
 namespace mg::giraffe {
@@ -31,6 +33,11 @@ struct ProxyParams
     sched::SchedulerKind scheduler = sched::SchedulerKind::OmpDynamic;
     size_t batchSize = 512;
     size_t numThreads = 1;
+    /** Work limits (deadline + per-read caps); default is unlimited. */
+    resilience::WorkBudget budget;
+    /** Supervise workers with a watchdog thread. */
+    bool watchdog = false;
+    sched::WatchdogParams watchdogParams;
 };
 
 /** Outputs of one proxy run. */
@@ -42,6 +49,8 @@ struct ProxyOutputs
     /** Batch failures, recoveries, and quarantined reads of the run.
      *  Quarantined reads keep their name but carry no extensions. */
     sched::FailureReport failures;
+    /** Degradation counters + per-read latency over all worker threads. */
+    resilience::ResilienceStats resilience;
     /** Makespan (wall-clock seconds of the mapping loop). */
     double wallSeconds = 0.0;
     /** Reads that produced a mapping attempt (quarantined reads excluded). */

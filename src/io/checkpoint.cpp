@@ -1,0 +1,353 @@
+#include "io/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+
+#include "fault/fault.h"
+#include "io/file.h"
+#include "util/common.h"
+#include "util/crc32.h"
+#include "util/cursor.h"
+#include "util/varint.h"
+
+namespace mg::io {
+
+namespace {
+
+constexpr char kShardMagic[4] = { 'M', 'G', 'S', '1' };
+constexpr char kManifestMagic[4] = { 'M', 'G', 'C', '1' };
+
+/** magic + payload + trailing little-endian CRC32 of the payload. */
+std::vector<uint8_t>
+frame(const char magic[4], std::vector<uint8_t> payload)
+{
+    std::vector<uint8_t> out;
+    out.reserve(4 + payload.size() + 4);
+    out.insert(out.end(), magic, magic + 4);
+    out.insert(out.end(), payload.begin(), payload.end());
+    uint32_t crc = util::crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    }
+    return out;
+}
+
+/** Non-throwing frame check: magic + CRC.  Returns the payload span via
+ *  out-params; any violation produces a Status instead of an exception,
+ *  because the fuzz harness feeds this arbitrary bytes. */
+util::Status
+unframe(const std::vector<uint8_t>& bytes, const char magic[4],
+        const std::string& file, const char* section, const uint8_t*& payload,
+        size_t& payload_size)
+{
+    util::Status status;
+    status.file = file;
+    status.section = section;
+    if (bytes.size() < 8) {
+        status.code = util::StatusCode::Truncated;
+        status.message = "file shorter than magic + checksum";
+        status.offset = bytes.size();
+        return status;
+    }
+    if (std::memcmp(bytes.data(), magic, 4) != 0) {
+        status.code = util::StatusCode::Corrupt;
+        status.message = "bad magic";
+        return status;
+    }
+    payload = bytes.data() + 4;
+    payload_size = bytes.size() - 8;
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+        stored |= static_cast<uint32_t>(bytes[bytes.size() - 4 + i])
+                  << (8 * i);
+    }
+    uint32_t actual = util::crc32(payload, payload_size);
+    if (stored != actual) {
+        status.code = util::StatusCode::ChecksumMismatch;
+        status.message =
+            util::cat("payload checksum mismatch: stored ", stored,
+                      ", computed ", actual);
+        status.offset = bytes.size() - 4;
+        return status;
+    }
+    return status; // Ok
+}
+
+/** Run a ByteCursor decode, converting any StatusError to a Status. */
+template <typename Fn>
+util::Status
+guardedDecode(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const util::StatusError& err) {
+        return err.status();
+    }
+    return util::Status{};
+}
+
+void
+putStats(util::ByteWriter& writer, const ShardStatsDelta& stats)
+{
+    writer.putVarint(stats.deadlineHits);
+    writer.putVarint(stats.stepCapHits);
+    writer.putVarint(stats.lookupCapHits);
+    writer.putVarint(stats.watchdogCancels);
+    writer.putVarint(stats.cacheLookups);
+    writer.putVarint(stats.cacheHits);
+    writer.putVarint(stats.cacheDecodes);
+    writer.putVarint(stats.cacheRehashes);
+    writer.putVarint(stats.cacheProbes);
+}
+
+void
+getStats(util::ByteCursor& cursor, ShardStatsDelta& stats)
+{
+    stats.deadlineHits = cursor.getVarint();
+    stats.stepCapHits = cursor.getVarint();
+    stats.lookupCapHits = cursor.getVarint();
+    stats.watchdogCancels = cursor.getVarint();
+    stats.cacheLookups = cursor.getVarint();
+    stats.cacheHits = cursor.getVarint();
+    stats.cacheDecodes = cursor.getVarint();
+    stats.cacheRehashes = cursor.getVarint();
+    stats.cacheProbes = cursor.getVarint();
+}
+
+bool
+fileExists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
+
+std::string
+shardFileName(uint64_t begin, uint64_t end)
+{
+    return util::cat("shard-", begin, "-", end, ".mgs");
+}
+
+std::vector<uint8_t>
+encodeShard(const Shard& shard)
+{
+    MG_CHECK(shard.begin < shard.end, "shard range must be non-empty");
+    util::ByteWriter writer;
+    writer.putVarint(shard.begin);
+    writer.putVarint(shard.end);
+    writer.putString(shard.gaf);
+    putStats(writer, shard.stats);
+    return frame(kShardMagic, writer.takeBytes());
+}
+
+util::Status
+decodeShard(const std::vector<uint8_t>& bytes, const std::string& file,
+            Shard& out)
+{
+    const uint8_t* payload = nullptr;
+    size_t payload_size = 0;
+    util::Status status =
+        unframe(bytes, kShardMagic, file, "shard", payload, payload_size);
+    if (!status.ok()) {
+        return status;
+    }
+    return guardedDecode([&] {
+        util::ByteCursor cursor(payload, payload_size, file);
+        cursor.enterSection("shard");
+        out.begin = cursor.getVarint();
+        out.end = cursor.getVarint();
+        cursor.check(out.begin < out.end, util::StatusCode::Corrupt,
+                     "shard range [", out.begin, ", ", out.end,
+                     ") is empty or inverted");
+        out.gaf = cursor.getString();
+        getStats(cursor, out.stats);
+        cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                     "trailing bytes after shard payload");
+    });
+}
+
+std::vector<uint8_t>
+encodeManifest(const Manifest& manifest)
+{
+    util::ByteWriter writer;
+    writer.putVarint(manifest.totalReads);
+    writer.putVarint(manifest.shards.size());
+    for (const ManifestEntry& entry : manifest.shards) {
+        writer.putVarint(entry.begin);
+        writer.putVarint(entry.end);
+        writer.putVarint(entry.payloadCrc);
+        writer.putString(entry.file);
+    }
+    return frame(kManifestMagic, writer.takeBytes());
+}
+
+util::Status
+decodeManifest(const std::vector<uint8_t>& bytes, const std::string& file,
+               Manifest& out)
+{
+    const uint8_t* payload = nullptr;
+    size_t payload_size = 0;
+    util::Status status = unframe(bytes, kManifestMagic, file, "manifest",
+                                  payload, payload_size);
+    if (!status.ok()) {
+        return status;
+    }
+    return guardedDecode([&] {
+        util::ByteCursor cursor(payload, payload_size, file);
+        cursor.enterSection("manifest");
+        out.totalReads = cursor.getVarint();
+        uint64_t count = cursor.getVarint();
+        // Each entry needs at least 4 bytes; a huge count in a tiny
+        // payload is corruption, not a reason to attempt the allocation.
+        cursor.check(count <= cursor.remaining(), util::StatusCode::Corrupt,
+                     "shard count ", count, " exceeds remaining payload");
+        out.shards.clear();
+        out.shards.reserve(count);
+        uint64_t prev_end = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+            ManifestEntry entry;
+            entry.begin = cursor.getVarint();
+            entry.end = cursor.getVarint();
+            uint64_t crc = cursor.getVarint();
+            cursor.check(crc <= UINT32_MAX, util::StatusCode::Corrupt,
+                         "shard CRC field exceeds 32 bits");
+            entry.payloadCrc = static_cast<uint32_t>(crc);
+            entry.file = cursor.getString();
+            cursor.check(entry.begin < entry.end,
+                         util::StatusCode::Corrupt, "shard ", i,
+                         " range [", entry.begin, ", ", entry.end,
+                         ") is empty or inverted");
+            cursor.check(entry.end <= out.totalReads,
+                         util::StatusCode::Corrupt, "shard ", i,
+                         " ends at ", entry.end, " past total reads ",
+                         out.totalReads);
+            cursor.check(entry.begin >= prev_end,
+                         util::StatusCode::Corrupt, "shard ", i,
+                         " at ", entry.begin,
+                         " overlaps or is out of order (previous end ",
+                         prev_end, ")");
+            cursor.check(!entry.file.empty(), util::StatusCode::Corrupt,
+                         "shard ", i, " has an empty file name");
+            prev_end = entry.end;
+            out.shards.push_back(std::move(entry));
+        }
+        cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                     "trailing bytes after manifest payload");
+    });
+}
+
+CheckpointWriter::CheckpointWriter(std::string dir, uint64_t total_reads)
+    : dir_(std::move(dir))
+{
+    MG_CHECK(!dir_.empty(), "checkpoint directory must not be empty");
+    manifest_.totalReads = total_reads;
+    // Best-effort create; an existing directory is the resume case.
+    ::mkdir(dir_.c_str(), 0755);
+    struct stat st;
+    MG_CHECK(::stat(dir_.c_str(), &st) == 0 && S_ISDIR(st.st_mode),
+             "cannot create checkpoint directory ", dir_);
+}
+
+void
+CheckpointWriter::adopt(Manifest manifest)
+{
+    MG_CHECK(manifest.totalReads == manifest_.totalReads,
+             "adopted manifest is for ", manifest.totalReads,
+             " reads, writer expects ", manifest_.totalReads);
+    manifest_ = std::move(manifest);
+}
+
+void
+CheckpointWriter::append(Shard shard)
+{
+    MG_CHECK(shard.end <= manifest_.totalReads,
+             "shard ends past the run's total reads");
+    // Fault point: the driver crashing while preparing a flush (before
+    // anything durable changes — the checkpoint stays at the old state).
+    fault::inject("checkpoint.flush");
+
+    ManifestEntry entry;
+    entry.begin = shard.begin;
+    entry.end = shard.end;
+    entry.file = shardFileName(shard.begin, shard.end);
+
+    std::vector<uint8_t> bytes = encodeShard(shard);
+    // payload CRC == the frame's trailing CRC; recompute from the frame
+    // so the manifest cross-check matches exactly what landed on disk.
+    entry.payloadCrc =
+        util::crc32(bytes.data() + 4, bytes.size() - 8);
+
+    // Order is the crash-consistency invariant: shard durable first, then
+    // the manifest that references it.  Killed between the two, the new
+    // shard is an unreferenced orphan and the old manifest still
+    // describes a fully verifiable checkpoint.
+    writeFileBytesDurable(dir_ + "/" + entry.file, bytes);
+
+    // Keep entries sorted by begin (ranges never overlap by construction:
+    // the driver only flushes reads it owns exclusively).
+    auto pos = manifest_.shards.begin();
+    while (pos != manifest_.shards.end() && pos->begin < entry.begin) {
+        ++pos;
+    }
+    manifest_.shards.insert(pos, std::move(entry));
+    writeFileBytesDurable(dir_ + "/" + kManifestFileName,
+                          encodeManifest(manifest_));
+}
+
+util::Status
+loadCheckpoint(const std::string& dir, CheckpointState& out)
+{
+    out = CheckpointState{};
+    const std::string manifest_path = dir + "/" + kManifestFileName;
+    if (!fileExists(manifest_path)) {
+        return util::Status{}; // fresh run
+    }
+    std::vector<uint8_t> bytes;
+    try {
+        bytes = readFileBytes(manifest_path);
+    } catch (const util::StatusError& err) {
+        return err.status();
+    }
+    util::Status status = decodeManifest(bytes, manifest_path, out.manifest);
+    if (!status.ok()) {
+        return status; // the source of truth is damaged: fatal
+    }
+    std::vector<ManifestEntry> kept;
+    kept.reserve(out.manifest.shards.size());
+    for (const ManifestEntry& entry : out.manifest.shards) {
+        const std::string shard_path = dir + "/" + entry.file;
+        Shard shard;
+        bool keep = false;
+        try {
+            std::vector<uint8_t> shard_bytes = readFileBytes(shard_path);
+            // Cross-check against the manifest's CRC first: a shard file
+            // that is internally consistent but not the one the manifest
+            // promised (overwritten, swapped) is just as dropped.
+            if (shard_bytes.size() >= 8 &&
+                util::crc32(shard_bytes.data() + 4,
+                            shard_bytes.size() - 8) == entry.payloadCrc) {
+                util::Status shard_status =
+                    decodeShard(shard_bytes, shard_path, shard);
+                keep = shard_status.ok() && shard.begin == entry.begin &&
+                       shard.end == entry.end;
+            }
+        } catch (const util::StatusError&) {
+            keep = false; // unreadable shard: drop, re-map its reads
+        }
+        if (keep) {
+            out.shards.push_back(std::move(shard));
+            kept.push_back(entry);
+        } else {
+            ++out.droppedShards;
+        }
+    }
+    // The returned manifest references only the shards that verified, so
+    // a resume that re-maps a dropped range and flushes a replacement
+    // shard never produces overlapping manifest entries.
+    out.manifest.shards = std::move(kept);
+    return util::Status{};
+}
+
+} // namespace mg::io

@@ -1,5 +1,9 @@
 #include "io/file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 
 #include "fault/fault.h"
@@ -58,6 +62,60 @@ writeFileBytes(const std::string& path, const std::vector<uint8_t>& bytes)
     out.flush();
     if (!out.good()) {
         ioFail(path, "short write to file");
+    }
+}
+
+void
+writeFileBytesDurable(const std::string& path,
+                      const std::vector<uint8_t>& bytes)
+{
+    // Fault point: crash, throw, or torn write at the moment of
+    // persistence.  A torn write models a storage stack without working
+    // atomicity — the mangled prefix lands at the *final* path directly,
+    // exactly what the CRC on every durable format exists to catch.
+    if (auto torn = fault::corrupted("io.file.durable", bytes)) {
+        writeFileBytes(path, *torn);
+        return;
+    }
+
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        ioFail(tmp, "cannot open temp file for durable write");
+    }
+    size_t written = 0;
+    while (written < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + written,
+                            bytes.size() - written);
+        if (n < 0) {
+            ::close(fd);
+            ioFail(tmp, "write failed during durable write");
+        }
+        written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ioFail(tmp, "fsync failed during durable write");
+    }
+    ::close(fd);
+
+    // Fault point: crash between the durable tmp file and the rename —
+    // the final path keeps its previous content (or stays absent) and the
+    // orphan tmp file is ignored by loaders.
+    fault::inject("io.file.durable.rename");
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ioFail(path, "rename failed during durable write");
+    }
+    // Make the rename itself durable by syncing the directory entry.
+    std::string dir = path;
+    size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? std::string(".")
+                                     : dir.substr(0, slash);
+    int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd); // best effort: some filesystems refuse dir fsync
+        ::close(dirfd);
     }
 }
 

@@ -17,6 +17,22 @@ std::vector<uint8_t> readFileBytes(const std::string& path);
 void writeFileBytes(const std::string& path,
                     const std::vector<uint8_t>& bytes);
 
+/**
+ * Crash-consistent write: the bytes land at `path` atomically, or `path`
+ * keeps its previous content (or stays absent).  Protocol: write to
+ * `path + ".tmp"`, fsync the file, rename over `path`, fsync the
+ * directory.  A reader therefore never observes a partial file at `path`
+ * — assuming the platform's rename-after-fsync atomicity, which the
+ * checkpoint loader does NOT rely on alone: every consumer of durable
+ * files also verifies a CRC, so even a torn write (fault-injectable via
+ * the "io.file.durable" site with kind torn-write) is detected, not
+ * trusted.  Fault points: "io.file.durable" before any write (crash /
+ * torn-write / throw), "io.file.durable.rename" between the tmp fsync
+ * and the rename (a crash there leaves only the tmp file).
+ */
+void writeFileBytesDurable(const std::string& path,
+                           const std::vector<uint8_t>& bytes);
+
 /** Read an entire text file. */
 std::string readFileText(const std::string& path);
 

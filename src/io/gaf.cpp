@@ -18,6 +18,13 @@ formatGafLine(const giraffe::Alignment& alignment, const map::Read& read,
     if (!alignment.mapped) {
         // Unmapped convention: star path, zeroed interval, MAPQ 255.
         out += "\t0\t0\t+\t*\t0\t0\t0\t0\t0\t255";
+        // Unmapped-with-reason: a read that produced nothing because its
+        // budget ran out is distinguishable from a genuinely unmappable
+        // one.
+        if (alignment.degraded != resilience::CancelReason::None) {
+            out += "\tdg:Z:";
+            out += resilience::cancelReasonName(alignment.degraded);
+        }
         return out;
     }
 
@@ -43,6 +50,12 @@ formatGafLine(const giraffe::Alignment& alignment, const map::Read& read,
     out += '\t' + std::to_string(span);
     out += '\t' + std::to_string(static_cast<int>(alignment.mappingQuality));
     out += "\tAS:i:" + std::to_string(alignment.score);
+    // Degraded mappings carry best-so-far extensions; the tag lets
+    // downstream consumers treat them as lower-confidence.
+    if (alignment.degraded != resilience::CancelReason::None) {
+        out += "\tdg:Z:";
+        out += resilience::cancelReasonName(alignment.degraded);
+    }
     return out;
 }
 

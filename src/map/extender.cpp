@@ -61,6 +61,10 @@ Extender::walkPacked(graph::Handle start, uint32_t offset,
     if (query.size == 0) {
         return best;
     }
+    resilience::ReadBudget* budget = scratch.budget;
+    if (budget != nullptr) {
+        budget->chargeLookup();
+    }
     gbwt::SearchState root = cache.find(start);
     if (root.empty()) {
         return best; // no haplotype visits this node in this orientation
@@ -119,6 +123,14 @@ Extender::walkPacked(graph::Handle start, uint32_t offset,
         // push-then-pop formulation, just without the stack round-trip.
         for (;;) {
             if (++explored > params_.maxWalkStates) {
+                finish(s);
+                capped = true;
+                break;
+            }
+            // Cancellation point: only at walk-state boundaries, so a
+            // budget-exhausted walk ends exactly like a capped one — trimmed
+            // to its best prefix, never torn mid-node.
+            if (budget != nullptr && budget->chargeStep()) {
                 finish(s);
                 capped = true;
                 break;
@@ -202,6 +214,9 @@ Extender::walkPacked(graph::Handle start, uint32_t offset,
             std::vector<gbwt::SearchState>& successors = scratch.successors;
             successors.clear();
             if (params_.haplotypeConsistent) {
+                if (budget != nullptr) {
+                    budget->chargeLookup();
+                }
                 cache.successorStatesInto(s.state, successors);
             } else {
                 // Ablation mode: walk every graph edge with dummy states.

@@ -37,6 +37,7 @@
 #include "graph/variation_graph.h"
 #include "map/extension.h"
 #include "map/seed.h"
+#include "resilience/budget.h"
 #include "util/small_vector.h"
 
 namespace mg::map {
@@ -173,6 +174,13 @@ struct ExtendScratch
     std::vector<uint64_t> walkQuery;           // string walk() overload
     /** 32-base SWAR chunks XORed (bench: words compared per extension). */
     uint64_t wordsCompared = 0;
+    /**
+     * Optional work budget charged per walk state and GBWT lookup.  When
+     * set and exhausted, walks stop at the next state boundary and return
+     * their best-so-far prefix (never torn mid-node).  Null disables all
+     * budget accounting (the default for tests and tools).
+     */
+    resilience::ReadBudget* budget = nullptr;
 };
 
 /**

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/handle.h"
+#include "resilience/budget.h"
 #include "util/small_vector.h"
 
 namespace mg::map {
@@ -79,6 +80,12 @@ struct MapResult
     /** Number of clusters formed / processed (observability for tests). */
     uint32_t clustersFormed = 0;
     uint32_t clustersProcessed = 0;
+    /**
+     * Why the read's mapping was cut short (None when it ran to
+     * completion).  A degraded read still carries its best-so-far
+     * extensions; downstream output tags it (GAF dg:Z:<reason>).
+     */
+    resilience::CancelReason degraded = resilience::CancelReason::None;
 };
 
 } // namespace mg::map

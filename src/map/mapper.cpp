@@ -5,6 +5,7 @@
 #include "fault/fault.h"
 #include "util/common.h"
 #include "util/dna.h"
+#include "util/timer.h"
 
 namespace mg::map {
 
@@ -44,10 +45,12 @@ Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
     // Fault point: a single read poisoning its mapping task.
     fault::inject("map.read");
 
+    const uint64_t start_nanos = util::nowNanos();
     MapResult result;
     // Fresh per-read CachedGBWT, as Giraffe's extender constructs one per
     // mapping task; its initialization is part of the read's cost.
     state.freshCache();
+    state.budget.beginRead();
     // The packed-query cache keys on (pointer, length); reverseSeq is a
     // reused buffer, so a new read can alias the previous read's key with
     // different contents.  Force a repack on first use.
@@ -63,6 +66,9 @@ Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
         perf::ScopedRegion region(state.log, regionProcess_);
         processUntilThresholdC(read, seeds, clusters, state, result);
     }
+    result.degraded = state.budget.reason();
+    state.resilience.countDegraded(result.degraded);
+    state.resilience.latency.record(util::nowNanos() - start_nanos);
     return result;
 }
 
@@ -91,6 +97,11 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
             break;
         }
         if (c >= params_.minClusters && cluster.score < cutoff) {
+            break;
+        }
+        // Cancellation point between clusters: a degraded read keeps the
+        // extensions it already produced and skips the rest.
+        if (state.budget.exhausted()) {
             break;
         }
         ++result.clustersProcessed;
@@ -136,6 +147,10 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
 
         perf::ScopedRegion region(state.log, regionExtend_);
         for (uint32_t idx : chosen) {
+            // Cancellation point between seeds of a cluster.
+            if (state.budget.exhausted()) {
+                break;
+            }
             GaplessExtension ext =
                 extender_.extendSeed(seeds[idx], oriented, state.cache(),
                                      state.extendScratch);

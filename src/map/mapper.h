@@ -25,6 +25,7 @@
 #include "map/read.h"
 #include "map/seeding.h"
 #include "perf/profiler.h"
+#include "resilience/budget.h"
 
 namespace mg::map {
 
@@ -68,7 +69,9 @@ class MapperState
     MapperState(const gbwt::Gbwt& gbwt, size_t cache_capacity,
                 util::MemTracer* tracer = nullptr)
         : tracer(tracer), cache_(gbwt, cache_capacity, tracer)
-    {}
+    {
+        extendScratch.budget = &budget;
+    }
 
     /** The current read's decode cache. */
     gbwt::CachedGbwt& cache() { return cache_; }
@@ -90,9 +93,47 @@ class MapperState
         return total;
     }
 
+    /**
+     * Stats snapshot/restore around retryable batch attempts: a failed
+     * attempt's partial work must contribute nothing to the final counters,
+     * so callers (sched::runGuarded batch lambdas) snapshot before each
+     * attempt and restore before letting the scheduler retry or bisect.
+     * Restoring folds the snapshot into accumulated_ and clears the live
+     * cache (clear() zeroes its stats), so totalStats() returns exactly
+     * the snapshot value.
+     */
+    struct StatsSnapshot
+    {
+        gbwt::CacheStats cache;
+        resilience::ResilienceStats resilience;
+    };
+
+    StatsSnapshot
+    statsSnapshot() const
+    {
+        return StatsSnapshot{totalStats(), resilience};
+    }
+
+    void
+    restoreStats(const StatsSnapshot& snapshot)
+    {
+        accumulated_ = snapshot.cache;
+        cache_.clear();
+        resilience = snapshot.resilience;
+    }
+
     util::MemTracer* tracer = nullptr;
     /** Region instrumentation (null when profiling is off). */
     perf::Profiler::ThreadLog* log = nullptr;
+
+    /**
+     * Per-read work budget (deadline + step/lookup caps + cancel token).
+     * Inactive unless configure()d; wired into extendScratch at
+     * construction so the extension kernel charges it.
+     */
+    resilience::ReadBudget budget;
+    /** Degradation counters + per-read latency histogram for this worker. */
+    resilience::ResilienceStats resilience;
 
     /** Extension-kernel buffers reused across seeds and reads. */
     ExtendScratch extendScratch;

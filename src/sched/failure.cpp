@@ -1,5 +1,6 @@
 #include "sched/failure.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "fault/fault.h"
@@ -40,18 +41,29 @@ std::string
 FailureReport::summary() const
 {
     if (ok()) {
-        return "no failures";
+        if (watchdogCancels == 0) {
+            return "no failures";
+        }
+        return util::cat("no failures, ", watchdogCancels,
+                         " watchdog cancellation",
+                         watchdogCancels == 1 ? "" : "s");
     }
     size_t recovered = 0;
     for (const BatchFailure& failure : batches) {
         recovered += failure.recovered ? 1 : 0;
     }
-    return util::cat(batches.size(),
-                     batches.size() == 1 ? " batch failure ("
-                                         : " batch failures (",
-                     recovered, " recovered), ", poisoned.size(),
-                     " poisoned item", poisoned.size() == 1 ? "" : "s",
-                     ", ", retries, retries == 1 ? " retry" : " retries");
+    std::string line =
+        util::cat(batches.size(),
+                  batches.size() == 1 ? " batch failure ("
+                                      : " batch failures (",
+                  recovered, " recovered), ", poisoned.size(),
+                  " poisoned item", poisoned.size() == 1 ? "" : "s",
+                  ", ", retries, retries == 1 ? " retry" : " retries");
+    if (watchdogCancels > 0) {
+        line += util::cat(", ", watchdogCancels, " watchdog cancellation",
+                          watchdogCancels == 1 ? "" : "s");
+    }
+    return line;
 }
 
 FailureReport
@@ -92,6 +104,21 @@ runGuarded(Scheduler& scheduler, size_t total, size_t batch_size,
                        "unknown exception");
         }
     }
+    // Deterministic report: the parallel run records batch failures in
+    // completion order, which varies by scheduler and thread interleaving;
+    // recovery above visits them in that same recorded order (fn is
+    // idempotent per item, so retry order does not affect outcomes).  Sort
+    // both lists so identical failures yield byte-identical reports across
+    // schedulers and runs.
+    std::sort(report.batches.begin(), report.batches.end(),
+              [](const BatchFailure& a, const BatchFailure& b) {
+                  return a.begin != b.begin ? a.begin < b.begin
+                                            : a.end < b.end;
+              });
+    std::sort(report.poisoned.begin(), report.poisoned.end(),
+              [](const ItemFailure& a, const ItemFailure& b) {
+                  return a.index < b.index;
+              });
     return report;
 }
 

@@ -40,12 +40,18 @@ struct ItemFailure
 /** Post-run account of everything that went wrong (and was recovered). */
 struct FailureReport
 {
-    /** Batches that threw during the parallel run. */
+    /** Batches that threw during the parallel run, sorted by begin. */
     std::vector<BatchFailure> batches;
-    /** Items that failed even in isolation (quarantined). */
+    /** Items that failed even in isolation (quarantined), sorted. */
     std::vector<ItemFailure> poisoned;
     /** Sequential re-executions performed during recovery. */
     size_t retries = 0;
+    /**
+     * Batches the watchdog cancelled (folded in by callers that run a
+     * Watchdog alongside the scheduler).  Not a failure: cancelled
+     * batches still complete, with their reads tagged degraded.
+     */
+    size_t watchdogCancels = 0;
 
     bool ok() const { return batches.empty() && poisoned.empty(); }
 

@@ -1,0 +1,79 @@
+#include "sched/watchdog.h"
+
+#include <chrono>
+
+namespace mg::sched {
+
+void
+Watchdog::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+        return;
+    }
+    running_ = true;
+    events_.clear();
+    const uint64_t stall_nanos =
+        static_cast<uint64_t>(params_.stallSeconds * 1e9);
+    thread_ = std::thread([this, stall_nanos] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (running_) {
+            lock.unlock();
+            poll(stall_nanos);
+            lock.lock();
+            // Sleep on the cv so stop() wakes the thread immediately
+            // instead of waiting out a full poll period.
+            cv_.wait_for(lock,
+                         std::chrono::duration<double, std::milli>(
+                             params_.pollMillis),
+                         [this] { return !running_; });
+        }
+    });
+}
+
+void
+Watchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_) {
+            return;
+        }
+        running_ = false;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+}
+
+void
+Watchdog::poll(uint64_t stall_nanos)
+{
+    const uint64_t now = util::nowNanos();
+    for (size_t w = 0; w < board_.size(); ++w) {
+        HeartbeatBoard::Slot& slot = board_.slot(w);
+        const uint64_t beat = slot.beatNanos.load(std::memory_order_acquire);
+        if (beat == 0 || now < beat) {
+            continue; // idle, or stamped after our clock read
+        }
+        const uint64_t age = now - beat;
+        if (age < stall_nanos) {
+            continue;
+        }
+        if (slot.token.cancelled()) {
+            continue; // already fired for this batch; await re-arm
+        }
+        slot.token.cancel(resilience::CancelReason::Watchdog);
+        WatchdogEvent event;
+        event.worker = w;
+        event.batchBegin =
+            static_cast<size_t>(slot.batchBegin.load(std::memory_order_relaxed));
+        event.batchEnd =
+            static_cast<size_t>(slot.batchEnd.load(std::memory_order_relaxed));
+        event.stalledNanos = age;
+        events_.push_back(event);
+    }
+}
+
+} // namespace mg::sched

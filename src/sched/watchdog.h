@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Watchdog supervision for the batch schedulers.  A mapping worker can
+ * stall — a pathological read exploring an enormous walk-state frontier,
+ * an injected fault::Stall, a blocked I/O call — and without supervision
+ * one stuck worker holds its batch (and, at a join barrier, the whole
+ * run) hostage.  The watchdog makes stalls *bounded*:
+ *
+ *  - HeartbeatBoard   one cache-line-padded slot per worker; the worker
+ *                     stamps a monotonic timestamp at every batch start
+ *                     and every read, and parks the slot when idle.
+ *  - Watchdog         a supervisor thread polling the board; a slot whose
+ *                     heartbeat is older than the stall threshold gets its
+ *                     CancelToken fired (reason Watchdog) and the event
+ *                     recorded.
+ *
+ * Cancellation is cooperative: the token is the same one ReadBudget
+ * checks at extension cancellation points, so the stalled batch drains
+ * fast — the current read stops at its next walk-state boundary with its
+ * best-so-far alignments, and the batch's remaining reads degrade
+ * immediately (their beginRead() samples the fired token).  No read is
+ * lost; degraded ones are tagged in the GAF output.  The worker re-arms
+ * its token at the next batch boundary via beginBatch().
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resilience/budget.h"
+
+namespace mg::sched {
+
+/** Watchdog tuning. */
+struct WatchdogParams
+{
+    /** Heartbeat age (seconds) at which a busy worker counts as stalled. */
+    double stallSeconds = 5.0;
+    /** Supervisor poll period in milliseconds. */
+    double pollMillis = 20.0;
+};
+
+/** One cancellation the watchdog performed. */
+struct WatchdogEvent
+{
+    size_t worker = 0;
+    /** Batch the worker was processing when cancelled. */
+    size_t batchBegin = 0;
+    size_t batchEnd = 0;
+    /** Heartbeat age at cancellation time, nanoseconds. */
+    uint64_t stalledNanos = 0;
+};
+
+/**
+ * Per-worker heartbeat slots shared between workers and the supervisor.
+ * Fixed size for the lifetime of a run; all cross-thread state is atomic
+ * (the supervisor never blocks a worker and vice versa).
+ */
+class HeartbeatBoard
+{
+  public:
+    struct alignas(64) Slot
+    {
+        /** util::nowNanos() of the last heartbeat; 0 while idle. */
+        std::atomic<uint64_t> beatNanos{0};
+        /** Batch range being processed (valid while beatNanos != 0). */
+        std::atomic<uint64_t> batchBegin{0};
+        std::atomic<uint64_t> batchEnd{0};
+        /** Fired by the watchdog; checked by the worker's ReadBudget. */
+        resilience::CancelToken token;
+    };
+
+    explicit HeartbeatBoard(size_t workers) : slots_(workers) {}
+
+    size_t size() const { return slots_.size(); }
+    Slot& slot(size_t worker) { return slots_[worker]; }
+
+    /** Worker-side: entering a batch.  Re-arms the token (a cancellation
+     *  applies to one batch, not the worker forever) and stamps a beat. */
+    void
+    beginBatch(size_t worker, size_t begin, size_t end)
+    {
+        Slot& s = slots_[worker];
+        s.batchBegin.store(begin, std::memory_order_relaxed);
+        s.batchEnd.store(end, std::memory_order_relaxed);
+        s.token.reset();
+        s.beatNanos.store(util::nowNanos(), std::memory_order_release);
+    }
+
+    /** Worker-side: still alive (call once per read). */
+    void
+    beat(size_t worker)
+    {
+        slots_[worker].beatNanos.store(util::nowNanos(),
+                                       std::memory_order_release);
+    }
+
+    /** Worker-side: batch done, park the slot (idle slots never stall). */
+    void
+    endBatch(size_t worker)
+    {
+        slots_[worker].beatNanos.store(0, std::memory_order_release);
+    }
+
+  private:
+    /** Fixed at construction: Slot holds atomics and cannot move. */
+    std::vector<Slot> slots_;
+};
+
+/**
+ * The supervisor thread.  start() spawns it; stop() (or destruction)
+ * joins it.  Events are available after stop().
+ */
+class Watchdog
+{
+  public:
+    Watchdog(HeartbeatBoard& board, WatchdogParams params)
+        : board_(board), params_(params)
+    {}
+
+    ~Watchdog() { stop(); }
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    void start();
+
+    /** Idempotent; joins the supervisor thread. */
+    void stop();
+
+    /** Cancellations performed, in detection order.  Call after stop(). */
+    const std::vector<WatchdogEvent>& events() const { return events_; }
+
+  private:
+    void poll(uint64_t stall_nanos);
+
+    HeartbeatBoard& board_;
+    WatchdogParams params_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool running_ = false;
+    std::vector<WatchdogEvent> events_;
+};
+
+} // namespace mg::sched

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "io/checkpoint.h"
 #include "io/extensions_io.h"
 #include "io/mgz.h"
 #include "io/reads_bin.h"
@@ -237,6 +238,151 @@ TEST(FuzzTest, RandomGarbageIsRejected)
         EXPECT_THROW(decodeSeedCapture(garbage), util::Error);
         EXPECT_THROW(decodeExtensions(garbage), util::Error);
     }
+}
+
+// ------------------------------------------------------ checkpoint files
+
+/** Valid checkpoint shard image. */
+std::vector<uint8_t>
+validShard()
+{
+    Shard shard;
+    shard.begin = 128;
+    shard.end = 160;
+    for (uint64_t i = shard.begin; i < shard.end; ++i) {
+        shard.gaf += "read" + std::to_string(i) +
+                     "\t100\t0\t100\t+\tpath\t1\t0\t1\t1\t1\t60\n";
+    }
+    shard.stats.stepCapHits = 3;
+    shard.stats.cacheLookups = 4096;
+    return encodeShard(shard);
+}
+
+/** Valid checkpoint manifest image. */
+std::vector<uint8_t>
+validManifest()
+{
+    Manifest manifest;
+    manifest.totalReads = 1000;
+    for (uint64_t b = 0; b < 1000; b += 100) {
+        manifest.shards.push_back(
+            {b, b + 100, static_cast<uint32_t>(0xabc0 + b),
+             shardFileName(b, b + 100)});
+    }
+    return encodeManifest(manifest);
+}
+
+/**
+ * The checkpoint decoders are *total*: any truncation or bit flip of a
+ * shard or manifest image yields a non-Ok Status — never an exception,
+ * crash, or hang.  The trailing CRC makes essentially every mutation
+ * detectable, and the structural validator catches what a colliding CRC
+ * would let through.
+ */
+TEST(FuzzTest, CheckpointShardFuzzReturnsStatus)
+{
+    std::vector<uint8_t> bytes = validShard();
+    Shard reference;
+    ASSERT_TRUE(decodeShard(bytes, "s.mgs", reference).ok());
+
+    size_t rejected = 0;
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+        util::Rng rng(90000 + seed);
+        std::vector<uint8_t> bad = bytes;
+        if (rng.chance(0.4)) {
+            bad.resize(rng.uniform(bad.size()));
+        } else {
+            int flips = 1 + static_cast<int>(rng.uniform(4));
+            for (int f = 0; f < flips; ++f) {
+                bad[rng.uniform(bad.size())] ^=
+                    static_cast<uint8_t>(1 + rng.uniform(255));
+            }
+        }
+        Shard out;
+        util::Status status = decodeShard(bad, "s.mgs", out);
+        rejected += status.ok() ? 0 : 1;
+        if (status.ok()) {
+            // A surviving decode must be the unmutated image (CRC
+            // collision on a changed payload is the one thing the format
+            // cannot promise against, but flips that land on dead bytes
+            // do not exist — every byte is covered).
+            EXPECT_EQ(out.begin, reference.begin);
+            EXPECT_EQ(out.end, reference.end);
+            EXPECT_EQ(out.gaf, reference.gaf);
+        }
+    }
+    EXPECT_GT(rejected, 390u);
+}
+
+TEST(FuzzTest, CheckpointManifestFuzzReturnsStatus)
+{
+    std::vector<uint8_t> bytes = validManifest();
+    Manifest reference;
+    ASSERT_TRUE(decodeManifest(bytes, "m.mgc", reference).ok());
+
+    size_t rejected = 0;
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+        util::Rng rng(91000 + seed);
+        std::vector<uint8_t> bad = bytes;
+        if (rng.chance(0.4)) {
+            bad.resize(rng.uniform(bad.size()));
+        } else {
+            int flips = 1 + static_cast<int>(rng.uniform(4));
+            for (int f = 0; f < flips; ++f) {
+                bad[rng.uniform(bad.size())] ^=
+                    static_cast<uint8_t>(1 + rng.uniform(255));
+            }
+        }
+        Manifest out;
+        rejected += decodeManifest(bad, "m.mgc", out).ok() ? 0 : 1;
+    }
+    EXPECT_GT(rejected, 390u);
+}
+
+TEST(FuzzTest, CheckpointGarbageAndStructuralViolationsRejected)
+{
+    util::Rng rng(716);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint8_t> garbage(rng.uniform(200));
+        for (auto& byte : garbage) {
+            byte = static_cast<uint8_t>(rng.uniform(256));
+        }
+        Shard shard;
+        EXPECT_FALSE(decodeShard(garbage, "g.mgs", shard).ok());
+        Manifest manifest;
+        EXPECT_FALSE(decodeManifest(garbage, "g.mgc", manifest).ok());
+    }
+
+    // Well-framed (valid CRC) images with illegal structure: duplicate
+    // and overlapping shard ranges, inverted ranges, ranges past the end.
+    auto rejects = [](Manifest bad) {
+        Manifest out;
+        return !decodeManifest(encodeManifest(bad), "m.mgc", out).ok();
+    };
+    Manifest base;
+    base.totalReads = 100;
+
+    Manifest duplicate = base;
+    duplicate.shards.push_back({0, 50, 1, shardFileName(0, 50)});
+    duplicate.shards.push_back({0, 50, 1, shardFileName(0, 50)});
+    EXPECT_TRUE(rejects(duplicate));
+
+    Manifest overlapping = base;
+    overlapping.shards.push_back({0, 60, 1, shardFileName(0, 60)});
+    overlapping.shards.push_back({40, 100, 2, shardFileName(40, 100)});
+    EXPECT_TRUE(rejects(overlapping));
+
+    Manifest inverted = base;
+    inverted.shards.push_back({50, 20, 1, shardFileName(50, 20)});
+    EXPECT_TRUE(rejects(inverted));
+
+    Manifest past_end = base;
+    past_end.shards.push_back({80, 120, 1, shardFileName(80, 120)});
+    EXPECT_TRUE(rejects(past_end));
+
+    Manifest nameless = base;
+    nameless.shards.push_back({0, 50, 1, ""});
+    EXPECT_TRUE(rejects(nameless));
 }
 
 } // namespace

@@ -1,0 +1,405 @@
+/**
+ * mg::resilience tests: deterministic budget caps with degraded-GAF
+ * tagging, watchdog stall detection and cooperative batch cancellation,
+ * the retry/bisect stats double-count regression, and FailureReport
+ * determinism across schedulers.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "giraffe/parent.h"
+#include "io/gaf.h"
+#include "resilience/budget.h"
+#include "sched/watchdog.h"
+#include "sim/pangenome_gen.h"
+#include "sim/read_sim.h"
+
+namespace mg::resilience {
+namespace {
+
+// ------------------------------------------------------------------ units
+
+TEST(CancelTokenTest, FirstReasonWinsUntilReset)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::None);
+
+    token.cancel(CancelReason::Watchdog);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Watchdog);
+
+    token.cancel(CancelReason::Deadline); // loses: first reason sticks
+    EXPECT_EQ(token.reason(), CancelReason::Watchdog);
+
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+    token.cancel(CancelReason::Deadline);
+    EXPECT_EQ(token.reason(), CancelReason::Deadline);
+}
+
+TEST(ReadBudgetTest, InactiveBudgetChargesNothing)
+{
+    ReadBudget budget;
+    budget.beginRead();
+    EXPECT_FALSE(budget.active());
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(budget.chargeStep());
+        budget.chargeLookup();
+    }
+    EXPECT_FALSE(budget.exhausted());
+    EXPECT_EQ(budget.steps(), 0u);
+    EXPECT_EQ(budget.lookups(), 0u);
+}
+
+TEST(ReadBudgetTest, StepCapFiresDeterministically)
+{
+    WorkBudget limits;
+    limits.maxExtendSteps = 3;
+    ReadBudget budget;
+    budget.configure(limits, 0, nullptr);
+
+    budget.beginRead();
+    EXPECT_FALSE(budget.chargeStep());
+    EXPECT_FALSE(budget.chargeStep());
+    EXPECT_FALSE(budget.chargeStep());
+    EXPECT_TRUE(budget.chargeStep()); // 4th state exceeds the cap of 3
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_EQ(budget.reason(), CancelReason::StepCap);
+    // Once fired, every later point reports the same verdict.
+    EXPECT_TRUE(budget.chargeStep());
+
+    // The next read starts from a clean slate.
+    budget.beginRead();
+    EXPECT_FALSE(budget.exhausted());
+    EXPECT_FALSE(budget.chargeStep());
+}
+
+TEST(ReadBudgetTest, LookupCapEnforcedAtNextStep)
+{
+    WorkBudget limits;
+    limits.maxGbwtLookups = 2;
+    ReadBudget budget;
+    budget.configure(limits, 0, nullptr);
+
+    budget.beginRead();
+    budget.chargeLookup();
+    budget.chargeLookup();
+    EXPECT_FALSE(budget.chargeStep()); // at the cap, not over it
+    budget.chargeLookup();
+    EXPECT_TRUE(budget.chargeStep());
+    EXPECT_EQ(budget.reason(), CancelReason::LookupCap);
+}
+
+TEST(ReadBudgetTest, FiredTokenDegradesFromBeginRead)
+{
+    CancelToken token;
+    token.cancel(CancelReason::Watchdog);
+    ReadBudget budget;
+    budget.configure(WorkBudget{}, 0, &token);
+
+    budget.beginRead();
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_EQ(budget.reason(), CancelReason::Watchdog);
+    EXPECT_TRUE(budget.chargeStep());
+}
+
+TEST(ResilienceStatsTest, SummaryCountsAndNames)
+{
+    ResilienceStats stats;
+    EXPECT_EQ(stats.summary(),
+              "0 degraded (deadline 0, step-cap 0, lookup-cap 0, "
+              "watchdog 0)");
+    stats.countDegraded(CancelReason::Deadline);
+    stats.countDegraded(CancelReason::StepCap);
+    stats.countDegraded(CancelReason::StepCap);
+    stats.countDegraded(CancelReason::None); // no-op
+    EXPECT_EQ(stats.degradedReads(), 3u);
+    std::string summary = stats.summary();
+    EXPECT_NE(summary.find("deadline 1"), std::string::npos);
+    EXPECT_NE(summary.find("step-cap 2"), std::string::npos);
+}
+
+TEST(WatchdogTest, CancelsAStalledSlotOnce)
+{
+    sched::HeartbeatBoard board(2);
+    board.beginBatch(0, 10, 20); // stalls below
+    board.beginBatch(1, 20, 30);
+
+    sched::WatchdogParams params;
+    params.stallSeconds = 0.05;
+    params.pollMillis = 5.0;
+    sched::Watchdog watchdog(board, params);
+    watchdog.start();
+
+    // Worker 1 keeps beating; worker 0 goes silent past the threshold.
+    for (int i = 0; i < 20; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        board.beat(1);
+    }
+    watchdog.stop();
+
+    ASSERT_EQ(watchdog.events().size(), 1u); // fires once per batch
+    EXPECT_EQ(watchdog.events()[0].worker, 0u);
+    EXPECT_EQ(watchdog.events()[0].batchBegin, 10u);
+    EXPECT_EQ(watchdog.events()[0].batchEnd, 20u);
+    EXPECT_EQ(board.slot(0).token.reason(), CancelReason::Watchdog);
+    EXPECT_FALSE(board.slot(1).token.cancelled());
+}
+
+TEST(WatchdogTest, IdleSlotsNeverStall)
+{
+    sched::HeartbeatBoard board(1);
+    board.beginBatch(0, 0, 8);
+    board.endBatch(0); // parked
+
+    sched::WatchdogParams params;
+    params.stallSeconds = 0.02;
+    params.pollMillis = 5.0;
+    sched::Watchdog watchdog(board, params);
+    watchdog.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    watchdog.stop();
+
+    EXPECT_TRUE(watchdog.events().empty());
+    EXPECT_FALSE(board.slot(0).token.cancelled());
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/** Small mapping world shared by the pipeline tests. */
+class ResiliencePipelineFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::disarmAll();
+        sim::PangenomeParams pparams;
+        pparams.seed = 911;
+        pparams.backboneLength = 8000;
+        pparams.haplotypes = 4;
+        pg_ = sim::generatePangenome(pparams);
+
+        index::MinimizerParams mparams;
+        mparams.k = 15;
+        mparams.w = 8;
+        minimizers_ = index::MinimizerIndex(pg_.graph, mparams);
+        distance_ = index::DistanceIndex(pg_.graph);
+
+        sim::ReadSimParams rparams;
+        rparams.seed = 912;
+        rparams.count = 80;
+        rparams.readLength = 100;
+        rparams.errorRate = 0.005;
+        reads_ = sim::simulateReads(pg_, rparams);
+    }
+
+    void TearDown() override { fault::disarmAll(); }
+
+    giraffe::ParentOutputs
+    runParent(const giraffe::ParentParams& params) const
+    {
+        giraffe::ParentEmulator parent(pg_.graph, pg_.gbwt, minimizers_,
+                                       distance_, params);
+        return parent.run(reads_);
+    }
+
+    giraffe::ParentParams
+    baseParams(size_t threads = 2) const
+    {
+        giraffe::ParentParams params;
+        params.numThreads = threads;
+        params.batchSize = 8;
+        return params;
+    }
+
+    sim::GeneratedPangenome pg_;
+    index::MinimizerIndex minimizers_;
+    index::DistanceIndex distance_;
+    map::ReadSet reads_;
+};
+
+TEST_F(ResiliencePipelineFixture, StepCapIsDeterministicAndTagged)
+{
+    giraffe::ParentParams params = baseParams();
+    params.budget.maxExtendSteps = 2; // brutal: most reads hit the cap
+
+    giraffe::ParentOutputs first = runParent(params);
+    giraffe::ParentOutputs second = runParent(params);
+
+    EXPECT_GT(first.resilience.stepCapHits, 0u);
+    EXPECT_EQ(first.resilience.stepCapHits, second.resilience.stepCapHits);
+    EXPECT_EQ(first.resilience.degradedReads(),
+              second.resilience.degradedReads());
+
+    // The per-alignment tags agree with the counters, and the GAF carries
+    // them: a deterministic cap is a pure function of the read.
+    size_t tagged = 0;
+    for (size_t i = 0; i < first.alignments.size(); ++i) {
+        EXPECT_EQ(first.alignments[i].degraded,
+                  second.alignments[i].degraded);
+        tagged += first.alignments[i].degraded != CancelReason::None;
+    }
+    EXPECT_EQ(tagged, first.resilience.degradedReads());
+
+    std::string gaf = io::formatGaf(first.alignments, reads_, pg_.graph);
+    EXPECT_NE(gaf.find("\tdg:Z:step-cap"), std::string::npos);
+    EXPECT_EQ(gaf, io::formatGaf(second.alignments, reads_, pg_.graph));
+
+    // No read is lost: one GAF line per read, capped or not.
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(gaf.begin(), gaf.end(), '\n')),
+              reads_.size());
+}
+
+TEST_F(ResiliencePipelineFixture, LookupCapDegradesReads)
+{
+    giraffe::ParentParams params = baseParams();
+    params.budget.maxGbwtLookups = 1;
+    giraffe::ParentOutputs outputs = runParent(params);
+
+    EXPECT_GT(outputs.resilience.lookupCapHits, 0u);
+    std::string gaf = io::formatGaf(outputs.alignments, reads_, pg_.graph);
+    EXPECT_NE(gaf.find("\tdg:Z:lookup-cap"), std::string::npos);
+}
+
+TEST_F(ResiliencePipelineFixture, ExpiredDeadlineDegradesEveryRead)
+{
+    giraffe::ParentParams params = baseParams();
+    params.budget.wallSeconds = 1e-9; // expires before the first read
+    giraffe::ParentOutputs outputs = runParent(params);
+
+    // Every read passes its beginRead() deadline check, degrades to
+    // best-so-far, and the run still terminates with all reads present.
+    EXPECT_EQ(outputs.resilience.deadlineHits, reads_.size());
+    EXPECT_EQ(outputs.alignments.size(), reads_.size());
+    std::string gaf = io::formatGaf(outputs.alignments, reads_, pg_.graph);
+    EXPECT_NE(gaf.find("\tdg:Z:deadline"), std::string::npos);
+}
+
+TEST_F(ResiliencePipelineFixture, UnlimitedBudgetDegradesNothing)
+{
+    giraffe::ParentOutputs outputs = runParent(baseParams());
+    EXPECT_EQ(outputs.resilience.degradedReads(), 0u);
+    EXPECT_EQ(outputs.resilience.latency.count(), reads_.size());
+    std::string gaf = io::formatGaf(outputs.alignments, reads_, pg_.graph);
+    EXPECT_EQ(gaf.find("dg:Z:"), std::string::npos);
+}
+
+TEST_F(ResiliencePipelineFixture, WatchdogCancelsAStalledBatch)
+{
+    // One injected 400 ms stall inside mapFromSeeds; the watchdog's
+    // threshold is 50 ms, so it must cancel the stalled worker's batch
+    // while the other worker keeps mapping.
+    fault::armFromText("map.read=stall,stall=400,limit=1");
+    giraffe::ParentParams params = baseParams();
+    params.watchdog = true;
+    params.watchdogParams.stallSeconds = 0.05;
+    params.watchdogParams.pollMillis = 5.0;
+    giraffe::ParentOutputs outputs = runParent(params);
+
+    EXPECT_GE(outputs.failures.watchdogCancels, 1u);
+    EXPECT_GT(outputs.resilience.watchdogCancels, 0u);
+    // A cancelled batch completes degraded; it is not a failure.
+    EXPECT_TRUE(outputs.failures.batches.empty());
+    EXPECT_TRUE(outputs.failures.poisoned.empty());
+    EXPECT_NE(outputs.failures.summary().find("watchdog"),
+              std::string::npos);
+
+    // No reads lost or left unmapped-by-accident: every read has its
+    // alignment slot and the GAF tags the degraded ones.
+    ASSERT_EQ(outputs.alignments.size(), reads_.size());
+    std::string gaf = io::formatGaf(outputs.alignments, reads_, pg_.graph);
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(gaf.begin(), gaf.end(), '\n')),
+              reads_.size());
+    EXPECT_NE(gaf.find("\tdg:Z:watchdog"), std::string::npos);
+}
+
+TEST_F(ResiliencePipelineFixture, WatchdogIdlesOnAHealthyRun)
+{
+    giraffe::ParentParams params = baseParams();
+    params.watchdog = true; // default 5 s threshold never trips here
+    giraffe::ParentOutputs guarded = runParent(params);
+    giraffe::ParentOutputs plain = runParent(baseParams());
+
+    EXPECT_EQ(guarded.failures.watchdogCancels, 0u);
+    EXPECT_EQ(guarded.resilience.degradedReads(), 0u);
+    EXPECT_EQ(io::formatGaf(guarded.alignments, reads_, pg_.graph),
+              io::formatGaf(plain.alignments, reads_, pg_.graph));
+}
+
+TEST_F(ResiliencePipelineFixture, RetriedBatchesCountStatsOnce)
+{
+    // Regression: runGuarded retries a failed batch, and bisection may
+    // re-run healthy batchmates; before the snapshot/restore fix every
+    // attempt leaked its cache and degradation counters into the totals.
+    giraffe::ParentParams params = baseParams(/*threads=*/1);
+    params.budget.maxExtendSteps = 16; // nonzero degradation counters too
+    giraffe::ParentOutputs baseline = runParent(params);
+    ASSERT_TRUE(baseline.failures.ok());
+
+    fault::armFromText("sched.worker=throw,limit=3");
+    giraffe::ParentOutputs faulted = runParent(params);
+    ASSERT_EQ(faulted.failures.batches.size(), 3u);
+    for (const sched::BatchFailure& failure : faulted.failures.batches) {
+        EXPECT_TRUE(failure.recovered);
+    }
+
+    // The retried run's aggregate stats equal the clean run's exactly:
+    // failed attempts contribute nothing, retries count once.
+    EXPECT_EQ(faulted.cacheStats.lookups, baseline.cacheStats.lookups);
+    EXPECT_EQ(faulted.cacheStats.hits, baseline.cacheStats.hits);
+    EXPECT_EQ(faulted.cacheStats.decodes, baseline.cacheStats.decodes);
+    EXPECT_EQ(faulted.resilience.stepCapHits,
+              baseline.resilience.stepCapHits);
+    EXPECT_EQ(faulted.resilience.degradedReads(),
+              baseline.resilience.degradedReads());
+    EXPECT_EQ(faulted.resilience.latency.count(),
+              baseline.resilience.latency.count());
+}
+
+TEST_F(ResiliencePipelineFixture, FailureReportIsSortedOnEveryScheduler)
+{
+    const sched::SchedulerKind kinds[] = {
+        sched::SchedulerKind::OmpDynamic,
+        sched::SchedulerKind::VgBatch,
+        sched::SchedulerKind::WorkStealing,
+    };
+    for (sched::SchedulerKind kind : kinds) {
+        fault::disarmAll();
+        // Persistent poison on a spread of reads: several batches fail
+        // and bisect, in a thread-dependent order.
+        fault::armFromText("map.read=throw,after=50");
+        giraffe::ParentParams params = baseParams(/*threads=*/4);
+        params.scheduler = kind;
+        giraffe::ParentOutputs outputs = runParent(params);
+
+        ASSERT_FALSE(outputs.failures.ok())
+            << sched::schedulerName(kind);
+        EXPECT_TRUE(std::is_sorted(
+            outputs.failures.batches.begin(),
+            outputs.failures.batches.end(),
+            [](const sched::BatchFailure& a, const sched::BatchFailure& b) {
+                return a.begin != b.begin ? a.begin < b.begin
+                                          : a.end < b.end;
+            }))
+            << sched::schedulerName(kind);
+        EXPECT_TRUE(std::is_sorted(
+            outputs.failures.poisoned.begin(),
+            outputs.failures.poisoned.end(),
+            [](const sched::ItemFailure& a, const sched::ItemFailure& b) {
+                return a.index < b.index;
+            }))
+            << sched::schedulerName(kind);
+    }
+}
+
+} // namespace
+} // namespace mg::resilience
