@@ -23,6 +23,12 @@
  * re-measures the SWAR-vs-scalar throughput ratio (both kernels timed in
  * the same process, so machine speed cancels out) and fails if the ratio
  * fell more than 15% below the value committed in the given BENCH JSON.
+ *
+ * The obs-guard mode (bench_hotpath --guard-obs=PATH, ctest
+ * perf_guard_obs) protects the telemetry layer's "pay only a pointer
+ * test" promise: it times the mapping kernel with live metrics off and on
+ * (same process, A and B analogs) and fails if metrics cost more than 2%
+ * of throughput.
  */
 #include <benchmark/benchmark.h>
 
@@ -38,6 +44,8 @@
 
 #include "common.h"
 #include "io/file.h"
+#include "obs/hub.h"
+#include "obs/json.h"
 #include "stats/latency.h"
 #include "util/timer.h"
 
@@ -161,9 +169,13 @@ struct PassResult
 /**
  * Map every read in the capture `reps` times with one reused MapperState
  * (warm-up pass excluded from both the clock and the allocation counter).
+ * When `hub` is set the measured loop runs with live metrics attached —
+ * per-read funnel increments plus one flush per pass, the same cadence a
+ * batch scheduler produces — so the obs guard can price the telemetry.
  */
 PassResult
-measureMapping(const Workload& wl, int reps, bool use_swar = true)
+measureMapping(const Workload& wl, int reps, bool use_swar = true,
+               obs::Hub* hub = nullptr)
 {
     map::MapperParams params;
     params.extend.useSwar = use_swar;
@@ -175,6 +187,10 @@ measureMapping(const Workload& wl, int reps, bool use_swar = true)
     for (const auto& entry : entries) {
         mapper.mapFromSeeds(entry.read, entry.seeds, *state);
     }
+    if (hub != nullptr) { // bind after warm-up: measure steady state only
+        state->metrics = hub->slab(0);
+        state->metricIds = &hub->map();
+    }
     const gbwt::CacheStats warm = state->totalStats();
     state->resilience.latency.clear(); // drop warm-up samples
     AllocSnapshot before = allocNow();
@@ -183,6 +199,9 @@ measureMapping(const Workload& wl, int reps, bool use_swar = true)
         for (const auto& entry : entries) {
             benchmark::DoNotOptimize(
                 mapper.mapFromSeeds(entry.read, entry.seeds, *state));
+        }
+        if (hub != nullptr) {
+            state->flushMetrics();
         }
     }
     double seconds = timer.seconds();
@@ -375,8 +394,8 @@ struct InputRecord
 
 /** Packed-arena footprint of one world's graph. */
 void
-emitArenaJson(std::FILE* f, const graph::VariationGraph& g,
-              const char* name, const char* tail)
+emitArenaJson(obs::JsonWriter& w, const graph::VariationGraph& g,
+              const char* name)
 {
     const graph::SequenceStore& store = g.sequenceStore();
     size_t stored = 2 * store.totalBases();
@@ -386,80 +405,70 @@ emitArenaJson(std::FILE* f, const graph::VariationGraph& g,
             ? static_cast<double>(stored) /
                   static_cast<double>(store.arenaBytes())
             : 0.0;
-    std::fprintf(f,
-                 "    \"%s\": {\n"
-                 "      \"resident_bytes\": %zu,\n"
-                 "      \"arena_bytes\": %zu,\n"
-                 "      \"offset_table_bytes\": %zu,\n"
-                 "      \"reserved_bytes\": %zu,\n"
-                 "      \"bits_per_stored_base\": %.3f,\n"
-                 "      \"byte_arena_reduction\": %.2f,\n"
-                 "      \"sanitized_bases\": %zu\n"
-                 "    }%s\n",
-                 name, store.footprintBytes(), store.arenaBytes(),
-                 store.offsetTableBytes(), store.reservedBytes(),
-                 stored ? 8.0 * static_cast<double>(store.arenaBytes()) /
-                              static_cast<double>(stored)
-                        : 0.0,
-                 reduction, store.sanitizedBases(), tail);
+    w.key(name).beginObject();
+    w.field("resident_bytes", static_cast<uint64_t>(store.footprintBytes()));
+    w.field("arena_bytes", static_cast<uint64_t>(store.arenaBytes()));
+    w.field("offset_table_bytes",
+            static_cast<uint64_t>(store.offsetTableBytes()));
+    w.field("reserved_bytes", static_cast<uint64_t>(store.reservedBytes()));
+    w.field("bits_per_stored_base",
+            stored ? 8.0 * static_cast<double>(store.arenaBytes()) /
+                         static_cast<double>(stored)
+                   : 0.0);
+    w.field("byte_arena_reduction", reduction);
+    w.field("sanitized_bases",
+            static_cast<uint64_t>(store.sanitizedBases()));
+    w.endObject();
 }
 
 void
 writeJson(const std::string& path, const InputRecord& a,
           const InputRecord& b)
 {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "bench_hotpath: cannot write %s\n",
-                     path.c_str());
-        return;
-    }
-    auto emit = [&](const char* name, const InputRecord& r,
-                    const char* tail) {
-        std::fprintf(f,
-                     "    \"%s\": {\n"
-                     "      \"reads_per_sec\": %.1f,\n"
-                     "      \"bytes_per_read\": %.1f,\n"
-                     "      \"allocs_per_read\": %.2f,\n"
-                     "      \"cache_hit_rate\": %.4f,\n"
-                     "      \"extends_per_sec\": %.1f,\n"
-                     "      \"bytes_per_extend\": %.1f,\n"
-                     "      \"allocs_per_extend\": %.2f,\n"
-                     "      \"words_per_extend\": %.2f,\n"
-                     "      \"read_latency_p50_ns\": %.0f,\n"
-                     "      \"read_latency_p99_ns\": %.0f,\n"
-                     "      \"read_latency_p999_ns\": %.0f,\n"
-                     "      \"scalar_reads_per_sec\": %.1f,\n"
-                     "      \"scalar_extends_per_sec\": %.1f\n"
-                     "    }%s\n",
-                     name, r.map.readsPerSec, r.map.bytesPerRead,
-                     r.map.allocsPerRead, r.map.hitRate,
-                     r.ext.extendsPerSec, r.ext.bytesPerExtend,
-                     r.ext.allocsPerExtend, r.ext.wordsPerExtend,
-                     r.map.p50Nanos, r.map.p99Nanos, r.map.p999Nanos,
-                     r.mapScalar.readsPerSec, r.extScalar.extendsPerSec,
-                     tail);
+    obs::JsonWriter w;
+    auto emit = [&](const char* name, const InputRecord& r) {
+        w.key(name).beginObject();
+        w.field("reads_per_sec", r.map.readsPerSec);
+        w.field("bytes_per_read", r.map.bytesPerRead);
+        w.field("allocs_per_read", r.map.allocsPerRead);
+        w.field("cache_hit_rate", r.map.hitRate);
+        w.field("extends_per_sec", r.ext.extendsPerSec);
+        w.field("bytes_per_extend", r.ext.bytesPerExtend);
+        w.field("allocs_per_extend", r.ext.allocsPerExtend);
+        w.field("words_per_extend", r.ext.wordsPerExtend);
+        w.field("read_latency_p50_ns", r.map.p50Nanos);
+        w.field("read_latency_p99_ns", r.map.p99Nanos);
+        w.field("read_latency_p999_ns", r.map.p999Nanos);
+        w.field("scalar_reads_per_sec", r.mapScalar.readsPerSec);
+        w.field("scalar_extends_per_sec", r.extScalar.extendsPerSec);
+        w.endObject();
     };
-    std::fprintf(f, "{\n  \"benchmark\": \"bench_hotpath\",\n"
-                    "  \"scale\": %.3f,\n  \"results\": {\n",
-                 g_scale);
-    emit("A-human", a, ",");
-    emit("B-yeast", b, "");
-    std::fprintf(f, "  },\n  \"packed_arena\": {\n");
-    emitArenaJson(f, workload("A-human").world->graph(), "A-human", ",");
-    emitArenaJson(f, workload("B-yeast").world->graph(), "B-yeast", "");
+    w.beginObject();
+    w.field("benchmark", "bench_hotpath");
+    w.field("scale", g_scale);
+    w.key("results").beginObject();
+    emit("A-human", a);
+    emit("B-yeast", b);
+    w.endObject();
+    w.key("packed_arena").beginObject();
+    emitArenaJson(w, workload("A-human").world->graph(), "A-human");
+    emitArenaJson(w, workload("B-yeast").world->graph(), "B-yeast");
+    w.endObject();
     // The guard section: in-process SWAR/scalar ratios, the quantities the
     // perf_guard ctest re-measures (machine speed cancels in the ratio).
-    std::fprintf(f,
-                 "  },\n  \"guard\": {\n"
-                 "    \"swar_map_speedup_A\": %.3f,\n"
-                 "    \"swar_extend_speedup_A\": %.3f,\n"
-                 "    \"swar_map_speedup_B\": %.3f,\n"
-                 "    \"swar_extend_speedup_B\": %.3f\n"
-                 "  }\n}\n",
-                 a.mapSpeedup(), a.extendSpeedup(), b.mapSpeedup(),
-                 b.extendSpeedup());
-    std::fclose(f);
+    w.key("guard").beginObject();
+    w.field("swar_map_speedup_A", a.mapSpeedup());
+    w.field("swar_extend_speedup_A", a.extendSpeedup());
+    w.field("swar_map_speedup_B", b.mapSpeedup());
+    w.field("swar_extend_speedup_B", b.extendSpeedup());
+    w.endObject();
+    w.endObject();
+    try {
+        w.writeFile(path);
+    } catch (const util::Error& e) {
+        std::fprintf(stderr, "bench_hotpath: %s\n", e.what());
+        return;
+    }
     std::printf("wrote %s\n", path.c_str());
 }
 
@@ -527,6 +536,56 @@ guardRun(const std::string& committed_path)
     return 0;
 }
 
+/**
+ * Obs guard: price the live-metrics layer.  Per input set, time the
+ * mapping kernel with metrics off and on in the same process (best of
+ * up to five interleaved attempts, so machine speed and drift cancel) and
+ * fail if the on/off throughput ratio drops below 0.98 — the telemetry
+ * layer promises a pointer test plus ~20 buffered increments per read,
+ * which must stay under 2%.  The committed BENCH record is read for a
+ * context line only; the verdict is machine-independent.
+ */
+int
+guardObsRun(const std::string& committed_path)
+{
+    try {
+        std::string text = io::readFileText(committed_path);
+        double committed = jsonNumber(text, "reads_per_sec");
+        if (committed > 0.0) {
+            std::printf("perf-guard-obs: committed record %s "
+                        "(%.0f reads/s at record time)\n",
+                        committed_path.c_str(), committed);
+        }
+    } catch (const util::Error& e) {
+        std::printf("perf-guard-obs: no committed record (%s)\n",
+                    e.what());
+    }
+    int failures = 0;
+    for (const char* input_set : { "A-human", "B-yeast" }) {
+        const Workload& wl = workload(input_set);
+        double best = 0.0;
+        for (int attempt = 0; attempt < 5 && best < 0.98; ++attempt) {
+            obs::Hub hub(1);
+            PassResult off = measureMapping(wl, 2, true, nullptr);
+            PassResult on = measureMapping(wl, 2, true, &hub);
+            if (off.readsPerSec > 0.0) {
+                best = std::max(best, on.readsPerSec / off.readsPerSec);
+            }
+        }
+        std::printf("perf-guard-obs %s: metrics-on/off throughput ratio "
+                    "%.4f (floor 0.98)\n",
+                    input_set, best);
+        if (best < 0.98) {
+            std::fprintf(stderr,
+                         "FAIL: live metrics cost >2%% of mapping "
+                         "throughput on %s (ratio %.4f)\n",
+                         input_set, best);
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 int
 smokeRun()
 {
@@ -573,6 +632,7 @@ main(int argc, char** argv)
     bool smoke = false;
     std::string out_path = "BENCH_hotpath.json";
     std::string guard_path;
+    std::string guard_obs_path;
     std::vector<char*> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -580,6 +640,8 @@ main(int argc, char** argv)
             smoke = true;
         } else if (std::strncmp(argv[i], "--guard=", 8) == 0) {
             guard_path = argv[i] + 8;
+        } else if (std::strncmp(argv[i], "--guard-obs=", 12) == 0) {
+            guard_obs_path = argv[i] + 12;
         } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
             g_scale = std::atof(argv[i] + 8);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -588,12 +650,15 @@ main(int argc, char** argv)
             passthrough.push_back(argv[i]);
         }
     }
-    if (smoke || !guard_path.empty()) {
+    if (smoke || !guard_path.empty() || !guard_obs_path.empty()) {
         if (g_scale > 0.05) {
             g_scale = 0.05; // keep CTest fast regardless of the default
         }
         if (!guard_path.empty()) {
             return guardRun(guard_path);
+        }
+        if (!guard_obs_path.empty()) {
+            return guardObsRun(guard_obs_path);
         }
         return smokeRun();
     }

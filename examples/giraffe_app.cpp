@@ -9,18 +9,47 @@
  *           [--gaf out.gaf] [--k 15] [--w 8]
  */
 #include <cstdio>
+#include <memory>
 
 #include "fault/fault.h"
 #include "giraffe/checkpoint_run.h"
 #include "giraffe/parent.h"
+#include "giraffe/run_summary.h"
 #include "index/distance.h"
 #include "index/minimizer.h"
 #include "io/fastq.h"
 #include "io/file.h"
 #include "io/gaf.h"
 #include "io/mgz.h"
+#include "obs/emitter.h"
+#include "obs/hub.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/timer.h"
+
+namespace {
+
+/** Per-site fault counters for the final metrics snapshot. */
+std::vector<mg::obs::MetricValue>
+faultExtras()
+{
+    std::vector<mg::obs::MetricValue> extras;
+    for (const auto& [site, stats] : mg::fault::allStats()) {
+        mg::obs::MetricValue hits;
+        hits.name = "mg_fault_hits_total{site=\"" + site + "\"}";
+        hits.help = "Times the fault site was evaluated.";
+        hits.value = stats.hits;
+        extras.push_back(std::move(hits));
+        mg::obs::MetricValue fires;
+        fires.name = "mg_fault_fires_total{site=\"" + site + "\"}";
+        fires.help = "Times the fault site injected its fault.";
+        fires.value = stats.fires;
+        extras.push_back(std::move(fires));
+    }
+    return extras;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -52,7 +81,19 @@ try {
                  "checkpoint directory: flush durable GAF shards and "
                  "resume from them (unpaired reads only)")
          .define("checkpoint-shard", "2048",
-                 "reads per checkpoint shard");
+                 "reads per checkpoint shard")
+         .define("metrics-out", "",
+                 "write metrics here (.prom = Prometheus text, anything "
+                 "else = JSON snapshot series)")
+         .define("metrics-interval", "0",
+                 "rewrite --metrics-out every N seconds (0 = final only)")
+         .define("trace-out", "",
+                 "write a Chrome trace-event JSON timeline (implies "
+                 "region profiling; non-checkpoint runs only)")
+         .define("flight-ring", "16",
+                 "flight-recorder entries per worker")
+         .define("summary-json", "",
+                 "write the machine-readable run summary here");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -104,6 +145,26 @@ try {
     mg::giraffe::ParentEmulator giraffe(pangenome.graph, pangenome.gbwt,
                                         minimizers, distance, params);
 
+    // Telemetry hub: live metrics + flight recorder, shared by the plain
+    // and checkpointed paths.
+    const bool telemetry = !flags.str("metrics-out").empty() ||
+                           !flags.str("trace-out").empty() ||
+                           params.watchdog;
+    std::unique_ptr<mg::obs::Hub> hub;
+    std::unique_ptr<mg::obs::MetricsEmitter> emitter;
+    if (telemetry) {
+        hub = std::make_unique<mg::obs::Hub>(
+            params.numThreads,
+            static_cast<size_t>(flags.integer("flight-ring")));
+        mg::obs::installCrashHandler(&hub->flight());
+        if (!flags.str("metrics-out").empty()) {
+            emitter = std::make_unique<mg::obs::MetricsEmitter>(
+                hub->registry(), flags.str("metrics-out"),
+                flags.real("metrics-interval"));
+            emitter->start();
+        }
+    }
+
     if (!flags.str("checkpoint").empty()) {
         // Checkpointed mode: the parent emulator drives shard-at-a-time
         // mapping with durable flushes, resuming from whatever the
@@ -113,6 +174,7 @@ try {
         cp.dir = flags.str("checkpoint");
         cp.shardReads =
             static_cast<uint64_t>(flags.integer("checkpoint-shard"));
+        cp.hub = hub.get();
         mg::giraffe::CheckpointRunResult result =
             mg::giraffe::runCheckpointed(giraffe, reads, cp);
         std::printf("checkpointed run: %llu resumed + %llu mapped reads "
@@ -127,14 +189,29 @@ try {
             std::printf("failures: %s\n",
                         result.failures.summary().c_str());
         }
+        if (emitter) {
+            emitter->finalize(faultExtras());
+            std::printf("wrote %s\n", flags.str("metrics-out").c_str());
+        }
+        if (!flags.str("summary-json").empty()) {
+            mg::io::writeFileText(flags.str("summary-json"),
+                                  mg::giraffe::summaryJson(result, cp));
+            std::printf("wrote %s\n", flags.str("summary-json").c_str());
+        }
         if (!flags.str("gaf").empty()) {
             mg::io::writeFileText(flags.str("gaf"), result.gaf);
             std::printf("wrote %s\n", flags.str("gaf").c_str());
         }
+        if (hub) {
+            mg::obs::installCrashHandler(nullptr);
+        }
         return 0;
     }
 
-    mg::giraffe::ParentOutputs outputs = giraffe.run(reads);
+    mg::perf::Profiler profiler(!flags.str("trace-out").empty());
+    mg::giraffe::ParentOutputs outputs = giraffe.run(
+        reads, profiler.enabled() ? &profiler : nullptr, nullptr,
+        hub.get());
 
     size_t mapped = 0;
     for (const mg::giraffe::Alignment& alignment : outputs.alignments) {
@@ -147,6 +224,26 @@ try {
                 mapped, reads.size(), outputs.wallSeconds,
                 outputs.cacheStats.hitRate());
     std::printf("resilience: %s\n", outputs.resilience.summary().c_str());
+    auto read_name = [&](uint64_t index) -> std::string {
+        return index < reads.size() ? reads.reads[index].name : "?";
+    };
+    for (const mg::sched::WatchdogEvent& event : outputs.watchdogEvents) {
+        std::printf("watchdog cancel: worker %zu batch [%zu,%zu) stalled "
+                    "%.2f s\n",
+                    event.worker, event.batchBegin, event.batchEnd,
+                    static_cast<double>(event.stalledNanos) / 1e9);
+        for (const mg::obs::FlightEntry& entry : event.flight) {
+            const double age =
+                event.atNanos > entry.stageEnterNanos
+                    ? static_cast<double>(event.atNanos -
+                                          entry.stageEnterNanos) / 1e9
+                    : 0.0;
+            std::printf("  read %llu (%s): in %s for %.3f s\n",
+                        static_cast<unsigned long long>(entry.readIndex),
+                        read_name(entry.readIndex).c_str(),
+                        mg::obs::stageName(entry.stage), age);
+        }
+    }
     if (!outputs.failures.ok()) {
         std::printf("failures: %s\n", outputs.failures.summary().c_str());
         for (const mg::sched::ItemFailure& item :
@@ -154,6 +251,11 @@ try {
             std::printf("  quarantined read %zu (%s): %s\n", item.index,
                         reads.reads[item.index].name.c_str(),
                         item.what.c_str());
+        }
+        if (hub && !outputs.failures.poisoned.empty()) {
+            std::printf("%s", hub->flight()
+                                  .report(mg::util::nowNanos(), read_name)
+                                  .c_str());
         }
     }
     for (const auto& [site, stats] : mg::fault::allStats()) {
@@ -172,10 +274,33 @@ try {
                     outputs.pairs.size());
     }
 
+    if (emitter) {
+        emitter->finalize(faultExtras());
+        std::printf("wrote %s\n", flags.str("metrics-out").c_str());
+    }
+    if (!flags.str("trace-out").empty()) {
+        std::vector<mg::obs::TraceInstant> instants;
+        for (const mg::sched::WatchdogEvent& event :
+             outputs.watchdogEvents) {
+            instants.push_back(mg::obs::TraceInstant{
+                "watchdog cancel", event.worker, event.atNanos });
+        }
+        mg::obs::writeChromeTrace(flags.str("trace-out"), profiler,
+                                  instants, "giraffe_app");
+        std::printf("wrote %s\n", flags.str("trace-out").c_str());
+    }
+    if (!flags.str("summary-json").empty()) {
+        mg::io::writeFileText(flags.str("summary-json"),
+                              mg::giraffe::summaryJson(outputs, params));
+        std::printf("wrote %s\n", flags.str("summary-json").c_str());
+    }
     if (!flags.str("gaf").empty()) {
         mg::io::saveGaf(flags.str("gaf"), outputs.alignments, reads,
                         pangenome.graph);
         std::printf("wrote %s\n", flags.str("gaf").c_str());
+    }
+    if (hub) {
+        mg::obs::installCrashHandler(nullptr);
     }
     return 0;
 } catch (const mg::util::Error& e) {

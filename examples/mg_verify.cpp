@@ -22,6 +22,7 @@
 #include "io/gfa.h"
 #include "io/mgz.h"
 #include "io/reads_bin.h"
+#include "obs/json.h"
 #include "util/flags.h"
 #include "util/status.h"
 
@@ -33,6 +34,122 @@ endsWith(const std::string& text, const std::string& suffix)
     return text.size() >= suffix.size() &&
            text.compare(text.size() - suffix.size(), suffix.size(),
                         suffix) == 0;
+}
+
+/**
+ * Validate a metrics snapshot series (obs::toJson output): schema marker,
+ * strictly increasing snapshot times, and counter/histogram monotonicity
+ * — a counter that shrinks between snapshots means a broken exporter or a
+ * hand-edited file.  Prints the final snapshot's nonzero values.
+ */
+bool
+verifyMetricsJson(const std::string& path, const mg::obs::json::Value& doc)
+{
+    const mg::obs::json::Value* snapshots = doc.find("snapshots");
+    if (snapshots == nullptr || !snapshots->isArray()) {
+        std::fprintf(stderr, "%s: metrics file has no snapshots array\n",
+                     path.c_str());
+        return false;
+    }
+    uint64_t prev_at = 0;
+    // name -> last seen counter value / histogram count
+    std::vector<std::pair<std::string, uint64_t>> watermarks;
+    auto watermark = [&](const std::string& name) -> uint64_t& {
+        for (auto& [n, v] : watermarks) {
+            if (n == name) {
+                return v;
+            }
+        }
+        watermarks.emplace_back(name, 0);
+        return watermarks.back().second;
+    };
+    bool ok = true;
+    for (size_t s = 0; s < snapshots->items.size(); ++s) {
+        const mg::obs::json::Value& snap = snapshots->items[s];
+        const mg::obs::json::Value* at = snap.find("at_ns");
+        const mg::obs::json::Value* metrics = snap.find("metrics");
+        if (at == nullptr || !at->isNumber() || metrics == nullptr ||
+            !metrics->isArray()) {
+            std::fprintf(stderr, "%s: snapshot %zu malformed\n",
+                         path.c_str(), s);
+            return false;
+        }
+        if (s > 0 && at->asUint() <= prev_at) {
+            std::fprintf(stderr,
+                         "%s: snapshot %zu at_ns not increasing\n",
+                         path.c_str(), s);
+            ok = false;
+        }
+        prev_at = at->asUint();
+        for (const mg::obs::json::Value& metric : metrics->items) {
+            const mg::obs::json::Value* name = metric.find("name");
+            const mg::obs::json::Value* kind = metric.find("kind");
+            if (name == nullptr || !name->isString() || kind == nullptr ||
+                !kind->isString()) {
+                std::fprintf(stderr, "%s: snapshot %zu has a metric "
+                             "without name/kind\n", path.c_str(), s);
+                return false;
+            }
+            uint64_t current = 0;
+            if (kind->text == "counter") {
+                const mg::obs::json::Value* value = metric.find("value");
+                if (value == nullptr || !value->isNumber()) {
+                    std::fprintf(stderr, "%s: counter %s has no value\n",
+                                 path.c_str(), name->text.c_str());
+                    return false;
+                }
+                current = value->asUint();
+            } else if (kind->text == "histogram") {
+                const mg::obs::json::Value* count = metric.find("count");
+                if (count == nullptr || !count->isNumber()) {
+                    std::fprintf(stderr, "%s: histogram %s has no count\n",
+                                 path.c_str(), name->text.c_str());
+                    return false;
+                }
+                current = count->asUint();
+            } else {
+                continue; // gauges may move in any direction
+            }
+            uint64_t& seen = watermark(name->text);
+            if (current < seen) {
+                std::fprintf(stderr,
+                             "%s: %s shrank between snapshots "
+                             "(%llu -> %llu)\n",
+                             path.c_str(), name->text.c_str(),
+                             static_cast<unsigned long long>(seen),
+                             static_cast<unsigned long long>(current));
+                ok = false;
+            }
+            seen = current;
+        }
+    }
+    std::printf("%s: metrics series, %zu snapshots%s\n", path.c_str(),
+                snapshots->items.size(), ok ? "" : " (NOT monotonic)");
+    if (!snapshots->items.empty()) {
+        const mg::obs::json::Value* metrics =
+            snapshots->items.back().find("metrics");
+        for (const mg::obs::json::Value& metric : metrics->items) {
+            const mg::obs::json::Value* name = metric.find("name");
+            const mg::obs::json::Value* kind = metric.find("kind");
+            if (kind->text == "histogram") {
+                const mg::obs::json::Value* count = metric.find("count");
+                if (count->asUint() > 0) {
+                    std::printf("  %-44s count=%llu\n",
+                                name->text.c_str(),
+                                static_cast<unsigned long long>(
+                                    count->asUint()));
+                }
+            } else {
+                const mg::obs::json::Value* value = metric.find("value");
+                if (value != nullptr && value->asUint() > 0) {
+                    std::printf("  %-44s %llu\n", name->text.c_str(),
+                                static_cast<unsigned long long>(
+                                    value->asUint()));
+                }
+            }
+        }
+    }
+    return ok;
 }
 
 /** Verify one file; returns true on success. */
@@ -161,6 +278,26 @@ verifyFile(const std::string& path, bool deep)
                     shard.gaf.size());
         return true;
     }
+    if (endsWith(path, ".json")) {
+        // Any repo-emitted JSON parses; metrics snapshot series (the
+        // obs::toJson schema) additionally get monotonicity validation.
+        mg::obs::json::Value doc = mg::obs::json::parse(
+            std::string(bytes.begin(), bytes.end()), path);
+        const mg::obs::json::Value* marker =
+            doc.find("minigiraffe_metrics");
+        if (marker != nullptr) {
+            if (!marker->isNumber() || marker->asUint() != 1) {
+                std::fprintf(stderr,
+                             "%s: unsupported metrics schema version\n",
+                             path.c_str());
+                return false;
+            }
+            return verifyMetricsJson(path, doc);
+        }
+        std::printf("%s: valid JSON (%zu top-level members)\n",
+                    path.c_str(), doc.members.size());
+        return true;
+    }
     if (endsWith(path, ".gfa")) {
         mg::graph::VariationGraph graph = mg::io::parseGfa(
             std::string(bytes.begin(), bytes.end()), path);
@@ -170,7 +307,7 @@ verifyFile(const std::string& path, bool deep)
     }
     std::fprintf(stderr,
                  "%s: unknown extension (expected .mgz, .bin, .ext, "
-                 ".fastq, .gfa, .mgc, or .mgs)\n",
+                 ".fastq, .gfa, .json, .mgc, or .mgs)\n",
                  path.c_str());
     return false;
 }

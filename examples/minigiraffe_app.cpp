@@ -10,17 +10,73 @@
  * Run:  ./examples/minigiraffe_app <graph.mgz> <seeds.bin>
  *           [--threads N] [--batch-size B] [--cache-capacity C]
  *           [--scheduler openmp|vg|steal] [--output out.ext]
- *           [--profile regions.csv]
+ *           [--profile regions.csv] [--metrics-out m.prom|m.json]
+ *           [--trace-out trace.json] [--summary-json summary.json]
  */
 #include <cstdio>
+#include <memory>
 
 #include "fault/fault.h"
 #include "giraffe/proxy.h"
+#include "giraffe/run_summary.h"
 #include "index/distance.h"
 #include "io/extensions_io.h"
+#include "io/file.h"
 #include "io/mgz.h"
 #include "io/reads_bin.h"
+#include "obs/emitter.h"
+#include "obs/hub.h"
+#include "obs/trace.h"
 #include "util/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+/** Per-site fault counters, appended to the final metrics snapshot (the
+ *  set of armed sites is only known at end of run). */
+std::vector<mg::obs::MetricValue>
+faultExtras()
+{
+    std::vector<mg::obs::MetricValue> extras;
+    for (const auto& [site, stats] : mg::fault::allStats()) {
+        mg::obs::MetricValue hits;
+        hits.name = "mg_fault_hits_total{site=\"" + site + "\"}";
+        hits.help = "Times the fault site was evaluated.";
+        hits.value = stats.hits;
+        extras.push_back(std::move(hits));
+        mg::obs::MetricValue fires;
+        fires.name = "mg_fault_fires_total{site=\"" + site + "\"}";
+        fires.help = "Times the fault site injected its fault.";
+        fires.value = stats.fires;
+        extras.push_back(std::move(fires));
+    }
+    return extras;
+}
+
+/** Flight-recorder dump of one watchdog cancellation, naming the reads
+ *  that were on the operating table when the stall was detected. */
+void
+printWatchdogEvent(const mg::sched::WatchdogEvent& event,
+                   const std::function<std::string(uint64_t)>& read_name)
+{
+    std::printf("watchdog cancel: worker %zu batch [%zu,%zu) stalled "
+                "%.2f s\n",
+                event.worker, event.batchBegin, event.batchEnd,
+                static_cast<double>(event.stalledNanos) / 1e9);
+    for (const mg::obs::FlightEntry& entry : event.flight) {
+        const double age =
+            event.atNanos > entry.stageEnterNanos
+                ? static_cast<double>(event.atNanos -
+                                      entry.stageEnterNanos) / 1e9
+                : 0.0;
+        std::printf("  read %llu (%s): in %s for %.3f s\n",
+                    static_cast<unsigned long long>(entry.readIndex),
+                    read_name(entry.readIndex).c_str(),
+                    mg::obs::stageName(entry.stage), age);
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -45,7 +101,19 @@ try {
                  "supervise workers; stalled batches are cancelled")
          .define("watchdog-stall", "5.0",
                  "seconds without a heartbeat before a worker counts "
-                 "as stalled");
+                 "as stalled")
+         .define("metrics-out", "",
+                 "write metrics here (.prom = Prometheus text, anything "
+                 "else = JSON snapshot series)")
+         .define("metrics-interval", "0",
+                 "rewrite --metrics-out every N seconds (0 = final only)")
+         .define("trace-out", "",
+                 "write a Chrome trace-event JSON timeline (implies "
+                 "region profiling)")
+         .define("flight-ring", "16",
+                 "flight-recorder entries per worker")
+         .define("summary-json", "",
+                 "write the machine-readable run summary here");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -81,9 +149,33 @@ try {
 
     mg::giraffe::ProxyRunner proxy(pangenome.graph, pangenome.gbwt,
                                    distance, params);
-    mg::perf::Profiler profiler(!flags.str("profile").empty());
+    mg::perf::Profiler profiler(!flags.str("profile").empty() ||
+                                !flags.str("trace-out").empty());
+
+    // Telemetry hub: live metrics + flight recorder.  Created whenever an
+    // observability output was requested or the watchdog is on (so its
+    // cancellation events carry flight-recorder context).
+    const bool telemetry = !flags.str("metrics-out").empty() ||
+                           !flags.str("trace-out").empty() ||
+                           params.watchdog;
+    std::unique_ptr<mg::obs::Hub> hub;
+    std::unique_ptr<mg::obs::MetricsEmitter> emitter;
+    if (telemetry) {
+        hub = std::make_unique<mg::obs::Hub>(
+            params.numThreads,
+            static_cast<size_t>(flags.integer("flight-ring")));
+        mg::obs::installCrashHandler(&hub->flight());
+        if (!flags.str("metrics-out").empty()) {
+            emitter = std::make_unique<mg::obs::MetricsEmitter>(
+                hub->registry(), flags.str("metrics-out"),
+                flags.real("metrics-interval"));
+            emitter->start();
+        }
+    }
+
     mg::giraffe::ProxyOutputs outputs = proxy.run(
-        capture, profiler.enabled() ? &profiler : nullptr);
+        capture, profiler.enabled() ? &profiler : nullptr, nullptr,
+        hub.get());
 
     uint64_t total_extensions = 0;
     for (const mg::io::ReadExtensions& entry : outputs.extensions) {
@@ -104,6 +196,14 @@ try {
                 static_cast<unsigned long long>(
                     outputs.cacheStats.rehashes));
     std::printf("resilience: %s\n", outputs.resilience.summary().c_str());
+    auto read_name = [&](uint64_t index) -> std::string {
+        return index < capture.entries.size()
+                   ? capture.entries[index].read.name
+                   : "?";
+    };
+    for (const mg::sched::WatchdogEvent& event : outputs.watchdogEvents) {
+        printWatchdogEvent(event, read_name);
+    }
     if (!outputs.failures.ok()) {
         std::printf("failures: %s\n", outputs.failures.summary().c_str());
         for (const mg::sched::ItemFailure& item :
@@ -112,6 +212,11 @@ try {
                         capture.entries[item.index].read.name.c_str(),
                         item.what.c_str());
         }
+        if (hub && !outputs.failures.poisoned.empty()) {
+            std::printf("%s", hub->flight()
+                                  .report(mg::util::nowNanos(), read_name)
+                                  .c_str());
+        }
     }
     for (const auto& [site, stats] : mg::fault::allStats()) {
         std::printf("fault site %s: %llu hits, %llu fires\n", site.c_str(),
@@ -119,13 +224,37 @@ try {
                     static_cast<unsigned long long>(stats.fires));
     }
 
+    if (emitter) {
+        emitter->finalize(faultExtras());
+        std::printf("wrote %s\n", flags.str("metrics-out").c_str());
+    }
+    if (!flags.str("trace-out").empty()) {
+        std::vector<mg::obs::TraceInstant> instants;
+        for (const mg::sched::WatchdogEvent& event :
+             outputs.watchdogEvents) {
+            instants.push_back(mg::obs::TraceInstant{
+                "watchdog cancel", event.worker, event.atNanos });
+        }
+        mg::obs::writeChromeTrace(flags.str("trace-out"), profiler,
+                                  instants, "minigiraffe");
+        std::printf("wrote %s\n", flags.str("trace-out").c_str());
+    }
+    if (!flags.str("summary-json").empty()) {
+        mg::io::writeFileText(flags.str("summary-json"),
+                              mg::giraffe::summaryJson(outputs, params));
+        std::printf("wrote %s\n", flags.str("summary-json").c_str());
+    }
+
     if (!flags.str("output").empty()) {
         mg::io::saveExtensions(flags.str("output"), outputs.extensions);
         std::printf("wrote %s\n", flags.str("output").c_str());
     }
-    if (profiler.enabled()) {
+    if (!flags.str("profile").empty()) {
         profiler.dumpCsv(flags.str("profile"));
         std::printf("wrote %s\n", flags.str("profile").c_str());
+    }
+    if (hub) {
+        mg::obs::installCrashHandler(nullptr);
     }
     return 0;
 } catch (const mg::util::Error& e) {

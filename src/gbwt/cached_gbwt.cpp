@@ -118,6 +118,8 @@ CachedGbwt::record(graph::Handle node)
     // decodeInto then reuses its vector capacity.
     if (entriesUsed_ == entries_.size()) {
         entries_.emplace_back();
+    } else {
+        ++stats_.recycles;
     }
     DecodedRecord& rec = entries_[entriesUsed_];
     gbwt_.decodeRecordInto(node, rec, tracer_);

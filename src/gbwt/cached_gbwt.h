@@ -38,6 +38,10 @@ struct CacheStats
     uint64_t decodes = 0;
     uint64_t rehashes = 0;
     uint64_t probes = 0;
+    // Misses served by reusing a prior epoch's decoded-record storage
+    // instead of allocating a fresh entry (the epoch-clear payoff; not
+    // persisted in checkpoint shard deltas).
+    uint64_t recycles = 0;
 
     double
     hitRate() const
@@ -56,6 +60,7 @@ struct CacheStats
         decodes += other.decodes;
         rehashes += other.rehashes;
         probes += other.probes;
+        recycles += other.recycles;
     }
 };
 

@@ -98,7 +98,8 @@ runCheckpointed(const ParentEmulator& parent, const map::ReadSet& reads,
         map::ReadSet chunk;
         chunk.reads.assign(reads.reads.begin() + static_cast<long>(begin),
                            reads.reads.begin() + static_cast<long>(end));
-        ParentOutputs outputs = parent.run(chunk);
+        ParentOutputs outputs =
+            parent.run(chunk, nullptr, nullptr, params.hub);
         io::Shard shard;
         shard.begin = begin;
         shard.end = end;
@@ -150,6 +151,15 @@ runCheckpointed(const ParentEmulator& parent, const map::ReadSet& reads,
     }
     MG_CHECK(covered == n, "GAF spans cover ", covered, " of ", n,
              " reads");
+
+    if (params.hub != nullptr) {
+        const io::CheckpointWriter::FlushStats fs = writer.flushStats();
+        obs::Registry::ThreadSlab* slab = params.hub->slab(0);
+        const obs::CheckpointMetricIds& ids = params.hub->checkpoint();
+        slab->add(ids.flushes, fs.flushes);
+        slab->add(ids.flushBytes, fs.bytes);
+        slab->add(ids.flushNanos, fs.nanos);
+    }
 
     result.wallSeconds = timer.seconds();
     return result;

@@ -35,6 +35,9 @@ struct CheckpointRunParams
     /** Reads per shard — the flush granularity.  Smaller shards lose less
      *  work to a crash and cost more fsyncs. */
     uint64_t shardReads = 2048;
+    /** Optional telemetry hub, forwarded to every per-chunk parent run;
+     *  flush stats of the checkpoint writer fold in at the end. */
+    obs::Hub* hub = nullptr;
 };
 
 /** Outcome of a checkpointed (possibly resumed) run. */

@@ -19,7 +19,7 @@ ParentEmulator::ParentEmulator(const graph::VariationGraph& graph,
 
 ParentOutputs
 ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
-                    util::MemTracer* tracer) const
+                    util::MemTracer* tracer, obs::Hub* hub) const
 {
     ParentOutputs outputs;
     const size_t n = reads.size();
@@ -38,6 +38,11 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
 
     MG_CHECK(tracer == nullptr || params_.numThreads == 1,
              "memory tracing requires a single-threaded run");
+    MG_CHECK(hub == nullptr ||
+                 hub->flight().workers() >= params_.numThreads,
+             "telemetry hub sized for ",
+             hub == nullptr ? 0 : hub->flight().workers(),
+             " workers, run uses ", params_.numThreads);
 
     // Lazily created per-thread state; the scheduler guarantees a dense
     // thread index below numThreads.  The run's deadline is absolute, so
@@ -63,6 +68,11 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
                 state->budget.configure(
                     params_.budget, deadline_nanos,
                     params_.watchdog ? &board.slot(thread).token : nullptr);
+                if (hub != nullptr) {
+                    state->metrics = hub->slab(thread);
+                    state->metricIds = &hub->map();
+                    state->flight = hub->flight().ring(thread);
+                }
                 states[thread] = std::move(state);
             }
         }
@@ -71,10 +81,15 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
 
     util::WallTimer timer;
     sched::Watchdog watchdog(board, params_.watchdogParams);
+    if (hub != nullptr) {
+        watchdog.attachFlightRecorder(&hub->flight());
+    }
     if (params_.watchdog) {
         watchdog.start();
     }
     auto scheduler = sched::makeScheduler(params_.scheduler);
+    sched::SchedStats sched_stats;
+    scheduler->bindStats(&sched_stats);
     outputs.failures = sched::runGuarded(
         *scheduler, n, params_.batchSize, params_.numThreads,
         [&](size_t thread, size_t begin, size_t end) {
@@ -86,9 +101,13 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
         // double-counted by the retry.
         const map::MapperState::StatsSnapshot snapshot =
             state.statsSnapshot();
+        util::WallTimer batch_timer;
         try {
             for (size_t i = begin; i < end; ++i) {
                 board.beat(thread);
+                if (state.flight != nullptr) {
+                    state.flight->begin(i);
+                }
                 const map::Read& read = reads.reads[i];
                 // Preprocessing + critical functions (instrumented inside).
                 map::MapResult result = mapper.mapRead(read, state);
@@ -105,16 +124,28 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
                         read.name, result.extensions, params_.post);
                     outputs.alignments[i].degraded = result.degraded;
                 }
+                if (state.flight != nullptr) {
+                    state.flight->done();
+                }
             }
         } catch (...) {
             state.restoreStats(snapshot);
             board.endBatch(thread);
             throw;
         }
+        // Only a *completed* batch publishes: its buffered funnel counts
+        // flush to the live slab and its latency lands in the histogram.
+        if (state.metrics != nullptr && hub != nullptr) {
+            state.flushMetrics();
+            state.metrics->add(hub->sched().batches);
+            state.metrics->observe(hub->sched().batchLatency,
+                                   batch_timer.nanos());
+        }
         board.endBatch(thread);
     });
     watchdog.stop();
     outputs.failures.watchdogCancels = watchdog.events().size();
+    outputs.watchdogEvents = watchdog.events();
 
     // Quarantined reads stay in the output as named unmapped records (the
     // GAF writer renders them with '*' placeholders) so one poisoned read
@@ -146,13 +177,28 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
         if (!state) {
             continue;
         }
-        const gbwt::CacheStats stats = state->totalStats();
-        outputs.cacheStats.lookups += stats.lookups;
-        outputs.cacheStats.hits += stats.hits;
-        outputs.cacheStats.decodes += stats.decodes;
-        outputs.cacheStats.rehashes += stats.rehashes;
-        outputs.cacheStats.probes += stats.probes;
+        outputs.cacheStats.accumulate(state->totalStats());
         outputs.resilience.accumulate(state->resilience);
+        // The pairing/rescue stage works on thread_state(0) outside any
+        // batch, so its funnel counts are still buffered here.
+        state->flushMetrics();
+    }
+    if (hub != nullptr) {
+        // Run-level counters are folded into slab 0 once the scheduler
+        // is done — they come from the failure report and the policy's
+        // stats, not from any single worker.
+        obs::Registry::ThreadSlab* slab = hub->slab(0);
+        const obs::SchedMetricIds& ids = hub->sched();
+        slab->add(ids.retries, outputs.failures.retries);
+        slab->add(ids.quarantined, outputs.failures.poisoned.size());
+        slab->add(ids.batchFailures, outputs.failures.batches.size());
+        slab->add(ids.watchdogCancels,
+                  outputs.failures.watchdogCancels);
+        slab->add(ids.steals, sched_stats.steals.load());
+        slab->raise(ids.queueDepthPeak,
+                    sched_stats.queueDepthPeak.load());
+        slab->add(hub->map().rescueAttempts, outputs.rescue.attempted);
+        slab->add(hub->map().rescueHits, outputs.rescue.rescued);
     }
     return outputs;
 }

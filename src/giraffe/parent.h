@@ -22,6 +22,7 @@
 #include "io/extensions_io.h"
 #include "io/reads_bin.h"
 #include "map/mapper.h"
+#include "obs/hub.h"
 #include "perf/profiler.h"
 #include "resilience/budget.h"
 #include "sched/failure.h"
@@ -71,6 +72,9 @@ struct ParentOutputs
     sched::FailureReport failures;
     /** Degradation counters + per-read latency over all worker threads. */
     resilience::ResilienceStats resilience;
+    /** Watchdog cancellations with flight-recorder context (when a hub
+     *  with a recorder was attached), in detection order. */
+    std::vector<sched::WatchdogEvent> watchdogEvents;
     /** Wall-clock seconds of the whole mapping run. */
     double wallSeconds = 0.0;
 };
@@ -94,10 +98,13 @@ class ParentEmulator
      * @param tracer Optional memory tracer; only honoured for
      *        single-threaded runs (counters are collected at 1 thread in
      *        the paper as well).
+     * @param hub Optional telemetry hub (live metrics + flight recorder);
+     *        must be sized for at least numThreads workers.
      */
     ParentOutputs run(const map::ReadSet& reads,
                       perf::Profiler* profiler = nullptr,
-                      util::MemTracer* tracer = nullptr) const;
+                      util::MemTracer* tracer = nullptr,
+                      obs::Hub* hub = nullptr) const;
 
     /**
      * Capture the preprocessing output (reads plus their seeds) right

@@ -17,7 +17,7 @@ ProxyRunner::ProxyRunner(const graph::VariationGraph& graph,
 
 ProxyOutputs
 ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
-                 util::MemTracer* tracer) const
+                 util::MemTracer* tracer, obs::Hub* hub) const
 {
     ProxyOutputs outputs;
     const size_t n = capture.entries.size();
@@ -30,6 +30,11 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     }
     MG_CHECK(tracer == nullptr || params_.numThreads == 1,
              "memory tracing requires a single-threaded run");
+    MG_CHECK(hub == nullptr ||
+                 hub->flight().workers() >= params_.numThreads,
+             "telemetry hub sized for ",
+             hub == nullptr ? 0 : hub->flight().workers(),
+             " workers, run uses ", params_.numThreads);
 
     const uint64_t deadline_nanos =
         params_.budget.wallSeconds > 0.0
@@ -52,6 +57,11 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
                 state->budget.configure(
                     params_.budget, deadline_nanos,
                     params_.watchdog ? &board.slot(thread).token : nullptr);
+                if (hub != nullptr) {
+                    state->metrics = hub->slab(thread);
+                    state->metricIds = &hub->map();
+                    state->flight = hub->flight().ring(thread);
+                }
                 states[thread] = std::move(state);
             }
         }
@@ -62,10 +72,15 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     // outer loop parallelized by the selected scheduler (Section V).
     util::WallTimer timer;
     sched::Watchdog watchdog(board, params_.watchdogParams);
+    if (hub != nullptr) {
+        watchdog.attachFlightRecorder(&hub->flight());
+    }
     if (params_.watchdog) {
         watchdog.start();
     }
     auto scheduler = sched::makeScheduler(params_.scheduler);
+    sched::SchedStats sched_stats;
+    scheduler->bindStats(&sched_stats);
     outputs.failures = sched::runGuarded(
         *scheduler, n, params_.batchSize, params_.numThreads,
         [&](size_t thread, size_t begin, size_t end) {
@@ -76,25 +91,41 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
         // would double-count the partial work done before the throw.
         const map::MapperState::StatsSnapshot snapshot =
             state.statsSnapshot();
+        util::WallTimer batch_timer;
         try {
             for (size_t i = begin; i < end; ++i) {
                 board.beat(thread);
+                if (state.flight != nullptr) {
+                    state.flight->begin(i);
+                }
                 const io::ReadWithSeeds& entry = capture.entries[i];
                 map::MapResult result =
                     mapper.mapFromSeeds(entry.read, entry.seeds, state);
                 outputs.extensions[i].readName = entry.read.name;
                 outputs.extensions[i].extensions =
                     std::move(result.extensions);
+                if (state.flight != nullptr) {
+                    state.flight->done();
+                }
             }
         } catch (...) {
             state.restoreStats(snapshot);
             board.endBatch(thread);
             throw;
         }
+        // Only a *completed* batch publishes: its buffered funnel counts
+        // flush to the live slab and its latency lands in the histogram.
+        if (state.metrics != nullptr && hub != nullptr) {
+            state.flushMetrics();
+            state.metrics->add(hub->sched().batches);
+            state.metrics->observe(hub->sched().batchLatency,
+                                   batch_timer.nanos());
+        }
         board.endBatch(thread);
     });
     watchdog.stop();
     outputs.failures.watchdogCancels = watchdog.events().size();
+    outputs.watchdogEvents = watchdog.events();
 
     // Quarantined reads keep their name in the dump (with no extensions)
     // so the functional validation sees them as missing, not absent.
@@ -110,13 +141,24 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
         if (!state) {
             continue;
         }
-        const gbwt::CacheStats stats = state->totalStats();
-        outputs.cacheStats.lookups += stats.lookups;
-        outputs.cacheStats.hits += stats.hits;
-        outputs.cacheStats.decodes += stats.decodes;
-        outputs.cacheStats.rehashes += stats.rehashes;
-        outputs.cacheStats.probes += stats.probes;
+        outputs.cacheStats.accumulate(state->totalStats());
         outputs.resilience.accumulate(state->resilience);
+        state->flushMetrics(); // leftovers (nothing in steady state)
+    }
+    if (hub != nullptr) {
+        // Run-level counters are folded into slab 0 once the scheduler
+        // is done — they come from the failure report and the policy's
+        // stats, not from any single worker.
+        obs::Registry::ThreadSlab* slab = hub->slab(0);
+        const obs::SchedMetricIds& ids = hub->sched();
+        slab->add(ids.retries, outputs.failures.retries);
+        slab->add(ids.quarantined, outputs.failures.poisoned.size());
+        slab->add(ids.batchFailures, outputs.failures.batches.size());
+        slab->add(ids.watchdogCancels,
+                  outputs.failures.watchdogCancels);
+        slab->add(ids.steals, sched_stats.steals.load());
+        slab->raise(ids.queueDepthPeak,
+                    sched_stats.queueDepthPeak.load());
     }
     return outputs;
 }

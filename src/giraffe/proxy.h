@@ -16,6 +16,7 @@
 #include "io/extensions_io.h"
 #include "io/reads_bin.h"
 #include "map/mapper.h"
+#include "obs/hub.h"
 #include "perf/profiler.h"
 #include "resilience/budget.h"
 #include "sched/failure.h"
@@ -51,6 +52,9 @@ struct ProxyOutputs
     sched::FailureReport failures;
     /** Degradation counters + per-read latency over all worker threads. */
     resilience::ResilienceStats resilience;
+    /** Watchdog cancellations with flight-recorder context (when a hub
+     *  with a recorder was attached), in detection order. */
+    std::vector<sched::WatchdogEvent> watchdogEvents;
     /** Makespan (wall-clock seconds of the mapping loop). */
     double wallSeconds = 0.0;
     /** Reads that produced a mapping attempt (quarantined reads excluded). */
@@ -70,10 +74,13 @@ class ProxyRunner
      * Map every read of the capture.
      * @param profiler Optional region instrumentation.
      * @param tracer Optional memory tracer (single-threaded runs only).
+     * @param hub Optional telemetry hub (live metrics + flight recorder);
+     *        must be sized for at least numThreads workers.
      */
     ProxyOutputs run(const io::SeedCapture& capture,
                      perf::Profiler* profiler = nullptr,
-                     util::MemTracer* tracer = nullptr) const;
+                     util::MemTracer* tracer = nullptr,
+                     obs::Hub* hub = nullptr) const;
 
   private:
     const graph::VariationGraph& graph_;

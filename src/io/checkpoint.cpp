@@ -9,6 +9,7 @@
 #include "util/common.h"
 #include "util/crc32.h"
 #include "util/cursor.h"
+#include "util/timer.h"
 #include "util/varint.h"
 
 namespace mg::io {
@@ -264,6 +265,7 @@ CheckpointWriter::append(Shard shard)
 {
     MG_CHECK(shard.end <= manifest_.totalReads,
              "shard ends past the run's total reads");
+    util::WallTimer flush_timer;
     // Fault point: the driver crashing while preparing a flush (before
     // anything durable changes — the checkpoint stays at the old state).
     fault::inject("checkpoint.flush");
@@ -292,8 +294,12 @@ CheckpointWriter::append(Shard shard)
         ++pos;
     }
     manifest_.shards.insert(pos, std::move(entry));
-    writeFileBytesDurable(dir_ + "/" + kManifestFileName,
-                          encodeManifest(manifest_));
+    std::vector<uint8_t> manifest_bytes = encodeManifest(manifest_);
+    writeFileBytesDurable(dir_ + "/" + kManifestFileName, manifest_bytes);
+
+    ++flushStats_.flushes;
+    flushStats_.bytes += bytes.size() + manifest_bytes.size();
+    flushStats_.nanos += flush_timer.nanos();
 }
 
 util::Status

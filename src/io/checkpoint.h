@@ -114,6 +114,14 @@ util::Status decodeManifest(const std::vector<uint8_t>& bytes,
 class CheckpointWriter
 {
   public:
+    /** Durability-cost telemetry: what flushing has spent so far. */
+    struct FlushStats
+    {
+        uint64_t flushes = 0; // append() calls completed
+        uint64_t bytes = 0;   // shard + manifest bytes written durably
+        uint64_t nanos = 0;   // wall time inside append()
+    };
+
     /** Creates the directory if needed.  `total_reads` pins the run. */
     CheckpointWriter(std::string dir, uint64_t total_reads);
 
@@ -128,10 +136,12 @@ class CheckpointWriter
 
     const Manifest& manifest() const { return manifest_; }
     const std::string& dir() const { return dir_; }
+    const FlushStats& flushStats() const { return flushStats_; }
 
   private:
     std::string dir_;
     Manifest manifest_;
+    FlushStats flushStats_;
 };
 
 // --- The loader --------------------------------------------------------

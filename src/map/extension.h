@@ -80,6 +80,10 @@ struct MapResult
     /** Number of clusters formed / processed (observability for tests). */
     uint32_t clustersFormed = 0;
     uint32_t clustersProcessed = 0;
+    /** Funnel telemetry: extendSeed calls made / cut short by the
+     *  budget before the seed loop finished. */
+    uint32_t extensionsAttempted = 0;
+    uint32_t extensionsAborted = 0;
     /**
      * Why the read's mapping was cut short (None when it ran to
      * completion).  A degraded read still carries its best-so-far

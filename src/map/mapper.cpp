@@ -56,19 +56,48 @@ Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
     // different contents.  Force a repack on first use.
     state.extendScratch.query.invalidate();
     std::vector<Cluster>& clusters = state.clusters;
+    if (state.flight != nullptr) {
+        state.flight->stage(obs::ReadStage::Cluster);
+    }
     {
         perf::ScopedRegion region(state.log, regionCluster_);
         clusterSeedsInto(graph_, distance_, seeds, params_.cluster,
                          clusters, state.tracer);
     }
     result.clustersFormed = static_cast<uint32_t>(clusters.size());
+    if (state.flight != nullptr) {
+        state.flight->stage(obs::ReadStage::Process);
+    }
     {
         perf::ScopedRegion region(state.log, regionProcess_);
         processUntilThresholdC(read, seeds, clusters, state, result);
     }
     result.degraded = state.budget.reason();
     state.resilience.countDegraded(result.degraded);
-    state.resilience.latency.record(util::nowNanos() - start_nanos);
+    const uint64_t elapsed = util::nowNanos() - start_nanos;
+    state.resilience.latency.record(elapsed);
+    if (state.metrics != nullptr) {
+        MapperState::PendingFunnel& p = state.pending;
+        ++p.reads;
+        p.seeds += seeds.size();
+        p.clustersFormed += result.clustersFormed;
+        p.clustersProcessed += result.clustersProcessed;
+        p.extensionsAttempted += result.extensionsAttempted;
+        p.extensionsAborted += result.extensionsAborted;
+        p.extensionsEmitted += result.extensions.size();
+        switch (result.degraded) {
+        case resilience::CancelReason::None: break;
+        case resilience::CancelReason::Deadline: ++p.degradedDeadline; break;
+        case resilience::CancelReason::StepCap: ++p.degradedStepCap; break;
+        case resilience::CancelReason::LookupCap:
+            ++p.degradedLookupCap;
+            break;
+        case resilience::CancelReason::Watchdog:
+            ++p.degradedWatchdog;
+            break;
+        }
+        p.readLatency.record(elapsed);
+    }
     return result;
 }
 
@@ -145,15 +174,24 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
             }
         }
 
+        if (state.flight != nullptr) {
+            state.flight->stage(obs::ReadStage::Extend);
+        }
         perf::ScopedRegion region(state.log, regionExtend_);
         for (uint32_t idx : chosen) {
             // Cancellation point between seeds of a cluster.
             if (state.budget.exhausted()) {
                 break;
             }
+            ++result.extensionsAttempted;
             GaplessExtension ext =
                 extender_.extendSeed(seeds[idx], oriented, state.cache(),
                                      state.extendScratch);
+            // An extension that left the budget exhausted was (at least
+            // potentially) trimmed at a cancellation point mid-walk.
+            if (state.budget.exhausted()) {
+                ++result.extensionsAborted;
+            }
             if (ext.readEnd > ext.readBegin) {
                 candidates.push_back(std::move(ext));
             }

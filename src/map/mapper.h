@@ -24,6 +24,7 @@
 #include "map/extender.h"
 #include "map/read.h"
 #include "map/seeding.h"
+#include "obs/hub.h"
 #include "perf/profiler.h"
 #include "resilience/budget.h"
 
@@ -120,11 +121,86 @@ class MapperState
         accumulated_ = snapshot.cache;
         cache_.clear();
         resilience = snapshot.resilience;
+        // The failed attempt's buffered funnel counts must vanish with it
+        // (flushMetrics at the successful attempt's end is the only path
+        // into the live metrics slab, so totals never double-count).
+        pending = PendingFunnel{};
+    }
+
+    /**
+     * Per-batch funnel increments, buffered in plain fields.  Buffering is
+     * what makes metrics retry-safe: sched::runGuarded may run a batch
+     * several times (retry, bisect), and only the attempt that *completes*
+     * may contribute — the batch lambda calls flushMetrics() on success
+     * and restoreStats() (which drops the buffer) on failure.
+     */
+    struct PendingFunnel
+    {
+        uint64_t reads = 0;
+        uint64_t seeds = 0;
+        uint64_t clustersFormed = 0;
+        uint64_t clustersProcessed = 0;
+        uint64_t extensionsAttempted = 0;
+        uint64_t extensionsAborted = 0;
+        uint64_t extensionsEmitted = 0;
+        uint64_t degradedDeadline = 0;
+        uint64_t degradedStepCap = 0;
+        uint64_t degradedLookupCap = 0;
+        uint64_t degradedWatchdog = 0;
+        stats::LatencyHistogram readLatency;
+    };
+
+    /**
+     * Publish the pending funnel counts and the cache-stat growth since
+     * the last flush to the metrics slab.  No-op when telemetry is off.
+     */
+    void
+    flushMetrics()
+    {
+        if (metrics == nullptr || metricIds == nullptr) {
+            return;
+        }
+        const obs::MapMetricIds& ids = *metricIds;
+        metrics->add(ids.reads, pending.reads);
+        metrics->add(ids.seeds, pending.seeds);
+        metrics->add(ids.clustersFormed, pending.clustersFormed);
+        metrics->add(ids.clustersProcessed, pending.clustersProcessed);
+        metrics->add(ids.extensionsAttempted,
+                     pending.extensionsAttempted);
+        metrics->add(ids.extensionsAborted, pending.extensionsAborted);
+        metrics->add(ids.extensionsEmitted, pending.extensionsEmitted);
+        metrics->add(ids.degradedDeadline, pending.degradedDeadline);
+        metrics->add(ids.degradedStepCap, pending.degradedStepCap);
+        metrics->add(ids.degradedLookupCap, pending.degradedLookupCap);
+        metrics->add(ids.degradedWatchdog, pending.degradedWatchdog);
+        metrics->mergeHistogram(ids.readLatency, pending.readLatency);
+        pending = PendingFunnel{};
+
+        // Cache stats grow monotonically except across restoreStats,
+        // which rolls them back exactly to the last flushed watermark —
+        // so the delta below is the completed work since that flush.
+        gbwt::CacheStats total = totalStats();
+        metrics->add(ids.gbwtLookups, total.lookups - flushed_.lookups);
+        metrics->add(ids.gbwtHits, total.hits - flushed_.hits);
+        metrics->add(ids.gbwtDecodes, total.decodes - flushed_.decodes);
+        metrics->add(ids.gbwtRehashes,
+                     total.rehashes - flushed_.rehashes);
+        metrics->add(ids.gbwtProbes, total.probes - flushed_.probes);
+        metrics->add(ids.gbwtRecycles,
+                     total.recycles - flushed_.recycles);
+        flushed_ = total;
     }
 
     util::MemTracer* tracer = nullptr;
     /** Region instrumentation (null when profiling is off). */
     perf::Profiler::ThreadLog* log = nullptr;
+
+    /** Live-metrics sinks (all null when telemetry is off). */
+    obs::Registry::ThreadSlab* metrics = nullptr;
+    const obs::MapMetricIds* metricIds = nullptr;
+    /** Flight-recorder ring for this worker (null when off). */
+    obs::FlightRecorder::Ring* flight = nullptr;
+    PendingFunnel pending;
 
     /**
      * Per-read work budget (deadline + step/lookup caps + cancel token).
@@ -153,6 +229,8 @@ class MapperState
   private:
     gbwt::CachedGbwt cache_;
     gbwt::CacheStats accumulated_;
+    /** Cache stats already published to the metrics slab. */
+    gbwt::CacheStats flushed_;
 };
 
 /**

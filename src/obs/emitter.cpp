@@ -1,0 +1,144 @@
+#include "obs/emitter.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "util/common.h"
+
+namespace mg::obs {
+
+namespace {
+
+bool
+endsWith(const std::string& text, const std::string& suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+MetricsEmitter::MetricsEmitter(const Registry& registry, std::string path,
+                               double interval_seconds)
+    : registry_(registry), path_(std::move(path)),
+      intervalSeconds_(interval_seconds),
+      prometheus_(endsWith(path_, ".prom"))
+{
+    MG_CHECK(!path_.empty(), "metrics output path must not be empty");
+    MG_CHECK(interval_seconds >= 0.0,
+             "metrics interval must be non-negative, got ",
+             interval_seconds);
+}
+
+MetricsEmitter::~MetricsEmitter()
+{
+    stop();
+}
+
+void
+MetricsEmitter::start()
+{
+    if (intervalSeconds_ <= 0.0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+        return;
+    }
+    stopping_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { threadMain(); });
+}
+
+void
+MetricsEmitter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_) {
+            return;
+        }
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+}
+
+void
+MetricsEmitter::threadMain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto interval = std::chrono::duration<double>(intervalSeconds_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+            break;
+        }
+        // Snapshot and write outside the lock: the registry has its own
+        // mutex and a slow disk must not block stop().
+        lock.unlock();
+        tick();
+        lock.lock();
+    }
+}
+
+void
+MetricsEmitter::tick()
+{
+    Snapshot snap = registry_.snapshot();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshots_.push_back(std::move(snap));
+    }
+    writeOut();
+}
+
+void
+MetricsEmitter::writeOut()
+{
+    std::vector<Snapshot> copy;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        copy = snapshots_;
+    }
+    if (copy.empty()) {
+        return;
+    }
+    std::string text = prometheus_ ? toPrometheus(copy.back())
+                                   : toJson(copy);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    MG_CHECK(out.good(), "cannot open metrics output: ", path_);
+    out << text;
+    if (!prometheus_) {
+        out << '\n';
+    }
+    out.flush();
+    MG_CHECK(out.good(), "metrics write failed: ", path_);
+}
+
+Snapshot
+MetricsEmitter::finalize(const std::vector<MetricValue>& extras)
+{
+    stop();
+    Snapshot snap = registry_.snapshot();
+    for (const MetricValue& extra : extras) {
+        snap.metrics.push_back(extra);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshots_.push_back(snap);
+    }
+    writeOut();
+    return snap;
+}
+
+size_t
+MetricsEmitter::snapshotCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshots_.size();
+}
+
+} // namespace mg::obs

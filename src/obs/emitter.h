@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Metrics emitter: turns Registry snapshots into files.  Two modes share
+ * one object — end-of-run (finalize() only) and periodic (start() spawns
+ * a thread that snapshots every interval and rewrites the output file, so
+ * a long mapping run can be watched live with `watch cat metrics.json`).
+ *
+ * Output format follows the file extension: ".prom" writes the Prometheus
+ * text exposition of the latest snapshot (Prometheus scrapes a current
+ * state, not a history), anything else writes the JSON snapshot series so
+ * per-interval deltas survive for postmortem rate analysis.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mg::obs {
+
+class MetricsEmitter
+{
+  public:
+    /**
+     * @param interval_seconds  0 disables the periodic thread; the file
+     *                          is written once by finalize().
+     */
+    MetricsEmitter(const Registry& registry, std::string path,
+                   double interval_seconds = 0.0);
+    ~MetricsEmitter();
+
+    MetricsEmitter(const MetricsEmitter&) = delete;
+    MetricsEmitter& operator=(const MetricsEmitter&) = delete;
+
+    /** Spawn the periodic thread (no-op when interval is 0). */
+    void start();
+
+    /** Stop the periodic thread without a final write. */
+    void stop();
+
+    /**
+     * Take the final snapshot, append `extras` (label-bearing counters
+     * only known at end of run, e.g. fault-site fire counts), stop the
+     * thread, and write the file.  Returns the final snapshot.
+     */
+    Snapshot finalize(const std::vector<MetricValue>& extras = {});
+
+    /** Snapshots taken so far (periodic ticks + final). */
+    size_t snapshotCount() const;
+
+    bool prometheus() const { return prometheus_; }
+
+  private:
+    void tick();
+    void writeOut();
+    void threadMain();
+
+    const Registry& registry_;
+    std::string path_;
+    double intervalSeconds_;
+    bool prometheus_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::vector<Snapshot> snapshots_;
+    std::thread thread_;
+};
+
+} // namespace mg::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Observability hub: one object an app constructs when any telemetry flag
+ * is set, bundling the metrics Registry (with every repo metric already
+ * registered, so the layout freezes correctly before workers start), the
+ * FlightRecorder, and the typed metric-id structs each subsystem needs.
+ * Passing `Hub*` (nullable) through run() entry points is the wiring
+ * convention: a null hub means telemetry is off and the hot path pays one
+ * pointer test.
+ *
+ * Metric naming scheme (see DESIGN.md §3g): `mg_<area>_<noun>_total` for
+ * counters, `mg_<area>_<noun>_ns` for nanosecond histograms/durations,
+ * bare `mg_<area>_<noun>` for gauges; fixed label sets are baked into the
+ * name ("mg_map_degraded_total{reason=\"deadline\"}") so the hot path
+ * never formats labels.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace mg::obs {
+
+/** Mapper funnel + GBWT cache ids (incremented via MapperState). */
+struct MapMetricIds
+{
+    CounterId reads;
+    CounterId seeds;
+    CounterId clustersFormed;
+    CounterId clustersProcessed;
+    CounterId extensionsAttempted;
+    CounterId extensionsAborted;
+    CounterId extensionsEmitted;
+    CounterId rescueAttempts;
+    CounterId rescueHits;
+    CounterId degradedDeadline;
+    CounterId degradedStepCap;
+    CounterId degradedLookupCap;
+    CounterId degradedWatchdog;
+    HistogramId readLatency;
+    CounterId gbwtLookups;
+    CounterId gbwtHits;
+    CounterId gbwtDecodes;
+    CounterId gbwtRehashes;
+    CounterId gbwtProbes;
+    CounterId gbwtRecycles;
+};
+
+/** Scheduler / failure-isolation ids (mostly folded in at end of run). */
+struct SchedMetricIds
+{
+    CounterId batches;
+    CounterId steals;
+    CounterId retries;
+    CounterId quarantined;
+    CounterId batchFailures;
+    CounterId watchdogCancels;
+    HistogramId batchLatency;
+    GaugeId queueDepthPeak;
+};
+
+/** Checkpoint writer ids. */
+struct CheckpointMetricIds
+{
+    CounterId flushes;
+    CounterId flushBytes;
+    CounterId flushNanos;
+};
+
+class Hub
+{
+  public:
+    explicit Hub(size_t workers,
+                 size_t flight_ring_size =
+                     FlightRecorder::kDefaultRingSize);
+
+    Registry& registry() { return registry_; }
+    const Registry& registry() const { return registry_; }
+    FlightRecorder& flight() { return flight_; }
+    const FlightRecorder& flight() const { return flight_; }
+
+    const MapMetricIds& map() const { return map_; }
+    const SchedMetricIds& sched() const { return sched_; }
+    const CheckpointMetricIds& checkpoint() const { return checkpoint_; }
+
+    /** Shorthand for registry().registerThread(worker). */
+    Registry::ThreadSlab*
+    slab(size_t worker)
+    {
+        return registry_.registerThread(worker);
+    }
+
+  private:
+    Registry registry_;
+    FlightRecorder flight_;
+    MapMetricIds map_;
+    SchedMetricIds sched_;
+    CheckpointMetricIds checkpoint_;
+};
+
+} // namespace mg::obs

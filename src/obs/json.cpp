@@ -1,0 +1,502 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/common.h"
+
+namespace mg::obs {
+
+// --------------------------------------------------------------- JsonWriter
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separate(false);
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    hasMembers_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    MG_ASSERT(!stack_.empty() && stack_.back() == Frame::Object);
+    MG_ASSERT(!pendingKey_);
+    bool had = hasMembers_.back();
+    stack_.pop_back();
+    hasMembers_.pop_back();
+    if (had && pretty_) {
+        out_ += '\n';
+        indent();
+    }
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separate(false);
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    hasMembers_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    MG_ASSERT(!stack_.empty() && stack_.back() == Frame::Array);
+    bool had = hasMembers_.back();
+    stack_.pop_back();
+    hasMembers_.pop_back();
+    if (had && pretty_) {
+        out_ += '\n';
+        indent();
+    }
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view name)
+{
+    MG_ASSERT(!stack_.empty() && stack_.back() == Frame::Object);
+    MG_ASSERT(!pendingKey_);
+    separate(true);
+    out_ += '"';
+    out_ += escape(name);
+    out_ += pretty_ ? "\": " : "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view text)
+{
+    separate(false);
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter&
+JsonWriter::value(double number)
+{
+    separate(false);
+    if (!std::isfinite(number)) {
+        // JSON has no Inf/NaN; null keeps the document loadable.
+        out_ += "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(uint64_t number)
+{
+    separate(false);
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int64_t number)
+{
+    separate(false);
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int number)
+{
+    return value(static_cast<int64_t>(number));
+}
+
+JsonWriter&
+JsonWriter::value(unsigned number)
+{
+    return value(static_cast<uint64_t>(number));
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    separate(false);
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    separate(false);
+    out_ += "null";
+    return *this;
+}
+
+const std::string&
+JsonWriter::str() const
+{
+    MG_ASSERT(stack_.empty());
+    return out_;
+}
+
+void
+JsonWriter::writeFile(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    MG_CHECK(out.good(), "cannot open for writing: ", path);
+    out << str() << '\n';
+    out.flush();
+    MG_CHECK(out.good(), "write failed: ", path);
+}
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate(bool is_key)
+{
+    if (pendingKey_) {
+        MG_ASSERT(!is_key);
+        pendingKey_ = false;
+        return; // value follows its key with no separator of its own
+    }
+    if (stack_.empty()) {
+        return;
+    }
+    // A bare value is only legal directly inside an array.
+    MG_ASSERT(is_key || stack_.back() == Frame::Array);
+    if (hasMembers_.back()) {
+        out_ += ',';
+    }
+    hasMembers_.back() = true;
+    if (pretty_) {
+        out_ += '\n';
+        indent();
+    }
+}
+
+void
+JsonWriter::indent()
+{
+    out_.append(stack_.size() * 2, ' ');
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace json {
+
+const Value*
+Value::find(std::string_view name) const
+{
+    const Value* hit = nullptr;
+    for (const auto& [key, value] : members) {
+        if (key == name) {
+            hit = &value;
+        }
+    }
+    return hit;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, const std::string& origin)
+        : text_(text), origin_(origin)
+    {}
+
+    Value
+    document()
+    {
+        Value v = parseValue();
+        skipSpace();
+        MG_CHECK(pos_ == text_.size(), origin_,
+                 ": trailing garbage at byte ", pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* what)
+    {
+        MG_CHECK(false, origin_, ": ", what, " at byte ", pos_);
+        __builtin_unreachable();
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            fail("unexpected character");
+        }
+        ++pos_;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.text = parseString();
+            return v;
+        }
+        case 't': {
+            Value v;
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+            if (!consumeWord("true")) {
+                fail("bad literal");
+            }
+            return v;
+        }
+        case 'f': {
+            Value v;
+            v.kind = Value::Kind::Bool;
+            if (!consumeWord("false")) {
+                fail("bad literal");
+            }
+            return v;
+        }
+        case 'n': {
+            if (!consumeWord("null")) {
+                fail("bad literal");
+            }
+            return Value{};
+        }
+        default: return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.kind = Value::Kind::Object;
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            v.members.emplace_back(std::move(key), parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.kind = Value::Kind::Array;
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = peek();
+            ++pos_;
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = peek();
+            ++pos_;
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_ + static_cast<size_t>(i)];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code += static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        fail("bad \\u escape");
+                    }
+                }
+                pos_ += 4;
+                // Our emitter only produces \u00XX for control bytes;
+                // encode the BMP code point as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        MG_CHECK(pos_ > start, origin_, ": bad number at byte ", start);
+        Value v;
+        v.kind = Value::Kind::Number;
+        try {
+            v.number = std::stod(std::string(text_.substr(
+                start, pos_ - start)));
+        } catch (const std::exception&) {
+            pos_ = start;
+            fail("bad number");
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    const std::string& origin_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text, const std::string& origin)
+{
+    return Parser(text, origin).document();
+}
+
+} // namespace json
+
+} // namespace mg::obs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Minimal JSON emit/parse for the observability layer.  Every run summary,
+ * metrics snapshot, and trace file in this repo is JSON; before mg::obs each
+ * writer hand-rolled escaping and comma placement (and each got a subtly
+ * different dialect).  JsonWriter centralises that: a push/pop structural
+ * API whose output is always syntactically valid, with one escape routine.
+ *
+ * The companion parser is a strict recursive-descent reader covering the
+ * JSON we emit (objects, arrays, strings, finite numbers, bools, null).  It
+ * exists so mg_verify and the tests can validate snapshot files without an
+ * external dependency; it is not a general-purpose JSON library (no
+ * \uXXXX surrogate pairs, no duplicate-key policy beyond last-wins lookup).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mg::obs {
+
+/**
+ * Streaming JSON emitter.  Call begin/end for containers, key() before each
+ * object member, value() for leaves; commas and indentation are inserted
+ * automatically.  Structural misuse (key outside an object, unbalanced
+ * end) trips MG_ASSERT — writers are always repo code, never user input.
+ */
+class JsonWriter
+{
+  public:
+    /** @param pretty  two-space indentation and newlines when true. */
+    explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Member name inside an object; must precede its value. */
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view text);
+    JsonWriter& value(const char* text);
+    JsonWriter& value(double number);
+    JsonWriter& value(uint64_t number);
+    JsonWriter& value(int64_t number);
+    JsonWriter& value(int number);
+    JsonWriter& value(unsigned number);
+    JsonWriter& value(bool flag);
+    JsonWriter& null();
+
+    /** key(name) + value(v) in one call. */
+    template <typename T>
+    JsonWriter&
+    field(std::string_view name, T&& v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** Finished document; asserts all containers are closed. */
+    const std::string& str() const;
+
+    /** Write the finished document to a file (throws util::Error). */
+    void writeFile(const std::string& path) const;
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(std::string_view text);
+
+  private:
+    enum class Frame : uint8_t
+    {
+        Object,
+        Array
+    };
+
+    void separate(bool is_key);
+    void indent();
+
+    bool pretty_;
+    std::string out_;
+    std::vector<Frame> stack_;
+    std::vector<bool> hasMembers_;
+    bool pendingKey_ = false;
+};
+
+namespace json {
+
+/** Parsed JSON value (tagged union over owned containers). */
+struct Value
+{
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Value> items;
+    std::vector<std::pair<std::string, Value>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup (last occurrence wins); nullptr if absent. */
+    const Value* find(std::string_view name) const;
+
+    /** Number as uint64 (asserts isNumber()). */
+    uint64_t
+    asUint() const
+    {
+        return static_cast<uint64_t>(number);
+    }
+};
+
+/**
+ * Parse a complete JSON document.  Throws util::Error naming the byte
+ * offset on malformed input or trailing garbage.
+ */
+Value parse(std::string_view text, const std::string& origin);
+
+} // namespace json
+
+} // namespace mg::obs

@@ -1,0 +1,375 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace mg::obs {
+
+const char*
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "unknown";
+}
+
+void
+Registry::AtomicHistogram::merge(const stats::LatencyHistogram& h)
+{
+    const auto& raw = h.rawBuckets();
+    for (int b = 0; b < stats::LatencyHistogram::kBuckets; ++b) {
+        if (raw[static_cast<size_t>(b)] != 0) {
+            buckets[b].fetch_add(raw[static_cast<size_t>(b)],
+                                 std::memory_order_relaxed);
+        }
+    }
+    count.fetch_add(h.count(), std::memory_order_relaxed);
+    sumNanos.fetch_add(h.sumNanos(), std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Snapshot
+
+Snapshot
+Snapshot::delta(const Snapshot& prev) const
+{
+    Snapshot out;
+    out.atNanos = atNanos;
+    out.metrics.reserve(metrics.size());
+    for (const MetricValue& cur : metrics) {
+        MetricValue d = cur;
+        const MetricValue* old = prev.find(cur.name);
+        if (old != nullptr && old->kind == cur.kind) {
+            switch (cur.kind) {
+            case MetricKind::Counter:
+                d.value = cur.value >= old->value ? cur.value - old->value
+                                                  : cur.value;
+                break;
+            case MetricKind::Gauge:
+                break; // level, not a rate: keep current value
+            case MetricKind::Histogram: {
+                std::array<uint64_t, stats::LatencyHistogram::kBuckets>
+                    buckets{};
+                const auto& a = cur.hist.rawBuckets();
+                const auto& b = old->hist.rawBuckets();
+                for (size_t i = 0; i < buckets.size(); ++i) {
+                    buckets[i] = a[i] >= b[i] ? a[i] - b[i] : a[i];
+                }
+                d.hist = stats::LatencyHistogram::fromRaw(
+                    buckets,
+                    cur.hist.count() >= old->hist.count()
+                        ? cur.hist.count() - old->hist.count()
+                        : cur.hist.count(),
+                    cur.hist.sumNanos() >= old->hist.sumNanos()
+                        ? cur.hist.sumNanos() - old->hist.sumNanos()
+                        : cur.hist.sumNanos());
+                break;
+            }
+            }
+        }
+        out.metrics.push_back(std::move(d));
+    }
+    return out;
+}
+
+const MetricValue*
+Snapshot::find(std::string_view name) const
+{
+    for (const MetricValue& m : metrics) {
+        if (m.name == name) {
+            return &m;
+        }
+    }
+    return nullptr;
+}
+
+uint64_t
+Snapshot::valueOf(std::string_view name) const
+{
+    const MetricValue* m = find(name);
+    return m == nullptr ? 0 : m->value;
+}
+
+void
+Snapshot::addCounter(std::string name, std::string help, uint64_t value)
+{
+    MetricValue m;
+    m.name = std::move(name);
+    m.help = std::move(help);
+    m.kind = MetricKind::Counter;
+    m.value = value;
+    metrics.push_back(std::move(m));
+}
+
+// ---------------------------------------------------------------- Registry
+
+uint32_t
+Registry::registerMetric(std::string name, std::string help,
+                         MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MG_CHECK(!frozen_, "metric '", name,
+             "' registered after the first registerThread(); all metrics "
+             "must be registered at startup");
+    for (const Meta& meta : metas_) {
+        MG_CHECK(meta.name != name, "duplicate metric name: ", name);
+    }
+    uint32_t slot =
+        static_cast<uint32_t>(kind == MetricKind::Histogram
+                                  ? numHistograms_++
+                                  : numScalars_++);
+    metas_.push_back(Meta{std::move(name), std::move(help), kind, slot});
+    return slot;
+}
+
+CounterId
+Registry::counter(std::string name, std::string help)
+{
+    return CounterId{registerMetric(std::move(name), std::move(help),
+                                    MetricKind::Counter)};
+}
+
+GaugeId
+Registry::gauge(std::string name, std::string help)
+{
+    return GaugeId{registerMetric(std::move(name), std::move(help),
+                                  MetricKind::Gauge)};
+}
+
+HistogramId
+Registry::histogram(std::string name, std::string help)
+{
+    return HistogramId{registerMetric(std::move(name), std::move(help),
+                                      MetricKind::Histogram)};
+}
+
+Registry::ThreadSlab*
+Registry::registerThread(size_t thread_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    frozen_ = true;
+    if (thread_index >= slabs_.size()) {
+        slabs_.resize(thread_index + 1);
+    }
+    if (!slabs_[thread_index]) {
+        slabs_[thread_index] =
+            std::make_unique<ThreadSlab>(numScalars_, numHistograms_);
+    }
+    return slabs_[thread_index].get();
+}
+
+bool
+Registry::frozen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return frozen_;
+}
+
+size_t
+Registry::numMetrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metas_.size();
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.atNanos = util::nowNanos();
+    snap.metrics.reserve(metas_.size());
+    for (const Meta& meta : metas_) {
+        MetricValue m;
+        m.name = meta.name;
+        m.help = meta.help;
+        m.kind = meta.kind;
+        if (meta.kind == MetricKind::Histogram) {
+            std::array<uint64_t, stats::LatencyHistogram::kBuckets>
+                buckets{};
+            uint64_t count = 0;
+            uint64_t sum = 0;
+            for (const auto& slab : slabs_) {
+                if (!slab) {
+                    continue;
+                }
+                const AtomicHistogram& h = slab->histogram(meta.slot);
+                for (size_t b = 0; b < buckets.size(); ++b) {
+                    buckets[b] +=
+                        h.buckets[b].load(std::memory_order_relaxed);
+                }
+                count += h.count.load(std::memory_order_relaxed);
+                sum += h.sumNanos.load(std::memory_order_relaxed);
+            }
+            m.hist = stats::LatencyHistogram::fromRaw(buckets, count, sum);
+        } else {
+            for (const auto& slab : slabs_) {
+                if (!slab) {
+                    continue;
+                }
+                uint64_t v = slab->scalar(meta.slot);
+                if (meta.kind == MetricKind::Gauge) {
+                    m.value = std::max(m.value, v);
+                } else {
+                    m.value += v;
+                }
+            }
+        }
+        snap.metrics.push_back(std::move(m));
+    }
+    return snap;
+}
+
+// --------------------------------------------------------------- exporters
+
+namespace {
+
+/** Split "base{labels}" into base and the labels text (may be empty). */
+void
+splitLabels(const std::string& name, std::string& base,
+            std::string& labels)
+{
+    size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+        base = name;
+        labels.clear();
+        return;
+    }
+    base = name.substr(0, brace);
+    MG_ASSERT(name.back() == '}');
+    labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+void
+appendPromLine(std::string& out, const std::string& base,
+               const std::string& labels, const char* suffix,
+               const std::string& extra_label, uint64_t value)
+{
+    out += base;
+    out += suffix;
+    if (!labels.empty() || !extra_label.empty()) {
+        out += '{';
+        out += labels;
+        if (!labels.empty() && !extra_label.empty()) {
+            out += ',';
+        }
+        out += extra_label;
+        out += '}';
+    }
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+toPrometheus(const Snapshot& snapshot)
+{
+    std::string out;
+    // TYPE/HELP must appear once per base name; label-bearing series of
+    // one family share the header.
+    std::string last_base;
+    for (const MetricValue& m : snapshot.metrics) {
+        std::string base;
+        std::string labels;
+        splitLabels(m.name, base, labels);
+        if (base != last_base) {
+            if (!m.help.empty()) {
+                out += "# HELP " + base + " " + m.help + "\n";
+            }
+            out += "# TYPE " + base + " ";
+            out += metricKindName(m.kind);
+            out += '\n';
+            last_base = base;
+        }
+        if (m.kind != MetricKind::Histogram) {
+            appendPromLine(out, base, labels, "", "", m.value);
+            continue;
+        }
+        const auto& buckets = m.hist.rawBuckets();
+        int top = stats::LatencyHistogram::kBuckets - 1;
+        while (top > 0 && buckets[static_cast<size_t>(top)] == 0) {
+            --top;
+        }
+        uint64_t cumulative = 0;
+        for (int b = 0; b <= top; ++b) {
+            cumulative += buckets[static_cast<size_t>(b)];
+            if (b == stats::LatencyHistogram::kBuckets - 1) {
+                break; // the last bucket is unbounded; covered by +Inf
+            }
+            appendPromLine(
+                out, base, labels, "_bucket",
+                "le=\"" +
+                    std::to_string(
+                        stats::LatencyHistogram::bucketUpperNanos(b)) +
+                    "\"",
+                cumulative);
+        }
+        appendPromLine(out, base, labels, "_bucket", "le=\"+Inf\"",
+                       m.hist.count());
+        appendPromLine(out, base, labels, "_sum", "", m.hist.sumNanos());
+        appendPromLine(out, base, labels, "_count", "", m.hist.count());
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendSnapshotJson(JsonWriter& w, const Snapshot& snap)
+{
+    w.beginObject();
+    w.field("at_ns", snap.atNanos);
+    w.key("metrics").beginArray();
+    for (const MetricValue& m : snap.metrics) {
+        w.beginObject();
+        w.field("name", m.name);
+        w.field("kind", metricKindName(m.kind));
+        if (m.kind == MetricKind::Histogram) {
+            w.field("count", m.hist.count());
+            w.field("sum_ns", m.hist.sumNanos());
+            w.key("buckets").beginArray();
+            const auto& buckets = m.hist.rawBuckets();
+            for (size_t b = 0; b < buckets.size(); ++b) {
+                if (buckets[b] == 0) {
+                    continue;
+                }
+                w.beginArray();
+                w.value(static_cast<uint64_t>(b));
+                w.value(buckets[b]);
+                w.endArray();
+            }
+            w.endArray();
+        } else {
+            w.field("value", m.value);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+toJson(const std::vector<Snapshot>& snapshots)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("minigiraffe_metrics", uint64_t{1});
+    w.key("snapshots").beginArray();
+    for (const Snapshot& snap : snapshots) {
+        appendSnapshotJson(w, snap);
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace mg::obs

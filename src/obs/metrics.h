@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Live metrics registry: named counters/gauges/histograms registered once
+ * at startup, incremented lock-free on the hot path, and aggregated into
+ * point-in-time snapshots that export as Prometheus text or JSON.
+ *
+ * Concurrency model — the part that has to be exactly right:
+ *  - Registration (counter()/gauge()/histogram()) happens on one thread
+ *    before workers start and is frozen at the first registerThread();
+ *    registering later throws.  This is what makes the hot path safe: the
+ *    metric -> cell layout never changes while workers run.
+ *  - Each worker owns a ThreadSlab of relaxed std::atomic<uint64_t> cells.
+ *    Exactly one thread writes a slab (single-writer), so increments are
+ *    plain relaxed fetch_add with no contention; the atomics exist so the
+ *    emitter thread can read mid-run without a data race (TSan-clean).
+ *  - Scalar cells are cache-line padded and histograms are cache-line
+ *    aligned, so two metrics never share a line and the emitter's reads
+ *    never bounce a worker's line between cores mid-batch.
+ *  - snapshot() sums cells across slabs under the same mutex that guards
+ *    slab creation; it is called from the emitter thread or at end of run,
+ *    never on the mapping path.
+ *
+ * Counters only increase; gauges hold a level (aggregated across slabs by
+ * max, which is what peak-style gauges want); histograms reuse
+ * stats::LatencyHistogram's log2-bucket scheme so snapshot values merge
+ * with the rest of the stats layer.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/latency.h"
+
+namespace mg::obs {
+
+enum class MetricKind : uint8_t
+{
+    Counter,
+    Gauge,
+    Histogram
+};
+
+/** Kind name as used in the JSON snapshot schema. */
+const char* metricKindName(MetricKind kind);
+
+/** Typed handles; the slot indexes the slab's cell array directly. */
+struct CounterId
+{
+    uint32_t slot = UINT32_MAX;
+};
+struct GaugeId
+{
+    uint32_t slot = UINT32_MAX;
+};
+struct HistogramId
+{
+    uint32_t slot = UINT32_MAX;
+};
+
+/** One metric's aggregated value at snapshot time. */
+struct MetricValue
+{
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::Counter;
+    uint64_t value = 0;             // counter / gauge
+    stats::LatencyHistogram hist;   // histogram
+};
+
+/** Point-in-time aggregation over all thread slabs. */
+struct Snapshot
+{
+    uint64_t atNanos = 0;
+    std::vector<MetricValue> metrics; // registration order
+
+    /**
+     * This snapshot minus an earlier one: counters and histograms
+     * subtract, gauges keep their current level.  Used by the periodic
+     * emitter to report per-interval rates.
+     */
+    Snapshot delta(const Snapshot& prev) const;
+
+    /** Lookup by full name; nullptr if absent. */
+    const MetricValue* find(std::string_view name) const;
+
+    /** Convenience: counter/gauge value by name, 0 if absent. */
+    uint64_t valueOf(std::string_view name) const;
+
+    /**
+     * Append an end-of-run extra (e.g. per-site fault counts whose set of
+     * labels is only known after the run).
+     */
+    void addCounter(std::string name, std::string help, uint64_t value);
+};
+
+class Registry
+{
+  public:
+    /** Cache-line padded cell: one scalar metric on one thread. */
+    struct alignas(64) PaddedCell
+    {
+        std::atomic<uint64_t> value{0};
+    };
+
+    /**
+     * One histogram on one thread, bucket scheme identical to
+     * stats::LatencyHistogram.  Contiguous buckets are fine: the owning
+     * worker is the only writer and the struct starts on its own line.
+     */
+    struct alignas(64) AtomicHistogram
+    {
+        std::atomic<uint64_t> buckets[stats::LatencyHistogram::kBuckets]{};
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sumNanos{0};
+
+        void
+        observe(uint64_t nanos)
+        {
+            uint64_t n = nanos;
+            int bucket = 0;
+            while (n > 1 && bucket < stats::LatencyHistogram::kBuckets - 1) {
+                n >>= 1;
+                ++bucket;
+            }
+            buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+            count.fetch_add(1, std::memory_order_relaxed);
+            sumNanos.fetch_add(nanos, std::memory_order_relaxed);
+        }
+
+        /** Fold a finished stats histogram in (end-of-run roll-ups). */
+        void merge(const stats::LatencyHistogram& h);
+    };
+
+    /** One worker's private cells; single writer, any-thread readers. */
+    class ThreadSlab
+    {
+      public:
+        ThreadSlab(size_t scalars, size_t histograms)
+            : scalars_(scalars), histograms_(histograms)
+        {}
+
+        void
+        add(CounterId id, uint64_t delta = 1)
+        {
+            scalars_[id.slot].value.fetch_add(delta,
+                                              std::memory_order_relaxed);
+        }
+
+        void
+        set(GaugeId id, uint64_t value)
+        {
+            scalars_[id.slot].value.store(value, std::memory_order_relaxed);
+        }
+
+        /** Raise the gauge to at least `value` (peak tracking). */
+        void
+        raise(GaugeId id, uint64_t value)
+        {
+            std::atomic<uint64_t>& cell = scalars_[id.slot].value;
+            uint64_t seen = cell.load(std::memory_order_relaxed);
+            while (seen < value && !cell.compare_exchange_weak(
+                                       seen, value,
+                                       std::memory_order_relaxed)) {
+            }
+        }
+
+        void
+        observe(HistogramId id, uint64_t nanos)
+        {
+            histograms_[id.slot].observe(nanos);
+        }
+
+        void
+        mergeHistogram(HistogramId id, const stats::LatencyHistogram& h)
+        {
+            histograms_[id.slot].merge(h);
+        }
+
+        uint64_t
+        scalar(uint32_t slot) const
+        {
+            return scalars_[slot].value.load(std::memory_order_relaxed);
+        }
+
+        const AtomicHistogram&
+        histogram(uint32_t slot) const
+        {
+            return histograms_[slot];
+        }
+
+      private:
+        std::vector<PaddedCell> scalars_;
+        std::vector<AtomicHistogram> histograms_;
+    };
+
+    /**
+     * Register a metric.  Throws util::Error once any thread slab exists
+     * (layout is frozen) or when the name is already taken.
+     */
+    CounterId counter(std::string name, std::string help);
+    GaugeId gauge(std::string name, std::string help);
+    HistogramId histogram(std::string name, std::string help);
+
+    /**
+     * Create (or fetch) the slab for a worker thread slot.  First call
+     * freezes registration.
+     */
+    ThreadSlab* registerThread(size_t thread_index);
+
+    /** True once registerThread() has been called. */
+    bool frozen() const;
+
+    size_t numMetrics() const;
+
+    /** Aggregate all slabs; safe concurrently with worker increments. */
+    Snapshot snapshot() const;
+
+  private:
+    struct Meta
+    {
+        std::string name;
+        std::string help;
+        MetricKind kind;
+        uint32_t slot;
+    };
+
+    uint32_t registerMetric(std::string name, std::string help,
+                            MetricKind kind);
+
+    mutable std::mutex mutex_;
+    std::vector<Meta> metas_;
+    size_t numScalars_ = 0;
+    size_t numHistograms_ = 0;
+    bool frozen_ = false;
+    std::vector<std::unique_ptr<ThreadSlab>> slabs_;
+};
+
+/**
+ * Prometheus text exposition of one snapshot.  Histogram buckets are
+ * cumulative with `le` bounds in nanoseconds (metric names carry a _ns
+ * suffix to make the unit explicit).  Names may embed labels
+ * ("name{site=\"x\"}"); HELP/TYPE lines use the base name.
+ */
+std::string toPrometheus(const Snapshot& snapshot);
+
+/**
+ * JSON document holding a series of snapshots:
+ * {"minigiraffe_metrics":1,"snapshots":[{"at_ns":...,"metrics":[...]}]}.
+ * Counters/gauges carry "value"; histograms carry "count", "sum_ns" and
+ * sparse "buckets" as [bucket_index, count] pairs.
+ */
+std::string toJson(const std::vector<Snapshot>& snapshots);
+
+} // namespace mg::obs

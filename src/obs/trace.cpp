@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/json.h"
+
+namespace mg::obs {
+
+void
+writeChromeTrace(const std::string& path, const perf::Profiler& profiler,
+                 const std::vector<TraceInstant>& instants,
+                 const std::string& process_name)
+{
+    // Rebase timestamps to the earliest event so the viewer opens at t=0.
+    uint64_t origin = UINT64_MAX;
+    std::set<size_t> threads;
+    profiler.forEachRecord(
+        [&](size_t thread, const perf::RegionRecord& rec) {
+            origin = std::min(origin, rec.startNanos);
+            threads.insert(thread);
+        });
+    for (const TraceInstant& instant : instants) {
+        origin = std::min(origin, instant.atNanos);
+        threads.insert(instant.thread);
+    }
+    if (origin == UINT64_MAX) {
+        origin = 0;
+    }
+    auto micros = [origin](uint64_t nanos) {
+        return static_cast<double>(nanos - origin) * 1e-3;
+    };
+
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    w.beginObject();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", uint64_t{1});
+    w.key("args").beginObject().field("name", process_name).endObject();
+    w.endObject();
+    for (size_t thread : threads) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", uint64_t{1});
+        w.field("tid", static_cast<uint64_t>(thread));
+        w.key("args")
+            .beginObject()
+            .field("name", "worker " + std::to_string(thread))
+            .endObject();
+        w.endObject();
+    }
+
+    const std::vector<std::string> region_names = profiler.regionNames();
+    profiler.forEachRecord(
+        [&](size_t thread, const perf::RegionRecord& rec) {
+            w.beginObject();
+            w.field("name", region_names[rec.region]);
+            w.field("cat", "region");
+            w.field("ph", "X");
+            w.field("pid", uint64_t{1});
+            w.field("tid", static_cast<uint64_t>(thread));
+            w.field("ts", micros(rec.startNanos));
+            w.field("dur",
+                    static_cast<double>(rec.endNanos - rec.startNanos) *
+                        1e-3);
+            w.endObject();
+        });
+
+    for (const TraceInstant& instant : instants) {
+        w.beginObject();
+        w.field("name", instant.name);
+        w.field("cat", "event");
+        w.field("ph", "i");
+        w.field("s", "t"); // thread-scoped instant
+        w.field("pid", uint64_t{1});
+        w.field("tid", static_cast<uint64_t>(instant.thread));
+        w.field("ts", micros(instant.atNanos));
+        w.endObject();
+    }
+
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.endObject();
+    w.writeFile(path);
+}
+
+} // namespace mg::obs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chrome trace-event export: turns the profiler's in-memory region log
+ * plus run-level instant events (watchdog cancellations, quarantines)
+ * into a JSON Array-format trace that chrome://tracing and Perfetto load
+ * directly.  This is the paper's Fig. 2 per-thread timeline as an
+ * interactive artifact instead of a static plot.
+ *
+ * Schema notes: one "X" (complete) event per region record with ts/dur in
+ * microseconds relative to the earliest record (Perfetto's UI prefers
+ * small timestamps), one "i" (instant) event per supplied TraceInstant,
+ * and "M" thread_name metadata so workers are labelled.  Everything runs
+ * in pid 1 — this is a single-process trace.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/profiler.h"
+
+namespace mg::obs {
+
+/** A point event to overlay on the timeline (e.g. a watchdog cancel). */
+struct TraceInstant
+{
+    std::string name;
+    size_t thread = 0;
+    uint64_t atNanos = 0;
+};
+
+/**
+ * Write the merged trace to `path`.  Throws util::Error on I/O failure.
+ * `process_name` labels pid 1 in the trace viewer.
+ */
+void writeChromeTrace(const std::string& path,
+                      const perf::Profiler& profiler,
+                      const std::vector<TraceInstant>& instants,
+                      const std::string& process_name = "minigiraffe");
+
+} // namespace mg::obs

@@ -6,6 +6,22 @@
 
 namespace mg::perf {
 
+Profiler::Profiler(bool enabled) : enabled_(enabled)
+{
+    // Pre-register the canonical regions so every regions::k* lookup on
+    // the mapping path is a read-only map find, never a mutation.
+    for (const char* name :
+         { regions::kReadIo, regions::kParseSettings,
+           regions::kMinimizerLookup, regions::kFindSeeds,
+           regions::kClusterSeeds, regions::kProcessUntilThresholdC,
+           regions::kExtend, regions::kScoreExtensions, regions::kAlign,
+           regions::kEmitOutput, regions::kScheduler }) {
+        RegionId id = static_cast<RegionId>(regionNames_.size());
+        regionIds_[name] = id;
+        regionNames_.push_back(name);
+    }
+}
+
 RegionId
 Profiler::regionId(const std::string& name)
 {
@@ -14,6 +30,9 @@ Profiler::regionId(const std::string& name)
     if (it != regionIds_.end()) {
         return it->second;
     }
+    MG_CHECK(!frozen_, "region '", name,
+             "' registered after the first registerThread(); register "
+             "all regions before worker threads start");
     RegionId id = static_cast<RegionId>(regionNames_.size());
     regionIds_[name] = id;
     regionNames_.push_back(name);
@@ -28,6 +47,13 @@ Profiler::regionName(RegionId id) const
     return regionNames_[id];
 }
 
+std::vector<std::string>
+Profiler::regionNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return regionNames_;
+}
+
 Profiler::ThreadLog*
 Profiler::registerThread(size_t thread_index)
 {
@@ -35,6 +61,7 @@ Profiler::registerThread(size_t thread_index)
         return nullptr;
     }
     std::lock_guard<std::mutex> lock(mutex_);
+    frozen_ = true;
     if (thread_index >= logs_.size()) {
         logs_.resize(thread_index + 1);
     }
@@ -103,6 +130,21 @@ Profiler::dumpCsv(const std::string& path) const
         for (const RegionRecord& rec : log->records()) {
             out << log->index() << ',' << regionNames_[rec.region] << ','
                 << rec.startNanos << ',' << rec.endNanos << '\n';
+        }
+    }
+}
+
+void
+Profiler::forEachRecord(
+    const std::function<void(size_t, const RegionRecord&)>& fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& log : logs_) {
+        if (!log) {
+            continue;
+        }
+        for (const RegionRecord& rec : log->records()) {
+            fn(log->index(), rec);
         }
     }
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,15 +77,28 @@ class Profiler
         std::vector<RegionRecord> records_;
     };
 
-    explicit Profiler(bool enabled = true) : enabled_(enabled) {}
+    /**
+     * All regions::k* names are pre-registered at construction, so the
+     * usual regionId() calls on canonical names are pure lookups and the
+     * registration mutex never serialises hot-path call sites.
+     */
+    explicit Profiler(bool enabled = true);
 
     bool enabled() const { return enabled_; }
 
-    /** Map a region name to its dense id, registering it if new. */
+    /**
+     * Map a region name to its dense id, registering it if new.  New
+     * names are only accepted before the first registerThread(); after
+     * that the region table is frozen (lookups of known names stay legal)
+     * and a late registration throws util::Error.
+     */
     RegionId regionId(const std::string& name);
 
     /** Name of a registered region id. */
     const std::string& regionName(RegionId id) const;
+
+    /** Copy of the region name table, indexed by RegionId. */
+    std::vector<std::string> regionNames() const;
 
     /** Create (or fetch) the log for a worker thread slot. */
     ThreadLog* registerThread(size_t thread_index);
@@ -104,6 +118,14 @@ class Profiler
     /** Dump raw records as CSV (thread,region,start_ns,end_ns) to a file. */
     void dumpCsv(const std::string& path) const;
 
+    /**
+     * Visit every raw record (thread index + record), in per-thread
+     * order.  This is how exporters (obs trace writer) consume the log
+     * without copying it.
+     */
+    void forEachRecord(
+        const std::function<void(size_t, const RegionRecord&)>& fn) const;
+
     /** Forget all records but keep region registrations. */
     void clearRecords();
 
@@ -113,6 +135,7 @@ class Profiler
     std::map<std::string, RegionId> regionIds_;
     std::vector<std::string> regionNames_;
     std::vector<std::unique_ptr<ThreadLog>> logs_;
+    bool frozen_ = false;
 };
 
 /** RAII region timer: times from construction to destruction. */

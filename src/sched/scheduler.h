@@ -17,6 +17,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -42,6 +43,31 @@ enum class SchedulerKind
     /** Static block split; ablation baseline, not part of the paper's
      *  tuning space. */
     Static,
+};
+
+/**
+ * Policy-internal telemetry a caller can opt into via bindStats().
+ * Written with relaxed atomics off the per-item hot path (stealing and
+ * queue pressure are rare events), read after run() returns or live by a
+ * metrics emitter.
+ */
+struct SchedStats
+{
+    /** Chunks executed by a thread other than their share's owner
+     *  (WorkStealingScheduler). */
+    std::atomic<uint64_t> steals{0};
+    /** Peak depth of the batch handoff queue (VgBatchScheduler). */
+    std::atomic<uint64_t> queueDepthPeak{0};
+
+    void
+    raiseQueueDepth(uint64_t depth)
+    {
+        uint64_t seen = queueDepthPeak.load(std::memory_order_relaxed);
+        while (seen < depth &&
+               !queueDepthPeak.compare_exchange_weak(
+                   seen, depth, std::memory_order_relaxed)) {
+        }
+    }
 };
 
 /** Short stable name used in result tables ("openmp", "vg", "steal"). */
@@ -73,6 +99,16 @@ class Scheduler
 
     virtual SchedulerKind kind() const = 0;
     const char* name() const { return schedulerName(kind()); }
+
+    /**
+     * Attach a stats sink (nullptr detaches).  The pointer must stay
+     * valid across run(); policies without a matching concept (e.g. no
+     * queue) simply leave their fields at zero.
+     */
+    void bindStats(SchedStats* stats) { stats_ = stats; }
+
+  protected:
+    SchedStats* stats_ = nullptr;
 };
 
 /** Factory for the policy enum. */

@@ -25,13 +25,16 @@ struct BatchQueue
 
     /** Dispatcher side: true if the batch was enqueued, false if full. */
     bool
-    tryPush(size_t begin, size_t end)
+    tryPush(size_t begin, size_t end, SchedStats* stats)
     {
         std::unique_lock<std::mutex> lock(mutex);
         if (batches.size() >= capacity) {
             return false;
         }
         batches.emplace_back(begin, end);
+        if (stats != nullptr) {
+            stats->raiseQueueDepth(batches.size());
+        }
         notEmpty.notify_one();
         return true;
     }
@@ -102,7 +105,7 @@ VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
 
     for (size_t begin = 0; begin < total; begin += batch_size) {
         size_t end = std::min(total, begin + batch_size);
-        if (!queue.tryPush(begin, end)) {
+        if (!queue.tryPush(begin, end, stats_)) {
             // All workers busy and the queue full: the scheduler thread
             // processes the batch itself, as VG's dispatcher does.
             trap.guard([&] { fn(0, begin, end); });

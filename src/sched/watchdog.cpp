@@ -72,7 +72,11 @@ Watchdog::poll(uint64_t stall_nanos)
         event.batchEnd =
             static_cast<size_t>(slot.batchEnd.load(std::memory_order_relaxed));
         event.stalledNanos = age;
-        events_.push_back(event);
+        event.atNanos = now;
+        if (flight_ != nullptr && w < flight_->workers()) {
+            event.flight = flight_->snapshot(w);
+        }
+        events_.push_back(std::move(event));
     }
 }
 

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "resilience/budget.h"
 
 namespace mg::sched {
@@ -54,6 +55,12 @@ struct WatchdogEvent
     size_t batchEnd = 0;
     /** Heartbeat age at cancellation time, nanoseconds. */
     uint64_t stalledNanos = 0;
+    /** util::nowNanos() when the cancellation fired (trace overlays). */
+    uint64_t atNanos = 0;
+    /** The cancelled worker's flight-recorder ring, newest first (empty
+     *  when no recorder was attached): the reads on the operating table
+     *  when the stall was detected. */
+    std::vector<obs::FlightEntry> flight;
 };
 
 /**
@@ -130,6 +137,16 @@ class Watchdog
 
     void start();
 
+    /**
+     * Snapshot each cancelled worker's ring into its WatchdogEvent.  The
+     * recorder must outlive the watchdog; call before start().
+     */
+    void
+    attachFlightRecorder(const obs::FlightRecorder* recorder)
+    {
+        flight_ = recorder;
+    }
+
     /** Idempotent; joins the supervisor thread. */
     void stop();
 
@@ -141,6 +158,7 @@ class Watchdog
 
     HeartbeatBoard& board_;
     WatchdogParams params_;
+    const obs::FlightRecorder* flight_ = nullptr;
     std::thread thread_;
     std::mutex mutex_;
     std::condition_variable cv_;

@@ -63,6 +63,10 @@ WorkStealingScheduler::run(size_t total, size_t batch_size,
                 size_t end = std::min(share.end, chunk + batch_size);
                 trap.guard([&] { fn(self, chunk, end); });
                 did_work = true;
+                if (stats_ != nullptr && victim != self) {
+                    stats_->steals.fetch_add(1,
+                                             std::memory_order_relaxed);
+                }
             }
             return did_work;
         };

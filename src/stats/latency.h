@@ -63,6 +63,33 @@ class LatencyHistogram
     /** Reset to empty. */
     void clear();
 
+    /** Raw log2 buckets (bucket b counts [2^(b-1), 2^b) ns samples). */
+    const std::array<uint64_t, kBuckets>& rawBuckets() const
+    {
+        return buckets_;
+    }
+
+    uint64_t sumNanos() const { return sumNanos_; }
+
+    /** Rebuild from raw parts (exporter round-trips, atomic slabs). */
+    static LatencyHistogram
+    fromRaw(const std::array<uint64_t, kBuckets>& buckets, uint64_t count,
+            uint64_t sum_nanos)
+    {
+        LatencyHistogram h;
+        h.buckets_ = buckets;
+        h.count_ = count;
+        h.sumNanos_ = sum_nanos;
+        return h;
+    }
+
+    /** Upper bound (ns) of bucket b, matching bucketOf(). */
+    static uint64_t
+    bucketUpperNanos(int bucket)
+    {
+        return bucket >= kBuckets - 1 ? UINT64_MAX : (uint64_t{1} << bucket);
+    }
+
   private:
     static int
     bucketOf(uint64_t nanos)

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "perf/profiler.h"
+#include "util/common.h"
 
 namespace mg::perf {
 namespace {
@@ -18,6 +19,31 @@ TEST(ProfilerTest, RegionIdsAreStable)
     EXPECT_NE(a, b);
     EXPECT_EQ(profiler.regionId("cluster_seeds"), a);
     EXPECT_EQ(profiler.regionName(a), "cluster_seeds");
+}
+
+TEST(ProfilerTest, CanonicalRegionsArePreRegistered)
+{
+    // The canonical regions are registered at construction so trace export
+    // and region tables never depend on which code paths happened to run.
+    Profiler profiler;
+    EXPECT_EQ(profiler.regionName(profiler.regionId(regions::kFindSeeds)),
+              regions::kFindSeeds);
+    EXPECT_EQ(profiler.regionName(profiler.regionId(regions::kExtend)),
+              regions::kExtend);
+}
+
+TEST(ProfilerTest, RegionTableFreezesAtFirstRegisterThread)
+{
+    Profiler profiler;
+    RegionId known = profiler.regionId("early_region");
+    profiler.registerThread(0);
+    // Lookups of known names stay legal after the freeze...
+    EXPECT_EQ(profiler.regionId("early_region"), known);
+    EXPECT_EQ(profiler.regionId(regions::kClusterSeeds),
+              profiler.regionId(regions::kClusterSeeds));
+    // ...but new-name registration must throw: the region table is shared
+    // with running worker threads.
+    EXPECT_THROW(profiler.regionId("late_region"), util::Error);
 }
 
 TEST(ProfilerTest, DisabledProfilerRecordsNothing)

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "stats/anova.h"
+#include "stats/latency.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 #include "stats/special.h"
@@ -101,6 +103,59 @@ TEST(SpecialTest, TDistributionSymmetry)
     // t_{0.975, 10} = 2.228.
     EXPECT_NEAR(tDistributionCdf(2.228, 10), 0.975, 1e-3);
     EXPECT_NEAR(tDistributionCdf(-2.228, 10), 0.025, 1e-3);
+}
+
+// ------------------------------------------------------- latency histogram
+
+TEST(LatencyHistogramTest, MergeAcrossThreadsMatchesSerialRecording)
+{
+    // Each worker records into a private histogram (the per-thread pattern
+    // used by the mapper and the obs registry); merging the shards must be
+    // indistinguishable from one histogram that saw every sample.
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 5000;
+    std::vector<LatencyHistogram> shards(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&shards, t] {
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                shards[static_cast<size_t>(t)].record(
+                    (i % 1000) * 37 + static_cast<uint64_t>(t));
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+
+    LatencyHistogram merged;
+    LatencyHistogram serial;
+    for (int t = 0; t < kThreads; ++t) {
+        merged.merge(shards[static_cast<size_t>(t)]);
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+            serial.record((i % 1000) * 37 + static_cast<uint64_t>(t));
+        }
+    }
+
+    EXPECT_EQ(merged.count(), kThreads * kPerThread);
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.sumNanos(), serial.sumNanos());
+    EXPECT_EQ(merged.rawBuckets(), serial.rawBuckets());
+    EXPECT_DOUBLE_EQ(merged.p50(), serial.p50());
+    EXPECT_DOUBLE_EQ(merged.p999(), serial.p999());
+}
+
+TEST(LatencyHistogramTest, FromRawRoundTrips)
+{
+    LatencyHistogram h;
+    for (uint64_t nanos : { 1u, 100u, 100u, 1u << 20 }) {
+        h.record(nanos);
+    }
+    LatencyHistogram copy =
+        LatencyHistogram::fromRaw(h.rawBuckets(), h.count(), h.sumNanos());
+    EXPECT_EQ(copy.count(), h.count());
+    EXPECT_EQ(copy.sumNanos(), h.sumNanos());
+    EXPECT_EQ(copy.rawBuckets(), h.rawBuckets());
 }
 
 // ----------------------------------------------------------------- anova
