@@ -24,6 +24,7 @@
 #include "obs/emitter.h"
 #include "obs/hub.h"
 #include "obs/trace.h"
+#include "serve/stop.h"
 #include "util/flags.h"
 #include "util/timer.h"
 
@@ -107,6 +108,9 @@ try {
     if (!flags.str("fault").empty()) {
         mg::fault::armFromText(flags.str("fault"));
     }
+    // SIGTERM/SIGINT request a graceful stop: the current unit of work
+    // (batch, or checkpoint shard) finishes, outputs flush, exit is 0.
+    mg::serve::installStopHandlers();
 
     mg::util::WallTimer timer;
     mg::io::Pangenome pangenome = mg::io::loadMgz(flags.positional()[0]);
@@ -142,6 +146,12 @@ try {
         static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
     params.watchdog = flags.boolean("watchdog");
     params.watchdogParams.stallSeconds = flags.real("watchdog-stall");
+    if (flags.str("checkpoint").empty()) {
+        // Checkpointed runs stop at shard granularity instead (see
+        // CheckpointRunParams::stopFlag) — a mid-chunk stop would flush
+        // a shard claiming coverage it does not have.
+        params.stopFlag = mg::serve::stopFlag();
+    }
     mg::giraffe::ParentEmulator giraffe(pangenome.graph, pangenome.gbwt,
                                         minimizers, distance, params);
 
@@ -175,8 +185,14 @@ try {
         cp.shardReads =
             static_cast<uint64_t>(flags.integer("checkpoint-shard"));
         cp.hub = hub.get();
+        cp.stopFlag = mg::serve::stopFlag();
         mg::giraffe::CheckpointRunResult result =
             mg::giraffe::runCheckpointed(giraffe, reads, cp);
+        if (result.stopped) {
+            std::printf("graceful stop: in-progress shard flushed, GAF "
+                        "holds the contiguous prefix; resume with the "
+                        "same --checkpoint dir\n");
+        }
         std::printf("checkpointed run: %llu resumed + %llu mapped reads "
                     "in %.3f s (%llu dropped shards)\n",
                     static_cast<unsigned long long>(result.resumedReads),
@@ -218,6 +234,11 @@ try {
         if (alignment.mapped) {
             ++mapped;
         }
+    }
+    if (outputs.stopped) {
+        std::printf("graceful stop: running batches finished, later ones "
+                    "never started; unvisited reads are unmapped "
+                    "placeholders\n");
     }
     std::printf("mapped %zu / %zu reads in %.3f s "
                 "(GBWT cache hit rate %.3f)\n",

@@ -14,6 +14,7 @@
  */
 #include <cstdio>
 #include <string>
+#include <unordered_map>
 
 #include "io/checkpoint.h"
 #include "io/extensions_io.h"
@@ -23,6 +24,7 @@
 #include "io/mgz.h"
 #include "io/reads_bin.h"
 #include "obs/json.h"
+#include "serve/frame.h"
 #include "util/flags.h"
 #include "util/status.h"
 
@@ -149,6 +151,145 @@ verifyMetricsJson(const std::string& path, const mg::obs::json::Value& doc)
             }
         }
     }
+    return ok;
+}
+
+/**
+ * Validate a client request capture (`.mgreq`): every frame is CRC-whole
+ * and decodes as a Request, and request ids are strictly increasing (the
+ * client stamps a fresh id per attempt).  When the sibling `.mgresp`
+ * exists it is cross-checked: every request id must be answered — Ok,
+ * RETRY_AFTER, Error, or ShuttingDown all count; a request with *no*
+ * response means the daemon leaked it.
+ */
+bool
+verifyRequestCapture(const std::string& path,
+                     const std::vector<uint8_t>& bytes)
+{
+    std::vector<std::vector<uint8_t>> payloads =
+        mg::serve::parseFrameStream(bytes, path);
+    bool ok = true;
+    uint64_t prev_id = 0;
+    uint64_t total_reads = 0;
+    std::vector<mg::serve::Request> requests;
+    requests.reserve(payloads.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+        mg::serve::Request request;
+        mg::util::Status status =
+            mg::serve::decodeRequest(payloads[i], request);
+        if (!status.ok()) {
+            std::fprintf(stderr, "%s: frame %zu: %s\n", path.c_str(), i,
+                         status.toString().c_str());
+            return false;
+        }
+        if (i > 0 && request.id <= prev_id) {
+            std::fprintf(stderr,
+                         "%s: frame %zu: id %llu not monotone (prev "
+                         "%llu)\n",
+                         path.c_str(), i,
+                         static_cast<unsigned long long>(request.id),
+                         static_cast<unsigned long long>(prev_id));
+            ok = false;
+        }
+        prev_id = request.id;
+        total_reads += request.reads.size();
+        requests.push_back(std::move(request));
+    }
+    std::printf("%s: request capture, %zu frames, %llu reads, ids "
+                "monotone: %s\n",
+                path.c_str(), payloads.size(),
+                static_cast<unsigned long long>(total_reads),
+                ok ? "yes" : "NO");
+
+    const std::string resp_path =
+        path.substr(0, path.size() - 6) + ".mgresp";
+    std::vector<uint8_t> resp_bytes;
+    try {
+        resp_bytes = mg::io::readFileBytes(resp_path);
+    } catch (const mg::util::Error&) {
+        std::printf("  (no %s to cross-check)\n", resp_path.c_str());
+        return ok;
+    }
+    std::unordered_map<uint64_t, mg::serve::ResponseStatus> answered;
+    for (const std::vector<uint8_t>& payload :
+         mg::serve::parseFrameStream(resp_bytes, resp_path)) {
+        mg::serve::Response response;
+        mg::util::Status status =
+            mg::serve::decodeResponse(payload, response);
+        if (!status.ok()) {
+            std::fprintf(stderr, "%s: %s\n", resp_path.c_str(),
+                         status.toString().c_str());
+            return false;
+        }
+        answered.emplace(response.id, response.status);
+    }
+    size_t mapped = 0;
+    size_t shed = 0;
+    size_t errors = 0;
+    size_t leaked = 0;
+    for (const mg::serve::Request& request : requests) {
+        auto it = answered.find(request.id);
+        if (it == answered.end()) {
+            std::fprintf(stderr,
+                         "%s: request id %llu has no response — the "
+                         "daemon leaked it\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(request.id));
+            ++leaked;
+            continue;
+        }
+        switch (it->second) {
+          case mg::serve::ResponseStatus::Ok:
+            ++mapped;
+            break;
+          case mg::serve::ResponseStatus::RetryAfter:
+          case mg::serve::ResponseStatus::ShuttingDown:
+            ++shed;
+            break;
+          case mg::serve::ResponseStatus::Error:
+            ++errors;
+            break;
+        }
+    }
+    std::printf("  cross-check vs %s: %zu mapped, %zu shed, %zu error, "
+                "%zu leaked\n",
+                resp_path.c_str(), mapped, shed, errors, leaked);
+    return ok && leaked == 0;
+}
+
+/** Validate a response capture (`.mgresp`): CRC-whole frames, each
+ *  decoding as a Response with a unique id; tallies by status. */
+bool
+verifyResponseCapture(const std::string& path,
+                      const std::vector<uint8_t>& bytes)
+{
+    std::vector<std::vector<uint8_t>> payloads =
+        mg::serve::parseFrameStream(bytes, path);
+    bool ok = true;
+    std::unordered_map<uint64_t, size_t> seen;
+    size_t by_status[4] = { 0, 0, 0, 0 };
+    for (size_t i = 0; i < payloads.size(); ++i) {
+        mg::serve::Response response;
+        mg::util::Status status =
+            mg::serve::decodeResponse(payloads[i], response);
+        if (!status.ok()) {
+            std::fprintf(stderr, "%s: frame %zu: %s\n", path.c_str(), i,
+                         status.toString().c_str());
+            return false;
+        }
+        if (++seen[response.id] > 1) {
+            std::fprintf(stderr,
+                         "%s: frame %zu: duplicate response id %llu\n",
+                         path.c_str(), i,
+                         static_cast<unsigned long long>(response.id));
+            ok = false;
+        }
+        by_status[static_cast<size_t>(response.status) & 3]++;
+    }
+    std::printf("%s: response capture, %zu frames — %zu ok, %zu "
+                "retry-after, %zu error, %zu shutting-down\n",
+                path.c_str(), payloads.size(), by_status[0], by_status[1],
+                by_status[2], by_status[3]);
     return ok;
 }
 
@@ -298,6 +439,12 @@ verifyFile(const std::string& path, bool deep)
                     path.c_str(), doc.members.size());
         return true;
     }
+    if (endsWith(path, ".mgreq")) {
+        return verifyRequestCapture(path, bytes);
+    }
+    if (endsWith(path, ".mgresp")) {
+        return verifyResponseCapture(path, bytes);
+    }
     if (endsWith(path, ".gfa")) {
         mg::graph::VariationGraph graph = mg::io::parseGfa(
             std::string(bytes.begin(), bytes.end()), path);
@@ -307,7 +454,7 @@ verifyFile(const std::string& path, bool deep)
     }
     std::fprintf(stderr,
                  "%s: unknown extension (expected .mgz, .bin, .ext, "
-                 ".fastq, .gfa, .json, .mgc, or .mgs)\n",
+                 ".fastq, .gfa, .json, .mgc, .mgs, .mgreq, or .mgresp)\n",
                  path.c_str());
     return false;
 }

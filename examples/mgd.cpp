@@ -1,0 +1,207 @@
+/**
+ * @file
+ * mgd — mapping as a service.  Loads (or generates) a pangenome once,
+ * builds its indexes, and serves mapping requests over a Unix-domain
+ * socket with admission control, per-tenant QoS, explicit backpressure
+ * (RETRY_AFTER), per-request deadlines, and graceful drain on
+ * SIGTERM/SIGINT (finish or degrade in-flight work, flush metrics,
+ * exit 0).
+ *
+ * Run:  ./examples/mgd <graph.mgz> --socket /tmp/mgd.sock [flags]
+ *       ./examples/mgd --gen B-yeast --socket /tmp/mgd.sock [flags]
+ */
+#include <poll.h>
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "fault/fault.h"
+#include "index/distance.h"
+#include "index/minimizer.h"
+#include "io/mgz.h"
+#include "obs/emitter.h"
+#include "serve/daemon.h"
+#include "serve/stop.h"
+#include "sim/input_sets.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+/** Per-site fault counters for the final metrics snapshot. */
+std::vector<mg::obs::MetricValue>
+faultExtras()
+{
+    std::vector<mg::obs::MetricValue> extras;
+    for (const auto& [site, stats] : mg::fault::allStats()) {
+        mg::obs::MetricValue hits;
+        hits.name = "mg_fault_hits_total{site=\"" + site + "\"}";
+        hits.help = "Times the fault site was evaluated.";
+        hits.value = stats.hits;
+        extras.push_back(std::move(hits));
+        mg::obs::MetricValue fires;
+        fires.name = "mg_fault_fires_total{site=\"" + site + "\"}";
+        fires.help = "Times the fault site injected its fault.";
+        fires.value = stats.fires;
+        extras.push_back(std::move(fires));
+    }
+    return extras;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+try {
+    mg::util::Flags flags("mgd");
+    flags.define("socket", "", "Unix-domain socket path to serve on")
+         .define("gen", "",
+                 "serve a generated pangenome (input-set name, e.g. "
+                 "B-yeast) instead of loading an .mgz")
+         .define("workers", "2", "mapping worker threads")
+         .define("queue-capacity", "64",
+                 "bound on queued requests across all tenants")
+         .define("tenants", "",
+                 "tenant QoS spec 'name:weight=3:inflight=8:queued=16,"
+                 "name2,...' (empty = one 'default' tenant)")
+         .define("retry-base-millis", "25",
+                 "RETRY_AFTER base; the hint grows with queue depth")
+         .define("max-reads-per-request", "4096",
+                 "requests carrying more reads are answered Error")
+         .define("drain-deadline", "5.0",
+                 "seconds drain waits before cancelling in-flight work")
+         .define("watchdog", "true",
+                 "supervise workers; stalled requests are cancelled")
+         .define("watchdog-stall", "5.0",
+                 "seconds without a heartbeat before a worker counts "
+                 "as stalled")
+         .define("max-deadline", "0",
+                 "ceiling on per-request wall-clock budget in seconds "
+                 "(0 = requests choose freely)")
+         .define("max-extend-steps", "0",
+                 "ceiling on per-read extension-step caps (0 = none)")
+         .define("max-gbwt-lookups", "0",
+                 "ceiling on per-read GBWT-lookup caps (0 = none)")
+         .define("k", "15", "minimizer k-mer length")
+         .define("w", "8", "minimizer window size")
+         .define("fault", "",
+                 "arm fault injection, e.g. 'serve.read=throw,limit=2'")
+         .define("metrics-out", "",
+                 "write metrics here (.prom = Prometheus text, anything "
+                 "else = JSON snapshot series)")
+         .define("metrics-interval", "0",
+                 "rewrite --metrics-out every N seconds (0 = final only)");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+    const bool generated = !flags.str("gen").empty();
+    if (flags.str("socket").empty() ||
+        flags.positional().size() != (generated ? 0u : 1u)) {
+        std::fprintf(stderr,
+                     "usage: mgd (<graph.mgz> | --gen <input-set>) "
+                     "--socket <path> [flags]\n");
+        return 1;
+    }
+    if (!flags.str("fault").empty()) {
+        mg::fault::armFromText(flags.str("fault"));
+    }
+    mg::serve::installStopHandlers();
+
+    // The pangenome: loaded from the container, or generated from the
+    // named input-set spec (self-contained demos and tests).
+    mg::util::WallTimer timer;
+    std::optional<mg::io::Pangenome> loaded;
+    std::optional<mg::sim::GeneratedPangenome> synthetic;
+    if (generated) {
+        synthetic = mg::sim::generatePangenome(
+            mg::sim::inputSetSpec(flags.str("gen")).pangenome);
+    } else {
+        loaded = mg::io::loadMgz(flags.positional()[0]);
+    }
+    const mg::graph::VariationGraph& graph =
+        generated ? synthetic->graph : loaded->graph;
+    const mg::gbwt::Gbwt& gbwt = generated ? synthetic->gbwt : loaded->gbwt;
+
+    mg::index::MinimizerParams mparams;
+    mparams.k = static_cast<int>(flags.integer("k"));
+    mparams.w = static_cast<int>(flags.integer("w"));
+    mg::index::MinimizerIndex minimizers(graph, mparams);
+    mg::index::DistanceIndex distance(graph);
+    std::printf("mgd: %zu nodes indexed in %.2f s (%zu minimizer keys)\n",
+                graph.numNodes(), timer.seconds(), minimizers.numKeys());
+
+    mg::serve::DaemonParams params;
+    params.socketPath = flags.str("socket");
+    params.workers = static_cast<size_t>(flags.integer("workers"));
+    params.queueCapacity =
+        static_cast<size_t>(flags.integer("queue-capacity"));
+    if (!flags.str("tenants").empty()) {
+        params.tenants = mg::serve::parseTenantSpec(flags.str("tenants"));
+    }
+    params.retryBaseMillis =
+        static_cast<uint32_t>(flags.integer("retry-base-millis"));
+    params.maxReadsPerRequest =
+        static_cast<size_t>(flags.integer("max-reads-per-request"));
+    params.drainDeadlineSeconds = flags.real("drain-deadline");
+    params.watchdog = flags.boolean("watchdog");
+    params.watchdogParams.stallSeconds = flags.real("watchdog-stall");
+    params.maxBudget.wallSeconds = flags.real("max-deadline");
+    params.maxBudget.maxExtendSteps =
+        static_cast<uint64_t>(flags.integer("max-extend-steps"));
+    params.maxBudget.maxGbwtLookups =
+        static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
+
+    mg::serve::Daemon daemon(graph, gbwt, minimizers, distance, params);
+    daemon.start();
+    std::unique_ptr<mg::obs::MetricsEmitter> emitter;
+    if (!flags.str("metrics-out").empty()) {
+        emitter = std::make_unique<mg::obs::MetricsEmitter>(
+            daemon.hub().registry(), flags.str("metrics-out"),
+            flags.real("metrics-interval"));
+        emitter->start();
+    }
+    std::printf("mgd: serving on %s (%zu workers, queue %zu",
+                params.socketPath.c_str(), params.workers,
+                params.queueCapacity);
+    for (const mg::serve::TenantConfig& tenant : daemon.params().tenants) {
+        std::printf(", tenant %s w=%llu", tenant.name.c_str(),
+                    static_cast<unsigned long long>(tenant.weight));
+    }
+    std::printf(")\n");
+    std::fflush(stdout);
+
+    // Sleep until SIGTERM/SIGINT; the self-pipe makes the signal
+    // poll()-able without busy-waiting.
+    while (!mg::serve::stopRequested()) {
+        struct pollfd pfd;
+        pfd.fd = mg::serve::stopFd();
+        pfd.events = POLLIN;
+        ::poll(&pfd, 1, 1000);
+    }
+    std::printf("mgd: stop signal, draining (deadline %.1f s)\n",
+                params.drainDeadlineSeconds);
+    daemon.requestDrain();
+    daemon.stop();
+
+    const mg::serve::DaemonReport& report = daemon.report();
+    std::printf("mgd: drained %s — %llu accepted, %llu completed, "
+                "%llu shed (%llu at drain), %llu errors, %llu bad frames, "
+                "%llu watchdog cancels\n",
+                report.drainClean ? "clean" : "FORCED",
+                static_cast<unsigned long long>(report.accepted),
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.shed),
+                static_cast<unsigned long long>(report.drainShed),
+                static_cast<unsigned long long>(report.errors),
+                static_cast<unsigned long long>(report.badFrames),
+                static_cast<unsigned long long>(report.watchdogCancels));
+    if (emitter) {
+        emitter->finalize(faultExtras());
+        std::printf("mgd: wrote %s\n", flags.str("metrics-out").c_str());
+    }
+    return 0;
+} catch (const mg::util::Error& e) {
+    std::fprintf(stderr, "mgd: %s\n", e.what());
+    return 1;
+}

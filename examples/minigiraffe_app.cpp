@@ -27,6 +27,7 @@
 #include "obs/emitter.h"
 #include "obs/hub.h"
 #include "obs/trace.h"
+#include "serve/stop.h"
 #include "util/flags.h"
 #include "util/timer.h"
 
@@ -126,6 +127,9 @@ try {
     if (!flags.str("fault").empty()) {
         mg::fault::armFromText(flags.str("fault"));
     }
+    // SIGTERM/SIGINT request a graceful stop: running batches finish,
+    // results written so far still flush, and the exit code stays 0.
+    mg::serve::installStopHandlers();
 
     mg::io::Pangenome pangenome =
         mg::io::loadMgz(flags.positional()[0]);
@@ -146,6 +150,7 @@ try {
         static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
     params.watchdog = flags.boolean("watchdog");
     params.watchdogParams.stallSeconds = flags.real("watchdog-stall");
+    params.stopFlag = mg::serve::stopFlag();
 
     mg::giraffe::ProxyRunner proxy(pangenome.graph, pangenome.gbwt,
                                    distance, params);
@@ -180,6 +185,10 @@ try {
     uint64_t total_extensions = 0;
     for (const mg::io::ReadExtensions& entry : outputs.extensions) {
         total_extensions += entry.extensions.size();
+    }
+    if (outputs.stopped) {
+        std::printf("graceful stop: running batches finished, later ones "
+                    "never started\n");
     }
     std::printf("miniGiraffe: mapped %llu reads -> %llu extensions in "
                 "%.3f s (makespan)\n",

@@ -127,30 +127,48 @@ runCheckpointed(const ParentEmulator& parent, const map::ReadSet& reads,
         spans.push_back(Span{ begin, end, std::move(shard.gaf) });
     };
 
+    // Graceful stop is observed between shard flushes: the shard in
+    // progress completes (and lands durably), later ones never start.
+    auto stop_requested = [&params] {
+        return params.stopFlag != nullptr &&
+               params.stopFlag->load(std::memory_order_acquire);
+    };
     uint64_t cursor = 0;
     for (const io::ManifestEntry& entry : state.manifest.shards) {
-        for (uint64_t b = cursor; b < entry.begin; b += params.shardReads) {
+        for (uint64_t b = cursor;
+             b < entry.begin && !stop_requested();
+             b += params.shardReads) {
             map_chunk(b, std::min(b + params.shardReads, entry.begin));
+        }
+        if (stop_requested()) {
+            break;
         }
         cursor = entry.end;
     }
-    for (uint64_t b = cursor; b < n; b += params.shardReads) {
+    for (uint64_t b = cursor; b < n && !stop_requested();
+         b += params.shardReads) {
         map_chunk(b, std::min(b + params.shardReads, n));
     }
+    result.stopped = stop_requested();
 
-    // Stitch: spans now tile [0, n) exactly once; concatenating them in
-    // range order is the uninterrupted run's GAF, byte for byte.
+    // Stitch: spans tile [0, n) exactly once; concatenating them in range
+    // order is the uninterrupted run's GAF, byte for byte.  A stopped run
+    // has durable holes instead — return the contiguous prefix (partial
+    // by contract) and leave the rest to a later resume.
     std::sort(spans.begin(), spans.end(),
               [](const Span& a, const Span& b) { return a.begin < b.begin; });
     uint64_t covered = 0;
     for (const Span& span : spans) {
+        if (result.stopped && span.begin != covered) {
+            break; // first hole of a stopped run ends the prefix
+        }
         MG_CHECK(span.begin == covered,
                  "GAF span coverage gap at read ", covered);
         covered = span.end;
         result.gaf += span.gaf;
     }
-    MG_CHECK(covered == n, "GAF spans cover ", covered, " of ", n,
-             " reads");
+    MG_CHECK(result.stopped || covered == n, "GAF spans cover ", covered,
+             " of ", n, " reads");
 
     if (params.hub != nullptr) {
         const io::CheckpointWriter::FlushStats fs = writer.flushStats();

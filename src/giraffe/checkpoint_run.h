@@ -38,6 +38,15 @@ struct CheckpointRunParams
     /** Optional telemetry hub, forwarded to every per-chunk parent run;
      *  flush stats of the checkpoint writer fold in at the end. */
     obs::Hub* hub = nullptr;
+    /**
+     * Graceful-stop flag (SIGTERM/SIGINT).  Checked between shard
+     * flushes: the in-progress shard finishes and lands durably, then
+     * the run returns with `stopped = true` and a *partial* GAF (the
+     * contiguous prefix).  Do NOT also set ParentParams::stopFlag for a
+     * checkpointed run — a mid-chunk stop would flush a shard that
+     * claims coverage it does not have; the shard is the stop unit.
+     */
+    const std::atomic<bool>* stopFlag = nullptr;
 };
 
 /** Outcome of a checkpointed (possibly resumed) run. */
@@ -59,6 +68,10 @@ struct CheckpointRunResult
     /** Shards the loader dropped (CRC/structure failure) and re-mapped. */
     uint64_t droppedShards = 0;
     double wallSeconds = 0.0;
+    /** A graceful stop ended the run early; `gaf` holds only the
+     *  contiguous prefix and the checkpoint directory holds the rest of
+     *  the durable state for a later resume. */
+    bool stopped = false;
 };
 
 /**

@@ -90,6 +90,7 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
     auto scheduler = sched::makeScheduler(params_.scheduler);
     sched::SchedStats sched_stats;
     scheduler->bindStats(&sched_stats);
+    scheduler->bindStop(params_.stopFlag);
     outputs.failures = sched::runGuarded(
         *scheduler, n, params_.batchSize, params_.numThreads,
         [&](size_t thread, size_t begin, size_t end) {
@@ -146,6 +147,19 @@ ParentEmulator::run(const map::ReadSet& reads, perf::Profiler* profiler,
     watchdog.stop();
     outputs.failures.watchdogCancels = watchdog.events().size();
     outputs.watchdogEvents = watchdog.events();
+    outputs.stopped = params_.stopFlag != nullptr &&
+                      params_.stopFlag->load(std::memory_order_acquire);
+    if (outputs.stopped) {
+        // Batches the stop flag kept from dispatching left their slots
+        // default-constructed; name them so the GAF still carries one
+        // record per read (rendered unmapped, like quarantined reads).
+        for (size_t i = 0; i < n; ++i) {
+            if (outputs.alignments[i].readName.empty()) {
+                outputs.alignments[i].readName = reads.reads[i].name;
+                outputs.extensions[i].readName = reads.reads[i].name;
+            }
+        }
+    }
 
     // Quarantined reads stay in the output as named unmapped records (the
     // GAF writer renders them with '*' placeholders) so one poisoned read

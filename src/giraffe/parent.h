@@ -51,6 +51,9 @@ struct ParentParams
     /** Supervise workers with a watchdog thread. */
     bool watchdog = false;
     sched::WatchdogParams watchdogParams;
+    /** Graceful-stop flag (SIGTERM/SIGINT): once set, no new batch is
+     *  dispatched; running batches finish.  Null disables. */
+    const std::atomic<bool>* stopFlag = nullptr;
 };
 
 /** Everything a parent run produces. */
@@ -77,6 +80,9 @@ struct ParentOutputs
     std::vector<sched::WatchdogEvent> watchdogEvents;
     /** Wall-clock seconds of the whole mapping run. */
     double wallSeconds = 0.0;
+    /** The stop flag fired during the run; unvisited reads are unmapped
+     *  placeholders in `alignments`. */
+    bool stopped = false;
 };
 
 /** The emulated parent application. */

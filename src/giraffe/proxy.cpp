@@ -81,6 +81,7 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     auto scheduler = sched::makeScheduler(params_.scheduler);
     sched::SchedStats sched_stats;
     scheduler->bindStats(&sched_stats);
+    scheduler->bindStop(params_.stopFlag);
     outputs.failures = sched::runGuarded(
         *scheduler, n, params_.batchSize, params_.numThreads,
         [&](size_t thread, size_t begin, size_t end) {
@@ -126,6 +127,19 @@ ProxyRunner::run(const io::SeedCapture& capture, perf::Profiler* profiler,
     watchdog.stop();
     outputs.failures.watchdogCancels = watchdog.events().size();
     outputs.watchdogEvents = watchdog.events();
+    outputs.stopped = params_.stopFlag != nullptr &&
+                      params_.stopFlag->load(std::memory_order_acquire);
+    if (outputs.stopped) {
+        // Chunks the stop flag kept from dispatching left their slots
+        // default-constructed; name them so the dump still carries one
+        // record per read (seen as missing, not absent).
+        for (size_t i = 0; i < n; ++i) {
+            if (outputs.extensions[i].readName.empty()) {
+                outputs.extensions[i].readName =
+                    capture.entries[i].read.name;
+            }
+        }
+    }
 
     // Quarantined reads keep their name in the dump (with no extensions)
     // so the functional validation sees them as missing, not absent.

@@ -39,6 +39,9 @@ struct ProxyParams
     /** Supervise workers with a watchdog thread. */
     bool watchdog = false;
     sched::WatchdogParams watchdogParams;
+    /** Graceful-stop flag (SIGTERM/SIGINT): once set, no new batch is
+     *  dispatched; running batches finish.  Null disables. */
+    const std::atomic<bool>* stopFlag = nullptr;
 };
 
 /** Outputs of one proxy run. */
@@ -59,6 +62,8 @@ struct ProxyOutputs
     double wallSeconds = 0.0;
     /** Reads that produced a mapping attempt (quarantined reads excluded). */
     uint64_t readsMapped = 0;
+    /** The stop flag fired during the run. */
+    bool stopped = false;
 };
 
 /** miniGiraffe: maps a capture through the critical functions. */

@@ -74,6 +74,7 @@ summaryJson(const ProxyOutputs& outputs, const ProxyParams& params)
         total_extensions += entry.extensions.size();
     }
     w.field("extensions", total_extensions);
+    w.field("stopped", outputs.stopped);
     writeCache(w, outputs.cacheStats);
     writeResilience(w, outputs.resilience);
     writeFailures(w, outputs.failures);
@@ -99,6 +100,7 @@ summaryJson(const ParentOutputs& outputs, const ParentParams& params)
         }
     }
     w.field("reads_mapped", mapped);
+    w.field("stopped", outputs.stopped);
     if (!outputs.pairs.empty()) {
         uint64_t proper = 0;
         for (const PairResult& pair : outputs.pairs) {
@@ -136,6 +138,7 @@ summaryJson(const CheckpointRunResult& result,
     w.field("mapped_reads", result.mappedReads);
     w.field("dropped_shards", result.droppedShards);
     w.field("gaf_bytes", static_cast<uint64_t>(result.gaf.size()));
+    w.field("stopped", result.stopped);
     writeCache(w, result.cacheStats);
     writeResilience(w, result.resilience);
     writeFailures(w, result.failures);

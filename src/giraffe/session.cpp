@@ -1,0 +1,100 @@
+#include "giraffe/session.h"
+
+#include "io/gaf.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace mg::giraffe {
+
+MapSession::MapSession(const graph::VariationGraph& graph,
+                       const gbwt::Gbwt& gbwt,
+                       const index::MinimizerIndex& minimizers,
+                       const index::DistanceIndex& distance,
+                       SessionParams params)
+    : graph_(graph), params_(params),
+      mapper_(graph, gbwt, minimizers, distance, params.mapper),
+      states_(params.workers)
+{
+    MG_CHECK(params_.workers > 0, "session needs at least one worker");
+}
+
+map::MapperState&
+MapSession::workerState(size_t worker, obs::Hub* hub)
+{
+    MG_ASSERT(worker < states_.size());
+    if (!states_[worker]) {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        if (!states_[worker]) {
+            auto state = mapper_.makeState();
+            if (hub != nullptr) {
+                state->metrics = hub->slab(worker);
+                state->metricIds = &hub->map();
+                state->flight = hub->flight().ring(worker);
+            }
+            states_[worker] = std::move(state);
+        }
+    }
+    return *states_[worker];
+}
+
+SessionResult
+MapSession::map(size_t worker, const std::vector<map::Read>& reads,
+                const resilience::WorkBudget& budget,
+                sched::HeartbeatBoard* board, obs::Hub* hub,
+                resilience::CancelToken* token)
+{
+    map::MapperState& state = workerState(worker, hub);
+
+    // The request's wall budget becomes one absolute deadline shared by
+    // all of its reads: the Nth read does not get a fresh clock.
+    const uint64_t deadline_nanos =
+        budget.wallSeconds > 0.0
+            ? util::nowNanos() +
+                  static_cast<uint64_t>(budget.wallSeconds * 1e9)
+            : 0;
+    if (board != nullptr) {
+        token = &board->slot(worker).token;
+        board->beginBatch(worker, 0, reads.size());
+    }
+    state.budget.configure(budget, deadline_nanos, token);
+
+    SessionResult result;
+    result.gaf.reserve(reads.size() * 96);
+    for (size_t i = 0; i < reads.size(); ++i) {
+        if (board != nullptr) {
+            board->beat(worker);
+        }
+        if (state.flight != nullptr) {
+            state.flight->begin(i);
+        }
+        const map::Read& read = reads[i];
+        util::WallTimer read_timer;
+        map::MapResult mapped = mapper_.mapRead(read, state);
+        Alignment alignment =
+            postProcess(read.name, mapped.extensions, params_.post);
+        alignment.degraded = mapped.degraded;
+        result.gaf += io::formatGafLine(alignment, read, graph_);
+        result.gaf += '\n';
+        if (alignment.mapped) {
+            ++result.mappedReads;
+        }
+        if (mapped.degraded != resilience::CancelReason::None) {
+            ++result.degradedReads;
+        }
+        result.stats.countDegraded(mapped.degraded);
+        result.stats.latency.record(read_timer.nanos());
+        if (state.flight != nullptr) {
+            state.flight->done();
+        }
+    }
+
+    if (hub != nullptr) {
+        state.flushMetrics();
+    }
+    if (board != nullptr) {
+        board->endBatch(worker);
+    }
+    return result;
+}
+
+} // namespace mg::giraffe

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Session-oriented mapping: one MapSession holds one loaded index set
+ * (graph + GBWT + minimizer + distance) and serves many small mapping
+ * requests against it — the daemon-shaped entry point, where
+ * ParentEmulator::run is the batch-shaped one.  Differences that matter:
+ *
+ *  - Per-worker MapperState persists *across requests* (the whole point
+ *    of a daemon: indexes load once, scratch stays warm), instead of
+ *    being created per run.
+ *  - Each request carries its own WorkBudget; the wall deadline is made
+ *    absolute at request start, so every read of the request shares one
+ *    cutoff and an over-budget request returns best-so-far degraded GAF
+ *    (tagged dg:Z:) instead of hanging.
+ *  - No scheduler: a request is mapped start-to-finish by the one worker
+ *    that dequeued it.  Cross-request parallelism comes from the daemon's
+ *    worker pool, which matches the service shape (many small requests)
+ *    better than intra-request batching would.
+ *
+ * Thread safety: map() is safe concurrently for *distinct* worker
+ * indexes; two concurrent calls with the same index race on that
+ * worker's state.
+ */
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "giraffe/alignment.h"
+#include "map/mapper.h"
+#include "obs/hub.h"
+#include "resilience/budget.h"
+#include "sched/watchdog.h"
+
+namespace mg::giraffe {
+
+/** Session configuration. */
+struct SessionParams
+{
+    map::MapperParams mapper;
+    PostProcessParams post;
+    /** Worker slots (distinct MapperStates) the session must support. */
+    size_t workers = 1;
+};
+
+/** What one request's mapping produced. */
+struct SessionResult
+{
+    /** GAF text, one line per read; degraded reads carry dg:Z tags. */
+    std::string gaf;
+    /** Reads that produced an alignment. */
+    uint64_t mappedReads = 0;
+    /** Reads cut short by the budget/watchdog (best-so-far output). */
+    uint64_t degradedReads = 0;
+    /** Degradation reasons + per-read latency for this request only. */
+    resilience::ResilienceStats stats;
+};
+
+/** One loaded index set serving many mapping requests. */
+class MapSession
+{
+  public:
+    MapSession(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+               const index::MinimizerIndex& minimizers,
+               const index::DistanceIndex& distance, SessionParams params);
+
+    size_t workers() const { return params_.workers; }
+    const SessionParams& params() const { return params_; }
+    const map::Mapper& mapper() const { return mapper_; }
+
+    /**
+     * Map one request's reads on worker slot `worker`.
+     *
+     * The budget is rebound per request (wallSeconds becomes an absolute
+     * deadline sampled now).  When `board` is non-null the worker follows
+     * the heartbeat protocol — beginBatch re-arms its CancelToken, every
+     * read beats, endBatch parks the slot — so a daemon watchdog can
+     * cancel a stalled request cooperatively.  Without a board, `token`
+     * (may be null) is used directly and never reset, which is what
+     * deterministic tests want.
+     */
+    SessionResult map(size_t worker, const std::vector<map::Read>& reads,
+                      const resilience::WorkBudget& budget,
+                      sched::HeartbeatBoard* board = nullptr,
+                      obs::Hub* hub = nullptr,
+                      resilience::CancelToken* token = nullptr);
+
+  private:
+    map::MapperState& workerState(size_t worker, obs::Hub* hub);
+
+    const graph::VariationGraph& graph_;
+    SessionParams params_;
+    map::Mapper mapper_;
+    std::mutex stateMutex_;
+    std::vector<std::unique_ptr<map::MapperState>> states_;
+};
+
+} // namespace mg::giraffe

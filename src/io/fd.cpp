@@ -1,0 +1,130 @@
+#include "io/fd.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/status.h"
+
+namespace mg::io {
+
+namespace {
+
+[[noreturn]] void
+netFail(const std::string& path, std::string message)
+{
+    util::Status status;
+    status.code = util::StatusCode::IoError;
+    status.message = std::move(message);
+    status.message += ": ";
+    status.message += std::strerror(errno);
+    status.file = path;
+    util::throwStatus(std::move(status));
+}
+
+/** Fill a sockaddr_un; Unix socket paths have a hard kernel limit. */
+sockaddr_un
+unixAddress(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        util::Status status;
+        status.code = util::StatusCode::InvalidArgument;
+        status.message = "unix socket path longer than sun_path";
+        status.file = path;
+        util::throwStatus(std::move(status));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+ssize_t
+readFull(int fd, void* buf, size_t n) noexcept
+{
+    uint8_t* dst = static_cast<uint8_t*>(buf);
+    size_t done = 0;
+    while (done < n) {
+        ssize_t got = ::read(fd, dst + done, n - done);
+        if (got < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return -1;
+        }
+        if (got == 0) {
+            break; // EOF
+        }
+        done += static_cast<size_t>(got);
+    }
+    return static_cast<ssize_t>(done);
+}
+
+ssize_t
+writeFull(int fd, const void* buf, size_t n) noexcept
+{
+    const uint8_t* src = static_cast<const uint8_t*>(buf);
+    size_t done = 0;
+    while (done < n) {
+        ssize_t put = ::write(fd, src + done, n - done);
+        if (put < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return -1;
+        }
+        done += static_cast<size_t>(put);
+    }
+    return static_cast<ssize_t>(n);
+}
+
+int
+listenUnix(const std::string& path, int backlog)
+{
+    sockaddr_un addr = unixAddress(path);
+    // The daemon owns its endpoint: a stale socket file from a previous
+    // (crashed) instance must not block startup.
+    ::unlink(path.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        netFail(path, "cannot create unix socket");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        netFail(path, "cannot bind unix socket");
+    }
+    if (::listen(fd, backlog) != 0) {
+        ::close(fd);
+        netFail(path, "cannot listen on unix socket");
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string& path)
+{
+    sockaddr_un addr = unixAddress(path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        netFail(path, "cannot create unix socket");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        netFail(path, "cannot connect to unix socket");
+    }
+    return fd;
+}
+
+void
+ignoreSigpipe() noexcept
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+} // namespace mg::io

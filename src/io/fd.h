@@ -1,0 +1,56 @@
+/**
+ * @file
+ * EINTR- and partial-transfer-safe file-descriptor primitives, plus the
+ * Unix-domain socket plumbing the serving layer is built on.  Raw
+ * ::read/::write on a pipe or socket may transfer fewer bytes than asked
+ * (or nothing at all, with errno == EINTR, when a signal lands) — every
+ * fd consumer in this repository goes through readFull/writeFull so that
+ * a drain signal arriving mid-transfer can never tear a frame or a
+ * checkpoint image.
+ *
+ * The two *Full primitives are noexcept and allocation-free: they are
+ * safe to call from signal handlers (the flight recorder's crash dump)
+ * and from destructor-driven cleanup paths.  The socket helpers throw
+ * mg::util::StatusError with IoError provenance like the rest of io.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+namespace mg::io {
+
+/**
+ * Read exactly `n` bytes into `buf` unless the stream ends first.
+ * Retries EINTR and short reads.  Returns the byte count actually read
+ * (== n unless EOF arrived earlier; 0 means EOF before the first byte),
+ * or -1 with errno set on a real error.
+ */
+ssize_t readFull(int fd, void* buf, size_t n) noexcept;
+
+/**
+ * Write exactly `n` bytes from `buf`.  Retries EINTR and short writes.
+ * Returns n on success or -1 with errno set (EPIPE on a peer that went
+ * away — callers decide whether that is an error or a logged shed).
+ */
+ssize_t writeFull(int fd, const void* buf, size_t n) noexcept;
+
+/**
+ * Create, bind, and listen on a Unix-domain stream socket at `path`
+ * (an existing socket file is removed first — the daemon owns its
+ * endpoint).  Returns the listening fd; throws StatusError on failure.
+ */
+int listenUnix(const std::string& path, int backlog = 16);
+
+/** Connect to a Unix-domain stream socket; throws StatusError. */
+int connectUnix(const std::string& path);
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent).  A serving process must see
+ * a peer that disappeared as EPIPE from writeFull, not as a process-
+ * killing signal.
+ */
+void ignoreSigpipe() noexcept;
+
+} // namespace mg::io

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "fault/fault.h"
+#include "io/fd.h"
 #include "util/common.h"
 #include "util/status.h"
 
@@ -83,15 +84,11 @@ writeFileBytesDurable(const std::string& path,
     if (fd < 0) {
         ioFail(tmp, "cannot open temp file for durable write");
     }
-    size_t written = 0;
-    while (written < bytes.size()) {
-        ssize_t n = ::write(fd, bytes.data() + written,
-                            bytes.size() - written);
-        if (n < 0) {
-            ::close(fd);
-            ioFail(tmp, "write failed during durable write");
-        }
-        written += static_cast<size_t>(n);
+    // EINTR/partial-write-safe: a drain signal landing mid-flush must not
+    // tear the checkpoint image (io::writeFull retries both).
+    if (writeFull(fd, bytes.data(), bytes.size()) < 0) {
+        ::close(fd);
+        ioFail(tmp, "write failed during durable write");
     }
     if (::fsync(fd) != 0) {
         ::close(fd);

@@ -130,13 +130,18 @@ namespace {
 
 std::atomic<const FlightRecorder*> g_crash_recorder{nullptr};
 
-/** write(2) the whole buffer; best effort, async-signal-safe. */
+/** write(2) the whole buffer; best effort, async-signal-safe.  Retries
+ *  EINTR and short writes like io::writeFull (not usable here: obs sits
+ *  below io in the library layering). */
 void
 rawWrite(const char* text, size_t len)
 {
     size_t done = 0;
     while (done < len) {
         ssize_t n = ::write(STDERR_FILENO, text + done, len - done);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
         if (n <= 0) {
             return;
         }

@@ -3,6 +3,11 @@
 namespace mg::obs {
 
 Hub::Hub(size_t workers, size_t flight_ring_size)
+    : Hub(workers, std::vector<std::string>{}, flight_ring_size)
+{}
+
+Hub::Hub(size_t workers, const std::vector<std::string>& serve_tenants,
+         size_t flight_ring_size)
     : flight_(workers, flight_ring_size)
 {
     map_.reads = registry_.counter("mg_map_reads_total",
@@ -93,6 +98,49 @@ Hub::Hub(size_t workers, size_t flight_ring_size)
     checkpoint_.flushNanos =
         registry_.counter("mg_checkpoint_flush_ns_total",
                           "Wall time spent in checkpoint flushes");
+
+    serve_.requests =
+        registry_.counter("mg_serve_requests_total",
+                          "Frames decoded into mapping requests");
+    serve_.badFrames =
+        registry_.counter("mg_serve_bad_frames_total",
+                          "Frames rejected at the protocol layer");
+    serve_.drains = registry_.counter("mg_serve_drains_total",
+                                      "Graceful drains started");
+    serve_.drainShed =
+        registry_.counter("mg_serve_drain_shed_total",
+                          "Queued requests shed at the drain deadline");
+    serve_.drainForced =
+        registry_.counter("mg_serve_drain_forced_total",
+                          "In-flight requests force-degraded at the "
+                          "drain deadline");
+    serve_.queueDepth = registry_.gauge("mg_serve_queue_depth_peak",
+                                        "Peak request-queue depth");
+    serve_.tenants = serve_tenants;
+    serve_.perTenant.reserve(serve_tenants.size());
+    for (const std::string& tenant : serve_tenants) {
+        ServeTenantMetricIds ids;
+        auto named = [&tenant](const char* stem) {
+            return std::string(stem) + "{tenant=\"" + tenant + "\"}";
+        };
+        ids.accepted = registry_.counter(
+            named("mg_serve_accepted_total"),
+            "Requests admitted past admission control");
+        ids.shed = registry_.counter(
+            named("mg_serve_shed_total"),
+            "Requests rejected with RETRY_AFTER");
+        ids.completed = registry_.counter(
+            named("mg_serve_completed_total"), "Requests answered Ok");
+        ids.degraded = registry_.counter(
+            named("mg_serve_degraded_total"),
+            "Ok responses containing degraded reads");
+        ids.errors = registry_.counter(named("mg_serve_errors_total"),
+                                       "Requests answered Error");
+        ids.latency = registry_.histogram(
+            named("mg_serve_request_latency_ns"),
+            "Admission-to-response latency");
+        serve_.perTenant.push_back(ids);
+    }
 }
 
 } // namespace mg::obs

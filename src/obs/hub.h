@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -69,12 +71,58 @@ struct CheckpointMetricIds
     CounterId flushNanos;
 };
 
+/** Serving-plane ids for one tenant (label baked into the name). */
+struct ServeTenantMetricIds
+{
+    /** Requests admitted past admission control. */
+    CounterId accepted;
+    /** Requests rejected with RETRY_AFTER (backpressure). */
+    CounterId shed;
+    /** Requests answered Ok. */
+    CounterId completed;
+    /** Ok responses containing at least one dg:Z-degraded read. */
+    CounterId degraded;
+    /** Requests answered Error (malformed, mapping failure, dead peer). */
+    CounterId errors;
+    /** Admission-to-response latency (the SLO histogram). */
+    HistogramId latency;
+};
+
+/** Daemon-wide serving ids plus the per-tenant sets. */
+struct ServeMetricIds
+{
+    /** Tenant names, index-aligned with perTenant. */
+    std::vector<std::string> tenants;
+    std::vector<ServeTenantMetricIds> perTenant;
+    /** Frames decoded into requests (before admission). */
+    CounterId requests;
+    /** Frames rejected at the protocol layer (magic/CRC/decode). */
+    CounterId badFrames;
+    /** Graceful drains started. */
+    CounterId drains;
+    /** Queued requests shed at the drain deadline (ShuttingDown). */
+    CounterId drainShed;
+    /** Requests force-degraded past the drain deadline. */
+    CounterId drainForced;
+    /** Peak request-queue depth (max-aggregated gauge). */
+    GaugeId queueDepth;
+};
+
 class Hub
 {
   public:
     explicit Hub(size_t workers,
                  size_t flight_ring_size =
                      FlightRecorder::kDefaultRingSize);
+
+    /**
+     * Hub for a serving daemon: additionally registers the serving-plane
+     * metrics, one labelled set per tenant name, before the layout
+     * freezes.  Tenant order is preserved; serve().perTenant is
+     * index-aligned with `serve_tenants`.
+     */
+    Hub(size_t workers, const std::vector<std::string>& serve_tenants,
+        size_t flight_ring_size = FlightRecorder::kDefaultRingSize);
 
     Registry& registry() { return registry_; }
     const Registry& registry() const { return registry_; }
@@ -84,6 +132,7 @@ class Hub
     const MapMetricIds& map() const { return map_; }
     const SchedMetricIds& sched() const { return sched_; }
     const CheckpointMetricIds& checkpoint() const { return checkpoint_; }
+    const ServeMetricIds& serve() const { return serve_; }
 
     /** Shorthand for registry().registerThread(worker). */
     Registry::ThreadSlab*
@@ -98,6 +147,7 @@ class Hub
     MapMetricIds map_;
     SchedMetricIds sched_;
     CheckpointMetricIds checkpoint_;
+    ServeMetricIds serve_;
 };
 
 } // namespace mg::obs

@@ -24,6 +24,12 @@ OmpDynamicScheduler::run(size_t total, size_t batch_size, size_t num_threads,
 #pragma omp parallel for schedule(dynamic, 1) \
     num_threads(static_cast<int>(num_threads))
     for (int64_t batch = 0; batch < num_batches; ++batch) {
+        // Graceful stop: skip batches not yet started.  The loop itself
+        // must still run to completion (OpenMP worksharing forbids
+        // breaking out), but skipped iterations are essentially free.
+        if (stopRequested()) {
+            continue;
+        }
         size_t begin = static_cast<size_t>(batch) * batch_size;
         size_t end = std::min(total, begin + batch_size);
         trap.guard([&] {

@@ -107,8 +107,26 @@ class Scheduler
      */
     void bindStats(SchedStats* stats) { stats_ = stats; }
 
+    /**
+     * Attach a graceful-stop flag (nullptr detaches).  Once the flag is
+     * true, no *new* batch is dispatched; batches already running finish
+     * normally (a batch is the unit of graceful stop, matching the apps'
+     * SIGTERM contract: finish the current batch, then wind down).  The
+     * caller can tell how far the run got from which items its BatchFn
+     * actually visited — e.g. the checkpoint manifest's spans.
+     */
+    void bindStop(const std::atomic<bool>* stop) { stop_ = stop; }
+
   protected:
+    /** True once the bound stop flag (if any) fired. */
+    bool
+    stopRequested() const
+    {
+        return stop_ != nullptr && stop_->load(std::memory_order_acquire);
+    }
+
     SchedStats* stats_ = nullptr;
+    const std::atomic<bool>* stop_ = nullptr;
 };
 
 /** Factory for the policy enum. */

@@ -30,6 +30,9 @@ StaticScheduler::run(size_t total, size_t batch_size, size_t num_threads,
         size_t begin = self * base + std::min(self, extra);
         size_t end = begin + base + (self < extra ? 1 : 0);
         for (size_t chunk = begin; chunk < end; chunk += batch_size) {
+            if (stopRequested()) {
+                break; // graceful stop: no new chunks
+            }
             size_t chunk_end = std::min(end, chunk + batch_size);
             trap.guard([&] { fn(self, chunk, chunk_end); });
         }

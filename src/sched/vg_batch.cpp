@@ -82,6 +82,9 @@ VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     if (num_threads == 1) {
         // Degenerate case: the main thread maps everything itself.
         for (size_t begin = 0; begin < total; begin += batch_size) {
+            if (stopRequested()) {
+                break; // graceful stop: no new batches
+            }
             size_t end = std::min(total, begin + batch_size);
             trap.guard([&] { fn(0, begin, end); });
         }
@@ -104,6 +107,9 @@ VgBatchScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     }
 
     for (size_t begin = 0; begin < total; begin += batch_size) {
+        if (stopRequested()) {
+            break; // graceful stop: dispatch nothing further
+        }
         size_t end = std::min(total, begin + batch_size);
         if (!queue.tryPush(begin, end, stats_)) {
             // All workers busy and the queue full: the scheduler thread

@@ -54,6 +54,9 @@ WorkStealingScheduler::run(size_t total, size_t batch_size,
             Share& share = shares[victim];
             bool did_work = false;
             while (true) {
+                if (stopRequested()) {
+                    break; // graceful stop: no new chunks
+                }
                 size_t chunk =
                     share.cursor.fetch_add(batch_size,
                                            std::memory_order_relaxed);

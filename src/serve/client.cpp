@@ -1,0 +1,190 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <fstream>
+
+#include "io/fd.h"
+#include "util/common.h"
+
+namespace mg::serve {
+
+namespace {
+
+util::Status
+exhaustedStatus(uint32_t attempts, const char* why)
+{
+    util::Status status;
+    status.code = util::StatusCode::ResourceExhausted;
+    status.message = util::cat("gave up after ", attempts, " attempts (",
+                               why, ")");
+    return status;
+}
+
+} // namespace
+
+Client::Client(ClientParams params)
+    : params_(std::move(params)), rng_(params_.seed)
+{
+    io::ignoreSigpipe();
+    if (!params_.capturePrefix.empty()) {
+        // Truncate stale captures so a rerun starts a fresh stream.
+        std::ofstream(params_.capturePrefix + ".mgreq",
+                      std::ios::binary | std::ios::trunc);
+        std::ofstream(params_.capturePrefix + ".mgresp",
+                      std::ios::binary | std::ios::trunc);
+    }
+}
+
+Client::~Client()
+{
+    disconnect();
+}
+
+util::Status
+Client::ensureConnected()
+{
+    if (fd_ >= 0) {
+        return util::Status{};
+    }
+    try {
+        fd_ = io::connectUnix(params_.socketPath);
+    } catch (const util::StatusError& err) {
+        return err.status();
+    }
+    return util::Status{};
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Client::capture(const std::string& path,
+                const std::vector<uint8_t>& payload)
+{
+    std::vector<uint8_t> frame = frameBytes(payload);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+}
+
+uint32_t
+Client::backoffMillis(uint32_t attempt, uint32_t retry_after)
+{
+    // Capped exponential backoff with full jitter, floored at the
+    // server's RETRY_AFTER hint: the server knows its queue depth.
+    uint64_t exp = params_.backoffBaseMillis;
+    for (uint32_t i = 0; i < attempt && exp < params_.backoffCapMillis;
+         ++i) {
+        exp *= 2;
+    }
+    if (exp > params_.backoffCapMillis) {
+        exp = params_.backoffCapMillis;
+    }
+    uint64_t jittered = rng_.uniform(exp + 1);
+    if (jittered < retry_after) {
+        jittered = retry_after;
+    }
+    return static_cast<uint32_t>(jittered);
+}
+
+util::Status
+Client::call(const Request& request, Response& out)
+{
+    util::Status status = ensureConnected();
+    if (!status.ok()) {
+        return status;
+    }
+    std::vector<uint8_t> payload = encodeRequest(request);
+    if (!params_.capturePrefix.empty()) {
+        capture(params_.capturePrefix + ".mgreq", payload);
+    }
+    status = writeFrame(fd_, payload);
+    if (!status.ok()) {
+        disconnect();
+        return status;
+    }
+    ++stats_.sent;
+    std::vector<uint8_t> reply;
+    status = readFrame(fd_, reply);
+    if (!status.ok()) {
+        disconnect();
+        return status;
+    }
+    util::Status decoded = decodeResponse(reply, out);
+    if (!decoded.ok()) {
+        disconnect();
+        return decoded;
+    }
+    if (!params_.capturePrefix.empty()) {
+        capture(params_.capturePrefix + ".mgresp", reply);
+    }
+    return util::Status{};
+}
+
+util::Status
+Client::mapReads(const std::string& tenant,
+                 const std::vector<map::Read>& reads,
+                 const resilience::WorkBudget& budget, Response& out)
+{
+    Request request;
+    request.id = nextId();
+    request.tenant = tenant;
+    request.deadlineMicros =
+        budget.wallSeconds > 0.0
+            ? static_cast<uint64_t>(budget.wallSeconds * 1e6)
+            : 0;
+    request.maxExtendSteps = budget.maxExtendSteps;
+    request.maxGbwtLookups = budget.maxGbwtLookups;
+    request.reads = reads;
+
+    for (uint32_t attempt = 0; attempt < params_.maxAttempts; ++attempt) {
+        util::Status status = call(request, out);
+        uint32_t retry_after = 0;
+        const char* why = "transport failure";
+        if (status.ok()) {
+            switch (out.status) {
+              case ResponseStatus::Ok:
+                ++stats_.ok;
+                return util::Status{};
+              case ResponseStatus::Error:
+                // Protocol-level failure: retrying an Error will not
+                // change the answer, so surface it immediately.
+                ++stats_.errors;
+                return util::Status{};
+              case ResponseStatus::RetryAfter:
+                ++stats_.shed;
+                retry_after = out.retryAfterMillis;
+                why = "shed with RETRY_AFTER";
+                break;
+              case ResponseStatus::ShuttingDown:
+                ++stats_.shuttingDown;
+                retry_after = out.retryAfterMillis;
+                why = "server shutting down";
+                break;
+            }
+        } else {
+            ++stats_.reconnects;
+        }
+        if (attempt + 1 >= params_.maxAttempts) {
+            ++stats_.exhausted;
+            return exhaustedStatus(params_.maxAttempts, why);
+        }
+        ++stats_.retries;
+        ::usleep(backoffMillis(attempt, retry_after) * 1000u);
+        // Each attempt is a fresh request id: ids stay strictly monotone
+        // on the wire (what mg_verify checks) and every id maps to
+        // exactly one response.
+        request.id = nextId();
+    }
+    ++stats_.exhausted;
+    return exhaustedStatus(params_.maxAttempts, "no attempts made");
+}
+
+} // namespace mg::serve

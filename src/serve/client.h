@@ -1,0 +1,96 @@
+/**
+ * @file
+ * mgd client: connects to the daemon's Unix socket, frames requests, and
+ * retries rejected or failed calls with capped exponential backoff plus
+ * jitter, honoring the server's RETRY_AFTER hint as the floor — the
+ * client half of the backpressure contract (a shed client that retries
+ * immediately defeats admission control).
+ *
+ * Optionally captures every request frame sent to `<prefix>.mgreq` and
+ * every response frame received to `<prefix>.mgresp` (frames
+ * back-to-back), which mg_verify validates offline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resilience/budget.h"
+#include "serve/frame.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mg::serve {
+
+/** Client behavior knobs. */
+struct ClientParams
+{
+    std::string socketPath;
+    /** Attempts per call (first try + retries). */
+    uint32_t maxAttempts = 8;
+    /** Exponential backoff base; doubles per retry. */
+    uint32_t backoffBaseMillis = 10;
+    /** Backoff ceiling. */
+    uint32_t backoffCapMillis = 2000;
+    /** Jitter RNG seed (deterministic tests want a fixed one). */
+    uint64_t seed = 1;
+    /** When non-empty, capture frames to <prefix>.mgreq / .mgresp. */
+    std::string capturePrefix;
+};
+
+/** What a client saw across its lifetime (loadgen reporting). */
+struct ClientStats
+{
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    uint64_t shuttingDown = 0;
+    uint64_t errors = 0;
+    uint64_t reconnects = 0;
+    uint64_t retries = 0;
+    uint64_t exhausted = 0;
+};
+
+class Client
+{
+  public:
+    explicit Client(ClientParams params);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /**
+     * Map reads under one tenant + budget.  Retries RETRY_AFTER /
+     * ShuttingDown / transport failures with backoff; returns Ok with
+     * the final response (which may itself be Error — protocol-level
+     * failures are the caller's to interpret), or ResourceExhausted
+     * once maxAttempts rejections/failures pile up.
+     */
+    util::Status mapReads(const std::string& tenant,
+                          const std::vector<map::Read>& reads,
+                          const resilience::WorkBudget& budget,
+                          Response& out);
+
+    /** One unretried round trip (chaos tests poke the raw path). */
+    util::Status call(const Request& request, Response& out);
+
+    const ClientStats& stats() const { return stats_; }
+    uint64_t nextId() { return nextId_++; }
+
+  private:
+    util::Status ensureConnected();
+    void disconnect();
+    void capture(const std::string& path,
+                 const std::vector<uint8_t>& payload);
+    uint32_t backoffMillis(uint32_t attempt, uint32_t retry_after);
+
+    ClientParams params_;
+    int fd_ = -1;
+    uint64_t nextId_ = 1;
+    util::Rng rng_;
+    ClientStats stats_;
+};
+
+} // namespace mg::serve

@@ -1,0 +1,548 @@
+#include "serve/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/fault.h"
+#include "io/fd.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace mg::serve {
+
+namespace {
+
+/** Default QoS when the operator configures no tenants. */
+std::vector<TenantConfig>
+defaultTenants()
+{
+    TenantConfig config;
+    config.name = "default";
+    return { config };
+}
+
+std::vector<std::string>
+tenantNames(const std::vector<TenantConfig>& tenants)
+{
+    std::vector<std::string> names;
+    names.reserve(tenants.size());
+    for (const TenantConfig& tenant : tenants) {
+        names.push_back(tenant.name);
+    }
+    return names;
+}
+
+} // namespace
+
+Daemon::Connection::~Connection()
+{
+    // Last reference gone (reader exited, no worker holds a job for
+    // this peer): now the fd number can be safely recycled.
+    if (fd >= 0) {
+        ::close(fd);
+    }
+}
+
+Daemon::Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+               const index::MinimizerIndex& minimizers,
+               const index::DistanceIndex& distance, DaemonParams params)
+    : graph_(graph), params_(std::move(params)),
+      hub_(std::make_unique<obs::Hub>(
+          params_.workers + 1,
+          tenantNames(params_.tenants.empty() ? defaultTenants()
+                                              : params_.tenants))),
+      session_(graph, gbwt, minimizers, distance,
+               [&] {
+                   giraffe::SessionParams session = params_.session;
+                   session.workers = params_.workers;
+                   return session;
+               }()),
+      board_(params_.workers)
+{
+    MG_CHECK(params_.workers > 0, "daemon needs at least one worker");
+    MG_CHECK(!params_.socketPath.empty(), "daemon needs a socket path");
+    if (params_.tenants.empty()) {
+        params_.tenants = defaultTenants();
+    }
+    queue_ = std::make_unique<AdmissionQueue<Job>>(
+        params_.queueCapacity, params_.tenants, params_.retryBaseMillis);
+    watchdog_ =
+        std::make_unique<sched::Watchdog>(board_, params_.watchdogParams);
+    watchdog_->attachFlightRecorder(&hub_->flight());
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+obs::Registry::ThreadSlab*
+Daemon::controlSlab()
+{
+    // Control-plane threads (acceptor + readers) share the extra slab
+    // past the workers'.  The cells are atomics, so the multi-writer
+    // sharing is race-free; contention is irrelevant off the hot path.
+    return hub_->slab(params_.workers);
+}
+
+void
+Daemon::start()
+{
+    MG_CHECK(state_.load() == DaemonState::Idle,
+             "daemon started twice");
+    io::ignoreSigpipe();
+    listenFd_ = io::listenUnix(params_.socketPath);
+    MG_CHECK(::pipe(wakePipe_) == 0, "cannot create daemon wake pipe");
+    // Freeze the metric layout before any worker runs.
+    controlSlab();
+    state_.store(DaemonState::Running);
+    if (params_.watchdog) {
+        watchdog_->start();
+    }
+    workers_.reserve(params_.workers);
+    for (size_t w = 0; w < params_.workers; ++w) {
+        workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+    acceptor_ = std::thread([this] { acceptorLoop(); });
+}
+
+void
+Daemon::acceptorLoop()
+{
+    for (;;) {
+        if (state_.load() != DaemonState::Running) {
+            break;
+        }
+        struct pollfd fds[2] = {
+            { listenFd_, POLLIN, 0 },
+            { wakePipe_[0], POLLIN, 0 },
+        };
+        int rc = ::poll(fds, 2, 200);
+        if (state_.load() != DaemonState::Running) {
+            break;
+        }
+        if (rc <= 0 || (fds[0].revents & POLLIN) == 0) {
+            continue; // timeout, EINTR, or just the wake pipe
+        }
+        try {
+            // Fault site: the accept path failing or stalling.
+            fault::inject("serve.accept");
+        } catch (const util::Error&) {
+            controlSlab()->add(hub_->serve().badFrames);
+            continue;
+        }
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            continue; // EINTR/ECONNABORTED: not fatal for a server
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.push_back(conn);
+        readers_.emplace_back(
+            [this, conn]() mutable { readerLoop(std::move(conn)); });
+    }
+    // Draining: close the listen socket *now*, not at stop().  A client
+    // connecting mid-drain would otherwise land in the kernel backlog
+    // with nobody ever accepting — its request written, its read blocked
+    // forever.  Refusing the connect (ECONNREFUSED) turns that hang into
+    // a transport failure the client retries with backoff.
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+Daemon::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::vector<uint8_t> payload;
+    while (conn->open.load()) {
+        util::Status status;
+        try {
+            status = readFrame(conn->fd, payload);
+        } catch (const util::Error&) {
+            // Injected serve.read throw: treat like an I/O failure.
+            closeConnection(*conn);
+            break;
+        }
+        if (!status.ok()) {
+            if (isCleanEof(status) ||
+                status.code == util::StatusCode::IoError) {
+                closeConnection(*conn);
+                break;
+            }
+            // Damaged frame: the stream may be desynchronized, so answer
+            // once (best effort) and drop the connection.
+            controlSlab()->add(hub_->serve().badFrames);
+            Response error;
+            error.status = ResponseStatus::Error;
+            error.message = status.toString();
+            respond(*conn, error);
+            closeConnection(*conn);
+            break;
+        }
+        Request request;
+        util::Status decoded = decodeRequest(payload, request);
+        if (!decoded.ok()) {
+            controlSlab()->add(hub_->serve().badFrames);
+            Response error;
+            error.status = ResponseStatus::Error;
+            error.message = decoded.toString();
+            respond(*conn, error);
+            closeConnection(*conn);
+            break;
+        }
+        try {
+            handleRequest(conn, std::move(request));
+        } catch (const util::Error& err) {
+            // Nothing past this point may kill the daemon; answer and
+            // keep serving the connection.
+            Response error;
+            error.id = request.id;
+            error.status = ResponseStatus::Error;
+            error.message = err.what();
+            respond(*conn, error);
+        }
+    }
+}
+
+void
+Daemon::handleRequest(std::shared_ptr<Connection>& conn,
+                      Request&& request)
+{
+    const obs::ServeMetricIds& serve = hub_->serve();
+    obs::Registry::ThreadSlab* slab = controlSlab();
+    slab->add(serve.requests);
+
+    size_t tenant = request.tenant.empty()
+                        ? 0
+                        : queue_->tenantIndex(request.tenant);
+    if (tenant == SIZE_MAX) {
+        Response error;
+        error.id = request.id;
+        error.status = ResponseStatus::Error;
+        error.message = util::cat("unknown tenant '", request.tenant, "'");
+        respond(*conn, error);
+        return;
+    }
+    const obs::ServeTenantMetricIds& ids = serve.perTenant[tenant];
+
+    if (request.reads.size() > params_.maxReadsPerRequest) {
+        slab->add(ids.errors);
+        Response error;
+        error.id = request.id;
+        error.status = ResponseStatus::Error;
+        error.message =
+            util::cat("request carries ", request.reads.size(),
+                      " reads; limit is ", params_.maxReadsPerRequest);
+        respond(*conn, error);
+        return;
+    }
+
+    if (state_.load() != DaemonState::Running) {
+        slab->add(ids.shed);
+        Response shutdown;
+        shutdown.id = request.id;
+        shutdown.status = ResponseStatus::ShuttingDown;
+        shutdown.retryAfterMillis = params_.retryBaseMillis;
+        respond(*conn, shutdown);
+        return;
+    }
+
+    // Fault site: the enqueue step itself failing.
+    fault::inject("serve.enqueue");
+
+    Job job;
+    job.conn = conn;
+    uint64_t id = request.id;
+    job.request = std::move(request);
+    job.tenant = tenant;
+    job.admittedNanos = util::nowNanos();
+    AdmissionVerdict verdict = queue_->tryPush(tenant, std::move(job));
+    if (verdict.admitted()) {
+        slab->add(ids.accepted);
+        slab->raise(serve.queueDepth, verdict.depth);
+        return;
+    }
+    slab->add(ids.shed);
+    Response shed;
+    shed.id = id;
+    shed.status = verdict.outcome == Admission::Closed
+                      ? ResponseStatus::ShuttingDown
+                      : ResponseStatus::RetryAfter;
+    shed.retryAfterMillis = verdict.retryAfterMillis;
+    respond(*conn, shed);
+}
+
+void
+Daemon::workerLoop(size_t worker)
+{
+    Job job;
+    size_t tenant = 0;
+    while (queue_->pop(job, tenant)) {
+        try {
+            processJob(worker, job);
+        } catch (const util::Error& err) {
+            hub_->slab(worker)->add(
+                hub_->serve().perTenant[tenant].errors);
+            Response error;
+            error.id = job.request.id;
+            error.status = ResponseStatus::Error;
+            error.message = err.what();
+            respond(*job.conn, error);
+        }
+        job.conn.reset();
+        queue_->complete(tenant);
+    }
+}
+
+void
+Daemon::processJob(size_t worker, Job& job)
+{
+    const obs::ServeMetricIds& serve = hub_->serve();
+    const obs::ServeTenantMetricIds& ids = serve.perTenant[job.tenant];
+    obs::Registry::ThreadSlab* slab = hub_->slab(worker);
+
+    // Past the drain deadline, queued work is shed, not mapped: the
+    // drain contract is "finish or degrade within the deadline", and
+    // these requests would start after it.
+    uint64_t drain_deadline = drainDeadlineNanos_.load();
+    if (drain_deadline != 0 && util::nowNanos() >= drain_deadline) {
+        slab->add(ids.shed);
+        slab->add(serve.drainShed);
+        Response shed;
+        shed.id = job.request.id;
+        shed.status = ResponseStatus::ShuttingDown;
+        shed.retryAfterMillis = params_.retryBaseMillis;
+        respond(*job.conn, shed);
+        return;
+    }
+
+    resilience::WorkBudget budget =
+        requestBudget(job.request, params_.maxBudget);
+    giraffe::SessionResult result = session_.map(
+        worker, job.request.reads, budget, &board_, hub_.get());
+
+    Response ok;
+    ok.id = job.request.id;
+    ok.status = ResponseStatus::Ok;
+    ok.mappedReads = result.mappedReads;
+    ok.degradedReads = result.degradedReads;
+    ok.gaf = std::move(result.gaf);
+    if (!respond(*job.conn, ok)) {
+        // The peer vanished mid-request; the work is done but the
+        // response has nowhere to go.  Count it so no request is ever
+        // silently unaccounted for.
+        slab->add(ids.errors);
+        std::fprintf(stderr,
+                     "mgd: response %llu (tenant %s) lost: peer gone\n",
+                     static_cast<unsigned long long>(job.request.id),
+                     queue_->tenant(job.tenant).name.c_str());
+        return;
+    }
+    slab->add(ids.completed);
+    if (result.degradedReads > 0) {
+        slab->add(ids.degraded);
+    }
+    slab->observe(ids.latency, util::nowNanos() - job.admittedNanos);
+}
+
+bool
+Daemon::respond(Connection& conn, const Response& response)
+{
+    if (!conn.open.load()) {
+        return false;
+    }
+    std::vector<uint8_t> payload = encodeResponse(response);
+    std::lock_guard<std::mutex> lock(conn.writeMutex);
+    util::Status status;
+    try {
+        status = writeFrame(conn.fd, payload);
+    } catch (const util::Error&) {
+        closeConnection(conn);
+        return false;
+    }
+    if (!status.ok()) {
+        closeConnection(conn);
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::closeConnection(Connection& conn)
+{
+    // Shut down both directions but leave the close() of the fd to the
+    // Connection destructor: a worker may still hold the shared_ptr and
+    // the fd number must not be recycled under it.
+    bool was_open = conn.open.exchange(false);
+    if (was_open) {
+        ::shutdown(conn.fd, SHUT_RDWR);
+    }
+}
+
+void
+Daemon::requestDrain()
+{
+    DaemonState expected = DaemonState::Running;
+    if (!state_.compare_exchange_strong(expected,
+                                        DaemonState::Draining)) {
+        return; // already draining/stopped
+    }
+    controlSlab()->add(hub_->serve().drains);
+    drainDeadlineNanos_.store(
+        util::nowNanos() +
+        static_cast<uint64_t>(params_.drainDeadlineSeconds * 1e9));
+    // Stop admitting and wake the acceptor out of poll().
+    queue_->close();
+    if (wakePipe_[1] >= 0) {
+        uint8_t byte = 1;
+        (void)io::writeFull(wakePipe_[1], &byte, 1);
+    }
+}
+
+void
+Daemon::stop()
+{
+    if (state_.load() == DaemonState::Idle ||
+        state_.load() == DaemonState::Stopped) {
+        state_.store(DaemonState::Stopped);
+        return;
+    }
+    requestDrain();
+
+    // Drain supervision: give queued + in-flight work until the deadline,
+    // then force — cancel tokens make in-flight requests return degraded
+    // at their next cancellation point, and workers shed what is still
+    // queued with ShuttingDown responses.
+    const uint64_t deadline = drainDeadlineNanos_.load();
+    while (queue_->depth() > 0 || queue_->inFlight() > 0) {
+        if (util::nowNanos() >= deadline) {
+            report_.drainClean = false;
+            controlSlab()->add(hub_->serve().drainForced,
+                               queue_->inFlight());
+            for (size_t w = 0; w < params_.workers; ++w) {
+                board_.slot(w).token.cancel(
+                    resilience::CancelReason::Deadline);
+            }
+            break;
+        }
+        ::usleep(2000);
+    }
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+    workers_.clear();
+    watchdog_->stop();
+
+    // Every response is out; now unblock the readers and the acceptor.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const std::shared_ptr<Connection>& conn : connections_) {
+            closeConnection(*conn);
+        }
+    }
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (std::thread& reader : readers_) {
+            reader.join();
+        }
+        readers_.clear();
+        connections_.clear();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    for (int& fd : wakePipe_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    ::unlink(params_.socketPath.c_str());
+
+    // Final accounting from the registry (counters are already summed
+    // across worker + control slabs by snapshot()).
+    obs::Snapshot snap = hub_->registry().snapshot();
+    const obs::ServeMetricIds& serve = hub_->serve();
+    report_.accepted = 0;
+    report_.completed = 0;
+    report_.shed = 0;
+    report_.errors = 0;
+    for (const std::string& tenant : serve.tenants) {
+        auto named = [&tenant](const char* stem) {
+            return std::string(stem) + "{tenant=\"" + tenant + "\"}";
+        };
+        report_.accepted += snap.valueOf(named("mg_serve_accepted_total"));
+        report_.completed +=
+            snap.valueOf(named("mg_serve_completed_total"));
+        report_.shed += snap.valueOf(named("mg_serve_shed_total"));
+        report_.errors += snap.valueOf(named("mg_serve_errors_total"));
+    }
+    report_.drainShed = snap.valueOf("mg_serve_drain_shed_total");
+    report_.badFrames = snap.valueOf("mg_serve_bad_frames_total");
+    report_.watchdogCancels = watchdog_->events().size();
+    state_.store(DaemonState::Stopped);
+}
+
+std::vector<TenantConfig>
+parseTenantSpec(const std::string& spec)
+{
+    std::vector<TenantConfig> tenants;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        std::string entry =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (entry.empty()) {
+            continue;
+        }
+        TenantConfig config;
+        size_t colon = entry.find(':');
+        config.name = entry.substr(0, colon);
+        MG_CHECK(!config.name.empty(), "tenant spec '", entry,
+                 "' has no name");
+        while (colon != std::string::npos) {
+            size_t next = entry.find(':', colon + 1);
+            std::string field =
+                entry.substr(colon + 1, next == std::string::npos
+                                            ? std::string::npos
+                                            : next - colon - 1);
+            colon = next;
+            size_t eq = field.find('=');
+            MG_CHECK(eq != std::string::npos, "tenant field '", field,
+                     "' is not key=value");
+            std::string key = field.substr(0, eq);
+            std::string text = field.substr(eq + 1);
+            char* end = nullptr;
+            uint64_t value = std::strtoull(text.c_str(), &end, 10);
+            MG_CHECK(end != nullptr && *end == '\0' && !text.empty(),
+                     "tenant field '", field, "' is not a number");
+            if (key == "weight") {
+                config.weight = static_cast<uint32_t>(value);
+            } else if (key == "inflight") {
+                config.maxInFlight = value;
+            } else if (key == "queued") {
+                config.maxQueued = value;
+            } else {
+                MG_CHECK(false, "unknown tenant field '", key, "'");
+            }
+        }
+        tenants.push_back(std::move(config));
+    }
+    return tenants;
+}
+
+} // namespace mg::serve

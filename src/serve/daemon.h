@@ -1,0 +1,194 @@
+/**
+ * @file
+ * mgd — mapping as a service.  One Daemon owns a listening Unix-domain
+ * socket, an acceptor, per-connection reader threads, a bounded
+ * multi-tenant AdmissionQueue, a pool of mapping workers over one shared
+ * MapSession, and a watchdog supervising those workers.
+ *
+ * Request lifecycle:
+ *
+ *   accept -> readFrame -> decodeRequest -> admission (tryPush)
+ *     admitted:  queued; a worker pops it by weighted fair order,
+ *                maps it under its WorkBudget (over-budget reads return
+ *                best-so-far GAF tagged dg:Z:), writes the Ok response.
+ *     rejected:  RETRY_AFTER response written immediately (backpressure
+ *                is explicit, the acceptor never blocks on a full queue).
+ *     draining:  ShuttingDown response; clients move to another instance.
+ *
+ * Graceful drain (SIGTERM/SIGINT via requestDrain, or stop()):
+ *
+ *   Running -> Draining: stop accepting connections, answer new requests
+ *     ShuttingDown, close the queue.  Workers keep finishing queued +
+ *     in-flight requests.
+ *   Draining -> Stopped: when everything drained, or at the drain
+ *     deadline: worker CancelTokens fire (in-flight requests return
+ *     degraded within one cancellation point) and still-queued requests
+ *     are shed with ShuttingDown.  Every admitted request gets a
+ *     response or a logged shed; then sockets close, threads join,
+ *     metrics can be flushed, and the process exits 0.
+ *
+ * Fault sites serve.accept / serve.read / serve.write / serve.enqueue
+ * let the chaos tests inject failures at each boundary; the invariant
+ * under all of them is "the daemon never crashes".
+ */
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "giraffe/session.h"
+#include "obs/hub.h"
+#include "resilience/budget.h"
+#include "sched/watchdog.h"
+#include "serve/frame.h"
+#include "serve/queue.h"
+
+namespace mg::serve {
+
+/** Daemon configuration. */
+struct DaemonParams
+{
+    std::string socketPath;
+    /** Mapping worker threads (and MapSession worker slots). */
+    size_t workers = 2;
+    /** Bound on queued (not yet mapping) requests across all tenants. */
+    size_t queueCapacity = 64;
+    /** Tenant QoS classes; empty means one "default" tenant. */
+    std::vector<TenantConfig> tenants;
+    /** RETRY_AFTER base; grows with queue depth. */
+    uint32_t retryBaseMillis = 25;
+    /** Budget every request is clamped to (0 fields = no ceiling). */
+    resilience::WorkBudget maxBudget;
+    /** Requests carrying more reads than this are answered Error. */
+    size_t maxReadsPerRequest = 4096;
+    /** Seconds drain waits for in-flight + queued work before forcing. */
+    double drainDeadlineSeconds = 5.0;
+    /** Supervise workers; a stalled request is cancelled, not eternal. */
+    bool watchdog = true;
+    sched::WatchdogParams watchdogParams;
+    giraffe::SessionParams session;
+};
+
+/** Daemon lifecycle state. */
+enum class DaemonState : uint8_t
+{
+    Idle = 0,
+    Running,
+    Draining,
+    Stopped,
+};
+
+/** End-of-life accounting (stable after stop() returns). */
+struct DaemonReport
+{
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t drainShed = 0;
+    uint64_t errors = 0;
+    uint64_t badFrames = 0;
+    uint64_t watchdogCancels = 0;
+    /** Drain finished inside the deadline (no forcing needed). */
+    bool drainClean = true;
+};
+
+class Daemon
+{
+  public:
+    Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+           const index::MinimizerIndex& minimizers,
+           const index::DistanceIndex& distance, DaemonParams params);
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /** Bind the socket and start acceptor + workers + watchdog. */
+    void start();
+
+    /**
+     * Begin graceful drain (async-signal-unsafe; call from a thread, not
+     * a signal handler — mgd observes its stop flag and calls this).
+     * Idempotent.
+     */
+    void requestDrain();
+
+    /**
+     * Drain (if not already draining) and block until everything is
+     * down.  Safe to call once after start(); also runs in ~Daemon.
+     */
+    void stop();
+
+    DaemonState state() const { return state_.load(); }
+    obs::Hub& hub() { return *hub_; }
+    const DaemonReport& report() const { return report_; }
+    const DaemonParams& params() const { return params_; }
+
+  private:
+    /** One client connection; workers and the reader share the fd. */
+    struct Connection
+    {
+        ~Connection();
+
+        int fd = -1;
+        /** Serializes response frames (several workers, one stream). */
+        std::mutex writeMutex;
+        std::atomic<bool> open{true};
+    };
+
+    /** One admitted request waiting for (or holding) a worker. */
+    struct Job
+    {
+        std::shared_ptr<Connection> conn;
+        Request request;
+        size_t tenant = 0;
+        uint64_t admittedNanos = 0;
+    };
+
+    void acceptorLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void workerLoop(size_t worker);
+    void handleRequest(std::shared_ptr<Connection>& conn,
+                       Request&& request);
+    void processJob(size_t worker, Job& job);
+    bool respond(Connection& conn, const Response& response);
+    void closeConnection(Connection& conn);
+    obs::Registry::ThreadSlab* controlSlab();
+
+    const graph::VariationGraph& graph_;
+    DaemonParams params_;
+    std::unique_ptr<obs::Hub> hub_;
+    giraffe::MapSession session_;
+    std::unique_ptr<AdmissionQueue<Job>> queue_;
+    sched::HeartbeatBoard board_;
+    std::unique_ptr<sched::Watchdog> watchdog_;
+
+    std::atomic<DaemonState> state_{DaemonState::Idle};
+    /** Absolute drain cutoff (nowNanos domain); 0 until draining. */
+    std::atomic<uint64_t> drainDeadlineNanos_{0};
+
+    int listenFd_ = -1;
+    /** Self-pipe waking the acceptor's poll() for drain. */
+    int wakePipe_[2] = { -1, -1 };
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::vector<std::thread> readers_;
+
+    DaemonReport report_;
+};
+
+/**
+ * Parse "name:weight=3:inflight=8:queued=16,name2,..." into tenant
+ * configs (weight defaults 1, caps default unlimited).  Throws
+ * util::Error on malformed specs.
+ */
+std::vector<TenantConfig> parseTenantSpec(const std::string& spec);
+
+} // namespace mg::serve

@@ -1,0 +1,395 @@
+#include "serve/frame.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.h"
+#include "io/fd.h"
+#include "util/common.h"
+#include "util/crc32.h"
+#include "util/cursor.h"
+#include "util/varint.h"
+
+namespace mg::serve {
+
+namespace {
+
+constexpr uint8_t kFrameMagic[2] = { 'M', 'F' };
+
+/** Most reads a request may carry (mirrors the frame-size defense: a
+ *  corrupt count must not drive a huge allocation before the payload
+ *  bounds catch it). */
+constexpr uint64_t kMaxReadsPerFrame = 1u << 20;
+
+util::Status
+statusOf(util::StatusCode code, std::string message, uint64_t offset = 0)
+{
+    util::Status status;
+    status.code = code;
+    status.message = std::move(message);
+    status.section = "frame";
+    status.offset = offset;
+    return status;
+}
+
+/** Run a ByteCursor decode, converting any StatusError to a Status. */
+template <typename Fn>
+util::Status
+guardedDecode(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const util::StatusError& err) {
+        return err.status();
+    }
+    return util::Status{};
+}
+
+} // namespace
+
+const char*
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::Ok:
+        return "ok";
+      case ResponseStatus::RetryAfter:
+        return "retry-after";
+      case ResponseStatus::Error:
+        return "error";
+      case ResponseStatus::ShuttingDown:
+        return "shutting-down";
+    }
+    return "?";
+}
+
+std::vector<uint8_t>
+encodeRequest(const Request& request)
+{
+    util::ByteWriter writer;
+    writer.putByte(static_cast<uint8_t>(MessageKind::Request));
+    writer.putVarint(request.id);
+    writer.putString(request.tenant);
+    writer.putVarint(request.deadlineMicros);
+    writer.putVarint(request.maxExtendSteps);
+    writer.putVarint(request.maxGbwtLookups);
+    writer.putVarint(request.reads.size());
+    for (const map::Read& read : request.reads) {
+        writer.putString(read.name);
+        writer.putString(read.sequence);
+    }
+    return writer.takeBytes();
+}
+
+std::vector<uint8_t>
+encodeResponse(const Response& response)
+{
+    util::ByteWriter writer;
+    writer.putByte(static_cast<uint8_t>(MessageKind::Response));
+    writer.putVarint(response.id);
+    writer.putByte(static_cast<uint8_t>(response.status));
+    switch (response.status) {
+      case ResponseStatus::Ok:
+        writer.putVarint(response.mappedReads);
+        writer.putVarint(response.degradedReads);
+        writer.putString(response.gaf);
+        break;
+      case ResponseStatus::RetryAfter:
+      case ResponseStatus::ShuttingDown:
+        writer.putVarint(response.retryAfterMillis);
+        break;
+      case ResponseStatus::Error:
+        writer.putString(response.message);
+        break;
+    }
+    return writer.takeBytes();
+}
+
+util::Status
+peekKind(const std::vector<uint8_t>& payload, MessageKind& out)
+{
+    if (payload.empty()) {
+        return statusOf(util::StatusCode::Truncated, "empty payload");
+    }
+    if (payload[0] != static_cast<uint8_t>(MessageKind::Request) &&
+        payload[0] != static_cast<uint8_t>(MessageKind::Response)) {
+        return statusOf(util::StatusCode::Corrupt,
+                        util::cat("unknown message kind ",
+                                  static_cast<int>(payload[0])));
+    }
+    out = static_cast<MessageKind>(payload[0]);
+    return util::Status{};
+}
+
+util::Status
+decodeRequest(const std::vector<uint8_t>& payload, Request& out)
+{
+    return guardedDecode([&] {
+        util::ByteCursor cursor(payload);
+        cursor.enterSection("request");
+        cursor.check(cursor.getByte() ==
+                         static_cast<uint8_t>(MessageKind::Request),
+                     util::StatusCode::Corrupt, "not a request payload");
+        out.id = cursor.getVarint();
+        out.tenant = cursor.getString();
+        out.deadlineMicros = cursor.getVarint();
+        out.maxExtendSteps = cursor.getVarint();
+        out.maxGbwtLookups = cursor.getVarint();
+        uint64_t count = cursor.getVarint();
+        cursor.check(count <= kMaxReadsPerFrame, util::StatusCode::Corrupt,
+                     "request claims ", count, " reads (cap ",
+                     kMaxReadsPerFrame, ")");
+        cursor.check(count <= cursor.remaining(),
+                     util::StatusCode::Truncated,
+                     "read count exceeds remaining payload");
+        out.reads.clear();
+        out.reads.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            map::Read read;
+            read.name = cursor.getString();
+            read.sequence = cursor.getString();
+            out.reads.push_back(std::move(read));
+        }
+        cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                     "trailing bytes after request");
+    });
+}
+
+util::Status
+decodeResponse(const std::vector<uint8_t>& payload, Response& out)
+{
+    return guardedDecode([&] {
+        util::ByteCursor cursor(payload);
+        cursor.enterSection("response");
+        cursor.check(cursor.getByte() ==
+                         static_cast<uint8_t>(MessageKind::Response),
+                     util::StatusCode::Corrupt, "not a response payload");
+        out.id = cursor.getVarint();
+        uint8_t raw = cursor.getByte();
+        cursor.check(raw <= static_cast<uint8_t>(
+                                ResponseStatus::ShuttingDown),
+                     util::StatusCode::Corrupt, "unknown response status ",
+                     static_cast<int>(raw));
+        out.status = static_cast<ResponseStatus>(raw);
+        out.gaf.clear();
+        out.message.clear();
+        out.mappedReads = 0;
+        out.degradedReads = 0;
+        out.retryAfterMillis = 0;
+        switch (out.status) {
+          case ResponseStatus::Ok:
+            out.mappedReads = cursor.getVarint();
+            out.degradedReads = cursor.getVarint();
+            out.gaf = cursor.getString();
+            break;
+          case ResponseStatus::RetryAfter:
+          case ResponseStatus::ShuttingDown:
+            out.retryAfterMillis =
+                static_cast<uint32_t>(cursor.getVarint());
+            break;
+          case ResponseStatus::Error:
+            out.message = cursor.getString();
+            break;
+        }
+        cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                     "trailing bytes after response");
+    });
+}
+
+std::vector<uint8_t>
+frameBytes(const std::vector<uint8_t>& payload)
+{
+    MG_CHECK(payload.size() <= kMaxFramePayload,
+             "frame payload exceeds kMaxFramePayload");
+    std::vector<uint8_t> out;
+    out.reserve(2 + 10 + payload.size() + 4);
+    out.push_back(kFrameMagic[0]);
+    out.push_back(kFrameMagic[1]);
+    util::putVarint(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+    uint32_t crc = util::crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    }
+    return out;
+}
+
+util::Status
+writeFrame(int fd, const std::vector<uint8_t>& payload)
+{
+    std::vector<uint8_t> frame = frameBytes(payload);
+    // Fault site: a failing, stalling, or torn transmit.  A Corrupt or
+    // TornWrite fire mangles the *frame* (not the payload codec), which
+    // is exactly what the receiver's CRC exists to catch.
+    if (auto mangled = fault::corrupted("serve.write", frame)) {
+        frame = std::move(*mangled);
+    }
+    if (io::writeFull(fd, frame.data(), frame.size()) < 0) {
+        return statusOf(util::StatusCode::IoError,
+                        util::cat("frame write failed: ",
+                                  std::strerror(errno)));
+    }
+    return util::Status{};
+}
+
+util::Status
+readFrame(int fd, std::vector<uint8_t>& payload)
+{
+    // Fault site: a stalled or failing peer on the receive path.
+    fault::inject("serve.read");
+
+    uint8_t magic[2];
+    ssize_t got = io::readFull(fd, magic, 2);
+    if (got < 0) {
+        return statusOf(util::StatusCode::IoError,
+                        util::cat("frame read failed: ",
+                                  std::strerror(errno)));
+    }
+    if (got == 0) {
+        // Clean EOF between frames: the peer closed its end.
+        return statusOf(util::StatusCode::Truncated, "eof");
+    }
+    if (got < 2 || magic[0] != kFrameMagic[0] ||
+        magic[1] != kFrameMagic[1]) {
+        return statusOf(util::StatusCode::Corrupt, "bad frame magic");
+    }
+
+    // Varint size, one byte at a time (LEB128, at most 10 bytes).
+    uint64_t size = 0;
+    int shift = 0;
+    for (int i = 0;; ++i) {
+        if (i >= 10) {
+            return statusOf(util::StatusCode::Corrupt,
+                            "overlong frame size varint");
+        }
+        uint8_t byte;
+        got = io::readFull(fd, &byte, 1);
+        if (got < 0) {
+            return statusOf(util::StatusCode::IoError,
+                            util::cat("frame read failed: ",
+                                      std::strerror(errno)));
+        }
+        if (got == 0) {
+            return statusOf(util::StatusCode::Truncated,
+                            "eof inside frame size");
+        }
+        size |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            break;
+        }
+        shift += 7;
+    }
+    if (size > kMaxFramePayload) {
+        return statusOf(util::StatusCode::Corrupt,
+                        util::cat("frame payload of ", size,
+                                  " bytes exceeds cap"));
+    }
+
+    payload.resize(size);
+    if (size > 0) {
+        got = io::readFull(fd, payload.data(), size);
+        if (got < 0) {
+            return statusOf(util::StatusCode::IoError,
+                            util::cat("frame read failed: ",
+                                      std::strerror(errno)));
+        }
+        if (static_cast<uint64_t>(got) < size) {
+            return statusOf(util::StatusCode::Truncated,
+                            "eof inside frame payload");
+        }
+    }
+
+    uint8_t crc_bytes[4];
+    got = io::readFull(fd, crc_bytes, 4);
+    if (got < 0) {
+        return statusOf(util::StatusCode::IoError,
+                        util::cat("frame read failed: ",
+                                  std::strerror(errno)));
+    }
+    if (got < 4) {
+        return statusOf(util::StatusCode::Truncated,
+                        "eof inside frame checksum");
+    }
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+        stored |= static_cast<uint32_t>(crc_bytes[i]) << (8 * i);
+    }
+    uint32_t actual = util::crc32(payload.data(), payload.size());
+    if (stored != actual) {
+        return statusOf(util::StatusCode::ChecksumMismatch,
+                        util::cat("frame checksum mismatch: stored ",
+                                  stored, ", computed ", actual));
+    }
+    return util::Status{};
+}
+
+bool
+isCleanEof(const util::Status& status)
+{
+    return status.code == util::StatusCode::Truncated &&
+           status.message == "eof";
+}
+
+std::vector<std::vector<uint8_t>>
+parseFrameStream(const std::vector<uint8_t>& bytes, std::string_view file)
+{
+    std::vector<std::vector<uint8_t>> payloads;
+    util::ByteCursor cursor(bytes, file);
+    cursor.enterSection("frame-stream");
+    while (!cursor.atEnd()) {
+        uint8_t m0 = cursor.getByte();
+        uint8_t m1 = cursor.getByte();
+        cursor.check(m0 == kFrameMagic[0] && m1 == kFrameMagic[1],
+                     util::StatusCode::Corrupt, "bad frame magic");
+        uint64_t size = cursor.getVarint();
+        cursor.check(size <= kMaxFramePayload, util::StatusCode::Corrupt,
+                     "frame payload of ", size, " bytes exceeds cap");
+        cursor.check(size + 4 <= cursor.remaining(),
+                     util::StatusCode::Truncated,
+                     "frame larger than remaining stream");
+        std::vector<uint8_t> payload(size);
+        cursor.getBytes(payload.data(), size);
+        uint8_t crc_bytes[4];
+        cursor.getBytes(crc_bytes, 4);
+        uint32_t stored = 0;
+        for (int i = 0; i < 4; ++i) {
+            stored |= static_cast<uint32_t>(crc_bytes[i]) << (8 * i);
+        }
+        uint32_t actual = util::crc32(payload.data(), payload.size());
+        cursor.check(stored == actual, util::StatusCode::ChecksumMismatch,
+                     "frame checksum mismatch: stored ", stored,
+                     ", computed ", actual);
+        payloads.push_back(std::move(payload));
+    }
+    return payloads;
+}
+
+resilience::WorkBudget
+requestBudget(const Request& request, const resilience::WorkBudget& ceiling)
+{
+    resilience::WorkBudget budget;
+    budget.wallSeconds =
+        static_cast<double>(request.deadlineMicros) * 1e-6;
+    budget.maxExtendSteps = request.maxExtendSteps;
+    budget.maxGbwtLookups = request.maxGbwtLookups;
+    // Clamp to the operator ceiling: 0 in the request means "unlimited",
+    // which a non-zero ceiling turns into "exactly the ceiling".
+    if (ceiling.wallSeconds > 0.0 &&
+        (budget.wallSeconds <= 0.0 ||
+         budget.wallSeconds > ceiling.wallSeconds)) {
+        budget.wallSeconds = ceiling.wallSeconds;
+    }
+    if (ceiling.maxExtendSteps != 0 &&
+        (budget.maxExtendSteps == 0 ||
+         budget.maxExtendSteps > ceiling.maxExtendSteps)) {
+        budget.maxExtendSteps = ceiling.maxExtendSteps;
+    }
+    if (ceiling.maxGbwtLookups != 0 &&
+        (budget.maxGbwtLookups == 0 ||
+         budget.maxGbwtLookups > ceiling.maxGbwtLookups)) {
+        budget.maxGbwtLookups = ceiling.maxGbwtLookups;
+    }
+    return budget;
+}
+
+} // namespace mg::serve

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The mgd wire protocol: length-prefixed, CRC-framed messages over a
+ * Unix-domain stream socket, reusing the MGZ container's varint + CRC32
+ * conventions so every byte on the wire has the same integrity story as
+ * every byte at rest.
+ *
+ * Frame layout (one message per frame):
+ *
+ *     "MF"                      2-byte frame magic (stream resync anchor)
+ *     varint payload size       bounded by kMaxFramePayload at both ends
+ *     payload bytes             one encoded Request or Response
+ *     uint32 LE CRC32           checksum of the payload bytes
+ *
+ * A frame whose magic, size bound, or CRC fails is *corrupt input from an
+ * untrusted peer*, reported as a total Status (never a throw on the
+ * daemon's accept path): the daemon answers with a structured Error
+ * response when it still can, drops the connection otherwise, and always
+ * stays up.  Fault sites "serve.read" and "serve.write" let the chaos
+ * tests inject torn frames and stalled transfers at exactly this
+ * boundary.
+ *
+ * Captured streams: the client can append every request frame it sends
+ * to a `.mgreq` file and every response frame it receives to a `.mgresp`
+ * file — just frames back to back — which mg_verify can later validate
+ * (CRCs, monotone request ids, every request answered or shed).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/read.h"
+#include "resilience/budget.h"
+#include "util/status.h"
+
+namespace mg::serve {
+
+/** Upper bound on one frame's payload (defense against a hostile or
+ *  corrupt length prefix allocating unbounded memory). */
+inline constexpr uint64_t kMaxFramePayload = 64ull << 20;
+
+/** Message discriminator (first payload byte). */
+enum class MessageKind : uint8_t
+{
+    Request = 1,
+    Response = 2,
+};
+
+/** How the daemon disposed of a request. */
+enum class ResponseStatus : uint8_t
+{
+    /** Mapped; the GAF payload is attached. */
+    Ok = 0,
+    /** Shed by admission control; honor retryAfterMillis before retrying. */
+    RetryAfter = 1,
+    /** The request was malformed or failed; message carries the reason. */
+    Error = 2,
+    /** The daemon is draining; retry against a fresh instance later. */
+    ShuttingDown = 3,
+};
+
+/** Short stable name ("ok", "retry-after", ...). */
+const char* responseStatusName(ResponseStatus status);
+
+/** One mapping request: a batch of reads under one tenant + budget. */
+struct Request
+{
+    uint64_t id = 0;
+    std::string tenant;
+    /** Per-request work budget carried in the header.  wallSeconds is
+     *  derived from deadlineMicros; step/lookup caps ride verbatim. */
+    uint64_t deadlineMicros = 0;
+    uint64_t maxExtendSteps = 0;
+    uint64_t maxGbwtLookups = 0;
+    std::vector<map::Read> reads;
+};
+
+/** One response, paired to its request by id. */
+struct Response
+{
+    uint64_t id = 0;
+    ResponseStatus status = ResponseStatus::Ok;
+    /** Ok: mapped GAF text (degraded reads carry dg:Z tags). */
+    std::string gaf;
+    uint64_t mappedReads = 0;
+    uint64_t degradedReads = 0;
+    /** RetryAfter / ShuttingDown: client-side backoff floor. */
+    uint32_t retryAfterMillis = 0;
+    /** Error: human-readable reason. */
+    std::string message;
+};
+
+/** Encode a message into a frame payload (no frame header/CRC yet). */
+std::vector<uint8_t> encodeRequest(const Request& request);
+std::vector<uint8_t> encodeResponse(const Response& response);
+
+/** Total decoders: malformed payloads produce a non-Ok Status. */
+util::Status decodeRequest(const std::vector<uint8_t>& payload,
+                           Request& out);
+util::Status decodeResponse(const std::vector<uint8_t>& payload,
+                            Response& out);
+
+/** Peek the message kind of a payload (Status on empty/unknown). */
+util::Status peekKind(const std::vector<uint8_t>& payload,
+                      MessageKind& out);
+
+/** Wrap a payload in a complete frame (magic + size + payload + CRC). */
+std::vector<uint8_t> frameBytes(const std::vector<uint8_t>& payload);
+
+/**
+ * Write one frame to `fd` (EINTR/partial-write-safe).  Fault site
+ * "serve.write": Corrupt/Truncate send a deterministically mangled or
+ * torn frame instead (the peer's CRC must catch it), Stall sleeps first,
+ * Throw reports an IoError — the daemon's write path treats any non-Ok
+ * as a shed-with-log, never a crash.
+ */
+util::Status writeFrame(int fd, const std::vector<uint8_t>& payload);
+
+/**
+ * Read one frame from `fd` into `payload`.  Returns Ok on a whole,
+ * CRC-valid frame; a Status with code Truncated on clean EOF before the
+ * first magic byte (normal connection close), and Corrupt/Truncated/
+ * ChecksumMismatch/IoError otherwise.  Fault site "serve.read" (Stall /
+ * Throw) models a slow or failing peer.
+ */
+util::Status readFrame(int fd, std::vector<uint8_t>& payload);
+
+/** True when the status is the clean-EOF marker readFrame returns for a
+ *  peer that closed between frames. */
+bool isCleanEof(const util::Status& status);
+
+/**
+ * Parse a captured frame stream (concatenated frames, e.g. a .mgreq /
+ * .mgresp capture) into its payloads.  Throws StatusError naming the
+ * offset of the first damaged frame.
+ */
+std::vector<std::vector<uint8_t>>
+parseFrameStream(const std::vector<uint8_t>& bytes,
+                 std::string_view file = {});
+
+/**
+ * Derive the session budget of a request: the wall deadline becomes
+ * wallSeconds, caps ride through, and every field is clamped to
+ * `ceiling` when the ceiling is non-zero (the daemon never lets a
+ * client demand more work than the operator allows).
+ */
+resilience::WorkBudget requestBudget(const Request& request,
+                                     const resilience::WorkBudget& ceiling);
+
+} // namespace mg::serve

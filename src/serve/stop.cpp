@@ -1,0 +1,82 @@
+#include "serve/stop.h"
+
+#include <csignal>
+#include <cstdint>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mg::serve {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+int g_pipe[2] = { -1, -1 };
+std::atomic<bool> g_installed{false};
+
+/** Async-signal-safe: one atomic store + one write(2). */
+void
+stopHandler(int /*sig*/)
+{
+    g_stop.store(true, std::memory_order_release);
+    if (g_pipe[1] >= 0) {
+        uint8_t byte = 1;
+        // Best effort; the pipe is non-blocking so a flooded pipe (many
+        // signals) cannot wedge the handler.
+        [[maybe_unused]] ssize_t n = ::write(g_pipe[1], &byte, 1);
+    }
+}
+
+} // namespace
+
+void
+installStopHandlers()
+{
+    bool expected = false;
+    if (!g_installed.compare_exchange_strong(expected, true)) {
+        return;
+    }
+    if (::pipe(g_pipe) == 0) {
+        ::fcntl(g_pipe[0], F_SETFL, O_NONBLOCK);
+        ::fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+    }
+    struct sigaction action {};
+    action.sa_handler = &stopHandler;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: a blocking read in the main thread should come back
+    // with EINTR so the stop is observed promptly (io::readFull resumes
+    // transfers that should continue).
+    action.sa_flags = 0;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool
+stopRequested() noexcept
+{
+    return g_stop.load(std::memory_order_acquire);
+}
+
+const std::atomic<bool>*
+stopFlag() noexcept
+{
+    return &g_stop;
+}
+
+int
+stopFd() noexcept
+{
+    return g_pipe[0];
+}
+
+void
+resetStopForTests() noexcept
+{
+    g_stop.store(false, std::memory_order_release);
+    if (g_pipe[0] >= 0) {
+        uint8_t drain[16];
+        while (::read(g_pipe[0], drain, sizeof(drain)) > 0) {
+        }
+    }
+}
+
+} // namespace mg::serve

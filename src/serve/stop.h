@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Process-wide graceful-stop signal.  SIGTERM/SIGINT land in an
+ * async-signal-safe handler that sets a lock-free flag and writes one
+ * byte to a self-pipe, giving consumers two ergonomic views of the same
+ * event:
+ *
+ *  - stopFlag() / stopRequested(): polled by schedulers between batches
+ *    and by apps between phases (finish the current batch, write the
+ *    checkpoint, emit the summary, exit 0);
+ *  - stopFd(): poll()-able by threads that sleep, e.g. mgd's main
+ *    thread waiting to start its drain.
+ *
+ * A second signal while stopping keeps the default disposition-restoring
+ * behavior out of scope deliberately: mapping runs always terminate (the
+ * budget layer guarantees bounded batches), so one cooperative signal
+ * suffices and `kill -9` remains the escape hatch — which is exactly the
+ * crash-consistency scenario the checkpoint tests exercise.
+ */
+#pragma once
+
+#include <atomic>
+
+namespace mg::serve {
+
+/** Install SIGTERM + SIGINT handlers (idempotent). */
+void installStopHandlers();
+
+/** True once a stop signal arrived. */
+bool stopRequested() noexcept;
+
+/** The flag itself, for Scheduler::bindStop wiring. */
+const std::atomic<bool>* stopFlag() noexcept;
+
+/** Read end of the self-pipe; readable once a stop signal arrived.
+ *  Returns -1 before installStopHandlers(). */
+int stopFd() noexcept;
+
+/** Re-arm for tests that deliver signals repeatedly in one process. */
+void resetStopForTests() noexcept;
+
+} // namespace mg::serve
