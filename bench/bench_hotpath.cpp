@@ -9,7 +9,8 @@
  * baseline.
  *
  * Modes:
- *   bench_hotpath [--scale=S] [--out=PATH] [gbench flags]   full run + JSON
+ *   bench_hotpath [--scale=S] [--out=PATH] [--baseline=PATH] [gbench
+ *       flags]                                              full run + JSON
  *   bench_hotpath --smoke [--scale=S]                       quick CTest run
  *   bench_hotpath --guard=PATH                              perf-guard run
  *
@@ -19,10 +20,12 @@
  * throughput repetition so gross (>20%) kernel regressions surface in CI
  * timing logs.
  *
- * The guard mode (also perf-smoke) protects the SWAR speedup itself: it
- * re-measures the SWAR-vs-scalar throughput ratio (both kernels timed in
- * the same process, so machine speed cancels out) and fails if the ratio
- * fell more than 15% below the value committed in the given BENCH JSON.
+ * The guard mode (also perf-smoke) protects the vectorized engine: the
+ * committed BENCH record must show the >=1.15x extends/sec gain over the
+ * BENCH_packed.json baseline on both input-set analogs (checked as
+ * committed numbers, the acceptance criterion of the SIMD PR), and the
+ * SIMD-vs-scalar throughput ratio is re-measured in-process (machine
+ * speed cancels) and must stay within 15% of the committed ratio.
  *
  * The obs-guard mode (bench_hotpath --guard-obs=PATH, ctest
  * perf_guard_obs) protects the telemetry layer's "pay only a pointer
@@ -44,9 +47,11 @@
 
 #include "common.h"
 #include "io/file.h"
+#include "machine/host.h"
 #include "obs/hub.h"
 #include "obs/json.h"
 #include "stats/latency.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 // ------------------------------------------------------------------------
@@ -174,11 +179,13 @@ struct PassResult
  * batch scheduler produces — so the obs guard can price the telemetry.
  */
 PassResult
-measureMapping(const Workload& wl, int reps, bool use_swar = true,
-               obs::Hub* hub = nullptr)
+measureMapping(const Workload& wl, int reps,
+               util::KernelVariant kernel = util::KernelVariant::Auto,
+               bool lockstep = true, obs::Hub* hub = nullptr)
 {
     map::MapperParams params;
-    params.extend.useSwar = use_swar;
+    params.extend.kernel = kernel;
+    params.extend.lockstep = lockstep;
     map::Mapper mapper(wl.world->graph(), wl.world->gbwt(),
                        wl.world->minimizers, wl.world->distance, params);
     auto state = mapper.makeState();
@@ -267,15 +274,16 @@ struct ExtendResult
     double extendsPerSec = 0.0;
     double bytesPerExtend = 0.0;
     double allocsPerExtend = 0.0;
-    /** 32-base SWAR chunks XORed per extension (0 in scalar mode). */
+    /** 32-base chunks examined per extension (0 in scalar mode). */
     double wordsPerExtend = 0.0;
 };
 
 ExtendResult
-measureExtend(const Workload& wl, int reps, bool use_swar = true)
+measureExtend(const Workload& wl, int reps,
+              util::KernelVariant kernel = util::KernelVariant::Auto)
 {
     map::ExtendParams params = map::MapperParams().extend;
-    params.useSwar = use_swar;
+    params.kernel = kernel;
     map::Extender extender(wl.world->graph(), params);
     gbwt::CachedGbwt cache(wl.world->gbwt());
     map::ExtendScratch scratch;
@@ -368,13 +376,17 @@ BM_ExtendSteady(benchmark::State& state, const char* input_set)
 
 // --------------------------------------------------------------- reporting
 
-/** Everything measured on one input set (SWAR and scalar passes). */
+/** Everything measured on one input set: the production configuration
+ *  (Auto kernel, lockstep batching) plus the ladder of baselines the
+ *  guard ratios are built from. */
 struct InputRecord
 {
-    PassResult map;
-    ExtendResult ext;
-    PassResult mapScalar;
-    ExtendResult extScalar;
+    PassResult map;          // Auto kernel, lockstep batching
+    PassResult mapSeq;       // Auto kernel, sequential walks
+    PassResult mapScalar;    // Scalar kernel, lockstep
+    ExtendResult ext;        // Auto (the dispatched SIMD kernel)
+    ExtendResult extSwar;    // forced SWAR
+    ExtendResult extScalar;  // forced scalar oracle
 
     double
     mapSpeedup() const
@@ -384,10 +396,24 @@ struct InputRecord
                    : 0.0;
     }
     double
+    batchSpeedup() const
+    {
+        return mapSeq.readsPerSec > 0.0
+                   ? map.readsPerSec / mapSeq.readsPerSec
+                   : 0.0;
+    }
+    double
     extendSpeedup() const
     {
         return extScalar.extendsPerSec > 0.0
                    ? ext.extendsPerSec / extScalar.extendsPerSec
+                   : 0.0;
+    }
+    double
+    swarExtendSpeedup() const
+    {
+        return extScalar.extendsPerSec > 0.0
+                   ? extSwar.extendsPerSec / extScalar.extendsPerSec
                    : 0.0;
     }
 };
@@ -421,9 +447,30 @@ emitArenaJson(obs::JsonWriter& w, const graph::VariationGraph& g,
     w.endObject();
 }
 
+/**
+ * extends_per_sec for one analog from a committed BENCH JSON, or < 0
+ * when the file or field is missing.
+ */
+double
+baselineExtendsPerSec(const std::string& path, const char* analog)
+{
+    try {
+        std::string text = io::readFileText(path);
+        obs::json::Value doc = obs::json::parse(text, path);
+        const obs::json::Value* results = doc.find("results");
+        const obs::json::Value* entry =
+            results != nullptr ? results->find(analog) : nullptr;
+        const obs::json::Value* value =
+            entry != nullptr ? entry->find("extends_per_sec") : nullptr;
+        return value != nullptr && value->isNumber() ? value->number : -1.0;
+    } catch (const util::Error&) {
+        return -1.0;
+    }
+}
+
 void
-writeJson(const std::string& path, const InputRecord& a,
-          const InputRecord& b)
+writeJson(const std::string& path, const std::string& baseline_path,
+          const InputRecord& a, const InputRecord& b)
 {
     obs::JsonWriter w;
     auto emit = [&](const char* name, const InputRecord& r) {
@@ -439,13 +486,24 @@ writeJson(const std::string& path, const InputRecord& a,
         w.field("read_latency_p50_ns", r.map.p50Nanos);
         w.field("read_latency_p99_ns", r.map.p99Nanos);
         w.field("read_latency_p999_ns", r.map.p999Nanos);
+        w.field("sequential_reads_per_sec", r.mapSeq.readsPerSec);
         w.field("scalar_reads_per_sec", r.mapScalar.readsPerSec);
+        w.field("swar_extends_per_sec", r.extSwar.extendsPerSec);
         w.field("scalar_extends_per_sec", r.extScalar.extendsPerSec);
         w.endObject();
     };
     w.beginObject();
     w.field("benchmark", "bench_hotpath");
     w.field("scale", g_scale);
+    const machine::HostCpu& host = machine::hostCpu();
+    w.key("cpu").beginObject();
+    w.field("arch", host.arch);
+    w.field("features", host.features);
+    w.field("simd", util::simdLevelName(host.bestLevel));
+    w.endObject();
+    const util::ResolvedKernel kernel =
+        util::resolveKernel(util::KernelVariant::Auto);
+    w.field("kernel", util::kernelVariantName(kernel.effective));
     w.key("results").beginObject();
     emit("A-human", a);
     emit("B-yeast", b);
@@ -454,13 +512,31 @@ writeJson(const std::string& path, const InputRecord& a,
     emitArenaJson(w, workload("A-human").world->graph(), "A-human");
     emitArenaJson(w, workload("B-yeast").world->graph(), "B-yeast");
     w.endObject();
-    // The guard section: in-process SWAR/scalar ratios, the quantities the
-    // perf_guard ctest re-measures (machine speed cancels in the ratio).
+    // The guard section: in-process kernel ratios (machine speed cancels),
+    // the quantities the perf_guard ctest re-measures, plus the gain over
+    // the committed SWAR-era record when a baseline is given.
     w.key("guard").beginObject();
-    w.field("swar_map_speedup_A", a.mapSpeedup());
-    w.field("swar_extend_speedup_A", a.extendSpeedup());
-    w.field("swar_map_speedup_B", b.mapSpeedup());
-    w.field("swar_extend_speedup_B", b.extendSpeedup());
+    w.field("simd_map_speedup_A", a.mapSpeedup());
+    w.field("simd_extend_speedup_A", a.extendSpeedup());
+    w.field("simd_map_speedup_B", b.mapSpeedup());
+    w.field("simd_extend_speedup_B", b.extendSpeedup());
+    w.field("swar_extend_speedup_A", a.swarExtendSpeedup());
+    w.field("swar_extend_speedup_B", b.swarExtendSpeedup());
+    w.field("batch_map_speedup_A", a.batchSpeedup());
+    w.field("batch_map_speedup_B", b.batchSpeedup());
+    if (!baseline_path.empty()) {
+        double base_a = baselineExtendsPerSec(baseline_path, "A-human");
+        double base_b = baselineExtendsPerSec(baseline_path, "B-yeast");
+        if (base_a > 0.0 && base_b > 0.0) {
+            w.field("speedup_vs_packed_A", a.ext.extendsPerSec / base_a);
+            w.field("speedup_vs_packed_B", b.ext.extendsPerSec / base_b);
+        } else {
+            std::fprintf(stderr,
+                         "bench_hotpath: baseline %s unreadable; "
+                         "speedup_vs_packed omitted\n",
+                         baseline_path.c_str());
+        }
+    }
     w.endObject();
     w.endObject();
     try {
@@ -490,9 +566,15 @@ jsonNumber(const std::string& text, const std::string& key)
 }
 
 /**
- * Perf guard: re-measure the SWAR-vs-scalar extend speedup on the A analog
- * (best of three in-process A/B passes, so machine speed and load cancel)
- * and fail if it dropped more than 15% below the committed ratio.
+ * Perf guard for the vectorized engine, two checks:
+ *
+ *  1. The committed record must contain speedup_vs_packed_{A,B} >= 1.15 —
+ *     the acceptance criterion of the SIMD PR, frozen at record time when
+ *     both the new engine and the SWAR-era baseline numbers came from the
+ *     same machine.
+ *  2. The SIMD-vs-scalar extend speedup on the A analog is re-measured
+ *     (best of three in-process A/B passes, so machine speed and load
+ *     cancel) and must stay within 15% of the committed ratio.
  */
 int
 guardRun(const std::string& committed_path)
@@ -505,35 +587,56 @@ guardRun(const std::string& committed_path)
                      committed_path.c_str(), e.what());
         return 1;
     }
-    double committed = jsonNumber(text, "swar_extend_speedup_A");
+    int failures = 0;
+    for (const char* key : { "speedup_vs_packed_A", "speedup_vs_packed_B" }) {
+        double gain = jsonNumber(text, key);
+        if (gain <= 0.0) {
+            std::fprintf(stderr, "FAIL: %s has no %s entry\n",
+                         committed_path.c_str(), key);
+            ++failures;
+            continue;
+        }
+        std::printf("perf-guard: committed %s = %.3f (floor 1.15)\n", key,
+                    gain);
+        if (gain < 1.15) {
+            std::fprintf(stderr,
+                         "FAIL: committed %s %.3f misses the 1.15x "
+                         "extends/sec target over BENCH_packed.json\n",
+                         key, gain);
+            ++failures;
+        }
+    }
+    double committed = jsonNumber(text, "simd_extend_speedup_A");
     if (committed <= 0.0) {
         std::fprintf(stderr,
-                     "FAIL: %s has no swar_extend_speedup_A entry\n",
+                     "FAIL: %s has no simd_extend_speedup_A entry\n",
                      committed_path.c_str());
         return 1;
     }
     const Workload& wl = workload("A-human");
     double best = 0.0;
     for (int attempt = 0; attempt < 3; ++attempt) {
-        ExtendResult swar = measureExtend(wl, 4, true);
-        ExtendResult scalar = measureExtend(wl, 4, false);
+        ExtendResult simd =
+            measureExtend(wl, 4, util::KernelVariant::Auto);
+        ExtendResult scalar =
+            measureExtend(wl, 4, util::KernelVariant::Scalar);
         if (scalar.extendsPerSec > 0.0) {
-            best = std::max(best, swar.extendsPerSec /
+            best = std::max(best, simd.extendsPerSec /
                                       scalar.extendsPerSec);
         }
     }
     const double threshold = 0.85 * committed;
-    std::printf("perf-guard A-human: swar/scalar extend speedup %.3f "
+    std::printf("perf-guard A-human: simd/scalar extend speedup %.3f "
                 "(committed %.3f, floor %.3f)\n",
                 best, committed, threshold);
     if (best < threshold) {
         std::fprintf(stderr,
-                     "FAIL: SWAR extend speedup regressed >15%% below the "
+                     "FAIL: SIMD extend speedup regressed >15%% below the "
                      "committed record (%.3f < %.3f)\n",
                      best, threshold);
-        return 1;
+        ++failures;
     }
-    return 0;
+    return failures == 0 ? 0 : 1;
 }
 
 /**
@@ -566,8 +669,9 @@ guardObsRun(const std::string& committed_path)
         double best = 0.0;
         for (int attempt = 0; attempt < 5 && best < 0.98; ++attempt) {
             obs::Hub hub(1);
-            PassResult off = measureMapping(wl, 2, true, nullptr);
-            PassResult on = measureMapping(wl, 2, true, &hub);
+            PassResult off = measureMapping(wl, 2);
+            PassResult on = measureMapping(
+                wl, 2, util::KernelVariant::Auto, true, &hub);
             if (off.readsPerSec > 0.0) {
                 best = std::max(best, on.readsPerSec / off.readsPerSec);
             }
@@ -631,6 +735,7 @@ main(int argc, char** argv)
     using namespace mg::bench;
     bool smoke = false;
     std::string out_path = "BENCH_hotpath.json";
+    std::string baseline_path;
     std::string guard_path;
     std::string guard_obs_path;
     std::vector<char*> passthrough;
@@ -646,6 +751,8 @@ main(int argc, char** argv)
             g_scale = std::atof(argv[i] + 8);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             out_path = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+            baseline_path = argv[i] + 11;
         } else {
             passthrough.push_back(argv[i]);
         }
@@ -665,15 +772,25 @@ main(int argc, char** argv)
 
     banner("hotpath", "Hot-path kernel throughput, allocation, and cache "
                       "behaviour (single thread)");
+    std::printf("cpu: %s %s (dispatch: %s)\n",
+                mg::machine::hostCpu().arch.c_str(),
+                mg::machine::hostCpu().features.c_str(),
+                mg::util::kernelVariantName(
+                    mg::util::resolveKernel(mg::util::KernelVariant::Auto)
+                        .effective));
 
-    // Deterministic measurement passes for the JSON record: SWAR and
-    // scalar kernels back to back, same workload, same process.
+    // Deterministic measurement passes for the JSON record: the dispatched
+    // kernel and its SWAR/scalar baselines back to back, same workload,
+    // same process.
     auto record = [](const Workload& wl) {
+        using mg::util::KernelVariant;
         InputRecord r;
-        r.map = measureMapping(wl, 3, true);
-        r.mapScalar = measureMapping(wl, 3, false);
-        r.ext = measureExtend(wl, 20, true);
-        r.extScalar = measureExtend(wl, 20, false);
+        r.map = measureMapping(wl, 3, KernelVariant::Auto, true);
+        r.mapSeq = measureMapping(wl, 3, KernelVariant::Auto, false);
+        r.mapScalar = measureMapping(wl, 3, KernelVariant::Scalar, true);
+        r.ext = measureExtend(wl, 20, KernelVariant::Auto);
+        r.extSwar = measureExtend(wl, 20, KernelVariant::Swar);
+        r.extScalar = measureExtend(wl, 20, KernelVariant::Scalar);
         return r;
     };
     auto report = [](const char* name, const InputRecord& r) {
@@ -681,21 +798,22 @@ main(int argc, char** argv)
             "%s: %10.0f reads/s  %8.1f B/read  %6.2f allocs/read"
             "  hit %.4f\n         %10.0f ext/s    %8.1f B/extend  "
             "%6.2f words/ext\n         read latency: p50 %s, p99 %s, "
-            "p999 %s\n         swar/scalar: map %.2fx, "
-            "extend %.2fx\n",
+            "p999 %s\n         vs scalar: map %.2fx, extend %.2fx  "
+            "(swar %.2fx)  batch: %.2fx\n",
             name, r.map.readsPerSec, r.map.bytesPerRead,
             r.map.allocsPerRead, r.map.hitRate, r.ext.extendsPerSec,
             r.ext.bytesPerExtend, r.ext.wordsPerExtend,
             mg::stats::formatNanos(r.map.p50Nanos).c_str(),
             mg::stats::formatNanos(r.map.p99Nanos).c_str(),
             mg::stats::formatNanos(r.map.p999Nanos).c_str(),
-            r.mapSpeedup(), r.extendSpeedup());
+            r.mapSpeedup(), r.extendSpeedup(), r.swarExtendSpeedup(),
+            r.batchSpeedup());
     };
     InputRecord rec_a = record(workload("A-human"));
     InputRecord rec_b = record(workload("B-yeast"));
     report("A-human", rec_a);
     report("B-yeast", rec_b);
-    writeJson(out_path, rec_a, rec_b);
+    writeJson(out_path, baseline_path, rec_a, rec_b);
 
     // Google-benchmark pass (iteration-level timing, same kernels).
     int bench_argc = static_cast<int>(passthrough.size());

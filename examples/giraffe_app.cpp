@@ -7,6 +7,7 @@
  * Run:  ./examples/giraffe_app <graph.mgz> <reads.fastq>
  *           [--threads N] [--batch-size B] [--paired]
  *           [--gaf out.gaf] [--k 15] [--w 8]
+ *           [--kernel scalar|swar|simd|auto]
  */
 #include <cstdio>
 #include <memory>
@@ -26,6 +27,7 @@
 #include "obs/trace.h"
 #include "serve/stop.h"
 #include "util/flags.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace {
@@ -63,6 +65,8 @@ try {
          .define("gaf", "", "write GAF alignments to this file")
          .define("k", "15", "minimizer k-mer length")
          .define("w", "8", "minimizer window size")
+         .define("kernel", "auto",
+                 "match kernel: scalar | swar | simd | auto")
          .define("fault", "",
                  "arm fault injection, e.g. 'sched.worker=throw,limit=2'")
          .define("deadline", "0",
@@ -137,6 +141,14 @@ try {
                 minimizers.numKeys());
 
     mg::giraffe::ParentParams params;
+    if (!mg::util::parseKernelVariant(flags.str("kernel"),
+                                      params.mapper.extend.kernel)) {
+        std::fprintf(stderr,
+                     "giraffe_app: unknown --kernel '%s' "
+                     "(scalar | swar | simd | auto)\n",
+                     flags.str("kernel").c_str());
+        return 1;
+    }
     params.numThreads = static_cast<size_t>(flags.integer("threads"));
     params.batchSize = static_cast<size_t>(flags.integer("batch-size"));
     params.budget.wallSeconds = flags.real("deadline");

@@ -9,7 +9,8 @@
  *
  * Run:  ./examples/minigiraffe_app <graph.mgz> <seeds.bin>
  *           [--threads N] [--batch-size B] [--cache-capacity C]
- *           [--scheduler openmp|vg|steal] [--output out.ext]
+ *           [--scheduler openmp|vg|steal] [--kernel scalar|swar|simd|auto]
+ *           [--prefilter F] [--output out.ext]
  *           [--profile regions.csv] [--metrics-out m.prom|m.json]
  *           [--trace-out trace.json] [--summary-json summary.json]
  */
@@ -29,6 +30,7 @@
 #include "obs/trace.h"
 #include "serve/stop.h"
 #include "util/flags.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace {
@@ -88,6 +90,11 @@ try {
          .define("cache-capacity", "256",
                  "initial CachedGBWT capacity (0 = no caching)")
          .define("scheduler", "openmp", "openmp | vg | steal")
+         .define("kernel", "auto",
+                 "match kernel: scalar | swar | simd | auto")
+         .define("prefilter", "0",
+                 "skip seeds scoring below this fraction of the read's "
+                 "best chain (0 = off; output is no longer golden)")
          .define("output", "", "write raw extensions to this file")
          .define("profile", "", "dump per-region timing records (CSV)")
          .define("fault", "",
@@ -143,6 +150,15 @@ try {
     params.mapper.gbwtCacheCapacity =
         static_cast<size_t>(flags.integer("cache-capacity"));
     params.scheduler = mg::sched::schedulerFromName(flags.str("scheduler"));
+    if (!mg::util::parseKernelVariant(flags.str("kernel"),
+                                      params.mapper.extend.kernel)) {
+        std::fprintf(stderr,
+                     "minigiraffe: unknown --kernel '%s' "
+                     "(scalar | swar | simd | auto)\n",
+                     flags.str("kernel").c_str());
+        return 1;
+    }
+    params.mapper.prefilterFraction = flags.real("prefilter");
     params.budget.wallSeconds = flags.real("deadline");
     params.budget.maxExtendSteps =
         static_cast<uint64_t>(flags.integer("max-extend-steps"));

@@ -67,14 +67,85 @@ DecodedRecord::successorStatesInto(const SearchState& state,
     if (state.empty()) {
         return;
     }
-    for (const RecordEdge& edge : edges_) {
-        if (!edge.successor.valid()) {
-            continue; // path-end marker
+    MG_ASSERT(state.end <= numVisits_);
+    const size_t num_edges = edges_.size();
+    if (num_edges == 0) {
+        return;
+    }
+
+    // Chain nodes (out-degree 1) are the overwhelmingly common case in a
+    // bubble graph, and their LF mapping is closed-form: every run
+    // references the only edge rank, so the visits before state.start are
+    // exactly state.start and the range width carries over unchanged.  No
+    // run scan at all.
+    if (num_edges == 1) {
+        if (edges_[0].successor.valid()) {
+            const uint64_t base = edges_[0].offset + state.start;
+            out.emplace_back(edges_[0].successor, base,
+                             base + (state.end - state.start));
         }
-        SearchState next = extend(state, edge.successor);
-        if (!next.empty()) {
-            out.push_back(next);
+        return;
+    }
+
+    // One-pass LF mapping for all edges at once.  The per-edge extend()
+    // formulation rescans the run body once per edge per bound — O(E*R)
+    // for the hottest query the extension kernel issues.  A single scan
+    // accumulates, per edge rank, the visits before state.start (`lo`,
+    // the rank offset) and the visits inside [start, end) (`in`, the
+    // range width) — exactly countBefore(start) and
+    // countBefore(end) - countBefore(start) — then emits the same states
+    // in the same edge order.  Out-degrees beyond the stack buffers mean
+    // a record far outside the bubble-chain regime; take the simple path.
+    constexpr size_t kMaxFast = 32;
+    if (num_edges > kMaxFast) {
+        for (const RecordEdge& edge : edges_) {
+            if (!edge.successor.valid()) {
+                continue; // path-end marker
+            }
+            SearchState next = extend(state, edge.successor);
+            if (!next.empty()) {
+                out.push_back(next);
+            }
         }
+        return;
+    }
+
+    // Zero only the lanes in use: the full 32-lane clear is 512 bytes of
+    // stores per call for a typical out-degree of 2.
+    uint64_t lo[kMaxFast];
+    uint64_t in[kMaxFast];
+    for (size_t i = 0; i < num_edges; ++i) {
+        lo[i] = 0;
+        in[i] = 0;
+    }
+    uint64_t covered = 0;
+    for (const RecordRun& run : runs_) {
+        if (covered >= state.end) {
+            break;
+        }
+        const uint64_t run_end = covered + run.length;
+        if (run.edgeRank < num_edges) {
+            if (covered < state.start) {
+                lo[run.edgeRank] +=
+                    std::min<uint64_t>(run_end, state.start) - covered;
+            }
+            if (run_end > state.start) {
+                const uint64_t from =
+                    std::max<uint64_t>(covered, state.start);
+                const uint64_t to = std::min<uint64_t>(run_end, state.end);
+                if (to > from) {
+                    in[run.edgeRank] += to - from;
+                }
+            }
+        }
+        covered = run_end;
+    }
+    for (size_t i = 0; i < num_edges; ++i) {
+        if (in[i] == 0 || !edges_[i].successor.valid()) {
+            continue; // unvisited edge or path-end marker
+        }
+        const uint64_t base = edges_[i].offset + lo[i];
+        out.emplace_back(edges_[i].successor, base, base + in[i]);
     }
 }
 

@@ -1,11 +1,36 @@
 #include "giraffe/run_summary.h"
 
+#include "machine/host.h"
 #include "obs/json.h"
 #include "sched/scheduler.h"
+#include "util/simd.h"
 
 namespace mg::giraffe {
 
 namespace {
+
+/**
+ * Host-CPU + match-kernel block: which wide ISA this machine offers and
+ * what the requested kernel variant resolved to.  Every summary carries
+ * it so fleet-wide result files stay attributable to the code path that
+ * produced them.
+ */
+void
+writeHostKernel(obs::JsonWriter& w, util::KernelVariant requested)
+{
+    const machine::HostCpu& host = machine::hostCpu();
+    w.key("cpu").beginObject();
+    w.field("arch", host.arch);
+    w.field("features", host.features);
+    w.field("simd", util::simdLevelName(host.bestLevel));
+    w.endObject();
+    const util::ResolvedKernel kernel = util::resolveKernel(requested);
+    w.key("kernel").beginObject();
+    w.field("requested", util::kernelVariantName(kernel.requested));
+    w.field("effective", util::kernelVariantName(kernel.effective));
+    w.field("simd_level", util::simdLevelName(kernel.level));
+    w.endObject();
+}
 
 /** Failure-isolation block, present in every summary. */
 void
@@ -75,6 +100,7 @@ summaryJson(const ProxyOutputs& outputs, const ProxyParams& params)
     }
     w.field("extensions", total_extensions);
     w.field("stopped", outputs.stopped);
+    writeHostKernel(w, params.mapper.extend.kernel);
     writeCache(w, outputs.cacheStats);
     writeResilience(w, outputs.resilience);
     writeFailures(w, outputs.failures);
@@ -117,6 +143,7 @@ summaryJson(const ParentOutputs& outputs, const ParentParams& params)
                 static_cast<uint64_t>(outputs.rescue.rescued));
         w.endObject();
     }
+    writeHostKernel(w, params.mapper.extend.kernel);
     writeCache(w, outputs.cacheStats);
     writeResilience(w, outputs.resilience);
     writeFailures(w, outputs.failures);

@@ -1,0 +1,38 @@
+#include "machine/host.h"
+
+namespace mg::machine {
+
+const HostCpu&
+hostCpu()
+{
+    static const HostCpu host = [] {
+        HostCpu h;
+#if defined(__x86_64__) || defined(_M_X64)
+        h.arch = "x86_64";
+#elif defined(__aarch64__)
+        h.arch = "aarch64";
+#else
+        h.arch = "unknown";
+#endif
+        h.features = util::cpuFeatures().summary();
+        h.bestLevel = util::bestSimdLevel();
+        return h;
+    }();
+    return host;
+}
+
+std::string
+hostCpuJson()
+{
+    const HostCpu& h = hostCpu();
+    std::string json = "{\"arch\":\"";
+    json += h.arch;
+    json += "\",\"features\":\"";
+    json += h.features;
+    json += "\",\"simd\":\"";
+    json += util::simdLevelName(h.bestLevel);
+    json += "\"}";
+    return json;
+}
+
+} // namespace mg::machine

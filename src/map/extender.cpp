@@ -10,6 +10,7 @@ namespace mg::map {
 
 namespace {
 
+using detail::BatchLane;
 using detail::WalkState;
 
 /** Deterministic "is a better than b" for finished walk prefixes. */
@@ -28,12 +29,279 @@ betterCandidate(const DirectionalWalk& a, const DirectionalWalk& b)
     return a.mismatchOffsets < b.mismatchOffsets;
 }
 
+/** Fold a finished walk state's best prefix into the walk's best result. */
+void
+finishWalk(const WalkState& s, DirectionalWalk& best)
+{
+    if (s.bestQueryPos == 0) {
+        return; // nothing consumed; can never beat even an empty best
+    }
+    // Cheap reject on the (score, consumed) prefix of the candidate
+    // order before paying for the path/mismatch copies; the full
+    // comparison below breaks exact ties deterministically.
+    if (best.consumed > 0 &&
+        (s.bestScore < best.score ||
+         (s.bestScore == best.score && s.bestQueryPos < best.consumed))) {
+        return;
+    }
+    // Strictly better on the (score, consumed) prefix of the candidate
+    // order: accept by trimming straight into `best` (the maximum-score
+    // prefix always ends on a match) — no intermediate copy.
+    if (best.consumed == 0 || s.bestScore > best.score ||
+        s.bestQueryPos > best.consumed) {
+        best.consumed = s.bestQueryPos;
+        best.score = s.bestScore;
+        best.endOffset = s.bestEndOffset;
+        best.mismatchOffsets.assign(
+            s.mismatchOffsets.begin(),
+            s.mismatchOffsets.begin() +
+                static_cast<long>(s.bestMismatches));
+        best.path.assign(s.path.begin(),
+                         s.path.begin() + static_cast<long>(s.bestPathLen));
+        return;
+    }
+    // Exact (score, consumed) tie: materialize the trimmed candidate and
+    // break it on the full deterministic order.
+    DirectionalWalk candidate;
+    candidate.consumed = s.bestQueryPos;
+    candidate.score = s.bestScore;
+    candidate.endOffset = s.bestEndOffset;
+    candidate.mismatchOffsets.assign(
+        s.mismatchOffsets.begin(),
+        s.mismatchOffsets.begin() + static_cast<long>(s.bestMismatches));
+    candidate.path.assign(s.path.begin(),
+                          s.path.begin() +
+                              static_cast<long>(s.bestPathLen));
+    if (betterCandidate(candidate, best)) {
+        best = std::move(candidate);
+    }
+}
+
+/**
+ * Sort successors into descending handle order.  Branch lists are almost
+ * always 1–2 entries (bubble graphs), where an insertion sort beats the
+ * std::sort call; successors of one state have distinct nodes, so any
+ * comparison sort yields the same order.
+ */
+void
+sortSuccessors(std::vector<gbwt::SearchState>& successors)
+{
+    const size_t n = successors.size();
+    if (n <= 8) {
+        for (size_t i = 1; i < n; ++i) {
+            gbwt::SearchState key = successors[i];
+            size_t j = i;
+            while (j > 0 && successors[j - 1].node < key.node) {
+                successors[j] = successors[j - 1];
+                --j;
+            }
+            successors[j] = key;
+        }
+        return;
+    }
+    std::sort(successors.begin(), successors.end(),
+              [](const gbwt::SearchState& a, const gbwt::SearchState& b) {
+                  return b.node < a.node;
+              });
+}
+
 /** Per-thread scratch backing the convenience overloads. */
 ExtendScratch&
 threadScratch()
 {
     static thread_local ExtendScratch scratch;
     return scratch;
+}
+
+/**
+ * Per-walk invariants of the node-step loop, hoisted once per walk (or
+ * per batch) so the per-node code touches only registers.  Graph nodes
+ * average a handful of bases, so the step loop runs every few
+ * nanoseconds; re-deriving kernel selection, tracer, and budget per node
+ * is measurable at that rate.
+ */
+struct StepCtx
+{
+    const graph::VariationGraph& graph;
+    const ExtendParams& params;
+    gbwt::CachedGbwt& cache;
+    std::vector<gbwt::SearchState>& successors;
+    uint64_t& wordsCompared;
+    util::MemTracer* tracer;
+    resilience::ReadBudget* budget;
+    util::MatchRunFn kernel;
+    uint32_t wideCutoff;
+    bool scalar;
+};
+
+/** Build the hoisted step context for one walk or batch. */
+StepCtx
+makeStepCtx(const graph::VariationGraph& graph, const ExtendParams& params,
+            const util::ResolvedKernel& kernel, gbwt::CachedGbwt& cache,
+            ExtendScratch& scratch)
+{
+    // Kernel selection, flattened for the short-span regime.  Graph nodes
+    // are 1–32 bases, so most match runs never reach a wide vector step;
+    // paying an indirect call (which also blocks inlining of the SWAR
+    // loop) on every run costs more than the wide compare saves.  The
+    // inlined SWAR kernel therefore serves every sub-wide span for both
+    // the Swar and Simd variants — exactly the code the wide kernels run
+    // as their tail — and the function pointer is reserved for spans long
+    // enough to amortize it.  The Scalar oracle keeps the indirect call
+    // unconditionally: it exists to measure the reference loop, not to be
+    // fast.  Match lengths are identical on every path by construction.
+    return StepCtx{
+        graph,
+        params,
+        cache,
+        scratch.successors,
+        scratch.wordsCompared,
+        cache.tracer(),
+        scratch.budget,
+        kernel.fn,
+        kernel.effective == util::KernelVariant::Simd ? 64u : UINT32_MAX,
+        kernel.effective == util::KernelVariant::Scalar,
+    };
+}
+
+/**
+ * Advance `s` by one node: match-run within the current node, then
+ * either finish the walk state (dead end, query exhausted, or no
+ * haplotype-supported successor — `best` updated; returns true) or
+ * branch, pushing all but the smallest-handle successor onto `stack`
+ * and continuing `s` in place (returns false).  Shared verbatim by the
+ * sequential walk and every lockstep lane, which is what makes their
+ * results identical by construction; always_inline clones the loop into
+ * both callers so the SWAR kernel and the best-prefix updates fold into
+ * each walk loop exactly as they would hand-written.
+ */
+[[gnu::always_inline]] inline bool
+stepNode(const StepCtx& ctx, WalkState& s, const util::PackedSpan& query,
+         std::vector<WalkState>& stack, DirectionalWalk& best)
+{
+    const uint32_t query_size = query.size;
+
+    graph::Handle handle = s.state.node;
+    // One contiguous packed span of the both-orientation arena:
+    // reverse-strand bases are pre-materialized, so the compare loop
+    // below never calls a per-base complement.
+    util::PackedSpan node_seq = ctx.graph.packedView(handle);
+    const uint32_t len = node_seq.size;
+    bool dead = false;
+
+    if (s.nodeOffset < len && s.queryPos < query_size) {
+        s.path.push_back(handle);
+        if (ctx.tracer != nullptr) {
+            // The walk-and-compare inner loop: report the packed words the
+            // wide compare is about to stream (a quarter of the byte-layout
+            // traffic) and the chunk XOR/scan work.
+            uint32_t span = std::min<uint32_t>(len - s.nodeOffset,
+                                               query_size - s.queryPos);
+            uint64_t chunk_words = (span >> 5) + 1;
+            util::traceAccess(
+                ctx.tracer,
+                node_seq.words + ((node_seq.first + s.nodeOffset) >> 5),
+                chunk_words * sizeof(uint64_t));
+            util::traceAccess(
+                ctx.tracer, query.words + ((query.first + s.queryPos) >> 5),
+                chunk_words * sizeof(uint64_t));
+            util::traceWork(ctx.tracer, chunk_words * 8);
+        }
+    }
+    // Consume bases within the current node, a match-run at a time.
+    // Within a run the score rises by matchScore per base, so taking
+    // the best-prefix snapshot once at the run's end is exactly
+    // equivalent to the per-base update.
+    while (s.nodeOffset < len && s.queryPos < query_size) {
+        const uint32_t span = std::min<uint32_t>(len - s.nodeOffset,
+                                                 query_size - s.queryPos);
+        const uint64_t gbase = node_seq.first + s.nodeOffset;
+        const uint64_t qbase = query.first + s.queryPos;
+        uint32_t run;
+        if (span >= ctx.wideCutoff || ctx.scalar) {
+            run = ctx.kernel(node_seq.words, gbase, query.words, qbase, span,
+                             ctx.wordsCompared);
+        } else {
+            run = util::matchRunPacked(node_seq.words, gbase, query.words,
+                                       qbase, span, ctx.wordsCompared);
+        }
+        if (run > 0) {
+            s.score += static_cast<int32_t>(run) * ctx.params.matchScore;
+            s.nodeOffset += run;
+            s.queryPos += run;
+            if (s.score >= s.bestScore) {
+                s.bestQueryPos = s.queryPos;
+                s.bestEndOffset = s.nodeOffset;
+                s.bestScore = s.score;
+                s.bestMismatches = s.mismatchOffsets.size();
+                s.bestPathLen = s.path.size();
+            }
+        }
+        if (run == span) {
+            continue; // node or query exhausted; loop condition exits
+        }
+        if (s.mismatches + 1 > ctx.params.maxMismatches) {
+            dead = true;
+            break;
+        }
+        ++s.mismatches;
+        s.score -= ctx.params.mismatchPenalty;
+        s.mismatchOffsets.push_back(s.queryPos);
+        ++s.nodeOffset;
+        ++s.queryPos;
+    }
+
+    if (dead || s.queryPos >= query_size) {
+        finishWalk(s, best);
+        return true;
+    }
+
+    // Node exhausted with query left: branch on haplotype-supported
+    // successors.  Push in descending handle order so the DFS visits
+    // smaller handles first (determinism).
+    std::vector<gbwt::SearchState>& successors = ctx.successors;
+    successors.clear();
+    if (ctx.params.haplotypeConsistent) {
+        if (ctx.budget != nullptr) {
+            ctx.budget->chargeLookup();
+        }
+        ctx.cache.successorStatesInto(s.state, successors);
+    } else {
+        // Ablation mode: walk every graph edge with dummy states.
+        for (graph::Handle succ : ctx.graph.successors(handle)) {
+            successors.emplace_back(succ, 0, 1);
+        }
+    }
+    if (successors.empty()) {
+        finishWalk(s, best);
+        return true;
+    }
+    if (successors.size() > 1) {
+        sortSuccessors(successors);
+        // Warm the cache slots and compressed records the deferred
+        // branches will probe after the continued one; pure hint, no
+        // decode, no stats.  The continued branch (the last entry) is
+        // probed immediately by the next step — prefetching it would
+        // just pay the hash probe twice — and the common single-
+        // successor step of a bubble chain skips the pass entirely.
+        for (size_t i = 0; i + 1 < successors.size(); ++i) {
+            ctx.cache.prefetch(successors[i].node);
+        }
+    }
+    // All but the last branch copy the state (memcpy-cheap with inline
+    // storage); the last one — the smallest handle, exactly the state
+    // the pop would deliver next — continues in `s` without touching
+    // the stack.  The common single-successor step of a bubble chain
+    // copies nothing.
+    for (size_t i = 0; i + 1 < successors.size(); ++i) {
+        WalkState next = s;
+        next.state = successors[i];
+        next.nodeOffset = 0;
+        stack.push_back(std::move(next));
+    }
+    s.state = successors.back();
+    s.nodeOffset = 0;
+    return false;
 }
 
 } // namespace
@@ -79,39 +347,9 @@ Extender::walkPacked(graph::Handle start, uint32_t offset,
         stack.push_back(std::move(init));
     }
     size_t explored = 0;
-    const uint32_t query_size = query.size;
+    const StepCtx ctx =
+        makeStepCtx(graph_, params_, kernel_, cache, scratch);
 
-    auto finish = [&](const WalkState& s) {
-        if (s.bestQueryPos == 0) {
-            return; // nothing consumed; can never beat even an empty best
-        }
-        // Cheap reject on the (score, consumed) prefix of the candidate
-        // order before paying for the path/mismatch copies; the full
-        // comparison below breaks exact ties deterministically.
-        if (best.consumed > 0 &&
-            (s.bestScore < best.score ||
-             (s.bestScore == best.score &&
-              s.bestQueryPos < best.consumed))) {
-            return;
-        }
-        // Trim to the maximum-score prefix (it always ends on a match).
-        DirectionalWalk candidate;
-        candidate.consumed = s.bestQueryPos;
-        candidate.score = s.bestScore;
-        candidate.endOffset = s.bestEndOffset;
-        candidate.mismatchOffsets.assign(
-            s.mismatchOffsets.begin(),
-            s.mismatchOffsets.begin() +
-                static_cast<long>(s.bestMismatches));
-        candidate.path.assign(s.path.begin(),
-                              s.path.begin() +
-                                  static_cast<long>(s.bestPathLen));
-        if (betterCandidate(candidate, best)) {
-            best = std::move(candidate);
-        }
-    };
-
-    util::MemTracer* tracer = cache.tracer();
     bool capped = false;
     while (!stack.empty() && !capped) {
         WalkState s = std::move(stack.back());
@@ -123,7 +361,7 @@ Extender::walkPacked(graph::Handle start, uint32_t offset,
         // push-then-pop formulation, just without the stack round-trip.
         for (;;) {
             if (++explored > params_.maxWalkStates) {
-                finish(s);
+                finishWalk(s, best);
                 capped = true;
                 break;
             }
@@ -131,131 +369,162 @@ Extender::walkPacked(graph::Handle start, uint32_t offset,
             // budget-exhausted walk ends exactly like a capped one — trimmed
             // to its best prefix, never torn mid-node.
             if (budget != nullptr && budget->chargeStep()) {
-                finish(s);
+                finishWalk(s, best);
                 capped = true;
                 break;
             }
-            graph::Handle handle = s.state.node;
-            // One contiguous packed span of the both-orientation arena:
-            // reverse-strand bases are pre-materialized, so the compare loop
-            // below never calls a per-base complement.
-            util::PackedSpan node_seq = graph_.packedView(handle);
-            const uint32_t len = node_seq.size;
-            bool dead = false;
-
-            if (s.nodeOffset < len && s.queryPos < query_size) {
-                s.path.push_back(handle);
-                // The walk-and-compare inner loop: report the packed words the
-                // SWAR compare is about to stream (a quarter of the byte-layout
-                // traffic) and the chunk XOR/scan work.
-                uint32_t span =
-                    std::min<uint32_t>(len - s.nodeOffset,
-                                       query_size - s.queryPos);
-                uint64_t chunk_words = (span >> 5) + 1;
-                util::traceAccess(
-                    tracer,
-                    node_seq.words + ((node_seq.first + s.nodeOffset) >> 5),
-                    chunk_words * sizeof(uint64_t));
-                util::traceAccess(
-                    tracer, query.words + ((query.first + s.queryPos) >> 5),
-                    chunk_words * sizeof(uint64_t));
-                util::traceWork(tracer, chunk_words * 8);
-            }
-            // Consume bases within the current node, a match-run at a time.
-            // Within a run the score rises by matchScore per base, so taking
-            // the best-prefix snapshot once at the run's end is exactly
-            // equivalent to the per-base update.
-            while (s.nodeOffset < len && s.queryPos < query_size) {
-                const uint32_t span = std::min<uint32_t>(
-                    len - s.nodeOffset, query_size - s.queryPos);
-                const uint64_t gbase = node_seq.first + s.nodeOffset;
-                const uint64_t qbase = query.first + s.queryPos;
-                uint32_t run =
-                    params_.useSwar
-                        ? util::matchRunPacked(node_seq.words, gbase,
-                                               query.words, qbase, span,
-                                               scratch.wordsCompared)
-                        : util::matchRunScalar(node_seq.words, gbase,
-                                               query.words, qbase, span);
-                if (run > 0) {
-                    s.score += static_cast<int32_t>(run) * params_.matchScore;
-                    s.nodeOffset += run;
-                    s.queryPos += run;
-                    if (s.score >= s.bestScore) {
-                        s.bestQueryPos = s.queryPos;
-                        s.bestEndOffset = s.nodeOffset;
-                        s.bestScore = s.score;
-                        s.bestMismatches = s.mismatchOffsets.size();
-                        s.bestPathLen = s.path.size();
-                    }
-                }
-                if (run == span) {
-                    continue; // node or query exhausted; loop condition exits
-                }
-                if (s.mismatches + 1 > params_.maxMismatches) {
-                    dead = true;
-                    break;
-                }
-                ++s.mismatches;
-                s.score -= params_.mismatchPenalty;
-                s.mismatchOffsets.push_back(s.queryPos);
-                ++s.nodeOffset;
-                ++s.queryPos;
-            }
-
-            if (dead || s.queryPos >= query_size) {
-                finish(s);
+            if (stepNode(ctx, s, query, stack, best)) {
                 break;
             }
-
-            // Node exhausted with query left: branch on haplotype-supported
-            // successors.  Push in descending handle order so the DFS visits
-            // smaller handles first (determinism).
-            std::vector<gbwt::SearchState>& successors = scratch.successors;
-            successors.clear();
-            if (params_.haplotypeConsistent) {
-                if (budget != nullptr) {
-                    budget->chargeLookup();
-                }
-                cache.successorStatesInto(s.state, successors);
-            } else {
-                // Ablation mode: walk every graph edge with dummy states.
-                for (graph::Handle succ : graph_.successors(handle)) {
-                    successors.emplace_back(succ, 0, 1);
-                }
-            }
-            if (successors.empty()) {
-                finish(s);
-                break;
-            }
-            if (successors.size() > 1) {
-                std::sort(successors.begin(), successors.end(),
-                          [](const gbwt::SearchState& a,
-                             const gbwt::SearchState& b) {
-                              return b.node < a.node;
-                          });
-            }
-            // Warm the cache slots and compressed records the branches are
-            // about to probe; pure hint, no decode, no stats.
-            for (const gbwt::SearchState& succ : successors) {
-                cache.prefetch(succ.node);
-            }
-            // All but the last branch copy the state (memcpy-cheap with inline
-            // storage); the last one — the smallest handle, exactly the state
-            // the pop would deliver next — continues in `s` without touching
-            // the stack.  The common single-successor step of a bubble chain
-            // copies nothing.
-            for (size_t i = 0; i + 1 < successors.size(); ++i) {
-                WalkState next = s;
-                next.state = successors[i];
-                next.nodeOffset = 0;
-                stack.push_back(std::move(next));
-            }
-            s.state = successors.back();
-            s.nodeOffset = 0;
         }
     }
     return best;
+}
+
+void
+Extender::extendSeedsBatch(const SeedVector& seeds, const uint32_t* chosen,
+                           size_t count, std::string_view sequence,
+                           gbwt::CachedGbwt& cache, ExtendScratch& scratch,
+                           std::vector<GaplessExtension>& out) const
+{
+    if (count == 0) {
+        return;
+    }
+    // Pack the oriented read once (both strands); consecutive batches of
+    // the same oriented read hit the (pointer, length) key.
+    scratch.query.ensure(sequence);
+
+    std::vector<BatchLane>& lanes = scratch.lanes;
+    std::vector<uint32_t>& order = scratch.laneOrder;
+    const size_t nlanes = 2 * count;
+    if (lanes.size() < nlanes) {
+        lanes.resize(nlanes);
+    }
+
+    // Lane setup: 2i = right walk, 2i+1 = left walk of chosen[i].  Reset
+    // reuses every buffer (clear keeps capacity), so warm batches allocate
+    // nothing.
+    for (size_t i = 0; i < count; ++i) {
+        const Seed& seed = seeds[chosen[i]];
+        const graph::Position& pos = seed.position;
+        const uint32_t read_offset = seed.readOffset;
+        MG_ASSERT(read_offset < sequence.size());
+        const uint32_t node_len =
+            static_cast<uint32_t>(graph_.length(pos.handle.id()));
+        MG_ASSERT(pos.offset < node_len);
+
+        BatchLane& right = lanes[2 * i];
+        right.query = scratch.query.suffix(read_offset);
+        right.cur.state = gbwt::SearchState(pos.handle, 0, 0);
+        right.cur.nodeOffset = pos.offset;
+
+        BatchLane& left = lanes[2 * i + 1];
+        left.query = scratch.query.rcPrefix(read_offset);
+        left.cur.state = gbwt::SearchState(pos.handle.flip(), 0, 0);
+        left.cur.nodeOffset = node_len - pos.offset;
+    }
+    for (size_t l = 0; l < nlanes; ++l) {
+        BatchLane& lane = lanes[l];
+        lane.stack.clear();
+        lane.explored = 0;
+        lane.done = false;
+        lane.best.consumed = 0;
+        lane.best.score = 0;
+        lane.best.endOffset = 0;
+        lane.best.mismatchOffsets.clear();
+        lane.best.path.clear();
+        WalkState& s = lane.cur;
+        s.queryPos = 0;
+        s.mismatches = 0;
+        s.score = 0;
+        s.path.clear();
+        s.mismatchOffsets.clear();
+        s.bestQueryPos = 0;
+        s.bestEndOffset = 0;
+        s.bestScore = 0;
+        s.bestMismatches = 0;
+        s.bestPathLen = 0;
+    }
+
+    // Root lookups in handle order: lanes rooted on the same or adjacent
+    // records (seeds of one cluster sit on the same bubble chain) share
+    // one decode instead of interleaving distant probes.
+    order.clear();
+    for (uint32_t l = 0; l < nlanes; ++l) {
+        order.push_back(l);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return lanes[a].cur.state.node.packed() <
+               lanes[b].cur.state.node.packed();
+    });
+    size_t live = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const uint32_t l = order[i];
+        BatchLane& lane = lanes[l];
+        if (lane.query.size == 0) {
+            lane.done = true;
+            continue;
+        }
+        gbwt::SearchState root = cache.find(lane.cur.state.node);
+        if (root.empty()) {
+            lane.done = true; // no haplotype visits this orientation
+            continue;
+        }
+        lane.cur.state = root;
+        order[live++] = l;
+    }
+    order.resize(live);
+
+    // Lockstep rounds: every live lane advances one node per round, with
+    // each frontier prefetched at the round boundary — by the time a
+    // lane steps, its record load is in flight or shared with an earlier
+    // lane this round.  Lanes keep their root order (seeds of one
+    // cluster sit on the same bubble chain, so frontiers stay adjacent
+    // as walks advance together); re-sorting every round costs more than
+    // the residual locality it buys.  The live list compacts in place —
+    // no per-round rebuild.  Walks are independent, so per-lane
+    // traversal (and therefore every result) is exactly the sequential
+    // walkPacked's.
+    const StepCtx ctx =
+        makeStepCtx(graph_, params_, kernel_, cache, scratch);
+    while (!order.empty()) {
+        for (uint32_t l : order) {
+            cache.prefetch(lanes[l].cur.state.node);
+        }
+        size_t write = 0;
+        for (uint32_t l : order) {
+            BatchLane& lane = lanes[l];
+            if (++lane.explored > params_.maxWalkStates) {
+                // Walk-state cap: the whole walk stops, exactly like the
+                // sequential path (remaining branches discarded).
+                finishWalk(lane.cur, lane.best);
+                lane.done = true;
+                continue;
+            }
+            if (stepNode(ctx, lane.cur, lane.query, lane.stack,
+                         lane.best)) {
+                if (lane.stack.empty()) {
+                    lane.done = true;
+                    continue;
+                }
+                lane.cur = std::move(lane.stack.back());
+                lane.stack.pop_back();
+            }
+            order[write++] = l;
+        }
+        order.resize(write);
+    }
+
+    // Merge each seed's two walks and emit non-empty extensions in seed
+    // order — the exact emission the sequential loop produces.
+    for (size_t i = 0; i < count; ++i) {
+        GaplessExtension ext =
+            mergeWalks(seeds[chosen[i]], sequence.size(),
+                       lanes[2 * i + 1].best, lanes[2 * i].best);
+        if (ext.readEnd > ext.readBegin) {
+            out.push_back(std::move(ext));
+        }
+    }
 }
 
 DirectionalWalk
@@ -280,32 +549,12 @@ Extender::walk(graph::Handle start, uint32_t offset, std::string_view query,
 }
 
 GaplessExtension
-Extender::extendSeed(const Seed& seed, std::string_view sequence,
-                     gbwt::CachedGbwt& cache, ExtendScratch& scratch) const
+Extender::mergeWalks(const Seed& seed, size_t sequence_size,
+                     const DirectionalWalk& left,
+                     const DirectionalWalk& right) const
 {
     const graph::Position& pos = seed.position;
     const uint32_t read_offset = seed.readOffset;
-    MG_ASSERT(read_offset < sequence.size());
-    const uint32_t node_len =
-        static_cast<uint32_t>(graph_.length(pos.handle.id()));
-    MG_ASSERT(pos.offset < node_len);
-
-    // Pack the oriented read once (both strands); consecutive seeds of the
-    // same read hit the (pointer, length) key and repack nothing.
-    scratch.query.ensure(sequence);
-
-    // Rightward: match the read suffix starting at the seed base itself.
-    DirectionalWalk right =
-        walkPacked(pos.handle, pos.offset, scratch.query.suffix(read_offset),
-                   cache, scratch);
-
-    // Leftward: match the reverse complement of the read prefix by walking
-    // the flipped start node from the mirrored offset.  RC(prefix[0, r)) is
-    // the suffix of RC(read) starting at len - r, so the packed RC words
-    // computed at pack() time serve every seed with zero materialization.
-    DirectionalWalk left =
-        walkPacked(pos.handle.flip(), node_len - pos.offset,
-                   scratch.query.rcPrefix(read_offset), cache, scratch);
 
     GaplessExtension ext;
     ext.onReverseRead = seed.onReverseRead;
@@ -345,11 +594,42 @@ Extender::extendSeed(const Seed& seed, std::string_view sequence,
         ext.startOffset = pos.offset;
     }
 
-    if (ext.readBegin == 0 && ext.readEnd == sequence.size()) {
+    if (ext.readBegin == 0 && ext.readEnd == sequence_size) {
         ext.fullLength = true;
         ext.score += params_.fullLengthBonus;
     }
     return ext;
+}
+
+GaplessExtension
+Extender::extendSeed(const Seed& seed, std::string_view sequence,
+                     gbwt::CachedGbwt& cache, ExtendScratch& scratch) const
+{
+    const graph::Position& pos = seed.position;
+    const uint32_t read_offset = seed.readOffset;
+    MG_ASSERT(read_offset < sequence.size());
+    const uint32_t node_len =
+        static_cast<uint32_t>(graph_.length(pos.handle.id()));
+    MG_ASSERT(pos.offset < node_len);
+
+    // Pack the oriented read once (both strands); consecutive seeds of the
+    // same read hit the (pointer, length) key and repack nothing.
+    scratch.query.ensure(sequence);
+
+    // Rightward: match the read suffix starting at the seed base itself.
+    DirectionalWalk right =
+        walkPacked(pos.handle, pos.offset, scratch.query.suffix(read_offset),
+                   cache, scratch);
+
+    // Leftward: match the reverse complement of the read prefix by walking
+    // the flipped start node from the mirrored offset.  RC(prefix[0, r)) is
+    // the suffix of RC(read) starting at len - r, so the packed RC words
+    // computed at pack() time serve every seed with zero materialization.
+    DirectionalWalk left =
+        walkPacked(pos.handle.flip(), node_len - pos.offset,
+                   scratch.query.rcPrefix(read_offset), cache, scratch);
+
+    return mergeWalks(seed, sequence.size(), left, right);
 }
 
 GaplessExtension

@@ -84,6 +84,9 @@ struct MapResult
      *  budget before the seed loop finished. */
     uint32_t extensionsAttempted = 0;
     uint32_t extensionsAborted = 0;
+    /** Chosen seeds the score prefilter killed before extension started
+     *  (counted instead of, not in addition to, attempted). */
+    uint32_t extensionsPrefiltered = 0;
     /**
      * Why the read's mapping was cut short (None when it ran to
      * completion).  A degraded read still carries its best-so-far

@@ -84,6 +84,7 @@ Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
         p.clustersProcessed += result.clustersProcessed;
         p.extensionsAttempted += result.extensionsAttempted;
         p.extensionsAborted += result.extensionsAborted;
+        p.extensionsPrefiltered += result.extensionsPrefiltered;
         p.extensionsEmitted += result.extensions.size();
         switch (result.degraded) {
         case resilience::CancelReason::None: break;
@@ -174,10 +175,36 @@ Mapper::processUntilThresholdC(const Read& read, const SeedVector& seeds,
             }
         }
 
+        // Score prefilter: chosen is sorted best-first, so a single scan
+        // from the back trims the hopeless tail before any walk starts.
+        if (params_.prefilterFraction > 0.0 && !chosen.empty()) {
+            const double floor =
+                seeds[chosen.front()].score * params_.prefilterFraction;
+            while (!chosen.empty() &&
+                   seeds[chosen.back()].score < floor) {
+                chosen.pop_back();
+                ++result.extensionsPrefiltered;
+            }
+        }
+
         if (state.flight != nullptr) {
             state.flight->stage(obs::ReadStage::Extend);
         }
         perf::ScopedRegion region(state.log, regionExtend_);
+        // Lockstep batch path: all of the cluster's walks advance together
+        // so their GBWT record accesses amortize.  Byte-identical to the
+        // sequential loop below, but the budget's charge order and the
+        // tracer's access order are defined by sequential walks — spill
+        // whenever either observer is attached.
+        if (extender_.params().lockstep && !state.budget.active() &&
+            state.cache().tracer() == nullptr) {
+            result.extensionsAttempted +=
+                static_cast<uint32_t>(chosen.size());
+            extender_.extendSeedsBatch(seeds, chosen.data(), chosen.size(),
+                                       oriented, state.cache(),
+                                       state.extendScratch, candidates);
+            continue;
+        }
         for (uint32_t idx : chosen) {
             // Cancellation point between seeds of a cluster.
             if (state.budget.exhausted()) {

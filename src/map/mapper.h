@@ -46,6 +46,17 @@ struct MapperParams
     size_t maxClusters = 48;
     /** Distinct seeds extended per processed cluster. */
     size_t maxSeedsPerCluster = 4;
+    /**
+     * Extension prefilter: within a processed cluster, skip chosen seeds
+     * scoring below this fraction of the cluster's best chosen seed —
+     * they restate evidence the best seed already provides and their
+     * extensions almost always lose the dedup anyway.  Killed seeds are
+     * counted (mg_map_extensions_aborted_total{reason="prefilter"}), not
+     * attempted.  0 disables the filter (the default: the golden output
+     * gate requires byte-identical GAF, which only holds when every seed
+     * extends).
+     */
+    double prefilterFraction = 0.0;
     /** Extensions kept per read (best first). */
     size_t maxExtensions = 16;
     /** Initial CachedGBWT capacity (0 disables caching). */
@@ -142,6 +153,7 @@ class MapperState
         uint64_t clustersProcessed = 0;
         uint64_t extensionsAttempted = 0;
         uint64_t extensionsAborted = 0;
+        uint64_t extensionsPrefiltered = 0;
         uint64_t extensionsEmitted = 0;
         uint64_t degradedDeadline = 0;
         uint64_t degradedStepCap = 0;
@@ -168,6 +180,8 @@ class MapperState
         metrics->add(ids.extensionsAttempted,
                      pending.extensionsAttempted);
         metrics->add(ids.extensionsAborted, pending.extensionsAborted);
+        metrics->add(ids.extensionsPrefiltered,
+                     pending.extensionsPrefiltered);
         metrics->add(ids.extensionsEmitted, pending.extensionsEmitted);
         metrics->add(ids.degradedDeadline, pending.degradedDeadline);
         metrics->add(ids.degradedStepCap, pending.degradedStepCap);

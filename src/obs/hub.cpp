@@ -24,8 +24,11 @@ Hub::Hub(size_t workers, const std::vector<std::string>& serve_tenants,
         registry_.counter("mg_map_extensions_attempted_total",
                           "Seed extensions started");
     map_.extensionsAborted =
-        registry_.counter("mg_map_extensions_aborted_total",
+        registry_.counter("mg_map_extensions_aborted_total{reason=\"budget\"}",
                           "Seed extensions cut short by the budget");
+    map_.extensionsPrefiltered = registry_.counter(
+        "mg_map_extensions_aborted_total{reason=\"prefilter\"}",
+        "Chosen seeds killed by the score prefilter before extension");
     map_.extensionsEmitted =
         registry_.counter("mg_map_extensions_emitted_total",
                           "Extensions surviving to the result set");

@@ -34,6 +34,7 @@ struct MapMetricIds
     CounterId clustersProcessed;
     CounterId extensionsAttempted;
     CounterId extensionsAborted;
+    CounterId extensionsPrefiltered;
     CounterId extensionsEmitted;
     CounterId rescueAttempts;
     CounterId rescueHits;

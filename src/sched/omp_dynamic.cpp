@@ -1,5 +1,7 @@
 #include "sched/omp_dynamic.h"
 
+#include <atomic>
+
 #include <omp.h>
 
 #include "sched/exception_trap.h"
@@ -21,6 +23,13 @@ OmpDynamicScheduler::run(size_t total, size_t batch_size, size_t num_threads,
     // An exception escaping an OpenMP region is std::terminate; trap the
     // first one, finish the remaining batches, rethrow after the region.
     ExceptionTrap trap;
+    // libgomp ships uninstrumented, so TSan cannot observe the join
+    // barrier that already orders these writes before the caller's reads
+    // (and gomp's pooled workers stay alive past it).  The release
+    // increments chain into one release sequence that the acquire load
+    // below synchronizes with, restating the barrier in tool-visible
+    // atomics; cost is one uncontended RMW per batch.
+    std::atomic<int64_t> completed{0};
 #pragma omp parallel for schedule(dynamic, 1) \
     num_threads(static_cast<int>(num_threads))
     for (int64_t batch = 0; batch < num_batches; ++batch) {
@@ -35,7 +44,9 @@ OmpDynamicScheduler::run(size_t total, size_t batch_size, size_t num_threads,
         trap.guard([&] {
             fn(static_cast<size_t>(omp_get_thread_num()), begin, end);
         });
+        completed.fetch_add(1, std::memory_order_release);
     }
+    (void)completed.load(std::memory_order_acquire);
     trap.rethrowIfSet();
 }
 

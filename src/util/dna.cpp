@@ -1,7 +1,9 @@
 #include "util/dna.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
+#include <cstring>
 
 #include "util/common.h"
 
@@ -54,6 +56,23 @@ isStrictBase(char c)
 {
     return c == 'A' || c == 'C' || c == 'G' || c == 'T' || c == 'a' ||
            c == 'c' || c == 'g' || c == 't';
+}
+
+constexpr uint64_t kLoBytes = 0x0101010101010101ull;
+constexpr uint64_t kHiBytes = 0x8080808080808080ull;
+
+/**
+ * 0x80 in every byte of `w` equal to `c`, 0 elsewhere.  Exact per-byte
+ * equality: forcing bit 7 before the decrement keeps each byte's borrow
+ * local, unlike the classic `(t - lo) & ~t & hi` zero test whose borrow
+ * ripples across a zero byte and misclassifies a neighbouring 0x01
+ * (e.g. 'b' right after a genuine 'c' match).
+ */
+inline uint64_t
+eqBytes(uint64_t w, char c)
+{
+    const uint64_t t = w ^ (kLoBytes * static_cast<uint8_t>(c));
+    return ~((t | kHiBytes) - kLoBytes) & ~t & kHiBytes;
 }
 
 } // namespace
@@ -131,23 +150,52 @@ sanitizeDna(std::string& seq)
 size_t
 packAsciiInto(std::string_view seq, uint64_t* dst, uint64_t p)
 {
+    // SWAR bulk pack: classify eight ASCII bases per 64-bit step instead
+    // of one table lookup + validity chain per character.  Fold to
+    // lowercase (only 'A'..'a' etc. collide, by construction of ASCII),
+    // build per-byte equality masks, derive the 2-bit code directly —
+    // low bit set for C/T, high bit set for G/T, everything non-ACGT
+    // canonicalized to A exactly like the table — then compact the
+    // byte-spaced codes into 16 contiguous bits with three shift/mask
+    // steps.  Four groups fill one 32-base packed word per writeChunk.
+    const char* s = seq.data();
+    size_t n = seq.size();
     size_t sanitized = 0;
+    uint64_t at = p;
+    while (n >= kBasesPerWord) {
+        uint64_t chunk = 0;
+        for (uint32_t g = 0; g < 4; ++g) {
+            uint64_t w;
+            std::memcpy(&w, s + 8 * g, 8);
+            w |= kLoBytes * 0x20u; // lowercase fold
+            const uint64_t is_c = eqBytes(w, 'c');
+            const uint64_t is_g = eqBytes(w, 'g');
+            const uint64_t is_t = eqBytes(w, 't');
+            const uint64_t valid = eqBytes(w, 'a') | is_c | is_g | is_t;
+            sanitized += 8 - static_cast<size_t>(std::popcount(valid));
+            uint64_t codes = ((is_c | is_t) >> 7) | ((is_g | is_t) >> 6);
+            codes = (codes | (codes >> 6)) & 0x000F000F000F000Full;
+            codes = (codes | (codes >> 12)) & 0x000000FF000000FFull;
+            codes = (codes | (codes >> 24)) & 0xFFFFull;
+            chunk |= codes << (16 * g);
+        }
+        writeChunk(dst, at, chunk, kBasesPerWord);
+        at += kBasesPerWord;
+        s += kBasesPerWord;
+        n -= kBasesPerWord;
+    }
+    // Sub-word tail: the original per-character table path.
     uint64_t chunk = 0;
     uint32_t filled = 0;
-    uint64_t at = p;
-    for (char c : seq) {
+    for (size_t i = 0; i < n; ++i) {
+        const char c = s[i];
         if (!isStrictBase(c)) {
             ++sanitized;
         }
         chunk |= static_cast<uint64_t>(
                      kCanonCodeTable.table[static_cast<uint8_t>(c)])
                  << (2 * filled);
-        if (++filled == kBasesPerWord) {
-            writeChunk(dst, at, chunk, kBasesPerWord);
-            at += kBasesPerWord;
-            chunk = 0;
-            filled = 0;
-        }
+        ++filled;
     }
     if (filled > 0) {
         writeChunk(dst, at, chunk, filled);
@@ -205,16 +253,6 @@ unpackPacked(const uint64_t* words, uint64_t p, uint64_t len)
         i += n;
     }
     return out;
-}
-
-uint64_t
-hash64(uint64_t key)
-{
-    // SplitMix64 finalizer: bijective, well mixed, cheap.
-    key += 0x9e3779b97f4a7c15ull;
-    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
-    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
-    return key ^ (key >> 31);
 }
 
 uint64_t

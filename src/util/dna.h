@@ -275,9 +275,19 @@ matchRunScalar(const uint64_t* a, uint64_t abase, const uint64_t* b,
  * Invertible hash over 64-bit keys (Thomas Wang / murmur-style finalizer).
  * Used to order k-mers for minimizer selection so that the lexicographically
  * boring poly-A k-mers do not dominate the index, mirroring the hashed
- * ordering used by real minimizer indexes.
+ * ordering used by real minimizer indexes — and by the GBWT record cache,
+ * which hashes a node handle on every probe of the extension walk (inline
+ * so the five arithmetic ops don't hide behind a call).
  */
-uint64_t hash64(uint64_t key);
+inline uint64_t
+hash64(uint64_t key)
+{
+    // SplitMix64 finalizer: bijective, well mixed, cheap.
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return key ^ (key >> 31);
+}
 
 /**
  * Pack the k leading bases of seq into a 2-bit integer (k <= 32).

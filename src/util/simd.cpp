@@ -1,0 +1,394 @@
+#include "util/simd.h"
+
+#include <bit>
+#include <cstdio>
+#include <mutex>
+
+#include "util/dna.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define MG_SIMD_X86 1
+#endif
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#define MG_SIMD_NEON 1
+#endif
+
+namespace mg::util {
+
+namespace {
+
+/*
+ * Bounds safety of the wide loops.  Every packed buffer carries one zero
+ * pad word past its last data word (util/dna.h invariant).  A wide step at
+ * base position p (word wi = p>>5) loads lo = words[wi .. wi+L-1] and
+ * hi = words[wi+1 .. wi+L] for L lanes.  The step runs only while at least
+ * 32*L bases remain, so base p + 32*L - 1 exists and its word index
+ * (p + 32*L - 1) >> 5 >= wi + L - 1 is a *data* word; the deepest load,
+ * words[wi+L], is therefore at worst the pad word.  No load ever leaves
+ * the buffer.
+ */
+
+/** MatchRunFn adapter for the per-base reference loop (counts nothing —
+ *  the scalar baseline reports zero words per extend, as before). */
+uint32_t
+runScalar(const uint64_t* a, uint64_t abase, const uint64_t* b,
+          uint64_t bbase, uint32_t span, uint64_t& /*words_compared*/)
+{
+    return matchRunScalar(a, abase, b, bbase, span);
+}
+
+/** MatchRunFn adapter for the SWAR loop. */
+uint32_t
+runSwar(const uint64_t* a, uint64_t abase, const uint64_t* b,
+        uint64_t bbase, uint32_t span, uint64_t& words_compared)
+{
+    return matchRunPacked(a, abase, b, bbase, span, words_compared);
+}
+
+#if defined(MG_SIMD_X86)
+
+/** AVX2: four 32-base lanes (128 bases) per step, SWAR tail. */
+__attribute__((target("avx2"))) uint32_t
+runAvx2(const uint64_t* a, uint64_t abase, const uint64_t* b,
+        uint64_t bbase, uint32_t span, uint64_t& words_compared)
+{
+    uint32_t done = 0;
+    if (span >= 128) {
+        // done advances in 32-base units, so both streams keep a constant
+        // intra-word phase: one scalar shift count serves all lanes of
+        // every iteration (chunk = (lo >> sh) | ((hi << 1) << (63 - sh)),
+        // the branchless shift-carry of util::chunk32, four words wide).
+        const __m128i sha =
+            _mm_cvtsi32_si128(static_cast<int>((abase & 31u) << 1));
+        const __m128i cba = _mm_cvtsi32_si128(
+            static_cast<int>(63u - ((abase & 31u) << 1)));
+        const __m128i shb =
+            _mm_cvtsi32_si128(static_cast<int>((bbase & 31u) << 1));
+        const __m128i cbb = _mm_cvtsi32_si128(
+            static_cast<int>(63u - ((bbase & 31u) << 1)));
+        const __m256i zero = _mm256_setzero_si256();
+        while (span - done >= 128) {
+            const uint64_t wa = (abase + done) >> 5;
+            const uint64_t wb = (bbase + done) >> 5;
+            __m256i alo = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(a + wa));
+            __m256i ahi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(a + wa + 1));
+            __m256i blo = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(b + wb));
+            __m256i bhi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(b + wb + 1));
+            __m256i va = _mm256_or_si256(
+                _mm256_srl_epi64(alo, sha),
+                _mm256_sll_epi64(_mm256_slli_epi64(ahi, 1), cba));
+            __m256i vb = _mm256_or_si256(
+                _mm256_srl_epi64(blo, shb),
+                _mm256_sll_epi64(_mm256_slli_epi64(bhi, 1), cbb));
+            __m256i x = _mm256_xor_si256(va, vb);
+            words_compared += 4;
+            uint32_t eq = static_cast<uint32_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(
+                    _mm256_cmpeq_epi64(x, zero))));
+            if (eq != 0xFu) {
+                uint32_t lane = static_cast<uint32_t>(
+                    std::countr_zero(~eq & 0xFu));
+                alignas(32) uint64_t lanes[4];
+                _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), x);
+                uint32_t diff = static_cast<uint32_t>(
+                                    std::countr_zero(lanes[lane])) >> 1;
+                return done + lane * 32 + diff;
+            }
+            done += 128;
+        }
+    }
+    return done + matchRunPacked(a, abase + done, b, bbase + done,
+                                 span - done, words_compared);
+}
+
+/** AVX-512BW: eight 32-base lanes (256 bases) per step, SWAR tail. */
+__attribute__((target("avx512f,avx512bw"))) uint32_t
+runAvx512(const uint64_t* a, uint64_t abase, const uint64_t* b,
+          uint64_t bbase, uint32_t span, uint64_t& words_compared)
+{
+    uint32_t done = 0;
+    if (span >= 256) {
+        const __m128i sha =
+            _mm_cvtsi32_si128(static_cast<int>((abase & 31u) << 1));
+        const __m128i cba = _mm_cvtsi32_si128(
+            static_cast<int>(63u - ((abase & 31u) << 1)));
+        const __m128i shb =
+            _mm_cvtsi32_si128(static_cast<int>((bbase & 31u) << 1));
+        const __m128i cbb = _mm_cvtsi32_si128(
+            static_cast<int>(63u - ((bbase & 31u) << 1)));
+        while (span - done >= 256) {
+            const uint64_t wa = (abase + done) >> 5;
+            const uint64_t wb = (bbase + done) >> 5;
+            __m512i alo = _mm512_loadu_si512(a + wa);
+            __m512i ahi = _mm512_loadu_si512(a + wa + 1);
+            __m512i blo = _mm512_loadu_si512(b + wb);
+            __m512i bhi = _mm512_loadu_si512(b + wb + 1);
+            __m512i va = _mm512_or_si512(
+                _mm512_srl_epi64(alo, sha),
+                _mm512_sll_epi64(_mm512_slli_epi64(ahi, 1), cba));
+            __m512i vb = _mm512_or_si512(
+                _mm512_srl_epi64(blo, shb),
+                _mm512_sll_epi64(_mm512_slli_epi64(bhi, 1), cbb));
+            __m512i x = _mm512_xor_si512(va, vb);
+            words_compared += 8;
+            __mmask8 ne = _mm512_test_epi64_mask(x, x);
+            if (ne != 0) {
+                uint32_t lane = static_cast<uint32_t>(
+                    std::countr_zero(static_cast<uint32_t>(ne)));
+                alignas(64) uint64_t lanes[8];
+                _mm512_store_si512(lanes, x);
+                uint32_t diff = static_cast<uint32_t>(
+                                    std::countr_zero(lanes[lane])) >> 1;
+                return done + lane * 32 + diff;
+            }
+            done += 256;
+        }
+    }
+    return done + matchRunPacked(a, abase + done, b, bbase + done,
+                                 span - done, words_compared);
+}
+
+#endif // MG_SIMD_X86
+
+#if defined(MG_SIMD_NEON)
+
+/** NEON/ASIMD: two 32-base lanes (64 bases) per step, SWAR tail. */
+uint32_t
+runNeon(const uint64_t* a, uint64_t abase, const uint64_t* b,
+        uint64_t bbase, uint32_t span, uint64_t& words_compared)
+{
+    uint32_t done = 0;
+    if (span >= 64) {
+        // vshlq_u64 shifts left by positive counts and right by negative
+        // ones, so both halves of the shift-carry use the same intrinsic.
+        const int64x2_t sra =
+            vdupq_n_s64(-static_cast<int64_t>((abase & 31u) << 1));
+        const int64x2_t sla =
+            vdupq_n_s64(static_cast<int64_t>(63u - ((abase & 31u) << 1)));
+        const int64x2_t srb =
+            vdupq_n_s64(-static_cast<int64_t>((bbase & 31u) << 1));
+        const int64x2_t slb =
+            vdupq_n_s64(static_cast<int64_t>(63u - ((bbase & 31u) << 1)));
+        const int64x2_t one = vdupq_n_s64(1);
+        while (span - done >= 64) {
+            const uint64_t wa = (abase + done) >> 5;
+            const uint64_t wb = (bbase + done) >> 5;
+            uint64x2_t va = vorrq_u64(
+                vshlq_u64(vld1q_u64(a + wa), sra),
+                vshlq_u64(vshlq_u64(vld1q_u64(a + wa + 1), one), sla));
+            uint64x2_t vb = vorrq_u64(
+                vshlq_u64(vld1q_u64(b + wb), srb),
+                vshlq_u64(vshlq_u64(vld1q_u64(b + wb + 1), one), slb));
+            uint64x2_t x = veorq_u64(va, vb);
+            words_compared += 2;
+            uint64_t lane0 = vgetq_lane_u64(x, 0);
+            uint64_t lane1 = vgetq_lane_u64(x, 1);
+            if (lane0 != 0) {
+                return done +
+                       (static_cast<uint32_t>(std::countr_zero(lane0)) >>
+                        1);
+            }
+            if (lane1 != 0) {
+                return done + 32 +
+                       (static_cast<uint32_t>(std::countr_zero(lane1)) >>
+                        1);
+            }
+            done += 64;
+        }
+    }
+    return done + matchRunPacked(a, abase + done, b, bbase + done,
+                                 span - done, words_compared);
+}
+
+#endif // MG_SIMD_NEON
+
+CpuFeatures
+probeCpu()
+{
+    CpuFeatures f;
+#if defined(MG_SIMD_X86)
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.avx512bw = __builtin_cpu_supports("avx512f") != 0 &&
+                 __builtin_cpu_supports("avx512bw") != 0;
+#elif defined(MG_SIMD_NEON)
+#if defined(__linux__) && defined(HWCAP_ASIMD)
+    f.neon = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+    f.neon = true; // ASIMD is architecturally baseline on AArch64
+#endif
+#endif
+    return f;
+}
+
+} // namespace
+
+const char*
+kernelVariantName(KernelVariant variant)
+{
+    switch (variant) {
+      case KernelVariant::Scalar: return "scalar";
+      case KernelVariant::Swar: return "swar";
+      case KernelVariant::Simd: return "simd";
+      case KernelVariant::Auto: return "auto";
+    }
+    return "?";
+}
+
+bool
+parseKernelVariant(std::string_view name, KernelVariant& out)
+{
+    for (KernelVariant v : { KernelVariant::Scalar, KernelVariant::Swar,
+                             KernelVariant::Simd, KernelVariant::Auto }) {
+        if (name == kernelVariantName(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char*
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::None: return "none";
+      case SimdLevel::Neon: return "neon";
+      case SimdLevel::Avx2: return "avx2";
+      case SimdLevel::Avx512bw: return "avx512bw";
+    }
+    return "?";
+}
+
+std::string
+CpuFeatures::summary() const
+{
+    std::string out;
+    auto append = [&](const char* name) {
+        if (!out.empty()) {
+            out += '+';
+        }
+        out += name;
+    };
+    if (avx2) {
+        append("avx2");
+    }
+    if (avx512bw) {
+        append("avx512bw");
+    }
+    if (neon) {
+        append("neon");
+    }
+    if (out.empty()) {
+        out = "swar64"; // no wide ISA: the 64-bit SWAR kernel is the top
+    }
+    return out;
+}
+
+const CpuFeatures&
+cpuFeatures()
+{
+    static const CpuFeatures features = probeCpu();
+    return features;
+}
+
+SimdLevel
+bestSimdLevel()
+{
+    const CpuFeatures& f = cpuFeatures();
+    if (f.avx512bw) {
+        return SimdLevel::Avx512bw;
+    }
+    if (f.avx2) {
+        return SimdLevel::Avx2;
+    }
+    if (f.neon) {
+        return SimdLevel::Neon;
+    }
+    return SimdLevel::None;
+}
+
+MatchRunFn
+matchRunForLevel(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::None:
+        return &runSwar;
+      case SimdLevel::Neon:
+#if defined(MG_SIMD_NEON)
+        return &runNeon;
+#else
+        return nullptr;
+#endif
+      case SimdLevel::Avx2:
+#if defined(MG_SIMD_X86)
+        return &runAvx2;
+#else
+        return nullptr;
+#endif
+      case SimdLevel::Avx512bw:
+#if defined(MG_SIMD_X86)
+        return &runAvx512;
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+ResolvedKernel
+resolveKernel(KernelVariant requested)
+{
+    ResolvedKernel r;
+    r.requested = requested;
+    switch (requested) {
+      case KernelVariant::Scalar:
+        r.effective = KernelVariant::Scalar;
+        r.fn = &runScalar;
+        return r;
+      case KernelVariant::Swar:
+        r.effective = KernelVariant::Swar;
+        r.fn = &runSwar;
+        return r;
+      case KernelVariant::Simd:
+      case KernelVariant::Auto:
+        break;
+    }
+    const SimdLevel level = bestSimdLevel();
+    MatchRunFn fn =
+        level == SimdLevel::None ? nullptr : matchRunForLevel(level);
+    if (fn == nullptr) {
+        // No wide ISA on this CPU (or no implementation in this build):
+        // degrade to SWAR.  An explicit Simd request earns one warning per
+        // process; Auto degrades silently — that is its contract.
+        if (requested == KernelVariant::Simd) {
+            static std::once_flag warned;
+            std::call_once(warned, [] {
+                std::fprintf(stderr,
+                             "mg: kernel 'simd' requested but no wide "
+                             "SIMD ISA is available (cpu: %s); falling "
+                             "back to 'swar'\n",
+                             cpuFeatures().summary().c_str());
+            });
+        }
+        r.effective = KernelVariant::Swar;
+        r.level = SimdLevel::None;
+        r.fn = &runSwar;
+        return r;
+    }
+    r.effective = KernelVariant::Simd;
+    r.level = level;
+    r.fn = fn;
+    return r;
+}
+
+} // namespace mg::util

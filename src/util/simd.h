@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Runtime-dispatched wide match primitives over the 2-bit packed substrate
+ * (util/dna.h).  The extension kernel's innermost operation — "length of
+ * the common prefix of two packed base ranges" — exists in four variants:
+ *
+ *   Scalar  one code compare per base (the property-test oracle)
+ *   Swar    64-bit XOR + countr_zero, 32 bases per step (PR 3's kernel)
+ *   Simd    AVX-512BW / AVX2 / NEON wide compare, 256 / 128 / 64 bases per
+ *           step, falling back to the SWAR loop for the tail
+ *   Auto    the best variant this CPU supports (Simd when any wide ISA is
+ *           present, Swar otherwise)
+ *
+ * Every variant returns bit-identical match lengths; only throughput and
+ * the `words_compared` instrumentation granularity differ.  The SIMD
+ * implementations are compiled with per-function target attributes, so the
+ * binary always builds and the choice happens once at runtime via a cached
+ * CPU feature probe (`__builtin_cpu_supports` on x86, the architecture
+ * baseline on aarch64).  Forcing a variant the machine cannot run degrades
+ * to the best available one with a one-time stderr warning — never a
+ * crash — so one config file can serve a heterogeneous fleet.
+ *
+ * Safety contract of the wide loops: both input ranges obey the pad-word
+ * invariant (one zero word past the data), and a vector step is taken only
+ * while at least a full vector of bases remains, which keeps every lane's
+ * shift-carry pair inside data+pad (proof in simd.cpp).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mg::util {
+
+/** Selectable match-kernel variants (ExtendParams::kernel). */
+enum class KernelVariant : uint8_t
+{
+    Scalar = 0, ///< per-base reference loop (oracle, not a production mode)
+    Swar = 1,   ///< 64-bit XOR/countr_zero loop (always available)
+    Simd = 2,   ///< widest available vector ISA, SWAR tail
+    Auto = 3,   ///< resolve to Simd when available, else Swar
+};
+
+/** Stable lower-case name ("scalar", "swar", "simd", "auto"). */
+const char* kernelVariantName(KernelVariant variant);
+
+/** Parse a variant name (case-sensitive, the names above). */
+bool parseKernelVariant(std::string_view name, KernelVariant& out);
+
+/** Vector ISA levels the Simd variant can resolve to. */
+enum class SimdLevel : uint8_t
+{
+    None = 0,     ///< no wide ISA; Simd degrades to Swar
+    Neon = 1,     ///< aarch64 ASIMD, 64 bases per step
+    Avx2 = 2,     ///< x86 AVX2, 128 bases per step
+    Avx512bw = 3, ///< x86 AVX-512BW, 256 bases per step
+};
+
+/** Stable name ("none", "neon", "avx2", "avx512bw"). */
+const char* simdLevelName(SimdLevel level);
+
+/** CPU SIMD feature set, probed once per process and cached. */
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool avx512bw = false;
+    bool neon = false;
+
+    /** Compact summary for run records: "avx2+avx512bw", "neon", or
+     *  "swar64" when no wide ISA is available. */
+    std::string summary() const;
+};
+
+/** The cached feature probe (first call probes, later calls are free). */
+const CpuFeatures& cpuFeatures();
+
+/** Widest level the running CPU supports (None when scalar-64 only). */
+SimdLevel bestSimdLevel();
+
+/**
+ * Match-run function signature shared by every variant: common-prefix
+ * length (up to span) of the packed ranges at a[abase] and b[bbase].
+ * `words_compared` counts 32-base chunks examined (vector variants count
+ * each lane of a wide compare, so totals stay comparable across kernels).
+ */
+using MatchRunFn = uint32_t (*)(const uint64_t* a, uint64_t abase,
+                                const uint64_t* b, uint64_t bbase,
+                                uint32_t span, uint64_t& words_compared);
+
+/**
+ * The kernel for one specific ISA level; None returns the SWAR kernel.
+ * Returns nullptr when this binary has no implementation for the level
+ * (e.g. NEON on an x86 build) — callers fall back down the ladder.
+ * Availability on the *running* CPU is the caller's concern (resolveKernel
+ * checks it); invoking an unsupported level's kernel is undefined.
+ */
+MatchRunFn matchRunForLevel(SimdLevel level);
+
+/** A requested kernel choice resolved against the running CPU. */
+struct ResolvedKernel
+{
+    KernelVariant requested = KernelVariant::Auto;
+    /** What will actually run (never Auto; Simd only when available). */
+    KernelVariant effective = KernelVariant::Swar;
+    /** ISA level of the Simd kernel (None unless effective == Simd). */
+    SimdLevel level = SimdLevel::None;
+    MatchRunFn fn = nullptr;
+};
+
+/**
+ * Resolve a requested variant to a runnable kernel.  Auto picks Simd when
+ * any wide ISA is present, otherwise Swar.  Requesting Simd on a machine
+ * with no wide ISA degrades to Swar and warns once per process on stderr;
+ * the returned record always names what actually runs.
+ */
+ResolvedKernel resolveKernel(KernelVariant requested);
+
+} // namespace mg::util
