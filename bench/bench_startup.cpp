@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Startup microbenchmark for the MGZ v3 zero-copy substrate.
+ *
+ * Measures, per input-set analog, the three costs the substrate exists to
+ * change: (1) heap-parsing a v2 container (decode + GBWT rebuild +
+ * minimizer/distance construction) vs (2) mmap-binding a v3 container
+ * (map + pointer fixup), plus (3) the steady-state mapping throughput on
+ * each, which must not regress — the mapped arenas are the same bytes the
+ * heap path would have built.  Also sweeps the parallel index builders
+ * (GBWT batches + minimizer shards over the work-stealing scheduler)
+ * against the serial build.
+ *
+ *   bench_startup [--scale=S] [--json=PATH]       record BENCH_mmap.json
+ *   bench_startup --guard=PATH                    perf-guard run (CTest)
+ *
+ * The guard re-measures in-process ratios (machine speed cancels):
+ *   - v3 mmap load must be >= 10x faster than the v2 parse on A-human;
+ *   - mapped-mode mapping throughput >= 0.95x parsed-mode;
+ *   - parallel index build >= 2x serial at 8 threads (only asserted when
+ *     the machine actually has >= 8 hardware threads; CI runners with one
+ *     core record the numbers but skip the assertion).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "gbwt/gbwt.h"
+#include "index/minimizer.h"
+#include "io/file.h"
+#include "io/mgz.h"
+#include "obs/json.h"
+#include "util/timer.h"
+
+namespace mg::bench {
+namespace {
+
+std::string
+containerPath(const std::string& input_set, const char* ext)
+{
+    return "/tmp/mg_bench_startup_" + input_set + ext;
+}
+
+/** Everything measured for one input-set analog. */
+struct StartupRow
+{
+    std::string inputSet;
+    uint64_t v2Bytes = 0;
+    uint64_t v3Bytes = 0;
+    double parseSeconds = 0.0;     // v2: decode + index builds
+    double mmapFirstSeconds = 0.0; // v3: first map after writing
+    double mmapWarmSeconds = 0.0;  // v3: best of warm re-maps
+    double mmapSpeedup = 0.0;      // parseSeconds / mmapWarmSeconds
+    double parsedReadsPerSec = 0.0;
+    double mappedReadsPerSec = 0.0;
+    double throughputRatio = 0.0; // mapped / parsed
+    double serialBuildSeconds = 0.0;
+    double parallelBuildSeconds = 0.0; // at min(8, hardware) threads
+    unsigned parallelThreads = 1;
+    double buildSpeedup = 0.0;
+};
+
+double
+readsPerSec(const io::IndexedPangenome& pg, const map::ReadSet& reads)
+{
+    giraffe::ParentEmulator parent(pg.graph, pg.gbwt, pg.minimizers,
+                                   pg.distance, giraffe::ParentParams());
+    // One warmup pass (faults v3 pages in, fills allocator caches), then
+    // two timed passes; the caller interleaves calls and keeps the best.
+    parent.run(reads);
+    double best_seconds = 1e9;
+    for (int rep = 0; rep < 2; ++rep) {
+        util::WallTimer timer;
+        giraffe::ParentOutputs outputs = parent.run(reads);
+        best_seconds = std::min(
+            best_seconds, std::max(outputs.wallSeconds, timer.seconds()));
+    }
+    return static_cast<double>(reads.reads.size()) / best_seconds;
+}
+
+double
+buildIndexesOnce(const graph::VariationGraph& graph, unsigned threads)
+{
+    util::WallTimer timer;
+    gbwt::GbwtBuilder builder;
+    for (const graph::PathEntry& path : graph.paths()) {
+        builder.addPath(path.steps);
+    }
+    gbwt::Gbwt gbwt = std::move(builder).build(threads);
+    index::MinimizerParams mparams;
+    mparams.k = 15;
+    mparams.w = 8;
+    mparams.buildThreads = threads;
+    index::MinimizerIndex minimizers(graph, mparams);
+    double seconds = timer.seconds();
+    // Keep the results observable so the builds cannot be elided.
+    if (gbwt.numPaths() == 0 && minimizers.numKeys() == 0) {
+        std::printf("(empty index)\n");
+    }
+    return seconds;
+}
+
+StartupRow
+measure(const std::string& input_set, double scale)
+{
+    StartupRow row;
+    row.inputSet = input_set;
+
+    std::unique_ptr<World> world = buildWorld(input_set, scale);
+    const std::string v2 = containerPath(input_set, ".mgz");
+    const std::string v3 = containerPath(input_set, ".mgz3");
+    io::saveMgz(v2, world->graph(), world->gbwt());
+    io::saveMgz3(v3, world->graph(), world->gbwt(), world->minimizers,
+                 world->distance);
+    row.v2Bytes = io::readFileBytes(v2).size();
+    row.v3Bytes = io::readFileBytes(v3).size();
+
+    // v2 parse: best of 2 (both page-cache warm; the parse dominates).
+    row.parseSeconds = 1e9;
+    for (int rep = 0; rep < 2; ++rep) {
+        util::WallTimer timer;
+        io::IndexedPangenome pg = io::loadPangenome(v2);
+        row.parseSeconds = std::min(row.parseSeconds, timer.seconds());
+    }
+
+    // v3 map: first bind, then best of 5 warm binds.
+    {
+        util::WallTimer timer;
+        io::IndexedPangenome pg = io::loadPangenome(v3);
+        row.mmapFirstSeconds = timer.seconds();
+    }
+    row.mmapWarmSeconds = 1e9;
+    for (int rep = 0; rep < 5; ++rep) {
+        util::WallTimer timer;
+        io::IndexedPangenome pg = io::loadPangenome(v3);
+        row.mmapWarmSeconds = std::min(row.mmapWarmSeconds,
+                                       timer.seconds());
+    }
+    row.mmapSpeedup = row.parseSeconds / row.mmapWarmSeconds;
+
+    // Steady-state mapping throughput, both load modes.  Passes are
+    // interleaved (parsed, mapped, parsed, ...) so slow drift in machine
+    // load hits both sides equally and cancels out of the ratio.
+    {
+        io::IndexedPangenome parsed = io::loadPangenome(v2);
+        io::IndexedPangenome mapped = io::loadPangenome(v3);
+        for (int rep = 0; rep < 3; ++rep) {
+            row.parsedReadsPerSec =
+                std::max(row.parsedReadsPerSec,
+                         readsPerSec(parsed, world->set.reads));
+            row.mappedReadsPerSec =
+                std::max(row.mappedReadsPerSec,
+                         readsPerSec(mapped, world->set.reads));
+        }
+        row.throughputRatio = row.mappedReadsPerSec
+                              / row.parsedReadsPerSec;
+    }
+
+    // Parallel index construction vs serial.
+    unsigned hardware = std::thread::hardware_concurrency();
+    row.parallelThreads =
+        std::max(1u, std::min(8u, hardware == 0 ? 1u : hardware));
+    row.serialBuildSeconds = buildIndexesOnce(world->graph(), 1);
+    row.parallelBuildSeconds =
+        buildIndexesOnce(world->graph(), row.parallelThreads);
+    row.buildSpeedup = row.serialBuildSeconds / row.parallelBuildSeconds;
+    return row;
+}
+
+void
+printRow(const StartupRow& row)
+{
+    std::printf("%-8s  v2 %7.2f MB parse %8.4f s | v3 %7.2f MB map "
+                "%8.4f s (first %.4f s)  speedup %6.1fx\n",
+                row.inputSet.c_str(), row.v2Bytes / 1048576.0,
+                row.parseSeconds, row.v3Bytes / 1048576.0,
+                row.mmapWarmSeconds, row.mmapFirstSeconds,
+                row.mmapSpeedup);
+    std::printf("          throughput parsed %8.0f r/s, mapped %8.0f r/s "
+                "(ratio %.3f)\n",
+                row.parsedReadsPerSec, row.mappedReadsPerSec,
+                row.throughputRatio);
+    std::printf("          index build serial %.3f s, %u-thread %.3f s "
+                "(speedup %.2fx)\n",
+                row.serialBuildSeconds, row.parallelBuildSeconds,
+                row.parallelThreads, row.buildSpeedup);
+}
+
+void
+writeJson(const std::string& path, double scale,
+          const std::vector<StartupRow>& rows)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("benchmark", "bench_startup");
+    w.field("scale", scale);
+    w.field("hardware_threads",
+            static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    w.key("results").beginObject();
+    for (const StartupRow& row : rows) {
+        w.key(row.inputSet).beginObject();
+        w.field("v2_bytes", row.v2Bytes);
+        w.field("v3_bytes", row.v3Bytes);
+        w.field("parse_seconds", row.parseSeconds);
+        w.field("mmap_first_seconds", row.mmapFirstSeconds);
+        w.field("mmap_warm_seconds", row.mmapWarmSeconds);
+        w.field("mmap_speedup", row.mmapSpeedup);
+        w.field("parsed_reads_per_sec", row.parsedReadsPerSec);
+        w.field("mapped_reads_per_sec", row.mappedReadsPerSec);
+        w.field("throughput_ratio", row.throughputRatio);
+        w.field("serial_build_seconds", row.serialBuildSeconds);
+        w.field("parallel_build_seconds", row.parallelBuildSeconds);
+        w.field("parallel_build_threads",
+                static_cast<uint64_t>(row.parallelThreads));
+        w.field("build_speedup", row.buildSpeedup);
+        w.endObject();
+    }
+    w.endObject();
+    // The floors perf_guard_mmap re-measures.
+    w.key("guard").beginObject();
+    w.field("mmap_speedup_floor", 10.0);
+    w.field("throughput_ratio_floor", 0.95);
+    w.field("build_speedup_floor_at_8_threads", 2.0);
+    w.endObject();
+    w.endObject();
+    io::writeFileText(path, w.str());
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Perf guard (ctest perf_guard_mmap): in-process ratios on the A-human
+ * analog.  Machine speed cancels out of every checked quantity.
+ */
+int
+guardRun(const std::string& committed_path)
+{
+    if (io::fileExists(committed_path)) {
+        std::printf("perf-guard-mmap: committed record %s\n",
+                    committed_path.c_str());
+    } else {
+        std::printf("perf-guard-mmap: no committed record (%s)\n",
+                    committed_path.c_str());
+    }
+
+    StartupRow row = measure("A-human", 0.1);
+    printRow(row);
+    bool ok = true;
+
+    if (row.mmapSpeedup < 10.0) {
+        std::printf("FAIL: v3 mmap load %.1fx faster than v2 parse "
+                    "(floor 10x)\n",
+                    row.mmapSpeedup);
+        ok = false;
+    } else {
+        std::printf("ok: mmap load %.1fx faster than parse "
+                    "(floor 10x)\n",
+                    row.mmapSpeedup);
+    }
+
+    if (row.throughputRatio < 0.95) {
+        std::printf("FAIL: mapped-mode throughput ratio %.3f "
+                    "(floor 0.95)\n",
+                    row.throughputRatio);
+        ok = false;
+    } else {
+        std::printf("ok: mapped/parsed throughput ratio %.3f "
+                    "(floor 0.95)\n",
+                    row.throughputRatio);
+    }
+
+    unsigned hardware = std::thread::hardware_concurrency();
+    if (hardware >= 8) {
+        if (row.buildSpeedup < 2.0) {
+            std::printf("FAIL: parallel index build %.2fx at %u threads "
+                        "(floor 2x)\n",
+                        row.buildSpeedup, row.parallelThreads);
+            ok = false;
+        } else {
+            std::printf("ok: parallel index build %.2fx at %u threads "
+                        "(floor 2x)\n",
+                        row.buildSpeedup, row.parallelThreads);
+        }
+    } else {
+        std::printf("skip: build-scaling floor needs >= 8 hardware "
+                    "threads (have %u); measured %.2fx at %u\n",
+                    hardware, row.buildSpeedup, row.parallelThreads);
+    }
+    return ok ? 0 : 1;
+}
+
+int
+run(int argc, char** argv)
+{
+    util::Flags flags = benchFlags("bench_startup", "0.1");
+    flags.define("json", "BENCH_mmap.json",
+                 "output path for the JSON record");
+    flags.define("guard", "",
+                 "perf-guard mode: committed BENCH_mmap.json path");
+    if (!flags.parse(argc - 1, argv + 1)) {
+        return 0;
+    }
+
+    std::string guard = flags.str("guard");
+    if (!guard.empty()) {
+        return guardRun(guard);
+    }
+
+    double scale = flags.real("scale");
+    banner("startup", "v2 parse vs v3 mmap load, build scaling");
+    std::vector<StartupRow> rows;
+    for (const char* input_set : { "A-human", "B-yeast" }) {
+        rows.push_back(measure(input_set, scale));
+        printRow(rows.back());
+    }
+    writeJson(flags.str("json"), scale, rows);
+    return 0;
+}
+
+} // namespace
+} // namespace mg::bench
+
+int
+main(int argc, char** argv)
+{
+    return mg::bench::run(argc, argv);
+}

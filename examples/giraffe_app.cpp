@@ -4,10 +4,17 @@
  * against an MGZ pangenome and emit GAF alignments — the parent-emulator
  * counterpart of minigiraffe_app (which runs the critical functions only).
  *
- * Run:  ./examples/giraffe_app <graph.mgz> <reads.fastq>
+ * Run:  ./examples/giraffe_app <graph.mgz|graph.mgz3> <reads.fastq>
  *           [--threads N] [--batch-size B] [--paired]
  *           [--gaf out.gaf] [--k 15] [--w 8]
  *           [--kernel scalar|swar|simd|auto]
+ *           [--index out.mgz3]
+ *
+ * Build-once / map-many: `--index out.mgz3` writes a zero-copy MGZ v3
+ * container (graph + GBWT + prebuilt minimizer/distance indexes) on the
+ * first run and memory-maps it on every later run, skipping both the
+ * parse and the index builds.  A v3 path can also be passed directly as
+ * the positional graph argument.
  */
 #include <cstdio>
 #include <memory>
@@ -67,6 +74,12 @@ try {
          .define("w", "8", "minimizer window size")
          .define("kernel", "auto",
                  "match kernel: scalar | swar | simd | auto")
+         .define("index", "",
+                 "MGZ v3 container: mmap it when present, else build "
+                 "the indexes once and write it (build-once/map-many)")
+         .define("index-build-threads", "0",
+                 "worker threads for index construction when parsing "
+                 "(0 = hardware)")
          .define("fault", "",
                  "arm fault injection, e.g. 'sched.worker=throw,limit=2'")
          .define("deadline", "0",
@@ -117,7 +130,25 @@ try {
     mg::serve::installStopHandlers();
 
     mg::util::WallTimer timer;
-    mg::io::Pangenome pangenome = mg::io::loadMgz(flags.positional()[0]);
+    mg::io::LoadOptions load_options;
+    load_options.minimizer.k = static_cast<int>(flags.integer("k"));
+    load_options.minimizer.w = static_cast<int>(flags.integer("w"));
+    load_options.buildThreads =
+        static_cast<unsigned>(flags.integer("index-build-threads"));
+    const std::string index_path = flags.str("index");
+    mg::io::IndexedPangenome pangenome;
+    if (!index_path.empty() && mg::io::fileExists(index_path)) {
+        pangenome = mg::io::loadPangenome(index_path, load_options);
+    } else {
+        pangenome = mg::io::loadPangenome(flags.positional()[0],
+                                          load_options);
+        if (!index_path.empty()) {
+            mg::io::saveMgz3(index_path, pangenome.graph, pangenome.gbwt,
+                             pangenome.minimizers, pangenome.distance);
+            std::printf("wrote %s (map it on the next run)\n",
+                        index_path.c_str());
+        }
+    }
     mg::map::ReadSet reads = mg::io::loadFastq(flags.positional()[1]);
     if (flags.boolean("paired")) {
         mg::util::require(reads.size() % 2 == 0,
@@ -128,17 +159,13 @@ try {
             reads.reads[i + 1].mate = i;
         }
     }
-    std::printf("loaded %zu nodes / %zu reads in %.2f s\n",
-                pangenome.graph.numNodes(), reads.size(), timer.seconds());
-
+    std::printf("loaded %zu nodes / %zu reads in %.2f s "
+                "(%s load: %.3f s, %zu minimizer keys)\n",
+                pangenome.graph.numNodes(), reads.size(), timer.seconds(),
+                mg::io::loadModeName(pangenome.info.mode),
+                pangenome.info.loadSeconds,
+                pangenome.minimizers.numKeys());
     timer.reset();
-    mg::index::MinimizerParams mparams;
-    mparams.k = static_cast<int>(flags.integer("k"));
-    mparams.w = static_cast<int>(flags.integer("w"));
-    mg::index::MinimizerIndex minimizers(pangenome.graph, mparams);
-    mg::index::DistanceIndex distance(pangenome.graph);
-    std::printf("indexed in %.2f s (%zu minimizer keys)\n", timer.seconds(),
-                minimizers.numKeys());
 
     mg::giraffe::ParentParams params;
     if (!mg::util::parseKernelVariant(flags.str("kernel"),
@@ -165,7 +192,8 @@ try {
         params.stopFlag = mg::serve::stopFlag();
     }
     mg::giraffe::ParentEmulator giraffe(pangenome.graph, pangenome.gbwt,
-                                        minimizers, distance, params);
+                                        pangenome.minimizers,
+                                        pangenome.distance, params);
 
     // Telemetry hub: live metrics + flight recorder, shared by the plain
     // and checkpointed paths.
@@ -323,8 +351,10 @@ try {
         std::printf("wrote %s\n", flags.str("trace-out").c_str());
     }
     if (!flags.str("summary-json").empty()) {
+        pangenome.refreshResidency(); // post-run page-cache footprint
         mg::io::writeFileText(flags.str("summary-json"),
-                              mg::giraffe::summaryJson(outputs, params));
+                              mg::giraffe::summaryJson(
+                                  outputs, params, &pangenome.info));
         std::printf("wrote %s\n", flags.str("summary-json").c_str());
     }
     if (!flags.str("gaf").empty()) {

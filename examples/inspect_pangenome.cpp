@@ -1,10 +1,13 @@
 /**
  * @file
- * Pangenome inspection tool: loads an .mgz (or generates an input-set
- * analog), prints structural statistics of the graph and the GBWT, and
- * optionally exports the graph as GFA 1.0 for vg/odgi/Bandage.
+ * Pangenome inspection tool: loads an .mgz/.mgz3 (or generates an
+ * input-set analog), prints structural statistics of the graph and the
+ * GBWT — plus, for files, how the container was loaded (parsed vs mmap),
+ * its per-section arena sizes, and the resident-vs-reserved footprint of
+ * mapped arenas — and optionally exports the graph as GFA 1.0 for
+ * vg/odgi/Bandage.
  *
- * Run:  ./examples/inspect_pangenome <file.mgz> [--gfa out.gfa]
+ * Run:  ./examples/inspect_pangenome <file.mgz|file.mgz3> [--gfa out.gfa]
  * Or:   ./examples/inspect_pangenome --input-set B-yeast [--gfa out.gfa]
  */
 #include <algorithm>
@@ -27,14 +30,16 @@ try {
         return 0;
     }
 
-    mg::io::Pangenome pangenome;
+    mg::io::IndexedPangenome pangenome;
+    bool from_file = false;
     if (!flags.str("input-set").empty()) {
         mg::sim::InputSet set = mg::sim::buildInputSet(
             mg::sim::inputSetSpec(flags.str("input-set")), 0.01);
         pangenome.graph = std::move(set.pangenome.graph);
         pangenome.gbwt = std::move(set.pangenome.gbwt);
     } else if (flags.positional().size() == 1) {
-        pangenome = mg::io::loadMgz(flags.positional()[0]);
+        pangenome = mg::io::loadPangenome(flags.positional()[0]);
+        from_file = true;
     } else {
         std::fprintf(stderr, "usage: inspect_pangenome <file.mgz> | "
                              "--input-set <name> [--gfa out.gfa]\n");
@@ -109,6 +114,36 @@ try {
                     ? static_cast<double>(haplotype_bases) /
                           static_cast<double>(graph.totalSequenceLength())
                     : 0.0);
+
+    // --- Load accounting (file loads only). ---
+    if (from_file) {
+        pangenome.refreshResidency();
+        const mg::io::IndexLoadInfo& info = pangenome.info;
+        std::printf("load: %s in %.4f s; container %llu bytes\n",
+                    mg::io::loadModeName(info.mode), info.loadSeconds,
+                    static_cast<unsigned long long>(info.fileBytes));
+        if (info.mode == mg::io::LoadMode::Mapped) {
+            std::printf("footprint: %llu bytes mapped (reserved), %llu "
+                        "resident in the page cache (%.1f%%); shared "
+                        "across every process mapping this file\n",
+                        static_cast<unsigned long long>(info.mappedBytes),
+                        static_cast<unsigned long long>(
+                            info.residentBytes),
+                        info.mappedBytes
+                            ? 100.0 *
+                                  static_cast<double>(info.residentBytes) /
+                                  static_cast<double>(info.mappedBytes)
+                            : 0.0);
+        } else {
+            std::printf("footprint: %llu heap bytes across arenas and "
+                        "indexes (private to this process)\n",
+                        static_cast<unsigned long long>(info.heapBytes));
+        }
+        for (const auto& [name, bytes] : info.sections) {
+            std::printf("  section %-14s %12llu bytes\n", name.c_str(),
+                        static_cast<unsigned long long>(bytes));
+        }
+    }
 
     if (!flags.str("gfa").empty()) {
         mg::io::saveGfa(flags.str("gfa"), graph);

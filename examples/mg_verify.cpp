@@ -299,6 +299,48 @@ verifyFile(const std::string& path, bool deep)
 {
     std::vector<uint8_t> bytes = mg::io::readFileBytes(path);
 
+    if (endsWith(path, ".mgz3")) {
+        // Zero-copy container: structural validation (magic/version,
+        // page-aligned canonical section layout, table CRC) throws; the
+        // per-section CRC sweep reports every damaged section in one
+        // pass, like the v2 table below.
+        mg::io::MgzInfo info =
+            mg::io::inspectMgz3(bytes.data(), bytes.size(), path);
+        std::printf("%s: MGZ version 3 (zero-copy), %llu bytes\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(info.fileBytes));
+        for (const mg::io::MgzSectionInfo& section : info.sections) {
+            std::printf("  section %-14s offset=%-9llu size=%-9llu "
+                        "crc=%08x %s\n",
+                        section.name,
+                        static_cast<unsigned long long>(section.offset),
+                        static_cast<unsigned long long>(section.size),
+                        section.crcStored,
+                        section.crcOk ? "ok" : "MISMATCH");
+        }
+        if (!info.allChecksumsOk()) {
+            return false;
+        }
+        if (deep) {
+            // Full bind: mmap the file, re-verify every section CRC
+            // against the *mapped* bytes, and run the structural scans
+            // every loadPangenome performs (offset monotonicity, bucket
+            // spans, positions inside the graph).
+            mg::io::LoadOptions options;
+            options.verifySectionCrcs = true;
+            mg::io::IndexedPangenome indexed =
+                mg::io::loadPangenome(path, options);
+            std::printf("  mapped: %zu nodes, %llu paths, %zu minimizer "
+                        "keys, %s load in %.4f s\n",
+                        indexed.graph.numNodes(),
+                        static_cast<unsigned long long>(
+                            indexed.gbwt.numPaths()),
+                        indexed.minimizers.numKeys(),
+                        mg::io::loadModeName(indexed.info.mode),
+                        indexed.info.loadSeconds);
+        }
+        return true;
+    }
     if (endsWith(path, ".mgz")) {
         mg::io::MgzInfo info = mg::io::inspectMgz(bytes, path);
         std::printf("%s: MGZ version %d, %llu bytes\n", path.c_str(),
@@ -453,8 +495,9 @@ verifyFile(const std::string& path, bool deep)
         return true;
     }
     std::fprintf(stderr,
-                 "%s: unknown extension (expected .mgz, .bin, .ext, "
-                 ".fastq, .gfa, .json, .mgc, .mgs, .mgreq, or .mgresp)\n",
+                 "%s: unknown extension (expected .mgz, .mgz3, .bin, "
+                 ".ext, .fastq, .gfa, .json, .mgc, .mgs, .mgreq, or "
+                 ".mgresp)\n",
                  path.c_str());
     return false;
 }

@@ -7,8 +7,12 @@
  * SIGTERM/SIGINT (finish or degrade in-flight work, flush metrics,
  * exit 0).
  *
- * Run:  ./examples/mgd <graph.mgz> --socket /tmp/mgd.sock [flags]
+ * Run:  ./examples/mgd <graph.mgz|graph.mgz3> --socket /tmp/mgd.sock
  *       ./examples/mgd --gen B-yeast --socket /tmp/mgd.sock [flags]
+ *
+ * A v3 container memory-maps instead of parsing: startup is near-instant
+ * and N mgd processes serving the same .mgz3 share one page-cache copy
+ * of the index.
  */
 #include <poll.h>
 
@@ -99,7 +103,7 @@ try {
     if (flags.str("socket").empty() ||
         flags.positional().size() != (generated ? 0u : 1u)) {
         std::fprintf(stderr,
-                     "usage: mgd (<graph.mgz> | --gen <input-set>) "
+                     "usage: mgd (<graph.mgz[3]> | --gen <input-set>) "
                      "--socket <path> [flags]\n");
         return 1;
     }
@@ -108,28 +112,45 @@ try {
     }
     mg::serve::installStopHandlers();
 
-    // The pangenome: loaded from the container, or generated from the
-    // named input-set spec (self-contained demos and tests).
+    // The pangenome: loaded from a container (v1/v2 parse + index
+    // build, v3 mmap), or generated from the named input-set spec
+    // (self-contained demos and tests).
     mg::util::WallTimer timer;
-    std::optional<mg::io::Pangenome> loaded;
+    std::optional<mg::io::IndexedPangenome> loaded;
     std::optional<mg::sim::GeneratedPangenome> synthetic;
+    std::optional<mg::index::MinimizerIndex> gen_minimizers;
+    std::optional<mg::index::DistanceIndex> gen_distance;
     if (generated) {
         synthetic = mg::sim::generatePangenome(
             mg::sim::inputSetSpec(flags.str("gen")).pangenome);
+        mg::index::MinimizerParams mparams;
+        mparams.k = static_cast<int>(flags.integer("k"));
+        mparams.w = static_cast<int>(flags.integer("w"));
+        gen_minimizers.emplace(synthetic->graph, mparams);
+        gen_distance.emplace(synthetic->graph);
     } else {
-        loaded = mg::io::loadMgz(flags.positional()[0]);
+        mg::io::LoadOptions load_options;
+        load_options.minimizer.k = static_cast<int>(flags.integer("k"));
+        load_options.minimizer.w = static_cast<int>(flags.integer("w"));
+        loaded = mg::io::loadPangenome(flags.positional()[0],
+                                       load_options);
     }
     const mg::graph::VariationGraph& graph =
         generated ? synthetic->graph : loaded->graph;
     const mg::gbwt::Gbwt& gbwt = generated ? synthetic->gbwt : loaded->gbwt;
-
-    mg::index::MinimizerParams mparams;
-    mparams.k = static_cast<int>(flags.integer("k"));
-    mparams.w = static_cast<int>(flags.integer("w"));
-    mg::index::MinimizerIndex minimizers(graph, mparams);
-    mg::index::DistanceIndex distance(graph);
-    std::printf("mgd: %zu nodes indexed in %.2f s (%zu minimizer keys)\n",
-                graph.numNodes(), timer.seconds(), minimizers.numKeys());
+    const mg::index::MinimizerIndex& minimizers =
+        generated ? *gen_minimizers : loaded->minimizers;
+    const mg::index::DistanceIndex& distance =
+        generated ? *gen_distance : loaded->distance;
+    const std::string load_mode =
+        generated ? "generated"
+                  : mg::io::loadModeName(loaded->info.mode);
+    const double load_seconds =
+        generated ? timer.seconds() : loaded->info.loadSeconds;
+    std::printf("mgd: %zu nodes ready in %.2f s (%s load: %.3f s, "
+                "%zu minimizer keys)\n",
+                graph.numNodes(), timer.seconds(), load_mode.c_str(),
+                load_seconds, minimizers.numKeys());
 
     mg::serve::DaemonParams params;
     params.socketPath = flags.str("socket");
@@ -151,6 +172,8 @@ try {
         static_cast<uint64_t>(flags.integer("max-extend-steps"));
     params.maxBudget.maxGbwtLookups =
         static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
+    params.indexLoadMode = load_mode;
+    params.indexLoadSeconds = load_seconds;
 
     mg::serve::Daemon daemon(graph, gbwt, minimizers, distance, params);
     daemon.start();
@@ -187,7 +210,7 @@ try {
     const mg::serve::DaemonReport& report = daemon.report();
     std::printf("mgd: drained %s — %llu accepted, %llu completed, "
                 "%llu shed (%llu at drain), %llu errors, %llu bad frames, "
-                "%llu watchdog cancels\n",
+                "%llu watchdog cancels; index %s load in %.3f s\n",
                 report.drainClean ? "clean" : "FORCED",
                 static_cast<unsigned long long>(report.accepted),
                 static_cast<unsigned long long>(report.completed),
@@ -195,7 +218,8 @@ try {
                 static_cast<unsigned long long>(report.drainShed),
                 static_cast<unsigned long long>(report.errors),
                 static_cast<unsigned long long>(report.badFrames),
-                static_cast<unsigned long long>(report.watchdogCancels));
+                static_cast<unsigned long long>(report.watchdogCancels),
+                report.indexLoadMode.c_str(), report.indexLoadSeconds);
     if (emitter) {
         emitter->finalize(faultExtras());
         std::printf("mgd: wrote %s\n", flags.str("metrics-out").c_str());

@@ -6,25 +6,66 @@
  * contiguous and preserve the predecessor's visit order, LF mapping with
  * per-edge offsets is exact (tests verify extension against raw path
  * replay).
+ *
+ * Construction is parallel with deterministic output: paths are scanned in
+ * *fixed-size* batches (batch membership never depends on the thread
+ * count), the visit-order DP runs serially (its output is a pure function
+ * of the path set — visit ordering is defined by path order and
+ * predecessor-handle order, not by topological tie-breaking), and records
+ * are encoded in *fixed-size* slot shards whose byte streams concatenate in
+ * shard order.  The resulting index is byte-identical for 1, 4, or 64
+ * build threads, which is what lets MGZ v3 containers be reproducible
+ * artifacts (mmapv3 determinism tests pin this).
  */
 #include "gbwt/gbwt.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
+#include <thread>
 
+#include "sched/scheduler.h"
 #include "util/common.h"
 
 namespace mg::gbwt {
 
 namespace {
 
-/** (path index, step index) pending visit. */
+/** Paths per phase-1 scan batch (fixed: batching must not depend on the
+ *  thread count or the merge order would).  */
+constexpr size_t kPathBatch = 16;
+
+/** Oriented-node slots per phase-3 encode shard. */
+constexpr size_t kSlotShard = 2048;
+
+/** A visit waiting at a slot for its predecessor group to be placed. */
 struct PendingVisit
 {
+    uint64_t pred;
     uint32_t path;
     uint32_t step;
 };
+
+/** Run work(i) for i in [0, count), over `threads` workers. */
+void
+runParallel(size_t count, unsigned threads,
+            const std::function<void(size_t)>& work)
+{
+    if (count == 0) {
+        return;
+    }
+    if (threads <= 1 || count == 1) {
+        for (size_t i = 0; i < count; ++i) {
+            work(i);
+        }
+        return;
+    }
+    auto scheduler = sched::makeScheduler(sched::SchedulerKind::WorkStealing);
+    scheduler->run(count, 1, std::min<size_t>(threads, count),
+                   [&](size_t, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                           work(i);
+                       }
+                   });
+}
 
 } // namespace
 
@@ -50,75 +91,130 @@ GbwtBuilder::addPath(const std::vector<graph::Handle>& steps)
 Gbwt
 GbwtBuilder::build() &&
 {
+    return std::move(*this).build(1);
+}
+
+Gbwt
+GbwtBuilder::build(unsigned threads) &&
+{
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
     Gbwt gbwt;
     gbwt.numPaths_ = paths_.size();
     if (paths_.empty()) {
-        gbwt.recordOffsets_.assign(1, 0);
-        gbwt.docOffsets_.assign(1, 0);
+        gbwt.recordOffsets_.owned().assign(1, 0);
+        gbwt.docOffsets_.owned().assign(1, 0);
         return gbwt;
     }
 
-    // ---- Topological order of the observed path-step relation. ----
-    std::unordered_map<uint64_t, size_t> in_degree;
-    std::unordered_map<uint64_t, std::vector<uint64_t>> succ_nodes;
-    uint64_t max_packed = 0;
-    for (const auto& path : paths_) {
-        for (size_t i = 0; i < path.size(); ++i) {
-            uint64_t v = path[i].packed();
-            max_packed = std::max(max_packed, v);
-            in_degree.try_emplace(v, 0);
-            if (i + 1 < path.size()) {
-                uint64_t w = path[i + 1].packed();
-                auto& succ = succ_nodes[v];
-                if (std::find(succ.begin(), succ.end(), w) == succ.end()) {
-                    succ.push_back(w);
-                    ++in_degree.try_emplace(w, 0).first->second;
+    // ---- Phase 1 (parallel): scan fixed path batches for the distinct
+    // step relation (v -> w), the occurring slots, and the slot range.
+    struct BatchScan
+    {
+        std::vector<std::pair<uint64_t, uint64_t>> edges;
+        std::vector<uint64_t> slots;
+        uint64_t maxPacked = 0;
+    };
+    const size_t num_batches = (paths_.size() + kPathBatch - 1) / kPathBatch;
+    std::vector<BatchScan> scans(num_batches);
+    runParallel(num_batches, threads, [&](size_t b) {
+        BatchScan& scan = scans[b];
+        const size_t lo = b * kPathBatch;
+        const size_t hi = std::min(paths_.size(), lo + kPathBatch);
+        for (size_t p = lo; p < hi; ++p) {
+            const auto& path = paths_[p];
+            for (size_t i = 0; i < path.size(); ++i) {
+                uint64_t v = path[i].packed();
+                scan.maxPacked = std::max(scan.maxPacked, v);
+                scan.slots.push_back(v);
+                if (i + 1 < path.size()) {
+                    scan.edges.emplace_back(v, path[i + 1].packed());
                 }
             }
         }
+        std::sort(scan.edges.begin(), scan.edges.end());
+        scan.edges.erase(
+            std::unique(scan.edges.begin(), scan.edges.end()),
+            scan.edges.end());
+        std::sort(scan.slots.begin(), scan.slots.end());
+        scan.slots.erase(
+            std::unique(scan.slots.begin(), scan.slots.end()),
+            scan.slots.end());
+    });
+
+    uint64_t max_packed = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> edges;
+    std::vector<uint64_t> present;
+    for (const BatchScan& scan : scans) {
+        max_packed = std::max(max_packed, scan.maxPacked);
+        edges.insert(edges.end(), scan.edges.begin(), scan.edges.end());
+        present.insert(present.end(), scan.slots.begin(), scan.slots.end());
     }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    std::sort(present.begin(), present.end());
+    present.erase(std::unique(present.begin(), present.end()),
+                  present.end());
+    const size_t num_slots = max_packed + 1;
+
+    // CSR successor lists + in-degrees of the step relation (edges are
+    // sorted by source, so successor runs are contiguous).
+    std::vector<uint64_t> succ_start(num_slots + 1, 0);
+    std::vector<uint32_t> in_degree(num_slots, 0);
+    for (const auto& [v, w] : edges) {
+        ++succ_start[v + 1];
+        ++in_degree[w];
+    }
+    for (size_t s = 0; s < num_slots; ++s) {
+        succ_start[s + 1] += succ_start[s];
+    }
+
+    // ---- Topological order (Kahn over occurring slots).  The *order* of
+    // ties is irrelevant to the output: visit lists depend only on path
+    // order and predecessor-handle order, never on which ready slot pops
+    // first.
     std::vector<uint64_t> frontier;
-    for (const auto& [node, degree] : in_degree) {
-        if (degree == 0) {
-            frontier.push_back(node);
+    for (uint64_t v : present) {
+        if (in_degree[v] == 0) {
+            frontier.push_back(v);
         }
     }
     std::vector<uint64_t> topo;
-    topo.reserve(in_degree.size());
+    topo.reserve(present.size());
     while (!frontier.empty()) {
         uint64_t v = frontier.back();
         frontier.pop_back();
         topo.push_back(v);
-        auto it = succ_nodes.find(v);
-        if (it == succ_nodes.end()) {
-            continue;
-        }
-        for (uint64_t w : it->second) {
+        for (uint64_t e = succ_start[v]; e < succ_start[v + 1]; ++e) {
+            uint64_t w = edges[e].second;
             if (--in_degree[w] == 0) {
                 frontier.push_back(w);
             }
         }
     }
-    MG_CHECK(topo.size() == in_degree.size(),
+    MG_CHECK(topo.size() == present.size(),
              "GBWT construction requires acyclic haplotype walks");
 
-    // ---- Build visit lists in topological order. ----
-    // visits[slot] = ordered next-handle (packed; 0 = path end) per visit.
-    std::unordered_map<uint64_t, std::vector<uint64_t>> visits;
-    // docs[slot] = oriented-path id per visit (the document array that
-    // backs locate()).
-    std::unordered_map<uint64_t, std::vector<uint32_t>> docs;
-    // pending[w][v] = visits arriving at w from predecessor v, in v's order.
-    std::unordered_map<uint64_t, std::map<uint64_t,
-        std::vector<PendingVisit>>> pending;
-    // edge offset (v -> w) = group start of v's visits inside w's list.
-    std::unordered_map<uint64_t,
-        std::unordered_map<uint64_t, uint64_t>> edge_offset;
-    // starts[w] = paths beginning at w, in path order.
-    std::unordered_map<uint64_t, std::vector<uint32_t>> starts;
+    // ---- Phase 2 (serial): visit-order DP.  visits[slot] holds the
+    // ordered next-handle per visit (0 = path end); docs[slot] the
+    // oriented-path id per visit (locate()'s document array).
+    std::vector<std::vector<uint64_t>> visits(num_slots);
+    std::vector<std::vector<uint32_t>> docs(num_slots);
+    std::vector<std::vector<PendingVisit>> pending(num_slots);
+    std::vector<std::vector<uint32_t>> starts(num_slots);
     for (uint32_t p = 0; p < paths_.size(); ++p) {
         starts[paths_[p].front().packed()].push_back(p);
     }
+    // edge_group_offset[i] = start of edges[i].first's visit group inside
+    // edges[i].second's list — the LF-mapping offset stored in records.
+    std::vector<uint64_t> edge_group_offset(edges.size(), 0);
+    auto edge_index = [&](uint64_t v, uint64_t w) -> size_t {
+        auto it = std::lower_bound(edges.begin(), edges.end(),
+                                   std::make_pair(v, w));
+        MG_ASSERT(it != edges.end() && *it == std::make_pair(v, w));
+        return static_cast<size_t>(it - edges.begin());
+    };
 
     auto next_of = [&](uint32_t path, uint32_t step) -> uint64_t {
         const auto& steps = paths_[path];
@@ -133,88 +229,136 @@ GbwtBuilder::build() &&
             list.push_back(next);
             doc_list.push_back(path);
             if (next != 0) {
-                pending[next][w].push_back(
-                    PendingVisit{path, static_cast<uint32_t>(step + 1)});
+                pending[next].push_back(
+                    PendingVisit{w, path, static_cast<uint32_t>(step + 1)});
             }
         };
-        if (auto it = starts.find(w); it != starts.end()) {
-            for (uint32_t p : it->second) {
-                emit(p, 0);
-            }
+        for (uint32_t p : starts[w]) {
+            emit(p, 0);
         }
-        if (auto it = pending.find(w); it != pending.end()) {
-            for (auto& [pred, group] : it->second) {
-                edge_offset[pred][w] = list.size();
-                for (const PendingVisit& visit : group) {
-                    emit(visit.path, visit.step);
+        auto& queued = pending[w];
+        if (!queued.empty()) {
+            // Groups ordered by predecessor handle; stable sort keeps each
+            // predecessor's visit order (appends were contiguous per pred).
+            std::stable_sort(queued.begin(), queued.end(),
+                             [](const PendingVisit& a,
+                                const PendingVisit& b) {
+                                 return a.pred < b.pred;
+                             });
+            for (size_t i = 0; i < queued.size(); ++i) {
+                if (i == 0 || queued[i].pred != queued[i - 1].pred) {
+                    edge_group_offset[edge_index(queued[i].pred, w)] =
+                        list.size();
                 }
+                emit(queued[i].path, queued[i].step);
             }
-            pending.erase(it);
+            queued.clear();
+            queued.shrink_to_fit();
         }
         gbwt.totalVisits_ += list.size();
     }
 
-    // ---- Encode records slot by slot. ----
-    size_t num_slots = max_packed + 1;
-    gbwt.recordOffsets_.assign(num_slots + 1, 0);
-    util::ByteWriter writer;
-    for (uint64_t slot = 0; slot < num_slots; ++slot) {
-        gbwt.recordOffsets_[slot] = writer.size();
-        auto vit = visits.find(slot);
-        if (vit == visits.end() || vit->second.empty()) {
-            continue;
-        }
-        const std::vector<uint64_t>& nexts = vit->second;
-
-        // Edge list: sorted distinct next handles (0 == end marker first).
-        std::vector<uint64_t> distinct(nexts);
-        std::sort(distinct.begin(), distinct.end());
-        distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                       distinct.end());
-        std::vector<RecordEdge> edges;
-        edges.reserve(distinct.size());
-        std::unordered_map<uint64_t, uint32_t> rank_of;
-        for (uint64_t next : distinct) {
-            RecordEdge edge;
-            edge.successor = graph::Handle::fromPacked(next);
-            edge.offset = next == 0 ? 0 : edge_offset[slot][next];
-            rank_of[next] = static_cast<uint32_t>(edges.size());
-            edges.push_back(edge);
-        }
-
-        // RLE body over edge ranks.
-        std::vector<RecordRun> runs;
-        for (uint64_t next : nexts) {
-            uint32_t rank = rank_of[next];
-            if (!runs.empty() && runs.back().edgeRank == rank) {
-                ++runs.back().length;
-            } else {
-                runs.push_back(RecordRun{rank, 1});
+    // ---- Phase 3 (parallel): encode records + document arrays in fixed
+    // slot shards; per-slot sizes prefix-sum into the final offset tables
+    // and the shard streams concatenate in shard order.
+    const size_t num_shards = (num_slots + kSlotShard - 1) / kSlotShard;
+    struct ShardOut
+    {
+        std::vector<uint8_t> recordBytes;
+        std::vector<uint8_t> docBytes;
+        std::vector<uint64_t> recordSizes;  // per slot in shard
+        std::vector<uint64_t> docSizes;
+    };
+    std::vector<ShardOut> shards(num_shards);
+    runParallel(num_shards, threads, [&](size_t s) {
+        ShardOut& out = shards[s];
+        const uint64_t lo = s * kSlotShard;
+        const uint64_t hi =
+            std::min<uint64_t>(num_slots, lo + kSlotShard);
+        util::ByteWriter writer;
+        util::ByteWriter doc_writer;
+        std::vector<uint64_t> distinct;
+        for (uint64_t slot = lo; slot < hi; ++slot) {
+            const size_t rec_before = writer.size();
+            const size_t doc_before = doc_writer.size();
+            const std::vector<uint64_t>& nexts = visits[slot];
+            if (!nexts.empty()) {
+                // Edge list: sorted distinct next handles (0 == end
+                // marker sorts first).
+                distinct.assign(nexts.begin(), nexts.end());
+                std::sort(distinct.begin(), distinct.end());
+                distinct.erase(
+                    std::unique(distinct.begin(), distinct.end()),
+                    distinct.end());
+                std::vector<RecordEdge> record_edges;
+                record_edges.reserve(distinct.size());
+                for (uint64_t next : distinct) {
+                    RecordEdge edge;
+                    edge.successor = graph::Handle::fromPacked(next);
+                    edge.offset =
+                        next == 0
+                            ? 0
+                            : edge_group_offset[edge_index(slot, next)];
+                    record_edges.push_back(edge);
+                }
+                // RLE body over edge ranks.
+                std::vector<RecordRun> runs;
+                for (uint64_t next : nexts) {
+                    auto rank = static_cast<uint32_t>(
+                        std::lower_bound(distinct.begin(), distinct.end(),
+                                         next) -
+                        distinct.begin());
+                    if (!runs.empty() && runs.back().edgeRank == rank) {
+                        ++runs.back().length;
+                    } else {
+                        runs.push_back(RecordRun{rank, 1});
+                    }
+                }
+                DecodedRecord record(std::move(record_edges),
+                                     std::move(runs), nexts.size());
+                record.encode(writer);
+                for (uint32_t path : docs[slot]) {
+                    doc_writer.putVarint(path);
+                }
             }
+            out.recordSizes.push_back(writer.size() - rec_before);
+            out.docSizes.push_back(doc_writer.size() - doc_before);
         }
+        out.recordBytes = writer.takeBytes();
+        out.docBytes = doc_writer.takeBytes();
+    });
 
-        DecodedRecord record(std::move(edges), std::move(runs),
-                             nexts.size());
-        record.encode(writer);
+    auto& record_offsets = gbwt.recordOffsets_.owned();
+    auto& doc_offsets = gbwt.docOffsets_.owned();
+    auto& arena = gbwt.arena_.owned();
+    auto& doc_arena = gbwt.docArena_.owned();
+    record_offsets.reserve(num_slots + 1);
+    doc_offsets.reserve(num_slots + 1);
+    record_offsets.push_back(0);
+    doc_offsets.push_back(0);
+    size_t arena_total = 0;
+    size_t doc_total = 0;
+    for (const ShardOut& out : shards) {
+        arena_total += out.recordBytes.size();
+        doc_total += out.docBytes.size();
     }
-    gbwt.recordOffsets_[num_slots] = writer.size();
-    gbwt.arena_ = writer.takeBytes();
-
-    // ---- Encode the document array, slot-parallel to the records. ----
-    gbwt.docOffsets_.assign(num_slots + 1, 0);
-    util::ByteWriter doc_writer;
-    for (uint64_t slot = 0; slot < num_slots; ++slot) {
-        gbwt.docOffsets_[slot] = doc_writer.size();
-        auto dit = docs.find(slot);
-        if (dit == docs.end()) {
-            continue;
+    arena.reserve(arena_total);
+    doc_arena.reserve(doc_total);
+    for (const ShardOut& out : shards) {
+        for (uint64_t size : out.recordSizes) {
+            record_offsets.push_back(record_offsets.back() + size);
         }
-        for (uint32_t path : dit->second) {
-            doc_writer.putVarint(path);
+        for (uint64_t size : out.docSizes) {
+            doc_offsets.push_back(doc_offsets.back() + size);
         }
+        arena.insert(arena.end(), out.recordBytes.begin(),
+                     out.recordBytes.end());
+        doc_arena.insert(doc_arena.end(), out.docBytes.begin(),
+                         out.docBytes.end());
     }
-    gbwt.docOffsets_[num_slots] = doc_writer.size();
-    gbwt.docArena_ = doc_writer.takeBytes();
+    MG_ASSERT(record_offsets.size() == num_slots + 1);
+    MG_ASSERT(record_offsets.back() == arena.size());
+    MG_ASSERT(doc_offsets.back() == doc_arena.size());
     return gbwt;
 }
 

@@ -138,58 +138,113 @@ Gbwt
 Gbwt::load(util::ByteCursor& cursor)
 {
     Gbwt gbwt;
+    auto& record_offsets = gbwt.recordOffsets_.owned();
+    auto& arena = gbwt.arena_.owned();
+    auto& doc_offsets = gbwt.docOffsets_.owned();
+    auto& doc_arena = gbwt.docArena_.owned();
     gbwt.numPaths_ = cursor.getVarint();
     gbwt.totalVisits_ = cursor.getVarint();
     uint64_t num_offsets = cursor.getVarint();
     cursor.check(num_offsets <= cursor.remaining() + 1,
                  util::StatusCode::Corrupt,
                  "GBWT offset count exceeds remaining payload");
-    gbwt.recordOffsets_.reserve(num_offsets);
+    record_offsets.reserve(num_offsets);
     uint64_t prev = 0;
     for (uint64_t i = 0; i < num_offsets; ++i) {
         uint64_t delta = cursor.getVarint();
         cursor.check(delta <= UINT64_MAX - prev, util::StatusCode::Corrupt,
                      "GBWT offset overflows");
         prev += delta;
-        gbwt.recordOffsets_.push_back(prev);
+        record_offsets.push_back(prev);
     }
     uint64_t arena_size = cursor.getVarint();
     cursor.check(arena_size <= cursor.remaining(),
                  util::StatusCode::Truncated,
                  "GBWT arena exceeds remaining payload");
-    cursor.check(!gbwt.recordOffsets_.empty() || arena_size == 0,
+    cursor.check(!record_offsets.empty() || arena_size == 0,
                  util::StatusCode::Corrupt,
                  "GBWT image with arena but no offsets");
-    cursor.check(gbwt.recordOffsets_.empty() ||
-                 gbwt.recordOffsets_.back() == arena_size,
+    cursor.check(record_offsets.empty() ||
+                 record_offsets.back() == arena_size,
                  util::StatusCode::Corrupt,
                  "GBWT offsets inconsistent with arena size");
-    gbwt.arena_.resize(arena_size);
-    cursor.getBytes(gbwt.arena_.data(), arena_size);
+    arena.resize(arena_size);
+    cursor.getBytes(arena.data(), arena_size);
     uint64_t num_doc_offsets = cursor.getVarint();
     cursor.check(num_doc_offsets <= cursor.remaining() + 1,
                  util::StatusCode::Corrupt,
                  "GBWT document offset count exceeds remaining payload");
-    gbwt.docOffsets_.reserve(num_doc_offsets);
+    doc_offsets.reserve(num_doc_offsets);
     prev = 0;
     for (uint64_t i = 0; i < num_doc_offsets; ++i) {
         uint64_t delta = cursor.getVarint();
         cursor.check(delta <= UINT64_MAX - prev, util::StatusCode::Corrupt,
                      "GBWT document offset overflows");
         prev += delta;
-        gbwt.docOffsets_.push_back(prev);
+        doc_offsets.push_back(prev);
     }
     uint64_t doc_size = cursor.getVarint();
     cursor.check(doc_size <= cursor.remaining(),
                  util::StatusCode::Truncated,
                  "GBWT document arena exceeds remaining payload");
-    cursor.check(gbwt.docOffsets_.empty() ||
-                 gbwt.docOffsets_.back() == doc_size,
+    cursor.check(doc_offsets.empty() || doc_offsets.back() == doc_size,
                  util::StatusCode::Corrupt,
                  "GBWT document offsets inconsistent with arena size");
-    gbwt.docArena_.resize(doc_size);
-    cursor.getBytes(gbwt.docArena_.data(), doc_size);
+    doc_arena.resize(doc_size);
+    cursor.getBytes(doc_arena.data(), doc_size);
     return gbwt;
+}
+
+Gbwt::ArenaRefs
+Gbwt::arenaRefs() const
+{
+    return ArenaRefs{
+        arena_.data(),         arena_.size(),
+        recordOffsets_.data(), recordOffsets_.size(),
+        docArena_.data(),      docArena_.size(),
+        docOffsets_.data(),    docOffsets_.size(),
+    };
+}
+
+void
+Gbwt::bindMapped(std::shared_ptr<mem::MappedFile> file,
+                 const ArenaRefs& refs, uint64_t num_paths,
+                 uint64_t total_visits)
+{
+    auto check_offsets = [](const uint64_t* offsets, size_t count,
+                            size_t arena_size, const char* what) {
+        if (count == 0) {
+            util::require(arena_size == 0, what,
+                          ": arena bytes with no offset table");
+            return;
+        }
+        uint64_t prev = 0;
+        util::require(offsets[0] == 0, what, ": table must start at 0");
+        for (size_t i = 1; i < count; ++i) {
+            util::require(offsets[i] >= prev, what,
+                          ": non-monotone offset at entry ", i);
+            prev = offsets[i];
+        }
+        util::require(prev == arena_size, what,
+                      ": offsets inconsistent with arena size ", arena_size);
+    };
+    check_offsets(refs.recordOffsets, refs.numRecordOffsets, refs.arenaSize,
+                  "gbwt.offsets");
+    check_offsets(refs.docOffsets, refs.numDocOffsets, refs.docArenaSize,
+                  "gbwt.docoffs");
+    util::require(refs.numRecordOffsets == refs.numDocOffsets,
+                  "gbwt: record/document offset tables disagree: ",
+                  refs.numRecordOffsets, " vs ", refs.numDocOffsets);
+    arena_ = mem::ArenaView<uint8_t>();
+    recordOffsets_ = mem::ArenaView<uint64_t>();
+    docArena_ = mem::ArenaView<uint8_t>();
+    docOffsets_ = mem::ArenaView<uint64_t>();
+    arena_.bind(file, refs.arena, refs.arenaSize);
+    recordOffsets_.bind(file, refs.recordOffsets, refs.numRecordOffsets);
+    docArena_.bind(file, refs.docArena, refs.docArenaSize);
+    docOffsets_.bind(std::move(file), refs.docOffsets, refs.numDocOffsets);
+    numPaths_ = num_paths;
+    totalVisits_ = total_visits;
 }
 
 } // namespace mg::gbwt

@@ -15,6 +15,7 @@
 #include "gbwt/record.h"
 #include "gbwt/search_state.h"
 #include "graph/handle.h"
+#include "mem/arena.h"
 #include "util/cursor.h"
 #include "util/mem_tracer.h"
 #include "util/prefetch.h"
@@ -120,18 +121,53 @@ class Gbwt
      *  StatusError carrying the cursor's provenance. */
     static Gbwt load(util::ByteCursor& cursor);
 
+    /** Raw spans of the four arenas (MGZ v3 serialization). */
+    struct ArenaRefs
+    {
+        const uint8_t* arena;
+        size_t arenaSize;
+        const uint64_t* recordOffsets;
+        size_t numRecordOffsets;
+        const uint8_t* docArena;
+        size_t docArenaSize;
+        const uint64_t* docOffsets;
+        size_t numDocOffsets;
+    };
+    ArenaRefs arenaRefs() const;
+
+    /** True when the arenas are mmap-backed (MGZ v3 load). */
+    bool isMapped() const { return arena_.isMapped(); }
+
+    /** Heap/mapped bytes held across all four arenas. */
+    size_t
+    footprintBytes() const
+    {
+        return arena_.bytes() + recordOffsets_.bytes() + docArena_.bytes() +
+               docOffsets_.bytes();
+    }
+
+    /**
+     * Rebind onto arenas inside a mapped MGZ v3 container.  Performs the
+     * same structural checks as load() (offset monotonicity, arena-size
+     * consistency) against the mapped tables; throws StatusError-free
+     * util::Error on inconsistency.
+     */
+    void bindMapped(std::shared_ptr<mem::MappedFile> file,
+                    const ArenaRefs& refs, uint64_t num_paths,
+                    uint64_t total_visits);
+
   private:
     friend class GbwtBuilder;
 
     /** Byte range of one record inside the arena. */
     std::pair<const uint8_t*, size_t> recordSpan(graph::Handle node) const;
 
-    std::vector<uint8_t> arena_;           // concatenated compressed records
-    std::vector<uint64_t> recordOffsets_;  // slot -> arena offset (n+1 ents)
+    mem::ArenaView<uint8_t> arena_;   // concatenated compressed records
+    mem::ArenaView<uint64_t> recordOffsets_;  // slot -> offset (n+1 ents)
     // Document array: per-visit oriented-path ids, varint-coded per slot,
     // in a separate arena so locate() support costs the hot path nothing.
-    std::vector<uint8_t> docArena_;
-    std::vector<uint64_t> docOffsets_;
+    mem::ArenaView<uint8_t> docArena_;
+    mem::ArenaView<uint64_t> docOffsets_;
     uint64_t numPaths_ = 0;
     uint64_t totalVisits_ = 0;
 };
@@ -153,8 +189,16 @@ class GbwtBuilder
     /** Register one haplotype walk (forward handles). */
     void addPath(const std::vector<graph::Handle>& steps);
 
-    /** Build the compressed index; the builder is consumed. */
+    /** Build the compressed index serially; the builder is consumed. */
     Gbwt build() &&;
+
+    /**
+     * Parallel build: paths are scanned in fixed-size batches and records
+     * encoded in fixed slot shards over the work-stealing scheduler, with
+     * all merge points anchored at batch/shard boundaries — the output is
+     * byte-identical for every thread count (0 = hardware concurrency).
+     */
+    Gbwt build(unsigned threads) &&;
 
   private:
     std::vector<std::vector<graph::Handle>> paths_;

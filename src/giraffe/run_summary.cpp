@@ -79,10 +79,35 @@ writeCache(obs::JsonWriter& w, const gbwt::CacheStats& stats)
     w.endObject();
 }
 
+/**
+ * Startup accounting: how the pangenome got into memory.  The section
+ * list reports *logical* arena sizes, identical whether the arenas were
+ * parsed onto the heap or mapped out of an MGZ v3 container, so summaries
+ * from both modes diff cleanly.
+ */
+void
+writeIndexInfo(obs::JsonWriter& w, const io::IndexLoadInfo& index)
+{
+    w.key("index").beginObject();
+    w.field("load_mode", io::loadModeName(index.mode));
+    w.field("load_seconds", index.loadSeconds);
+    w.field("file_bytes", index.fileBytes);
+    w.field("mapped_bytes", index.mappedBytes);
+    w.field("resident_bytes", index.residentBytes);
+    w.field("heap_bytes", index.heapBytes);
+    w.key("sections").beginObject();
+    for (const auto& [name, bytes] : index.sections) {
+        w.field(name, bytes);
+    }
+    w.endObject();
+    w.endObject();
+}
+
 } // namespace
 
 std::string
-summaryJson(const ProxyOutputs& outputs, const ProxyParams& params)
+summaryJson(const ProxyOutputs& outputs, const ProxyParams& params,
+            const io::IndexLoadInfo* index)
 {
     obs::JsonWriter w;
     w.beginObject();
@@ -100,6 +125,9 @@ summaryJson(const ProxyOutputs& outputs, const ProxyParams& params)
     }
     w.field("extensions", total_extensions);
     w.field("stopped", outputs.stopped);
+    if (index != nullptr) {
+        writeIndexInfo(w, *index);
+    }
     writeHostKernel(w, params.mapper.extend.kernel);
     writeCache(w, outputs.cacheStats);
     writeResilience(w, outputs.resilience);
@@ -109,7 +137,8 @@ summaryJson(const ProxyOutputs& outputs, const ProxyParams& params)
 }
 
 std::string
-summaryJson(const ParentOutputs& outputs, const ParentParams& params)
+summaryJson(const ParentOutputs& outputs, const ParentParams& params,
+            const io::IndexLoadInfo* index)
 {
     obs::JsonWriter w;
     w.beginObject();
@@ -142,6 +171,9 @@ summaryJson(const ParentOutputs& outputs, const ParentParams& params)
         w.field("rescue_hits",
                 static_cast<uint64_t>(outputs.rescue.rescued));
         w.endObject();
+    }
+    if (index != nullptr) {
+        writeIndexInfo(w, *index);
     }
     writeHostKernel(w, params.mapper.extend.kernel);
     writeCache(w, outputs.cacheStats);

@@ -14,16 +14,23 @@
 #include "giraffe/checkpoint_run.h"
 #include "giraffe/parent.h"
 #include "giraffe/proxy.h"
+#include "io/mgz.h"
 
 namespace mg::giraffe {
 
-/** Proxy (miniGiraffe) run summary. */
+/**
+ * Proxy (miniGiraffe) run summary.  When `index` is given the summary
+ * carries an "index" block: load mode (parsed vs mmap), load seconds,
+ * per-section arena bytes, and the resident-vs-reserved footprint.
+ */
 std::string summaryJson(const ProxyOutputs& outputs,
-                        const ProxyParams& params);
+                        const ProxyParams& params,
+                        const io::IndexLoadInfo* index = nullptr);
 
-/** Parent-emulator run summary. */
+/** Parent-emulator run summary (same optional index block). */
 std::string summaryJson(const ParentOutputs& outputs,
-                        const ParentParams& params);
+                        const ParentParams& params,
+                        const io::IndexLoadInfo* index = nullptr);
 
 /** Checkpointed-run summary. */
 std::string summaryJson(const CheckpointRunResult& result,

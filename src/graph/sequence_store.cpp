@@ -7,8 +7,10 @@ namespace mg::graph {
 void
 SequenceStore::addNode(std::string_view forward_sequence)
 {
-    if (offsets_.empty()) {
-        offsets_.push_back(0);
+    auto& words = words_.owned();
+    auto& offsets = offsets_.owned();
+    if (offsets.empty()) {
+        offsets.push_back(0);
     }
     // Canonicalize once into scratch: ambiguity letters -> 'A' (counted),
     // non-letters rejected.  Everything downstream assumes pure ACGT.
@@ -27,16 +29,45 @@ SequenceStore::addNode(std::string_view forward_sequence)
     util::reverseComplementPacked(packScratch_.data(), len,
                                   rcScratch_.data());
 
-    const uint64_t begin = offsets_.back();
+    const uint64_t begin = offsets.back();
     const uint64_t total = begin + 2 * len;
     // Data words plus the pad word chunk32 needs; new words arrive zeroed,
     // and the old pad word simply becomes a data word to OR into.
-    words_.resize(util::packedBufferWords(total), 0);
-    util::copyPackedInto(words_.data(), begin, packScratch_.data(), len);
-    offsets_.push_back(begin + len);
-    util::copyPackedInto(words_.data(), begin + len, rcScratch_.data(), len);
-    offsets_.push_back(total);
+    words.resize(util::packedBufferWords(total), 0);
+    util::copyPackedInto(words.data(), begin, packScratch_.data(), len);
+    offsets.push_back(begin + len);
+    util::copyPackedInto(words.data(), begin + len, rcScratch_.data(), len);
+    offsets.push_back(total);
     ++numNodes_;
+}
+
+void
+SequenceStore::bindMapped(std::shared_ptr<mem::MappedFile> file,
+                          const uint64_t* words, size_t num_words,
+                          const uint64_t* offsets, size_t num_offsets,
+                          size_t num_nodes, size_t sanitized_bases)
+{
+    util::require(num_offsets == 2 * num_nodes + 1,
+                  "seq.offsets: expected ", 2 * num_nodes + 1,
+                  " entries for ", num_nodes, " nodes, got ", num_offsets);
+    uint64_t prev = 0;
+    util::require(num_offsets > 0 && offsets[0] == 0,
+                  "seq.offsets: table must start at 0");
+    for (size_t i = 1; i < num_offsets; ++i) {
+        util::require(offsets[i] > prev,
+                      "seq.offsets: non-increasing at entry ", i,
+                      " (empty node sequences are never written)");
+        prev = offsets[i];
+    }
+    util::require(num_words == util::packedBufferWords(prev),
+                  "seq.words: ", num_words, " words inconsistent with ",
+                  prev, " packed bases");
+    words_ = mem::ArenaView<uint64_t>();
+    offsets_ = mem::ArenaView<uint64_t>();
+    words_.bind(file, words, num_words);
+    offsets_.bind(std::move(file), offsets, num_offsets);
+    numNodes_ = num_nodes;
+    sanitizedBases_ = sanitized_bases;
 }
 
 } // namespace mg::graph

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/handle.h"
+#include "mem/arena.h"
 #include "util/dna.h"
 
 namespace mg::graph {
@@ -119,22 +120,43 @@ class SequenceStore
     size_t
     reservedBytes() const
     {
-        return (words_.capacity() + offsets_.capacity()) * sizeof(uint64_t);
+        return words_.reservedBytes() + offsets_.reservedBytes();
     }
 
     /** Pre-size the arena for an expected total of forward bases. */
     void
     reserveBases(size_t forward_bases)
     {
-        words_.reserve(util::packedBufferWords(2 * forward_bases));
+        words_.owned().reserve(util::packedBufferWords(2 * forward_bases));
     }
+
+    /** True when the arenas are mmap-backed (MGZ v3 load). */
+    bool isMapped() const { return words_.isMapped(); }
+
+    /** Raw word arena (v3 serialization). */
+    const mem::ArenaView<uint64_t>& words() const { return words_; }
+
+    /** Raw offset table, 2*numNodes+1 entries (v3 serialization). */
+    const mem::ArenaView<uint64_t>& offsets() const { return offsets_; }
+
+    /**
+     * Rebind the store onto arenas living inside a mapped MGZ v3
+     * container.  The caller validated sizes/alignment; this performs the
+     * cheap structural scans (offset monotonicity, word-count match) that
+     * keep "never crash on corrupt input" true, then replaces any heap
+     * state.  Throws util::Error on inconsistency.
+     */
+    void bindMapped(std::shared_ptr<mem::MappedFile> file,
+                    const uint64_t* words, size_t num_words,
+                    const uint64_t* offsets, size_t num_offsets,
+                    size_t num_nodes, size_t sanitized_bases);
 
   private:
     /** Handles pack to 2*id(+1) and ids start at 1: slot = packed - 2. */
     static size_t slotOf(Handle handle) { return handle.packed() - 2; }
 
-    std::vector<uint64_t> words_;    // fwd(1) rc(1) fwd(2) ... + pad word
-    std::vector<uint64_t> offsets_;  // slot -> arena base offset; 2n+1
+    mem::ArenaView<uint64_t> words_;    // fwd(1) rc(1) fwd(2) ... + pad word
+    mem::ArenaView<uint64_t> offsets_;  // slot -> arena base offset; 2n+1
     size_t numNodes_ = 0;
     size_t sanitizedBases_ = 0;
 

@@ -27,8 +27,12 @@ VariationGraph::addNode(std::string sequence)
 void
 VariationGraph::addEdge(Handle from, Handle to)
 {
-    MG_CHECK(hasNode(from.id()) && hasNode(to.id()),
-             "edge references unknown node: ", from.str(), " -> ", to.str());
+    // Message formatting is eager in MG_CHECK; this runs per container
+    // edge on load, so only pay for str() when the check actually fails.
+    if (!(hasNode(from.id()) && hasNode(to.id()))) {
+        MG_CHECK(false, "edge references unknown node: ", from.str(),
+                 " -> ", to.str());
+    }
     uint64_t max_packed = std::max(from.packed(), to.flip().packed());
     if (adjacency_.size() <= max_packed) {
         adjacency_.resize(max_packed + 1);
@@ -61,6 +65,37 @@ VariationGraph::addPath(std::string name, std::vector<Handle> steps)
         MG_CHECK(hasEdge(steps[i], steps[i + 1]),
                  "path '", name, "' uses missing edge ", steps[i].str(),
                  " -> ", steps[i + 1].str());
+    }
+    paths_.push_back(PathEntry{std::move(name), std::move(steps)});
+}
+
+void
+VariationGraph::bindMappedSequences(std::shared_ptr<mem::MappedFile> file,
+                                    const uint64_t* words, size_t num_words,
+                                    const uint64_t* offsets,
+                                    size_t num_offsets, size_t num_nodes,
+                                    size_t sanitized_bases)
+{
+    MG_CHECK(numNodes() == 0,
+             "bindMappedSequences requires an empty graph");
+    store_.bindMapped(std::move(file), words, num_words, offsets,
+                      num_offsets, num_nodes, sanitized_bases);
+    totalSequence_ = store_.totalBases();
+}
+
+void
+VariationGraph::addPathUnchecked(std::string name,
+                                 std::vector<Handle> steps)
+{
+    MG_CHECK(!steps.empty(), "paths must have at least one step");
+    // MG_CHECK builds its message eagerly, so keep the hot per-step scan
+    // branch-only and format details on the failure path alone — this
+    // loop runs for every step of every haplotype on v3 container loads.
+    for (Handle step : steps) {
+        if (!hasNode(step.id())) {
+            MG_CHECK(false, "path '", name, "' references unknown node ",
+                     step.str());
+        }
     }
     paths_.push_back(PathEntry{std::move(name), std::move(steps)});
 }

@@ -11,25 +11,38 @@ namespace mg::index {
 DistanceIndex::DistanceIndex(const graph::VariationGraph& graph)
 {
     const size_t n = graph.numNodes();
-    minFromSource_.assign(n, INT64_MAX);
-    maxFromSource_.assign(n, 0);
+    std::vector<int64_t> min_from(n, INT64_MAX);
+    std::vector<int64_t> max_from(n, 0);
     for (graph::NodeId id : graph.topologicalOrder()) {
         graph::Handle handle(id, false);
-        if (minFromSource_[id - 1] == INT64_MAX) {
-            minFromSource_[id - 1] = 0; // source node
+        if (min_from[id - 1] == INT64_MAX) {
+            min_from[id - 1] = 0; // source node
         }
-        int64_t out_min = minFromSource_[id - 1] +
+        int64_t out_min = min_from[id - 1] +
                           static_cast<int64_t>(graph.length(id));
-        int64_t out_max = maxFromSource_[id - 1] +
+        int64_t out_max = max_from[id - 1] +
                           static_cast<int64_t>(graph.length(id));
         for (graph::Handle succ : graph.successors(handle)) {
-            int64_t& succ_min = minFromSource_[succ.id() - 1];
+            int64_t& succ_min = min_from[succ.id() - 1];
             succ_min = std::min(succ_min == INT64_MAX ? out_min : succ_min,
                                 out_min);
-            int64_t& succ_max = maxFromSource_[succ.id() - 1];
+            int64_t& succ_max = max_from[succ.id() - 1];
             succ_max = std::max(succ_max, out_max);
         }
     }
+    minFromSource_.adopt(std::move(min_from));
+    maxFromSource_.adopt(std::move(max_from));
+}
+
+void
+DistanceIndex::bindMapped(std::shared_ptr<mem::MappedFile> file,
+                          const int64_t* min_from_source,
+                          const int64_t* max_from_source, size_t num_nodes)
+{
+    minFromSource_ = mem::ArenaView<int64_t>();
+    maxFromSource_ = mem::ArenaView<int64_t>();
+    minFromSource_.bind(file, min_from_source, num_nodes);
+    maxFromSource_.bind(std::move(file), max_from_source, num_nodes);
 }
 
 int64_t

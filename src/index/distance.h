@@ -19,6 +19,7 @@
 
 #include "graph/handle.h"
 #include "graph/variation_graph.h"
+#include "mem/arena.h"
 
 namespace mg::index {
 
@@ -66,9 +67,40 @@ class DistanceIndex
 
     size_t numNodes() const { return minFromSource_.size(); }
 
+    /** Min-prefix array, one entry per node (v3 serialization). */
+    const mem::ArenaView<int64_t>& minFromSource() const
+    {
+        return minFromSource_;
+    }
+
+    /** Max-prefix array, one entry per node (v3 serialization). */
+    const mem::ArenaView<int64_t>& maxFromSource() const
+    {
+        return maxFromSource_;
+    }
+
+    /** True when the arrays are mmap-backed (MGZ v3 load). */
+    bool isMapped() const { return minFromSource_.isMapped(); }
+
+    /** Heap/mapped bytes across both arrays. */
+    size_t
+    footprintBytes() const
+    {
+        return minFromSource_.bytes() + maxFromSource_.bytes();
+    }
+
+    /**
+     * Rebind onto the two per-node arrays inside a mapped MGZ v3
+     * container.  Throws util::Error if the array sizes disagree with
+     * the node count.
+     */
+    void bindMapped(std::shared_ptr<mem::MappedFile> file,
+                    const int64_t* min_from_source,
+                    const int64_t* max_from_source, size_t num_nodes);
+
   private:
-    std::vector<int64_t> minFromSource_; // node id - 1 -> min prefix bases
-    std::vector<int64_t> maxFromSource_; // node id - 1 -> max prefix bases
+    mem::ArenaView<int64_t> minFromSource_; // node id - 1 -> min prefix
+    mem::ArenaView<int64_t> maxFromSource_; // node id - 1 -> max prefix
 };
 
 } // namespace mg::index

@@ -143,6 +143,62 @@ minimizersOfPath(const graph::VariationGraph& graph,
     return out;
 }
 
+namespace {
+
+/**
+ * Number of hash shards for the parallel sort.  Fixed (never derived from
+ * the thread count): shard membership is hash >> 58, so concatenating the
+ * sorted shards in shard order IS the globally sorted entry sequence, for
+ * any worker count.
+ */
+constexpr size_t kHashShards = 64;
+constexpr unsigned kShardShift = 58;  // 64 - log2(kHashShards)
+
+/**
+ * Smallest power-of-two table size with load factor <= 1/2.  The >= 50%
+ * empty guarantee bounds linear probes and is what bindMapped re-checks
+ * so a corrupt mapped table can never send lookup() into an endless probe
+ * loop.
+ */
+size_t
+bucketTableSize(size_t num_keys)
+{
+    if (num_keys == 0) {
+        return 0;
+    }
+    size_t size = 2;
+    while (size < 2 * num_keys) {
+        size *= 2;
+    }
+    return size;
+}
+
+/** Build the open-addressing table over the flattened key spans. */
+std::vector<MinimizerBucket>
+buildBuckets(const std::vector<uint64_t>& keys,
+             const std::vector<uint32_t>& key_offsets)
+{
+    std::vector<MinimizerBucket> buckets(bucketTableSize(keys.size()));
+    if (buckets.empty()) {
+        return buckets;
+    }
+    const size_t mask = buckets.size() - 1;
+    // Insert in ascending key order so the table bytes are a pure
+    // function of the key set (v3 determinism across thread counts).
+    for (size_t i = 0; i < keys.size(); ++i) {
+        size_t slot = keys[i] & mask;
+        while (buckets[slot].count != 0) {
+            slot = (slot + 1) & mask;
+        }
+        buckets[slot].key = keys[i];
+        buckets[slot].offset = key_offsets[i];
+        buckets[slot].count = key_offsets[i + 1] - key_offsets[i];
+    }
+    return buckets;
+}
+
+} // namespace
+
 MinimizerIndex::MinimizerIndex(const graph::VariationGraph& graph,
                                const MinimizerParams& params)
     : params_(params)
@@ -159,8 +215,9 @@ MinimizerIndex::MinimizerIndex(const graph::VariationGraph& graph,
                            : std::max(1u, std::thread::hardware_concurrency());
     threads = std::min<unsigned>(
         threads, static_cast<unsigned>(std::max<size_t>(paths.size(), 1)));
+    std::unique_ptr<sched::Scheduler> scheduler;
     if (threads > 1) {
-        auto scheduler = sched::makeScheduler(sched::SchedulerKind::WorkStealing);
+        scheduler = sched::makeScheduler(sched::SchedulerKind::WorkStealing);
         scheduler->run(paths.size(), 1, threads,
                        [&](size_t, size_t begin, size_t end) {
                            for (size_t p = begin; p < end; ++p) {
@@ -173,60 +230,138 @@ MinimizerIndex::MinimizerIndex(const graph::VariationGraph& graph,
             collectPathEntries(graph, paths[p], params_, per_path[p]);
         }
     }
-    std::vector<Entry> entries;
-    size_t total = 0;
-    for (const std::vector<Entry>& part : per_path) {
-        total += part.size();
-    }
-    entries.reserve(total);
-    for (std::vector<Entry>& part : per_path) {
-        entries.insert(entries.end(), part.begin(), part.end());
-    }
 
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) {
-                  if (a.first != b.first) {
-                      return a.first < b.first;
-                  }
-                  return a.second < b.second;
-              });
-    entries.erase(std::unique(entries.begin(), entries.end(),
-                              [](const auto& a, const auto& b) {
-                                  return a.first == b.first &&
-                                         a.second == b.second;
-                              }),
-                  entries.end());
-
-    // Flatten, applying the repeat filter per key.
-    size_t i = 0;
-    while (i < entries.size()) {
-        size_t j = i;
-        while (j < entries.size() && entries[j].first == entries[i].first) {
-            ++j;
-        }
-        if (j - i <= params_.maxOccurrences) {
-            keys_.push_back(entries[i].first);
-            keyOffsets_.push_back(static_cast<uint32_t>(positions_.size()));
-            for (size_t e = i; e < j; ++e) {
-                positions_.push_back(entries[e].second);
+    // Distribute into fixed hash shards (top bits), then sort each shard
+    // independently — shard concatenation in shard order is the globally
+    // (hash, position)-sorted sequence the flatten pass consumes, so the
+    // index is identical for every thread count.
+    std::vector<std::vector<Entry>> shards(kHashShards);
+    {
+        std::vector<size_t> shard_sizes(kHashShards, 0);
+        for (const std::vector<Entry>& part : per_path) {
+            for (const Entry& entry : part) {
+                ++shard_sizes[entry.first >> kShardShift];
             }
         }
-        i = j;
+        for (size_t s = 0; s < kHashShards; ++s) {
+            shards[s].reserve(shard_sizes[s]);
+        }
+        for (std::vector<Entry>& part : per_path) {
+            for (const Entry& entry : part) {
+                shards[entry.first >> kShardShift].push_back(entry);
+            }
+            part.clear();
+            part.shrink_to_fit();
+        }
     }
-    keyOffsets_.push_back(static_cast<uint32_t>(positions_.size()));
+    auto sort_shard = [&](size_t s) {
+        std::vector<Entry>& shard = shards[s];
+        std::sort(shard.begin(), shard.end(),
+                  [](const auto& a, const auto& b) {
+                      if (a.first != b.first) {
+                          return a.first < b.first;
+                      }
+                      return a.second < b.second;
+                  });
+        shard.erase(std::unique(shard.begin(), shard.end(),
+                                [](const auto& a, const auto& b) {
+                                    return a.first == b.first &&
+                                           a.second == b.second;
+                                }),
+                    shard.end());
+    };
+    if (scheduler) {
+        scheduler->run(kHashShards, 1, threads,
+                       [&](size_t, size_t begin, size_t end) {
+                           for (size_t s = begin; s < end; ++s) {
+                               sort_shard(s);
+                           }
+                       });
+    } else {
+        for (size_t s = 0; s < kHashShards; ++s) {
+            sort_shard(s);
+        }
+    }
+
+    // Flatten in shard order, applying the repeat filter per key (keys
+    // never straddle shards: equal hashes share a shard).
+    auto& keys = keys_.owned();
+    auto& key_offsets = keyOffsets_.owned();
+    auto& positions = positions_.owned();
+    for (const std::vector<Entry>& shard : shards) {
+        size_t i = 0;
+        while (i < shard.size()) {
+            size_t j = i;
+            while (j < shard.size() && shard[j].first == shard[i].first) {
+                ++j;
+            }
+            if (j - i <= params_.maxOccurrences) {
+                keys.push_back(shard[i].first);
+                key_offsets.push_back(
+                    static_cast<uint32_t>(positions.size()));
+                for (size_t e = i; e < j; ++e) {
+                    positions.push_back(shard[e].second);
+                }
+            }
+            i = j;
+        }
+    }
+    key_offsets.push_back(static_cast<uint32_t>(positions.size()));
+    buckets_.adopt(buildBuckets(keys, key_offsets));
 }
 
-std::pair<const graph::Position*, size_t>
-MinimizerIndex::lookup(uint64_t hash) const
+void
+MinimizerIndex::bindMapped(std::shared_ptr<mem::MappedFile> file,
+                           const MinimizerParams& params,
+                           const uint64_t* keys, size_t num_keys,
+                           const uint32_t* key_offsets,
+                           size_t num_key_offsets,
+                           const graph::Position* positions,
+                           size_t num_positions,
+                           const MinimizerBucket* buckets,
+                           size_t num_buckets)
 {
-    auto it = std::lower_bound(keys_.begin(), keys_.end(), hash);
-    if (it == keys_.end() || *it != hash) {
-        return {nullptr, 0};
+    util::require(num_key_offsets == num_keys + 1,
+                  "min.keyoffs: expected ", num_keys + 1, " entries, got ",
+                  num_key_offsets);
+    util::require(key_offsets[0] == 0 &&
+                      key_offsets[num_keys] == num_positions,
+                  "min.keyoffs: table does not span the position array");
+    for (size_t i = 0; i < num_keys; ++i) {
+        util::require(key_offsets[i] < key_offsets[i + 1],
+                      "min.keyoffs: non-increasing at entry ", i);
+        if (i > 0) {
+            util::require(keys[i - 1] < keys[i],
+                          "min.keys: not strictly ascending at entry ", i);
+        }
     }
-    size_t index = static_cast<size_t>(it - keys_.begin());
-    uint32_t begin = keyOffsets_[index];
-    uint32_t end = keyOffsets_[index + 1];
-    return {positions_.data() + begin, end - begin};
+    util::require(num_buckets == bucketTableSize(num_keys),
+                  "min.table: size ", num_buckets,
+                  " does not match key count ", num_keys);
+    size_t occupied = 0;
+    for (size_t i = 0; i < num_buckets; ++i) {
+        if (buckets[i].count == 0) {
+            continue;
+        }
+        ++occupied;
+        util::require(buckets[i].offset + uint64_t{buckets[i].count} <=
+                          num_positions,
+                      "min.table: bucket ", i, " span out of bounds");
+    }
+    // Load factor <= 1/2 is the probe-termination guarantee: with it a
+    // lookup always reaches an empty bucket even if contents are garbage.
+    util::require(occupied == num_keys,
+                  "min.table: ", occupied, " occupied buckets for ",
+                  num_keys, " keys");
+    params_ = params;
+    keys_ = mem::ArenaView<uint64_t>();
+    keyOffsets_ = mem::ArenaView<uint32_t>();
+    positions_ = mem::ArenaView<graph::Position>();
+    buckets_ = mem::ArenaView<MinimizerBucket>();
+    keys_.bind(file, keys, num_keys);
+    keyOffsets_.bind(file, key_offsets, num_key_offsets);
+    positions_.bind(file, positions, num_positions);
+    buckets_.bind(std::move(file), buckets, num_buckets);
 }
 
 } // namespace mg::index

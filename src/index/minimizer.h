@@ -16,6 +16,7 @@
 
 #include "graph/handle.h"
 #include "graph/variation_graph.h"
+#include "mem/arena.h"
 
 namespace mg::index {
 
@@ -61,12 +62,30 @@ std::vector<Minimizer> minimizersOfPath(const graph::VariationGraph& graph,
                                         const MinimizerParams& params);
 
 /**
+ * One open-addressing bucket of the minimizer hash table.  count == 0
+ * marks an empty bucket; occupied buckets point at a [offset, offset +
+ * count) span of the key-major position table.  The layout is fixed (16
+ * bytes, little-endian fields) because MGZ v3 stores the table verbatim
+ * and the loader maps it back without rebuilding.
+ */
+struct MinimizerBucket
+{
+    uint64_t key = 0;
+    uint32_t offset = 0;
+    uint32_t count = 0;
+};
+static_assert(sizeof(MinimizerBucket) == 16,
+              "bucket layout is an on-disk contract");
+
+/**
  * Immutable minimizer-to-graph-position table.
  *
  * Built from every haplotype path of the graph; lookups return the graph
  * positions whose k-mer hash matches a read minimizer.  Storage is a flat
- * hash-sorted (key, positions) layout for compactness and cache-friendly
- * binary search.
+ * hash-sorted (key, positions) layout plus an open-addressing bucket table
+ * (power-of-two size, linear probing, >= 50% empty) that serves lookups in
+ * O(1) — and, being position-free flat arrays, maps straight out of an
+ * MGZ v3 container (mem::ArenaView backing).
  */
 class MinimizerIndex
 {
@@ -89,22 +108,81 @@ class MinimizerIndex
      * Graph positions of one minimizer hash (possibly empty).  The returned
      * span is valid as long as the index lives.
      */
-    std::pair<const graph::Position*, size_t> lookup(uint64_t hash) const;
+    std::pair<const graph::Position*, size_t>
+    lookup(uint64_t hash) const
+    {
+        const size_t table = buckets_.size();
+        if (table == 0) {
+            return {nullptr, 0};
+        }
+        const MinimizerBucket* tab = buckets_.data();
+        const size_t mask = table - 1;
+        // hash64 output is uniform, so the low bits index directly; the
+        // builder guarantees >= half the buckets are empty, bounding the
+        // linear probe.
+        for (size_t i = hash & mask;; i = (i + 1) & mask) {
+            const MinimizerBucket& bucket = tab[i];
+            if (bucket.count == 0) {
+                return {nullptr, 0};
+            }
+            if (bucket.key == hash) {
+                return {positions_.data() + bucket.offset, bucket.count};
+            }
+        }
+    }
 
     /** Sorted distinct keys (equivalence tests across build modes). */
-    const std::vector<uint64_t>& keys() const { return keys_; }
+    const mem::ArenaView<uint64_t>& keys() const { return keys_; }
 
     /** Flat position table, key-major (equivalence tests). */
-    const std::vector<graph::Position>& positions() const
+    const mem::ArenaView<graph::Position>& positions() const
     {
         return positions_;
     }
 
+    /** Key-major span table, keys().size() + 1 entries (serialization). */
+    const mem::ArenaView<uint32_t>& keyOffsets() const
+    {
+        return keyOffsets_;
+    }
+
+    /** The open-addressing bucket table (serialization, tests). */
+    const mem::ArenaView<MinimizerBucket>& buckets() const
+    {
+        return buckets_;
+    }
+
+    /** True when the tables are mmap-backed (MGZ v3 load). */
+    bool isMapped() const { return positions_.isMapped(); }
+
+    /** Heap/mapped bytes across all four tables. */
+    size_t
+    footprintBytes() const
+    {
+        return keys_.bytes() + keyOffsets_.bytes() + positions_.bytes() +
+               buckets_.bytes();
+    }
+
+    /**
+     * Rebind onto tables inside a mapped MGZ v3 container.  Performs the
+     * cheap structural scans (monotone offsets, bucket spans in bounds,
+     * load factor <= 1/2) that keep corrupt containers from crashing
+     * lookups; full content integrity is the per-section CRC's job.
+     * Throws util::Error on inconsistency.
+     */
+    void bindMapped(std::shared_ptr<mem::MappedFile> file,
+                    const MinimizerParams& params, const uint64_t* keys,
+                    size_t num_keys, const uint32_t* key_offsets,
+                    size_t num_key_offsets,
+                    const graph::Position* positions, size_t num_positions,
+                    const MinimizerBucket* buckets, size_t num_buckets);
+
   private:
     MinimizerParams params_;
-    std::vector<uint64_t> keys_;        // sorted distinct hashes
-    std::vector<uint32_t> keyOffsets_;  // keys_.size() + 1 entries
-    std::vector<graph::Position> positions_;
+    mem::ArenaView<uint64_t> keys_;        // sorted distinct hashes
+    mem::ArenaView<uint32_t> keyOffsets_;  // keys_.size() + 1 entries
+    mem::ArenaView<graph::Position> positions_;
+    mem::ArenaView<MinimizerBucket> buckets_;  // pow2 open addressing
 };
 
 } // namespace mg::index

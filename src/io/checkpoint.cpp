@@ -116,13 +116,6 @@ getStats(util::ByteCursor& cursor, ShardStatsDelta& stats)
     stats.cacheProbes = cursor.getVarint();
 }
 
-bool
-fileExists(const std::string& path)
-{
-    struct stat st;
-    return ::stat(path.c_str(), &st) == 0;
-}
-
 } // namespace
 
 std::string

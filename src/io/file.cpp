@@ -28,6 +28,12 @@ ioFail(const std::string& path, std::string message)
 
 } // namespace
 
+bool
+fileExists(const std::string& path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
 std::vector<uint8_t>
 readFileBytes(const std::string& path)
 {

@@ -10,6 +10,9 @@
 
 namespace mg::io {
 
+/** True iff `path` names an existing file (access(2) check). */
+bool fileExists(const std::string& path);
+
 /** Read an entire file into memory; throws mg::util::Error on failure. */
 std::vector<uint8_t> readFileBytes(const std::string& path);
 

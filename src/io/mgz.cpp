@@ -5,6 +5,7 @@
 
 #include "fault/fault.h"
 #include "io/file.h"
+#include "io/mgz_sections.h"
 #include "util/common.h"
 #include "util/crc32.h"
 #include "util/cursor.h"
@@ -17,6 +18,7 @@ namespace {
 
 constexpr char kMagicV1[4] = { 'M', 'G', 'Z', '1' };
 constexpr char kMagicV2[4] = { 'M', 'G', 'Z', '2' };
+constexpr char kMagicV3[4] = { 'M', 'G', 'Z', '3' };
 
 constexpr std::array<const char*, 4> kSectionNames = {
     "nodes", "edges", "paths", "gbwt"
@@ -70,6 +72,10 @@ encodeNodesSection(util::ByteWriter& writer,
     }
 }
 
+} // namespace
+
+namespace detail {
+
 void
 encodeEdgesSection(util::ByteWriter& writer,
                    const graph::VariationGraph& graph)
@@ -121,21 +127,8 @@ encodePathsSection(util::ByteWriter& writer,
     }
 }
 
-// --- Section payload readers -------------------------------------------
-
 void
-decodeNodesSection(util::ByteCursor& cursor, Pangenome& out)
-{
-    uint64_t num_nodes = cursor.getVarint();
-    cursor.check(num_nodes <= cursor.remaining(), util::StatusCode::Corrupt,
-                 "node count exceeds remaining payload");
-    for (uint64_t i = 0; i < num_nodes; ++i) {
-        out.graph.addNode(decodeSequence(cursor));
-    }
-}
-
-void
-decodeEdgesSection(util::ByteCursor& cursor, Pangenome& out)
+decodeEdgesSection(util::ByteCursor& cursor, graph::VariationGraph& graph)
 {
     uint64_t num_edges = cursor.getVarint();
     cursor.check(num_edges <= cursor.remaining(), util::StatusCode::Corrupt,
@@ -144,13 +137,14 @@ decodeEdgesSection(util::ByteCursor& cursor, Pangenome& out)
     for (uint64_t i = 0; i < num_edges; ++i) {
         prev_from += cursor.getVarint();
         uint64_t to = cursor.getVarint();
-        out.graph.addEdge(graph::Handle::fromPacked(prev_from),
-                          graph::Handle::fromPacked(to));
+        graph.addEdge(graph::Handle::fromPacked(prev_from),
+                      graph::Handle::fromPacked(to));
     }
 }
 
 void
-decodePathsSection(util::ByteCursor& cursor, Pangenome& out)
+decodePathsSection(util::ByteCursor& cursor, graph::VariationGraph& graph,
+                   bool checked)
 {
     uint64_t num_paths = cursor.getVarint();
     cursor.check(num_paths <= cursor.remaining(), util::StatusCode::Corrupt,
@@ -169,7 +163,28 @@ decodePathsSection(util::ByteCursor& cursor, Pangenome& out)
             steps.push_back(
                 graph::Handle::fromPacked(static_cast<uint64_t>(packed)));
         }
-        out.graph.addPath(std::move(name), std::move(steps));
+        if (checked) {
+            graph.addPath(std::move(name), std::move(steps));
+        } else {
+            graph.addPathUnchecked(std::move(name), std::move(steps));
+        }
+    }
+}
+
+} // namespace detail
+
+namespace {
+
+// --- Section payload readers -------------------------------------------
+
+void
+decodeNodesSection(util::ByteCursor& cursor, Pangenome& out)
+{
+    uint64_t num_nodes = cursor.getVarint();
+    cursor.check(num_nodes <= cursor.remaining(), util::StatusCode::Corrupt,
+                 "node count exceeds remaining payload");
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+        out.graph.addNode(decodeSequence(cursor));
     }
 }
 
@@ -224,8 +239,8 @@ encodeMgz(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
 {
     std::array<util::ByteWriter, 4> payloads;
     encodeNodesSection(payloads[0], graph);
-    encodeEdgesSection(payloads[1], graph);
-    encodePathsSection(payloads[2], graph);
+    detail::encodeEdgesSection(payloads[1], graph);
+    detail::encodePathsSection(payloads[2], graph);
     gbwt.save(payloads[3]);
 
     util::ByteWriter out;
@@ -271,15 +286,19 @@ decodeMgz(const std::vector<uint8_t>& bytes, std::string_view file)
         cursor.enterSection("nodes");
         decodeNodesSection(cursor, out);
         cursor.enterSection("edges");
-        decodeEdgesSection(cursor, out);
+        detail::decodeEdgesSection(cursor, out.graph);
         cursor.enterSection("paths");
-        decodePathsSection(cursor, out);
+        detail::decodePathsSection(cursor, out.graph, true);
         cursor.enterSection("gbwt");
         out.gbwt = gbwt::Gbwt::load(cursor);
         cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
                      "trailing bytes after MGZ payload");
         return out;
     }
+    cursor.check(!std::equal(magic, magic + 4, kMagicV3),
+                 util::StatusCode::InvalidArgument,
+                 "MGZ v3 containers are memory-mapped; load this file "
+                 "through loadPangenome()");
     cursor.check(std::equal(magic, magic + 4, kMagicV2),
                  util::StatusCode::Corrupt, "not an MGZ file (bad magic)");
 
@@ -302,9 +321,9 @@ decodeMgz(const std::vector<uint8_t>& bytes, std::string_view file)
         if (name == kSectionNames[0]) {
             decodeNodesSection(section, out);
         } else if (name == kSectionNames[1]) {
-            decodeEdgesSection(section, out);
+            detail::decodeEdgesSection(section, out.graph);
         } else if (name == kSectionNames[2]) {
-            decodePathsSection(section, out);
+            detail::decodePathsSection(section, out.graph, true);
         } else {
             out.gbwt = gbwt::Gbwt::load(section);
         }
@@ -330,6 +349,9 @@ inspectMgz(const std::vector<uint8_t>& bytes, std::string_view file)
     if (std::equal(magic, magic + 4, kMagicV1)) {
         info.version = MgzVersion::V1;
         return info;
+    }
+    if (std::equal(magic, magic + 4, kMagicV3)) {
+        return inspectMgz3(bytes.data(), bytes.size(), file);
     }
     cursor.check(std::equal(magic, magic + 4, kMagicV2),
                  util::StatusCode::Corrupt, "not an MGZ file (bad magic)");

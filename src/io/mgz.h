@@ -17,18 +17,32 @@
  *
  * Version 1 ("MGZ1") is the same four payloads concatenated with no sizes
  * or checksums; decodeMgz still reads it (write support is kept so the
- * compatibility path stays tested).  New files are always written as V2:
- * the per-section CRC turns a bit flip anywhere in a multi-gigabyte index
- * into a structured checksum-mismatch error naming the damaged section
- * instead of an arbitrary downstream decode failure.
+ * compatibility path stays tested).  Graph+GBWT containers are written as
+ * V2: the per-section CRC turns a bit flip anywhere in a multi-gigabyte
+ * index into a structured checksum-mismatch error naming the damaged
+ * section instead of an arbitrary downstream decode failure.
+ *
+ * Version 3 ("MGZ3", usually *.mgz3) is the zero-copy substrate: a
+ * page-aligned container holding every big immutable arena — packed
+ * sequence words, GBWT record/document arenas + offsets, the minimizer
+ * key/position/bucket tables, the distance arrays — in its exact
+ * little-endian in-memory layout, so loading is mmap + pointer fixup
+ * instead of deserialization (see mgz3.cpp for the layout, DESIGN.md §3j
+ * for the rules).  loadPangenome() dispatches on the magic: v1/v2 parse
+ * into heap structures and build the indexes; v3 maps near-instantly and
+ * N processes share one page-cache copy.
  */
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "gbwt/gbwt.h"
 #include "graph/variation_graph.h"
+#include "index/distance.h"
+#include "index/minimizer.h"
+#include "mem/arena.h"
 
 namespace mg::io {
 
@@ -44,8 +58,10 @@ enum class MgzVersion : uint8_t
 {
     /** Unversioned seed format: bare concatenated payloads. */
     V1 = 1,
-    /** Sized sections with per-section CRC32 (current). */
+    /** Sized sections with per-section CRC32 (current graph+GBWT). */
     V2 = 2,
+    /** Page-aligned zero-copy arenas incl. prebuilt indexes (mmap). */
+    V3 = 3,
 };
 
 /** One section as seen by inspectMgz. */
@@ -99,5 +115,107 @@ void saveMgz(const std::string& path, const graph::VariationGraph& graph,
 
 /** Convenience: read an .mgz file. */
 Pangenome loadMgz(const std::string& path);
+
+// --- MGZ v3: zero-copy mapped containers -------------------------------
+
+/** How a pangenome got into memory. */
+enum class LoadMode : uint8_t
+{
+    /** Heap structures parsed from a v1/v2 container + indexes built. */
+    Parsed,
+    /** Arenas bound directly onto a mapped v3 container. */
+    Mapped,
+};
+
+/** "parsed" | "mmap" — the strings run summaries report. */
+const char* loadModeName(LoadMode mode);
+
+/** Startup accounting surfaced by inspect_pangenome and run summaries. */
+struct IndexLoadInfo
+{
+    LoadMode mode = LoadMode::Parsed;
+    /** Wall seconds from open to query-ready (includes index builds when
+     *  parsed). */
+    double loadSeconds = 0.0;
+    /** Container size on disk. */
+    uint64_t fileBytes = 0;
+    /** Bytes memory-mapped (0 when parsed). */
+    uint64_t mappedBytes = 0;
+    /** Mapped bytes resident in the page cache at sample time. */
+    uint64_t residentBytes = 0;
+    /** Heap bytes owned by the arenas/indexes (0 when fully mapped). */
+    uint64_t heapBytes = 0;
+    /** Logical arena sizes (name, bytes), identical across load modes. */
+    std::vector<std::pair<std::string, uint64_t>> sections;
+};
+
+/**
+ * A query-ready pangenome: graph + GBWT + both indexes, plus the mapping
+ * keeping v3 arenas alive (null when parsed) and the load accounting.
+ */
+struct IndexedPangenome
+{
+    graph::VariationGraph graph;
+    gbwt::Gbwt gbwt;
+    index::MinimizerIndex minimizers;
+    index::DistanceIndex distance;
+    std::shared_ptr<mem::MappedFile> mapping;
+    IndexLoadInfo info;
+
+    /** Re-sample resident bytes (mapped mode; cheap mincore scan). */
+    void refreshResidency();
+};
+
+/** Knobs for loadPangenome(). */
+struct LoadOptions
+{
+    /** Minimizer parameters used when indexes must be *built* (v1/v2).
+     *  v3 containers carry their build parameters and ignore these. */
+    index::MinimizerParams minimizer;
+    /** Worker threads for v1/v2 index construction (0 = hardware). */
+    unsigned buildThreads = 0;
+    /**
+     * Re-verify every v3 section CRC against the mapped bytes before
+     * binding (mg_verify / fuzz harness mode).  Off by default: the fast
+     * path trusts the container and relies on the structural scans only.
+     */
+    bool verifySectionCrcs = false;
+    /** madvise hint applied to the mapping after binding (v3 only). */
+    mem::Advice advice = mem::Advice::Normal;
+};
+
+/**
+ * Serialize graph + GBWT + prebuilt indexes into MGZ v3 bytes.  The
+ * output is a pure function of the inputs (padding zeroed, positions
+ * written field-wise), so containers built with different thread counts
+ * are byte-identical.
+ */
+std::vector<uint8_t> encodeMgz3(const graph::VariationGraph& graph,
+                                const gbwt::Gbwt& gbwt,
+                                const index::MinimizerIndex& minimizers,
+                                const index::DistanceIndex& distance);
+
+/** Convenience: write an .mgz3 file. */
+void saveMgz3(const std::string& path, const graph::VariationGraph& graph,
+              const gbwt::Gbwt& gbwt,
+              const index::MinimizerIndex& minimizers,
+              const index::DistanceIndex& distance);
+
+/**
+ * Structure/CRC report of v3 bytes without binding them (mg_verify).
+ * Structural damage (bad magic/table, misaligned or overlapping
+ * sections) throws StatusError; CRC mismatches are reported per section.
+ */
+MgzInfo inspectMgz3(const uint8_t* data, size_t size,
+                    std::string_view file = {});
+
+/**
+ * Load any container by magic: v1/v2 parse + index build (honouring
+ * options.minimizer / buildThreads), v3 mmap + pointer fixup.  Throws
+ * StatusError (malformed container) or util::Error (I/O, inconsistent
+ * v3 tables).
+ */
+IndexedPangenome loadPangenome(const std::string& path,
+                               const LoadOptions& options = {});
 
 } // namespace mg::io

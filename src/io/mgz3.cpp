@@ -1,0 +1,697 @@
+/**
+ * @file
+ * MGZ v3: the zero-copy container.  Where v2 is a stream you *parse*, v3
+ * is a memory image you *map*: every big immutable arena is stored in its
+ * exact little-endian in-memory layout at a page-aligned offset, so
+ * loading is mmap + pointer fixup and N processes share one page-cache
+ * copy of the index.
+ *
+ * File layout (all integers little-endian):
+ *
+ *     offset 0   "MGZ3"
+ *     offset 4   u32 format version (3)
+ *     offset 8   u32 page size the file was laid out for (4096)
+ *     offset 12  u32 section count (15)
+ *     offset 16  u64 total file bytes
+ *     offset 24  u32 CRC32 of the section table
+ *     offset 28  u32 reserved (0)
+ *     offset 32  section table: 15 x 40-byte entries
+ *                  char tag[16]   zero-padded section name
+ *                  u64  offset    payload start (page-aligned)
+ *                  u64  size      payload bytes (excludes padding)
+ *                  u32  crc32     CRC32 of the payload bytes
+ *                  u32  elemSize  element stride (alignment contract)
+ *
+ * Sections follow in the fixed order of kSections, each starting on a
+ * page boundary and zero-padded up to the next one.  The canonical
+ * placement (section i starts exactly where padding after section i-1
+ * ends) is *enforced* on load, which makes truncated, overlapping, or
+ * reordered tables structurally invalid rather than silently accepted.
+ *
+ * Byte determinism: the encoder writes graph::Position field-wise with
+ * its 4 struct-padding bytes zeroed, and every arena is produced by
+ * builders whose output is independent of thread count, so the same
+ * inputs yield bit-identical containers regardless of build parallelism.
+ *
+ * Trust model on load: the header, table, and the three small metadata
+ * sections (meta/edges/paths) are always CRC-verified; the big arenas are
+ * verified only under LoadOptions::verifySectionCrcs (mg_verify, fuzz
+ * harness).  The fast path instead relies on the cheap structural scans
+ * inside the bindMapped() entry points — offset monotonicity, spans in
+ * bounds, bucket load factor — which are what keep "never crash on a
+ * corrupt container" true without re-reading gigabytes at startup.
+ */
+#include "io/mgz.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "io/file.h"
+#include "io/mgz_sections.h"
+#include "util/crc32.h"
+#include "util/cursor.h"
+#include "util/status.h"
+#include "util/timer.h"
+#include "util/varint.h"
+
+namespace mg::io {
+namespace {
+
+// The v3 format stores arenas verbatim, so the file layout *is* the
+// in-memory layout.  Pin down every assumption that makes that legal.
+static_assert(std::endian::native == std::endian::little,
+              "MGZ v3 stores little-endian arenas verbatim");
+static_assert(std::is_trivially_copyable_v<graph::Position> &&
+                  sizeof(graph::Position) == 16 &&
+                  offsetof(graph::Position, handle) == 0 &&
+                  offsetof(graph::Position, offset) == 8,
+              "min.pos maps Position records verbatim");
+static_assert(std::is_trivially_copyable_v<index::MinimizerBucket> &&
+                  sizeof(index::MinimizerBucket) == 16 &&
+                  offsetof(index::MinimizerBucket, key) == 0 &&
+                  offsetof(index::MinimizerBucket, offset) == 8 &&
+                  offsetof(index::MinimizerBucket, count) == 12,
+              "min.table maps bucket records verbatim");
+
+constexpr char kMagicV3[4] = {'M', 'G', 'Z', '3'};
+constexpr uint32_t kFormatVersionV3 = 3;
+constexpr uint32_t kPageBytes = 4096;
+constexpr size_t kTagBytes = 16;
+constexpr size_t kEntryBytes = 40;
+constexpr size_t kTableOffset = 32;
+
+/** Fixed section order; the loader rejects any deviation. */
+struct SectionSpec
+{
+    const char* tag;
+    uint32_t elemSize;
+};
+
+enum Section : size_t
+{
+    kMeta = 0,
+    kEdges,
+    kPaths,
+    kSeqWords,
+    kSeqOffsets,
+    kGbwtArena,
+    kGbwtOffsets,
+    kGbwtDocArena,
+    kGbwtDocOffs,
+    kMinKeys,
+    kMinKeyOffs,
+    kMinPos,
+    kMinTable,
+    kDistMin,
+    kDistMax,
+    kNumSections,
+};
+
+constexpr SectionSpec kSections[kNumSections] = {
+    {"meta", 1},          {"edges", 1},        {"paths", 1},
+    {"seq.words", 8},     {"seq.offsets", 8},  {"gbwt.arena", 1},
+    {"gbwt.offsets", 8},  {"gbwt.docarena", 1}, {"gbwt.docoffs", 8},
+    {"min.keys", 8},      {"min.keyoffs", 4},  {"min.pos", 16},
+    {"min.table", 16},    {"dist.min", 8},     {"dist.max", 8},
+};
+
+static_assert(kTableOffset + kNumSections * kEntryBytes <= kPageBytes,
+              "header + section table must fit in the first page");
+
+uint64_t
+alignPage(uint64_t offset)
+{
+    return (offset + kPageBytes - 1) & ~uint64_t{kPageBytes - 1};
+}
+
+void
+writeU32(uint8_t* dst, uint32_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+void
+writeU64(uint8_t* dst, uint64_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+uint32_t
+readU32(const uint8_t* src)
+{
+    uint32_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+uint64_t
+readU64(const uint8_t* src)
+{
+    uint64_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+/** CRC of a possibly-empty span without handing crc32 a null pointer. */
+uint32_t
+spanCrc(const void* data, size_t size)
+{
+    static const uint8_t kNone = 0;
+    return util::crc32(size != 0 ? data : &kNone, size);
+}
+
+/** One parsed section-table entry. */
+struct SectionView
+{
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+};
+
+using SectionTable = std::array<SectionView, kNumSections>;
+
+/**
+ * Validate the v3 header + section table and return the parsed table.
+ * Enforces the canonical layout: magic/version/page size, table CRC,
+ * exact section order and element sizes, page-aligned offsets placed
+ * exactly where the previous section's padding ends, and a file-size
+ * total that matches.  Throws StatusError with file/section provenance.
+ */
+SectionTable
+parseHeaderV3(const uint8_t* data, size_t size, std::string_view file)
+{
+    util::ByteCursor cursor(data, size, file);
+    cursor.enterSection("header");
+    cursor.check(size >= kPageBytes, util::StatusCode::Truncated,
+                 "v3 container smaller than one page (", size, " bytes)");
+    cursor.check(std::memcmp(data, kMagicV3, sizeof(kMagicV3)) == 0,
+                 util::StatusCode::Corrupt, "not an MGZ3 container");
+    const uint32_t version = readU32(data + 4);
+    cursor.check(version == kFormatVersionV3, util::StatusCode::Corrupt,
+                 "unsupported v3 format revision ", version);
+    const uint32_t page = readU32(data + 8);
+    cursor.check(page == kPageBytes, util::StatusCode::Corrupt,
+                 "container laid out for page size ", page, ", expected ",
+                 kPageBytes);
+    const uint32_t count = readU32(data + 12);
+    cursor.check(count == kNumSections, util::StatusCode::Corrupt,
+                 "expected ", size_t{kNumSections},
+                 " sections, header claims ", count);
+    const uint64_t file_bytes = readU64(data + 16);
+    cursor.check(file_bytes == size, util::StatusCode::Truncated,
+                 "header claims ", file_bytes, " bytes, file holds ", size);
+    const uint32_t table_crc = readU32(data + 24);
+    cursor.check(util::crc32(data + kTableOffset,
+                             kNumSections * kEntryBytes) == table_crc,
+                 util::StatusCode::ChecksumMismatch,
+                 "section table checksum mismatch");
+
+    SectionTable table;
+    uint64_t expected_offset = kPageBytes;
+    for (size_t i = 0; i < kNumSections; ++i) {
+        cursor.enterSection(kSections[i].tag);
+        const uint8_t* entry = data + kTableOffset + i * kEntryBytes;
+        char tag[kTagBytes] = {};
+        std::strncpy(tag, kSections[i].tag, kTagBytes - 1);
+        cursor.check(std::memcmp(entry, tag, kTagBytes) == 0,
+                     util::StatusCode::Corrupt, "section ", i,
+                     " is not the expected '", kSections[i].tag, "' entry");
+        SectionView& view = table[i];
+        view.offset = readU64(entry + kTagBytes);
+        view.size = readU64(entry + kTagBytes + 8);
+        view.crc = readU32(entry + kTagBytes + 16);
+        const uint32_t elem = readU32(entry + kTagBytes + 20);
+        cursor.check(elem == kSections[i].elemSize, util::StatusCode::Corrupt,
+                     "element size ", elem, ", expected ",
+                     kSections[i].elemSize);
+        // Canonical placement: rejects overlapping, reordered, or
+        // misaligned sections in one comparison.
+        cursor.check(view.offset == expected_offset,
+                     util::StatusCode::Corrupt, "payload at offset ",
+                     view.offset, ", canonical layout puts it at ",
+                     expected_offset);
+        cursor.check(view.size <= size - view.offset,
+                     util::StatusCode::Truncated, "payload of ", view.size,
+                     " bytes runs past end of file");
+        cursor.check(view.size % kSections[i].elemSize == 0,
+                     util::StatusCode::Corrupt, "payload of ", view.size,
+                     " bytes is not a multiple of the element size");
+        expected_offset = alignPage(view.offset + view.size);
+    }
+    cursor.enterSection("header");
+    cursor.check(expected_offset == size, util::StatusCode::Truncated,
+                 "sections cover ", expected_offset, " bytes, file holds ",
+                 size);
+    return table;
+}
+
+[[noreturn]] void
+failSection(std::string_view file, size_t section, uint64_t offset,
+            util::StatusCode code, std::string message)
+{
+    util::Status status;
+    status.code = code;
+    status.message = std::move(message);
+    status.file = std::string(file);
+    status.section = kSections[section].tag;
+    status.offset = offset;
+    util::throwStatus(std::move(status));
+}
+
+void
+checkSectionCrc(const uint8_t* data, std::string_view file,
+                const SectionTable& table, size_t section)
+{
+    const SectionView& view = table[section];
+    if (spanCrc(data + view.offset, view.size) != view.crc) {
+        failSection(file, section, view.offset,
+                    util::StatusCode::ChecksumMismatch,
+                    "section checksum mismatch");
+    }
+}
+
+/** Typed pointer + element count of one mapped section. */
+template <typename T>
+std::pair<const T*, size_t>
+sectionSpan(const uint8_t* data, const SectionTable& table, size_t section)
+{
+    // Page alignment (>= alignof(T) for every stored type) was enforced
+    // by parseHeaderV3, so the reinterpret_cast is well-formed.
+    return {reinterpret_cast<const T*>(data + table[section].offset),
+            table[section].size / sizeof(T)};
+}
+
+// --- v3 paths section --------------------------------------------------
+//
+// Unlike the v2 stream (delta varints per step), the v3 paths section
+// keeps the step lists flat so binding costs a memcpy, not millions of
+// varint decodes — the section is the dominant non-mapped payload and a
+// varint walk alone was ~80% of the map time on the A-human analog:
+//
+//     varint num_paths
+//     per path: varint name length, name bytes, varint num_steps
+//     zero padding to an 8-byte boundary (relative to section start)
+//     uint64 packed handles, all paths back to back, path order
+//
+// The section starts page-aligned, so the padded step array is 8-aligned
+// inside the mapping and can be read as uint64s in place.
+
+static_assert(sizeof(graph::Handle) == sizeof(uint64_t)
+                  && std::is_trivially_copyable_v<graph::Handle>,
+              "v3 path steps are raw packed-handle words");
+
+std::vector<uint8_t>
+encodePathsV3(const graph::VariationGraph& graph)
+{
+    util::ByteWriter header;
+    header.putVarint(graph.numPaths());
+    uint64_t total_steps = 0;
+    for (const graph::PathEntry& path : graph.paths()) {
+        header.putString(path.name);
+        header.putVarint(path.steps.size());
+        total_steps += path.steps.size();
+    }
+    std::vector<uint8_t> out = header.takeBytes();
+    out.resize((out.size() + 7) & ~static_cast<size_t>(7), 0);
+    const size_t steps_off = out.size();
+    out.resize(steps_off + total_steps * sizeof(uint64_t), 0);
+    uint8_t* p = out.data() + steps_off;
+    for (const graph::PathEntry& path : graph.paths()) {
+        for (graph::Handle step : path.steps) {
+            writeU64(p, step.packed());
+            p += sizeof(uint64_t);
+        }
+    }
+    return out;
+}
+
+void
+decodePathsV3(const uint8_t* data, const SectionTable& table,
+              std::string_view fname, graph::VariationGraph& graph)
+{
+    const SectionView& view = table[kPaths];
+    util::ByteCursor cursor(data + view.offset, view.size, fname);
+    cursor.enterSection("paths");
+    const uint64_t num_paths = cursor.getVarint();
+    cursor.check(num_paths <= view.size, util::StatusCode::Corrupt,
+                 "path count exceeds section size");
+    std::vector<std::string> names;
+    std::vector<uint64_t> counts;
+    names.reserve(num_paths);
+    counts.reserve(num_paths);
+    const uint64_t max_steps = view.size / sizeof(uint64_t);
+    uint64_t total_steps = 0;
+    for (uint64_t i = 0; i < num_paths; ++i) {
+        names.push_back(cursor.getString());
+        counts.push_back(cursor.getVarint());
+        total_steps += counts.back();
+        cursor.check(counts.back() <= max_steps && total_steps <= max_steps,
+                     util::StatusCode::Corrupt,
+                     "path step count exceeds section size");
+    }
+    const uint64_t header_bytes = view.size - cursor.remaining();
+    const uint64_t steps_off =
+        (header_bytes + 7) & ~static_cast<uint64_t>(7);
+    cursor.check(steps_off + total_steps * sizeof(uint64_t) == view.size,
+                 util::StatusCode::Corrupt,
+                 "path step array does not fill the section");
+    const auto* steps = reinterpret_cast<const graph::Handle*>(
+        data + view.offset + steps_off);
+    size_t at = 0;
+    for (uint64_t i = 0; i < num_paths; ++i) {
+        std::vector<graph::Handle> walk(steps + at,
+                                        steps + at + counts[i]);
+        at += counts[i];
+        graph.addPathUnchecked(std::move(names[i]), std::move(walk));
+    }
+}
+
+/**
+ * Report the logical arena sizes from the *bound* structures rather than
+ * the container table, so parsed and mapped loads of the same pangenome
+ * produce identical section listings.
+ */
+void
+fillArenaSections(IndexedPangenome& out)
+{
+    const graph::SequenceStore& store = out.graph.sequenceStore();
+    const gbwt::Gbwt::ArenaRefs refs = out.gbwt.arenaRefs();
+    out.info.sections = {
+        {"seq.words", store.words().bytes()},
+        {"seq.offsets", store.offsets().bytes()},
+        {"gbwt.arena", refs.arenaSize},
+        {"gbwt.offsets", refs.numRecordOffsets * sizeof(uint64_t)},
+        {"gbwt.docarena", refs.docArenaSize},
+        {"gbwt.docoffs", refs.numDocOffsets * sizeof(uint64_t)},
+        {"min.keys", out.minimizers.keys().bytes()},
+        {"min.keyoffs", out.minimizers.keyOffsets().bytes()},
+        {"min.pos", out.minimizers.positions().bytes()},
+        {"min.table", out.minimizers.buckets().bytes()},
+        {"dist.min", out.distance.minFromSource().bytes()},
+        {"dist.max", out.distance.maxFromSource().bytes()},
+    };
+}
+
+/** Bind a fully validated v3 mapping into a query-ready pangenome. */
+IndexedPangenome
+mapPangenome(std::shared_ptr<mem::MappedFile> file,
+             const LoadOptions& options)
+{
+    const uint8_t* data = file->data();
+    const size_t size = file->size();
+    const std::string_view fname = file->path();
+    const SectionTable table = parseHeaderV3(data, size, fname);
+
+    // The small metadata sections are always verified (they are decoded,
+    // not mapped, so a flipped bit would otherwise surface as an obscure
+    // varint error); arena verification is opt-in.
+    checkSectionCrc(data, fname, table, kMeta);
+    checkSectionCrc(data, fname, table, kEdges);
+    checkSectionCrc(data, fname, table, kPaths);
+    if (options.verifySectionCrcs) {
+        for (size_t i = 0; i < kNumSections; ++i) {
+            checkSectionCrc(data, fname, table, i);
+        }
+    }
+
+    util::ByteCursor meta(data + table[kMeta].offset, table[kMeta].size,
+                          fname);
+    meta.enterSection("meta");
+    const uint64_t num_nodes = meta.getVarint();
+    const uint64_t sanitized_bases = meta.getVarint();
+    const uint64_t num_paths = meta.getVarint();
+    const uint64_t total_visits = meta.getVarint();
+    index::MinimizerParams params;
+    params.k = static_cast<int>(meta.getVarint());
+    params.w = static_cast<int>(meta.getVarint());
+    params.maxOccurrences = meta.getVarint();
+    meta.check(meta.atEnd(), util::StatusCode::Corrupt,
+               "trailing bytes after v3 meta");
+
+    IndexedPangenome out;
+
+    // Sequence arenas bind first; edges and paths decode against the
+    // bound node set (addPathUnchecked still bounds-checks node ids).
+    auto [words, num_words] = sectionSpan<uint64_t>(data, table, kSeqWords);
+    auto [offsets, num_offsets] =
+        sectionSpan<uint64_t>(data, table, kSeqOffsets);
+    out.graph.bindMappedSequences(file, words, num_words, offsets,
+                                  num_offsets, num_nodes, sanitized_bases);
+
+    util::ByteCursor edges(data + table[kEdges].offset, table[kEdges].size,
+                           fname);
+    edges.enterSection("edges");
+    detail::decodeEdgesSection(edges, out.graph);
+    edges.check(edges.atEnd(), util::StatusCode::Corrupt,
+                "trailing bytes after v3 edges");
+
+    decodePathsV3(data, table, fname, out.graph);
+
+    gbwt::Gbwt::ArenaRefs refs;
+    std::tie(refs.arena, refs.arenaSize) =
+        sectionSpan<uint8_t>(data, table, kGbwtArena);
+    std::tie(refs.recordOffsets, refs.numRecordOffsets) =
+        sectionSpan<uint64_t>(data, table, kGbwtOffsets);
+    std::tie(refs.docArena, refs.docArenaSize) =
+        sectionSpan<uint8_t>(data, table, kGbwtDocArena);
+    std::tie(refs.docOffsets, refs.numDocOffsets) =
+        sectionSpan<uint64_t>(data, table, kGbwtDocOffs);
+    out.gbwt.bindMapped(file, refs, num_paths, total_visits);
+
+    auto [keys, num_keys] = sectionSpan<uint64_t>(data, table, kMinKeys);
+    auto [key_offsets, num_key_offsets] =
+        sectionSpan<uint32_t>(data, table, kMinKeyOffs);
+    auto [positions, num_positions] =
+        sectionSpan<graph::Position>(data, table, kMinPos);
+    auto [buckets, num_buckets] =
+        sectionSpan<index::MinimizerBucket>(data, table, kMinTable);
+    out.minimizers.bindMapped(file, params, keys, num_keys, key_offsets,
+                              num_key_offsets, positions, num_positions,
+                              buckets, num_buckets);
+    // bindMapped validated the tables against each other; the positions
+    // must additionally land inside *this graph*, or a corrupt container
+    // would crash the first lookup that dereferences one.
+    for (size_t i = 0; i < num_positions; ++i) {
+        const graph::Position& pos = positions[i];
+        const graph::NodeId id = pos.handle.id();
+        if (id < 1 || id > num_nodes || pos.offset >= out.graph.length(id)) {
+            failSection(fname, kMinPos,
+                        table[kMinPos].offset +
+                            i * sizeof(graph::Position),
+                        util::StatusCode::Corrupt,
+                        "minimizer position outside the graph");
+        }
+    }
+
+    auto [dist_min, num_min] = sectionSpan<int64_t>(data, table, kDistMin);
+    auto [dist_max, num_max] = sectionSpan<int64_t>(data, table, kDistMax);
+    if (num_min != num_nodes || num_max != num_nodes) {
+        failSection(fname, kDistMin, table[kDistMin].offset,
+                    util::StatusCode::Corrupt,
+                    util::cat("distance arrays hold ", num_min, "/", num_max,
+                              " entries for ", num_nodes, " nodes"));
+    }
+    out.distance.bindMapped(file, dist_min, dist_max, num_nodes);
+
+    if (options.advice != mem::Advice::Normal) {
+        file->advise(options.advice);
+    }
+
+    out.info.mode = LoadMode::Mapped;
+    out.info.fileBytes = size;
+    out.info.mappedBytes = size;
+    out.info.heapBytes = 0;
+    fillArenaSections(out);
+    out.mapping = std::move(file);
+    out.refreshResidency();
+    return out;
+}
+
+} // namespace
+
+const char*
+loadModeName(LoadMode mode)
+{
+    return mode == LoadMode::Mapped ? "mmap" : "parsed";
+}
+
+void
+IndexedPangenome::refreshResidency()
+{
+    if (mapping) {
+        info.residentBytes = mapping->residentBytes();
+    }
+}
+
+std::vector<uint8_t>
+encodeMgz3(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
+           const index::MinimizerIndex& minimizers,
+           const index::DistanceIndex& distance)
+{
+    const graph::SequenceStore& store = graph.sequenceStore();
+    const gbwt::Gbwt::ArenaRefs refs = gbwt.arenaRefs();
+    const index::MinimizerParams& params = minimizers.params();
+    MG_CHECK(distance.numNodes() == graph.numNodes(),
+             "distance index was built for a different graph");
+
+    util::ByteWriter meta_writer;
+    meta_writer.putVarint(graph.numNodes());
+    meta_writer.putVarint(graph.sanitizedBases());
+    meta_writer.putVarint(gbwt.numPaths());
+    meta_writer.putVarint(gbwt.totalVisits());
+    meta_writer.putVarint(static_cast<uint64_t>(params.k));
+    meta_writer.putVarint(static_cast<uint64_t>(params.w));
+    meta_writer.putVarint(params.maxOccurrences);
+    const std::vector<uint8_t> meta = meta_writer.takeBytes();
+
+    util::ByteWriter edges_writer;
+    detail::encodeEdgesSection(edges_writer, graph);
+    const std::vector<uint8_t> edges = edges_writer.takeBytes();
+
+    const std::vector<uint8_t> paths = encodePathsV3(graph);
+
+    // graph::Position carries 4 bytes of struct padding; serialize the
+    // records field-wise with the padding zeroed so the container is a
+    // pure function of its logical content (byte-determinism guarantee).
+    std::vector<uint8_t> pos_bytes(minimizers.positions().size() *
+                                   sizeof(graph::Position));
+    uint8_t* pos_out = pos_bytes.data();
+    for (const graph::Position& pos : minimizers.positions()) {
+        writeU64(pos_out, pos.handle.packed());
+        writeU32(pos_out + 8, pos.offset);
+        writeU32(pos_out + 12, 0);
+        pos_out += sizeof(graph::Position);
+    }
+
+    struct Span
+    {
+        const void* data;
+        size_t size;
+    };
+    const Span spans[kNumSections] = {
+        {meta.data(), meta.size()},
+        {edges.data(), edges.size()},
+        {paths.data(), paths.size()},
+        {store.words().data(), store.words().bytes()},
+        {store.offsets().data(), store.offsets().bytes()},
+        {refs.arena, refs.arenaSize},
+        {refs.recordOffsets, refs.numRecordOffsets * sizeof(uint64_t)},
+        {refs.docArena, refs.docArenaSize},
+        {refs.docOffsets, refs.numDocOffsets * sizeof(uint64_t)},
+        {minimizers.keys().data(), minimizers.keys().bytes()},
+        {minimizers.keyOffsets().data(), minimizers.keyOffsets().bytes()},
+        {pos_bytes.data(), pos_bytes.size()},
+        {minimizers.buckets().data(), minimizers.buckets().bytes()},
+        {distance.minFromSource().data(), distance.minFromSource().bytes()},
+        {distance.maxFromSource().data(), distance.maxFromSource().bytes()},
+    };
+
+    uint64_t offsets[kNumSections];
+    uint64_t cursor = kPageBytes;
+    for (size_t i = 0; i < kNumSections; ++i) {
+        offsets[i] = cursor;
+        cursor = alignPage(cursor + spans[i].size);
+    }
+    const uint64_t file_bytes = cursor;
+
+    std::vector<uint8_t> out(file_bytes, 0);
+    std::memcpy(out.data(), kMagicV3, sizeof(kMagicV3));
+    writeU32(out.data() + 4, kFormatVersionV3);
+    writeU32(out.data() + 8, kPageBytes);
+    writeU32(out.data() + 12, kNumSections);
+    writeU64(out.data() + 16, file_bytes);
+    for (size_t i = 0; i < kNumSections; ++i) {
+        uint8_t* entry = out.data() + kTableOffset + i * kEntryBytes;
+        std::strncpy(reinterpret_cast<char*>(entry), kSections[i].tag,
+                     kTagBytes - 1);
+        writeU64(entry + kTagBytes, offsets[i]);
+        writeU64(entry + kTagBytes + 8, spans[i].size);
+        writeU32(entry + kTagBytes + 16, spanCrc(spans[i].data,
+                                                 spans[i].size));
+        writeU32(entry + kTagBytes + 20, kSections[i].elemSize);
+        if (spans[i].size != 0) {
+            std::memcpy(out.data() + offsets[i], spans[i].data,
+                        spans[i].size);
+        }
+    }
+    writeU32(out.data() + 24,
+             util::crc32(out.data() + kTableOffset,
+                         kNumSections * kEntryBytes));
+    return out;
+}
+
+void
+saveMgz3(const std::string& path, const graph::VariationGraph& graph,
+         const gbwt::Gbwt& gbwt, const index::MinimizerIndex& minimizers,
+         const index::DistanceIndex& distance)
+{
+    writeFileBytes(path, encodeMgz3(graph, gbwt, minimizers, distance));
+}
+
+MgzInfo
+inspectMgz3(const uint8_t* data, size_t size, std::string_view file)
+{
+    const SectionTable table = parseHeaderV3(data, size, file);
+    MgzInfo info;
+    info.version = MgzVersion::V3;
+    info.fileBytes = size;
+    info.sections.reserve(kNumSections);
+    for (size_t i = 0; i < kNumSections; ++i) {
+        MgzSectionInfo section;
+        section.name = kSections[i].tag;
+        section.offset = table[i].offset;
+        section.size = table[i].size;
+        section.crcStored = table[i].crc;
+        section.crcComputed = spanCrc(data + table[i].offset, table[i].size);
+        section.crcOk = section.crcComputed == section.crcStored;
+        info.sections.push_back(section);
+    }
+    return info;
+}
+
+IndexedPangenome
+loadPangenome(const std::string& path, const LoadOptions& options)
+{
+    util::WallTimer timer;
+    std::shared_ptr<mem::MappedFile> file = mem::MappedFile::open(path);
+    if (file->size() >= sizeof(kMagicV3) &&
+        std::memcmp(file->data(), kMagicV3, sizeof(kMagicV3)) == 0) {
+        IndexedPangenome out = mapPangenome(std::move(file), options);
+        out.info.loadSeconds = timer.seconds();
+        return out;
+    }
+
+    // v1/v2: copy the bytes out of the (temporary) mapping, drop it, and
+    // take the classic parse-then-build path.
+    std::vector<uint8_t> bytes(file->data(), file->data() + file->size());
+    const uint64_t disk_bytes = file->size();
+    file.reset();
+    Pangenome parsed = decodeMgz(bytes, path);
+    bytes.clear();
+    bytes.shrink_to_fit();
+
+    IndexedPangenome out;
+    out.graph = std::move(parsed.graph);
+    out.gbwt = std::move(parsed.gbwt);
+    index::MinimizerParams params = options.minimizer;
+    params.buildThreads = options.buildThreads;
+    out.minimizers = index::MinimizerIndex(out.graph, params);
+    out.distance = index::DistanceIndex(out.graph);
+
+    out.info.mode = LoadMode::Parsed;
+    out.info.fileBytes = disk_bytes;
+    const graph::SequenceStore& store = out.graph.sequenceStore();
+    out.info.heapBytes = store.words().bytes() + store.offsets().bytes() +
+                         out.gbwt.footprintBytes() +
+                         out.minimizers.footprintBytes() +
+                         out.distance.footprintBytes();
+    fillArenaSections(out);
+    out.info.loadSeconds = timer.seconds();
+    return out;
+}
+
+} // namespace mg::io

@@ -65,6 +65,8 @@ Daemon::Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
 {
     MG_CHECK(params_.workers > 0, "daemon needs at least one worker");
     MG_CHECK(!params_.socketPath.empty(), "daemon needs a socket path");
+    report_.indexLoadMode = params_.indexLoadMode;
+    report_.indexLoadSeconds = params_.indexLoadSeconds;
     if (params_.tenants.empty()) {
         params_.tenants = defaultTenants();
     }

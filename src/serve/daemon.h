@@ -71,6 +71,14 @@ struct DaemonParams
     bool watchdog = true;
     sched::WatchdogParams watchdogParams;
     giraffe::SessionParams session;
+    /**
+     * How the served pangenome got into memory ("parsed", "mmap",
+     * "generated") and how long that took — filled by the embedding
+     * process (mgd) and echoed in the DaemonReport so service logs say
+     * whether this instance shares its index pages with its neighbours.
+     */
+    std::string indexLoadMode = "parsed";
+    double indexLoadSeconds = 0.0;
 };
 
 /** Daemon lifecycle state. */
@@ -94,6 +102,10 @@ struct DaemonReport
     uint64_t watchdogCancels = 0;
     /** Drain finished inside the deadline (no forcing needed). */
     bool drainClean = true;
+    /** Index load mode ("parsed" | "mmap" | "generated") and map/parse
+     *  seconds, copied from DaemonParams at construction. */
+    std::string indexLoadMode = "parsed";
+    double indexLoadSeconds = 0.0;
 };
 
 class Daemon
