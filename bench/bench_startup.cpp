@@ -57,6 +57,10 @@ struct StartupRow
     double parsedReadsPerSec = 0.0;
     double mappedReadsPerSec = 0.0;
     double throughputRatio = 0.0; // mapped / parsed
+    /** First mapping query after a fresh v3 bind: with the one-shot
+     *  MADV_WILLNEED prefetch of the minimizer tables vs without. */
+    double firstQueryPrefetchSeconds = 0.0;
+    double firstQueryNoPrefetchSeconds = 0.0;
     double serialBuildSeconds = 0.0;
     double parallelBuildSeconds = 0.0; // at min(8, hardware) threads
     unsigned parallelThreads = 1;
@@ -79,6 +83,37 @@ readsPerSec(const io::IndexedPangenome& pg, const map::ReadSet& reads)
             best_seconds, std::max(outputs.wallSeconds, timer.seconds()));
     }
     return static_cast<double>(reads.reads.size()) / best_seconds;
+}
+
+/**
+ * Bind the v3 container fresh and time ONE small mapping batch — the
+ * first-query latency a daemon pays right after startup or a hot swap.
+ * The prefetch flag toggles the one-shot MADV_WILLNEED on the minimizer
+ * bucket/key tables that the first findSeeds otherwise faults in page by
+ * page.  Best of 3 binds (each bind gets exactly one first query).
+ */
+double
+firstQuerySeconds(const std::string& v3, bool prefetch,
+                  const map::ReadSet& reads)
+{
+    map::ReadSet batch;
+    const size_t count = std::min<size_t>(32, reads.reads.size());
+    batch.reads.assign(reads.reads.begin(),
+                       reads.reads.begin() +
+                           static_cast<std::ptrdiff_t>(count));
+    double best = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+        io::LoadOptions options;
+        options.prefetchFirstQuery = prefetch;
+        io::IndexedPangenome pg = io::loadPangenome(v3, options);
+        giraffe::ParentEmulator parent(pg.graph, pg.gbwt, pg.minimizers,
+                                       pg.distance,
+                                       giraffe::ParentParams());
+        util::WallTimer timer;
+        parent.run(batch);
+        best = std::min(best, timer.seconds());
+    }
+    return best;
 }
 
 double
@@ -159,6 +194,12 @@ measure(const std::string& input_set, double scale)
                               / row.parsedReadsPerSec;
     }
 
+    // First-query latency after a fresh bind, prefetch on vs off.
+    row.firstQueryPrefetchSeconds =
+        firstQuerySeconds(v3, true, world->set.reads);
+    row.firstQueryNoPrefetchSeconds =
+        firstQuerySeconds(v3, false, world->set.reads);
+
     // Parallel index construction vs serial.
     unsigned hardware = std::thread::hardware_concurrency();
     row.parallelThreads =
@@ -183,10 +224,14 @@ printRow(const StartupRow& row)
                 "(ratio %.3f)\n",
                 row.parsedReadsPerSec, row.mappedReadsPerSec,
                 row.throughputRatio);
+    std::printf("          first query after bind: prefetch %8.4f s, "
+                "no prefetch %8.4f s\n",
+                row.firstQueryPrefetchSeconds,
+                row.firstQueryNoPrefetchSeconds);
     std::printf("          index build serial %.3f s, %u-thread %.3f s "
                 "(speedup %.2fx)\n",
-                row.serialBuildSeconds, row.parallelBuildSeconds,
-                row.parallelThreads, row.buildSpeedup);
+                row.serialBuildSeconds, row.parallelThreads,
+                row.parallelBuildSeconds, row.buildSpeedup);
 }
 
 void
@@ -211,6 +256,10 @@ writeJson(const std::string& path, double scale,
         w.field("parsed_reads_per_sec", row.parsedReadsPerSec);
         w.field("mapped_reads_per_sec", row.mappedReadsPerSec);
         w.field("throughput_ratio", row.throughputRatio);
+        w.field("first_query_prefetch_seconds",
+                row.firstQueryPrefetchSeconds);
+        w.field("first_query_no_prefetch_seconds",
+                row.firstQueryNoPrefetchSeconds);
         w.field("serial_build_seconds", row.serialBuildSeconds);
         w.field("parallel_build_seconds", row.parallelBuildSeconds);
         w.field("parallel_build_threads",

@@ -15,14 +15,21 @@
  * schedule still outruns a connection, the late arrivals are counted
  * and reported, never silently dropped.
  *
+ * With --swap-every N and --swap-path, a swapper thread issues a RELOAD
+ * control frame every N seconds mid-run — hot-swap under sustained load —
+ * and the report breaks latency/shed/retry counts down by the index
+ * generation that answered each request.
+ *
  * Run:  ./examples/mg_loadgen --socket /tmp/mgd.sock \
- *           [--tenants gold:200,free:100] [--duration 10] [--scale 0.05]
+ *           [--tenants gold:200,free:100] [--duration 10] [--scale 0.05] \
+ *           [--swap-every 2 --swap-path graph.mgz3]
  */
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -76,6 +83,16 @@ parseLoadSpec(const std::string& spec)
     return loads;
 }
 
+/** Per-index-generation slice of one tenant's traffic (hot-swap runs). */
+struct GenerationStats
+{
+    mg::stats::LatencyHistogram latency;
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    uint64_t deadlineShed = 0;
+    uint64_t retries = 0;
+};
+
 /** What one tenant thread measured. */
 struct TenantOutcome
 {
@@ -85,6 +102,8 @@ struct TenantOutcome
     uint64_t degradedReads = 0;
     uint64_t arrivals = 0;
     uint64_t late = 0;
+    /** Keyed by the generation tag the final response carried. */
+    std::map<uint64_t, GenerationStats> perGeneration;
 };
 
 } // namespace
@@ -115,6 +134,12 @@ try {
          .define("capture", "",
                  "capture frames to <prefix>-<tenant>.mgreq/.mgresp "
                  "for mg_verify")
+         .define("swap-every", "0",
+                 "issue a RELOAD control frame every N seconds mid-run "
+                 "(0 = never); requires --swap-path")
+         .define("swap-path", "",
+                 "container the RELOAD frames name (the daemon hot-swaps "
+                 "to this .mgz/.mgz3)")
          .define("seed", "1", "jitter/arrival RNG seed");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
@@ -207,6 +232,7 @@ try {
                     ++cursor;
                 }
                 mg::serve::Response response;
+                const mg::serve::ClientStats before = client.stats();
                 mg::util::WallTimer rt;
                 mg::util::Status status =
                     client.mapReads(load.name, reads, budget, response);
@@ -216,13 +242,84 @@ try {
                     outcome.mappedReads += response.mappedReads;
                     outcome.degradedReads += response.degradedReads;
                 }
+                if (status.ok()) {
+                    // Attribute the call to the generation tag on its
+                    // final response; the stats delta folds in any
+                    // sheds/retries the call absorbed along the way.
+                    const mg::serve::ClientStats& after = client.stats();
+                    GenerationStats& gen =
+                        outcome.perGeneration[response.generation];
+                    if (response.status ==
+                        mg::serve::ResponseStatus::Ok) {
+                        ++gen.ok;
+                        gen.latency.record(rt.nanos());
+                    }
+                    gen.shed += after.shed - before.shed;
+                    gen.deadlineShed +=
+                        after.deadlineShed - before.deadlineShed;
+                    gen.retries += after.retries - before.retries;
+                }
             }
             outcome.client = client.stats();
         });
       }
     }
+    // Optional swapper: one RELOAD control frame every --swap-every
+    // seconds, exercising the daemon's hot-swap path under the load
+    // the tenant threads are offering.
+    const double swap_every = flags.real("swap-every");
+    const std::string swap_path = flags.str("swap-path");
+    mg::util::require(swap_every <= 0.0 || !swap_path.empty(),
+                      "--swap-every requires --swap-path");
+    uint64_t swaps_ok = 0;
+    uint64_t swaps_rejected = 0;
+    std::thread swapper;
+    if (swap_every > 0.0) {
+        swapper = std::thread([&] {
+            mg::serve::ClientParams cparams;
+            cparams.socketPath = flags.str("socket");
+            cparams.seed = static_cast<uint64_t>(flags.integer("seed"));
+            mg::serve::Client client(cparams);
+            mg::util::WallTimer clock;
+            double next_swap = swap_every;
+            while (clock.seconds() < duration &&
+                   !mg::serve::stopRequested()) {
+                const double now = clock.seconds();
+                if (now < next_swap) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            std::min(next_swap - now, 0.05)));
+                    continue;
+                }
+                next_swap += swap_every;
+                mg::serve::Response response;
+                mg::util::Status status =
+                    client.reload(swap_path, response);
+                if (status.ok() &&
+                    response.status ==
+                        mg::serve::ResponseStatus::ReloadOk) {
+                    ++swaps_ok;
+                    std::printf("swap: generation %llu published "
+                                "(t=%.1f s)\n",
+                                static_cast<unsigned long long>(
+                                    response.generation),
+                                clock.seconds());
+                } else {
+                    ++swaps_rejected;
+                    std::printf("swap: REJECTED (%s, t=%.1f s)\n",
+                                status.ok() ? response.message.c_str()
+                                            : status.toString().c_str(),
+                                clock.seconds());
+                }
+                std::fflush(stdout);
+            }
+        });
+    }
     for (std::thread& thread : threads) {
         thread.join();
+    }
+    if (swapper.joinable()) {
+        swapper.join();
     }
 
     bool any_ok = false;
@@ -240,11 +337,20 @@ try {
             o.client.reconnects += part.client.reconnects;
             o.client.retries += part.client.retries;
             o.client.exhausted += part.client.exhausted;
+            o.client.deadlineShed += part.client.deadlineShed;
             o.latency.merge(part.latency);
             o.mappedReads += part.mappedReads;
             o.degradedReads += part.degradedReads;
             o.arrivals += part.arrivals;
             o.late += part.late;
+            for (const auto& [generation, stats] : part.perGeneration) {
+                GenerationStats& gen = o.perGeneration[generation];
+                gen.ok += stats.ok;
+                gen.shed += stats.shed;
+                gen.deadlineShed += stats.deadlineShed;
+                gen.retries += stats.retries;
+                gen.latency.merge(stats.latency);
+            }
         }
         any_ok = any_ok || o.client.ok > 0;
         std::printf(
@@ -270,6 +376,24 @@ try {
             o.latency.p50() / 1e6, o.latency.p99() / 1e6,
             o.latency.meanNanos() / 1e6,
             static_cast<unsigned long long>(o.latency.count()));
+        if (o.perGeneration.size() > 1 || swap_every > 0.0) {
+            for (const auto& [generation, gen] : o.perGeneration) {
+                std::printf(
+                    "  gen %-4llu: %llu ok, %llu shed, %llu deadline-shed, "
+                    "%llu retries; p50 %.2f ms, p99 %.2f ms\n",
+                    static_cast<unsigned long long>(generation),
+                    static_cast<unsigned long long>(gen.ok),
+                    static_cast<unsigned long long>(gen.shed),
+                    static_cast<unsigned long long>(gen.deadlineShed),
+                    static_cast<unsigned long long>(gen.retries),
+                    gen.latency.p50() / 1e6, gen.latency.p99() / 1e6);
+            }
+        }
+    }
+    if (swap_every > 0.0) {
+        std::printf("swaps: %llu published, %llu rejected\n",
+                    static_cast<unsigned long long>(swaps_ok),
+                    static_cast<unsigned long long>(swaps_rejected));
     }
     if (!flags.str("capture").empty()) {
         std::printf("captures at %s-<tenant>.mgreq/.mgresp (validate "

@@ -156,11 +156,12 @@ verifyMetricsJson(const std::string& path, const mg::obs::json::Value& doc)
 
 /**
  * Validate a client request capture (`.mgreq`): every frame is CRC-whole
- * and decodes as a Request, and request ids are strictly increasing (the
- * client stamps a fresh id per attempt).  When the sibling `.mgresp`
- * exists it is cross-checked: every request id must be answered — Ok,
- * RETRY_AFTER, Error, or ShuttingDown all count; a request with *no*
- * response means the daemon leaked it.
+ * and decodes as a Request or a RELOAD Control frame, and ids are
+ * strictly increasing across both kinds (the client stamps a fresh id
+ * per attempt from one counter).  When the sibling `.mgresp` exists it
+ * is cross-checked: every id must be answered — Ok, RETRY_AFTER, Error,
+ * ShuttingDown, DEADLINE_SHED, and the reload verdicts all count; a
+ * request with *no* response means the daemon leaked it.
  */
 bool
 verifyRequestCapture(const std::string& path,
@@ -171,33 +172,51 @@ verifyRequestCapture(const std::string& path,
     bool ok = true;
     uint64_t prev_id = 0;
     uint64_t total_reads = 0;
-    std::vector<mg::serve::Request> requests;
-    requests.reserve(payloads.size());
+    size_t controls = 0;
+    std::vector<uint64_t> ids;
+    ids.reserve(payloads.size());
     for (size_t i = 0; i < payloads.size(); ++i) {
-        mg::serve::Request request;
-        mg::util::Status status =
-            mg::serve::decodeRequest(payloads[i], request);
-        if (!status.ok()) {
-            std::fprintf(stderr, "%s: frame %zu: %s\n", path.c_str(), i,
-                         status.toString().c_str());
-            return false;
+        uint64_t id = 0;
+        mg::serve::MessageKind kind = mg::serve::MessageKind::Request;
+        if (mg::serve::peekKind(payloads[i], kind).ok() &&
+            kind == mg::serve::MessageKind::Control) {
+            mg::serve::ControlRequest control;
+            mg::util::Status status =
+                mg::serve::decodeControl(payloads[i], control);
+            if (!status.ok()) {
+                std::fprintf(stderr, "%s: frame %zu: %s\n", path.c_str(),
+                             i, status.toString().c_str());
+                return false;
+            }
+            id = control.id;
+            ++controls;
+        } else {
+            mg::serve::Request request;
+            mg::util::Status status =
+                mg::serve::decodeRequest(payloads[i], request);
+            if (!status.ok()) {
+                std::fprintf(stderr, "%s: frame %zu: %s\n", path.c_str(),
+                             i, status.toString().c_str());
+                return false;
+            }
+            id = request.id;
+            total_reads += request.reads.size();
         }
-        if (i > 0 && request.id <= prev_id) {
+        if (i > 0 && id <= prev_id) {
             std::fprintf(stderr,
                          "%s: frame %zu: id %llu not monotone (prev "
                          "%llu)\n",
                          path.c_str(), i,
-                         static_cast<unsigned long long>(request.id),
+                         static_cast<unsigned long long>(id),
                          static_cast<unsigned long long>(prev_id));
             ok = false;
         }
-        prev_id = request.id;
-        total_reads += request.reads.size();
-        requests.push_back(std::move(request));
+        prev_id = id;
+        ids.push_back(id);
     }
-    std::printf("%s: request capture, %zu frames, %llu reads, ids "
-                "monotone: %s\n",
-                path.c_str(), payloads.size(),
+    std::printf("%s: request capture, %zu frames (%zu control), %llu "
+                "reads, ids monotone: %s\n",
+                path.c_str(), payloads.size(), controls,
                 static_cast<unsigned long long>(total_reads),
                 ok ? "yes" : "NO");
 
@@ -226,15 +245,16 @@ verifyRequestCapture(const std::string& path,
     size_t mapped = 0;
     size_t shed = 0;
     size_t errors = 0;
+    size_t reloads = 0;
     size_t leaked = 0;
-    for (const mg::serve::Request& request : requests) {
-        auto it = answered.find(request.id);
+    for (uint64_t id : ids) {
+        auto it = answered.find(id);
         if (it == answered.end()) {
             std::fprintf(stderr,
                          "%s: request id %llu has no response — the "
                          "daemon leaked it\n",
                          path.c_str(),
-                         static_cast<unsigned long long>(request.id));
+                         static_cast<unsigned long long>(id));
             ++leaked;
             continue;
         }
@@ -244,16 +264,21 @@ verifyRequestCapture(const std::string& path,
             break;
           case mg::serve::ResponseStatus::RetryAfter:
           case mg::serve::ResponseStatus::ShuttingDown:
+          case mg::serve::ResponseStatus::DeadlineShed:
             ++shed;
             break;
           case mg::serve::ResponseStatus::Error:
             ++errors;
             break;
+          case mg::serve::ResponseStatus::ReloadOk:
+          case mg::serve::ResponseStatus::ReloadRejected:
+            ++reloads;
+            break;
         }
     }
     std::printf("  cross-check vs %s: %zu mapped, %zu shed, %zu error, "
-                "%zu leaked\n",
-                resp_path.c_str(), mapped, shed, errors, leaked);
+                "%zu reload verdicts, %zu leaked\n",
+                resp_path.c_str(), mapped, shed, errors, reloads, leaked);
     return ok && leaked == 0;
 }
 
@@ -267,7 +292,7 @@ verifyResponseCapture(const std::string& path,
         mg::serve::parseFrameStream(bytes, path);
     bool ok = true;
     std::unordered_map<uint64_t, size_t> seen;
-    size_t by_status[4] = { 0, 0, 0, 0 };
+    size_t by_status[7] = { 0, 0, 0, 0, 0, 0, 0 };
     for (size_t i = 0; i < payloads.size(); ++i) {
         mg::serve::Response response;
         mg::util::Status status =
@@ -284,12 +309,15 @@ verifyResponseCapture(const std::string& path,
                          static_cast<unsigned long long>(response.id));
             ok = false;
         }
-        by_status[static_cast<size_t>(response.status) & 3]++;
+        const size_t raw = static_cast<size_t>(response.status);
+        by_status[raw < 7 ? raw : 2]++; // decode already bounds raw
     }
     std::printf("%s: response capture, %zu frames — %zu ok, %zu "
-                "retry-after, %zu error, %zu shutting-down\n",
+                "retry-after, %zu error, %zu shutting-down, %zu "
+                "reload-ok, %zu reload-rejected, %zu deadline-shed\n",
                 path.c_str(), payloads.size(), by_status[0], by_status[1],
-                by_status[2], by_status[3]);
+                by_status[2], by_status[3], by_status[4], by_status[5],
+                by_status[6]);
     return ok;
 }
 

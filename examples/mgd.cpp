@@ -13,6 +13,13 @@
  * A v3 container memory-maps instead of parsing: startup is near-instant
  * and N mgd processes serving the same .mgz3 share one page-cache copy
  * of the index.
+ *
+ * Hot reload: `kill -HUP <pid>` (or a RELOAD control frame from
+ * mg_client/mg_loadgen) swaps in a replacement container without
+ * dropping a single in-flight or queued request.  SIGHUP re-loads the
+ * path mgd was started with (publish the new file under the same name,
+ * then signal); a control frame names an arbitrary path.  A replacement
+ * that fails validation is rejected and the old index keeps serving.
  */
 #include <poll.h>
 
@@ -89,6 +96,9 @@ try {
                  "ceiling on per-read GBWT-lookup caps (0 = none)")
          .define("k", "15", "minimizer k-mer length")
          .define("w", "8", "minimizer window size")
+         .define("gaf-generation-comment", "false",
+                 "prefix each GAF payload with a '# mg:gen=N' comment "
+                 "naming the index generation that mapped it")
          .define("fault", "",
                  "arm fault injection, e.g. 'serve.read=throw,limit=2'")
          .define("metrics-out", "",
@@ -111,6 +121,7 @@ try {
         mg::fault::armFromText(flags.str("fault"));
     }
     mg::serve::installStopHandlers();
+    mg::serve::installReloadHandler();
 
     // The pangenome: loaded from a container (v1/v2 parse + index
     // build, v3 mmap), or generated from the named input-set spec
@@ -135,13 +146,10 @@ try {
         loaded = mg::io::loadPangenome(flags.positional()[0],
                                        load_options);
     }
-    const mg::graph::VariationGraph& graph =
-        generated ? synthetic->graph : loaded->graph;
-    const mg::gbwt::Gbwt& gbwt = generated ? synthetic->gbwt : loaded->gbwt;
-    const mg::index::MinimizerIndex& minimizers =
-        generated ? *gen_minimizers : loaded->minimizers;
-    const mg::index::DistanceIndex& distance =
-        generated ? *gen_distance : loaded->distance;
+    const size_t num_nodes =
+        generated ? synthetic->graph.numNodes() : loaded->graph.numNodes();
+    const size_t num_keys = generated ? gen_minimizers->numKeys()
+                                      : loaded->minimizers.numKeys();
     const std::string load_mode =
         generated ? "generated"
                   : mg::io::loadModeName(loaded->info.mode);
@@ -149,8 +157,8 @@ try {
         generated ? timer.seconds() : loaded->info.loadSeconds;
     std::printf("mgd: %zu nodes ready in %.2f s (%s load: %.3f s, "
                 "%zu minimizer keys)\n",
-                graph.numNodes(), timer.seconds(), load_mode.c_str(),
-                load_seconds, minimizers.numKeys());
+                num_nodes, timer.seconds(), load_mode.c_str(),
+                load_seconds, num_keys);
 
     mg::serve::DaemonParams params;
     params.socketPath = flags.str("socket");
@@ -174,52 +182,102 @@ try {
         static_cast<uint64_t>(flags.integer("max-gbwt-lookups"));
     params.indexLoadMode = load_mode;
     params.indexLoadSeconds = load_seconds;
+    params.gafGenerationComment = flags.boolean("gaf-generation-comment");
 
-    mg::serve::Daemon daemon(graph, gbwt, minimizers, distance, params);
-    daemon.start();
+    // File-backed pangenomes move into the daemon (the IndexManager must
+    // own the mapping so a hot swap can retire and unmap it); generated
+    // ones stay borrowed — there is no file to reload anyway.
+    const std::string index_path =
+        generated ? std::string() : flags.positional()[0];
+    std::optional<mg::serve::Daemon> daemon;
+    if (generated) {
+        daemon.emplace(synthetic->graph, synthetic->gbwt, *gen_minimizers,
+                       *gen_distance, params);
+    } else {
+        daemon.emplace(std::move(*loaded), index_path, params);
+        loaded.reset();
+    }
+    daemon->start();
     std::unique_ptr<mg::obs::MetricsEmitter> emitter;
     if (!flags.str("metrics-out").empty()) {
         emitter = std::make_unique<mg::obs::MetricsEmitter>(
-            daemon.hub().registry(), flags.str("metrics-out"),
+            daemon->hub().registry(), flags.str("metrics-out"),
             flags.real("metrics-interval"));
         emitter->start();
     }
     std::printf("mgd: serving on %s (%zu workers, queue %zu",
                 params.socketPath.c_str(), params.workers,
                 params.queueCapacity);
-    for (const mg::serve::TenantConfig& tenant : daemon.params().tenants) {
+    for (const mg::serve::TenantConfig& tenant : daemon->params().tenants) {
         std::printf(", tenant %s w=%llu", tenant.name.c_str(),
                     static_cast<unsigned long long>(tenant.weight));
     }
     std::printf(")\n");
     std::fflush(stdout);
 
-    // Sleep until SIGTERM/SIGINT; the self-pipe makes the signal
-    // poll()-able without busy-waiting.
+    // Sleep until SIGTERM/SIGINT; the self-pipe makes both stop and
+    // reload signals poll()-able without busy-waiting.  SIGHUP re-loads
+    // the container mgd was started with.
     while (!mg::serve::stopRequested()) {
         struct pollfd pfd;
         pfd.fd = mg::serve::stopFd();
         pfd.events = POLLIN;
         ::poll(&pfd, 1, 1000);
+        if (mg::serve::reloadRequested()) {
+            mg::serve::clearReloadRequest();
+            if (index_path.empty()) {
+                std::printf("mgd: SIGHUP ignored — serving a generated "
+                            "pangenome, nothing to reload\n");
+            } else {
+                mg::serve::SwapOutcome outcome =
+                    daemon->reloadIndex(index_path);
+                if (outcome.accepted) {
+                    std::printf("mgd: SIGHUP reload published generation "
+                                "%llu (%s, %.3f s load)\n",
+                                static_cast<unsigned long long>(
+                                    outcome.generation),
+                                index_path.c_str(), outcome.loadSeconds);
+                } else {
+                    std::printf("mgd: SIGHUP reload REJECTED, generation "
+                                "%llu still serving: %s\n",
+                                static_cast<unsigned long long>(
+                                    outcome.generation),
+                                outcome.reason.c_str());
+                }
+            }
+            std::fflush(stdout);
+        }
     }
     std::printf("mgd: stop signal, draining (deadline %.1f s)\n",
                 params.drainDeadlineSeconds);
-    daemon.requestDrain();
-    daemon.stop();
+    daemon->requestDrain();
+    daemon->stop();
 
-    const mg::serve::DaemonReport& report = daemon.report();
+    const mg::serve::DaemonReport& report = daemon->report();
     std::printf("mgd: drained %s — %llu accepted, %llu completed, "
-                "%llu shed (%llu at drain), %llu errors, %llu bad frames, "
-                "%llu watchdog cancels; index %s load in %.3f s\n",
+                "%llu shed (%llu at drain, %llu past deadline), "
+                "%llu errors, %llu bad frames, %llu watchdog cancels; "
+                "index %s load in %.3f s\n",
                 report.drainClean ? "clean" : "FORCED",
                 static_cast<unsigned long long>(report.accepted),
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.shed),
                 static_cast<unsigned long long>(report.drainShed),
+                static_cast<unsigned long long>(report.deadlineShed),
                 static_cast<unsigned long long>(report.errors),
                 static_cast<unsigned long long>(report.badFrames),
                 static_cast<unsigned long long>(report.watchdogCancels),
                 report.indexLoadMode.c_str(), report.indexLoadSeconds);
+    if (report.reloads > 0 || report.reloadsRejected > 0) {
+        std::printf("mgd: %llu reloads (%llu rejected), %llu generations "
+                    "retired, final generation %llu\n",
+                    static_cast<unsigned long long>(report.reloads),
+                    static_cast<unsigned long long>(report.reloadsRejected),
+                    static_cast<unsigned long long>(
+                        report.generationsRetired),
+                    static_cast<unsigned long long>(
+                        report.finalGeneration));
+    }
     if (emitter) {
         emitter->finalize(faultExtras());
         std::printf("mgd: wrote %s\n", flags.str("metrics-out").c_str());

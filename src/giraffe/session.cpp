@@ -37,6 +37,14 @@ MapSession::workerState(size_t worker, obs::Hub* hub)
     return *states_[worker];
 }
 
+void
+MapSession::warmup(obs::Hub* hub)
+{
+    for (size_t worker = 0; worker < states_.size(); ++worker) {
+        workerState(worker, hub);
+    }
+}
+
 SessionResult
 MapSession::map(size_t worker, const std::vector<map::Read>& reads,
                 const resilience::WorkBudget& budget,

@@ -87,6 +87,15 @@ class MapSession
                       obs::Hub* hub = nullptr,
                       resilience::CancelToken* token = nullptr);
 
+    /**
+     * Pre-create every worker slot's MapperState (hot-swap path: the
+     * replacement generation's session is warmed *before* publish, so the
+     * first post-swap request on any worker pays no lazy-init cost and —
+     * more importantly — no state construction happens inside the
+     * publish window).
+     */
+    void warmup(obs::Hub* hub = nullptr);
+
   private:
     map::MapperState& workerState(size_t worker, obs::Hub* hub);
 

@@ -43,6 +43,7 @@
 #include "index/distance.h"
 #include "index/minimizer.h"
 #include "mem/arena.h"
+#include "util/status.h"
 
 namespace mg::io {
 
@@ -182,6 +183,14 @@ struct LoadOptions
     bool verifySectionCrcs = false;
     /** madvise hint applied to the mapping after binding (v3 only). */
     mem::Advice advice = mem::Advice::Normal;
+    /**
+     * Arm a one-shot madvise(MADV_WILLNEED) of the minimizer lookup
+     * tables, issued by the first query against the loaded index (v3
+     * only; see index::MinimizerIndex::armPrefetch).  The bucket table is
+     * probed randomly, so without the hint the first request pays one
+     * major fault per probe.
+     */
+    bool prefetchFirstQuery = true;
 };
 
 /**
@@ -217,5 +226,17 @@ MgzInfo inspectMgz3(const uint8_t* data, size_t size,
  */
 IndexedPangenome loadPangenome(const std::string& path,
                                const LoadOptions& options = {});
+
+/**
+ * Validate a container file without binding it: structure (header,
+ * section table, canonical placement) plus section CRCs — every section
+ * when `deep`, else only the always-decoded metadata sections (v3) or
+ * the v1/v2 stream structure.  Never throws: any damage comes back as a
+ * non-Ok Status naming the file/section/offset.  This is the open half
+ * of the open/validate split the hot-swap path uses to reject a corrupt
+ * replacement image before touching the serving index.
+ */
+util::Status validatePangenomeFile(const std::string& path,
+                                   bool deep = true);
 
 } // namespace mg::io

@@ -500,6 +500,9 @@ mapPangenome(std::shared_ptr<mem::MappedFile> file,
     if (options.advice != mem::Advice::Normal) {
         file->advise(options.advice);
     }
+    if (options.prefetchFirstQuery) {
+        out.minimizers.armPrefetch();
+    }
 
     out.info.mode = LoadMode::Mapped;
     out.info.fileBytes = size;
@@ -651,6 +654,58 @@ inspectMgz3(const uint8_t* data, size_t size, std::string_view file)
         info.sections.push_back(section);
     }
     return info;
+}
+
+util::Status
+validatePangenomeFile(const std::string& path, bool deep)
+{
+    try {
+        std::shared_ptr<mem::MappedFile> file = mem::MappedFile::open(path);
+        const uint8_t* data = file->data();
+        const size_t size = file->size();
+        if (size >= sizeof(kMagicV3) &&
+            std::memcmp(data, kMagicV3, sizeof(kMagicV3)) == 0) {
+            // Structure first (throws with provenance), then CRCs: the
+            // always-decoded metadata sections unconditionally, the big
+            // arenas only in deep mode.
+            const SectionTable table = parseHeaderV3(data, size, path);
+            if (deep) {
+                for (size_t i = 0; i < kNumSections; ++i) {
+                    checkSectionCrc(data, path, table, i);
+                }
+            } else {
+                checkSectionCrc(data, path, table, kMeta);
+                checkSectionCrc(data, path, table, kEdges);
+                checkSectionCrc(data, path, table, kPaths);
+            }
+            return {};
+        }
+        // v1/v2 stream: structural walk + per-section CRCs (v1 has no
+        // checksums; inspectMgz reports its structure only).
+        std::vector<uint8_t> bytes(data, data + size);
+        file.reset();
+        const MgzInfo info = inspectMgz(bytes, path);
+        for (const MgzSectionInfo& section : info.sections) {
+            if (!section.crcOk) {
+                util::Status status;
+                status.code = util::StatusCode::ChecksumMismatch;
+                status.message = "section checksum mismatch";
+                status.file = path;
+                status.section = section.name;
+                status.offset = section.offset;
+                return status;
+            }
+        }
+        return {};
+    } catch (const util::StatusError& err) {
+        return err.status();
+    } catch (const util::Error& err) {
+        util::Status status;
+        status.code = util::StatusCode::IoError;
+        status.message = err.what();
+        status.file = path;
+        return status;
+    }
 }
 
 IndexedPangenome

@@ -119,6 +119,20 @@ Hub::Hub(size_t workers, const std::vector<std::string>& serve_tenants,
                           "drain deadline");
     serve_.queueDepth = registry_.gauge("mg_serve_queue_depth_peak",
                                         "Peak request-queue depth");
+    serve_.reloads = registry_.counter("mg_serve_reloads_total",
+                                       "Hot swaps published");
+    serve_.reloadsRejected =
+        registry_.counter("mg_serve_reloads_rejected_total",
+                          "Hot swaps rejected by validation");
+    serve_.generation =
+        registry_.gauge("mg_serve_generation",
+                        "Currently published pangenome generation");
+    serve_.generationsRetired =
+        registry_.counter("mg_serve_generations_retired_total",
+                          "Old generations fully unmapped");
+    serve_.reloadLatency =
+        registry_.histogram("mg_serve_reload_latency_ns",
+                            "Wall time of successful swaps");
     serve_.tenants = serve_tenants;
     serve_.perTenant.reserve(serve_tenants.size());
     for (const std::string& tenant : serve_tenants) {
@@ -139,6 +153,9 @@ Hub::Hub(size_t workers, const std::vector<std::string>& serve_tenants,
             "Ok responses containing degraded reads");
         ids.errors = registry_.counter(named("mg_serve_errors_total"),
                                        "Requests answered Error");
+        ids.deadlineShed = registry_.counter(
+            named("mg_serve_deadline_shed_total"),
+            "Queued requests shed past their client deadline");
         ids.latency = registry_.histogram(
             named("mg_serve_request_latency_ns"),
             "Admission-to-response latency");

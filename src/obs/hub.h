@@ -85,6 +85,9 @@ struct ServeTenantMetricIds
     CounterId degraded;
     /** Requests answered Error (malformed, mapping failure, dead peer). */
     CounterId errors;
+    /** Queued requests shed because their client deadline could no
+     *  longer be met (DEADLINE_SHED). */
+    CounterId deadlineShed;
     /** Admission-to-response latency (the SLO histogram). */
     HistogramId latency;
 };
@@ -107,6 +110,17 @@ struct ServeMetricIds
     CounterId drainForced;
     /** Peak request-queue depth (max-aggregated gauge). */
     GaugeId queueDepth;
+    /** Hot swaps published (successful RELOADs). */
+    CounterId reloads;
+    /** RELOADs rejected by validation (old index kept serving). */
+    CounterId reloadsRejected;
+    /** Currently published pangenome generation (max-aggregated gauge). */
+    GaugeId generation;
+    /** Old generations fully retired (last pinned request completed,
+     *  arenas unmapped). */
+    CounterId generationsRetired;
+    /** Wall time of successful swaps, load-to-publish. */
+    HistogramId reloadLatency;
 };
 
 class Hub

@@ -129,6 +129,48 @@ Client::call(const Request& request, Response& out)
 }
 
 util::Status
+Client::reload(const std::string& path, Response& out)
+{
+    util::Status status = ensureConnected();
+    if (!status.ok()) {
+        return status;
+    }
+    ControlRequest control;
+    control.id = nextId();
+    control.path = path;
+    std::vector<uint8_t> payload = encodeControl(control);
+    if (!params_.capturePrefix.empty()) {
+        capture(params_.capturePrefix + ".mgreq", payload);
+    }
+    status = writeFrame(fd_, payload);
+    if (!status.ok()) {
+        disconnect();
+        return status;
+    }
+    ++stats_.sent;
+    std::vector<uint8_t> reply;
+    status = readFrame(fd_, reply);
+    if (!status.ok()) {
+        disconnect();
+        return status;
+    }
+    util::Status decoded = decodeResponse(reply, out);
+    if (!decoded.ok()) {
+        disconnect();
+        return decoded;
+    }
+    if (!params_.capturePrefix.empty()) {
+        capture(params_.capturePrefix + ".mgresp", reply);
+    }
+    if (out.status == ResponseStatus::ReloadOk) {
+        ++stats_.reloadsOk;
+    } else if (out.status == ResponseStatus::ReloadRejected) {
+        ++stats_.reloadsRejected;
+    }
+    return util::Status{};
+}
+
+util::Status
 Client::mapReads(const std::string& tenant,
                  const std::vector<map::Read>& reads,
                  const resilience::WorkBudget& budget, Response& out)
@@ -168,6 +210,18 @@ Client::mapReads(const std::string& tenant,
                 retry_after = out.retryAfterMillis;
                 why = "server shutting down";
                 break;
+              case ResponseStatus::DeadlineShed:
+                // The deadline is already unmeetable; a retry would
+                // miss it by even more.  Surface the shed to the
+                // caller, like Error but counted separately.
+                ++stats_.deadlineShed;
+                return util::Status{};
+              case ResponseStatus::ReloadOk:
+              case ResponseStatus::ReloadRejected:
+                // A control response to a map request is a protocol
+                // violation from the server; treat as Error.
+                ++stats_.errors;
+                return util::Status{};
             }
         } else {
             ++stats_.reconnects;

@@ -50,6 +50,12 @@ struct ClientStats
     uint64_t reconnects = 0;
     uint64_t retries = 0;
     uint64_t exhausted = 0;
+    /** Requests refused with DEADLINE_SHED (never retried: the deadline
+     *  is already unmeetable). */
+    uint64_t deadlineShed = 0;
+    /** RELOAD control calls accepted / rejected by the server. */
+    uint64_t reloadsOk = 0;
+    uint64_t reloadsRejected = 0;
 };
 
 class Client
@@ -75,6 +81,15 @@ class Client
 
     /** One unretried round trip (chaos tests poke the raw path). */
     util::Status call(const Request& request, Response& out);
+
+    /**
+     * Ask the daemon to hot-swap its pangenome to the container at
+     * `path` (one unretried RELOAD control round trip).  Ok means the
+     * exchange worked; `out.status` says whether the swap was published
+     * (ReloadOk) or rejected with the old index still serving
+     * (ReloadRejected, `out.message` carries the reason).
+     */
+    util::Status reload(const std::string& path, Response& out);
 
     const ClientStats& stats() const { return stats_; }
     uint64_t nextId() { return nextId_++; }

@@ -50,17 +50,11 @@ Daemon::Connection::~Connection()
 Daemon::Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
                const index::MinimizerIndex& minimizers,
                const index::DistanceIndex& distance, DaemonParams params)
-    : graph_(graph), params_(std::move(params)),
+    : params_(std::move(params)),
       hub_(std::make_unique<obs::Hub>(
           params_.workers + 1,
           tenantNames(params_.tenants.empty() ? defaultTenants()
                                               : params_.tenants))),
-      session_(graph, gbwt, minimizers, distance,
-               [&] {
-                   giraffe::SessionParams session = params_.session;
-                   session.workers = params_.workers;
-                   return session;
-               }()),
       board_(params_.workers)
 {
     MG_CHECK(params_.workers > 0, "daemon needs at least one worker");
@@ -70,6 +64,40 @@ Daemon::Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
     if (params_.tenants.empty()) {
         params_.tenants = defaultTenants();
     }
+    giraffe::SessionParams session = params_.session;
+    session.workers = params_.workers;
+    index_ = std::make_unique<IndexManager>(
+        graph, gbwt, minimizers, distance, session, "generated",
+        params_.indexLoadMode, params_.indexLoadSeconds);
+    queue_ = std::make_unique<AdmissionQueue<Job>>(
+        params_.queueCapacity, params_.tenants, params_.retryBaseMillis);
+    watchdog_ =
+        std::make_unique<sched::Watchdog>(board_, params_.watchdogParams);
+    watchdog_->attachFlightRecorder(&hub_->flight());
+}
+
+Daemon::Daemon(io::IndexedPangenome&& pangenome, std::string source,
+               DaemonParams params)
+    : params_(std::move(params)),
+      hub_(std::make_unique<obs::Hub>(
+          params_.workers + 1,
+          tenantNames(params_.tenants.empty() ? defaultTenants()
+                                              : params_.tenants))),
+      board_(params_.workers)
+{
+    MG_CHECK(params_.workers > 0, "daemon needs at least one worker");
+    MG_CHECK(!params_.socketPath.empty(), "daemon needs a socket path");
+    params_.indexLoadMode = io::loadModeName(pangenome.info.mode);
+    params_.indexLoadSeconds = pangenome.info.loadSeconds;
+    report_.indexLoadMode = params_.indexLoadMode;
+    report_.indexLoadSeconds = params_.indexLoadSeconds;
+    if (params_.tenants.empty()) {
+        params_.tenants = defaultTenants();
+    }
+    giraffe::SessionParams session = params_.session;
+    session.workers = params_.workers;
+    index_ = std::make_unique<IndexManager>(std::move(pangenome), session,
+                                            std::move(source));
     queue_ = std::make_unique<AdmissionQueue<Job>>(
         params_.queueCapacity, params_.tenants, params_.retryBaseMillis);
     watchdog_ =
@@ -188,6 +216,31 @@ Daemon::readerLoop(std::shared_ptr<Connection> conn)
             closeConnection(*conn);
             break;
         }
+        MessageKind kind = MessageKind::Request;
+        if (peekKind(payload, kind).ok() &&
+            kind == MessageKind::Control) {
+            ControlRequest control;
+            util::Status decoded = decodeControl(payload, control);
+            if (!decoded.ok()) {
+                controlSlab()->add(hub_->serve().badFrames);
+                Response error;
+                error.status = ResponseStatus::Error;
+                error.message = decoded.toString();
+                respond(*conn, error);
+                closeConnection(*conn);
+                break;
+            }
+            try {
+                handleControl(conn, std::move(control));
+            } catch (const util::Error& err) {
+                Response error;
+                error.id = control.id;
+                error.status = ResponseStatus::Error;
+                error.message = err.what();
+                respond(*conn, error);
+            }
+            continue;
+        }
         Request request;
         util::Status decoded = decodeRequest(payload, request);
         if (!decoded.ok()) {
@@ -210,6 +263,66 @@ Daemon::readerLoop(std::shared_ptr<Connection> conn)
             error.message = err.what();
             respond(*conn, error);
         }
+    }
+}
+
+void
+Daemon::handleControl(std::shared_ptr<Connection>& conn,
+                      ControlRequest&& control)
+{
+    Response response;
+    response.id = control.id;
+    SwapOutcome outcome = reloadIndex(control.path);
+    response.generation = outcome.generation;
+    if (outcome.accepted) {
+        response.status = ResponseStatus::ReloadOk;
+        response.message =
+            util::cat("generation ", outcome.generation, " published");
+    } else {
+        response.status = ResponseStatus::ReloadRejected;
+        response.message = outcome.reason;
+    }
+    respond(*conn, response);
+}
+
+SwapOutcome
+Daemon::reloadIndex(const std::string& path)
+{
+    const obs::ServeMetricIds& serve = hub_->serve();
+    if (state_.load() != DaemonState::Running) {
+        // A swap racing a drain loses: the daemon is on its way down and
+        // must not start publishing new state mid-teardown.
+        SwapOutcome outcome;
+        outcome.generation = index_->generation();
+        outcome.reason = "daemon is not running (draining or stopped)";
+        controlSlab()->add(serve.reloadsRejected);
+        return outcome;
+    }
+    SwapOutcome outcome = index_->swap(path, hub_.get());
+    obs::Registry::ThreadSlab* slab = controlSlab();
+    if (outcome.accepted) {
+        slab->add(serve.reloads);
+        slab->raise(serve.generation, outcome.generation);
+        slab->observe(serve.reloadLatency,
+                      static_cast<uint64_t>(outcome.loadSeconds * 1e9));
+    } else {
+        slab->add(serve.reloadsRejected);
+    }
+    accountRetired();
+    return outcome;
+}
+
+void
+Daemon::accountRetired()
+{
+    std::lock_guard<std::mutex> lock(retireAccountMutex_);
+    const uint64_t released =
+        index_->retiredTotal() - index_->retiredAlive();
+    const uint64_t seen = retiredAccounted_.load();
+    if (released > seen) {
+        controlSlab()->add(hub_->serve().generationsRetired,
+                           released - seen);
+        retiredAccounted_.store(released);
     }
 }
 
@@ -239,6 +352,7 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
         Response error;
         error.id = request.id;
         error.status = ResponseStatus::Error;
+        error.generation = index_->generation();
         error.message =
             util::cat("request carries ", request.reads.size(),
                       " reads; limit is ", params_.maxReadsPerRequest);
@@ -251,6 +365,7 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
         Response shutdown;
         shutdown.id = request.id;
         shutdown.status = ResponseStatus::ShuttingDown;
+        shutdown.generation = index_->generation();
         shutdown.retryAfterMillis = params_.retryBaseMillis;
         respond(*conn, shutdown);
         return;
@@ -259,12 +374,42 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
     // Fault site: the enqueue step itself failing.
     fault::inject("serve.enqueue");
 
+    // Pin the serving generation *at admission*: whatever swaps publish
+    // while this request waits or maps, its whole index set stays alive
+    // until its response is written.  During a swap's publish window the
+    // pin refuses instead of racing the flip; those admissions get a
+    // RETRY_AFTER whose hint grows with consecutive refusals, so clients
+    // back off a stretched publish instead of hammering it.
+    IndexManager::Handle handle = index_->pin();
+    if (!handle) {
+        uint32_t rejects =
+            publishRejects_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (rejects > 64) {
+            rejects = 64;
+        }
+        slab->add(ids.shed);
+        Response retry;
+        retry.id = request.id;
+        retry.status = ResponseStatus::RetryAfter;
+        retry.generation = index_->generation();
+        retry.retryAfterMillis = params_.retryBaseMillis * rejects;
+        respond(*conn, retry);
+        return;
+    }
+    publishRejects_.store(0, std::memory_order_relaxed);
+
     Job job;
     job.conn = conn;
     uint64_t id = request.id;
+    const uint64_t generation = handle->number;
     job.request = std::move(request);
     job.tenant = tenant;
     job.admittedNanos = util::nowNanos();
+    job.deadlineNanos =
+        job.request.deadlineMicros != 0
+            ? job.admittedNanos + job.request.deadlineMicros * 1000
+            : 0;
+    job.handle = std::move(handle);
     AdmissionVerdict verdict = queue_->tryPush(tenant, std::move(job));
     if (verdict.admitted()) {
         slab->add(ids.accepted);
@@ -277,6 +422,7 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
     shed.status = verdict.outcome == Admission::Closed
                       ? ResponseStatus::ShuttingDown
                       : ResponseStatus::RetryAfter;
+    shed.generation = generation;
     shed.retryAfterMillis = verdict.retryAfterMillis;
     respond(*conn, shed);
 }
@@ -287,6 +433,9 @@ Daemon::workerLoop(size_t worker)
     Job job;
     size_t tenant = 0;
     while (queue_->pop(job, tenant)) {
+        // SLO sweep: queued requests whose client deadline can no longer
+        // be met are answered DEADLINE_SHED now, not mapped later.
+        shedExpiredJobs(worker);
         try {
             processJob(worker, job);
         } catch (const util::Error& err) {
@@ -295,11 +444,45 @@ Daemon::workerLoop(size_t worker)
             Response error;
             error.id = job.request.id;
             error.status = ResponseStatus::Error;
+            error.generation = job.handle ? job.handle->number : 0;
             error.message = err.what();
             respond(*job.conn, error);
         }
+        // Drop the pin before blocking on the next pop: an idle worker
+        // must not keep a retired generation's arenas mapped.
         job.conn.reset();
+        job.handle.reset();
         queue_->complete(tenant);
+    }
+}
+
+void
+Daemon::shedExpiredJobs(size_t worker)
+{
+    const uint64_t now = util::nowNanos();
+    const uint64_t ewma = serviceEwmaNanos_.load(std::memory_order_relaxed);
+    std::vector<std::pair<size_t, Job>> shed;
+    queue_->shedIf(
+        [&](const Job& queued) {
+            return queued.deadlineNanos != 0 &&
+                   now + ewma >= queued.deadlineNanos;
+        },
+        shed);
+    if (shed.empty()) {
+        return;
+    }
+    const obs::ServeMetricIds& serve = hub_->serve();
+    obs::Registry::ThreadSlab* slab = hub_->slab(worker);
+    for (std::pair<size_t, Job>& entry : shed) {
+        Job& job = entry.second;
+        slab->add(serve.perTenant[entry.first].deadlineShed);
+        Response response;
+        response.id = job.request.id;
+        response.status = ResponseStatus::DeadlineShed;
+        response.generation = job.handle ? job.handle->number : 0;
+        respond(*job.conn, response);
+        job.conn.reset();
+        job.handle.reset();
     }
 }
 
@@ -309,6 +492,8 @@ Daemon::processJob(size_t worker, Job& job)
     const obs::ServeMetricIds& serve = hub_->serve();
     const obs::ServeTenantMetricIds& ids = serve.perTenant[job.tenant];
     obs::Registry::ThreadSlab* slab = hub_->slab(worker);
+
+    const uint64_t generation = job.handle->number;
 
     // Past the drain deadline, queued work is shed, not mapped: the
     // drain contract is "finish or degrade within the deadline", and
@@ -320,22 +505,49 @@ Daemon::processJob(size_t worker, Job& job)
         Response shed;
         shed.id = job.request.id;
         shed.status = ResponseStatus::ShuttingDown;
+        shed.generation = generation;
         shed.retryAfterMillis = params_.retryBaseMillis;
+        respond(*job.conn, shed);
+        return;
+    }
+
+    // The client deadline lapsed while this job waited (or the sweep
+    // missed it by a beat): refuse rather than map into the void.
+    if (job.deadlineNanos != 0 && util::nowNanos() >= job.deadlineNanos) {
+        slab->add(ids.deadlineShed);
+        Response shed;
+        shed.id = job.request.id;
+        shed.status = ResponseStatus::DeadlineShed;
+        shed.generation = generation;
         respond(*job.conn, shed);
         return;
     }
 
     resilience::WorkBudget budget =
         requestBudget(job.request, params_.maxBudget);
-    giraffe::SessionResult result = session_.map(
+    const uint64_t map_start = util::nowNanos();
+    giraffe::SessionResult result = job.handle->session->map(
         worker, job.request.reads, budget, &board_, hub_.get());
+    const uint64_t service = util::nowNanos() - map_start;
+    const uint64_t prev =
+        serviceEwmaNanos_.load(std::memory_order_relaxed);
+    serviceEwmaNanos_.store(
+        prev == 0 ? service : (7 * prev + service) / 8,
+        std::memory_order_relaxed);
 
     Response ok;
     ok.id = job.request.id;
     ok.status = ResponseStatus::Ok;
+    ok.generation = generation;
     ok.mappedReads = result.mappedReads;
     ok.degradedReads = result.degradedReads;
-    ok.gaf = std::move(result.gaf);
+    if (params_.gafGenerationComment) {
+        ok.gaf = util::cat("# mg:gen=", generation,
+                           " source=", job.handle->source, "\n");
+        ok.gaf += result.gaf;
+    } else {
+        ok.gaf = std::move(result.gaf);
+    }
     if (!respond(*job.conn, ok)) {
         // The peer vanished mid-request; the work is done but the
         // response has nowhere to go.  Count it so no request is ever
@@ -472,6 +684,10 @@ Daemon::stop()
     }
     ::unlink(params_.socketPath.c_str());
 
+    // Workers are joined, so the last pinned handles are gone; fold any
+    // newly released generations into the metric before the snapshot.
+    accountRetired();
+
     // Final accounting from the registry (counters are already summed
     // across worker + control slabs by snapshot()).
     obs::Snapshot snap = hub_->registry().snapshot();
@@ -479,6 +695,7 @@ Daemon::stop()
     report_.accepted = 0;
     report_.completed = 0;
     report_.shed = 0;
+    report_.deadlineShed = 0;
     report_.errors = 0;
     for (const std::string& tenant : serve.tenants) {
         auto named = [&tenant](const char* stem) {
@@ -488,10 +705,18 @@ Daemon::stop()
         report_.completed +=
             snap.valueOf(named("mg_serve_completed_total"));
         report_.shed += snap.valueOf(named("mg_serve_shed_total"));
+        report_.deadlineShed +=
+            snap.valueOf(named("mg_serve_deadline_shed_total"));
         report_.errors += snap.valueOf(named("mg_serve_errors_total"));
     }
     report_.drainShed = snap.valueOf("mg_serve_drain_shed_total");
     report_.badFrames = snap.valueOf("mg_serve_bad_frames_total");
+    report_.reloads = snap.valueOf("mg_serve_reloads_total");
+    report_.reloadsRejected =
+        snap.valueOf("mg_serve_reloads_rejected_total");
+    report_.generationsRetired =
+        snap.valueOf("mg_serve_generations_retired_total");
+    report_.finalGeneration = index_->generation();
     report_.watchdogCancels = watchdog_->events().size();
     state_.store(DaemonState::Stopped);
 }

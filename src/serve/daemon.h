@@ -45,6 +45,7 @@
 #include "resilience/budget.h"
 #include "sched/watchdog.h"
 #include "serve/frame.h"
+#include "serve/index_manager.h"
 #include "serve/queue.h"
 
 namespace mg::serve {
@@ -79,6 +80,15 @@ struct DaemonParams
      */
     std::string indexLoadMode = "parsed";
     double indexLoadSeconds = 0.0;
+    /**
+     * Prefix each Ok response's GAF with a `# mg:gen=<N>` comment naming
+     * the generation that mapped it.  Off by default: the comment makes
+     * daemon GAF differ from direct-session GAF byte-for-byte, so it is
+     * opt-in for deployments that want generation attribution in the
+     * output stream itself (the Response.generation field always
+     * carries it).
+     */
+    bool gafGenerationComment = false;
 };
 
 /** Daemon lifecycle state. */
@@ -97,9 +107,18 @@ struct DaemonReport
     uint64_t completed = 0;
     uint64_t shed = 0;
     uint64_t drainShed = 0;
+    /** Queued requests shed because their client deadline lapsed. */
+    uint64_t deadlineShed = 0;
     uint64_t errors = 0;
     uint64_t badFrames = 0;
     uint64_t watchdogCancels = 0;
+    /** Hot swaps published / rejected over the daemon's lifetime. */
+    uint64_t reloads = 0;
+    uint64_t reloadsRejected = 0;
+    /** Old generations fully released (arenas unmapped) by stop time. */
+    uint64_t generationsRetired = 0;
+    /** Generation serving when the daemon stopped (1 = never swapped). */
+    uint64_t finalGeneration = 1;
     /** Drain finished inside the deadline (no forcing needed). */
     bool drainClean = true;
     /** Index load mode ("parsed" | "mmap" | "generated") and map/parse
@@ -111,9 +130,17 @@ struct DaemonReport
 class Daemon
 {
   public:
+    /** Serve caller-owned indexes (generated pangenomes, tests); they
+     *  must outlive the daemon. */
     Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
            const index::MinimizerIndex& minimizers,
            const index::DistanceIndex& distance, DaemonParams params);
+
+    /** Serve a pangenome loaded from `source` (hot-swappable: the first
+     *  generation is owned, so RELOAD can retire it cleanly). */
+    Daemon(io::IndexedPangenome&& pangenome, std::string source,
+           DaemonParams params);
+
     ~Daemon();
 
     Daemon(const Daemon&) = delete;
@@ -121,6 +148,17 @@ class Daemon
 
     /** Bind the socket and start acceptor + workers + watchdog. */
     void start();
+
+    /**
+     * Hot-swap the serving pangenome to the container at `path`
+     * (SIGHUP and the RELOAD control frame both land here).  Rejected
+     * while draining; otherwise delegates to IndexManager::swap and
+     * accounts the outcome in the serve metrics.  Thread-safe.
+     */
+    SwapOutcome reloadIndex(const std::string& path);
+
+    /** The epoch manager (tests: pin/retire introspection). */
+    IndexManager& indexManager() { return *index_; }
 
     /**
      * Begin graceful drain (async-signal-unsafe; call from a thread, not
@@ -159,6 +197,11 @@ class Daemon
         Request request;
         size_t tenant = 0;
         uint64_t admittedNanos = 0;
+        /** Absolute client deadline (nowNanos domain); 0 = none. */
+        uint64_t deadlineNanos = 0;
+        /** The generation pinned at admission; the swap path cannot
+         *  unmap these arenas while this job holds the handle. */
+        IndexManager::Handle handle;
     };
 
     void acceptorLoop();
@@ -166,18 +209,35 @@ class Daemon
     void workerLoop(size_t worker);
     void handleRequest(std::shared_ptr<Connection>& conn,
                        Request&& request);
+    void handleControl(std::shared_ptr<Connection>& conn,
+                       ControlRequest&& control);
     void processJob(size_t worker, Job& job);
+    /** Shed still-queued jobs whose client deadline can no longer be
+     *  met (DEADLINE_SHED), using the service-time EWMA as the cost
+     *  estimate for work not yet started. */
+    void shedExpiredJobs(size_t worker);
+    /** Fold newly expired retired generations into the metric. */
+    void accountRetired();
     bool respond(Connection& conn, const Response& response);
     void closeConnection(Connection& conn);
     obs::Registry::ThreadSlab* controlSlab();
 
-    const graph::VariationGraph& graph_;
     DaemonParams params_;
     std::unique_ptr<obs::Hub> hub_;
-    giraffe::MapSession session_;
+    std::unique_ptr<IndexManager> index_;
     std::unique_ptr<AdmissionQueue<Job>> queue_;
     sched::HeartbeatBoard board_;
     std::unique_ptr<sched::Watchdog> watchdog_;
+
+    /** EWMA of per-request mapping time (relaxed; heuristic only). */
+    std::atomic<uint64_t> serviceEwmaNanos_{0};
+    /** Consecutive admissions refused by the publish window; scales the
+     *  RETRY_AFTER hint so clients back off a stretched publish. */
+    std::atomic<uint32_t> publishRejects_{0};
+    /** Retired generations already counted into the metric. */
+    std::atomic<uint64_t> retiredAccounted_{0};
+    /** Serializes accountRetired's read-then-add. */
+    std::mutex retireAccountMutex_;
 
     std::atomic<DaemonState> state_{DaemonState::Idle};
     /** Absolute drain cutoff (nowNanos domain); 0 until draining. */

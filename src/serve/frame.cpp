@@ -59,6 +59,12 @@ responseStatusName(ResponseStatus status)
         return "error";
       case ResponseStatus::ShuttingDown:
         return "shutting-down";
+      case ResponseStatus::ReloadOk:
+        return "reload-ok";
+      case ResponseStatus::ReloadRejected:
+        return "reload-rejected";
+      case ResponseStatus::DeadlineShed:
+        return "deadline-shed";
     }
     return "?";
 }
@@ -88,6 +94,9 @@ encodeResponse(const Response& response)
     writer.putByte(static_cast<uint8_t>(MessageKind::Response));
     writer.putVarint(response.id);
     writer.putByte(static_cast<uint8_t>(response.status));
+    // The generation rides on every status so per-generation breakdowns
+    // can attribute sheds and retries, not just successful maps.
+    writer.putVarint(response.generation);
     switch (response.status) {
       case ResponseStatus::Ok:
         writer.putVarint(response.mappedReads);
@@ -96,12 +105,26 @@ encodeResponse(const Response& response)
         break;
       case ResponseStatus::RetryAfter:
       case ResponseStatus::ShuttingDown:
+      case ResponseStatus::DeadlineShed:
         writer.putVarint(response.retryAfterMillis);
         break;
       case ResponseStatus::Error:
+      case ResponseStatus::ReloadOk:
+      case ResponseStatus::ReloadRejected:
         writer.putString(response.message);
         break;
     }
+    return writer.takeBytes();
+}
+
+std::vector<uint8_t>
+encodeControl(const ControlRequest& control)
+{
+    util::ByteWriter writer;
+    writer.putByte(static_cast<uint8_t>(MessageKind::Control));
+    writer.putVarint(control.id);
+    writer.putByte(static_cast<uint8_t>(control.op));
+    writer.putString(control.path);
     return writer.takeBytes();
 }
 
@@ -112,7 +135,8 @@ peekKind(const std::vector<uint8_t>& payload, MessageKind& out)
         return statusOf(util::StatusCode::Truncated, "empty payload");
     }
     if (payload[0] != static_cast<uint8_t>(MessageKind::Request) &&
-        payload[0] != static_cast<uint8_t>(MessageKind::Response)) {
+        payload[0] != static_cast<uint8_t>(MessageKind::Response) &&
+        payload[0] != static_cast<uint8_t>(MessageKind::Control)) {
         return statusOf(util::StatusCode::Corrupt,
                         util::cat("unknown message kind ",
                                   static_cast<int>(payload[0])));
@@ -167,10 +191,11 @@ decodeResponse(const std::vector<uint8_t>& payload, Response& out)
         out.id = cursor.getVarint();
         uint8_t raw = cursor.getByte();
         cursor.check(raw <= static_cast<uint8_t>(
-                                ResponseStatus::ShuttingDown),
+                                ResponseStatus::DeadlineShed),
                      util::StatusCode::Corrupt, "unknown response status ",
                      static_cast<int>(raw));
         out.status = static_cast<ResponseStatus>(raw);
+        out.generation = cursor.getVarint();
         out.gaf.clear();
         out.message.clear();
         out.mappedReads = 0;
@@ -184,15 +209,39 @@ decodeResponse(const std::vector<uint8_t>& payload, Response& out)
             break;
           case ResponseStatus::RetryAfter:
           case ResponseStatus::ShuttingDown:
+          case ResponseStatus::DeadlineShed:
             out.retryAfterMillis =
                 static_cast<uint32_t>(cursor.getVarint());
             break;
           case ResponseStatus::Error:
+          case ResponseStatus::ReloadOk:
+          case ResponseStatus::ReloadRejected:
             out.message = cursor.getString();
             break;
         }
         cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
                      "trailing bytes after response");
+    });
+}
+
+util::Status
+decodeControl(const std::vector<uint8_t>& payload, ControlRequest& out)
+{
+    return guardedDecode([&] {
+        util::ByteCursor cursor(payload);
+        cursor.enterSection("control");
+        cursor.check(cursor.getByte() ==
+                         static_cast<uint8_t>(MessageKind::Control),
+                     util::StatusCode::Corrupt, "not a control payload");
+        out.id = cursor.getVarint();
+        uint8_t raw = cursor.getByte();
+        cursor.check(raw == static_cast<uint8_t>(ControlOp::Reload),
+                     util::StatusCode::Corrupt, "unknown control op ",
+                     static_cast<int>(raw));
+        out.op = static_cast<ControlOp>(raw);
+        out.path = cursor.getString();
+        cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
+                     "trailing bytes after control request");
     });
 }
 

@@ -46,6 +46,8 @@ enum class MessageKind : uint8_t
 {
     Request = 1,
     Response = 2,
+    /** Operator control plane (hot reload), same framing + CRC story. */
+    Control = 3,
 };
 
 /** How the daemon disposed of a request. */
@@ -59,6 +61,14 @@ enum class ResponseStatus : uint8_t
     Error = 2,
     /** The daemon is draining; retry against a fresh instance later. */
     ShuttingDown = 3,
+    /** Control: the replacement pangenome was published. */
+    ReloadOk = 4,
+    /** Control: the replacement was rejected; message carries the
+     *  validation failure and the old index keeps serving. */
+    ReloadRejected = 5,
+    /** Shed while still queued because the client deadline could no
+     *  longer be met; the work was never started (SLO shedding). */
+    DeadlineShed = 6,
 };
 
 /** Short stable name ("ok", "retry-after", ...). */
@@ -82,25 +92,51 @@ struct Response
 {
     uint64_t id = 0;
     ResponseStatus status = ResponseStatus::Ok;
+    /**
+     * Pangenome generation that answered (1 = the index the daemon
+     * started with; each published hot swap increments it).  Carried on
+     * every status so load drivers can attribute sheds and retries to a
+     * generation, not just successes.
+     */
+    uint64_t generation = 0;
     /** Ok: mapped GAF text (degraded reads carry dg:Z tags). */
     std::string gaf;
     uint64_t mappedReads = 0;
     uint64_t degradedReads = 0;
     /** RetryAfter / ShuttingDown: client-side backoff floor. */
     uint32_t retryAfterMillis = 0;
-    /** Error: human-readable reason. */
+    /** Error / ReloadOk / ReloadRejected: human-readable reason. */
     std::string message;
+};
+
+/** Control-plane operations (MessageKind::Control payloads). */
+enum class ControlOp : uint8_t
+{
+    /** Hot-swap the serving pangenome to the named container path. */
+    Reload = 1,
+};
+
+/** One control request; answered with a Response (ReloadOk/Rejected). */
+struct ControlRequest
+{
+    uint64_t id = 0;
+    ControlOp op = ControlOp::Reload;
+    /** Reload: absolute path of the replacement container. */
+    std::string path;
 };
 
 /** Encode a message into a frame payload (no frame header/CRC yet). */
 std::vector<uint8_t> encodeRequest(const Request& request);
 std::vector<uint8_t> encodeResponse(const Response& response);
+std::vector<uint8_t> encodeControl(const ControlRequest& control);
 
 /** Total decoders: malformed payloads produce a non-Ok Status. */
 util::Status decodeRequest(const std::vector<uint8_t>& payload,
                            Request& out);
 util::Status decodeResponse(const std::vector<uint8_t>& payload,
                             Response& out);
+util::Status decodeControl(const std::vector<uint8_t>& payload,
+                           ControlRequest& out);
 
 /** Peek the message kind of a payload (Status on empty/unknown). */
 util::Status peekKind(const std::vector<uint8_t>& payload,

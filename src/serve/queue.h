@@ -224,6 +224,34 @@ class AdmissionQueue
         }
     }
 
+    /**
+     * Remove every *still-queued* item matching `predicate`, handing the
+     * (tenant index, item) pairs to the caller so the shed requests can
+     * be answered outside the lock (SLO-aware shedding: a queued request
+     * whose client deadline can no longer be met is cheaper to refuse
+     * now than to map and throw away).  Items already popped — in flight
+     * on a worker — are untouched; no in-flight accounting is involved.
+     */
+    template <typename Predicate>
+    void
+    shedIf(Predicate&& predicate,
+           std::vector<std::pair<size_t, T>>& shed)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = 0; i < tenants_.size(); ++i) {
+            std::deque<T>& items = tenants_[i].items;
+            for (auto it = items.begin(); it != items.end();) {
+                if (predicate(*it)) {
+                    shed.emplace_back(i, std::move(*it));
+                    it = items.erase(it);
+                    --totalQueued_;
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
     /** A popped request finished (or was shed); frees an in-flight slot. */
     void
     complete(size_t tenant_index)

@@ -10,8 +10,10 @@ namespace mg::serve {
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_reload{false};
 int g_pipe[2] = { -1, -1 };
 std::atomic<bool> g_installed{false};
+std::atomic<bool> g_reloadInstalled{false};
 
 /** Async-signal-safe: one atomic store + one write(2). */
 void
@@ -22,6 +24,17 @@ stopHandler(int /*sig*/)
         uint8_t byte = 1;
         // Best effort; the pipe is non-blocking so a flooded pipe (many
         // signals) cannot wedge the handler.
+        [[maybe_unused]] ssize_t n = ::write(g_pipe[1], &byte, 1);
+    }
+}
+
+/** Async-signal-safe SIGHUP handler: flag + shared-pipe wake. */
+void
+reloadHandler(int /*sig*/)
+{
+    g_reload.store(true, std::memory_order_release);
+    if (g_pipe[1] >= 0) {
+        uint8_t byte = 1;
         [[maybe_unused]] ssize_t n = ::write(g_pipe[1], &byte, 1);
     }
 }
@@ -50,6 +63,32 @@ installStopHandlers()
     ::sigaction(SIGINT, &action, nullptr);
 }
 
+void
+installReloadHandler()
+{
+    bool expected = false;
+    if (!g_reloadInstalled.compare_exchange_strong(expected, true)) {
+        return;
+    }
+    struct sigaction action {};
+    action.sa_handler = &reloadHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    ::sigaction(SIGHUP, &action, nullptr);
+}
+
+bool
+reloadRequested() noexcept
+{
+    return g_reload.load(std::memory_order_acquire);
+}
+
+void
+clearReloadRequest() noexcept
+{
+    g_reload.store(false, std::memory_order_release);
+}
+
 bool
 stopRequested() noexcept
 {
@@ -72,6 +111,7 @@ void
 resetStopForTests() noexcept
 {
     g_stop.store(false, std::memory_order_release);
+    g_reload.store(false, std::memory_order_release);
     if (g_pipe[0] >= 0) {
         uint8_t drain[16];
         while (::read(g_pipe[0], drain, sizeof(drain)) > 0) {

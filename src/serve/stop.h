@@ -36,6 +36,21 @@ const std::atomic<bool>* stopFlag() noexcept;
  *  Returns -1 before installStopHandlers(). */
 int stopFd() noexcept;
 
+/**
+ * Additionally route SIGHUP to a *reload* flag (same self-pipe wakes
+ * poll()ers).  Installed separately from the stop handlers because only
+ * daemon-shaped processes (mgd) want "SIGHUP = hot-swap the index";
+ * batch apps keep the default disposition.  Idempotent; call after
+ * installStopHandlers() so the shared pipe exists.
+ */
+void installReloadHandler();
+
+/** True once a SIGHUP arrived that has not been cleared yet. */
+bool reloadRequested() noexcept;
+
+/** Acknowledge the pending reload (the next SIGHUP re-raises it). */
+void clearReloadRequest() noexcept;
+
 /** Re-arm for tests that deliver signals repeatedly in one process. */
 void resetStopForTests() noexcept;
 
