@@ -177,11 +177,17 @@ struct PassResult
  * When `hub` is set the measured loop runs with live metrics attached —
  * per-read funnel increments plus one flush per pass, the same cadence a
  * batch scheduler produces — so the obs guard can price the telemetry.
+ *
+ * When `trace_every` is N > 0, one read in N maps with a StageAccumulator
+ * bound (the per-request span context a traced daemon request carries;
+ * untraced reads pay the same null pointer test the daemon's do) — so the
+ * trace guard can price request tracing at a head-sampling rate.
  */
 PassResult
 measureMapping(const Workload& wl, int reps,
                util::KernelVariant kernel = util::KernelVariant::Auto,
-               bool lockstep = true, obs::Hub* hub = nullptr)
+               bool lockstep = true, obs::Hub* hub = nullptr,
+               int trace_every = 0)
 {
     map::MapperParams params;
     params.extend.kernel = kernel;
@@ -200,10 +206,19 @@ measureMapping(const Workload& wl, int reps,
     }
     const gbwt::CacheStats warm = state->totalStats();
     state->resilience.latency.clear(); // drop warm-up samples
+    obs::StageAccumulator trace_accum;
+    size_t read_index = 0;
     AllocSnapshot before = allocNow();
     util::WallTimer timer;
     for (int rep = 0; rep < reps; ++rep) {
         for (const auto& entry : entries) {
+            if (trace_every > 0) {
+                state->stageTrace =
+                    read_index % static_cast<size_t>(trace_every) == 0
+                        ? &trace_accum
+                        : nullptr;
+                ++read_index;
+            }
             benchmark::DoNotOptimize(
                 mapper.mapFromSeeds(entry.read, entry.seeds, *state));
         }
@@ -211,6 +226,7 @@ measureMapping(const Workload& wl, int reps,
             state->flushMetrics();
         }
     }
+    state->stageTrace = nullptr;
     double seconds = timer.seconds();
     AllocSnapshot delta = allocDelta(before);
     const gbwt::CacheStats total = state->totalStats();
@@ -690,6 +706,64 @@ guardObsRun(const std::string& committed_path)
     return failures == 0 ? 0 : 1;
 }
 
+/**
+ * Trace guard: price end-to-end request tracing at a realistic
+ * head-sampling rate.  Per input set, time the mapping kernel with
+ * tracing off and with one read in 100 carrying a StageAccumulator
+ * (best of up to five interleaved attempts) and fail if the on/off
+ * throughput ratio drops below 0.98 — tracing promises "a null pointer
+ * test per untraced read, two clock reads per stage on traced ones",
+ * which at 1%% sampling must be noise.  The committed BENCH record is
+ * read for a context line only; the verdict is machine-independent.
+ */
+int
+guardTraceRun(const std::string& committed_path)
+{
+    try {
+        std::string text = io::readFileText(committed_path);
+        double committed = jsonNumber(text, "reads_per_sec");
+        if (committed > 0.0) {
+            std::printf("perf-guard-trace: committed record %s "
+                        "(%.0f reads/s at record time)\n",
+                        committed_path.c_str(), committed);
+        }
+    } catch (const util::Error& e) {
+        std::printf("perf-guard-trace: no committed record (%s)\n",
+                    e.what());
+    }
+    int failures = 0;
+    for (const char* input_set : { "A-human", "B-yeast" }) {
+        const Workload& wl = workload(input_set);
+        double best = 0.0;
+        double best_full = 0.0;
+        for (int attempt = 0; attempt < 5 && best < 0.98; ++attempt) {
+            PassResult off = measureMapping(wl, 2);
+            PassResult sampled = measureMapping(
+                wl, 2, util::KernelVariant::Auto, true, nullptr, 100);
+            PassResult full = measureMapping(
+                wl, 2, util::KernelVariant::Auto, true, nullptr, 1);
+            if (off.readsPerSec > 0.0) {
+                best =
+                    std::max(best, sampled.readsPerSec / off.readsPerSec);
+                best_full =
+                    std::max(best_full, full.readsPerSec / off.readsPerSec);
+            }
+        }
+        std::printf("perf-guard-trace %s: 1%%-sampled/off throughput "
+                    "ratio %.4f (floor 0.98); every-read ratio %.4f "
+                    "(context)\n",
+                    input_set, best, best_full);
+        if (best < 0.98) {
+            std::fprintf(stderr,
+                         "FAIL: request tracing at 1%% sampling costs "
+                         ">2%% of mapping throughput on %s (ratio %.4f)\n",
+                         input_set, best);
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 int
 smokeRun()
 {
@@ -738,6 +812,7 @@ main(int argc, char** argv)
     std::string baseline_path;
     std::string guard_path;
     std::string guard_obs_path;
+    std::string guard_trace_path;
     std::vector<char*> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -747,6 +822,8 @@ main(int argc, char** argv)
             guard_path = argv[i] + 8;
         } else if (std::strncmp(argv[i], "--guard-obs=", 12) == 0) {
             guard_obs_path = argv[i] + 12;
+        } else if (std::strncmp(argv[i], "--guard-trace=", 14) == 0) {
+            guard_trace_path = argv[i] + 14;
         } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
             g_scale = std::atof(argv[i] + 8);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -757,7 +834,8 @@ main(int argc, char** argv)
             passthrough.push_back(argv[i]);
         }
     }
-    if (smoke || !guard_path.empty() || !guard_obs_path.empty()) {
+    if (smoke || !guard_path.empty() || !guard_obs_path.empty() ||
+        !guard_trace_path.empty()) {
         if (g_scale > 0.05) {
             g_scale = 0.05; // keep CTest fast regardless of the default
         }
@@ -766,6 +844,9 @@ main(int argc, char** argv)
         }
         if (!guard_obs_path.empty()) {
             return guardObsRun(guard_obs_path);
+        }
+        if (!guard_trace_path.empty()) {
+            return guardTraceRun(guard_trace_path);
         }
         return smokeRun();
     }

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/json.h"
 #include "serve/client.h"
 #include "serve/stop.h"
 #include "sim/input_sets.h"
@@ -104,7 +105,56 @@ struct TenantOutcome
     uint64_t late = 0;
     /** Keyed by the generation tag the final response carried. */
     std::map<uint64_t, GenerationStats> perGeneration;
+    /**
+     * Per-stage breakdown of traced requests, from the trace echo on
+     * each response: daemon queue wait, daemon mapping time, and the
+     * remainder of the client-observed latency (wire + framing + any
+     * retry backoff).  Reconciled against the daemon's own stage
+     * histograms at end of run.
+     */
+    mg::stats::LatencyHistogram traceQueue;
+    mg::stats::LatencyHistogram traceMap;
+    mg::stats::LatencyHistogram traceOther;
 };
+
+/** Daemon-side stage summary pulled from a STATS snapshot for the
+ *  reconciliation report ("client saw X, daemon attributes Y"). */
+void
+printDaemonStages(mg::serve::Client& client)
+{
+    mg::serve::Response response;
+    mg::util::Status status = client.queryStats(response);
+    if (!status.ok() ||
+        response.status != mg::serve::ResponseStatus::StatsOk) {
+        std::printf("daemon stages: unavailable (%s)\n",
+                    status.ok()
+                        ? mg::serve::responseStatusName(response.status)
+                        : status.toString().c_str());
+        return;
+    }
+    const mg::obs::json::Value snap =
+        mg::obs::json::parse(response.message, "mgd stats");
+    const mg::obs::json::Value* stages = snap.find("stages");
+    if (stages == nullptr || !stages->isArray()) {
+        return;
+    }
+    std::printf("daemon stage attribution (STATS snapshot):\n");
+    for (const mg::obs::json::Value& stage : stages->items) {
+        const mg::obs::json::Value* name = stage.find("stage");
+        const mg::obs::json::Value* count = stage.find("count");
+        const mg::obs::json::Value* mean = stage.find("mean_ns");
+        const mg::obs::json::Value* p99 = stage.find("p99_ns");
+        if (name == nullptr || count == nullptr ||
+            count->asUint() == 0) {
+            continue;
+        }
+        std::printf("  %-12s %8llu spans, mean %8.3f ms, p99 %8.3f ms\n",
+                    name->text.c_str(),
+                    static_cast<unsigned long long>(count->asUint()),
+                    (mean != nullptr ? mean->number : 0.0) / 1e6,
+                    (p99 != nullptr ? p99->number : 0.0) / 1e6);
+    }
+}
 
 } // namespace
 
@@ -140,6 +190,10 @@ try {
          .define("swap-path", "",
                  "container the RELOAD frames name (the daemon hot-swaps "
                  "to this .mgz/.mgz3)")
+         .define("trace-sample", "0",
+                 "probability a request carries a client-minted trace "
+                 "id; traced responses echo the daemon's queue/map "
+                 "attribution for the per-stage breakdown")
          .define("seed", "1", "jitter/arrival RNG seed");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
@@ -195,6 +249,7 @@ try {
                 static_cast<uint32_t>(flags.integer("max-attempts"));
             cparams.seed =
                 static_cast<uint64_t>(flags.integer("seed")) + slot;
+            cparams.traceSample = flags.real("trace-sample");
             if (!flags.str("capture").empty()) {
                 cparams.capturePrefix =
                     flags.str("capture") + "-" + load.name;
@@ -238,9 +293,21 @@ try {
                     client.mapReads(load.name, reads, budget, response);
                 if (status.ok() &&
                     response.status == mg::serve::ResponseStatus::Ok) {
-                    outcome.latency.record(rt.nanos());
+                    const uint64_t total = rt.nanos();
+                    outcome.latency.record(total);
                     outcome.mappedReads += response.mappedReads;
                     outcome.degradedReads += response.degradedReads;
+                    if (response.traceId != 0) {
+                        // Trace echo: split the client-observed latency
+                        // into the daemon's queue wait, its mapping
+                        // time, and everything else (wire + backoff).
+                        const uint64_t attributed =
+                            response.queueNanos + response.mapNanos;
+                        outcome.traceQueue.record(response.queueNanos);
+                        outcome.traceMap.record(response.mapNanos);
+                        outcome.traceOther.record(
+                            total > attributed ? total - attributed : 0);
+                    }
                 }
                 if (status.ok()) {
                     // Attribute the call to the generation tag on its
@@ -338,7 +405,11 @@ try {
             o.client.retries += part.client.retries;
             o.client.exhausted += part.client.exhausted;
             o.client.deadlineShed += part.client.deadlineShed;
+            o.client.traced += part.client.traced;
             o.latency.merge(part.latency);
+            o.traceQueue.merge(part.traceQueue);
+            o.traceMap.merge(part.traceMap);
+            o.traceOther.merge(part.traceOther);
             o.mappedReads += part.mappedReads;
             o.degradedReads += part.degradedReads;
             o.arrivals += part.arrivals;
@@ -376,6 +447,17 @@ try {
             o.latency.p50() / 1e6, o.latency.p99() / 1e6,
             o.latency.meanNanos() / 1e6,
             static_cast<unsigned long long>(o.latency.count()));
+        if (o.traceQueue.count() > 0) {
+            std::printf(
+                "  traced breakdown (%llu tagged, %llu echoed): "
+                "queue p50 %.2f / p99 %.2f ms, map p50 %.2f / p99 %.2f "
+                "ms, other p50 %.2f / p99 %.2f ms\n",
+                static_cast<unsigned long long>(o.client.traced),
+                static_cast<unsigned long long>(o.traceQueue.count()),
+                o.traceQueue.p50() / 1e6, o.traceQueue.p99() / 1e6,
+                o.traceMap.p50() / 1e6, o.traceMap.p99() / 1e6,
+                o.traceOther.p50() / 1e6, o.traceOther.p99() / 1e6);
+        }
         if (o.perGeneration.size() > 1 || swap_every > 0.0) {
             for (const auto& [generation, gen] : o.perGeneration) {
                 std::printf(
@@ -394,6 +476,15 @@ try {
         std::printf("swaps: %llu published, %llu rejected\n",
                     static_cast<unsigned long long>(swaps_ok),
                     static_cast<unsigned long long>(swaps_rejected));
+    }
+    if (flags.real("trace-sample") > 0.0) {
+        // Reconcile the client-side breakdown against the daemon's own
+        // stage histograms: queue/map above should track QueueWait and
+        // Seed+Cluster+Extend+GafEmit here.
+        mg::serve::ClientParams cparams;
+        cparams.socketPath = flags.str("socket");
+        mg::serve::Client stats_client(cparams);
+        printDaemonStages(stats_client);
     }
     if (!flags.str("capture").empty()) {
         std::printf("captures at %s-<tenant>.mgreq/.mgresp (validate "

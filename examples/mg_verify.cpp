@@ -24,6 +24,7 @@
 #include "io/mgz.h"
 #include "io/reads_bin.h"
 #include "obs/json.h"
+#include "obs/request_trace.h"
 #include "serve/frame.h"
 #include "util/flags.h"
 #include "util/status.h"
@@ -272,12 +273,13 @@ verifyRequestCapture(const std::string& path,
             break;
           case mg::serve::ResponseStatus::ReloadOk:
           case mg::serve::ResponseStatus::ReloadRejected:
+          case mg::serve::ResponseStatus::StatsOk:
             ++reloads;
             break;
         }
     }
     std::printf("  cross-check vs %s: %zu mapped, %zu shed, %zu error, "
-                "%zu reload verdicts, %zu leaked\n",
+                "%zu control verdicts, %zu leaked\n",
                 resp_path.c_str(), mapped, shed, errors, reloads, leaked);
     return ok && leaked == 0;
 }
@@ -292,7 +294,7 @@ verifyResponseCapture(const std::string& path,
         mg::serve::parseFrameStream(bytes, path);
     bool ok = true;
     std::unordered_map<uint64_t, size_t> seen;
-    size_t by_status[7] = { 0, 0, 0, 0, 0, 0, 0 };
+    size_t by_status[8] = { 0, 0, 0, 0, 0, 0, 0, 0 };
     for (size_t i = 0; i < payloads.size(); ++i) {
         mg::serve::Response response;
         mg::util::Status status =
@@ -310,14 +312,121 @@ verifyResponseCapture(const std::string& path,
             ok = false;
         }
         const size_t raw = static_cast<size_t>(response.status);
-        by_status[raw < 7 ? raw : 2]++; // decode already bounds raw
+        by_status[raw < 8 ? raw : 2]++; // decode already bounds raw
     }
     std::printf("%s: response capture, %zu frames — %zu ok, %zu "
                 "retry-after, %zu error, %zu shutting-down, %zu "
-                "reload-ok, %zu reload-rejected, %zu deadline-shed\n",
+                "reload-ok, %zu reload-rejected, %zu deadline-shed, "
+                "%zu stats-ok\n",
                 path.c_str(), payloads.size(), by_status[0], by_status[1],
                 by_status[2], by_status[3], by_status[4], by_status[5],
-                by_status[6]);
+                by_status[6], by_status[7]);
+    return ok;
+}
+
+/**
+ * Validate a slow-request trace dump (`.mgtrace`, written by mgd's
+ * `--trace-dump`): schema marker, a well-formed trace id, spans sorted by
+ * begin time with begin <= end and every stage name known, span windows
+ * inside the request's [begin_ns, end_ns], and well-formed flight-recorder
+ * entries.
+ */
+bool
+verifyTraceDump(const std::string& path, const mg::obs::json::Value& doc)
+{
+    bool ok = true;
+    auto fail = [&](const char* what) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), what);
+        ok = false;
+    };
+    const mg::obs::json::Value* trace_id = doc.find("trace_id");
+    if (trace_id == nullptr || !trace_id->isString() ||
+        mg::obs::parseTraceIdHex(trace_id->text) == 0) {
+        fail("missing or invalid trace_id");
+    }
+    const mg::obs::json::Value* begin = doc.find("begin_ns");
+    const mg::obs::json::Value* end = doc.find("end_ns");
+    if (begin == nullptr || !begin->isNumber() || end == nullptr ||
+        !end->isNumber() || begin->asUint() > end->asUint()) {
+        fail("missing or inverted begin_ns/end_ns window");
+    }
+    const mg::obs::json::Value* spans = doc.find("spans");
+    size_t span_count = 0;
+    if (spans == nullptr || !spans->isArray()) {
+        fail("missing spans array");
+    } else {
+        span_count = spans->items.size();
+        uint64_t prev_begin = 0;
+        for (size_t i = 0; i < spans->items.size(); ++i) {
+            const mg::obs::json::Value& span = spans->items[i];
+            const mg::obs::json::Value* stage = span.find("stage");
+            const mg::obs::json::Value* sb = span.find("begin_ns");
+            const mg::obs::json::Value* se = span.find("end_ns");
+            if (stage == nullptr || !stage->isString() || sb == nullptr ||
+                !sb->isNumber() || se == nullptr || !se->isNumber()) {
+                fail("span missing stage/begin_ns/end_ns");
+                break;
+            }
+            bool known = false;
+            for (size_t s = 0; s < mg::obs::kSpanStages; ++s) {
+                if (stage->text ==
+                    mg::obs::spanStageName(
+                        static_cast<mg::obs::SpanStage>(s))) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                std::fprintf(stderr, "%s: span %zu has unknown stage "
+                             "'%s'\n", path.c_str(), i,
+                             stage->text.c_str());
+                ok = false;
+            }
+            if (sb->asUint() > se->asUint()) {
+                fail("span with begin_ns > end_ns");
+            }
+            if (begin != nullptr && begin->isNumber() && end != nullptr &&
+                end->isNumber() &&
+                (sb->asUint() < begin->asUint() ||
+                 se->asUint() > end->asUint())) {
+                fail("span outside the request window");
+            }
+            if (sb->asUint() < prev_begin) {
+                fail("spans not sorted by begin_ns");
+            }
+            prev_begin = sb->asUint();
+        }
+    }
+    const mg::obs::json::Value* flight = doc.find("flight");
+    size_t flight_count = 0;
+    if (flight == nullptr || !flight->isArray()) {
+        fail("missing flight array");
+    } else {
+        flight_count = flight->items.size();
+        for (const mg::obs::json::Value& entry : flight->items) {
+            if (entry.find("read_index") == nullptr ||
+                entry.find("stage") == nullptr ||
+                entry.find("trace_id") == nullptr) {
+                fail("flight entry missing read_index/stage/trace_id");
+                break;
+            }
+        }
+    }
+    const mg::obs::json::Value* total = doc.find("total_ns");
+    const mg::obs::json::Value* disposition = doc.find("disposition");
+    std::printf("%s: trace dump %s, %.3f ms (%s), %zu spans, %zu flight "
+                "entries%s\n",
+                path.c_str(),
+                trace_id != nullptr && trace_id->isString()
+                    ? trace_id->text.c_str()
+                    : "?",
+                (total != nullptr && total->isNumber() ? total->number
+                                                       : 0.0) /
+                    1e6,
+                disposition != nullptr && disposition->isString()
+                    ? disposition->text.c_str()
+                    : "?",
+                span_count, flight_count, ok ? "" : " (INVALID)");
     return ok;
 }
 
@@ -509,6 +618,19 @@ verifyFile(const std::string& path, bool deep)
                     path.c_str(), doc.members.size());
         return true;
     }
+    if (endsWith(path, ".mgtrace")) {
+        mg::obs::json::Value doc = mg::obs::json::parse(
+            std::string(bytes.begin(), bytes.end()), path);
+        const mg::obs::json::Value* marker = doc.find("minigiraffe_trace");
+        if (marker == nullptr || !marker->isNumber() ||
+            marker->asUint() != 1) {
+            std::fprintf(stderr,
+                         "%s: unsupported trace schema version\n",
+                         path.c_str());
+            return false;
+        }
+        return verifyTraceDump(path, doc);
+    }
     if (endsWith(path, ".mgreq")) {
         return verifyRequestCapture(path, bytes);
     }
@@ -524,8 +646,8 @@ verifyFile(const std::string& path, bool deep)
     }
     std::fprintf(stderr,
                  "%s: unknown extension (expected .mgz, .mgz3, .bin, "
-                 ".ext, .fastq, .gfa, .json, .mgc, .mgs, .mgreq, or "
-                 ".mgresp)\n",
+                 ".ext, .fastq, .gfa, .json, .mgc, .mgs, .mgreq, "
+                 ".mgresp, or .mgtrace)\n",
                  path.c_str());
     return false;
 }

@@ -32,6 +32,8 @@
 #include "index/minimizer.h"
 #include "io/mgz.h"
 #include "obs/emitter.h"
+#include "obs/flight_recorder.h"
+#include "obs/request_trace.h"
 #include "serve/daemon.h"
 #include "serve/stop.h"
 #include "sim/input_sets.h"
@@ -105,7 +107,23 @@ try {
                  "write metrics here (.prom = Prometheus text, anything "
                  "else = JSON snapshot series)")
          .define("metrics-interval", "0",
-                 "rewrite --metrics-out every N seconds (0 = final only)");
+                 "rewrite --metrics-out every N seconds (0 = final only)")
+         .define("trace-sample", "0",
+                 "head-sampling probability for requests that arrive "
+                 "without a client trace id (0 = only client-tagged "
+                 "requests are traced)")
+         .define("trace-out", "",
+                 "write a Chrome-trace JSON of all committed request "
+                 "traces here at drain (load in Perfetto)")
+         .define("trace-exemplars", "8",
+                 "keep the N slowest traced requests as exemplars")
+         .define("trace-dump", "",
+                 "write each slow-request exemplar as "
+                 "<prefix><traceid>.mgtrace at drain (mg_verify "
+                 "validates them)")
+         .define("flight-ring", "16",
+                 "per-worker flight-recorder ring size (last N reads "
+                 "named in watchdog and crash dumps)");
     if (!flags.parse(argc - 1, argv + 1)) {
         return 0;
     }
@@ -183,6 +201,13 @@ try {
     params.indexLoadMode = load_mode;
     params.indexLoadSeconds = load_seconds;
     params.gafGenerationComment = flags.boolean("gaf-generation-comment");
+    params.traceSample = flags.real("trace-sample");
+    params.traceOut = flags.str("trace-out");
+    params.traceExemplars =
+        static_cast<size_t>(flags.integer("trace-exemplars"));
+    params.traceDumpPrefix = flags.str("trace-dump");
+    params.flightRingSize =
+        static_cast<size_t>(flags.integer("flight-ring"));
 
     // File-backed pangenomes move into the daemon (the IndexManager must
     // own the mapping so a hot swap can retire and unmap it); generated
@@ -198,6 +223,9 @@ try {
         loaded.reset();
     }
     daemon->start();
+    // Fatal signals dump every worker's flight ring (read index, stage,
+    // trace id) with async-signal-safe calls before re-raising.
+    mg::obs::installCrashHandler(&daemon->hub().flight());
     std::unique_ptr<mg::obs::MetricsEmitter> emitter;
     if (!flags.str("metrics-out").empty()) {
         emitter = std::make_unique<mg::obs::MetricsEmitter>(
@@ -278,10 +306,41 @@ try {
                     static_cast<unsigned long long>(
                         report.finalGeneration));
     }
+    if (report.tracedRequests > 0) {
+        std::printf("mgd: %llu traced requests (%llu exemplar dumps)",
+                    static_cast<unsigned long long>(report.tracedRequests),
+                    static_cast<unsigned long long>(report.traceDumps));
+        if (!params.traceOut.empty()) {
+            std::printf("; trace at %s", params.traceOut.c_str());
+        }
+        std::printf("\n");
+    }
     if (emitter) {
-        emitter->finalize(faultExtras());
+        // Stamp each stage histogram with the trace id of the slowest
+        // request seen at that stage, so the JSON snapshot links a fat
+        // tail straight to a .mgtrace / Chrome-trace exemplar.
+        const auto stage_exemplars = daemon->tracer().stageExemplars();
+        emitter->finalize(
+            faultExtras(), [&](mg::obs::Snapshot& snap) {
+                for (size_t s = 0; s < mg::obs::kSpanStages; ++s) {
+                    if (stage_exemplars[s].traceId == 0) {
+                        continue;
+                    }
+                    const std::string name =
+                        "mg_serve_stage_ns{" +
+                        mg::obs::promLabel(
+                            "stage", mg::obs::spanStageName(
+                                         static_cast<mg::obs::SpanStage>(
+                                             s))) +
+                        "}";
+                    snap.annotateExemplar(
+                        name,
+                        mg::obs::traceIdHex(stage_exemplars[s].traceId));
+                }
+            });
         std::printf("mgd: wrote %s\n", flags.str("metrics-out").c_str());
     }
+    mg::obs::installCrashHandler(nullptr);
     return 0;
 } catch (const mg::util::Error& e) {
     std::fprintf(stderr, "mgd: %s\n", e.what());

@@ -49,9 +49,11 @@ SessionResult
 MapSession::map(size_t worker, const std::vector<map::Read>& reads,
                 const resilience::WorkBudget& budget,
                 sched::HeartbeatBoard* board, obs::Hub* hub,
-                resilience::CancelToken* token)
+                resilience::CancelToken* token,
+                obs::StageAccumulator* stage_trace)
 {
     map::MapperState& state = workerState(worker, hub);
+    state.stageTrace = stage_trace;
 
     // The request's wall budget becomes one absolute deadline shared by
     // all of its reads: the Nth read does not get a fresh clock.
@@ -78,11 +80,17 @@ MapSession::map(size_t worker, const std::vector<map::Read>& reads,
         const map::Read& read = reads[i];
         util::WallTimer read_timer;
         map::MapResult mapped = mapper_.mapRead(read, state);
+        const uint64_t emit_start =
+            stage_trace != nullptr ? util::nowNanos() : 0;
         Alignment alignment =
             postProcess(read.name, mapped.extensions, params_.post);
         alignment.degraded = mapped.degraded;
         result.gaf += io::formatGafLine(alignment, read, graph_);
         result.gaf += '\n';
+        if (stage_trace != nullptr) {
+            stage_trace->add(obs::SpanStage::GafEmit,
+                             util::nowNanos() - emit_start);
+        }
         if (alignment.mapped) {
             ++result.mappedReads;
         }
@@ -102,6 +110,7 @@ MapSession::map(size_t worker, const std::vector<map::Read>& reads,
     if (board != nullptr) {
         board->endBatch(worker);
     }
+    state.stageTrace = nullptr;
     return result;
 }
 

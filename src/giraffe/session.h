@@ -80,12 +80,19 @@ class MapSession
      * cancel a stalled request cooperatively.  Without a board, `token`
      * (may be null) is used directly and never reset, which is what
      * deterministic tests want.
+     *
+     * `stage_trace` (nullable) receives the request's per-stage wall
+     * time (seed/cluster/extend from the mapper, gaf-emit from the
+     * post-process + format step) when the request is traced.  The hook
+     * is timing-only: traced and untraced requests produce byte-identical
+     * GAF.
      */
     SessionResult map(size_t worker, const std::vector<map::Read>& reads,
                       const resilience::WorkBudget& budget,
                       sched::HeartbeatBoard* board = nullptr,
                       obs::Hub* hub = nullptr,
-                      resilience::CancelToken* token = nullptr);
+                      resilience::CancelToken* token = nullptr,
+                      obs::StageAccumulator* stage_trace = nullptr);
 
     /**
      * Pre-create every worker slot's MapperState (hot-swap path: the

@@ -32,8 +32,14 @@ Mapper::mapRead(const Read& read, MapperState& state) const
 {
     SeedVector seeds;
     {
+        const uint64_t seed_start =
+            state.stageTrace != nullptr ? util::nowNanos() : 0;
         perf::ScopedRegion region(state.log, regionFindSeeds_);
         seeds = findSeeds(minimizers_, read, params_.seeding, state.tracer);
+        if (state.stageTrace != nullptr) {
+            state.stageTrace->add(obs::SpanStage::Seed,
+                                  util::nowNanos() - seed_start);
+        }
     }
     return mapFromSeeds(read, seeds, state);
 }
@@ -60,17 +66,29 @@ Mapper::mapFromSeeds(const Read& read, const SeedVector& seeds,
         state.flight->stage(obs::ReadStage::Cluster);
     }
     {
+        const uint64_t cluster_start =
+            state.stageTrace != nullptr ? util::nowNanos() : 0;
         perf::ScopedRegion region(state.log, regionCluster_);
         clusterSeedsInto(graph_, distance_, seeds, params_.cluster,
                          clusters, state.tracer);
+        if (state.stageTrace != nullptr) {
+            state.stageTrace->add(obs::SpanStage::Cluster,
+                                  util::nowNanos() - cluster_start);
+        }
     }
     result.clustersFormed = static_cast<uint32_t>(clusters.size());
     if (state.flight != nullptr) {
         state.flight->stage(obs::ReadStage::Process);
     }
     {
+        const uint64_t extend_start =
+            state.stageTrace != nullptr ? util::nowNanos() : 0;
         perf::ScopedRegion region(state.log, regionProcess_);
         processUntilThresholdC(read, seeds, clusters, state, result);
+        if (state.stageTrace != nullptr) {
+            state.stageTrace->add(obs::SpanStage::Extend,
+                                  util::nowNanos() - extend_start);
+        }
     }
     result.degraded = state.budget.reason();
     state.resilience.countDegraded(result.degraded);

@@ -214,6 +214,13 @@ class MapperState
     const obs::MapMetricIds* metricIds = nullptr;
     /** Flight-recorder ring for this worker (null when off). */
     obs::FlightRecorder::Ring* flight = nullptr;
+    /**
+     * Per-request stage-time accumulator for traced requests (null when
+     * the request is untraced).  The mapper adds the wall time of each
+     * pipeline stage (seed/cluster/extend) here; timing-only, so a
+     * traced request's GAF stays byte-identical to an untraced one.
+     */
+    obs::StageAccumulator* stageTrace = nullptr;
     PendingFunnel pending;
 
     /**

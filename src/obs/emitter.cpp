@@ -119,12 +119,16 @@ MetricsEmitter::writeOut()
 }
 
 Snapshot
-MetricsEmitter::finalize(const std::vector<MetricValue>& extras)
+MetricsEmitter::finalize(const std::vector<MetricValue>& extras,
+                         const std::function<void(Snapshot&)>& annotate)
 {
     stop();
     Snapshot snap = registry_.snapshot();
     for (const MetricValue& extra : extras) {
         snap.metrics.push_back(extra);
+    }
+    if (annotate) {
+        annotate(snap);
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -44,10 +45,13 @@ class MetricsEmitter
 
     /**
      * Take the final snapshot, append `extras` (label-bearing counters
-     * only known at end of run, e.g. fault-site fire counts), stop the
-     * thread, and write the file.  Returns the final snapshot.
+     * only known at end of run, e.g. fault-site fire counts), apply
+     * `annotate` (e.g. stamping trace-id exemplars onto histograms),
+     * stop the thread, and write the file.  Returns the final snapshot.
      */
-    Snapshot finalize(const std::vector<MetricValue>& extras = {});
+    Snapshot
+    finalize(const std::vector<MetricValue>& extras = {},
+             const std::function<void(Snapshot&)>& annotate = {});
 
     /** Snapshots taken so far (periodic ticks + final). */
     size_t snapshotCount() const;

@@ -1,6 +1,7 @@
 #include "obs/flight_recorder.h"
 
 #include <csignal>
+#include <cstdio>
 #include <ctime>
 #include <unistd.h>
 
@@ -32,6 +33,8 @@ FlightRecorder::Ring::begin(uint64_t read_index)
     Slot& slot = slots_[head % slots_.size()];
     slot.readIndex.store(read_index, std::memory_order_relaxed);
     slot.enterNanos.store(util::nowNanos(), std::memory_order_relaxed);
+    slot.traceId.store(currentTrace_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
     slot.stage.store(static_cast<uint8_t>(ReadStage::Start),
                      std::memory_order_relaxed);
     head_.store(head + 1, std::memory_order_release);
@@ -89,6 +92,12 @@ formatFlightEntries(const std::vector<FlightEntry>& entries,
         out += std::to_string(entry.readIndex);
         out += " stage=";
         out += stageName(entry.stage);
+        if (entry.traceId != 0) {
+            char trace[32];
+            std::snprintf(trace, sizeof(trace), " trace=0x%016llx",
+                          static_cast<unsigned long long>(entry.traceId));
+            out += trace;
+        }
         out += entry.stage == ReadStage::Done ? " finished " : " for ";
         out += stats::formatNanos(static_cast<double>(age));
         out += entry.stage == ReadStage::Done ? " ago\n" : "\n";
@@ -172,6 +181,19 @@ rawWriteUint(uint64_t value)
     rawWrite(buf + pos, sizeof(buf) - pos);
 }
 
+/** Hand-rolled 0x-prefixed hex (trace ids in the crash dump). */
+void
+rawWriteHex(uint64_t value)
+{
+    char buf[18] = {'0', 'x'};
+    for (int i = 0; i < 16; ++i) {
+        uint64_t nibble = (value >> (60 - 4 * i)) & 0xF;
+        buf[2 + i] = static_cast<char>(
+            nibble < 10 ? '0' + nibble : 'a' + (nibble - 10));
+    }
+    rawWrite(buf, sizeof(buf));
+}
+
 void
 crashHandler(int sig)
 {
@@ -200,6 +222,10 @@ crashHandler(int sig)
                 rawWriteUint(w);
                 rawWrite(" read ");
                 rawWriteUint(entry.readIndex);
+                if (entry.traceId != 0) {
+                    rawWrite(" trace ");
+                    rawWriteHex(entry.traceId);
+                }
                 rawWrite(" stage ");
                 rawWrite(stageName(entry.stage));
                 rawWrite(" entered ");

@@ -45,6 +45,8 @@ struct FlightEntry
     uint64_t readIndex = 0;
     ReadStage stage = ReadStage::Idle;
     uint64_t stageEnterNanos = 0;
+    /** Request trace id the read belonged to (0 = untraced). */
+    uint64_t traceId = 0;
 };
 
 class FlightRecorder
@@ -60,6 +62,17 @@ class FlightRecorder
 
         /** Start tracking a read: claims the next slot. */
         void begin(uint64_t read_index);
+
+        /**
+         * Attribute subsequent begin() calls to a request trace id
+         * (0 = untraced).  Set once per request by the serving layer so
+         * stall and crash dumps name the trace, not just the read.
+         */
+        void
+        setTrace(uint64_t trace_id)
+        {
+            currentTrace_.store(trace_id, std::memory_order_relaxed);
+        }
 
         /** Record a stage change for the read begin() last claimed. */
         void stage(ReadStage s);
@@ -94,6 +107,7 @@ class FlightRecorder
                 slot.stage.load(std::memory_order_relaxed));
             entry.stageEnterNanos =
                 slot.enterNanos.load(std::memory_order_relaxed);
+            entry.traceId = slot.traceId.load(std::memory_order_relaxed);
             return entry;
         }
 
@@ -104,10 +118,12 @@ class FlightRecorder
             std::atomic<uint8_t> stage{
                 static_cast<uint8_t>(ReadStage::Idle)};
             std::atomic<uint64_t> enterNanos{0};
+            std::atomic<uint64_t> traceId{0};
         };
 
         std::vector<Slot> slots_;
-        std::atomic<uint64_t> head_{0}; // total begin() calls
+        std::atomic<uint64_t> head_{0};         // total begin() calls
+        std::atomic<uint64_t> currentTrace_{0}; // stamped into begin()
     };
 
     explicit FlightRecorder(size_t workers,

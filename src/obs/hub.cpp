@@ -133,12 +133,21 @@ Hub::Hub(size_t workers, const std::vector<std::string>& serve_tenants,
     serve_.reloadLatency =
         registry_.histogram("mg_serve_reload_latency_ns",
                             "Wall time of successful swaps");
+    for (size_t s = 0; s < kSpanStages; ++s) {
+        serve_.stageNanos[s] = registry_.histogram(
+            "mg_serve_stage_ns{" +
+                promLabel("stage",
+                          spanStageName(static_cast<SpanStage>(s))) +
+                "}",
+            "Per-stage time of traced requests");
+    }
     serve_.tenants = serve_tenants;
     serve_.perTenant.reserve(serve_tenants.size());
     for (const std::string& tenant : serve_tenants) {
         ServeTenantMetricIds ids;
         auto named = [&tenant](const char* stem) {
-            return std::string(stem) + "{tenant=\"" + tenant + "\"}";
+            return std::string(stem) + "{" + promLabel("tenant", tenant) +
+                   "}";
         };
         ids.accepted = registry_.counter(
             named("mg_serve_accepted_total"),

@@ -20,8 +20,11 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 
 namespace mg::obs {
 
@@ -121,6 +124,9 @@ struct ServeMetricIds
     CounterId generationsRetired;
     /** Wall time of successful swaps, load-to-publish. */
     HistogramId reloadLatency;
+    /** Per-stage request time, one labelled histogram per SpanStage
+     *  (`mg_serve_stage_ns{stage="..."}`), fed by traced requests. */
+    std::array<HistogramId, kSpanStages> stageNanos;
 };
 
 class Hub

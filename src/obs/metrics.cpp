@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "obs/json.h"
 #include "util/common.h"
@@ -104,6 +105,17 @@ Snapshot::addCounter(std::string name, std::string help, uint64_t value)
     m.kind = MetricKind::Counter;
     m.value = value;
     metrics.push_back(std::move(m));
+}
+
+void
+Snapshot::annotateExemplar(std::string_view name, std::string exemplar)
+{
+    for (MetricValue& m : metrics) {
+        if (m.name == name) {
+            m.exemplar = std::move(exemplar);
+            return;
+        }
+    }
 }
 
 // ---------------------------------------------------------------- Registry
@@ -266,31 +278,84 @@ appendPromLine(std::string& out, const std::string& base,
     out += '\n';
 }
 
+/** HELP text escaping per the exposition format: backslash and newline. */
+std::string
+escapeHelp(const std::string& help)
+{
+    std::string out;
+    out.reserve(help.size());
+    for (char c : help) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
 } // namespace
+
+std::string
+promEscapeLabelValue(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '"') {
+            out += "\\\"";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+promLabel(std::string_view key, std::string_view value)
+{
+    std::string out(key);
+    out += "=\"";
+    out += promEscapeLabelValue(value);
+    out += '"';
+    return out;
+}
 
 std::string
 toPrometheus(const Snapshot& snapshot)
 {
     std::string out;
-    // TYPE/HELP must appear once per base name; label-bearing series of
-    // one family share the header.
-    std::string last_base;
+    // The exposition format requires all series of one family to appear
+    // as a single group under one HELP/TYPE header.  Registration order
+    // interleaves families (per-tenant metrics register tenant by
+    // tenant), so group by base name first — first-appearance order —
+    // instead of trusting snapshot order.
+    std::vector<std::string> family_order;
+    std::unordered_map<std::string, std::vector<const MetricValue*>>
+        families;
     for (const MetricValue& m : snapshot.metrics) {
         std::string base;
         std::string labels;
         splitLabels(m.name, base, labels);
-        if (base != last_base) {
-            if (!m.help.empty()) {
-                out += "# HELP " + base + " " + m.help + "\n";
-            }
-            out += "# TYPE " + base + " ";
-            out += metricKindName(m.kind);
-            out += '\n';
-            last_base = base;
+        auto it = families.find(base);
+        if (it == families.end()) {
+            family_order.push_back(base);
+            it = families.emplace(base, std::vector<const MetricValue*>{})
+                     .first;
         }
+        it->second.push_back(&m);
+    }
+    auto emitSeries = [&out](const MetricValue& m, const std::string& base,
+                             const std::string& labels) {
         if (m.kind != MetricKind::Histogram) {
             appendPromLine(out, base, labels, "", "", m.value);
-            continue;
+            return;
         }
         const auto& buckets = m.hist.rawBuckets();
         int top = stats::LatencyHistogram::kBuckets - 1;
@@ -315,6 +380,26 @@ toPrometheus(const Snapshot& snapshot)
                        m.hist.count());
         appendPromLine(out, base, labels, "_sum", "", m.hist.sumNanos());
         appendPromLine(out, base, labels, "_count", "", m.hist.count());
+    };
+    for (const std::string& family : family_order) {
+        bool header_done = false;
+        for (const MetricValue* series : families[family]) {
+            const MetricValue& m = *series;
+            std::string base;
+            std::string labels;
+            splitLabels(m.name, base, labels);
+            if (!header_done) {
+                if (!m.help.empty()) {
+                    out +=
+                        "# HELP " + base + " " + escapeHelp(m.help) + "\n";
+                }
+                out += "# TYPE " + base + " ";
+                out += metricKindName(m.kind);
+                out += '\n';
+                header_done = true;
+            }
+            emitSeries(m, base, labels);
+        }
     }
     return out;
 }
@@ -348,6 +433,9 @@ appendSnapshotJson(JsonWriter& w, const Snapshot& snap)
             w.endArray();
         } else {
             w.field("value", m.value);
+        }
+        if (!m.exemplar.empty()) {
+            w.field("exemplar", m.exemplar);
         }
         w.endObject();
     }

@@ -71,6 +71,9 @@ struct MetricValue
     MetricKind kind = MetricKind::Counter;
     uint64_t value = 0;             // counter / gauge
     stats::LatencyHistogram hist;   // histogram
+    /** Optional trace-id exemplar ("0x…"), carried into the JSON
+     *  snapshot so a histogram can name the request that dominated it. */
+    std::string exemplar;
 };
 
 /** Point-in-time aggregation over all thread slabs. */
@@ -97,6 +100,9 @@ struct Snapshot
      * labels is only known after the run).
      */
     void addCounter(std::string name, std::string help, uint64_t value);
+
+    /** Attach a trace-id exemplar to the named metric (no-op if absent). */
+    void annotateExemplar(std::string_view name, std::string exemplar);
 };
 
 class Registry
@@ -242,10 +248,24 @@ class Registry
 };
 
 /**
+ * Escape a label value per the Prometheus text-format spec: backslash,
+ * double quote, and newline become \\, \" and \n.
+ */
+std::string promEscapeLabelValue(std::string_view value);
+
+/**
+ * Bake one label into a metric name suffix: `key="value"` with the value
+ * escaped.  Registration sites compose these so exposition never has to
+ * re-parse (or guess at) embedded quoting.
+ */
+std::string promLabel(std::string_view key, std::string_view value);
+
+/**
  * Prometheus text exposition of one snapshot.  Histogram buckets are
  * cumulative with `le` bounds in nanoseconds (metric names carry a _ns
  * suffix to make the unit explicit).  Names may embed labels
- * ("name{site=\"x\"}"); HELP/TYPE lines use the base name.
+ * ("name{site=\"x\"}"); HELP/TYPE lines use the base name, with HELP
+ * text escaped per the spec (backslash and newline).
  */
 std::string toPrometheus(const Snapshot& snapshot);
 

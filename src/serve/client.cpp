@@ -171,6 +171,43 @@ Client::reload(const std::string& path, Response& out)
 }
 
 util::Status
+Client::queryStats(Response& out)
+{
+    util::Status status = ensureConnected();
+    if (!status.ok()) {
+        return status;
+    }
+    ControlRequest control;
+    control.id = nextId();
+    control.op = ControlOp::Stats;
+    std::vector<uint8_t> payload = encodeControl(control);
+    if (!params_.capturePrefix.empty()) {
+        capture(params_.capturePrefix + ".mgreq", payload);
+    }
+    status = writeFrame(fd_, payload);
+    if (!status.ok()) {
+        disconnect();
+        return status;
+    }
+    ++stats_.sent;
+    std::vector<uint8_t> reply;
+    status = readFrame(fd_, reply);
+    if (!status.ok()) {
+        disconnect();
+        return status;
+    }
+    util::Status decoded = decodeResponse(reply, out);
+    if (!decoded.ok()) {
+        disconnect();
+        return decoded;
+    }
+    if (!params_.capturePrefix.empty()) {
+        capture(params_.capturePrefix + ".mgresp", reply);
+    }
+    return util::Status{};
+}
+
+util::Status
 Client::mapReads(const std::string& tenant,
                  const std::vector<map::Read>& reads,
                  const resilience::WorkBudget& budget, Response& out)
@@ -185,6 +222,15 @@ Client::mapReads(const std::string& tenant,
     request.maxExtendSteps = budget.maxExtendSteps;
     request.maxGbwtLookups = budget.maxGbwtLookups;
     request.reads = reads;
+    if (params_.traceSample > 0.0 && rng_.chance(params_.traceSample)) {
+        // Mint a nonzero trace id.  It stays stable across retries: the
+        // retried call is the same logical request, and the trace should
+        // show every attempt under one id.
+        do {
+            request.traceId = rng_.next();
+        } while (request.traceId == 0);
+        ++stats_.traced;
+    }
 
     for (uint32_t attempt = 0; attempt < params_.maxAttempts; ++attempt) {
         util::Status status = call(request, out);
@@ -218,6 +264,7 @@ Client::mapReads(const std::string& tenant,
                 return util::Status{};
               case ResponseStatus::ReloadOk:
               case ResponseStatus::ReloadRejected:
+              case ResponseStatus::StatsOk:
                 // A control response to a map request is a protocol
                 // violation from the server; treat as Error.
                 ++stats_.errors;

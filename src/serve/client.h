@@ -37,6 +37,14 @@ struct ClientParams
     uint64_t seed = 1;
     /** When non-empty, capture frames to <prefix>.mgreq / .mgresp. */
     std::string capturePrefix;
+    /**
+     * Probability that mapReads tags a request with a client-minted
+     * trace id (0 = never, 1 = every request).  A traced request keeps
+     * the same trace id across its retries — the retries are the same
+     * logical request — and its response echoes the id plus the
+     * daemon's queue/map stage attribution.
+     */
+    double traceSample = 0.0;
 };
 
 /** What a client saw across its lifetime (loadgen reporting). */
@@ -56,6 +64,8 @@ struct ClientStats
     /** RELOAD control calls accepted / rejected by the server. */
     uint64_t reloadsOk = 0;
     uint64_t reloadsRejected = 0;
+    /** Requests sent with a client-minted trace id. */
+    uint64_t traced = 0;
 };
 
 class Client
@@ -90,6 +100,14 @@ class Client
      * (ReloadRejected, `out.message` carries the reason).
      */
     util::Status reload(const std::string& path, Response& out);
+
+    /**
+     * Fetch the daemon's live introspection snapshot (one unretried
+     * STATS control round trip).  On Ok, `out.status` is StatsOk and
+     * `out.message` carries the JSON (queue depths, per-tenant load,
+     * worker heartbeats, stage latencies, slowest in-flight traces).
+     */
+    util::Status queryStats(Response& out);
 
     const ClientStats& stats() const { return stats_; }
     uint64_t nextId() { return nextId_++; }

@@ -9,6 +9,7 @@
 
 #include "fault/fault.h"
 #include "io/fd.h"
+#include "obs/json.h"
 #include "util/common.h"
 #include "util/timer.h"
 
@@ -23,6 +24,22 @@ defaultTenants()
     TenantConfig config;
     config.name = "default";
     return { config };
+}
+
+const char*
+daemonStateName(DaemonState state)
+{
+    switch (state) {
+      case DaemonState::Idle:
+        return "idle";
+      case DaemonState::Running:
+        return "running";
+      case DaemonState::Draining:
+        return "draining";
+      case DaemonState::Stopped:
+        return "stopped";
+    }
+    return "?";
 }
 
 std::vector<std::string>
@@ -54,7 +71,8 @@ Daemon::Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
       hub_(std::make_unique<obs::Hub>(
           params_.workers + 1,
           tenantNames(params_.tenants.empty() ? defaultTenants()
-                                              : params_.tenants))),
+                                              : params_.tenants),
+          params_.flightRingSize)),
       board_(params_.workers)
 {
     MG_CHECK(params_.workers > 0, "daemon needs at least one worker");
@@ -74,6 +92,7 @@ Daemon::Daemon(const graph::VariationGraph& graph, const gbwt::Gbwt& gbwt,
     watchdog_ =
         std::make_unique<sched::Watchdog>(board_, params_.watchdogParams);
     watchdog_->attachFlightRecorder(&hub_->flight());
+    initTracing();
 }
 
 Daemon::Daemon(io::IndexedPangenome&& pangenome, std::string source,
@@ -82,7 +101,8 @@ Daemon::Daemon(io::IndexedPangenome&& pangenome, std::string source,
       hub_(std::make_unique<obs::Hub>(
           params_.workers + 1,
           tenantNames(params_.tenants.empty() ? defaultTenants()
-                                              : params_.tenants))),
+                                              : params_.tenants),
+          params_.flightRingSize)),
       board_(params_.workers)
 {
     MG_CHECK(params_.workers > 0, "daemon needs at least one worker");
@@ -103,6 +123,37 @@ Daemon::Daemon(io::IndexedPangenome&& pangenome, std::string source,
     watchdog_ =
         std::make_unique<sched::Watchdog>(board_, params_.watchdogParams);
     watchdog_->attachFlightRecorder(&hub_->flight());
+    initTracing();
+}
+
+void
+Daemon::initTracing()
+{
+    obs::RequestTracer::Params tracer_params;
+    tracer_params.lanes = params_.workers;
+    tracer_params.sampleRate = params_.traceSample;
+    tracer_params.exemplars = params_.traceExemplars;
+    tracer_ = std::make_unique<obs::RequestTracer>(tracer_params);
+    tenantEwmaNanos_ =
+        std::make_unique<std::atomic<uint64_t>[]>(params_.tenants.size());
+    for (size_t t = 0; t < params_.tenants.size(); ++t) {
+        tenantEwmaNanos_[t].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Daemon::commitTrace(size_t lane, obs::TraceContext&& ctx,
+                    std::string_view disposition,
+                    obs::Registry::ThreadSlab* slab)
+{
+    ctx.endNanos = util::nowNanos();
+    ctx.disposition = std::string(disposition);
+    const obs::ServeMetricIds& serve = hub_->serve();
+    for (const obs::Span& span : ctx.spans) {
+        slab->observe(serve.stageNanos[static_cast<size_t>(span.stage)],
+                      span.endNanos - span.beginNanos);
+    }
+    tracer_->commit(lane, std::move(ctx));
 }
 
 Daemon::~Daemon()
@@ -193,13 +244,15 @@ Daemon::readerLoop(std::shared_ptr<Connection> conn)
     std::vector<uint8_t> payload;
     while (conn->open.load()) {
         util::Status status;
+        uint64_t frame_arrival = 0;
         try {
-            status = readFrame(conn->fd, payload);
+            status = readFrame(conn->fd, payload, &frame_arrival);
         } catch (const util::Error&) {
             // Injected serve.read throw: treat like an I/O failure.
             closeConnection(*conn);
             break;
         }
+        const uint64_t accept_end = util::nowNanos();
         if (!status.ok()) {
             if (isCleanEof(status) ||
                 status.code == util::StatusCode::IoError) {
@@ -243,6 +296,7 @@ Daemon::readerLoop(std::shared_ptr<Connection> conn)
         }
         Request request;
         util::Status decoded = decodeRequest(payload, request);
+        const uint64_t decode_end = util::nowNanos();
         if (!decoded.ok()) {
             controlSlab()->add(hub_->serve().badFrames);
             Response error;
@@ -253,7 +307,8 @@ Daemon::readerLoop(std::shared_ptr<Connection> conn)
             break;
         }
         try {
-            handleRequest(conn, std::move(request));
+            handleRequest(conn, std::move(request), frame_arrival,
+                          accept_end, decode_end);
         } catch (const util::Error& err) {
             // Nothing past this point may kill the daemon; answer and
             // keep serving the connection.
@@ -270,6 +325,15 @@ void
 Daemon::handleControl(std::shared_ptr<Connection>& conn,
                       ControlRequest&& control)
 {
+    if (control.op == ControlOp::Stats) {
+        Response response;
+        response.id = control.id;
+        response.status = ResponseStatus::StatsOk;
+        response.generation = index_->generation();
+        response.message = statsJson();
+        respond(*conn, response);
+        return;
+    }
     Response response;
     response.id = control.id;
     SwapOutcome outcome = reloadIndex(control.path);
@@ -312,6 +376,124 @@ Daemon::reloadIndex(const std::string& path)
     return outcome;
 }
 
+std::string
+Daemon::statsJson()
+{
+    const uint64_t now = util::nowNanos();
+    obs::Snapshot snap = hub_->registry().snapshot();
+    const obs::ServeMetricIds& serve = hub_->serve();
+    const std::array<obs::RequestTracer::StageExemplar, obs::kSpanStages>
+        stage_exemplars = tracer_->stageExemplars();
+
+    obs::JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("minigiraffe_stats", uint64_t{1});
+    w.field("state", daemonStateName(state_.load()));
+    w.field("now_ns", now);
+    w.field("generation", index_->generation());
+    w.field("publishing", index_->publishing());
+    w.field("reloads", snap.valueOf("mg_serve_reloads_total"));
+    w.field("reloads_rejected",
+            snap.valueOf("mg_serve_reloads_rejected_total"));
+    w.field("generations_retired",
+            snap.valueOf("mg_serve_generations_retired_total"));
+
+    w.key("queue").beginObject();
+    w.field("depth", static_cast<uint64_t>(queue_->depth()));
+    w.field("capacity", static_cast<uint64_t>(queue_->capacity()));
+    w.field("in_flight", static_cast<uint64_t>(queue_->inFlight()));
+    w.field("peak_depth", static_cast<uint64_t>(queue_->peakDepth()));
+    w.endObject();
+
+    const std::vector<TenantLoad> loads = queue_->tenantLoads();
+    w.key("tenants").beginArray();
+    for (size_t t = 0; t < serve.tenants.size(); ++t) {
+        const std::string& name = serve.tenants[t];
+        auto named = [&name](const char* stem) {
+            return std::string(stem) + "{" + obs::promLabel("tenant", name) +
+                   "}";
+        };
+        w.beginObject();
+        w.field("name", name);
+        w.field("queued", static_cast<uint64_t>(
+                              t < loads.size() ? loads[t].queued : 0));
+        w.field("in_flight", static_cast<uint64_t>(
+                                 t < loads.size() ? loads[t].inFlight : 0));
+        w.field("accepted", snap.valueOf(named("mg_serve_accepted_total")));
+        w.field("completed",
+                snap.valueOf(named("mg_serve_completed_total")));
+        w.field("shed", snap.valueOf(named("mg_serve_shed_total")));
+        w.field("deadline_shed",
+                snap.valueOf(named("mg_serve_deadline_shed_total")));
+        w.field("errors", snap.valueOf(named("mg_serve_errors_total")));
+        w.field("ewma_service_ns",
+                tenantEwmaNanos_[t].load(std::memory_order_relaxed));
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("workers").beginArray();
+    for (size_t wk = 0; wk < params_.workers; ++wk) {
+        const uint64_t beat =
+            board_.slot(wk).beatNanos.load(std::memory_order_acquire);
+        w.beginObject();
+        w.field("worker", static_cast<uint64_t>(wk));
+        w.field("busy", beat != 0);
+        w.field("heartbeat_age_ns",
+                beat != 0 && now > beat ? now - beat : uint64_t{0});
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("stages").beginArray();
+    for (size_t s = 0; s < obs::kSpanStages; ++s) {
+        const auto stage = static_cast<obs::SpanStage>(s);
+        const std::string metric_name =
+            std::string("mg_serve_stage_ns{") +
+            obs::promLabel("stage", obs::spanStageName(stage)) + "}";
+        const obs::MetricValue* m = snap.find(metric_name);
+        w.beginObject();
+        w.field("stage", obs::spanStageName(stage));
+        if (m != nullptr) {
+            w.field("count", m->hist.count());
+            w.field("sum_ns", m->hist.sumNanos());
+            w.field("mean_ns",
+                    static_cast<uint64_t>(m->hist.meanNanos()));
+            w.field("p50_ns", static_cast<uint64_t>(m->hist.p50()));
+            w.field("p99_ns", static_cast<uint64_t>(m->hist.p99()));
+        }
+        if (stage_exemplars[s].traceId != 0) {
+            w.field("exemplar",
+                    obs::traceIdHex(stage_exemplars[s].traceId));
+            w.field("exemplar_ns", stage_exemplars[s].nanos);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("slowest_in_flight").beginArray();
+    for (const obs::RequestTracer::InFlightEntry& entry :
+         tracer_->inFlight()) {
+        w.beginObject();
+        w.field("worker", static_cast<uint64_t>(entry.lane));
+        w.field("trace", obs::traceIdHex(entry.traceId));
+        w.field("age_ns",
+                now > entry.beginNanos ? now - entry.beginNanos
+                                       : uint64_t{0});
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("trace").beginObject();
+    w.field("sample_rate", params_.traceSample);
+    w.field("committed", tracer_->committedTotal());
+    w.field("dropped_spans", tracer_->droppedSpans());
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
 void
 Daemon::accountRetired()
 {
@@ -328,7 +510,8 @@ Daemon::accountRetired()
 
 void
 Daemon::handleRequest(std::shared_ptr<Connection>& conn,
-                      Request&& request)
+                      Request&& request, uint64_t frame_arrival_nanos,
+                      uint64_t accept_end_nanos, uint64_t decode_end_nanos)
 {
     const obs::ServeMetricIds& serve = hub_->serve();
     obs::Registry::ThreadSlab* slab = controlSlab();
@@ -347,6 +530,29 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
     }
     const obs::ServeTenantMetricIds& ids = serve.perTenant[tenant];
 
+    // Trace decision: a client-tagged request is always traced; an
+    // untagged one is traced when it wins the head-sampling coin flip
+    // (the daemon mints its id and echoes it in the response).
+    std::unique_ptr<obs::TraceContext> trace;
+    if (request.traceId != 0 ||
+        (params_.traceSample > 0.0 && tracer_->sampleHead())) {
+        trace = std::make_unique<obs::TraceContext>();
+        trace->traceId =
+            request.traceId != 0 ? request.traceId : tracer_->mint();
+        request.traceId = trace->traceId;
+        trace->tenant = queue_->tenant(tenant).name;
+        const auto reader_lane =
+            static_cast<uint32_t>(tracer_->controlLane());
+        const uint64_t arrival = frame_arrival_nanos != 0
+                                     ? frame_arrival_nanos
+                                     : accept_end_nanos;
+        trace->beginNanos = arrival;
+        trace->span(obs::SpanStage::Accept, reader_lane, arrival,
+                    accept_end_nanos);
+        trace->span(obs::SpanStage::Decode, reader_lane, accept_end_nanos,
+                    decode_end_nanos);
+    }
+
     if (request.reads.size() > params_.maxReadsPerRequest) {
         slab->add(ids.errors);
         Response error;
@@ -356,6 +562,11 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
         error.message =
             util::cat("request carries ", request.reads.size(),
                       " reads; limit is ", params_.maxReadsPerRequest);
+        if (trace) {
+            error.traceId = trace->traceId;
+            commitTrace(tracer_->controlLane(), std::move(*trace),
+                        "error", slab);
+        }
         respond(*conn, error);
         return;
     }
@@ -367,6 +578,11 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
         shutdown.status = ResponseStatus::ShuttingDown;
         shutdown.generation = index_->generation();
         shutdown.retryAfterMillis = params_.retryBaseMillis;
+        if (trace) {
+            shutdown.traceId = trace->traceId;
+            commitTrace(tracer_->controlLane(), std::move(*trace),
+                        "shutting-down", slab);
+        }
         respond(*conn, shutdown);
         return;
     }
@@ -380,7 +596,13 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
     // pin refuses instead of racing the flip; those admissions get a
     // RETRY_AFTER whose hint grows with consecutive refusals, so clients
     // back off a stretched publish instead of hammering it.
+    const uint64_t pin_start = trace ? util::nowNanos() : 0;
     IndexManager::Handle handle = index_->pin();
+    if (trace) {
+        trace->span(obs::SpanStage::GenerationPin,
+                    static_cast<uint32_t>(tracer_->controlLane()),
+                    pin_start, util::nowNanos());
+    }
     if (!handle) {
         uint32_t rejects =
             publishRejects_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -393,6 +615,11 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
         retry.status = ResponseStatus::RetryAfter;
         retry.generation = index_->generation();
         retry.retryAfterMillis = params_.retryBaseMillis * rejects;
+        if (trace) {
+            retry.traceId = trace->traceId;
+            commitTrace(tracer_->controlLane(), std::move(*trace),
+                        "retry-after", slab);
+        }
         respond(*conn, retry);
         return;
     }
@@ -402,6 +629,9 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
     job.conn = conn;
     uint64_t id = request.id;
     const uint64_t generation = handle->number;
+    if (trace) {
+        trace->generation = generation;
+    }
     job.request = std::move(request);
     job.tenant = tenant;
     job.admittedNanos = util::nowNanos();
@@ -410,6 +640,13 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
             ? job.admittedNanos + job.request.deadlineMicros * 1000
             : 0;
     job.handle = std::move(handle);
+    job.trace = std::move(trace);
+    // tryPush destroys the job on rejection, trace and all; a cheap copy
+    // of the context (a handful of spans) keeps the shed committable.
+    obs::TraceContext rejected_copy;
+    if (job.trace) {
+        rejected_copy = *job.trace;
+    }
     AdmissionVerdict verdict = queue_->tryPush(tenant, std::move(job));
     if (verdict.admitted()) {
         slab->add(ids.accepted);
@@ -424,6 +661,14 @@ Daemon::handleRequest(std::shared_ptr<Connection>& conn,
                       : ResponseStatus::RetryAfter;
     shed.generation = generation;
     shed.retryAfterMillis = verdict.retryAfterMillis;
+    if (rejected_copy.traceId != 0) {
+        shed.traceId = rejected_copy.traceId;
+        commitTrace(tracer_->controlLane(), std::move(rejected_copy),
+                    verdict.outcome == Admission::Closed
+                        ? "shutting-down"
+                        : "retry-after",
+                    slab);
+    }
     respond(*conn, shed);
 }
 
@@ -433,11 +678,12 @@ Daemon::workerLoop(size_t worker)
     Job job;
     size_t tenant = 0;
     while (queue_->pop(job, tenant)) {
+        const uint64_t popped = util::nowNanos();
         // SLO sweep: queued requests whose client deadline can no longer
         // be met are answered DEADLINE_SHED now, not mapped later.
         shedExpiredJobs(worker);
         try {
-            processJob(worker, job);
+            processJob(worker, job, popped);
         } catch (const util::Error& err) {
             hub_->slab(worker)->add(
                 hub_->serve().perTenant[tenant].errors);
@@ -446,12 +692,24 @@ Daemon::workerLoop(size_t worker)
             error.status = ResponseStatus::Error;
             error.generation = job.handle ? job.handle->number : 0;
             error.message = err.what();
+            if (job.trace) {
+                // The mapping threw mid-request: unwind the in-flight
+                // marks and keep the partial span tree with an error
+                // disposition.
+                hub_->flight().ring(worker)->setTrace(0);
+                tracer_->endInFlight(worker);
+                error.traceId = job.trace->traceId;
+                commitTrace(worker, std::move(*job.trace), "error",
+                            hub_->slab(worker));
+                job.trace.reset();
+            }
             respond(*job.conn, error);
         }
         // Drop the pin before blocking on the next pop: an idle worker
         // must not keep a retired generation's arenas mapped.
         job.conn.reset();
         job.handle.reset();
+        job.trace.reset();
         queue_->complete(tenant);
     }
 }
@@ -480,6 +738,18 @@ Daemon::shedExpiredJobs(size_t worker)
         response.id = job.request.id;
         response.status = ResponseStatus::DeadlineShed;
         response.generation = job.handle ? job.handle->number : 0;
+        if (job.trace) {
+            // The request died in the queue; close its span tree with the
+            // wait it actually endured.  The sweep runs on this worker's
+            // thread, so committing through its lane is single-writer.
+            job.trace->span(obs::SpanStage::QueueWait,
+                            static_cast<uint32_t>(tracer_->controlLane()),
+                            job.admittedNanos, now);
+            response.traceId = job.trace->traceId;
+            commitTrace(worker, std::move(*job.trace), "deadline-shed",
+                        slab);
+            job.trace.reset();
+        }
         respond(*job.conn, response);
         job.conn.reset();
         job.handle.reset();
@@ -487,13 +757,25 @@ Daemon::shedExpiredJobs(size_t worker)
 }
 
 void
-Daemon::processJob(size_t worker, Job& job)
+Daemon::processJob(size_t worker, Job& job, uint64_t popped_nanos)
 {
     const obs::ServeMetricIds& serve = hub_->serve();
     const obs::ServeTenantMetricIds& ids = serve.perTenant[job.tenant];
     obs::Registry::ThreadSlab* slab = hub_->slab(worker);
 
     const uint64_t generation = job.handle->number;
+    obs::TraceContext* trace = job.trace.get();
+    const auto lane = static_cast<uint32_t>(worker);
+    const uint64_t queue_wait =
+        popped_nanos > job.admittedNanos ? popped_nanos - job.admittedNanos
+                                         : 0;
+    if (trace != nullptr) {
+        // The queue-wait span lands on the worker's track: it is the
+        // first span of the request's worker-side life, and the flow
+        // arrow from the reader track attaches to it.
+        trace->span(obs::SpanStage::QueueWait, lane, job.admittedNanos,
+                    popped_nanos);
+    }
 
     // Past the drain deadline, queued work is shed, not mapped: the
     // drain contract is "finish or degrade within the deadline", and
@@ -507,6 +789,12 @@ Daemon::processJob(size_t worker, Job& job)
         shed.status = ResponseStatus::ShuttingDown;
         shed.generation = generation;
         shed.retryAfterMillis = params_.retryBaseMillis;
+        if (trace != nullptr) {
+            shed.traceId = trace->traceId;
+            shed.queueNanos = queue_wait;
+            commitTrace(worker, std::move(*job.trace), "drain-shed", slab);
+            job.trace.reset();
+        }
         respond(*job.conn, shed);
         return;
     }
@@ -519,21 +807,66 @@ Daemon::processJob(size_t worker, Job& job)
         shed.id = job.request.id;
         shed.status = ResponseStatus::DeadlineShed;
         shed.generation = generation;
+        if (trace != nullptr) {
+            shed.traceId = trace->traceId;
+            shed.queueNanos = queue_wait;
+            commitTrace(worker, std::move(*job.trace), "deadline-shed",
+                        slab);
+            job.trace.reset();
+        }
         respond(*job.conn, shed);
         return;
+    }
+
+    obs::StageAccumulator stage_nanos;
+    if (trace != nullptr) {
+        // While this request maps, the flight recorder attributes its
+        // reads to the trace id and the in-flight table names it — so
+        // watchdog cancels, crash dumps, and mg_top all say which
+        // *request* was on the table, not just which read.
+        hub_->flight().ring(worker)->setTrace(trace->traceId);
+        tracer_->beginInFlight(worker, trace->traceId, trace->beginNanos);
     }
 
     resilience::WorkBudget budget =
         requestBudget(job.request, params_.maxBudget);
     const uint64_t map_start = util::nowNanos();
     giraffe::SessionResult result = job.handle->session->map(
-        worker, job.request.reads, budget, &board_, hub_.get());
-    const uint64_t service = util::nowNanos() - map_start;
+        worker, job.request.reads, budget, &board_, hub_.get(), nullptr,
+        trace != nullptr ? &stage_nanos : nullptr);
+    const uint64_t map_end = util::nowNanos();
+    const uint64_t service = map_end - map_start;
     const uint64_t prev =
         serviceEwmaNanos_.load(std::memory_order_relaxed);
     serviceEwmaNanos_.store(
         prev == 0 ? service : (7 * prev + service) / 8,
         std::memory_order_relaxed);
+    std::atomic<uint64_t>& tenant_ewma = tenantEwmaNanos_[job.tenant];
+    const uint64_t tenant_prev =
+        tenant_ewma.load(std::memory_order_relaxed);
+    tenant_ewma.store(tenant_prev == 0 ? service
+                                       : (7 * tenant_prev + service) / 8,
+                      std::memory_order_relaxed);
+
+    if (trace != nullptr) {
+        // The mapping stages were accumulated across the request's reads;
+        // lay them end to end inside the map window so the trace shows
+        // where the request's mapping time went without a span per read.
+        uint64_t at = map_start;
+        constexpr obs::SpanStage kMapStages[] = {
+            obs::SpanStage::Seed, obs::SpanStage::Cluster,
+            obs::SpanStage::Extend, obs::SpanStage::GafEmit
+        };
+        for (obs::SpanStage stage : kMapStages) {
+            const uint64_t ns =
+                stage_nanos.nanos[static_cast<size_t>(stage)];
+            if (ns == 0) {
+                continue;
+            }
+            trace->span(stage, lane, at, at + ns);
+            at += ns;
+        }
+    }
 
     Response ok;
     ok.id = job.request.id;
@@ -548,7 +881,25 @@ Daemon::processJob(size_t worker, Job& job)
     } else {
         ok.gaf = std::move(result.gaf);
     }
-    if (!respond(*job.conn, ok)) {
+    if (trace != nullptr) {
+        ok.traceId = trace->traceId;
+        ok.queueNanos = queue_wait;
+        ok.mapNanos = service;
+    }
+    const uint64_t write_start = util::nowNanos();
+    const bool sent = respond(*job.conn, ok);
+    if (trace != nullptr) {
+        trace->span(obs::SpanStage::Write, lane, write_start,
+                    util::nowNanos());
+        hub_->flight().ring(worker)->setTrace(0);
+        tracer_->endInFlight(worker);
+        commitTrace(worker, std::move(*job.trace),
+                    !sent ? "error"
+                          : (result.degradedReads > 0 ? "degraded" : "ok"),
+                    slab);
+        job.trace.reset();
+    }
+    if (!sent) {
         // The peer vanished mid-request; the work is done but the
         // response has nowhere to go.  Count it so no request is ever
         // silently unaccounted for.
@@ -688,6 +1039,31 @@ Daemon::stop()
     // newly released generations into the metric before the snapshot.
     accountRetired();
 
+    // Trace exports (post-join: the span buffers are quiescent).
+    report_.tracedRequests = tracer_->committedTotal();
+    if (!params_.traceOut.empty()) {
+        tracer_->writeChromeTrace(params_.traceOut, "mgd");
+    }
+    if (!params_.traceDumpPrefix.empty()) {
+        // One dump per tail exemplar, named by trace id; the flight
+        // recorder rings provide the "what else was on the table"
+        // context shared by every dump.
+        std::vector<obs::FlightEntry> flight;
+        for (size_t wk = 0; wk < params_.workers; ++wk) {
+            std::vector<obs::FlightEntry> entries =
+                hub_->flight().snapshot(wk);
+            flight.insert(flight.end(), entries.begin(), entries.end());
+        }
+        for (const obs::RequestTracer::Exemplar& exemplar :
+             tracer_->exemplars()) {
+            obs::writeTraceDump(params_.traceDumpPrefix +
+                                    obs::traceIdHex(exemplar.ctx.traceId) +
+                                    ".mgtrace",
+                                exemplar, flight);
+            ++report_.traceDumps;
+        }
+    }
+
     // Final accounting from the registry (counters are already summed
     // across worker + control slabs by snapshot()).
     obs::Snapshot snap = hub_->registry().snapshot();
@@ -699,7 +1075,8 @@ Daemon::stop()
     report_.errors = 0;
     for (const std::string& tenant : serve.tenants) {
         auto named = [&tenant](const char* stem) {
-            return std::string(stem) + "{tenant=\"" + tenant + "\"}";
+            return std::string(stem) + "{" +
+                   obs::promLabel("tenant", tenant) + "}";
         };
         report_.accepted += snap.valueOf(named("mg_serve_accepted_total"));
         report_.completed +=

@@ -89,6 +89,25 @@ struct DaemonParams
      * carries it).
      */
     bool gafGenerationComment = false;
+    /**
+     * Head-sampling probability for tracing untagged requests, [0, 1].
+     * Client-tagged requests (Request.traceId != 0) are always traced
+     * regardless of this rate.  Tracing is timing-only: a traced
+     * request's GAF is byte-identical to an untraced one's.
+     */
+    double traceSample = 0.0;
+    /** Chrome-trace JSON written at stop() (Perfetto-loadable; empty =
+     *  no export). */
+    std::string traceOut;
+    /** Tail-based exemplar ring: always keep the slowest N traced
+     *  requests' full span trees, whatever the sampling rate. */
+    size_t traceExemplars = 8;
+    /** Prefix for slow-request `.mgtrace` dumps written at stop(), one
+     *  per exemplar (empty = no dumps). */
+    std::string traceDumpPrefix;
+    /** Flight-recorder ring slots per worker (the last N reads each
+     *  worker touched, named in watchdog and crash dumps). */
+    size_t flightRingSize = obs::FlightRecorder::kDefaultRingSize;
 };
 
 /** Daemon lifecycle state. */
@@ -121,6 +140,10 @@ struct DaemonReport
     uint64_t finalGeneration = 1;
     /** Drain finished inside the deadline (no forcing needed). */
     bool drainClean = true;
+    /** Traced requests committed over the daemon's lifetime. */
+    uint64_t tracedRequests = 0;
+    /** Slow-request `.mgtrace` dumps written at stop(). */
+    uint64_t traceDumps = 0;
     /** Index load mode ("parsed" | "mmap" | "generated") and map/parse
      *  seconds, copied from DaemonParams at construction. */
     std::string indexLoadMode = "parsed";
@@ -177,6 +200,17 @@ class Daemon
     obs::Hub& hub() { return *hub_; }
     const DaemonReport& report() const { return report_; }
     const DaemonParams& params() const { return params_; }
+    /** The request tracer (tests: exemplar/in-flight introspection). */
+    obs::RequestTracer& tracer() { return *tracer_; }
+
+    /**
+     * Live introspection snapshot as JSON — what a ControlOp::Stats
+     * frame answers: lifecycle state, generation + reload/publish state,
+     * per-tenant queue depth / in-flight / counters / service EWMA,
+     * worker heartbeat ages, per-stage latency histograms with trace-id
+     * exemplars, and the slowest in-flight traces.  Thread-safe.
+     */
+    std::string statsJson();
 
   private:
     /** One client connection; workers and the reader share the fd. */
@@ -202,16 +236,27 @@ class Daemon
         /** The generation pinned at admission; the swap path cannot
          *  unmap these arenas while this job holds the handle. */
         IndexManager::Handle handle;
+        /** Span context when the request is traced (null otherwise);
+         *  rides the job from the reader thread to its worker. */
+        std::unique_ptr<obs::TraceContext> trace;
     };
 
     void acceptorLoop();
     void readerLoop(std::shared_ptr<Connection> conn);
     void workerLoop(size_t worker);
     void handleRequest(std::shared_ptr<Connection>& conn,
-                       Request&& request);
+                       Request&& request, uint64_t frame_arrival_nanos,
+                       uint64_t accept_end_nanos,
+                       uint64_t decode_end_nanos);
     void handleControl(std::shared_ptr<Connection>& conn,
                        ControlRequest&& control);
-    void processJob(size_t worker, Job& job);
+    void processJob(size_t worker, Job& job, uint64_t popped_nanos);
+    /** Stamp end + disposition, feed the stage histograms, and append
+     *  the finished context to `lane`'s span buffer. */
+    void commitTrace(size_t lane, obs::TraceContext&& ctx,
+                     std::string_view disposition,
+                     obs::Registry::ThreadSlab* slab);
+    void initTracing();
     /** Shed still-queued jobs whose client deadline can no longer be
      *  met (DEADLINE_SHED), using the service-time EWMA as the cost
      *  estimate for work not yet started. */
@@ -228,9 +273,13 @@ class Daemon
     std::unique_ptr<AdmissionQueue<Job>> queue_;
     sched::HeartbeatBoard board_;
     std::unique_ptr<sched::Watchdog> watchdog_;
+    std::unique_ptr<obs::RequestTracer> tracer_;
 
     /** EWMA of per-request mapping time (relaxed; heuristic only). */
     std::atomic<uint64_t> serviceEwmaNanos_{0};
+    /** Per-tenant EWMA of mapping time, index-aligned with the tenant
+     *  configs (relaxed; introspection only). */
+    std::unique_ptr<std::atomic<uint64_t>[]> tenantEwmaNanos_;
     /** Consecutive admissions refused by the publish window; scales the
      *  RETRY_AFTER hint so clients back off a stretched publish. */
     std::atomic<uint32_t> publishRejects_{0};

@@ -8,6 +8,7 @@
 #include "util/common.h"
 #include "util/crc32.h"
 #include "util/cursor.h"
+#include "util/timer.h"
 #include "util/varint.h"
 
 namespace mg::serve {
@@ -65,6 +66,8 @@ responseStatusName(ResponseStatus status)
         return "reload-rejected";
       case ResponseStatus::DeadlineShed:
         return "deadline-shed";
+      case ResponseStatus::StatsOk:
+        return "stats-ok";
     }
     return "?";
 }
@@ -83,6 +86,11 @@ encodeRequest(const Request& request)
     for (const map::Read& read : request.reads) {
         writer.putString(read.name);
         writer.putString(read.sequence);
+    }
+    // Optional trailing trace id: omitted entirely for untraced requests
+    // so their encoding is byte-identical to the pre-tracing format.
+    if (request.traceId != 0) {
+        writer.putVarint(request.traceId);
     }
     return writer.takeBytes();
 }
@@ -111,8 +119,17 @@ encodeResponse(const Response& response)
       case ResponseStatus::Error:
       case ResponseStatus::ReloadOk:
       case ResponseStatus::ReloadRejected:
+      case ResponseStatus::StatsOk:
         writer.putString(response.message);
         break;
+    }
+    // Optional trailing trace echo (id + daemon-side queue/map time),
+    // present only for traced requests; untraced responses stay
+    // byte-identical to the pre-tracing format.
+    if (response.traceId != 0) {
+        writer.putVarint(response.traceId);
+        writer.putVarint(response.queueNanos);
+        writer.putVarint(response.mapNanos);
     }
     return writer.takeBytes();
 }
@@ -174,6 +191,10 @@ decodeRequest(const std::vector<uint8_t>& payload, Request& out)
             read.sequence = cursor.getString();
             out.reads.push_back(std::move(read));
         }
+        out.traceId = 0;
+        if (!cursor.atEnd()) {
+            out.traceId = cursor.getVarint();
+        }
         cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
                      "trailing bytes after request");
     });
@@ -190,8 +211,7 @@ decodeResponse(const std::vector<uint8_t>& payload, Response& out)
                      util::StatusCode::Corrupt, "not a response payload");
         out.id = cursor.getVarint();
         uint8_t raw = cursor.getByte();
-        cursor.check(raw <= static_cast<uint8_t>(
-                                ResponseStatus::DeadlineShed),
+        cursor.check(raw <= static_cast<uint8_t>(ResponseStatus::StatsOk),
                      util::StatusCode::Corrupt, "unknown response status ",
                      static_cast<int>(raw));
         out.status = static_cast<ResponseStatus>(raw);
@@ -201,6 +221,9 @@ decodeResponse(const std::vector<uint8_t>& payload, Response& out)
         out.mappedReads = 0;
         out.degradedReads = 0;
         out.retryAfterMillis = 0;
+        out.traceId = 0;
+        out.queueNanos = 0;
+        out.mapNanos = 0;
         switch (out.status) {
           case ResponseStatus::Ok:
             out.mappedReads = cursor.getVarint();
@@ -216,8 +239,14 @@ decodeResponse(const std::vector<uint8_t>& payload, Response& out)
           case ResponseStatus::Error:
           case ResponseStatus::ReloadOk:
           case ResponseStatus::ReloadRejected:
+          case ResponseStatus::StatsOk:
             out.message = cursor.getString();
             break;
+        }
+        if (!cursor.atEnd()) {
+            out.traceId = cursor.getVarint();
+            out.queueNanos = cursor.getVarint();
+            out.mapNanos = cursor.getVarint();
         }
         cursor.check(cursor.atEnd(), util::StatusCode::Corrupt,
                      "trailing bytes after response");
@@ -235,7 +264,8 @@ decodeControl(const std::vector<uint8_t>& payload, ControlRequest& out)
                      util::StatusCode::Corrupt, "not a control payload");
         out.id = cursor.getVarint();
         uint8_t raw = cursor.getByte();
-        cursor.check(raw == static_cast<uint8_t>(ControlOp::Reload),
+        cursor.check(raw == static_cast<uint8_t>(ControlOp::Reload) ||
+                         raw == static_cast<uint8_t>(ControlOp::Stats),
                      util::StatusCode::Corrupt, "unknown control op ",
                      static_cast<int>(raw));
         out.op = static_cast<ControlOp>(raw);
@@ -282,7 +312,7 @@ writeFrame(int fd, const std::vector<uint8_t>& payload)
 }
 
 util::Status
-readFrame(int fd, std::vector<uint8_t>& payload)
+readFrame(int fd, std::vector<uint8_t>& payload, uint64_t* arrival_nanos)
 {
     // Fault site: a stalled or failing peer on the receive path.
     fault::inject("serve.read");
@@ -301,6 +331,9 @@ readFrame(int fd, std::vector<uint8_t>& payload)
     if (got < 2 || magic[0] != kFrameMagic[0] ||
         magic[1] != kFrameMagic[1]) {
         return statusOf(util::StatusCode::Corrupt, "bad frame magic");
+    }
+    if (arrival_nanos != nullptr) {
+        *arrival_nanos = util::nowNanos();
     }
 
     // Varint size, one byte at a time (LEB128, at most 10 bytes).

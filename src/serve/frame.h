@@ -69,6 +69,8 @@ enum class ResponseStatus : uint8_t
     /** Shed while still queued because the client deadline could no
      *  longer be met; the work was never started (SLO shedding). */
     DeadlineShed = 6,
+    /** Control: live introspection snapshot; message carries the JSON. */
+    StatsOk = 7,
 };
 
 /** Short stable name ("ok", "retry-after", ...). */
@@ -85,6 +87,12 @@ struct Request
     uint64_t maxExtendSteps = 0;
     uint64_t maxGbwtLookups = 0;
     std::vector<map::Read> reads;
+    /**
+     * Request trace id (0 = untraced).  Encoded as an optional trailing
+     * varint so untraced frames are byte-identical to the pre-tracing
+     * wire format and old peers still decode traced frames' prefix.
+     */
+    uint64_t traceId = 0;
 };
 
 /** One response, paired to its request by id. */
@@ -105,8 +113,18 @@ struct Response
     uint64_t degradedReads = 0;
     /** RetryAfter / ShuttingDown: client-side backoff floor. */
     uint32_t retryAfterMillis = 0;
-    /** Error / ReloadOk / ReloadRejected: human-readable reason. */
+    /** Error / ReloadOk / ReloadRejected: human-readable reason.
+     *  StatsOk: the introspection snapshot JSON. */
     std::string message;
+    /**
+     * Trace echo (optional trailing block, present only when the request
+     * was traced): the trace id plus the daemon's own measurement of the
+     * request's queue wait and mapping time, so clients can reconcile
+     * their observed latency against the daemon's stage attribution.
+     */
+    uint64_t traceId = 0;
+    uint64_t queueNanos = 0;
+    uint64_t mapNanos = 0;
 };
 
 /** Control-plane operations (MessageKind::Control payloads). */
@@ -114,14 +132,18 @@ enum class ControlOp : uint8_t
 {
     /** Hot-swap the serving pangenome to the named container path. */
     Reload = 1,
+    /** Live introspection snapshot; answered StatsOk with JSON in
+     *  message (queue depths, generations, heartbeats, slow traces). */
+    Stats = 2,
 };
 
-/** One control request; answered with a Response (ReloadOk/Rejected). */
+/** One control request; answered with a Response
+ *  (ReloadOk/ReloadRejected/StatsOk). */
 struct ControlRequest
 {
     uint64_t id = 0;
     ControlOp op = ControlOp::Reload;
-    /** Reload: absolute path of the replacement container. */
+    /** Reload: absolute path of the replacement container.  Stats: empty. */
     std::string path;
 };
 
@@ -160,8 +182,14 @@ util::Status writeFrame(int fd, const std::vector<uint8_t>& payload);
  * first magic byte (normal connection close), and Corrupt/Truncated/
  * ChecksumMismatch/IoError otherwise.  Fault site "serve.read" (Stall /
  * Throw) models a slow or failing peer.
+ *
+ * `arrival_nanos` (nullable) is stamped with util::nowNanos() right
+ * after the frame magic arrives — the moment this frame's bytes started
+ * flowing, excluding the idle wait for a request to show up.  It is the
+ * begin timestamp of a traced request's "accept" span.
  */
-util::Status readFrame(int fd, std::vector<uint8_t>& payload);
+util::Status readFrame(int fd, std::vector<uint8_t>& payload,
+                       uint64_t* arrival_nanos = nullptr);
 
 /** True when the status is the clean-EOF marker readFrame returns for a
  *  peer that closed between frames. */

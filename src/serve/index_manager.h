@@ -125,6 +125,14 @@ class IndexManager
     /** Number of the currently published generation (1-based). */
     uint64_t generation() const;
 
+    /** True while a swap is inside its publish window (pins would see
+     *  nullptr right now); introspection only, inherently racy. */
+    bool
+    publishing() const
+    {
+        return publishing_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Load, validate, and publish the container at `path` as the next
      * generation; on any failure the old generation keeps serving and

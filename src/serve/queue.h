@@ -73,6 +73,13 @@ admissionName(Admission admission)
     return "?";
 }
 
+/** One tenant's instantaneous load (live introspection snapshot). */
+struct TenantLoad
+{
+    size_t queued = 0;
+    size_t inFlight = 0;
+};
+
 /** Verdict of one admission attempt. */
 struct AdmissionVerdict
 {
@@ -306,11 +313,39 @@ class AdmissionQueue
         return total;
     }
 
+    /** Per-tenant load snapshot, index-aligned with tenant(); one lock
+     *  acquisition so the queued/in-flight pairs are mutually
+     *  consistent (ControlOp::Stats introspection). */
+    std::vector<TenantLoad>
+    tenantLoads() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<TenantLoad> loads;
+        loads.reserve(tenants_.size());
+        for (const Tenant& tenant : tenants_) {
+            TenantLoad load;
+            load.queued = tenant.items.size();
+            load.inFlight = tenant.inFlight;
+            loads.push_back(load);
+        }
+        return loads;
+    }
+
     size_t capacity() const { return capacity_; }
 
   private:
     struct Tenant
     {
+        // Move-only: std::deque declares a copy constructor even for
+        // move-only T (it only fails at instantiation), so without the
+        // explicit delete vector relocation would pick the copy path
+        // and hard-error once T carries a unique_ptr (the Job's trace).
+        Tenant() = default;
+        Tenant(const Tenant&) = delete;
+        Tenant& operator=(const Tenant&) = delete;
+        Tenant(Tenant&&) = default;
+        Tenant& operator=(Tenant&&) = default;
+
         TenantConfig config;
         std::deque<T> items;
         size_t inFlight = 0;

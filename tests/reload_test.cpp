@@ -717,5 +717,121 @@ TEST_F(ReloadFixture, ExpiredQueuedRequestsAreDeadlineShed)
     EXPECT_EQ(daemon->report().completed, 1u);
 }
 
+// --------------------------------------------------------------------
+// Observability continuity: a hot swap must not tear the metric space.
+
+TEST_F(ReloadFixture, MetricsStayContinuousAcrossHotSwap)
+{
+    DaemonParams dparams = daemonParams("continuity");
+    dparams.tenants = parseTenantSpec("gold:weight=3,free");
+    dparams.traceSample = 1.0; // feed the stage histograms too
+    std::unique_ptr<Daemon> daemon = makeDaemon(dparams);
+    daemon->start();
+
+    Client client(clientParams("continuity"));
+    auto mapOk = [&](const std::string& tenant) {
+        Response response;
+        util::Status status = client.mapReads(
+            tenant, slice(0, 8), resilience::WorkBudget{}, response);
+        ASSERT_TRUE(status.ok()) << status.toString();
+        ASSERT_EQ(response.status, ResponseStatus::Ok);
+    };
+    // The worker accounts a request *after* writing its response, so a
+    // snapshot taken the instant the client returns can race the final
+    // counter bump; settle on the expected totals first.
+    auto settledSnapshot = [&](uint64_t gold_done, uint64_t free_done) {
+        for (int spin = 0; spin < 2000; ++spin) {
+            obs::Snapshot snap = daemon->hub().registry().snapshot();
+            const obs::MetricValue* gold =
+                snap.find("mg_serve_completed_total{tenant=\"gold\"}");
+            const obs::MetricValue* free_tenant =
+                snap.find("mg_serve_completed_total{tenant=\"free\"}");
+            const obs::MetricValue* extend =
+                snap.find("mg_serve_stage_ns{stage=\"extend\"}");
+            if (gold != nullptr && free_tenant != nullptr &&
+                extend != nullptr && gold->value >= gold_done &&
+                free_tenant->value >= free_done &&
+                extend->hist.count() >= gold_done + free_done) {
+                return snap;
+            }
+            usleep(1000);
+        }
+        ADD_FAILURE() << "counters never settled";
+        return daemon->hub().registry().snapshot();
+    };
+
+    mapOk("gold");
+    mapOk("gold");
+    mapOk("free");
+    obs::Snapshot before = settledSnapshot(2, 1);
+
+    SwapOutcome outcome =
+        daemon->reloadIndex(replacementPath("continuity"));
+    ASSERT_TRUE(outcome.accepted) << outcome.reason;
+    EXPECT_EQ(outcome.generation, 2u);
+
+    mapOk("gold");
+    mapOk("free");
+    obs::Snapshot after = settledSnapshot(3, 2);
+
+    // The metric space is identical across the swap: every series that
+    // existed before exists after, same kind — no torn or re-registered
+    // series — and counters/histograms only ever move forward.
+    ASSERT_EQ(before.metrics.size(), after.metrics.size());
+    for (const obs::MetricValue& old : before.metrics) {
+        const obs::MetricValue* now = after.find(old.name);
+        ASSERT_NE(now, nullptr) << "series vanished: " << old.name;
+        EXPECT_EQ(now->kind, old.kind) << old.name;
+        if (old.kind == obs::MetricKind::Counter) {
+            EXPECT_GE(now->value, old.value)
+                << "counter went backwards: " << old.name;
+        } else if (old.kind == obs::MetricKind::Histogram) {
+            EXPECT_GE(now->hist.count(), old.hist.count())
+                << "histogram shrank: " << old.name;
+            EXPECT_GE(now->hist.sumNanos(), old.hist.sumNanos())
+                << old.name;
+        }
+    }
+
+    // Work after the swap landed in the *same* per-tenant series.
+    auto counter = [](const obs::Snapshot& snap, const std::string& name) {
+        const obs::MetricValue* m = snap.find(name);
+        EXPECT_NE(m, nullptr) << name;
+        return m != nullptr ? m->value : 0;
+    };
+    EXPECT_EQ(counter(before, "mg_serve_completed_total{tenant=\"gold\"}"),
+              2u);
+    EXPECT_EQ(counter(after, "mg_serve_completed_total{tenant=\"gold\"}"),
+              3u);
+    EXPECT_EQ(counter(before, "mg_serve_completed_total{tenant=\"free\"}"),
+              1u);
+    EXPECT_EQ(counter(after, "mg_serve_completed_total{tenant=\"free\"}"),
+              2u);
+
+    // The swap itself is accounted, and the generation gauge moved.
+    EXPECT_EQ(counter(after, "mg_serve_reloads_total"), 1u);
+    EXPECT_EQ(after.find("mg_serve_generation")->value, 2u);
+    const obs::MetricValue* reload_latency =
+        after.find("mg_serve_reload_latency_ns");
+    ASSERT_NE(reload_latency, nullptr);
+    EXPECT_EQ(reload_latency->hist.count(), 1u);
+
+    // Stage histograms kept accumulating across the swap (requests were
+    // traced on both sides of it).
+    const obs::MetricValue* extend_before =
+        before.find("mg_serve_stage_ns{stage=\"extend\"}");
+    const obs::MetricValue* extend_after =
+        after.find("mg_serve_stage_ns{stage=\"extend\"}");
+    ASSERT_NE(extend_before, nullptr);
+    ASSERT_NE(extend_after, nullptr);
+    EXPECT_EQ(extend_before->hist.count(), 3u);
+    EXPECT_EQ(extend_after->hist.count(), 5u);
+
+    daemon->stop();
+    EXPECT_EQ(daemon->report().completed, 5u);
+    EXPECT_EQ(daemon->report().reloads, 1u);
+    EXPECT_EQ(daemon->report().tracedRequests, 5u);
+}
+
 } // namespace
 } // namespace mg::serve
